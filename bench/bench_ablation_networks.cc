@@ -1,0 +1,65 @@
+// Ablation: the same application re-partitioned for different networks
+// (paper §1/§4.4: "changes in underlying network, from ISDN to 100BaseT to
+// ATM to SAN, strain static distributions as bandwidth-to-latency
+// tradeoffs change by more than an order of magnitude").
+//
+// For one workload, Coign re-analyzes per network and the distribution
+// (how many components cross) shifts with the bandwidth/latency balance;
+// a single static distribution cannot do this.
+
+#include <cstdio>
+
+#include "bench/harness.h"
+
+using namespace coign;  // NOLINT: bench binary.
+
+int main() {
+  const char* kScenario = "o_oldbth";
+  const NetworkModel kNetworks[] = {
+      NetworkModel::Isdn(),    NetworkModel::TenBaseT(), NetworkModel::HundredBaseT(),
+      NetworkModel::Atm155(),  NetworkModel::San(),
+  };
+
+  Result<std::unique_ptr<Application>> app = BuildApplicationForScenario(kScenario);
+  if (!app.ok()) {
+    return 1;
+  }
+  Result<IccProfile> profile = ProfileScenarios(**app, {kScenario});
+  if (!profile.ok()) {
+    return 1;
+  }
+
+  std::printf("Ablation: re-partitioning %s across networks.\n", kScenario);
+  PrintRule(86);
+  std::printf("%-10s %14s %12s %12s %12s %10s\n", "Network", "Server comps", "Default(s)",
+              "Coign(s)", "Savings", "Cut edges");
+  PrintRule(86);
+
+  for (const NetworkModel& network : kNetworks) {
+    ProfileAnalysisEngine engine;
+    Result<AnalysisResult> analysis = engine.Analyze(*profile, FitNetwork(network));
+    if (!analysis.ok()) {
+      std::fprintf(stderr, "%s: %s\n", network.name.c_str(),
+                   analysis.status().ToString().c_str());
+      return 1;
+    }
+    Result<RunMeasurement> default_run = MeasureDefault(**app, kScenario, network);
+    Result<RunMeasurement> coign_run =
+        MeasureDistributed(**app, kScenario, analysis->distribution, network);
+    if (!default_run.ok() || !coign_run.ok()) {
+      return 1;
+    }
+    const double savings =
+        default_run->communication_seconds > 0.0
+            ? 100.0 * (1.0 - coign_run->communication_seconds /
+                                 default_run->communication_seconds)
+            : 0.0;
+    const FigureCounts counts = CountFigureInstances(**app, *profile, analysis->distribution);
+    std::printf("%-10s %14llu %12.3f %12.3f %11.0f%% %10zu\n", network.name.c_str(),
+                static_cast<unsigned long long>(counts.on_server),
+                default_run->communication_seconds, coign_run->communication_seconds,
+                savings, analysis->cut_edges.size());
+  }
+  PrintRule(86);
+  return 0;
+}

@@ -1,0 +1,13 @@
+// Figure 5: the Octarine distribution for a 35-page text-only document.
+// Only the document reader and the text-property provider belong on the
+// server; the GUI forest (hundreds of components, many non-distributable
+// interfaces) stays on the client.
+
+#include "bench/figure_common.h"
+
+int main() {
+  return coign::RunFigureBench(
+      "Figure 5. Octarine Distribution (35-page text document).", "o_fig5",
+      "Of 458 components, Coign places 2 on the server (the document reader and "
+      "the text-property provider).");
+}

@@ -1,0 +1,11 @@
+// Figure 7: Octarine with a five-page table document. The optimal
+// distribution changes with the document type: only a single component
+// (the document reader) lands on the server.
+
+#include "bench/figure_common.h"
+
+int main() {
+  return coign::RunFigureBench(
+      "Figure 7. Octarine with Multi-page Table (5-page table).", "o_oldtb0",
+      "Of 476 components, Coign locates only a single component on the server.");
+}

@@ -1,0 +1,14 @@
+// Figure 8: Octarine with tables and text. With fewer than a dozen small
+// tables embedded in a five-page text document, the page-placement
+// negotiation between table and text components binds the whole layout
+// cluster to the reader side: the distribution changes radically and a
+// large fraction of the application moves to the server.
+
+#include "bench/figure_common.h"
+
+int main() {
+  return coign::RunFigureBench(
+      "Figure 8. Octarine with Tables and Text (5 pages + 9 tables).", "o_mixed9",
+      "Of 786 components, Coign places 281 on the server; output from the "
+      "page-placement negotiation to the rest of the application is minimal.");
+}

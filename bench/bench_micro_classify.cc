@@ -1,0 +1,81 @@
+// Microbenchmark: per-instantiation classification cost for each instance
+// classifier, over back-traces of realistic depth. This is the overhead
+// the RTE pays inside every trapped CoCreateInstance.
+
+#include <benchmark/benchmark.h>
+
+#include "src/classify/classifiers.h"
+#include "src/support/rng.h"
+
+namespace coign {
+namespace {
+
+std::vector<CallFrame> MakeBackTrace(int depth, Rng& rng) {
+  std::vector<CallFrame> trace;
+  for (int i = 0; i < depth; ++i) {
+    CallFrame frame;
+    frame.instance = static_cast<InstanceId>(rng.UniformInt(1, 40));
+    frame.clsid = Guid::FromName("clsid:C" + std::to_string(rng.UniformInt(0, 20)));
+    frame.iid = Guid::FromName("iid:I" + std::to_string(rng.UniformInt(0, 5)));
+    frame.method = static_cast<MethodIndex>(rng.UniformInt(0, 3));
+    trace.push_back(frame);
+  }
+  return trace;
+}
+
+void RunClassifierBench(benchmark::State& state, ClassifierKind kind) {
+  const int depth = static_cast<int>(state.range(0));
+  Rng rng(11);
+  ClassDesc cls;
+  cls.clsid = Guid::FromName("clsid:Bench");
+  cls.name = "Bench";
+  // A pool of realistic back-traces to cycle through.
+  std::vector<std::vector<CallFrame>> traces;
+  for (int i = 0; i < 64; ++i) {
+    traces.push_back(MakeBackTrace(depth, rng));
+  }
+  std::unique_ptr<InstanceClassifier> classifier = MakeClassifier(kind);
+  InstanceId next = 1;
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(classifier->Classify(cls, traces[i % traces.size()], next++));
+    ++i;
+  }
+  state.counters["classifications"] =
+      static_cast<double>(classifier->classification_count());
+}
+
+void BM_ClassifyIncremental(benchmark::State& state) {
+  RunClassifierBench(state, ClassifierKind::kIncremental);
+}
+void BM_ClassifyStaticType(benchmark::State& state) {
+  RunClassifierBench(state, ClassifierKind::kStaticType);
+}
+void BM_ClassifyPcb(benchmark::State& state) {
+  RunClassifierBench(state, ClassifierKind::kProcedureCalledBy);
+}
+void BM_ClassifyStcb(benchmark::State& state) {
+  RunClassifierBench(state, ClassifierKind::kStaticTypeCalledBy);
+}
+void BM_ClassifyIfcb(benchmark::State& state) {
+  RunClassifierBench(state, ClassifierKind::kInternalFunctionCalledBy);
+}
+void BM_ClassifyEpcb(benchmark::State& state) {
+  RunClassifierBench(state, ClassifierKind::kEntryPointCalledBy);
+}
+void BM_ClassifyIb(benchmark::State& state) {
+  RunClassifierBench(state, ClassifierKind::kInstantiatedBy);
+}
+
+BENCHMARK(BM_ClassifyIncremental)->Arg(8);
+BENCHMARK(BM_ClassifyStaticType)->Arg(8);
+BENCHMARK(BM_ClassifyPcb)->Arg(8)->Arg(32);
+BENCHMARK(BM_ClassifyStcb)->Arg(8)->Arg(32);
+BENCHMARK(BM_ClassifyIfcb)->Arg(8)->Arg(32);
+BENCHMARK(BM_ClassifyEpcb)->Arg(8)->Arg(32);
+BENCHMARK(BM_ClassifyIb)->Arg(8);
+
+}  // namespace
+}  // namespace coign
+
+BENCHMARK_MAIN();

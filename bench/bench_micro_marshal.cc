@@ -1,0 +1,102 @@
+// Microbenchmark: deep-copy sizing vs full serialization vs round trip —
+// the in-process proxy/stub work the profiling informer performs on every
+// intercepted call.
+
+#include <benchmark/benchmark.h>
+
+#include "src/marshal/ndr.h"
+#include "src/marshal/proxy_stub.h"
+
+namespace coign {
+namespace {
+
+Message SmallControlMessage() {
+  Message m;
+  m.Add("handle", Value::FromInt32(3));
+  m.Add("offset", Value::FromInt64(4096));
+  m.Add("size", Value::FromInt32(1536));
+  return m;
+}
+
+Message NestedMessage() {
+  std::vector<Value> rows;
+  for (int r = 0; r < 16; ++r) {
+    rows.push_back(Value::FromRecord({
+        {"id", Value::FromInt32(r)},
+        {"name", Value::FromString("row name with some text")},
+        {"cells", Value::FromArray({Value::FromDouble(1.5), Value::FromDouble(2.5),
+                                    Value::FromInt64(1 << 20)})},
+    }));
+  }
+  Message m;
+  m.Add("rows", Value::FromArray(std::move(rows)));
+  m.Add("iface", Value::FromInterface(ObjectRef{7, Guid::FromName("iid:IX")}));
+  return m;
+}
+
+Message BlobMessage(uint64_t bytes) {
+  Message m;
+  m.Add("pixels", Value::BlobOfSize(bytes, 9));
+  return m;
+}
+
+void BM_WireSizeControl(benchmark::State& state) {
+  const Message m = SmallControlMessage();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(WireSize(m));
+  }
+}
+BENCHMARK(BM_WireSizeControl);
+
+void BM_WireSizeNested(benchmark::State& state) {
+  const Message m = NestedMessage();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(WireSize(m));
+  }
+}
+BENCHMARK(BM_WireSizeNested);
+
+void BM_WireSizeBlob(benchmark::State& state) {
+  const Message m = BlobMessage(static_cast<uint64_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(WireSize(m));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_WireSizeBlob)->Arg(1024)->Arg(65536)->Arg(1 << 20);
+
+void BM_SerializeNested(benchmark::State& state) {
+  const Message m = NestedMessage();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Serialize(m));
+  }
+}
+BENCHMARK(BM_SerializeNested);
+
+void BM_RoundTripNested(benchmark::State& state) {
+  const Message m = NestedMessage();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RoundTrip(m));
+  }
+}
+BENCHMARK(BM_RoundTripNested);
+
+void BM_MeasureCall(benchmark::State& state) {
+  const InterfaceDesc iface = InterfaceBuilder("IBench")
+                                  .Method("M")
+                                  .In("rows", ValueKind::kArray)
+                                  .Out("ok", ValueKind::kBool)
+                                  .Build();
+  const Message in = NestedMessage();
+  Message out;
+  out.Add("ok", Value::FromBool(true));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MeasureCall(iface, 0, in, out));
+  }
+}
+BENCHMARK(BM_MeasureCall);
+
+}  // namespace
+}  // namespace coign
+
+BENCHMARK_MAIN();

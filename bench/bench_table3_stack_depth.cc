@@ -1,0 +1,39 @@
+// Table 3: IFCB classifier accuracy as a function of stack-walk depth.
+// Expected shape (paper): both the number of classifications and the
+// average correlation increase with depth and saturate quickly (by depth
+// three or four); depth 1 equals the Instantiated-By classifier.
+
+#include <cstdio>
+
+#include "bench/harness.h"
+
+using namespace coign;  // NOLINT: bench binary.
+
+int main() {
+  std::printf("Table 3. IFCB Accuracy as a Function of Stack Depth (Octarine).\n");
+  PrintRule(76);
+  std::printf("%-12s %16s %20s %14s\n", "Stack-Walk", "Profiled", "Ave. Instances /",
+              "Average");
+  std::printf("%-12s %16s %20s %14s\n", "Depth", "Classifications", "Classification",
+              "Correlation");
+  PrintRule(76);
+
+  struct DepthRow {
+    const char* label;
+    int depth;
+  };
+  const DepthRow kDepths[] = {{"1", 1},   {"2", 2},   {"3", 3},        {"4", 4},
+                              {"8", 8},   {"16", 16}, {"Complete", kCompleteStackWalk}};
+  for (const DepthRow& row : kDepths) {
+    Result<ClassifierAccuracyRow> result =
+        EvaluateOctarineClassifier(ClassifierKind::kInternalFunctionCalledBy, row.depth);
+    if (!result.ok()) {
+      std::fprintf(stderr, "depth %s: %s\n", row.label, result.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%-12s %16zu %20.1f %14.3f\n", row.label, result->profiled_classifications,
+                result->avg_instances_per_classification, result->avg_correlation);
+  }
+  PrintRule(76);
+  return 0;
+}

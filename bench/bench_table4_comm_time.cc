@@ -1,0 +1,63 @@
+// Table 4: reduction in communication time. For every Table 1 scenario:
+// profile it, choose a distribution, and measure communication time under
+// the developer's default distribution and under the Coign-chosen one
+// (10BaseT network, deterministic accounting).
+//
+// Expected shape (paper): Coign is never worse than the default; savings
+// are near zero for the small/new-document scenarios, huge (>= 95 %) for
+// the large table/text documents, moderate for PhotoDraw (bulk pixel
+// transfers remain), and substantial for the Benefits 3-tier application.
+
+#include <cstdio>
+
+#include "bench/harness.h"
+
+using namespace coign;  // NOLINT: bench binary.
+
+int main() {
+  const NetworkModel network = NetworkModel::TenBaseT();
+  const NetworkProfile fitted = FitNetwork(network);
+
+  std::printf("Table 4. Reduction in Communication Time (%s).\n", network.name.c_str());
+  PrintRule(64);
+  std::printf("%-10s | %12s %12s %10s\n", "", "Comm. Time", "(secs.)", "");
+  std::printf("%-10s | %12s %12s %10s\n", "Scenario", "Default", "Coign", "Savings");
+  PrintRule(64);
+
+  for (const std::string& id : Table1ScenarioIds()) {
+    Result<std::unique_ptr<Application>> app = BuildApplicationForScenario(id);
+    if (!app.ok()) {
+      std::fprintf(stderr, "%s: %s\n", id.c_str(), app.status().ToString().c_str());
+      return 1;
+    }
+
+    Result<IccProfile> profile = ProfileScenarios(**app, {id});
+    if (!profile.ok()) {
+      std::fprintf(stderr, "%s: %s\n", id.c_str(), profile.status().ToString().c_str());
+      return 1;
+    }
+    ProfileAnalysisEngine engine;
+    Result<AnalysisResult> analysis = engine.Analyze(*profile, fitted);
+    if (!analysis.ok()) {
+      std::fprintf(stderr, "%s: %s\n", id.c_str(), analysis.status().ToString().c_str());
+      return 1;
+    }
+
+    Result<RunMeasurement> default_run = MeasureDefault(**app, id, network);
+    Result<RunMeasurement> coign_run =
+        MeasureDistributed(**app, id, analysis->distribution, network);
+    if (!default_run.ok() || !coign_run.ok()) {
+      std::fprintf(stderr, "%s: measurement failed\n", id.c_str());
+      return 1;
+    }
+
+    const double default_seconds = default_run->communication_seconds;
+    const double coign_seconds = coign_run->communication_seconds;
+    const double savings =
+        default_seconds > 0.0 ? 100.0 * (1.0 - coign_seconds / default_seconds) : 0.0;
+    std::printf("%-10s | %12.3f %12.3f %9.0f%%\n", id.c_str(), default_seconds,
+                coign_seconds, savings);
+  }
+  PrintRule(64);
+  return 0;
+}

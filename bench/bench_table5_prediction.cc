@@ -1,0 +1,66 @@
+// Table 5: accuracy of the prediction models. For each scenario optimized
+// for itself, compare Coign's predicted execution time (profiled compute +
+// predicted communication under the fitted network profile) with the
+// "measured" execution time of a jittered simulated run of the chosen
+// distribution.
+//
+// Expected shape (paper): errors within single-digit percent; none beyond
+// ~8 %.
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench/harness.h"
+
+using namespace coign;  // NOLINT: bench binary.
+
+int main() {
+  const NetworkModel network = NetworkModel::TenBaseT();
+  const NetworkProfile fitted = FitNetwork(network);
+
+  std::printf("Table 5. Accuracy of Prediction Models (%s).\n", network.name.c_str());
+  PrintRule(66);
+  std::printf("%-10s | %14s %14s %10s\n", "", "Execution", "Time (sec.)", "");
+  std::printf("%-10s | %14s %14s %10s\n", "Scenario", "Predicted", "Measured", "Error");
+  PrintRule(66);
+
+  double worst_error = 0.0;
+  for (const std::string& id : Table1ScenarioIds()) {
+    Result<std::unique_ptr<Application>> app = BuildApplicationForScenario(id);
+    if (!app.ok()) {
+      return 1;
+    }
+    Result<IccProfile> profile = ProfileScenarios(**app, {id});
+    if (!profile.ok()) {
+      return 1;
+    }
+    ProfileAnalysisEngine engine;
+    Result<AnalysisResult> analysis = engine.Analyze(*profile, fitted);
+    if (!analysis.ok()) {
+      return 1;
+    }
+
+    const ExecutionPrediction prediction =
+        PredictExecutionTime(*profile, analysis->distribution, fitted);
+
+    Rng jitter(1234);
+    Result<RunMeasurement> measured =
+        MeasureDistributed(**app, id, analysis->distribution, network, &jitter);
+    if (!measured.ok()) {
+      return 1;
+    }
+
+    const double predicted_seconds = prediction.total_seconds();
+    const double measured_seconds = measured->execution_seconds;
+    const double error =
+        measured_seconds > 0.0
+            ? 100.0 * (predicted_seconds - measured_seconds) / measured_seconds
+            : 0.0;
+    worst_error = std::max(worst_error, std::abs(error));
+    std::printf("%-10s | %14.3f %14.3f %9.1f%%\n", id.c_str(), predicted_seconds,
+                measured_seconds, error);
+  }
+  PrintRule(66);
+  std::printf("Worst absolute error: %.1f%% (paper: none beyond 8%%)\n", worst_error);
+  return 0;
+}

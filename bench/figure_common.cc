@@ -1,0 +1,77 @@
+#include "bench/figure_common.h"
+
+#include <cstdio>
+
+#include "bench/harness.h"
+#include "src/analysis/dot_export.h"
+#include "src/analysis/report.h"
+
+namespace coign {
+
+namespace {
+
+// Scenario id -> a stable .dot output name next to the working directory.
+std::string DotPathFor(const std::string& scenario_id) {
+  return "coign_" + scenario_id + ".dot";
+}
+
+}  // namespace
+
+int RunFigureBench(const std::string& title, const std::string& scenario_id,
+                   const std::string& expectation) {
+  std::printf("%s\n", title.c_str());
+  std::printf("Paper: %s\n", expectation.c_str());
+  PrintRule(78);
+
+  Result<std::unique_ptr<Application>> app = BuildApplicationForScenario(scenario_id);
+  if (!app.ok()) {
+    std::fprintf(stderr, "%s\n", app.status().ToString().c_str());
+    return 1;
+  }
+  Result<IccProfile> profile = ProfileScenarios(**app, {scenario_id});
+  if (!profile.ok()) {
+    std::fprintf(stderr, "%s\n", profile.status().ToString().c_str());
+    return 1;
+  }
+  const NetworkModel network = NetworkModel::TenBaseT();
+  ProfileAnalysisEngine engine;
+  Result<AnalysisResult> analysis = engine.Analyze(*profile, FitNetwork(network));
+  if (!analysis.ok()) {
+    std::fprintf(stderr, "%s\n", analysis.status().ToString().c_str());
+    return 1;
+  }
+
+  const FigureCounts counts =
+      CountFigureInstances(**app, *profile, analysis->distribution);
+  std::printf("Measured: of %llu application components, Coign places %llu on the "
+              "server.\n",
+              static_cast<unsigned long long>(counts.total),
+              static_cast<unsigned long long>(counts.on_server));
+  std::printf("(Including machine infrastructure: %llu of %llu on the server.)\n\n",
+              static_cast<unsigned long long>(analysis->server_instances),
+              static_cast<unsigned long long>(analysis->server_instances +
+                                              analysis->client_instances));
+  std::printf("%s\n", DistributionReport(*profile, *analysis).c_str());
+
+  // The figure itself, as Graphviz (render with `dot -Tsvg`).
+  DotExportOptions dot_options;
+  dot_options.graph_name = scenario_id;
+  const std::string dot_path = DotPathFor(scenario_id);
+  if (WriteDistributionDot(*profile, *analysis, dot_path, dot_options).ok()) {
+    std::printf("Graphviz rendering of this figure written to %s\n\n", dot_path.c_str());
+  }
+
+  // Communication comparison for the figure's workload.
+  Result<RunMeasurement> default_run = MeasureDefault(**app, scenario_id, network);
+  Result<RunMeasurement> coign_run =
+      MeasureDistributed(**app, scenario_id, analysis->distribution, network);
+  if (default_run.ok() && coign_run.ok() && default_run->communication_seconds > 0.0) {
+    std::printf("Communication: default %.3f s -> Coign %.3f s (%.0f%% saved)\n",
+                default_run->communication_seconds, coign_run->communication_seconds,
+                100.0 * (1.0 - coign_run->communication_seconds /
+                                   default_run->communication_seconds));
+  }
+  return 0;
+}
+
+}  // namespace coign

@@ -1,0 +1,18 @@
+// Shared driver for the Figure 4-8 benches: profile one figure workload,
+// choose a distribution, and print the figure's headline ("Of N components,
+// Coign places M on the server") plus the detailed placement report.
+
+#ifndef COIGN_BENCH_FIGURE_COMMON_H_
+#define COIGN_BENCH_FIGURE_COMMON_H_
+
+#include <string>
+
+namespace coign {
+
+// Returns the process exit code.
+int RunFigureBench(const std::string& title, const std::string& scenario_id,
+                   const std::string& expectation);
+
+}  // namespace coign
+
+#endif  // COIGN_BENCH_FIGURE_COMMON_H_

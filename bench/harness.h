@@ -1,0 +1,73 @@
+// Shared pipeline plumbing for the table/figure reproduction benches.
+//
+// Each bench drives the same end-to-end flow the paper describes: install
+// an application into a fresh ObjectSystem, attach an instrumented Coign
+// runtime, run scenarios, analyze, and measure distributions under the
+// simulated network.
+
+#ifndef COIGN_BENCH_HARNESS_H_
+#define COIGN_BENCH_HARNESS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/analysis/engine.h"
+#include "src/analysis/prediction.h"
+#include "src/classify/evaluation.h"
+#include "src/apps/suite.h"
+#include "src/net/network_profiler.h"
+#include "src/runtime/rte.h"
+#include "src/sim/measurement.h"
+
+namespace coign {
+
+// Profiles one or more scenarios of `app` (in one runtime, accumulating
+// into one profile), using the given classifier configuration.
+Result<IccProfile> ProfileScenarios(Application& app, const std::vector<std::string>& ids,
+                                    ClassifierKind classifier = ClassifierKind::kInternalFunctionCalledBy,
+                                    int depth = kCompleteStackWalk, uint64_t seed = 17,
+                                    std::vector<Descriptor>* classifier_table = nullptr);
+
+// A fitted network profile for a model (statistical sampling, fixed seed).
+NetworkProfile FitNetwork(const NetworkModel& model, uint64_t seed = 23);
+
+// Measures a scenario under the developer's default placement.
+Result<RunMeasurement> MeasureDefault(Application& app, const std::string& scenario_id,
+                                      const NetworkModel& network, Rng* jitter = nullptr,
+                                      uint64_t seed = 17);
+
+// Measures a scenario under a Coign-chosen distribution (lightweight
+// runtime realizes it).
+Result<RunMeasurement> MeasureDistributed(Application& app, const std::string& scenario_id,
+                                          const Distribution& distribution,
+                                          const NetworkModel& network, Rng* jitter = nullptr,
+                                          uint64_t seed = 17,
+                                          const std::vector<Descriptor>* classifier_table = nullptr,
+                                          ClassifierKind classifier = ClassifierKind::kInternalFunctionCalledBy,
+                                          int depth = kCompleteStackWalk);
+
+// Full per-scenario pipeline: profile the scenario, analyze against the
+// network, return the analysis.
+Result<AnalysisResult> AnalyzeScenario(Application& app, const std::string& scenario_id,
+                                       const NetworkModel& network, uint64_t seed = 17);
+
+// Instance counts excluding infrastructure classes (file stores, ODBC), by
+// machine — what the paper's figures count.
+struct FigureCounts {
+  uint64_t total = 0;
+  uint64_t on_server = 0;
+};
+FigureCounts CountFigureInstances(const Application& app, const IccProfile& profile,
+                                  const Distribution& distribution);
+
+// Prints a right-aligned separator line for table output.
+void PrintRule(int width = 72);
+
+// The Table 2/3 evaluation protocol: run the classifier through every
+// Octarine profiling scenario, then score it on the o_bigone synthesis.
+Result<ClassifierAccuracyRow> EvaluateOctarineClassifier(ClassifierKind kind, int depth);
+
+}  // namespace coign
+
+#endif  // COIGN_BENCH_HARNESS_H_

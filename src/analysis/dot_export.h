@@ -1,0 +1,38 @@
+// Graphviz export of a chosen distribution — the machine-readable form of
+// the paper's Figures 4-8, which draw every component instance with gray
+// lines for distributable interfaces, solid black lines for
+// non-distributable interfaces, and marked nodes for the instances placed
+// on the server.
+
+#ifndef COIGN_SRC_ANALYSIS_DOT_EXPORT_H_
+#define COIGN_SRC_ANALYSIS_DOT_EXPORT_H_
+
+#include <string>
+
+#include "src/analysis/engine.h"
+#include "src/profile/icc_profile.h"
+
+namespace coign {
+
+struct DotExportOptions {
+  // Include the pseudo-node for the application driver.
+  bool include_driver = true;
+  // Suppress edges below this many total bytes to keep large graphs legible.
+  uint64_t min_edge_bytes = 0;
+  std::string graph_name = "coign";
+};
+
+// Renders the classification graph under `result`'s distribution:
+// client nodes are plain ellipses, server nodes are filled boxes,
+// non-remotable edges are bold black, remotable edges gray with weight
+// proportional to traffic.
+std::string ExportDistributionDot(const IccProfile& profile, const AnalysisResult& result,
+                                  const DotExportOptions& options = {});
+
+// Convenience: writes the DOT text to a file.
+Status WriteDistributionDot(const IccProfile& profile, const AnalysisResult& result,
+                            const std::string& path, const DotExportOptions& options = {});
+
+}  // namespace coign
+
+#endif  // COIGN_SRC_ANALYSIS_DOT_EXPORT_H_

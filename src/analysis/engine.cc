@@ -1,0 +1,101 @@
+#include "src/analysis/engine.h"
+
+#include <algorithm>
+
+#include "src/mincut/edmonds_karp.h"
+#include "src/mincut/relabel_to_front.h"
+
+namespace coign {
+
+Result<AnalysisResult> ProfileAnalysisEngine::Analyze(const IccProfile& profile,
+                                                      const NetworkProfile& network) const {
+  if (profile.empty()) {
+    return FailedPreconditionError("cannot analyze an empty profile");
+  }
+
+  // Constraints: static API analysis + programmer-supplied extras.
+  LocationConstraints constraints = options_.derive_api_constraints
+                                        ? LocationConstraints::FromProfile(profile)
+                                        : LocationConstraints();
+  for (const auto& [id, machine] : options_.extra_constraints.absolute()) {
+    constraints.PinAbsolute(id, machine);
+  }
+  for (const auto& [a, b] : options_.extra_constraints.colocated()) {
+    constraints.Colocate(a, b);
+  }
+
+  const AbstractIccGraph abstract = AbstractIccGraph::FromProfile(profile);
+  const ConcreteGraph concrete = ConcreteGraph::Build(abstract, network, constraints);
+
+  FlowNetwork flow(concrete.node_count());
+  for (const ConcreteEdge& edge : concrete.edges()) {
+    flow.AddEdge(edge.a, edge.b, edge.constraint ? kInfiniteCapacity : edge.seconds);
+  }
+
+  const CutResult cut =
+      options_.algorithm == CutAlgorithm::kRelabelToFront
+          ? MinCutRelabelToFront(flow, ConcreteGraph::kClientNode, ConcreteGraph::kServerNode)
+          : MinCutEdmondsKarp(flow, ConcreteGraph::kClientNode, ConcreteGraph::kServerNode);
+
+  if (cut.cut_value >= kInfiniteCapacity / 2) {
+    return FailedPreconditionError(
+        "constraints are unsatisfiable: a constraint edge crosses every cut");
+  }
+
+  AnalysisResult result;
+  result.total_comm_seconds = concrete.TotalCommunicationSeconds();
+
+  // Build the classification → machine map from the cut sides.
+  for (int node = 2; node < concrete.node_count(); ++node) {
+    const ClassificationId id = concrete.ClassificationAt(node);
+    const bool on_client = cut.in_source_side[static_cast<size_t>(node)];
+    result.distribution.placement[id] = on_client ? kClientMachine : kServerMachine;
+    const ClassificationInfo* info = profile.FindClassification(id);
+    const uint64_t instances = info != nullptr ? info->instance_count : 0;
+    if (on_client) {
+      ++result.client_classifications;
+      result.client_instances += instances;
+    } else {
+      ++result.server_classifications;
+      result.server_instances += instances;
+    }
+  }
+  result.distribution.default_machine = kClientMachine;
+
+  // Crossing communication edges and the exact predicted communication time
+  // (recomputed from the concrete edges: the flow value is equal, but this
+  // also yields the per-edge report).
+  for (const ConcreteEdge& edge : concrete.edges()) {
+    if (edge.constraint) {
+      continue;
+    }
+    const bool a_client = cut.in_source_side[static_cast<size_t>(edge.a)];
+    const bool b_client = cut.in_source_side[static_cast<size_t>(edge.b)];
+    if (a_client == b_client) {
+      continue;
+    }
+    result.predicted_comm_seconds += edge.seconds;
+    CutEdgeReport report;
+    const int client_node = a_client ? edge.a : edge.b;
+    const int server_node = a_client ? edge.b : edge.a;
+    report.client_side = client_node >= 2 ? concrete.ClassificationAt(client_node)
+                                          : kNoClassification;
+    report.server_side = server_node >= 2 ? concrete.ClassificationAt(server_node)
+                                          : kNoClassification;
+    report.seconds = edge.seconds;
+    result.cut_edges.push_back(report);
+  }
+  std::sort(result.cut_edges.begin(), result.cut_edges.end(),
+            [](const CutEdgeReport& x, const CutEdgeReport& y) {
+              return x.seconds > y.seconds;
+            });
+
+  for (const auto& [pair, edge] : abstract.edges()) {
+    if (edge.MustColocate()) {
+      ++result.non_remotable_pairs;
+    }
+  }
+  return result;
+}
+
+}  // namespace coign

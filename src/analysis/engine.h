@@ -1,0 +1,75 @@
+// The profile analysis engine (paper §2).
+//
+// Pipeline: ICC profile + location constraints → abstract ICC graph →
+// (× network profile) → concrete graph → minimum cut → distribution.
+// The cut is the exact two-way lift-to-front algorithm; Edmonds-Karp is
+// available for cross-checking and ablation.
+
+#ifndef COIGN_SRC_ANALYSIS_ENGINE_H_
+#define COIGN_SRC_ANALYSIS_ENGINE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/concrete_graph.h"
+#include "src/graph/constraints.h"
+#include "src/graph/distribution.h"
+#include "src/graph/icc_graph.h"
+#include "src/net/network_profiler.h"
+#include "src/profile/icc_profile.h"
+#include "src/support/status.h"
+
+namespace coign {
+
+enum class CutAlgorithm {
+  kRelabelToFront,  // The paper's lift-to-front min-cut.
+  kEdmondsKarp,     // Baseline for verification/ablation.
+};
+
+struct AnalysisOptions {
+  CutAlgorithm algorithm = CutAlgorithm::kRelabelToFront;
+  // Extra explicit constraints merged on top of API-derived ones.
+  LocationConstraints extra_constraints;
+  // When false, API-derived pins are skipped (ablation).
+  bool derive_api_constraints = true;
+};
+
+struct CutEdgeReport {
+  ClassificationId client_side = kNoClassification;
+  ClassificationId server_side = kNoClassification;
+  double seconds = 0.0;
+};
+
+struct AnalysisResult {
+  Distribution distribution;
+  // Predicted inter-machine communication time of the chosen distribution.
+  double predicted_comm_seconds = 0.0;
+  // Communication time if every pair were split — the graph's total weight.
+  double total_comm_seconds = 0.0;
+  // Classifications per side.
+  size_t client_classifications = 0;
+  size_t server_classifications = 0;
+  // Profiled instances per side (what the paper's figures count).
+  uint64_t client_instances = 0;
+  uint64_t server_instances = 0;
+  // Pairs joined by non-remotable interfaces (solid black lines in Figs 4-5).
+  size_t non_remotable_pairs = 0;
+  // Crossing communication edges, heaviest first.
+  std::vector<CutEdgeReport> cut_edges;
+};
+
+class ProfileAnalysisEngine {
+ public:
+  explicit ProfileAnalysisEngine(AnalysisOptions options = {}) : options_(options) {}
+
+  // Chooses the minimal-communication two-machine distribution.
+  Result<AnalysisResult> Analyze(const IccProfile& profile,
+                                 const NetworkProfile& network) const;
+
+ private:
+  AnalysisOptions options_;
+};
+
+}  // namespace coign
+
+#endif  // COIGN_SRC_ANALYSIS_ENGINE_H_

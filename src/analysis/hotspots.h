@@ -1,0 +1,57 @@
+// Communication hot spots (paper §6, first usage model):
+//
+// "Coign shows the developer how to distribute the application optimally
+// and provides the developer with feedback about which interfaces are
+// communication 'hot spots.' The programmer fine-tunes the distribution by
+// enabling custom marshaling and caching on communication intensive
+// interfaces."
+//
+// A hot spot is a (classification pair, interface, method) whose calls
+// cross the chosen cut; the report ranks them by predicted time on the
+// wire and flags the ones amenable to caching (declared-pure query
+// methods).
+
+#ifndef COIGN_SRC_ANALYSIS_HOTSPOTS_H_
+#define COIGN_SRC_ANALYSIS_HOTSPOTS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/com/metadata.h"
+#include "src/graph/distribution.h"
+#include "src/net/network_profiler.h"
+#include "src/profile/icc_profile.h"
+
+namespace coign {
+
+struct HotSpot {
+  ClassificationId src = kNoClassification;
+  ClassificationId dst = kNoClassification;
+  std::string src_name;  // "<driver>" for the application driver.
+  std::string dst_name;
+  InterfaceId iid;
+  std::string interface_name;  // Empty when no registry was supplied.
+  MethodIndex method = 0;
+  std::string method_name;
+  uint64_t calls = 0;
+  uint64_t bytes = 0;
+  double seconds = 0.0;  // Predicted wire time under the network profile.
+  bool cacheable = false;
+};
+
+// Ranks the cut-crossing calls of `profile` under `distribution`, heaviest
+// first. `interfaces` (optional) resolves interface and method names and
+// the cacheable flag. At most `max_spots` entries.
+std::vector<HotSpot> FindHotSpots(const IccProfile& profile,
+                                  const Distribution& distribution,
+                                  const NetworkProfile& network,
+                                  const InterfaceRegistry* interfaces = nullptr,
+                                  size_t max_spots = 16);
+
+// Renders the report the paper describes showing developers where custom
+// marshaling/caching would pay.
+std::string HotSpotReport(const std::vector<HotSpot>& spots);
+
+}  // namespace coign
+
+#endif  // COIGN_SRC_ANALYSIS_HOTSPOTS_H_

@@ -1,0 +1,65 @@
+#include "src/analysis/report.h"
+
+#include <algorithm>
+#include <map>
+
+#include "src/support/str_util.h"
+
+namespace coign {
+
+std::string FigureSummary(const AnalysisResult& result) {
+  const uint64_t total = result.client_instances + result.server_instances;
+  return StrFormat("Of %llu components, Coign places %llu on the server.",
+                   static_cast<unsigned long long>(total),
+                   static_cast<unsigned long long>(result.server_instances));
+}
+
+std::string DistributionReport(const IccProfile& profile, const AnalysisResult& result,
+                               size_t max_cut_edges) {
+  std::string out = FigureSummary(result) + "\n";
+  out += StrFormat(
+      "  classifications: %zu client, %zu server; non-remotable pairs: %zu\n",
+      result.client_classifications, result.server_classifications,
+      result.non_remotable_pairs);
+  out += StrFormat("  predicted communication: %.6f s (of %.6f s total potential)\n",
+                   result.predicted_comm_seconds, result.total_comm_seconds);
+
+  // Server placements grouped by component class.
+  std::map<std::string, uint64_t> server_classes;
+  for (const auto& [id, machine] : result.distribution.placement) {
+    if (machine != kServerMachine) {
+      continue;
+    }
+    const ClassificationInfo* info = profile.FindClassification(id);
+    if (info != nullptr) {
+      server_classes[info->class_name] += info->instance_count;
+    }
+  }
+  if (!server_classes.empty()) {
+    out += "  server components:\n";
+    for (const auto& [name, count] : server_classes) {
+      out += StrFormat("    %-40s x%llu\n", name.c_str(),
+                       static_cast<unsigned long long>(count));
+    }
+  }
+
+  if (!result.cut_edges.empty()) {
+    out += "  heaviest cut edges (client side <-> server side):\n";
+    const size_t limit = std::min(max_cut_edges, result.cut_edges.size());
+    for (size_t i = 0; i < limit; ++i) {
+      const CutEdgeReport& edge = result.cut_edges[i];
+      auto name_of = [&profile](ClassificationId id) -> std::string {
+        if (id == kNoClassification) {
+          return "<driver>";
+        }
+        const ClassificationInfo* info = profile.FindClassification(id);
+        return info != nullptr ? info->class_name : StrFormat("c%u", id);
+      };
+      out += StrFormat("    %-32s <-> %-32s %.6f s\n", name_of(edge.client_side).c_str(),
+                       name_of(edge.server_side).c_str(), edge.seconds);
+    }
+  }
+  return out;
+}
+
+}  // namespace coign

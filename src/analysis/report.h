@@ -1,0 +1,25 @@
+// Human-readable reports of chosen distributions — the textual equivalent
+// of the paper's Figures 4-8 ("N of M components placed on the server",
+// non-distributable interface counts, heaviest cut edges).
+
+#ifndef COIGN_SRC_ANALYSIS_REPORT_H_
+#define COIGN_SRC_ANALYSIS_REPORT_H_
+
+#include <string>
+
+#include "src/analysis/engine.h"
+#include "src/profile/icc_profile.h"
+
+namespace coign {
+
+// One-line figure summary: "Of 458 components, Coign places 2 on the server."
+std::string FigureSummary(const AnalysisResult& result);
+
+// Detailed report: per-side classification/instance counts, per-class
+// server placements, heaviest cut edges, non-remotable pair count.
+std::string DistributionReport(const IccProfile& profile, const AnalysisResult& result,
+                               size_t max_cut_edges = 8);
+
+}  // namespace coign
+
+#endif  // COIGN_SRC_ANALYSIS_REPORT_H_

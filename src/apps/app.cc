@@ -1,0 +1,14 @@
+#include "src/apps/app.h"
+
+namespace coign {
+
+Result<Scenario> Application::FindScenario(const std::string& id) const {
+  for (Scenario& scenario : Scenarios()) {
+    if (scenario.id == id) {
+      return scenario;
+    }
+  }
+  return NotFoundError("unknown scenario: " + id);
+}
+
+}  // namespace coign

@@ -1,0 +1,65 @@
+// The application model: what Coign sees of a program.
+//
+// An Application installs its component classes and interfaces into an
+// ObjectSystem, describes its binary image (for the rewriter path), ships a
+// developer default distribution, and provides the Table 1 scenario scripts
+// that drive it. The three applications of the paper's suite — PhotoDraw,
+// Octarine, and the Corporate Benefits Sample — are synthetic counterparts
+// with the same structural signatures (see DESIGN.md §2).
+
+#ifndef COIGN_SRC_APPS_APP_H_
+#define COIGN_SRC_APPS_APP_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/com/object_system.h"
+#include "src/runtime/binary_rewriter.h"
+#include "src/sim/class_placement.h"
+#include "src/support/rng.h"
+#include "src/support/status.h"
+
+namespace coign {
+
+struct Scenario {
+  std::string id;           // Table 1 id, e.g. "o_oldtb3".
+  std::string description;  // Table 1 description.
+  // Drives the application: instantiates roots and invokes entry methods.
+  std::function<Status(ObjectSystem&, Rng&)> run;
+};
+
+class Application {
+ public:
+  virtual ~Application() = default;
+
+  virtual std::string name() const = 0;
+
+  // Registers interfaces and component classes. The Application must
+  // outlive every ObjectSystem it is installed into (component handlers
+  // reference storage owned by the Application).
+  virtual Status Install(ObjectSystem* system) = 0;
+
+  // The modeled binary files of the application.
+  virtual ApplicationImage Image() const = 0;
+
+  // The distribution the developer shipped (Table 4's "Default" column).
+  virtual ClassPlacement DefaultPlacement(const ObjectSystem& system) const = 0;
+
+  virtual std::vector<Scenario> Scenarios() const = 0;
+
+  // True for classes that model machine infrastructure rather than
+  // application components (e.g. the server's file store); figure counts
+  // exclude them.
+  virtual bool IsInfrastructureClass(const std::string& class_name) const {
+    (void)class_name;
+    return false;
+  }
+
+  Result<Scenario> FindScenario(const std::string& id) const;
+};
+
+}  // namespace coign
+
+#endif  // COIGN_SRC_APPS_APP_H_

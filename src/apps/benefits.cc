@@ -1,0 +1,836 @@
+#include "src/apps/benefits.h"
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "src/apps/component_library.h"
+#include "src/support/str_util.h"
+
+namespace coign {
+namespace {
+
+struct Tuning {
+  // Front end.
+  int controls = 8;
+
+  // Per employee operation: three record lists, each with caches.
+  int caches_per_list = 6;
+  // How many cache kinds are "chatty" with the front end (these are the
+  // ones Coign moves to the client).
+  int chatty_cache_kinds = 2;
+
+  // Database pulls.
+  int db_rows_bytes = 8 * 1024;
+  int db_queries_per_list = 16;
+  int cache_fill_bytes = 6 * 1024;
+
+  // Front-end field reads from chatty caches.
+  int field_reads = 24;
+  int field_reply_bytes = 260;
+  // Rules engine traffic: lists <-> rules <-> database (middle-heavy).
+  int rule_checks = 12;
+  // Form-side summary reads served by the lists themselves; these cross the
+  // tiers under every distribution (the lists are anchored to the database).
+  int list_summary_reads = 48;
+  int rule_bytes = 300;
+
+  // Report/graph rendering on the client.
+  int graph_bytes = 24 * 1024;
+
+  double db_cost = 500e-6;
+  double cache_cost = 20e-6;
+  double rule_cost = 80e-6;
+  double ui_cost = 40e-6;
+};
+
+enum FormMethod : MethodIndex {
+  kFormInit = 0,
+  kFormViewEmployee = 1,
+  kFormAddEmployee = 2,
+  kFormDeleteEmployee = 3,
+};
+enum ControlMethod : MethodIndex { kControlInit = 0, kControlRefresh = 1 };
+enum SinkMethod : MethodIndex { kSinkNotify = 0 };
+enum ListMethod : MethodIndex {
+  kListInit = 0,
+  kListFetch = 1,
+  kListAddRecord = 2,
+  kListDeleteRecord = 3,
+  kListReadSummary = 4,
+};
+enum CacheMethod : MethodIndex { kCacheFill = 0, kCacheRead = 1 };
+enum SessionMethod : MethodIndex { kSessionConnect = 0, kSessionQuery = 1, kSessionExecute = 2 };
+enum OdbcMethod : MethodIndex { kOdbcConnect = 0, kOdbcExec = 1 };
+enum RulesMethod : MethodIndex { kRulesValidate = 0, kRulesRecalc = 1 };
+enum GraphMethod : MethodIndex { kGraphRender = 0 };
+
+ObjectRef SelfRef(const ScriptedComponent& self, const InterfaceId& iid) {
+  return ObjectRef{self.id(), iid};
+}
+
+class BenefitsApp : public Application {
+ public:
+  std::string name() const override { return "Benefits"; }
+
+  Status Install(ObjectSystem* system) override;
+  ApplicationImage Image() const override;
+  ClassPlacement DefaultPlacement(const ObjectSystem& system) const override;
+  std::vector<Scenario> Scenarios() const override;
+
+  bool IsInfrastructureClass(const std::string& class_name) const override {
+    // The ODBC driver stands for the database connection Coign cannot
+    // analyze; it is part of the database tier, not the 196 counted
+    // components.
+    return class_name == "BN.Odbc";
+  }
+
+ private:
+  HandlerTable* NewTable() {
+    tables_.push_back(std::make_unique<HandlerTable>());
+    return tables_.back().get();
+  }
+
+  Tuning tuning_;
+  InterfaceId iid_form_, iid_control_, iid_sink_, iid_list_, iid_cache_, iid_session_,
+      iid_odbc_, iid_rules_, iid_graph_;
+  std::vector<std::unique_ptr<HandlerTable>> tables_;
+};
+
+Status BenefitsApp::Install(ObjectSystem* system) {
+  InterfaceRegistry& reg = system->interfaces();
+  const Tuning& t = tuning_;
+
+  COIGN_RETURN_IF_ERROR(reg.Register(InterfaceBuilder("BN.IForm")
+                                         .Method("Init")
+                                         .Out("ok", ValueKind::kBool)
+                                         .Method("ViewEmployee")
+                                         .In("id", ValueKind::kInt32)
+                                         .Out("ok", ValueKind::kBool)
+                                         .Method("AddEmployee")
+                                         .In("record", ValueKind::kRecord)
+                                         .Out("ok", ValueKind::kBool)
+                                         .Method("DeleteEmployee")
+                                         .In("id", ValueKind::kInt32)
+                                         .Out("ok", ValueKind::kBool)
+                                         .Build()));
+  COIGN_RETURN_IF_ERROR(reg.Register(InterfaceBuilder("BN.IControl")
+                                         .Method("Init")
+                                         .In("parent", ValueKind::kInterface)
+                                         .Out("ok", ValueKind::kBool)
+                                         .Method("Refresh")
+                                         .In("data", ValueKind::kBlob)
+                                         .Out("ok", ValueKind::kBool)
+                                         .Build()));
+  COIGN_RETURN_IF_ERROR(reg.Register(InterfaceBuilder("BN.IUiSink")
+                                         .NonRemotable()
+                                         .Method("Notify")
+                                         .In("event", ValueKind::kInt32)
+                                         .In("hwnd", ValueKind::kOpaque)
+                                         .Out("ok", ValueKind::kBool)
+                                         .Build()));
+  COIGN_RETURN_IF_ERROR(reg.Register(InterfaceBuilder("BN.IList")
+                                         .Method("Init")
+                                         .In("session", ValueKind::kInterface)
+                                         .In("rules", ValueKind::kInterface)
+                                         .In("kind", ValueKind::kInt32)
+                                         .Out("ok", ValueKind::kBool)
+                                         .Method("Fetch")
+                                         .In("employee", ValueKind::kInt32)
+                                         .Out("caches", ValueKind::kArray)
+                                         .Method("AddRecord")
+                                         .In("record", ValueKind::kRecord)
+                                         .Out("ok", ValueKind::kBool)
+                                         .Method("DeleteRecord")
+                                         .In("id", ValueKind::kInt32)
+                                         .Out("ok", ValueKind::kBool)
+                                         .Method("ReadSummary")
+                                         .Cacheable()
+                                         .In("index", ValueKind::kInt32)
+                                         .Out("value", ValueKind::kRecord)
+                                         .Build()));
+  COIGN_RETURN_IF_ERROR(reg.Register(InterfaceBuilder("BN.ICache")
+                                         .Method("Fill")
+                                         .In("session", ValueKind::kInterface)
+                                         .In("kind", ValueKind::kInt32)
+                                         .Out("count", ValueKind::kInt32)
+                                         .Method("Read")
+                                         .Cacheable()
+                                         .In("index", ValueKind::kInt32)
+                                         .Out("value", ValueKind::kRecord)
+                                         .Build()));
+  COIGN_RETURN_IF_ERROR(reg.Register(InterfaceBuilder("BN.ISession")
+                                         .Method("Connect")
+                                         .Out("ok", ValueKind::kBool)
+                                         .Method("Query")
+                                         .In("sql", ValueKind::kString)
+                                         .Out("rows", ValueKind::kBlob)
+                                         .Method("Execute")
+                                         .In("sql", ValueKind::kString)
+                                         .Out("count", ValueKind::kInt32)
+                                         .Build()));
+  COIGN_RETURN_IF_ERROR(reg.Register(InterfaceBuilder("BN.IOdbc")
+                                         .Method("SqlConnect")
+                                         .Out("ok", ValueKind::kBool)
+                                         .Method("SqlExec")
+                                         .In("sql", ValueKind::kString)
+                                         .Out("rows", ValueKind::kBlob)
+                                         .Build()));
+  COIGN_RETURN_IF_ERROR(reg.Register(InterfaceBuilder("BN.IRules")
+                                         .Method("Validate")
+                                         .In("record", ValueKind::kRecord)
+                                         .Out("ok", ValueKind::kBool)
+                                         .Method("Recalc")
+                                         .In("employee", ValueKind::kInt32)
+                                         .In("session", ValueKind::kInterface)
+                                         .Out("ok", ValueKind::kBool)
+                                         .Build()));
+  COIGN_RETURN_IF_ERROR(reg.Register(InterfaceBuilder("BN.IGraph")
+                                         .Method("Render")
+                                         .In("data", ValueKind::kBlob)
+                                         .Out("ok", ValueKind::kBool)
+                                         .Build()));
+
+  iid_form_ = reg.LookupByName("BN.IForm")->iid;
+  iid_control_ = reg.LookupByName("BN.IControl")->iid;
+  iid_sink_ = reg.LookupByName("BN.IUiSink")->iid;
+  iid_list_ = reg.LookupByName("BN.IList")->iid;
+  iid_cache_ = reg.LookupByName("BN.ICache")->iid;
+  iid_session_ = reg.LookupByName("BN.ISession")->iid;
+  iid_odbc_ = reg.LookupByName("BN.IOdbc")->iid;
+  iid_rules_ = reg.LookupByName("BN.IRules")->iid;
+  iid_graph_ = reg.LookupByName("BN.IGraph")->iid;
+
+  // --- ODBC driver (the unanalyzable database boundary) ----------------------
+  {
+    HandlerTable* table = NewTable();
+    table->Set(iid_odbc_, kOdbcConnect,
+               [](ScriptedComponent& self, const Message& in, Message* out) {
+                 (void)in;
+                 self.system()->ChargeCompute(1e-3);
+                 out->Add("ok", Value::FromBool(true));
+                 return Status::Ok();
+               });
+    table->Set(iid_odbc_, kOdbcExec,
+               [t](ScriptedComponent& self, const Message& in, Message* out) {
+                 self.system()->ChargeCompute(t.db_cost);
+                 const uint64_t seed = in.Find("sql")->AsString().size();
+                 out->Add("rows",
+                          Value::BlobOfSize(static_cast<uint64_t>(t.db_rows_bytes), seed));
+                 return Status::Ok();
+               });
+    COIGN_RETURN_IF_ERROR(RegisterScriptedClass(system, "BN.Odbc", {iid_odbc_},
+                                                kApiOdbc | kApiStorage, table));
+  }
+
+  // --- Session manager ---------------------------------------------------------
+  {
+    HandlerTable* table = NewTable();
+    table->Set(iid_session_, kSessionConnect,
+               [this](ScriptedComponent& self, const Message& in, Message* out) {
+                 (void)in;
+                 ObjectSystem& sys = *self.system();
+                 Result<ObjectRef> odbc =
+                     sys.CreateInstance(Guid::FromName("clsid:BN.Odbc"), iid_odbc_);
+                 if (!odbc.ok()) {
+                   return odbc.status();
+                 }
+                 self.SetRef("odbc", *odbc);
+                 Result<Message> connected = CallMethod(sys, *odbc, kOdbcConnect);
+                 if (!connected.ok()) {
+                   return connected.status();
+                 }
+                 out->Add("ok", Value::FromBool(true));
+                 return Status::Ok();
+               });
+    table->Set(iid_session_, kSessionQuery,
+               [](ScriptedComponent& self, const Message& in, Message* out) {
+                 ObjectSystem& sys = *self.system();
+                 sys.ChargeCompute(60e-6);
+                 Message exec_in;
+                 exec_in.Add("sql", *in.Find("sql"));
+                 Result<Message> rows =
+                     CallMethod(sys, self.GetRef("odbc"), kOdbcExec, exec_in);
+                 if (!rows.ok()) {
+                   return rows.status();
+                 }
+                 out->Add("rows", *rows->Find("rows"));
+                 return Status::Ok();
+               });
+    table->Set(iid_session_, kSessionExecute,
+               [](ScriptedComponent& self, const Message& in, Message* out) {
+                 ObjectSystem& sys = *self.system();
+                 sys.ChargeCompute(60e-6);
+                 Message exec_in;
+                 exec_in.Add("sql", *in.Find("sql"));
+                 Result<Message> rows =
+                     CallMethod(sys, self.GetRef("odbc"), kOdbcExec, exec_in);
+                 if (!rows.ok()) {
+                   return rows.status();
+                 }
+                 out->Add("count", Value::FromInt32(4));
+                 return Status::Ok();
+               });
+    COIGN_RETURN_IF_ERROR(
+        RegisterScriptedClass(system, "BN.SessionMgr", {iid_session_}, kApiNone, table));
+  }
+
+  // --- Business rules -------------------------------------------------------------
+  {
+    HandlerTable* table = NewTable();
+    table->Set(iid_rules_, kRulesValidate,
+               [t](ScriptedComponent& self, const Message& in, Message* out) {
+                 (void)in;
+                 self.system()->ChargeCompute(t.rule_cost);
+                 out->Add("ok", Value::FromBool(true));
+                 return Status::Ok();
+               });
+    table->Set(iid_rules_, kRulesRecalc,
+               [t](ScriptedComponent& self, const Message& in, Message* out) {
+                 ObjectSystem& sys = *self.system();
+                 const ObjectRef session = in.Find("session")->AsInterface();
+                 // Recalculation repeatedly consults the database.
+                 for (int r = 0; r < t.rule_checks; ++r) {
+                   Message query_in;
+                   query_in.Add("sql", Value::FromString(StrFormat(
+                                           "SELECT plan FROM benefits WHERE rule=%d", r)));
+                   Result<Message> rows = CallMethod(sys, session, kSessionQuery, query_in);
+                   if (!rows.ok()) {
+                     return rows.status();
+                   }
+                   sys.ChargeCompute(t.rule_cost);
+                 }
+                 out->Add("ok", Value::FromBool(true));
+                 return Status::Ok();
+               });
+    COIGN_RETURN_IF_ERROR(
+        RegisterScriptedClass(system, "BN.BizRules", {iid_rules_}, kApiNone, table));
+    COIGN_RETURN_IF_ERROR(
+        RegisterScriptedClass(system, "BN.Validator", {iid_rules_}, kApiNone, table));
+  }
+
+  // --- Caches ------------------------------------------------------------------------
+  {
+    HandlerTable* table = NewTable();
+    table->Set(iid_cache_, kCacheFill,
+               [t](ScriptedComponent& self, const Message& in, Message* out) {
+                 ObjectSystem& sys = *self.system();
+                 const ObjectRef session = in.Find("session")->AsInterface();
+                 const int32_t kind = in.Find("kind")->AsInt32();
+                 self.SetState("kind", Value::FromInt32(kind));
+                 // One bulk pull from the database per cache.
+                 Message query_in;
+                 query_in.Add("sql", Value::FromString(StrFormat(
+                                         "SELECT * FROM records WHERE kind=%d", kind)));
+                 Result<Message> rows = CallMethod(sys, session, kSessionQuery, query_in);
+                 if (!rows.ok()) {
+                   return rows.status();
+                 }
+                 sys.ChargeCompute(t.cache_cost * 10);
+                 out->Add("count", Value::FromInt32(64));
+                 return Status::Ok();
+               });
+    table->Set(iid_cache_, kCacheRead,
+               [t](ScriptedComponent& self, const Message& in, Message* out) {
+                 self.system()->ChargeCompute(t.cache_cost);
+                 out->Add("value",
+                          Value::FromRecord({
+                              {"index", Value::FromInt32(in.Find("index")->AsInt32())},
+                              {"field", Value::BlobOfSize(
+                                            static_cast<uint64_t>(t.field_reply_bytes),
+                                            static_cast<uint64_t>(self.GetInt("kind")))},
+                          }));
+                 return Status::Ok();
+               });
+    for (int c = 0; c < t.caches_per_list; ++c) {
+      COIGN_RETURN_IF_ERROR(RegisterScriptedClass(system, StrFormat("BN.Cache%02d", c),
+                                                  {iid_cache_}, kApiNone, table));
+    }
+  }
+
+  // --- Record lists ----------------------------------------------------------------------
+  {
+    HandlerTable* table = NewTable();
+    table->Set(iid_list_, kListInit,
+               [](ScriptedComponent& self, const Message& in, Message* out) {
+                 self.SetRef("session", in.Find("session")->AsInterface());
+                 self.SetRef("rules", in.Find("rules")->AsInterface());
+                 self.SetState("kind", Value::FromInt32(in.Find("kind")->AsInt32()));
+                 out->Add("ok", Value::FromBool(true));
+                 return Status::Ok();
+               });
+    table->Set(
+        iid_list_, kListFetch,
+        [this, t](ScriptedComponent& self, const Message& in, Message* out) {
+          ObjectSystem& sys = *self.system();
+          const int32_t employee = in.Find("employee")->AsInt32();
+          const ObjectRef session = self.GetRef("session");
+          // List-level queries.
+          for (int q = 0; q < t.db_queries_per_list; ++q) {
+            Message query_in;
+            query_in.Add("sql",
+                         Value::FromString(StrFormat(
+                             "SELECT * FROM list WHERE emp=%d AND part=%d", employee, q)));
+            Result<Message> rows = CallMethod(sys, session, kSessionQuery, query_in);
+            if (!rows.ok()) {
+              return rows.status();
+            }
+            sys.ChargeCompute(50e-6);
+          }
+          // Per-list caches, returned to the caller so the front end can
+          // read fields from them directly.
+          std::vector<Value> cache_refs;
+          for (int c = 0; c < t.caches_per_list; ++c) {
+            Result<ObjectRef> cache = sys.CreateInstance(
+                Guid::FromName(StrFormat("clsid:BN.Cache%02d", c)), iid_cache_);
+            if (!cache.ok()) {
+              return cache.status();
+            }
+            self.SetRef(StrFormat("cache%02d", c), *cache);
+            Message fill_in;
+            fill_in.Add("session", Value::FromInterface(session));
+            fill_in.Add("kind", Value::FromInt32(c));
+            Result<Message> filled = CallMethod(sys, *cache, kCacheFill, fill_in);
+            if (!filled.ok()) {
+              return filled.status();
+            }
+            cache_refs.push_back(Value::FromInterface(*cache));
+          }
+          out->Add("caches", Value::FromArray(std::move(cache_refs)));
+          return Status::Ok();
+        });
+    table->Set(iid_list_, kListAddRecord,
+               [](ScriptedComponent& self, const Message& in, Message* out) {
+                 ObjectSystem& sys = *self.system();
+                 Message validate_in;
+                 validate_in.Add("record", *in.Find("record"));
+                 Result<Message> valid =
+                     CallMethod(sys, self.GetRef("rules"), kRulesValidate, validate_in);
+                 if (!valid.ok()) {
+                   return valid.status();
+                 }
+                 Message exec_in;
+                 exec_in.Add("sql", Value::FromString("INSERT INTO records VALUES (...)"));
+                 Result<Message> executed =
+                     CallMethod(sys, self.GetRef("session"), kSessionExecute, exec_in);
+                 if (!executed.ok()) {
+                   return executed.status();
+                 }
+                 out->Add("ok", Value::FromBool(true));
+                 return Status::Ok();
+               });
+    table->Set(iid_list_, kListDeleteRecord,
+               [](ScriptedComponent& self, const Message& in, Message* out) {
+                 ObjectSystem& sys = *self.system();
+                 (void)in;
+                 Message exec_in;
+                 exec_in.Add("sql", Value::FromString("DELETE FROM records WHERE id=..."));
+                 Result<Message> executed =
+                     CallMethod(sys, self.GetRef("session"), kSessionExecute, exec_in);
+                 if (!executed.ok()) {
+                   return executed.status();
+                 }
+                 out->Add("ok", Value::FromBool(true));
+                 return Status::Ok();
+               });
+    table->Set(iid_list_, kListReadSummary,
+               [](ScriptedComponent& self, const Message& in, Message* out) {
+                 self.system()->ChargeCompute(15e-6);
+                 out->Add("value",
+                          Value::FromRecord({
+                              {"index", Value::FromInt32(in.Find("index")->AsInt32())},
+                              {"summary", Value::BlobOfSize(96, 2)},
+                          }));
+                 return Status::Ok();
+               });
+    COIGN_RETURN_IF_ERROR(
+        RegisterScriptedClass(system, "BN.EmployeeList", {iid_list_}, kApiNone, table));
+    COIGN_RETURN_IF_ERROR(
+        RegisterScriptedClass(system, "BN.BenefitsList", {iid_list_}, kApiNone, table));
+    COIGN_RETURN_IF_ERROR(
+        RegisterScriptedClass(system, "BN.DependentsList", {iid_list_}, kApiNone, table));
+  }
+
+  // --- Graph / report view -----------------------------------------------------------------
+  {
+    HandlerTable* table = NewTable();
+    table->Set(iid_graph_, kGraphRender,
+               [](ScriptedComponent& self, const Message& in, Message* out) {
+                 (void)in;
+                 self.system()->ChargeCompute(1.5e-3);
+                 out->Add("ok", Value::FromBool(true));
+                 return Status::Ok();
+               });
+    COIGN_RETURN_IF_ERROR(
+        RegisterScriptedClass(system, "BN.GraphView", {iid_graph_}, kApiGui, table));
+  }
+
+  // --- Controls -----------------------------------------------------------------------------
+  {
+    HandlerTable* table = NewTable();
+    table->Set(iid_control_, kControlInit,
+               [](ScriptedComponent& self, const Message& in, Message* out) {
+                 ObjectSystem& sys = *self.system();
+                 const ObjectRef parent = in.Find("parent")->AsInterface();
+                 self.SetRef("parent", parent);
+                 sys.ChargeCompute(40e-6);
+                 Message notify_in;
+                 notify_in.Add("event", Value::FromInt32(1));
+                 notify_in.Add("hwnd", Value::FromOpaque(0x30000 + self.id()));
+                 Result<Message> notified = CallMethod(sys, parent, kSinkNotify, notify_in);
+                 if (!notified.ok()) {
+                   return notified.status();
+                 }
+                 out->Add("ok", Value::FromBool(true));
+                 return Status::Ok();
+               });
+    table->Set(iid_control_, kControlRefresh,
+               [](ScriptedComponent& self, const Message& in, Message* out) {
+                 (void)in;
+                 self.system()->ChargeCompute(40e-6);
+                 out->Add("ok", Value::FromBool(true));
+                 return Status::Ok();
+               });
+    for (int c = 0; c < t.controls; ++c) {
+      COIGN_RETURN_IF_ERROR(RegisterScriptedClass(system, StrFormat("BN.Control%02d", c),
+                                                  {iid_control_}, kApiGui, table));
+    }
+  }
+
+  // --- Main form -------------------------------------------------------------------------------
+  {
+    HandlerTable* table = NewTable();
+    auto ensure_session = [this](ScriptedComponent& self) -> Status {
+      if (self.HasRef("session")) {
+        return Status::Ok();
+      }
+      ObjectSystem& sys = *self.system();
+      // Controls + graph on the client.
+      for (int c = 0; c < tuning_.controls; ++c) {
+        Result<ObjectRef> control = sys.CreateInstance(
+            Guid::FromName(StrFormat("clsid:BN.Control%02d", c)), iid_control_);
+        if (!control.ok()) {
+          return control.status();
+        }
+        self.SetRef(StrFormat("control%02d", c), *control);
+        Message init_in;
+        init_in.Add("parent", Value::FromInterface(SelfRef(self, iid_sink_)));
+        Result<Message> inited = CallMethod(sys, *control, kControlInit, init_in);
+        if (!inited.ok()) {
+          return inited.status();
+        }
+      }
+      Result<ObjectRef> graph =
+          sys.CreateInstance(Guid::FromName("clsid:BN.GraphView"), iid_graph_);
+      if (!graph.ok()) {
+        return graph.status();
+      }
+      self.SetRef("graph", *graph);
+
+      // Middle-tier session, rules, validator.
+      Result<ObjectRef> session =
+          sys.CreateInstance(Guid::FromName("clsid:BN.SessionMgr"), iid_session_);
+      if (!session.ok()) {
+        return session.status();
+      }
+      self.SetRef("session", *session);
+      Result<Message> connected = CallMethod(sys, *session, kSessionConnect);
+      if (!connected.ok()) {
+        return connected.status();
+      }
+      Result<ObjectRef> rules =
+          sys.CreateInstance(Guid::FromName("clsid:BN.BizRules"), iid_rules_);
+      if (!rules.ok()) {
+        return rules.status();
+      }
+      self.SetRef("rules", *rules);
+      Result<ObjectRef> validator =
+          sys.CreateInstance(Guid::FromName("clsid:BN.Validator"), iid_rules_);
+      if (!validator.ok()) {
+        return validator.status();
+      }
+      self.SetRef("validator", *validator);
+      return Status::Ok();
+    };
+
+    auto view_employee = [this, t](ScriptedComponent& self, int32_t employee,
+                                   Message* out) -> Status {
+      ObjectSystem& sys = *self.system();
+      const ObjectRef session = self.GetRef("session");
+      const ObjectRef rules = self.GetRef("rules");
+      static const char* kListClasses[] = {"BN.EmployeeList", "BN.BenefitsList",
+                                           "BN.DependentsList"};
+      for (int l = 0; l < 3; ++l) {
+        Result<ObjectRef> list = sys.CreateInstance(
+            Guid::FromName(StrFormat("clsid:%s", kListClasses[l])), iid_list_);
+        if (!list.ok()) {
+          return list.status();
+        }
+        self.SetRef(StrFormat("list_e%d_%d", employee, l), *list);
+        Message init_in;
+        init_in.Add("session", Value::FromInterface(session));
+        init_in.Add("rules", Value::FromInterface(rules));
+        init_in.Add("kind", Value::FromInt32(l));
+        Result<Message> inited = CallMethod(sys, *list, kListInit, init_in);
+        if (!inited.ok()) {
+          return inited.status();
+        }
+        Message fetch_in;
+        fetch_in.Add("employee", Value::FromInt32(employee));
+        Result<Message> fetched = CallMethod(sys, *list, kListFetch, fetch_in);
+        if (!fetched.ok()) {
+          return fetched.status();
+        }
+        // The front end browses the employee list's caches field by field
+        // (chatty); the caches of the other lists exist for the rules
+        // engine and are barely touched from the client. The same cache
+        // *classes* appear in both roles — only an instance-granularity
+        // classifier can separate them (the ICOPS deficiency, paper §5).
+        const auto& caches = fetched->Find("caches")->AsArray();
+        for (size_t c = 0; c < caches.size(); ++c) {
+          const ObjectRef cache = caches[c].AsInterface();
+          const bool chatty = (l == 0);
+          const int reads = chatty ? t.field_reads : 3;
+          for (int r = 0; r < reads; ++r) {
+            Message read_in;
+            read_in.Add("index", Value::FromInt32(r));
+            Result<Message> value = CallMethod(sys, cache, kCacheRead, read_in);
+            if (!value.ok()) {
+              return value.status();
+            }
+          }
+        }
+        // The form also reads row summaries straight from the list.
+        for (int r = 0; r < t.list_summary_reads; ++r) {
+          Message summary_in;
+          summary_in.Add("index", Value::FromInt32(r));
+          Result<Message> summary = CallMethod(sys, *list, kListReadSummary, summary_in);
+          if (!summary.ok()) {
+            return summary.status();
+          }
+        }
+        // Rules recalculation stays chatty with the database.
+        Message recalc_in;
+        recalc_in.Add("employee", Value::FromInt32(employee));
+        recalc_in.Add("session", Value::FromInterface(session));
+        Result<Message> recalced = CallMethod(sys, rules, kRulesRecalc, recalc_in);
+        if (!recalced.ok()) {
+          return recalced.status();
+        }
+        // The recalc may have changed totals: the form refreshes the
+        // displayed summary rows and fields — identical queries, which
+        // per-interface caching can answer locally.
+        for (int r = 0; r < 24; ++r) {
+          Message summary_in;
+          summary_in.Add("index", Value::FromInt32(r));
+          Result<Message> summary = CallMethod(sys, *list, kListReadSummary, summary_in);
+          if (!summary.ok()) {
+            return summary.status();
+          }
+        }
+        if (l == 0) {
+          for (size_t c = 0; c < caches.size(); ++c) {
+            const ObjectRef cache = caches[c].AsInterface();
+            for (int r = 0; r < std::min(t.field_reads, 12); ++r) {
+              Message read_in;
+              read_in.Add("index", Value::FromInt32(r));
+              Result<Message> value = CallMethod(sys, cache, kCacheRead, read_in);
+              if (!value.ok()) {
+                return value.status();
+              }
+            }
+          }
+        }
+      }
+      // Render the benefits graph on the client.
+      Message graph_in;
+      graph_in.Add("data", Value::BlobOfSize(static_cast<uint64_t>(t.graph_bytes),
+                                             static_cast<uint64_t>(employee)));
+      Result<Message> rendered =
+          CallMethod(sys, self.GetRef("graph"), kGraphRender, graph_in);
+      if (!rendered.ok()) {
+        return rendered.status();
+      }
+      // Refresh the controls with small summaries.
+      for (const ObjectRef& control : self.RefsWithPrefix("control")) {
+        Message refresh_in;
+        refresh_in.Add("data", Value::BlobOfSize(300, control.instance));
+        Result<Message> refreshed =
+            CallMethod(sys, control, kControlRefresh, refresh_in);
+        if (!refreshed.ok()) {
+          return refreshed.status();
+        }
+      }
+      out->Add("ok", Value::FromBool(true));
+      return Status::Ok();
+    };
+
+    table->Set(iid_form_, kFormInit,
+               [ensure_session](ScriptedComponent& self, const Message& in, Message* out) {
+                 (void)in;
+                 COIGN_RETURN_IF_ERROR(ensure_session(self));
+                 out->Add("ok", Value::FromBool(true));
+                 return Status::Ok();
+               });
+    table->Set(iid_form_, kFormViewEmployee,
+               [ensure_session, view_employee](ScriptedComponent& self, const Message& in,
+                                               Message* out) {
+                 COIGN_RETURN_IF_ERROR(ensure_session(self));
+                 return view_employee(self, in.Find("id")->AsInt32(), out);
+               });
+    table->Set(iid_form_, kFormAddEmployee,
+               [this, ensure_session](ScriptedComponent& self, const Message& in, Message* out) {
+                 COIGN_RETURN_IF_ERROR(ensure_session(self));
+                 ObjectSystem& sys = *self.system();
+                 Result<ObjectRef> list = sys.CreateInstance(
+                     Guid::FromName("clsid:BN.EmployeeList"), iid_list_);
+                 if (!list.ok()) {
+                   return list.status();
+                 }
+                 Message init_in;
+                 init_in.Add("session", Value::FromInterface(self.GetRef("session")));
+                 init_in.Add("rules", Value::FromInterface(self.GetRef("validator")));
+                 init_in.Add("kind", Value::FromInt32(0));
+                 Result<Message> inited = CallMethod(sys, *list, kListInit, init_in);
+                 if (!inited.ok()) {
+                   return inited.status();
+                 }
+                 Message add_in;
+                 add_in.Add("record", *in.Find("record"));
+                 Result<Message> added = CallMethod(sys, *list, kListAddRecord, add_in);
+                 if (!added.ok()) {
+                   return added.status();
+                 }
+                 out->Add("ok", Value::FromBool(true));
+                 return Status::Ok();
+               });
+    table->Set(iid_form_, kFormDeleteEmployee,
+               [this, ensure_session](ScriptedComponent& self, const Message& in, Message* out) {
+                 COIGN_RETURN_IF_ERROR(ensure_session(self));
+                 ObjectSystem& sys = *self.system();
+                 Result<ObjectRef> list = sys.CreateInstance(
+                     Guid::FromName("clsid:BN.EmployeeList"), iid_list_);
+                 if (!list.ok()) {
+                   return list.status();
+                 }
+                 Message init_in;
+                 init_in.Add("session", Value::FromInterface(self.GetRef("session")));
+                 init_in.Add("rules", Value::FromInterface(self.GetRef("validator")));
+                 init_in.Add("kind", Value::FromInt32(0));
+                 Result<Message> inited = CallMethod(sys, *list, kListInit, init_in);
+                 if (!inited.ok()) {
+                   return inited.status();
+                 }
+                 Message delete_in;
+                 delete_in.Add("id", *in.Find("id"));
+                 Result<Message> deleted =
+                     CallMethod(sys, *list, kListDeleteRecord, delete_in);
+                 if (!deleted.ok()) {
+                   return deleted.status();
+                 }
+                 out->Add("ok", Value::FromBool(true));
+                 return Status::Ok();
+               });
+    // The form also receives control notifications.
+    table->Set(iid_sink_, kSinkNotify,
+               [](ScriptedComponent& self, const Message& in, Message* out) {
+                 (void)in;
+                 self.system()->ChargeCompute(5e-6);
+                 out->Add("ok", Value::FromBool(true));
+                 return Status::Ok();
+               });
+    COIGN_RETURN_IF_ERROR(RegisterScriptedClass(system, "BN.MainForm",
+                                                {iid_form_, iid_sink_}, kApiGui, table));
+  }
+
+  return Status::Ok();
+}
+
+ApplicationImage BenefitsApp::Image() const {
+  ApplicationImage image;
+  image.name = "benefits.exe";
+  image.binaries = {"benefits.exe", "bnlogic.dll", "bnlists.dll"};
+  image.import_table = {"ole32.dll", "user32.dll", "odbc32.dll", "kernel32.dll"};
+  return image;
+}
+
+ClassPlacement BenefitsApp::DefaultPlacement(const ObjectSystem& system) const {
+  (void)system;
+  // The programmer's 3-tier split: front end on the client, everything
+  // else on the middle tier (our "server" machine).
+  ClassPlacement placement(kServerMachine);
+  placement.Place(Guid::FromName("clsid:BN.MainForm"), kClientMachine);
+  placement.Place(Guid::FromName("clsid:BN.GraphView"), kClientMachine);
+  for (int c = 0; c < 8; ++c) {
+    placement.Place(Guid::FromName(StrFormat("clsid:BN.Control%02d", c)), kClientMachine);
+  }
+  return placement;
+}
+
+struct BenefitsTask {
+  MethodIndex method = kFormViewEmployee;
+  int32_t employee = 0;
+};
+
+Status RunBenefitsScenario(ObjectSystem& system, const std::vector<BenefitsTask>& tasks) {
+  Result<ObjectRef> form = CreateByName(system, "BN.MainForm", "BN.IForm");
+  if (!form.ok()) {
+    return form.status();
+  }
+  Result<Message> inited = CallMethod(system, *form, kFormInit);
+  if (!inited.ok()) {
+    return inited.status();
+  }
+  for (const BenefitsTask& task : tasks) {
+    Message in;
+    if (task.method == kFormAddEmployee) {
+      in.Add("record", Value::FromRecord({
+                           {"name", Value::FromString("Avery Lee")},
+                           {"id", Value::FromInt32(task.employee)},
+                           {"plan", Value::FromString("PPO")},
+                       }));
+    } else {
+      in.Add("id", Value::FromInt32(task.employee));
+    }
+    Result<Message> out = CallMethod(system, *form, task.method, in);
+    if (!out.ok()) {
+      return out.status();
+    }
+  }
+  return Status::Ok();
+}
+
+std::vector<Scenario> BenefitsApp::Scenarios() const {
+  auto scenario = [](std::string id, std::string description,
+                     std::vector<BenefitsTask> tasks) {
+    Scenario s;
+    s.id = std::move(id);
+    s.description = std::move(description);
+    s.run = [tasks = std::move(tasks)](ObjectSystem& system, Rng& rng) {
+      (void)rng;
+      return RunBenefitsScenario(system, tasks);
+    };
+    return s;
+  };
+
+  return {
+      scenario("b_vueone", "View records for an employee.",
+               {BenefitsTask{kFormViewEmployee, 7}}),
+      scenario("b_addone", "Add new employee.", {BenefitsTask{kFormAddEmployee, 99}}),
+      scenario("b_delone", "Delete employee.", {BenefitsTask{kFormDeleteEmployee, 7}}),
+      scenario("b_bigone", "All of the above in one scenario.",
+               {BenefitsTask{kFormViewEmployee, 7}, BenefitsTask{kFormAddEmployee, 99},
+                BenefitsTask{kFormDeleteEmployee, 7},
+                // The bigone browses several employees, the dominant usage.
+                BenefitsTask{kFormViewEmployee, 11}, BenefitsTask{kFormViewEmployee, 12},
+                BenefitsTask{kFormViewEmployee, 13}, BenefitsTask{kFormViewEmployee, 14},
+                BenefitsTask{kFormViewEmployee, 15}, BenefitsTask{kFormViewEmployee, 16},
+                BenefitsTask{kFormViewEmployee, 17}}),
+  };
+}
+
+}  // namespace
+
+std::unique_ptr<Application> MakeBenefits() { return std::make_unique<BenefitsApp>(); }
+
+}  // namespace coign

@@ -1,0 +1,27 @@
+// Corporate Benefits Sample: a synthetic counterpart of the MSDN 3-tier
+// client/server demonstration application (Visual Basic front end, C++
+// middle tier of about a dozen component classes, ODBC database access).
+//
+// Structural signatures reproduced (see DESIGN.md §2):
+//   * The programmer's 3-tier default: the front end on the client,
+//     business logic on the middle tier, the database behind an ODBC
+//     connection Coign cannot analyze (pinned by static analysis).
+//   * Middle-tier caching components that pull results from the database
+//     once and then answer many small queries from the front end — the
+//     components Coign profitably moves to the client (Figure 6, ~35 %
+//     communication reduction).
+
+#ifndef COIGN_SRC_APPS_BENEFITS_H_
+#define COIGN_SRC_APPS_BENEFITS_H_
+
+#include <memory>
+
+#include "src/apps/app.h"
+
+namespace coign {
+
+std::unique_ptr<Application> MakeBenefits();
+
+}  // namespace coign
+
+#endif  // COIGN_SRC_APPS_BENEFITS_H_

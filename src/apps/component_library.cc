@@ -1,0 +1,98 @@
+#include "src/apps/component_library.h"
+
+#include "src/support/str_util.h"
+
+namespace coign {
+
+void HandlerTable::Set(const InterfaceId& iid, MethodIndex method, MethodHandler handler) {
+  handlers_[Key(iid, method)] = std::move(handler);
+}
+
+const MethodHandler* HandlerTable::Find(const InterfaceId& iid, MethodIndex method) const {
+  auto it = handlers_.find(Key(iid, method));
+  return it == handlers_.end() ? nullptr : &it->second;
+}
+
+Status ScriptedComponent::Dispatch(const InterfaceId& iid, MethodIndex method,
+                                   const Message& in, Message* out) {
+  const MethodHandler* handler = table_->Find(iid, method);
+  if (handler == nullptr) {
+    return UnimplementedError(
+        StrFormat("no handler for method %u on instance #%llu", method,
+                  static_cast<unsigned long long>(id())));
+  }
+  return (*handler)(*this, in, out);
+}
+
+const Value* ScriptedComponent::GetState(const std::string& key) const {
+  auto it = state_.find(key);
+  return it == state_.end() ? nullptr : &it->second;
+}
+
+int64_t ScriptedComponent::GetInt(const std::string& key, int64_t fallback) const {
+  const Value* value = GetState(key);
+  if (value == nullptr) {
+    return fallback;
+  }
+  if (value->kind() == ValueKind::kInt64) {
+    return value->AsInt64();
+  }
+  if (value->kind() == ValueKind::kInt32) {
+    return value->AsInt32();
+  }
+  return fallback;
+}
+
+ObjectRef ScriptedComponent::GetRef(const std::string& key) const {
+  auto it = refs_.find(key);
+  return it == refs_.end() ? ObjectRef{} : it->second;
+}
+
+std::vector<ObjectRef> ScriptedComponent::RefsWithPrefix(const std::string& prefix) const {
+  std::vector<std::pair<std::string, ObjectRef>> matches;
+  for (const auto& [key, ref] : refs_) {
+    if (StartsWith(key, prefix)) {
+      matches.emplace_back(key, ref);
+    }
+  }
+  // Deterministic order.
+  std::sort(matches.begin(), matches.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<ObjectRef> out;
+  out.reserve(matches.size());
+  for (auto& [key, ref] : matches) {
+    out.push_back(ref);
+  }
+  return out;
+}
+
+Status RegisterScriptedClass(ObjectSystem* system, const std::string& name,
+                             const std::vector<InterfaceId>& interfaces, uint32_t api_usage,
+                             const HandlerTable* table) {
+  ClassDesc desc;
+  desc.clsid = Guid::FromName("clsid:" + name);
+  desc.name = name;
+  desc.interfaces = interfaces;
+  desc.api_usage = api_usage;
+  desc.factory = [table]() {
+    return RefPtr<ComponentInstance>::Adopt(new ScriptedComponent(table));
+  };
+  return system->classes().Register(std::move(desc));
+}
+
+Result<Message> CallMethod(ObjectSystem& system, const ObjectRef& ref, MethodIndex method,
+                           Message in) {
+  Message out;
+  const Status status = system.Call(ref, method, in, &out);
+  if (!status.ok()) {
+    return status;
+  }
+  return out;
+}
+
+Result<ObjectRef> CreateByName(ObjectSystem& system, const std::string& class_name,
+                               const std::string& interface_name) {
+  return system.CreateInstanceByName(class_name, interface_name);
+}
+
+}  // namespace coign

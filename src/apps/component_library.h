@@ -1,0 +1,82 @@
+// Scripted components: the building blocks of the synthetic applications.
+//
+// A ScriptedComponent dispatches each interface call to a handler looked up
+// in a per-class HandlerTable owned by the Application. Handlers implement
+// the component's behaviour: reading state, calling peers through interface
+// refs, creating further components, charging compute. This is the moral
+// equivalent of the application binaries in the paper's suite — opaque code
+// the Coign runtime observes only through the component boundary.
+
+#ifndef COIGN_SRC_APPS_COMPONENT_LIBRARY_H_
+#define COIGN_SRC_APPS_COMPONENT_LIBRARY_H_
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/com/object_system.h"
+#include "src/support/status.h"
+
+namespace coign {
+
+class ScriptedComponent;
+
+using MethodHandler =
+    std::function<Status(ScriptedComponent& self, const Message& in, Message* out)>;
+
+class HandlerTable {
+ public:
+  void Set(const InterfaceId& iid, MethodIndex method, MethodHandler handler);
+  const MethodHandler* Find(const InterfaceId& iid, MethodIndex method) const;
+
+ private:
+  static uint64_t Key(const InterfaceId& iid, MethodIndex method) {
+    return iid.hi ^ (iid.lo * 3) ^ (static_cast<uint64_t>(method) << 48);
+  }
+  std::unordered_map<uint64_t, MethodHandler> handlers_;
+};
+
+class ScriptedComponent : public ComponentInstance {
+ public:
+  explicit ScriptedComponent(const HandlerTable* table) : table_(table) {}
+
+  Status Dispatch(const InterfaceId& iid, MethodIndex method, const Message& in,
+                  Message* out) override;
+
+  // Per-instance scalar state.
+  void SetState(const std::string& key, Value value) { state_[key] = std::move(value); }
+  const Value* GetState(const std::string& key) const;
+  int64_t GetInt(const std::string& key, int64_t fallback = 0) const;
+
+  // Per-instance interface refs (collaborator links).
+  void SetRef(const std::string& key, ObjectRef ref) { refs_[key] = ref; }
+  ObjectRef GetRef(const std::string& key) const;
+  bool HasRef(const std::string& key) const { return refs_.contains(key); }
+  // All stored refs, for fan-out patterns.
+  std::vector<ObjectRef> RefsWithPrefix(const std::string& prefix) const;
+
+ private:
+  const HandlerTable* table_;
+  std::unordered_map<std::string, Value> state_;
+  std::unordered_map<std::string, ObjectRef> refs_;
+};
+
+// Registers a scripted class. `table` must outlive the system.
+Status RegisterScriptedClass(ObjectSystem* system, const std::string& name,
+                             const std::vector<InterfaceId>& interfaces, uint32_t api_usage,
+                             const HandlerTable* table);
+
+// --- Call/creation sugar (used by handlers and scenario scripts) -----------
+
+// Calls method on ref; returns the reply message.
+Result<Message> CallMethod(ObjectSystem& system, const ObjectRef& ref, MethodIndex method,
+                           Message in = Message());
+
+// Creates an instance by names.
+Result<ObjectRef> CreateByName(ObjectSystem& system, const std::string& class_name,
+                               const std::string& interface_name);
+
+}  // namespace coign
+
+#endif  // COIGN_SRC_APPS_COMPONENT_LIBRARY_H_

@@ -1,0 +1,1539 @@
+#include "src/apps/octarine.h"
+
+#include <memory>
+#include <vector>
+
+#include "src/apps/component_library.h"
+#include "src/support/str_util.h"
+
+namespace coign {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Tuning: the traffic shape of the synthetic application. Sizes and counts
+// are chosen so that the min-cut reproduces the paper's distribution shapes
+// (Figures 5, 7, 8 and the Octarine rows of Table 4).
+// ---------------------------------------------------------------------------
+struct Tuning {
+  // GUI forest: frame → containers → children → grandchildren.
+  int gui_containers = 14;
+  int gui_children = 10;
+  int gui_grandchildren = 2;
+  int widget_classes = 96;
+
+  // File store access.
+  int block_bytes = 1536;
+  int blocks_per_page = 2;
+
+  // Style table (text-property provider): parts scale with document size.
+  int style_part_bytes = 2048;
+  int max_style_parts = 40;
+
+  // Text layout of the displayed page.
+  int paras_per_page = 8;
+  int chunks_per_para = 5;
+  int text_chunk_bytes = 420;
+  int page_text_bytes = 3072;     // Engine's bulk pull of the displayed page.
+  int props_queries = 12;         // Engine → props per displayed page.
+  int props_reply_bytes = 220;
+
+  // Tables.
+  int cells_per_page = 24;        // Scan granularity of the full-file scan.
+  int cell_read_bytes = 400;      // One cell read from the store.
+  int cell_content_bytes = 600;   // Reader → model content pull.
+  int table_rows = 4;
+  int table_cols = 6;
+  int material_pages = 5;         // Pages of content the model materializes.
+
+  // Page-placement negotiation (mixed documents only).
+  int negotiation_rounds = 30;
+  int proposal_bytes = 180;
+
+  // Display.
+  int view_page_bytes = 120000;
+  int pageview_bytes = 8000;
+
+  // Music documents.
+  int music_bars = 12;
+  int music_blob = 800;
+
+  // Compute charges (seconds).
+  double parse_block_cost = 120e-6;
+  double widget_cost = 40e-6;
+  double layout_para_cost = 400e-6;
+  double cell_cost = 25e-6;
+  double negotiate_cost = 30e-6;
+  double render_cost = 2e-3;
+};
+
+// Method indices per interface.
+enum AppMethod : MethodIndex { kAppNewDocument = 0, kAppOpenDocument = 1 };
+enum StoreMethod : MethodIndex { kStoreOpen = 0, kStoreReadBlock = 1, kStoreClose = 2 };
+enum ReaderMethod : MethodIndex {
+  kReaderLoad = 0,
+  kReaderReadPageText = 1,
+  kReaderReadTableData = 2,
+};
+enum PropsMethod : MethodIndex { kPropsLoadStyleTable = 0, kPropsGetProps = 1 };
+enum EngineMethod : MethodIndex { kEngineInit = 0, kEngineLayoutDocument = 1 };
+enum ParaMethod : MethodIndex { kParaLayoutChunk = 0, kParaFinish = 1 };
+enum TableMethod : MethodIndex { kTableBuild = 0, kTableNegotiate = 1 };
+enum CellMethod : MethodIndex { kCellSetContent = 0, kCellMeasure = 1 };
+enum RowMethod : MethodIndex { kRowBuild = 0 };
+enum NegotiateMethod : MethodIndex { kNegPropose = 0 };
+enum WidgetMethod : MethodIndex { kWidgetInit = 0, kWidgetPaint = 1 };
+enum SinkMethod : MethodIndex { kSinkNotify = 0 };
+enum ViewMethod : MethodIndex { kViewDisplay = 0 };
+enum MusicMethod : MethodIndex { kMusicCompose = 0, kMusicRenderStaff = 1 };
+enum DictMethod : MethodIndex { kDictPut = 0, kDictGet = 1 };
+
+ObjectRef SelfRef(const ScriptedComponent& self, const InterfaceId& iid) {
+  return ObjectRef{self.id(), iid};
+}
+
+// Records an operation with the undo log and annotates the entry the log
+// hands back. The entry component is instantiated by the log while *this
+// caller's* frames are on the stack.
+Status RecordUndo(ObjectSystem& sys, const ObjectRef& undo, uint64_t op_bytes,
+                  uint64_t note_bytes) {
+  if (undo.IsNull()) {
+    return Status::Ok();
+  }
+  Message record_in;
+  record_in.Add("op", Value::BlobOfSize(op_bytes, op_bytes));
+  Result<Message> recorded = CallMethod(sys, undo, 0, record_in);
+  if (!recorded.ok()) {
+    return recorded.status();
+  }
+  const ObjectRef entry = recorded->Find("entry")->AsInterface();
+  Message note_in;
+  note_in.Add("note", Value::BlobOfSize(note_bytes, note_bytes));
+  Result<Message> annotated = CallMethod(sys, entry, 0, note_in);
+  return annotated.ok() ? Status::Ok() : annotated.status();
+}
+
+class OctarineApp : public Application {
+ public:
+  std::string name() const override { return "Octarine"; }
+
+  Status Install(ObjectSystem* system) override;
+  ApplicationImage Image() const override;
+  ClassPlacement DefaultPlacement(const ObjectSystem& system) const override;
+  std::vector<Scenario> Scenarios() const override;
+
+  bool IsInfrastructureClass(const std::string& class_name) const override {
+    return class_name == "Octarine.FileStore";
+  }
+
+ private:
+  Status RegisterInterfaces(ObjectSystem* system);
+  Status RegisterClasses(ObjectSystem* system);
+  HandlerTable* NewTable() {
+    tables_.push_back(std::make_unique<HandlerTable>());
+    return tables_.back().get();
+  }
+
+  Tuning tuning_;
+
+  // Interface ids, filled during Install.
+  InterfaceId iid_app_, iid_store_, iid_reader_, iid_props_, iid_engine_, iid_para_,
+      iid_table_, iid_cell_, iid_row_, iid_negotiate_, iid_widget_, iid_sink_, iid_view_,
+      iid_music_, iid_dict_, iid_undo_, iid_undo_entry_, iid_fmt_, iid_glyph_;
+
+  std::vector<std::unique_ptr<HandlerTable>> tables_;
+};
+
+Status OctarineApp::RegisterInterfaces(ObjectSystem* system) {
+  InterfaceRegistry& reg = system->interfaces();
+
+  COIGN_RETURN_IF_ERROR(reg.Register(
+      InterfaceBuilder("Octarine.IApp")
+          .Method("NewDocument")
+          .In("kind", ValueKind::kString)
+          .Out("ok", ValueKind::kBool)
+          .Method("OpenDocument")
+          .In("kind", ValueKind::kString)
+          .In("pages", ValueKind::kInt32)
+          .In("tables", ValueKind::kInt32)
+          .Out("ok", ValueKind::kBool)
+          .Build()));
+  COIGN_RETURN_IF_ERROR(reg.Register(
+      InterfaceBuilder("Octarine.IFileStore")
+          .Method("Open")
+          .In("name", ValueKind::kString)
+          .Out("handle", ValueKind::kInt32)
+          .Method("ReadBlock")
+          .In("handle", ValueKind::kInt32)
+          .In("offset", ValueKind::kInt64)
+          .In("size", ValueKind::kInt32)
+          .Out("data", ValueKind::kBlob)
+          .Method("Close")
+          .In("handle", ValueKind::kInt32)
+          .Build()));
+  COIGN_RETURN_IF_ERROR(reg.Register(
+      InterfaceBuilder("Octarine.IDocReader")
+          .Method("Load")
+          .In("store", ValueKind::kInterface)
+          .In("kind", ValueKind::kString)
+          .In("pages", ValueKind::kInt32)
+          .In("tables", ValueKind::kInt32)
+          .Out("meta", ValueKind::kRecord)
+          .Method("ReadPageText")
+          .In("page", ValueKind::kInt32)
+          .In("chunk", ValueKind::kInt32)
+          .Out("text", ValueKind::kBlob)
+          .Method("ReadTableData")
+          .In("table", ValueKind::kInt32)
+          .In("cell", ValueKind::kInt32)
+          .Out("data", ValueKind::kBlob)
+          .Build()));
+  COIGN_RETURN_IF_ERROR(reg.Register(
+      InterfaceBuilder("Octarine.ITextProps")
+          .Method("LoadStyleTable")
+          .In("store", ValueKind::kInterface)
+          .In("parts", ValueKind::kInt32)
+          .Out("count", ValueKind::kInt32)
+          .Method("GetProps")
+          .Cacheable()
+          .In("style", ValueKind::kInt32)
+          .Out("props", ValueKind::kRecord)
+          .Build()));
+  COIGN_RETURN_IF_ERROR(reg.Register(
+      InterfaceBuilder("Octarine.ITextEngine")
+          .Method("Init")
+          .In("reader", ValueKind::kInterface)
+          .In("props", ValueKind::kInterface)
+          .In("view", ValueKind::kInterface)
+          .In("pageview", ValueKind::kInterface)
+          .In("undo", ValueKind::kInterface)
+          .Out("ok", ValueKind::kBool)
+          .Method("LayoutDocument")
+          .In("kind", ValueKind::kString)
+          .In("pages", ValueKind::kInt32)
+          .In("tables", ValueKind::kInt32)
+          .Out("ok", ValueKind::kBool)
+          .Build()));
+  COIGN_RETURN_IF_ERROR(reg.Register(
+      InterfaceBuilder("Octarine.IParagraph")
+          .Method("LayoutChunk")
+          .In("text", ValueKind::kBlob)
+          .In("props", ValueKind::kRecord)
+          .Out("metrics", ValueKind::kRecord)
+          .Method("Finish")
+          .Out("metrics", ValueKind::kRecord)
+          .Build()));
+  COIGN_RETURN_IF_ERROR(reg.Register(
+      InterfaceBuilder("Octarine.ITable")
+          .Method("Build")
+          .In("reader", ValueKind::kInterface)
+          .In("view", ValueKind::kInterface)
+          .In("undo", ValueKind::kInterface)
+          .In("index", ValueKind::kInt32)
+          .In("pages", ValueKind::kInt32)
+          .In("grid_view", ValueKind::kBool)
+          .Out("ok", ValueKind::kBool)
+          .Method("Negotiate")
+          .In("negotiator", ValueKind::kInterface)
+          .In("engine", ValueKind::kInterface)
+          .In("rounds", ValueKind::kInt32)
+          .Out("ok", ValueKind::kBool)
+          .Build()));
+  COIGN_RETURN_IF_ERROR(reg.Register(
+      InterfaceBuilder("Octarine.ITableCell")
+          .Method("SetContent")
+          .In("data", ValueKind::kBlob)
+          .Out("ok", ValueKind::kBool)
+          .Method("Measure")
+          .Out("metrics", ValueKind::kRecord)
+          .Build()));
+  COIGN_RETURN_IF_ERROR(reg.Register(
+      InterfaceBuilder("Octarine.ITableRow")
+          .Method("Build")
+          .In("reader", ValueKind::kInterface)
+          .In("view", ValueKind::kInterface)
+          .In("undo", ValueKind::kInterface)
+          .In("table", ValueKind::kInt32)
+          .In("row", ValueKind::kInt32)
+          .In("grid_view", ValueKind::kBool)
+          .Out("ok", ValueKind::kBool)
+          .Build()));
+  COIGN_RETURN_IF_ERROR(reg.Register(
+      InterfaceBuilder("Octarine.INegotiate")
+          .Method("Propose")
+          .In("proposal", ValueKind::kBlob)
+          .Out("counter", ValueKind::kBlob)
+          .Build()));
+  COIGN_RETURN_IF_ERROR(reg.Register(
+      InterfaceBuilder("Octarine.IWidget")
+          .Method("Init")
+          .In("parent", ValueKind::kInterface)
+          .In("depth", ValueKind::kInt32)
+          .In("slot", ValueKind::kInt32)
+          .Out("ok", ValueKind::kBool)
+          .Method("Paint")
+          .In("region", ValueKind::kBlob)
+          .Out("ok", ValueKind::kBool)
+          .Build()));
+  // GUI interconnect: opaque window handles — never remotable.
+  COIGN_RETURN_IF_ERROR(reg.Register(
+      InterfaceBuilder("Octarine.IWidgetSink")
+          .NonRemotable()
+          .Method("Notify")
+          .In("event", ValueKind::kInt32)
+          .In("hwnd", ValueKind::kOpaque)
+          .Out("ok", ValueKind::kBool)
+          .Build()));
+  COIGN_RETURN_IF_ERROR(reg.Register(
+      InterfaceBuilder("Octarine.IView")
+          .Method("Display")
+          .In("page", ValueKind::kBlob)
+          .Out("ok", ValueKind::kBool)
+          .Build()));
+  COIGN_RETURN_IF_ERROR(reg.Register(
+      InterfaceBuilder("Octarine.IMusic")
+          .Method("Compose")
+          .In("bars", ValueKind::kInt32)
+          .Out("ok", ValueKind::kBool)
+          .Method("RenderStaff")
+          .In("notes", ValueKind::kBlob)
+          .Out("ok", ValueKind::kBool)
+          .Build()));
+  COIGN_RETURN_IF_ERROR(reg.Register(
+      InterfaceBuilder("Octarine.IFormatter")
+          .Method("Format")
+          .In("nesting", ValueKind::kInt32)
+          .In("text", ValueKind::kBlob)
+          .Out("ok", ValueKind::kBool)
+          .Build()));
+  COIGN_RETURN_IF_ERROR(reg.Register(
+      InterfaceBuilder("Octarine.IGlyphRun")
+          .Method("Shape")
+          .In("text", ValueKind::kBlob)
+          .Out("advance", ValueKind::kRecord)
+          .Build()));
+  COIGN_RETURN_IF_ERROR(reg.Register(
+      InterfaceBuilder("Octarine.IUndo")
+          .Method("Record")
+          .In("op", ValueKind::kBlob)
+          .Out("entry", ValueKind::kInterface)
+          .Build()));
+  COIGN_RETURN_IF_ERROR(reg.Register(
+      InterfaceBuilder("Octarine.IUndoEntry")
+          .Method("Annotate")
+          .In("note", ValueKind::kBlob)
+          .Out("ok", ValueKind::kBool)
+          .Build()));
+  COIGN_RETURN_IF_ERROR(reg.Register(
+      InterfaceBuilder("Octarine.IDictionary")
+          .Method("Put")
+          .In("key", ValueKind::kString)
+          .In("value", ValueKind::kRecord)
+          .Out("ok", ValueKind::kBool)
+          .Method("Get")
+          .In("key", ValueKind::kString)
+          .Out("value", ValueKind::kRecord)
+          .Build()));
+
+  iid_app_ = reg.LookupByName("Octarine.IApp")->iid;
+  iid_store_ = reg.LookupByName("Octarine.IFileStore")->iid;
+  iid_reader_ = reg.LookupByName("Octarine.IDocReader")->iid;
+  iid_props_ = reg.LookupByName("Octarine.ITextProps")->iid;
+  iid_engine_ = reg.LookupByName("Octarine.ITextEngine")->iid;
+  iid_para_ = reg.LookupByName("Octarine.IParagraph")->iid;
+  iid_table_ = reg.LookupByName("Octarine.ITable")->iid;
+  iid_cell_ = reg.LookupByName("Octarine.ITableCell")->iid;
+  iid_row_ = reg.LookupByName("Octarine.ITableRow")->iid;
+  iid_negotiate_ = reg.LookupByName("Octarine.INegotiate")->iid;
+  iid_widget_ = reg.LookupByName("Octarine.IWidget")->iid;
+  iid_sink_ = reg.LookupByName("Octarine.IWidgetSink")->iid;
+  iid_view_ = reg.LookupByName("Octarine.IView")->iid;
+  iid_music_ = reg.LookupByName("Octarine.IMusic")->iid;
+  iid_dict_ = reg.LookupByName("Octarine.IDictionary")->iid;
+  iid_undo_ = reg.LookupByName("Octarine.IUndo")->iid;
+  iid_undo_entry_ = reg.LookupByName("Octarine.IUndoEntry")->iid;
+  iid_fmt_ = reg.LookupByName("Octarine.IFormatter")->iid;
+  iid_glyph_ = reg.LookupByName("Octarine.IGlyphRun")->iid;
+  return Status::Ok();
+}
+
+Status OctarineApp::RegisterClasses(ObjectSystem* system) {
+  const Tuning& t = tuning_;
+
+  // --- File store (the server machine's file system) -----------------------
+  {
+    HandlerTable* table = NewTable();
+    table->Set(iid_store_, kStoreOpen,
+               [](ScriptedComponent& self, const Message& in, Message* out) {
+                 (void)in;
+                 self.system()->ChargeCompute(50e-6);
+                 const int64_t handle = self.GetInt("next_handle", 1);
+                 self.SetState("next_handle", Value::FromInt64(handle + 1));
+                 out->Add("handle", Value::FromInt32(static_cast<int32_t>(handle)));
+                 return Status::Ok();
+               });
+    table->Set(iid_store_, kStoreReadBlock,
+               [](ScriptedComponent& self, const Message& in, Message* out) {
+                 self.system()->ChargeCompute(30e-6);
+                 const int32_t size = in.Find("size")->AsInt32();
+                 const int64_t offset = in.Find("offset")->AsInt64();
+                 out->Add("data", Value::BlobOfSize(static_cast<uint64_t>(size),
+                                                    static_cast<uint64_t>(offset)));
+                 return Status::Ok();
+               });
+    table->Set(iid_store_, kStoreClose,
+               [](ScriptedComponent& self, const Message& in, Message* out) {
+                 (void)in;
+                 (void)out;
+                 self.system()->ChargeCompute(20e-6);
+                 return Status::Ok();
+               });
+    COIGN_RETURN_IF_ERROR(RegisterScriptedClass(system, "Octarine.FileStore", {iid_store_},
+                                                kApiStorage, table));
+  }
+
+  // --- Document reader ------------------------------------------------------
+  {
+    HandlerTable* table = NewTable();
+    table->Set(iid_reader_, kReaderLoad,
+               [this, t](ScriptedComponent& self, const Message& in, Message* out) {
+                 ObjectSystem& sys = *self.system();
+                 const ObjectRef store = in.Find("store")->AsInterface();
+                 const std::string& kind = in.Find("kind")->AsString();
+                 const int32_t pages = in.Find("pages")->AsInt32();
+                 const int32_t num_tables = in.Find("tables")->AsInt32();
+                 self.SetRef("store", store);
+                 self.SetState("pages", Value::FromInt32(pages));
+
+                 Message open_in;
+                 open_in.Add("name", Value::FromString("doc." + kind));
+                 Result<Message> open_out = CallMethod(sys, store, kStoreOpen, open_in);
+                 if (!open_out.ok()) {
+                   return open_out.status();
+                 }
+                 const int32_t handle = open_out->Find("handle")->AsInt32();
+
+                 auto read_block = [&sys, &self, store, handle](int64_t offset,
+                                                                int32_t size) -> Status {
+                   Message read_in;
+                   read_in.Add("handle", Value::FromInt32(handle));
+                   read_in.Add("offset", Value::FromInt64(offset));
+                   read_in.Add("size", Value::FromInt32(size));
+                   Result<Message> reply = CallMethod(sys, store, kStoreReadBlock, read_in);
+                   if (!reply.ok()) {
+                     return reply.status();
+                   }
+                   self.system()->ChargeCompute(120e-6);
+                   return Status::Ok();
+                 };
+
+                 int64_t offset = 0;
+                 if (kind == "wp" || kind == "mixed") {
+                   // Sequential block reads of the text stream.
+                   for (int32_t p = 0; p < pages; ++p) {
+                     for (int b = 0; b < t.blocks_per_page; ++b) {
+                       COIGN_RETURN_IF_ERROR(read_block(offset, t.block_bytes));
+                       offset += t.block_bytes;
+                     }
+                   }
+                 }
+                 if (kind == "table") {
+                   // A table document is one large table spanning all pages;
+                   // loading scans every cell (index chatter).
+                   for (int32_t p = 0; p < pages; ++p) {
+                     for (int c = 0; c < t.cells_per_page; ++c) {
+                       COIGN_RETURN_IF_ERROR(read_block(offset, t.cell_read_bytes));
+                       offset += t.cell_read_bytes;
+                     }
+                   }
+                 }
+                 if (kind == "mixed") {
+                   // Embedded one-page tables.
+                   for (int32_t tab = 0; tab < num_tables; ++tab) {
+                     for (int c = 0; c < t.cells_per_page; ++c) {
+                       COIGN_RETURN_IF_ERROR(read_block(offset, t.cell_read_bytes));
+                       offset += t.cell_read_bytes;
+                     }
+                   }
+                 }
+                 if (kind == "music") {
+                   for (int b = 0; b < 4; ++b) {
+                     COIGN_RETURN_IF_ERROR(read_block(offset, t.block_bytes));
+                     offset += t.block_bytes;
+                   }
+                 }
+
+                 Message close_in;
+                 close_in.Add("handle", Value::FromInt32(handle));
+                 Result<Message> closed = CallMethod(sys, store, kStoreClose, close_in);
+                 if (!closed.ok()) {
+                   return closed.status();
+                 }
+                 out->Add("meta", Value::FromRecord({
+                                      {"pages", Value::FromInt32(pages)},
+                                      {"tables", Value::FromInt32(num_tables)},
+                                  }));
+                 return Status::Ok();
+               });
+    table->Set(iid_reader_, kReaderReadPageText,
+               [t](ScriptedComponent& self, const Message& in, Message* out) {
+                 // Text is streamed to the layout engine one run at a time
+                 // — the chatty pull that keeps the reader on the client
+                 // for small documents.
+                 self.system()->ChargeCompute(20e-6);
+                 const int32_t page = in.Find("page")->AsInt32();
+                 const int32_t chunk = in.Find("chunk")->AsInt32();
+                 out->Add("text", Value::BlobOfSize(static_cast<uint64_t>(t.text_chunk_bytes),
+                                                    static_cast<uint64_t>(page * 1000 + chunk)));
+                 return Status::Ok();
+               });
+    table->Set(iid_reader_, kReaderReadTableData,
+               [t](ScriptedComponent& self, const Message& in, Message* out) {
+                 self.system()->ChargeCompute(40e-6);
+                 const int32_t cell = in.Find("cell")->AsInt32();
+                 out->Add("data",
+                          Value::BlobOfSize(static_cast<uint64_t>(t.cell_content_bytes),
+                                            static_cast<uint64_t>(cell)));
+                 return Status::Ok();
+               });
+    COIGN_RETURN_IF_ERROR(
+        RegisterScriptedClass(system, "Octarine.DocReader", {iid_reader_}, kApiNone, table));
+  }
+
+  // --- Text property provider ----------------------------------------------
+  {
+    HandlerTable* table = NewTable();
+    table->Set(iid_props_, kPropsLoadStyleTable,
+               [t](ScriptedComponent& self, const Message& in, Message* out) {
+                 ObjectSystem& sys = *self.system();
+                 const ObjectRef store = in.Find("store")->AsInterface();
+                 const int32_t parts = in.Find("parts")->AsInt32();
+                 Message open_in;
+                 open_in.Add("name", Value::FromString("styles.tbl"));
+                 Result<Message> open_out = CallMethod(sys, store, kStoreOpen, open_in);
+                 if (!open_out.ok()) {
+                   return open_out.status();
+                 }
+                 const int32_t handle = open_out->Find("handle")->AsInt32();
+                 for (int32_t p = 0; p < parts; ++p) {
+                   Message read_in;
+                   read_in.Add("handle", Value::FromInt32(handle));
+                   read_in.Add("offset", Value::FromInt64(p * t.style_part_bytes));
+                   read_in.Add("size", Value::FromInt32(t.style_part_bytes));
+                   Result<Message> reply = CallMethod(sys, store, kStoreReadBlock, read_in);
+                   if (!reply.ok()) {
+                     return reply.status();
+                   }
+                   sys.ChargeCompute(60e-6);
+                 }
+                 out->Add("count", Value::FromInt32(parts * 16));
+                 return Status::Ok();
+               });
+    table->Set(iid_props_, kPropsGetProps,
+               [](ScriptedComponent& self, const Message& in, Message* out) {
+                 self.system()->ChargeCompute(15e-6);
+                 const int32_t style = in.Find("style")->AsInt32();
+                 out->Add("props", Value::FromRecord({
+                                       {"font", Value::FromString("Bookman Old Style")},
+                                       {"size", Value::FromInt32(10 + style % 4)},
+                                       {"leading", Value::FromDouble(1.15)},
+                                       {"kerning", Value::BlobOfSize(96, style)},
+                                   }));
+                 return Status::Ok();
+               });
+    COIGN_RETURN_IF_ERROR(
+        RegisterScriptedClass(system, "Octarine.TextProps", {iid_props_}, kApiNone, table));
+  }
+
+  // --- Paragraph -------------------------------------------------------------
+  {
+    HandlerTable* table = NewTable();
+    table->Set(iid_para_, kParaLayoutChunk,
+               [t](ScriptedComponent& self, const Message& in, Message* out) {
+                 (void)in;
+                 self.system()->ChargeCompute(t.layout_para_cost / t.chunks_per_para);
+                 const int64_t lines = self.GetInt("lines") + 3;
+                 self.SetState("lines", Value::FromInt64(lines));
+                 out->Add("metrics", Value::FromRecord({
+                                         {"lines", Value::FromInt64(lines)},
+                                         {"height", Value::FromDouble(12.0 * lines)},
+                                     }));
+                 return Status::Ok();
+               });
+    table->Set(iid_para_, kParaFinish,
+               [](ScriptedComponent& self, const Message& in, Message* out) {
+                 (void)in;
+                 self.system()->ChargeCompute(20e-6);
+                 out->Add("metrics", Value::FromRecord({
+                                         {"lines", Value::FromInt64(self.GetInt("lines"))},
+                                     }));
+                 return Status::Ok();
+               });
+    COIGN_RETURN_IF_ERROR(
+        RegisterScriptedClass(system, "Octarine.Paragraph", {iid_para_}, kApiNone, table));
+  }
+
+  // --- Table cell ------------------------------------------------------------
+  {
+    HandlerTable* table = NewTable();
+    table->Set(iid_cell_, kCellSetContent,
+               [t](ScriptedComponent& self, const Message& in, Message* out) {
+                 (void)in;
+                 self.system()->ChargeCompute(t.cell_cost);
+                 out->Add("ok", Value::FromBool(true));
+                 return Status::Ok();
+               });
+    table->Set(iid_cell_, kCellMeasure,
+               [t](ScriptedComponent& self, const Message& in, Message* out) {
+                 (void)in;
+                 self.system()->ChargeCompute(t.cell_cost);
+                 out->Add("metrics", Value::FromRecord({
+                                         {"width", Value::FromDouble(48.0)},
+                                         {"height", Value::FromDouble(14.0)},
+                                     }));
+                 return Status::Ok();
+               });
+    COIGN_RETURN_IF_ERROR(
+        RegisterScriptedClass(system, "Octarine.TableCell", {iid_cell_}, kApiNone, table));
+  }
+
+  // --- Table row --------------------------------------------------------------
+  {
+    HandlerTable* table = NewTable();
+    table->Set(
+        iid_row_, kRowBuild,
+        [this, t](ScriptedComponent& self, const Message& in, Message* out) {
+          ObjectSystem& sys = *self.system();
+          const ObjectRef reader = in.Find("reader")->AsInterface();
+          const ObjectRef view = in.Find("view")->AsInterface();
+          const ObjectRef undo = in.Find("undo")->AsInterface();
+          const int32_t table_index = in.Find("table")->AsInt32();
+          const int32_t row = in.Find("row")->AsInt32();
+          const bool grid_view = in.Find("grid_view")->AsBool();
+          for (int c = 0; c < t.table_cols; ++c) {
+            Result<ObjectRef> cell = sys.CreateInstance(
+                Guid::FromName("clsid:Octarine.TableCell"), iid_cell_);
+            if (!cell.ok()) {
+              return cell.status();
+            }
+            self.SetRef(StrFormat("cell%02d", c), *cell);
+            // Pull the cell's content from the reader, then push it in.
+            Message read_in;
+            read_in.Add("table", Value::FromInt32(table_index));
+            read_in.Add("cell", Value::FromInt32(row * t.table_cols + c));
+            Result<Message> data = CallMethod(sys, reader, kReaderReadTableData, read_in);
+            if (!data.ok()) {
+              return data.status();
+            }
+            Message set_in;
+            set_in.Add("data", *data->Find("data"));
+            Result<Message> set = CallMethod(sys, *cell, kCellSetContent, set_in);
+            if (!set.ok()) {
+              return set.status();
+            }
+            // The grid view paints every materialized cell (borders +
+            // content); a table placed inside a text flow does not paint
+            // per cell here.
+            if (grid_view) {
+              for (int paint = 0; paint < 2; ++paint) {
+                Message paint_in;
+                paint_in.Add("page",
+                             Value::BlobOfSize(280, static_cast<uint64_t>(row * 100 + c)));
+                Result<Message> painted = CallMethod(sys, view, kViewDisplay, paint_in);
+                if (!painted.ok()) {
+                  return painted.status();
+                }
+              }
+            }
+          }
+          COIGN_RETURN_IF_ERROR(RecordUndo(sys, undo, 120, 250));
+          out->Add("ok", Value::FromBool(true));
+          return Status::Ok();
+        });
+    COIGN_RETURN_IF_ERROR(
+        RegisterScriptedClass(system, "Octarine.TableRow", {iid_row_}, kApiNone, table));
+  }
+
+  // --- Table model -------------------------------------------------------------
+  {
+    HandlerTable* table = NewTable();
+    table->Set(
+        iid_table_, kTableBuild,
+        [this, t](ScriptedComponent& self, const Message& in, Message* out) {
+          ObjectSystem& sys = *self.system();
+          const ObjectRef reader = in.Find("reader")->AsInterface();
+          const ObjectRef view = in.Find("view")->AsInterface();
+          const ObjectRef undo = in.Find("undo")->AsInterface();
+          const int32_t index = in.Find("index")->AsInt32();
+          const int32_t pages = in.Find("pages")->AsInt32();
+          const bool grid_view = in.Find("grid_view")->AsBool();
+          // Materialize the first page of rows as components; pull content
+          // for up to material_pages pages (virtualized beyond that).
+          for (int r = 0; r < t.table_rows; ++r) {
+            Result<ObjectRef> row =
+                sys.CreateInstance(Guid::FromName("clsid:Octarine.TableRow"), iid_row_);
+            if (!row.ok()) {
+              return row.status();
+            }
+            self.SetRef(StrFormat("row%02d", r), *row);
+            Message build_in;
+            build_in.Add("reader", Value::FromInterface(reader));
+            build_in.Add("view", Value::FromInterface(view));
+            build_in.Add("undo", Value::FromInterface(undo));
+            build_in.Add("table", Value::FromInt32(index));
+            build_in.Add("row", Value::FromInt32(r));
+            build_in.Add("grid_view", Value::FromBool(grid_view));
+            Result<Message> built = CallMethod(sys, *row, kRowBuild, build_in);
+            if (!built.ok()) {
+              return built.status();
+            }
+          }
+          // Content pulls for the virtualized remainder of the window.
+          const int32_t window = std::min(pages, static_cast<int32_t>(t.material_pages));
+          for (int32_t p = 1; p < window; ++p) {
+            for (int c = 0; c < t.cells_per_page; ++c) {
+              Message read_in;
+              read_in.Add("table", Value::FromInt32(index));
+              read_in.Add("cell", Value::FromInt32(p * t.cells_per_page + c));
+              Result<Message> data = CallMethod(sys, reader, kReaderReadTableData, read_in);
+              if (!data.ok()) {
+                return data.status();
+              }
+              sys.ChargeCompute(t.cell_cost);
+            }
+          }
+          // Render the virtualized remainder (the rows painted their own
+          // cells). A table embedded in a text document renders as a cheap
+          // placed block instead — "output from the page-placement
+          // negotiation to the rest of the application is minimal".
+          const int32_t render_calls =
+              grid_view ? (window - 1) * static_cast<int32_t>(t.cells_per_page) : 2;
+          for (int32_t r = 0; r < render_calls; ++r) {
+            Message paint_in;
+            paint_in.Add("page", Value::BlobOfSize(300, static_cast<uint64_t>(r)));
+            Result<Message> painted = CallMethod(sys, view, kViewDisplay, paint_in);
+            if (!painted.ok()) {
+              return painted.status();
+            }
+          }
+          COIGN_RETURN_IF_ERROR(RecordUndo(sys, undo, 300, 800));
+          out->Add("ok", Value::FromBool(true));
+          return Status::Ok();
+        });
+    table->Set(
+        iid_table_, kTableNegotiate,
+        [this, t](ScriptedComponent& self, const Message& in, Message* out) {
+          ObjectSystem& sys = *self.system();
+          const ObjectRef negotiator = in.Find("negotiator")->AsInterface();
+          const ObjectRef engine = in.Find("engine")->AsInterface();
+          const int32_t rounds = in.Find("rounds")->AsInt32();
+          const std::vector<ObjectRef> rows = self.RefsWithPrefix("row");
+          for (int32_t round = 0; round < rounds; ++round) {
+            // Measure a cell (via its row owner), then trade proposals with
+            // the negotiator, which consults the text engine.
+            sys.ChargeCompute(t.negotiate_cost);
+            Message proposal;
+            proposal.Add("proposal",
+                         Value::BlobOfSize(static_cast<uint64_t>(t.proposal_bytes), round));
+            Result<Message> counter = CallMethod(sys, negotiator, kNegPropose, proposal);
+            if (!counter.ok()) {
+              return counter.status();
+            }
+            Message engine_prop;
+            engine_prop.Add("proposal",
+                            Value::BlobOfSize(static_cast<uint64_t>(t.proposal_bytes),
+                                              round + 1000));
+            Result<Message> engine_counter =
+                CallMethod(sys, engine, kNegPropose, engine_prop);
+            if (!engine_counter.ok()) {
+              return engine_counter.status();
+            }
+          }
+          out->Add("ok", Value::FromBool(true));
+          return Status::Ok();
+        });
+    COIGN_RETURN_IF_ERROR(
+        RegisterScriptedClass(system, "Octarine.TableModel", {iid_table_}, kApiNone, table));
+  }
+
+  // --- Negotiator ----------------------------------------------------------------
+  {
+    HandlerTable* table = NewTable();
+    table->Set(iid_negotiate_, kNegPropose,
+               [t](ScriptedComponent& self, const Message& in, Message* out) {
+                 (void)in;
+                 self.system()->ChargeCompute(t.negotiate_cost);
+                 const int64_t round = self.GetInt("round");
+                 self.SetState("round", Value::FromInt64(round + 1));
+                 out->Add("counter",
+                          Value::BlobOfSize(static_cast<uint64_t>(t.proposal_bytes / 2),
+                                            static_cast<uint64_t>(round)));
+                 return Status::Ok();
+               });
+    COIGN_RETURN_IF_ERROR(RegisterScriptedClass(system, "Octarine.PageNegotiator",
+                                                {iid_negotiate_}, kApiNone, table));
+  }
+
+  // --- Text engine -----------------------------------------------------------------
+  {
+    HandlerTable* table = NewTable();
+    table->Set(iid_engine_, kEngineInit,
+               [this](ScriptedComponent& self, const Message& in, Message* out) {
+                 self.SetRef("reader", in.Find("reader")->AsInterface());
+                 self.SetRef("props", in.Find("props")->AsInterface());
+                 self.SetRef("view", in.Find("view")->AsInterface());
+                 self.SetRef("pageview", in.Find("pageview")->AsInterface());
+                 self.SetRef("undo", in.Find("undo")->AsInterface());
+                 Result<ObjectRef> formatter = self.system()->CreateInstance(
+                     Guid::FromName("clsid:Octarine.Formatter"), iid_fmt_);
+                 if (!formatter.ok()) {
+                   return formatter.status();
+                 }
+                 self.SetRef("formatter", *formatter);
+                 out->Add("ok", Value::FromBool(true));
+                 return Status::Ok();
+               });
+    table->Set(iid_engine_, kEngineLayoutDocument,
+               [this, t](ScriptedComponent& self, const Message& in, Message* out) {
+                 ObjectSystem& sys = *self.system();
+                 const std::string& kind = in.Find("kind")->AsString();
+                 const int32_t pages = in.Find("pages")->AsInt32();
+                 const int32_t num_tables = in.Find("tables")->AsInt32();
+                 const ObjectRef reader = self.GetRef("reader");
+                 const ObjectRef props = self.GetRef("props");
+
+                 // Style dictionaries (generic object dictionaries).
+                 for (int d = 0; d < 3; ++d) {
+                   const std::string dict_class =
+                       StrFormat("Octarine.Dict%02d", (d * 7 + static_cast<int>(kind.size())) % 20);
+                   Result<ObjectRef> dict = sys.CreateInstance(
+                       Guid::FromName("clsid:" + dict_class), iid_dict_);
+                   if (!dict.ok()) {
+                     return dict.status();
+                   }
+                   self.SetRef(StrFormat("dict%d", d), *dict);
+                   Message put_in;
+                   put_in.Add("key", Value::FromString("defaults"));
+                   put_in.Add("value", Value::FromRecord({
+                                           {"margin", Value::FromDouble(1.0)},
+                                           {"tabs", Value::FromInt32(8)},
+                                       }));
+                   Result<Message> put = CallMethod(sys, *dict, kDictPut, put_in);
+                   if (!put.ok()) {
+                     return put.status();
+                   }
+                 }
+
+                 const bool has_text = (kind == "wp" || kind == "mixed");
+                 const bool has_tables =
+                     (kind == "table" && pages > 0) || (kind == "mixed" && num_tables > 0);
+
+                 if (has_text) {
+                   for (int q = 0; q < t.props_queries; ++q) {
+                     Message props_in;
+                     props_in.Add("style", Value::FromInt32(q % 7));
+                     Result<Message> style = CallMethod(sys, props, kPropsGetProps, props_in);
+                     if (!style.ok()) {
+                       return style.status();
+                     }
+                   }
+                   for (int p = 0; p < t.paras_per_page; ++p) {
+                     Result<ObjectRef> para = sys.CreateInstance(
+                         Guid::FromName("clsid:Octarine.Paragraph"), iid_para_);
+                     if (!para.ok()) {
+                       return para.status();
+                     }
+                     self.SetRef(StrFormat("para%02d", p), *para);
+                     for (int c = 0; c < t.chunks_per_para; ++c) {
+                       Message pull_in;
+                       pull_in.Add("page", Value::FromInt32(0));
+                       pull_in.Add("chunk", Value::FromInt32(p * t.chunks_per_para + c));
+                       Result<Message> text =
+                           CallMethod(sys, reader, kReaderReadPageText, pull_in);
+                       if (!text.ok()) {
+                         return text.status();
+                       }
+                       Message chunk_in;
+                       chunk_in.Add("text", *text->Find("text"));
+                       chunk_in.Add("props", Value::FromRecord({
+                                                 {"style", Value::FromInt32(c % 5)},
+                                             }));
+                       Result<Message> metrics =
+                           CallMethod(sys, *para, kParaLayoutChunk, chunk_in);
+                       if (!metrics.ok()) {
+                         return metrics.status();
+                       }
+                     }
+                     Result<Message> done = CallMethod(sys, *para, kParaFinish);
+                     if (!done.ok()) {
+                       return done.status();
+                     }
+                     // Shape the paragraph; nesting varies with structure.
+                     Message fmt_in;
+                     fmt_in.Add("nesting", Value::FromInt32(p % 4));
+                     fmt_in.Add("text", Value::BlobOfSize(220, static_cast<uint64_t>(p)));
+                     Result<Message> formatted =
+                         CallMethod(sys, self.GetRef("formatter"), 0, fmt_in);
+                     if (!formatted.ok()) {
+                       return formatted.status();
+                     }
+                     COIGN_RETURN_IF_ERROR(
+                         RecordUndo(sys, self.GetRef("undo"), 180, 400));
+                   }
+                 }
+
+                 if (has_tables) {
+                   const int32_t count = (kind == "table") ? 1 : num_tables;
+                   const int32_t table_pages = (kind == "table") ? pages : 1;
+                   for (int32_t i = 0; i < count; ++i) {
+                     Result<ObjectRef> model = sys.CreateInstance(
+                         Guid::FromName("clsid:Octarine.TableModel"), iid_table_);
+                     if (!model.ok()) {
+                       return model.status();
+                     }
+                     self.SetRef(StrFormat("table%02d", i), *model);
+                     Message build_in;
+                     build_in.Add("reader", Value::FromInterface(reader));
+                     build_in.Add("view", Value::FromInterface(self.GetRef("pageview")));
+                     build_in.Add("undo", Value::FromInterface(self.GetRef("undo")));
+                     build_in.Add("index", Value::FromInt32(i));
+                     build_in.Add("pages", Value::FromInt32(table_pages));
+                     build_in.Add("grid_view", Value::FromBool(kind == "table"));
+                     Result<Message> built = CallMethod(sys, *model, kTableBuild, build_in);
+                     if (!built.ok()) {
+                       return built.status();
+                     }
+                     if (has_text) {
+                       // Mixed documents: complex page-placement negotiation
+                       // between the table components and the text engine.
+                       Result<ObjectRef> negotiator = sys.CreateInstance(
+                           Guid::FromName("clsid:Octarine.PageNegotiator"), iid_negotiate_);
+                       if (!negotiator.ok()) {
+                         return negotiator.status();
+                       }
+                       Message neg_in;
+                       neg_in.Add("negotiator", Value::FromInterface(*negotiator));
+                       neg_in.Add("engine", Value::FromInterface(SelfRef(self, iid_negotiate_)));
+                       neg_in.Add("rounds", Value::FromInt32(t.negotiation_rounds));
+                       Result<Message> negotiated =
+                           CallMethod(sys, *model, kTableNegotiate, neg_in);
+                       if (!negotiated.ok()) {
+                         return negotiated.status();
+                       }
+                     }
+                   }
+                 }
+
+                 // Display the first page.
+                 sys.ChargeCompute(t.render_cost);
+                 Message display_in;
+                 display_in.Add("page", Value::BlobOfSize(
+                                            static_cast<uint64_t>(t.view_page_bytes), 7));
+                 Result<Message> displayed =
+                     CallMethod(sys, self.GetRef("view"), kViewDisplay, display_in);
+                 if (!displayed.ok()) {
+                   return displayed.status();
+                 }
+                 Message thumb_in;
+                 thumb_in.Add("page", Value::BlobOfSize(
+                                          static_cast<uint64_t>(t.pageview_bytes), 9));
+                 Result<Message> thumbed =
+                     CallMethod(sys, self.GetRef("pageview"), kViewDisplay, thumb_in);
+                 if (!thumbed.ok()) {
+                   return thumbed.status();
+                 }
+                 out->Add("ok", Value::FromBool(true));
+                 return Status::Ok();
+               });
+    // The engine also answers negotiation proposals (INegotiate).
+    table->Set(iid_negotiate_, kNegPropose,
+               [t](ScriptedComponent& self, const Message& in, Message* out) {
+                 (void)in;
+                 self.system()->ChargeCompute(t.negotiate_cost);
+                 out->Add("counter",
+                          Value::BlobOfSize(static_cast<uint64_t>(t.proposal_bytes / 2), 5));
+                 return Status::Ok();
+               });
+    COIGN_RETURN_IF_ERROR(RegisterScriptedClass(system, "Octarine.TextEngine",
+                                                {iid_engine_, iid_negotiate_}, kApiNone,
+                                                table));
+  }
+
+  // --- Formatter + glyph runs --------------------------------------------------
+  {
+    HandlerTable* table = NewTable();
+    table->Set(iid_fmt_, 0,
+               [this](ScriptedComponent& self, const Message& in, Message* out) {
+                 ObjectSystem& sys = *self.system();
+                 sys.ChargeCompute(12e-6);
+                 const int32_t nesting = in.Find("nesting")->AsInt32();
+                 if (nesting > 0) {
+                   Message nested_in;
+                   nested_in.Add("nesting", Value::FromInt32(nesting - 1));
+                   nested_in.Add("text", *in.Find("text"));
+                   Result<Message> nested =
+                       CallMethod(sys, SelfRef(self, iid_fmt_), 0, nested_in);
+                   if (!nested.ok()) {
+                     return nested.status();
+                   }
+                   out->Add("ok", Value::FromBool(true));
+                   return Status::Ok();
+                 }
+                 Result<ObjectRef> glyphs = sys.CreateInstance(
+                     Guid::FromName("clsid:Octarine.GlyphRun"), iid_glyph_);
+                 if (!glyphs.ok()) {
+                   return glyphs.status();
+                 }
+                 Message shape_in;
+                 shape_in.Add("text", *in.Find("text"));
+                 Result<Message> shaped = CallMethod(sys, *glyphs, 0, shape_in);
+                 if (!shaped.ok()) {
+                   return shaped.status();
+                 }
+                 out->Add("ok", Value::FromBool(true));
+                 return Status::Ok();
+               });
+    table->Set(iid_glyph_, 0,
+               [](ScriptedComponent& self, const Message& in, Message* out) {
+                 self.system()->ChargeCompute(30e-6);
+                 out->Add("advance",
+                          Value::FromRecord({
+                              {"width", Value::FromDouble(
+                                            static_cast<double>(in.Find("text")->AsBlob().size) *
+                                            0.42)},
+                          }));
+                 return Status::Ok();
+               });
+    COIGN_RETURN_IF_ERROR(
+        RegisterScriptedClass(system, "Octarine.Formatter", {iid_fmt_}, kApiNone, table));
+    COIGN_RETURN_IF_ERROR(
+        RegisterScriptedClass(system, "Octarine.GlyphRun", {iid_glyph_}, kApiNone, table));
+  }
+
+  // --- Undo log (shared service) + undo entries -------------------------------
+  {
+    HandlerTable* table = NewTable();
+    table->Set(iid_undo_, 0,
+               [this](ScriptedComponent& self, const Message& in, Message* out) {
+                 ObjectSystem& sys = *self.system();
+                 sys.ChargeCompute(15e-6);
+                 Result<ObjectRef> entry = sys.CreateInstance(
+                     Guid::FromName("clsid:Octarine.UndoEntry"), iid_undo_entry_);
+                 if (!entry.ok()) {
+                   return entry.status();
+                 }
+                 const int64_t n = self.GetInt("entries");
+                 self.SetState("entries", Value::FromInt64(n + 1));
+                 self.SetRef(StrFormat("entry%lld", static_cast<long long>(n % 8)), *entry);
+                 // Seed the entry with the recorded operation.
+                 Message seed_in;
+                 seed_in.Add("note", Value::BlobOfSize(in.Find("op")->AsBlob().size, 1));
+                 Result<Message> seeded = CallMethod(sys, *entry, 0, seed_in);
+                 if (!seeded.ok()) {
+                   return seeded.status();
+                 }
+                 out->Add("entry", Value::FromInterface(*entry));
+                 return Status::Ok();
+               });
+    table->Set(iid_undo_entry_, 0,
+               [](ScriptedComponent& self, const Message& in, Message* out) {
+                 self.system()->ChargeCompute(8e-6);
+                 const int64_t bytes =
+                     self.GetInt("bytes") + static_cast<int64_t>(in.Find("note")->AsBlob().size);
+                 self.SetState("bytes", Value::FromInt64(bytes));
+                 out->Add("ok", Value::FromBool(true));
+                 return Status::Ok();
+               });
+    COIGN_RETURN_IF_ERROR(
+        RegisterScriptedClass(system, "Octarine.UndoLog", {iid_undo_}, kApiNone, table));
+    COIGN_RETURN_IF_ERROR(RegisterScriptedClass(system, "Octarine.UndoEntry",
+                                                {iid_undo_entry_}, kApiNone, table));
+  }
+
+  // --- Dictionaries (20 generic object dictionary classes) -------------------
+  {
+    HandlerTable* table = NewTable();
+    table->Set(iid_dict_, kDictPut,
+               [](ScriptedComponent& self, const Message& in, Message* out) {
+                 self.system()->ChargeCompute(10e-6);
+                 self.SetState(in.Find("key")->AsString(), *in.Find("value"));
+                 out->Add("ok", Value::FromBool(true));
+                 return Status::Ok();
+               });
+    table->Set(iid_dict_, kDictGet,
+               [](ScriptedComponent& self, const Message& in, Message* out) {
+                 self.system()->ChargeCompute(5e-6);
+                 const Value* value = self.GetState(in.Find("key")->AsString());
+                 out->Add("value", value != nullptr
+                                       ? *value
+                                       : Value::FromRecord({{"missing", Value::FromBool(true)}}));
+                 return Status::Ok();
+               });
+    for (int d = 0; d < 20; ++d) {
+      COIGN_RETURN_IF_ERROR(RegisterScriptedClass(system, StrFormat("Octarine.Dict%02d", d),
+                                                  {iid_dict_}, kApiNone, table));
+    }
+  }
+
+  // --- Music ---------------------------------------------------------------------
+  {
+    HandlerTable* table = NewTable();
+    table->Set(iid_music_, kMusicCompose,
+               [this, t](ScriptedComponent& self, const Message& in, Message* out) {
+                 ObjectSystem& sys = *self.system();
+                 const int32_t bars = in.Find("bars")->AsInt32();
+                 for (int s = 0; s < 2; ++s) {
+                   Result<ObjectRef> staff = sys.CreateInstance(
+                       Guid::FromName("clsid:Octarine.Staff"), iid_music_);
+                   if (!staff.ok()) {
+                     return staff.status();
+                   }
+                   self.SetRef(StrFormat("staff%d", s), *staff);
+                   Message render_in;
+                   render_in.Add("notes", Value::BlobOfSize(
+                                              static_cast<uint64_t>(t.music_blob),
+                                              static_cast<uint64_t>(bars + s)));
+                   Result<Message> rendered =
+                       CallMethod(sys, *staff, kMusicRenderStaff, render_in);
+                   if (!rendered.ok()) {
+                     return rendered.status();
+                   }
+                 }
+                 out->Add("ok", Value::FromBool(true));
+                 return Status::Ok();
+               });
+    table->Set(iid_music_, kMusicRenderStaff,
+               [](ScriptedComponent& self, const Message& in, Message* out) {
+                 (void)in;
+                 self.system()->ChargeCompute(300e-6);
+                 out->Add("ok", Value::FromBool(true));
+                 return Status::Ok();
+               });
+    COIGN_RETURN_IF_ERROR(
+        RegisterScriptedClass(system, "Octarine.MusicModel", {iid_music_}, kApiNone, table));
+    COIGN_RETURN_IF_ERROR(
+        RegisterScriptedClass(system, "Octarine.Staff", {iid_music_}, kApiGui, table));
+  }
+
+  // --- Views ----------------------------------------------------------------------
+  {
+    HandlerTable* table = NewTable();
+    table->Set(iid_view_, kViewDisplay,
+               [t](ScriptedComponent& self, const Message& in, Message* out) {
+                 (void)in;
+                 self.system()->ChargeCompute(t.render_cost);
+                 out->Add("ok", Value::FromBool(true));
+                 return Status::Ok();
+               });
+    COIGN_RETURN_IF_ERROR(
+        RegisterScriptedClass(system, "Octarine.View", {iid_view_}, kApiGui, table));
+    COIGN_RETURN_IF_ERROR(
+        RegisterScriptedClass(system, "Octarine.PageView", {iid_view_}, kApiGui, table));
+  }
+
+  // --- GUI widgets -----------------------------------------------------------------
+  {
+    HandlerTable* table = NewTable();
+    table->Set(
+        iid_widget_, kWidgetInit,
+        [this, t](ScriptedComponent& self, const Message& in, Message* out) {
+          ObjectSystem& sys = *self.system();
+          const ObjectRef parent = in.Find("parent")->AsInterface();
+          const int32_t depth = in.Find("depth")->AsInt32();
+          const int32_t slot = in.Find("slot")->AsInt32();
+          self.SetRef("parent", parent);
+          sys.ChargeCompute(t.widget_cost);
+          // Announce ourselves to the parent over the non-remotable sink.
+          Message notify_in;
+          notify_in.Add("event", Value::FromInt32(1));
+          notify_in.Add("hwnd", Value::FromOpaque(0x10000 + self.id()));
+          Result<Message> notified = CallMethod(sys, parent, kSinkNotify, notify_in);
+          if (!notified.ok()) {
+            return notified.status();
+          }
+          // Containers (depth 1) create children; children (depth 2) create
+          // grandchildren.
+          const int children = depth == 1   ? t.gui_children
+                               : depth == 2 ? t.gui_grandchildren
+                                            : 0;
+          for (int c = 0; c < children; ++c) {
+            // Deterministic by position, never by instance id: the same
+            // widget is built from the same class in every execution.
+            const int class_index =
+                14 + (slot * 7 + c * 5 + depth * 31) % (t.widget_classes - 14);
+            Result<ObjectRef> child = sys.CreateInstance(
+                Guid::FromName(StrFormat("clsid:Octarine.Widget%02d", class_index)),
+                iid_widget_);
+            if (!child.ok()) {
+              return child.status();
+            }
+            self.SetRef(StrFormat("child%02d", c), *child);
+            Message init_in;
+            init_in.Add("parent", Value::FromInterface(SelfRef(self, iid_sink_)));
+            init_in.Add("depth", Value::FromInt32(depth + 1));
+            init_in.Add("slot", Value::FromInt32((slot * 10 + c + depth) % 997));
+            Result<Message> inited = CallMethod(sys, *child, kWidgetInit, init_in);
+            if (!inited.ok()) {
+              return inited.status();
+            }
+          }
+          out->Add("ok", Value::FromBool(true));
+          return Status::Ok();
+        });
+    table->Set(iid_widget_, kWidgetPaint,
+               [t](ScriptedComponent& self, const Message& in, Message* out) {
+                 ObjectSystem& sys = *self.system();
+                 const uint64_t region = in.Find("region")->AsBlob().size;
+                 sys.ChargeCompute(t.widget_cost);
+                 for (const ObjectRef& child : self.RefsWithPrefix("child")) {
+                   Message paint_in;
+                   paint_in.Add("region", Value::BlobOfSize(region / 3 + 64, child.instance));
+                   Result<Message> painted = CallMethod(sys, child, kWidgetPaint, paint_in);
+                   if (!painted.ok()) {
+                     return painted.status();
+                   }
+                 }
+                 out->Add("ok", Value::FromBool(true));
+                 return Status::Ok();
+               });
+    table->Set(iid_sink_, kSinkNotify,
+               [](ScriptedComponent& self, const Message& in, Message* out) {
+                 (void)in;
+                 self.system()->ChargeCompute(5e-6);
+                 out->Add("ok", Value::FromBool(true));
+                 return Status::Ok();
+               });
+    for (int w = 0; w < t.widget_classes; ++w) {
+      // A quarter of the widget classes call Win32 GUI APIs directly; the
+      // rest are bound to them by the non-remotable sink interface.
+      const uint32_t api = (w % 4 == 0) ? kApiGui : kApiNone;
+      COIGN_RETURN_IF_ERROR(RegisterScriptedClass(system, StrFormat("Octarine.Widget%02d", w),
+                                                  {iid_widget_, iid_sink_}, api, table));
+    }
+    // The frame is the forest root (a container of containers).
+    COIGN_RETURN_IF_ERROR(RegisterScriptedClass(system, "Octarine.Frame",
+                                                {iid_widget_, iid_sink_}, kApiGui, table));
+  }
+
+  // --- Application root --------------------------------------------------------------
+  {
+    HandlerTable* table = NewTable();
+    auto build_gui = [this, t](ScriptedComponent& self, const std::string& kind) -> Status {
+      if (self.HasRef("frame")) {
+        return Status::Ok();
+      }
+      ObjectSystem& sys = *self.system();
+      // The user's first action decides which mode-specific toolbar the app
+      // builds before the common forest — the input-driven instantiation
+      // order the paper's straw-man classifier trips over.
+      const int mode_widgets = kind == "wp"      ? 1
+                               : kind == "table" ? 2
+                               : kind == "music" ? 3
+                                                 : 4;
+      for (int m = 0; m < mode_widgets; ++m) {
+        Result<ObjectRef> mode_widget = sys.CreateInstance(
+            Guid::FromName(StrFormat("clsid:Octarine.Widget%02d", (m * 3 + 1) % 14)),
+            iid_widget_);
+        if (!mode_widget.ok()) {
+          return mode_widget.status();
+        }
+        self.SetRef(StrFormat("mode%02d", m), *mode_widget);
+        Message init_in;
+        init_in.Add("parent", Value::FromInterface(SelfRef(self, iid_sink_)));
+        init_in.Add("depth", Value::FromInt32(3));  // Leaf: no children.
+        init_in.Add("slot", Value::FromInt32(900 + m));
+        Result<Message> inited = CallMethod(sys, *mode_widget, kWidgetInit, init_in);
+        if (!inited.ok()) {
+          return inited.status();
+        }
+      }
+      Result<ObjectRef> frame =
+          sys.CreateInstance(Guid::FromName("clsid:Octarine.Frame"), iid_widget_);
+      if (!frame.ok()) {
+        return frame.status();
+      }
+      self.SetRef("frame", *frame);
+      // The frame creates the containers itself.
+      for (int c = 0; c < t.gui_containers; ++c) {
+        Result<ObjectRef> container = sys.CreateInstance(
+            Guid::FromName(StrFormat("clsid:Octarine.Widget%02d", c % 14)), iid_widget_);
+        if (!container.ok()) {
+          return container.status();
+        }
+        Message init_in;
+        init_in.Add("parent", Value::FromInterface(ObjectRef{frame->instance, iid_sink_}));
+        init_in.Add("depth", Value::FromInt32(1));
+        init_in.Add("slot", Value::FromInt32(c));
+        Result<Message> inited = CallMethod(sys, *container, kWidgetInit, init_in);
+        if (!inited.ok()) {
+          return inited.status();
+        }
+        self.SetRef(StrFormat("container%02d", c), *container);
+      }
+      Result<ObjectRef> view =
+          sys.CreateInstance(Guid::FromName("clsid:Octarine.View"), iid_view_);
+      if (!view.ok()) {
+        return view.status();
+      }
+      self.SetRef("view", *view);
+      Result<ObjectRef> pageview =
+          sys.CreateInstance(Guid::FromName("clsid:Octarine.PageView"), iid_view_);
+      if (!pageview.ok()) {
+        return pageview.status();
+      }
+      self.SetRef("pageview", *pageview);
+      // One paint pass over the forest.
+      for (const ObjectRef& container : self.RefsWithPrefix("container")) {
+        Message paint_in;
+        paint_in.Add("region", Value::BlobOfSize(1024, container.instance));
+        Result<Message> painted = CallMethod(sys, container, kWidgetPaint, paint_in);
+        if (!painted.ok()) {
+          return painted.status();
+        }
+      }
+      return Status::Ok();
+    };
+
+    auto open_document = [this, t, build_gui](ScriptedComponent& self, const std::string& kind,
+                                              int32_t pages, int32_t num_tables,
+                                              Message* out) -> Status {
+      ObjectSystem& sys = *self.system();
+      COIGN_RETURN_IF_ERROR(build_gui(self, kind));
+      if (!self.HasRef("undo")) {
+        Result<ObjectRef> undo =
+            sys.CreateInstance(Guid::FromName("clsid:Octarine.UndoLog"), iid_undo_);
+        if (!undo.ok()) {
+          return undo.status();
+        }
+        self.SetRef("undo", *undo);
+      }
+
+      if (kind == "music") {
+        Result<ObjectRef> music =
+            sys.CreateInstance(Guid::FromName("clsid:Octarine.MusicModel"), iid_music_);
+        if (!music.ok()) {
+          return music.status();
+        }
+        Message compose_in;
+        compose_in.Add("bars", Value::FromInt32(t.music_bars));
+        Result<Message> composed = CallMethod(sys, *music, kMusicCompose, compose_in);
+        if (!composed.ok()) {
+          return composed.status();
+        }
+        COIGN_RETURN_IF_ERROR(RecordUndo(sys, self.GetRef("undo"), 400, 600));
+        out->Add("ok", Value::FromBool(true));
+        return Status::Ok();
+      }
+
+      Result<ObjectRef> store =
+          sys.CreateInstance(Guid::FromName("clsid:Octarine.FileStore"), iid_store_);
+      if (!store.ok()) {
+        return store.status();
+      }
+      Result<ObjectRef> reader =
+          sys.CreateInstance(Guid::FromName("clsid:Octarine.DocReader"), iid_reader_);
+      if (!reader.ok()) {
+        return reader.status();
+      }
+      Message load_in;
+      load_in.Add("store", Value::FromInterface(*store));
+      load_in.Add("kind", Value::FromString(kind));
+      load_in.Add("pages", Value::FromInt32(pages));
+      load_in.Add("tables", Value::FromInt32(num_tables));
+      Result<Message> meta = CallMethod(sys, *reader, kReaderLoad, load_in);
+      if (!meta.ok()) {
+        return meta.status();
+      }
+
+      // Only text-bearing documents carry style tables.
+      ObjectRef props_ref;
+      if (kind == "wp" || kind == "mixed") {
+        Result<ObjectRef> props =
+            sys.CreateInstance(Guid::FromName("clsid:Octarine.TextProps"), iid_props_);
+        if (!props.ok()) {
+          return props.status();
+        }
+        props_ref = *props;
+        const int32_t style_parts =
+            std::min(static_cast<int32_t>(t.max_style_parts), pages + 2);
+        Message styles_in;
+        styles_in.Add("store", Value::FromInterface(*store));
+        styles_in.Add("parts", Value::FromInt32(style_parts));
+        Result<Message> styles = CallMethod(sys, props_ref, kPropsLoadStyleTable, styles_in);
+        if (!styles.ok()) {
+          return styles.status();
+        }
+      }
+
+      Result<ObjectRef> engine =
+          sys.CreateInstance(Guid::FromName("clsid:Octarine.TextEngine"), iid_engine_);
+      if (!engine.ok()) {
+        return engine.status();
+      }
+      Message init_in;
+      init_in.Add("reader", Value::FromInterface(*reader));
+      init_in.Add("props", Value::FromInterface(props_ref));
+      init_in.Add("view", Value::FromInterface(self.GetRef("view")));
+      init_in.Add("pageview", Value::FromInterface(self.GetRef("pageview")));
+      init_in.Add("undo", Value::FromInterface(self.GetRef("undo")));
+      Result<Message> inited = CallMethod(sys, *engine, kEngineInit, init_in);
+      if (!inited.ok()) {
+        return inited.status();
+      }
+      Message layout_in;
+      layout_in.Add("kind", Value::FromString(kind));
+      layout_in.Add("pages", Value::FromInt32(pages));
+      layout_in.Add("tables", Value::FromInt32(num_tables));
+      Result<Message> laid_out = CallMethod(sys, *engine, kEngineLayoutDocument, layout_in);
+      if (!laid_out.ok()) {
+        return laid_out.status();
+      }
+      COIGN_RETURN_IF_ERROR(RecordUndo(sys, self.GetRef("undo"), 500, 1500));
+      out->Add("ok", Value::FromBool(true));
+      return Status::Ok();
+    };
+
+    table->Set(iid_app_, kAppNewDocument,
+               [open_document](ScriptedComponent& self, const Message& in, Message* out) {
+                 const std::string& kind = in.Find("kind")->AsString();
+                 // New documents have a one-page template read from storage.
+                 return open_document(self, kind, /*pages=*/1, /*tables=*/0, out);
+               });
+    table->Set(iid_app_, kAppOpenDocument,
+               [open_document](ScriptedComponent& self, const Message& in, Message* out) {
+                 return open_document(self, in.Find("kind")->AsString(),
+                                      in.Find("pages")->AsInt32(),
+                                      in.Find("tables")->AsInt32(), out);
+               });
+    // The app is also a widget sink (its mode toolbar reports to it).
+    table->Set(iid_sink_, kSinkNotify,
+               [](ScriptedComponent& self, const Message& in, Message* out) {
+                 (void)in;
+                 self.system()->ChargeCompute(5e-6);
+                 out->Add("ok", Value::FromBool(true));
+                 return Status::Ok();
+               });
+    COIGN_RETURN_IF_ERROR(
+        RegisterScriptedClass(system, "Octarine.App", {iid_app_, iid_sink_}, kApiGui, table));
+  }
+
+  return Status::Ok();
+}
+
+Status OctarineApp::Install(ObjectSystem* system) {
+  COIGN_RETURN_IF_ERROR(RegisterInterfaces(system));
+  return RegisterClasses(system);
+}
+
+ApplicationImage OctarineApp::Image() const {
+  ApplicationImage image;
+  image.name = "octarine.exe";
+  image.binaries = {"octarine.exe", "octext.dll", "octtbl.dll", "octmus.dll", "octgui.dll"};
+  image.import_table = {"ole32.dll", "user32.dll", "gdi32.dll", "kernel32.dll"};
+  return image;
+}
+
+ClassPlacement OctarineApp::DefaultPlacement(const ObjectSystem& system) const {
+  (void)system;
+  // As shipped: a desktop application, everything on the client; only the
+  // file server (where the data files live) is remote.
+  ClassPlacement placement(kClientMachine);
+  placement.Place(Guid::FromName("clsid:Octarine.FileStore"), kServerMachine);
+  return placement;
+}
+
+// --- Scenario scripts --------------------------------------------------------
+
+Status RunOctarineTask(ObjectSystem& system, ObjectRef app, const std::string& kind,
+                       int32_t pages, int32_t tables, bool create_new) {
+  const InterfaceDesc* iapp = system.interfaces().LookupByName("Octarine.IApp");
+  (void)iapp;
+  Message in;
+  if (create_new) {
+    in.Add("kind", Value::FromString(kind));
+    Result<Message> out = CallMethod(system, app, kAppNewDocument, in);
+    return out.ok() ? Status::Ok() : out.status();
+  }
+  in.Add("kind", Value::FromString(kind));
+  in.Add("pages", Value::FromInt32(pages));
+  in.Add("tables", Value::FromInt32(tables));
+  Result<Message> out = CallMethod(system, app, kAppOpenDocument, in);
+  return out.ok() ? Status::Ok() : out.status();
+}
+
+Result<ObjectRef> LaunchOctarine(ObjectSystem& system) {
+  return CreateByName(system, "Octarine.App", "Octarine.IApp");
+}
+
+// One task description: (kind, pages, tables, create_new).
+struct OctarineTask {
+  std::string kind;
+  int32_t pages = 0;
+  int32_t tables = 0;
+  bool create_new = false;
+};
+
+Status RunOctarineScenario(ObjectSystem& system, const std::vector<OctarineTask>& tasks) {
+  Result<ObjectRef> app = LaunchOctarine(system);
+  if (!app.ok()) {
+    return app.status();
+  }
+  for (const OctarineTask& task : tasks) {
+    COIGN_RETURN_IF_ERROR(
+        RunOctarineTask(system, *app, task.kind, task.pages, task.tables, task.create_new));
+  }
+  return Status::Ok();
+}
+
+std::vector<Scenario> OctarineApp::Scenarios() const {
+  auto scenario = [](std::string id, std::string description,
+                     std::vector<OctarineTask> tasks) {
+    Scenario s;
+    s.id = std::move(id);
+    s.description = std::move(description);
+    s.run = [tasks = std::move(tasks)](ObjectSystem& system, Rng& rng) {
+      (void)rng;
+      return RunOctarineScenario(system, tasks);
+    };
+    return s;
+  };
+
+  const OctarineTask new_doc{"wp", 0, 0, true};
+  const OctarineTask new_mus{"music", 0, 0, true};
+  const OctarineTask new_tbl{"table", 0, 0, true};
+  const OctarineTask old_tb0{"table", 5, 0, false};
+  const OctarineTask old_tb3{"table", 150, 0, false};
+  const OctarineTask old_wp0{"wp", 5, 0, false};
+  const OctarineTask old_wp3{"wp", 13, 0, false};
+  const OctarineTask old_wp7{"wp", 208, 0, false};
+  const OctarineTask old_bth{"mixed", 5, 8, false};
+
+  return {
+      scenario("o_newdoc", "Create text document.", {new_doc}),
+      scenario("o_newmus", "Create music document.", {new_mus}),
+      scenario("o_newtbl", "Create table document.", {new_tbl}),
+      scenario("o_oldtb0", "View 5-page table.", {old_tb0}),
+      scenario("o_oldtb3", "View 150-page table.", {old_tb3}),
+      scenario("o_oldwp0", "View 5-page text document.", {old_wp0}),
+      scenario("o_oldwp3", "View 13-page text document.", {old_wp3}),
+      scenario("o_oldwp7", "View 208-page text document.", {old_wp7}),
+      scenario("o_oldbth", "View 5-page text doc. with tables.", {old_bth}),
+      scenario("o_offtb3", "o_newdoc then o_oldtb3.", {new_doc, old_tb3}),
+      scenario("o_offwp7", "o_newdoc then o_oldwp7.", {new_doc, old_wp7}),
+      scenario("o_bigone", "All of the above in one scenario.",
+               {new_doc, new_mus, new_tbl, old_tb0, old_tb3, old_wp0, old_wp3, old_wp7,
+                old_bth}),
+      // The paper's Figure 8 workload: a 5-page text document with fewer
+      // than a dozen small embedded tables.
+      scenario("o_mixed9", "View 5-page text doc. with nine tables (Figure 8).",
+               {OctarineTask{"mixed", 5, 9, false}}),
+      // Figure 5's workload: a 35-page text-only document.
+      scenario("o_fig5", "Load first page of a 35-page text document (Figure 5).",
+               {OctarineTask{"wp", 35, 0, false}}),
+  };
+}
+
+}  // namespace
+
+std::unique_ptr<Application> MakeOctarine() { return std::make_unique<OctarineApp>(); }
+
+}  // namespace coign

@@ -1,0 +1,33 @@
+// Octarine: a synthetic counterpart of the paper's component-based word
+// processor ("designed as a prototype to explore the limits of component
+// granularity ... approximately 150 classes of components ... manipulates
+// three major types of documents: word-processing, sheet music, and
+// table").
+//
+// Structural signatures reproduced (see DESIGN.md §2):
+//   * A GUI forest of hundreds of widget instances drawn from dozens of
+//     widget classes, interconnected by a non-remotable sink interface.
+//   * A document reader that pulls the document from the server's file
+//     store in small blocks, and a text-property provider that pulls a
+//     style table — the two components Coign moves to the server for
+//     text documents (Figure 5).
+//   * Table documents whose full-file scan is much chattier than the
+//     materialized first-page content (Figures 7, o_oldtb3 savings).
+//   * Page-placement negotiation between table and text components in
+//     mixed documents, binding the whole layout cluster to the reader
+//     side (Figure 8).
+
+#ifndef COIGN_SRC_APPS_OCTARINE_H_
+#define COIGN_SRC_APPS_OCTARINE_H_
+
+#include <memory>
+
+#include "src/apps/app.h"
+
+namespace coign {
+
+std::unique_ptr<Application> MakeOctarine();
+
+}  // namespace coign
+
+#endif  // COIGN_SRC_APPS_OCTARINE_H_

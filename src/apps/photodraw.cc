@@ -1,0 +1,829 @@
+#include "src/apps/photodraw.h"
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "src/apps/component_library.h"
+#include "src/support/str_util.h"
+
+namespace coign {
+namespace {
+
+struct Tuning {
+  // UI forest.
+  int ui_containers = 18;
+  int ui_children = 8;
+  int ui_classes = 60;
+
+  // Compositions: ~3 MB pulled from the store in chunks.
+  int msr_chunks = 384;
+  int msr_chunk_bytes = 8 * 1024;
+  // Line drawings (vector art): small but chatty.
+  int cur_chunks = 30;
+  int cur_chunk_bytes = 3 * 1024;
+
+  // Property sets: larger input (from the reader) than output (to the UI).
+  int property_sets = 7;
+  int prop_pull_chunks = 24;
+  int prop_pull_bytes = 4096;
+  int prop_query_count = 10;
+  int prop_reply_bytes = 160;
+
+  // Sprite-cache hierarchy: 1 + 4 + 16 + 64.
+  int sprite_fanout = 4;
+  int sprite_levels = 4;
+  int sprite_classes = 20;
+  // Pixels travel to the root sprite in bulk messages...
+  int pixel_msgs = 12;
+  int pixel_msg_bytes = 256 * 1024;
+  // ...and between sprites via shared memory (opaque pointers).
+  int blit_calls_per_sprite = 3;
+
+  // Transforms applied to the composition.
+  int transform_count = 10;
+  int transform_classes = 20;
+
+  double parse_cost = 150e-6;
+  double blit_cost = 60e-6;
+  double ui_cost = 40e-6;
+  double transform_cost = 800e-6;
+};
+
+enum AppMethod : MethodIndex { kAppNew = 0, kAppOpen = 1 };
+enum StoreMethod : MethodIndex { kStoreOpen = 0, kStoreReadBlock = 1, kStoreClose = 2 };
+enum ReaderMethod : MethodIndex {
+  kReaderLoad = 0,
+  kReaderReadPixels = 1,
+  kReaderReadPropertyData = 2,
+};
+enum PropMethod : MethodIndex { kPropLoad = 0, kPropGet = 1 };
+enum SpriteMethod : MethodIndex { kSpriteInit = 0, kSpriteFillPixels = 1 };
+enum SpriteMemMethod : MethodIndex { kMemShareRegion = 0, kMemBlitRegion = 1 };
+enum UiMethod : MethodIndex { kUiInit = 0, kUiPaint = 1 };
+enum SinkMethod : MethodIndex { kSinkNotify = 0 };
+enum TransformMethod : MethodIndex { kTransformApply = 0 };
+
+ObjectRef SelfRef(const ScriptedComponent& self, const InterfaceId& iid) {
+  return ObjectRef{self.id(), iid};
+}
+
+class PhotoDrawApp : public Application {
+ public:
+  std::string name() const override { return "PhotoDraw"; }
+
+  Status Install(ObjectSystem* system) override;
+  ApplicationImage Image() const override;
+  ClassPlacement DefaultPlacement(const ObjectSystem& system) const override;
+  std::vector<Scenario> Scenarios() const override;
+
+  bool IsInfrastructureClass(const std::string& class_name) const override {
+    return class_name == "PD.FileStore";
+  }
+
+ private:
+  HandlerTable* NewTable() {
+    tables_.push_back(std::make_unique<HandlerTable>());
+    return tables_.back().get();
+  }
+
+  Tuning tuning_;
+  InterfaceId iid_app_, iid_store_, iid_reader_, iid_prop_, iid_sprite_, iid_mem_, iid_ui_,
+      iid_sink_, iid_transform_;
+  std::vector<std::unique_ptr<HandlerTable>> tables_;
+};
+
+Status PhotoDrawApp::Install(ObjectSystem* system) {
+  InterfaceRegistry& reg = system->interfaces();
+  const Tuning& t = tuning_;
+
+  COIGN_RETURN_IF_ERROR(reg.Register(InterfaceBuilder("PD.IApp")
+                                         .Method("NewImage")
+                                         .In("kind", ValueKind::kString)
+                                         .Out("ok", ValueKind::kBool)
+                                         .Method("OpenDocument")
+                                         .In("kind", ValueKind::kString)
+                                         .Out("ok", ValueKind::kBool)
+                                         .Build()));
+  COIGN_RETURN_IF_ERROR(reg.Register(InterfaceBuilder("PD.IFileStore")
+                                         .Method("Open")
+                                         .In("name", ValueKind::kString)
+                                         .Out("handle", ValueKind::kInt32)
+                                         .Method("ReadBlock")
+                                         .In("handle", ValueKind::kInt32)
+                                         .In("offset", ValueKind::kInt64)
+                                         .In("size", ValueKind::kInt32)
+                                         .Out("data", ValueKind::kBlob)
+                                         .Method("Close")
+                                         .In("handle", ValueKind::kInt32)
+                                         .Build()));
+  COIGN_RETURN_IF_ERROR(reg.Register(InterfaceBuilder("PD.IDocReader")
+                                         .Method("Load")
+                                         .In("store", ValueKind::kInterface)
+                                         .In("kind", ValueKind::kString)
+                                         .Out("meta", ValueKind::kRecord)
+                                         .Method("ReadPixels")
+                                         .In("band", ValueKind::kInt32)
+                                         .Out("pixels", ValueKind::kBlob)
+                                         .Method("ReadPropertyData")
+                                         .In("index", ValueKind::kInt32)
+                                         .In("chunk", ValueKind::kInt32)
+                                         .Out("data", ValueKind::kBlob)
+                                         .Build()));
+  COIGN_RETURN_IF_ERROR(reg.Register(InterfaceBuilder("PD.IPropertySet")
+                                         .Method("Load")
+                                         .In("reader", ValueKind::kInterface)
+                                         .In("index", ValueKind::kInt32)
+                                         .Out("ok", ValueKind::kBool)
+                                         .Method("GetProperty")
+                                         .Cacheable()
+                                         .In("key", ValueKind::kInt32)
+                                         .Out("value", ValueKind::kRecord)
+                                         .Build()));
+  COIGN_RETURN_IF_ERROR(reg.Register(InterfaceBuilder("PD.ISpriteCache")
+                                         .Method("Init")
+                                         .In("parent", ValueKind::kInterface)
+                                         .In("level", ValueKind::kInt32)
+                                         .In("slot", ValueKind::kInt32)
+                                         .Out("ok", ValueKind::kBool)
+                                         .Method("FillPixels")
+                                         .In("pixels", ValueKind::kBlob)
+                                         .Out("ok", ValueKind::kBool)
+                                         .Build()));
+  // Sprite caches exchange pixels through shared-memory regions whose
+  // pointers pass opaquely: never remotable (Figure 4's black lines).
+  COIGN_RETURN_IF_ERROR(reg.Register(InterfaceBuilder("PD.ISpriteMem")
+                                         .NonRemotable()
+                                         .Method("ShareRegion")
+                                         .In("region", ValueKind::kOpaque)
+                                         .Out("ok", ValueKind::kBool)
+                                         .Method("BlitRegion")
+                                         .In("region", ValueKind::kOpaque)
+                                         .In("rect", ValueKind::kRecord)
+                                         .Out("ok", ValueKind::kBool)
+                                         .Build()));
+  COIGN_RETURN_IF_ERROR(reg.Register(InterfaceBuilder("PD.IUi")
+                                         .Method("Init")
+                                         .In("parent", ValueKind::kInterface)
+                                         .In("depth", ValueKind::kInt32)
+                                         .In("slot", ValueKind::kInt32)
+                                         .Out("ok", ValueKind::kBool)
+                                         .Method("Paint")
+                                         .In("region", ValueKind::kBlob)
+                                         .Out("ok", ValueKind::kBool)
+                                         .Build()));
+  COIGN_RETURN_IF_ERROR(reg.Register(InterfaceBuilder("PD.IUiSink")
+                                         .NonRemotable()
+                                         .Method("Notify")
+                                         .In("event", ValueKind::kInt32)
+                                         .In("hwnd", ValueKind::kOpaque)
+                                         .Out("ok", ValueKind::kBool)
+                                         .Build()));
+  COIGN_RETURN_IF_ERROR(reg.Register(InterfaceBuilder("PD.ITransform")
+                                         .Method("Apply")
+                                         .In("sprite", ValueKind::kInterface)
+                                         .In("params", ValueKind::kRecord)
+                                         .Out("ok", ValueKind::kBool)
+                                         .Build()));
+
+  iid_app_ = reg.LookupByName("PD.IApp")->iid;
+  iid_store_ = reg.LookupByName("PD.IFileStore")->iid;
+  iid_reader_ = reg.LookupByName("PD.IDocReader")->iid;
+  iid_prop_ = reg.LookupByName("PD.IPropertySet")->iid;
+  iid_sprite_ = reg.LookupByName("PD.ISpriteCache")->iid;
+  iid_mem_ = reg.LookupByName("PD.ISpriteMem")->iid;
+  iid_ui_ = reg.LookupByName("PD.IUi")->iid;
+  iid_sink_ = reg.LookupByName("PD.IUiSink")->iid;
+  iid_transform_ = reg.LookupByName("PD.ITransform")->iid;
+
+  // --- File store ------------------------------------------------------------
+  {
+    HandlerTable* table = NewTable();
+    table->Set(iid_store_, kStoreOpen,
+               [](ScriptedComponent& self, const Message& in, Message* out) {
+                 (void)in;
+                 self.system()->ChargeCompute(50e-6);
+                 const int64_t handle = self.GetInt("next_handle", 1);
+                 self.SetState("next_handle", Value::FromInt64(handle + 1));
+                 out->Add("handle", Value::FromInt32(static_cast<int32_t>(handle)));
+                 return Status::Ok();
+               });
+    table->Set(iid_store_, kStoreReadBlock,
+               [](ScriptedComponent& self, const Message& in, Message* out) {
+                 self.system()->ChargeCompute(30e-6);
+                 out->Add("data",
+                          Value::BlobOfSize(
+                              static_cast<uint64_t>(in.Find("size")->AsInt32()),
+                              static_cast<uint64_t>(in.Find("offset")->AsInt64())));
+                 return Status::Ok();
+               });
+    table->Set(iid_store_, kStoreClose,
+               [](ScriptedComponent& self, const Message& in, Message* out) {
+                 (void)in;
+                 (void)out;
+                 self.system()->ChargeCompute(20e-6);
+                 return Status::Ok();
+               });
+    COIGN_RETURN_IF_ERROR(
+        RegisterScriptedClass(system, "PD.FileStore", {iid_store_}, kApiStorage, table));
+  }
+
+  // --- Document reader ---------------------------------------------------------
+  {
+    HandlerTable* table = NewTable();
+    table->Set(iid_reader_, kReaderLoad,
+               [t](ScriptedComponent& self, const Message& in, Message* out) {
+                 ObjectSystem& sys = *self.system();
+                 const ObjectRef store = in.Find("store")->AsInterface();
+                 const std::string& kind = in.Find("kind")->AsString();
+                 self.SetRef("store", store);
+
+                 Message open_in;
+                 open_in.Add("name", Value::FromString("image." + kind));
+                 Result<Message> opened = CallMethod(sys, store, kStoreOpen, open_in);
+                 if (!opened.ok()) {
+                   return opened.status();
+                 }
+                 const int32_t handle = opened->Find("handle")->AsInt32();
+
+                 const int chunks = kind == "msr" ? t.msr_chunks
+                                    : kind == "cur" ? t.cur_chunks
+                                                    : 4;
+                 const int chunk_bytes = kind == "msr" ? t.msr_chunk_bytes
+                                         : kind == "cur" ? t.cur_chunk_bytes
+                                                         : 2048;
+                 int64_t offset = 0;
+                 for (int c = 0; c < chunks; ++c) {
+                   Message read_in;
+                   read_in.Add("handle", Value::FromInt32(handle));
+                   read_in.Add("offset", Value::FromInt64(offset));
+                   read_in.Add("size", Value::FromInt32(chunk_bytes));
+                   Result<Message> reply = CallMethod(sys, store, kStoreReadBlock, read_in);
+                   if (!reply.ok()) {
+                     return reply.status();
+                   }
+                   sys.ChargeCompute(t.parse_cost);
+                   offset += chunk_bytes;
+                 }
+                 Message close_in;
+                 close_in.Add("handle", Value::FromInt32(handle));
+                 Result<Message> closed = CallMethod(sys, store, kStoreClose, close_in);
+                 if (!closed.ok()) {
+                   return closed.status();
+                 }
+                 self.SetState("kind",
+                               Value::FromString(kind));
+                 out->Add("meta", Value::FromRecord({
+                                      {"kind", Value::FromString(kind)},
+                                      {"bytes", Value::FromInt64(offset)},
+                                  }));
+                 return Status::Ok();
+               });
+    table->Set(iid_reader_, kReaderReadPixels,
+               [t](ScriptedComponent& self, const Message& in, Message* out) {
+                 self.system()->ChargeCompute(t.parse_cost);
+                 const Value* kind = self.GetState("kind");
+                 const bool vector_art =
+                     kind != nullptr && kind->AsString() == "cur";
+                 const uint64_t bytes = vector_art
+                                            ? static_cast<uint64_t>(t.cur_chunk_bytes)
+                                            : static_cast<uint64_t>(t.pixel_msg_bytes);
+                 out->Add("pixels", Value::BlobOfSize(
+                                        bytes, static_cast<uint64_t>(
+                                                   in.Find("band")->AsInt32())));
+                 return Status::Ok();
+               });
+    table->Set(iid_reader_, kReaderReadPropertyData,
+               [t](ScriptedComponent& self, const Message& in, Message* out) {
+                 // Property streams live in the document file: each pull is
+                 // a real file access through the store.
+                 ObjectSystem& sys = *self.system();
+                 sys.ChargeCompute(40e-6);
+                 Message read_in;
+                 read_in.Add("handle", Value::FromInt32(1));
+                 read_in.Add("offset",
+                             Value::FromInt64(in.Find("index")->AsInt32() * 65536 +
+                                              in.Find("chunk")->AsInt32() * 4096));
+                 read_in.Add("size", Value::FromInt32(t.prop_pull_bytes));
+                 Result<Message> block =
+                     CallMethod(sys, self.GetRef("store"), kStoreReadBlock, read_in);
+                 if (!block.ok()) {
+                   return block.status();
+                 }
+                 out->Add("data", *block->Find("data"));
+                 return Status::Ok();
+               });
+    COIGN_RETURN_IF_ERROR(
+        RegisterScriptedClass(system, "PD.DocReader", {iid_reader_}, kApiNone, table));
+  }
+
+  // --- Property sets --------------------------------------------------------------
+  {
+    HandlerTable* table = NewTable();
+    table->Set(iid_prop_, kPropLoad,
+               [t](ScriptedComponent& self, const Message& in, Message* out) {
+                 ObjectSystem& sys = *self.system();
+                 const ObjectRef reader = in.Find("reader")->AsInterface();
+                 const int32_t index = in.Find("index")->AsInt32();
+                 const int32_t chunks = in.Find("chunks")->AsInt32();
+                 // Larger input set than output: pull many chunks of raw
+                 // property data from the file's reader.
+                 for (int c = 0; c < chunks; ++c) {
+                   Message pull_in;
+                   pull_in.Add("index", Value::FromInt32(index));
+                   pull_in.Add("chunk", Value::FromInt32(c));
+                   Result<Message> data =
+                       CallMethod(sys, reader, kReaderReadPropertyData, pull_in);
+                   if (!data.ok()) {
+                     return data.status();
+                   }
+                   sys.ChargeCompute(30e-6);
+                 }
+                 out->Add("ok", Value::FromBool(true));
+                 return Status::Ok();
+               });
+    table->Set(iid_prop_, kPropGet,
+               [t](ScriptedComponent& self, const Message& in, Message* out) {
+                 self.system()->ChargeCompute(10e-6);
+                 out->Add("value",
+                          Value::FromRecord({
+                              {"key", Value::FromInt32(in.Find("key")->AsInt32())},
+                              {"data", Value::BlobOfSize(
+                                           static_cast<uint64_t>(t.prop_reply_bytes), 3)},
+                          }));
+                 return Status::Ok();
+               });
+    COIGN_RETURN_IF_ERROR(
+        RegisterScriptedClass(system, "PD.PropertySet", {iid_prop_}, kApiNone, table));
+  }
+
+  // --- Sprite caches ---------------------------------------------------------------
+  {
+    HandlerTable* table = NewTable();
+    table->Set(
+        iid_sprite_, kSpriteInit,
+        [this, t](ScriptedComponent& self, const Message& in, Message* out) {
+          ObjectSystem& sys = *self.system();
+          const ObjectRef parent = in.Find("parent")->AsInterface();
+          const int32_t level = in.Find("level")->AsInt32();
+          const int32_t slot = in.Find("slot")->AsInt32();
+          self.SetRef("parent", parent);
+          sys.ChargeCompute(t.blit_cost);
+          if (!parent.IsNull()) {
+            // Announce the shared pixel region to the parent — opaque
+            // pointer over the non-remotable interface.
+            Message share_in;
+            share_in.Add("region", Value::FromOpaque(0x7f000000 + self.id()));
+            Result<Message> shared = CallMethod(sys, parent, kMemShareRegion, share_in);
+            if (!shared.ok()) {
+              return shared.status();
+            }
+          }
+          if (level + 1 < t.sprite_levels) {
+            for (int c = 0; c < t.sprite_fanout; ++c) {
+              const int class_index = (slot * 5 + c * 3 + level * 7) % t.sprite_classes;
+              Result<ObjectRef> child = sys.CreateInstance(
+                  Guid::FromName(StrFormat("clsid:PD.SpriteCache%02d", class_index)),
+                  iid_sprite_);
+              if (!child.ok()) {
+                return child.status();
+              }
+              self.SetRef(StrFormat("child%02d", c), *child);
+              Message init_in;
+              init_in.Add("parent", Value::FromInterface(SelfRef(self, iid_mem_)));
+              init_in.Add("level", Value::FromInt32(level + 1));
+              init_in.Add("slot", Value::FromInt32(slot * 4 + c + 1));
+              Result<Message> inited = CallMethod(sys, *child, kSpriteInit, init_in);
+              if (!inited.ok()) {
+                return inited.status();
+              }
+            }
+          }
+          out->Add("ok", Value::FromBool(true));
+          return Status::Ok();
+        });
+    table->Set(
+        iid_sprite_, kSpriteFillPixels,
+        [t](ScriptedComponent& self, const Message& in, Message* out) {
+          ObjectSystem& sys = *self.system();
+          (void)in;
+          sys.ChargeCompute(t.blit_cost);
+          // Distribute the pixels down the hierarchy through shared memory.
+          for (const ObjectRef& child : self.RefsWithPrefix("child")) {
+            for (int b = 0; b < t.blit_calls_per_sprite; ++b) {
+              Message blit_in;
+              blit_in.Add("region", Value::FromOpaque(0x7f000000 + child.instance));
+              blit_in.Add("rect", Value::FromRecord({
+                                      {"x", Value::FromInt32(b * 64)},
+                                      {"y", Value::FromInt32(b * 64)},
+                                      {"w", Value::FromInt32(256)},
+                                      {"h", Value::FromInt32(256)},
+                                  }));
+              Result<Message> blitted = CallMethod(
+                  sys, ObjectRef{child.instance, sys.interfaces()
+                                                     .LookupByName("PD.ISpriteMem")
+                                                     ->iid},
+                  kMemBlitRegion, blit_in);
+              if (!blitted.ok()) {
+                return blitted.status();
+              }
+            }
+          }
+          out->Add("ok", Value::FromBool(true));
+          return Status::Ok();
+        });
+    table->Set(iid_mem_, kMemShareRegion,
+               [](ScriptedComponent& self, const Message& in, Message* out) {
+                 (void)in;
+                 self.system()->ChargeCompute(10e-6);
+                 out->Add("ok", Value::FromBool(true));
+                 return Status::Ok();
+               });
+    table->Set(iid_mem_, kMemBlitRegion,
+               [t](ScriptedComponent& self, const Message& in, Message* out) {
+                 (void)in;
+                 self.system()->ChargeCompute(t.blit_cost);
+                 out->Add("ok", Value::FromBool(true));
+                 return Status::Ok();
+               });
+    for (int s = 0; s < t.sprite_classes; ++s) {
+      COIGN_RETURN_IF_ERROR(RegisterScriptedClass(system,
+                                                  StrFormat("PD.SpriteCache%02d", s),
+                                                  {iid_sprite_, iid_mem_}, kApiNone, table));
+    }
+  }
+
+  // --- Transforms ---------------------------------------------------------------------
+  {
+    HandlerTable* table = NewTable();
+    table->Set(iid_transform_, kTransformApply,
+               [t](ScriptedComponent& self, const Message& in, Message* out) {
+                 ObjectSystem& sys = *self.system();
+                 sys.ChargeCompute(t.transform_cost);
+                 const ObjectRef sprite = in.Find("sprite")->AsInterface();
+                 // Touch the sprite's pixels through shared memory.
+                 Message blit_in;
+                 blit_in.Add("region", Value::FromOpaque(0x7f100000 + sprite.instance));
+                 blit_in.Add("rect", Value::FromRecord({
+                                         {"x", Value::FromInt32(0)},
+                                         {"y", Value::FromInt32(0)},
+                                         {"w", Value::FromInt32(1024)},
+                                         {"h", Value::FromInt32(768)},
+                                     }));
+                 Result<Message> blitted = CallMethod(
+                     sys,
+                     ObjectRef{sprite.instance,
+                               sys.interfaces().LookupByName("PD.ISpriteMem")->iid},
+                     kMemBlitRegion, blit_in);
+                 if (!blitted.ok()) {
+                   return blitted.status();
+                 }
+                 out->Add("ok", Value::FromBool(true));
+                 return Status::Ok();
+               });
+    for (int x = 0; x < t.transform_classes; ++x) {
+      COIGN_RETURN_IF_ERROR(RegisterScriptedClass(
+          system, StrFormat("PD.Transform%02d", x), {iid_transform_}, kApiNone, table));
+    }
+  }
+
+  // --- UI widgets -----------------------------------------------------------------------
+  {
+    HandlerTable* table = NewTable();
+    table->Set(
+        iid_ui_, kUiInit,
+        [this, t](ScriptedComponent& self, const Message& in, Message* out) {
+          ObjectSystem& sys = *self.system();
+          const ObjectRef parent = in.Find("parent")->AsInterface();
+          const int32_t depth = in.Find("depth")->AsInt32();
+          const int32_t slot = in.Find("slot")->AsInt32();
+          self.SetRef("parent", parent);
+          sys.ChargeCompute(t.ui_cost);
+          Message notify_in;
+          notify_in.Add("event", Value::FromInt32(1));
+          notify_in.Add("hwnd", Value::FromOpaque(0x20000 + self.id()));
+          Result<Message> notified = CallMethod(sys, parent, kSinkNotify, notify_in);
+          if (!notified.ok()) {
+            return notified.status();
+          }
+          if (depth == 1) {
+            for (int c = 0; c < t.ui_children; ++c) {
+              const int class_index = 18 + (slot * 8 + c * 3) % (t.ui_classes - 18);
+              Result<ObjectRef> child = sys.CreateInstance(
+                  Guid::FromName(StrFormat("clsid:PD.Ui%02d", class_index)), iid_ui_);
+              if (!child.ok()) {
+                return child.status();
+              }
+              self.SetRef(StrFormat("child%02d", c), *child);
+              Message init_in;
+              init_in.Add("parent", Value::FromInterface(SelfRef(self, iid_sink_)));
+              init_in.Add("depth", Value::FromInt32(2));
+              init_in.Add("slot", Value::FromInt32(slot * 8 + c + 1));
+              Result<Message> inited = CallMethod(sys, *child, kUiInit, init_in);
+              if (!inited.ok()) {
+                return inited.status();
+              }
+            }
+          }
+          out->Add("ok", Value::FromBool(true));
+          return Status::Ok();
+        });
+    table->Set(iid_ui_, kUiPaint,
+               [t](ScriptedComponent& self, const Message& in, Message* out) {
+                 ObjectSystem& sys = *self.system();
+                 (void)in;
+                 sys.ChargeCompute(t.ui_cost);
+                 for (const ObjectRef& child : self.RefsWithPrefix("child")) {
+                   Message paint_in;
+                   paint_in.Add("region", Value::BlobOfSize(256, child.instance));
+                   Result<Message> painted = CallMethod(sys, child, kUiPaint, paint_in);
+                   if (!painted.ok()) {
+                     return painted.status();
+                   }
+                 }
+                 out->Add("ok", Value::FromBool(true));
+                 return Status::Ok();
+               });
+    table->Set(iid_sink_, kSinkNotify,
+               [](ScriptedComponent& self, const Message& in, Message* out) {
+                 (void)in;
+                 self.system()->ChargeCompute(5e-6);
+                 out->Add("ok", Value::FromBool(true));
+                 return Status::Ok();
+               });
+    // The canvas also speaks ISpriteMem: the root sprite cache shares its
+    // pixel region with it and blits into it.
+    table->Set(iid_mem_, kMemShareRegion,
+               [](ScriptedComponent& self, const Message& in, Message* out) {
+                 (void)in;
+                 self.system()->ChargeCompute(10e-6);
+                 out->Add("ok", Value::FromBool(true));
+                 return Status::Ok();
+               });
+    table->Set(iid_mem_, kMemBlitRegion,
+               [t](ScriptedComponent& self, const Message& in, Message* out) {
+                 (void)in;
+                 self.system()->ChargeCompute(t.blit_cost);
+                 out->Add("ok", Value::FromBool(true));
+                 return Status::Ok();
+               });
+    for (int u = 0; u < t.ui_classes; ++u) {
+      const uint32_t api = (u % 3 == 0) ? kApiGui : kApiNone;
+      COIGN_RETURN_IF_ERROR(RegisterScriptedClass(system, StrFormat("PD.Ui%02d", u),
+                                                  {iid_ui_, iid_sink_}, api, table));
+    }
+    COIGN_RETURN_IF_ERROR(RegisterScriptedClass(system, "PD.Canvas",
+                                                {iid_ui_, iid_sink_, iid_mem_}, kApiGui,
+                                                table));
+  }
+
+  // --- Application root -------------------------------------------------------------------
+  {
+    HandlerTable* table = NewTable();
+    auto build_ui = [this, t](ScriptedComponent& self) -> Status {
+      if (self.HasRef("canvas")) {
+        return Status::Ok();
+      }
+      ObjectSystem& sys = *self.system();
+      Result<ObjectRef> canvas =
+          sys.CreateInstance(Guid::FromName("clsid:PD.Canvas"), iid_ui_);
+      if (!canvas.ok()) {
+        return canvas.status();
+      }
+      self.SetRef("canvas", *canvas);
+      for (int c = 0; c < t.ui_containers; ++c) {
+        Result<ObjectRef> container = sys.CreateInstance(
+            Guid::FromName(StrFormat("clsid:PD.Ui%02d", c % 18)), iid_ui_);
+        if (!container.ok()) {
+          return container.status();
+        }
+        self.SetRef(StrFormat("container%02d", c), *container);
+        Message init_in;
+        init_in.Add("parent", Value::FromInterface(ObjectRef{canvas->instance, iid_sink_}));
+        init_in.Add("depth", Value::FromInt32(1));
+        init_in.Add("slot", Value::FromInt32(c));
+        Result<Message> inited = CallMethod(sys, *container, kUiInit, init_in);
+        if (!inited.ok()) {
+          return inited.status();
+        }
+      }
+      return Status::Ok();
+    };
+
+    auto build_sprites = [this, t](ScriptedComponent& self) -> Status {
+      ObjectSystem& sys = *self.system();
+      Result<ObjectRef> root =
+          sys.CreateInstance(Guid::FromName("clsid:PD.SpriteCache00"), iid_sprite_);
+      if (!root.ok()) {
+        return root.status();
+      }
+      self.SetRef("sprite_root", *root);
+      Message init_in;
+      // The root sprite shares its region with the canvas.
+      init_in.Add("parent", Value::FromInterface(
+                                ObjectRef{self.GetRef("canvas").instance, iid_mem_}));
+      init_in.Add("level", Value::FromInt32(0));
+      init_in.Add("slot", Value::FromInt32(0));
+      Result<Message> inited = CallMethod(sys, *root, kSpriteInit, init_in);
+      if (!inited.ok()) {
+        return inited.status();
+      }
+      return Status::Ok();
+    };
+
+    auto open_document = [this, t, build_ui, build_sprites](
+                             ScriptedComponent& self, const std::string& kind,
+                             bool fresh_image, Message* out) -> Status {
+      ObjectSystem& sys = *self.system();
+      COIGN_RETURN_IF_ERROR(build_ui(self));
+      COIGN_RETURN_IF_ERROR(build_sprites(self));
+
+      Result<ObjectRef> store =
+          sys.CreateInstance(Guid::FromName("clsid:PD.FileStore"), iid_store_);
+      if (!store.ok()) {
+        return store.status();
+      }
+      Result<ObjectRef> reader =
+          sys.CreateInstance(Guid::FromName("clsid:PD.DocReader"), iid_reader_);
+      if (!reader.ok()) {
+        return reader.status();
+      }
+      Message load_in;
+      load_in.Add("store", Value::FromInterface(*store));
+      load_in.Add("kind", Value::FromString(fresh_image ? "new" : kind));
+      Result<Message> meta = CallMethod(sys, *reader, kReaderLoad, load_in);
+      if (!meta.ok()) {
+        return meta.status();
+      }
+
+      // High-level property sets created directly from file data. Rich
+      // compositions carry much deeper property streams than line art.
+      const int props = fresh_image ? 2 : t.property_sets;
+      const int pull_chunks = fresh_image ? 2 : (kind == "msr" ? t.prop_pull_chunks : 6);
+      for (int p = 0; p < props; ++p) {
+        Result<ObjectRef> prop =
+            sys.CreateInstance(Guid::FromName("clsid:PD.PropertySet"), iid_prop_);
+        if (!prop.ok()) {
+          return prop.status();
+        }
+        self.SetRef(StrFormat("prop%02d", p), *prop);
+        Message prop_in;
+        prop_in.Add("reader", Value::FromInterface(*reader));
+        prop_in.Add("index", Value::FromInt32(p));
+        prop_in.Add("chunks", Value::FromInt32(pull_chunks));
+        Result<Message> loaded = CallMethod(sys, *prop, kPropLoad, prop_in);
+        if (!loaded.ok()) {
+          return loaded.status();
+        }
+        // The UI queries a handful of summary properties.
+        for (int q = 0; q < t.prop_query_count; ++q) {
+          Message get_in;
+          get_in.Add("key", Value::FromInt32(q));
+          Result<Message> got = CallMethod(sys, *prop, kPropGet, get_in);
+          if (!got.ok()) {
+            return got.status();
+          }
+        }
+      }
+
+      // Stream the pixels to the root sprite cache and distribute them.
+      const ObjectRef sprite_root = self.GetRef("sprite_root");
+      const int bands = fresh_image ? 2 : (kind == "msr" ? t.pixel_msgs : 6);
+      for (int b = 0; b < bands; ++b) {
+        Message band_in;
+        band_in.Add("band", Value::FromInt32(b));
+        Result<Message> pixels = CallMethod(sys, *reader, kReaderReadPixels, band_in);
+        if (!pixels.ok()) {
+          return pixels.status();
+        }
+        Message fill_in;
+        fill_in.Add("pixels", *pixels->Find("pixels"));
+        Result<Message> filled = CallMethod(sys, sprite_root, kSpriteFillPixels, fill_in);
+        if (!filled.ok()) {
+          return filled.status();
+        }
+      }
+
+      // Apply a few transforms to the composition.
+      const int transforms = fresh_image ? 2 : t.transform_count;
+      for (int x = 0; x < transforms; ++x) {
+        Result<ObjectRef> transform = sys.CreateInstance(
+            Guid::FromName(StrFormat("clsid:PD.Transform%02d", x % t.transform_classes)),
+            iid_transform_);
+        if (!transform.ok()) {
+          return transform.status();
+        }
+        Message apply_in;
+        apply_in.Add("sprite", Value::FromInterface(sprite_root));
+        apply_in.Add("params", Value::FromRecord({
+                                   {"kind", Value::FromInt32(x)},
+                                   {"amount", Value::FromDouble(0.5)},
+                               }));
+        Result<Message> applied = CallMethod(sys, *transform, kTransformApply, apply_in);
+        if (!applied.ok()) {
+          return applied.status();
+        }
+      }
+
+      // Repaint.
+      for (const ObjectRef& container : self.RefsWithPrefix("container")) {
+        Message paint_in;
+        paint_in.Add("region", Value::BlobOfSize(512, container.instance));
+        Result<Message> painted = CallMethod(sys, container, kUiPaint, paint_in);
+        if (!painted.ok()) {
+          return painted.status();
+        }
+      }
+      out->Add("ok", Value::FromBool(true));
+      return Status::Ok();
+    };
+
+    table->Set(iid_app_, kAppNew,
+               [open_document](ScriptedComponent& self, const Message& in, Message* out) {
+                 return open_document(self, in.Find("kind")->AsString(),
+                                      /*fresh_image=*/true, out);
+               });
+    table->Set(iid_app_, kAppOpen,
+               [open_document](ScriptedComponent& self, const Message& in, Message* out) {
+                 return open_document(self, in.Find("kind")->AsString(),
+                                      /*fresh_image=*/false, out);
+               });
+    COIGN_RETURN_IF_ERROR(
+        RegisterScriptedClass(system, "PD.App", {iid_app_}, kApiGui, table));
+  }
+
+  return Status::Ok();
+}
+
+ApplicationImage PhotoDrawApp::Image() const {
+  ApplicationImage image;
+  image.name = "photodraw.exe";
+  image.binaries = {"photodraw.exe", "pdcore.dll", "pdsprite.dll", "pdfx.dll"};
+  image.import_table = {"ole32.dll", "user32.dll", "gdi32.dll", "kernel32.dll"};
+  return image;
+}
+
+ClassPlacement PhotoDrawApp::DefaultPlacement(const ObjectSystem& system) const {
+  (void)system;
+  ClassPlacement placement(kClientMachine);
+  placement.Place(Guid::FromName("clsid:PD.FileStore"), kServerMachine);
+  return placement;
+}
+
+struct PhotoDrawTask {
+  std::string kind;
+  bool fresh = false;
+};
+
+Status RunPhotoDrawScenario(ObjectSystem& system, const std::vector<PhotoDrawTask>& tasks) {
+  Result<ObjectRef> app = CreateByName(system, "PD.App", "PD.IApp");
+  if (!app.ok()) {
+    return app.status();
+  }
+  for (const PhotoDrawTask& task : tasks) {
+    Message in;
+    in.Add("kind", Value::FromString(task.kind));
+    Result<Message> out =
+        CallMethod(system, *app, task.fresh ? kAppNew : kAppOpen, in);
+    if (!out.ok()) {
+      return out.status();
+    }
+  }
+  return Status::Ok();
+}
+
+std::vector<Scenario> PhotoDrawApp::Scenarios() const {
+  auto scenario = [](std::string id, std::string description,
+                     std::vector<PhotoDrawTask> tasks) {
+    Scenario s;
+    s.id = std::move(id);
+    s.description = std::move(description);
+    s.run = [tasks = std::move(tasks)](ObjectSystem& system, Rng& rng) {
+      (void)rng;
+      return RunPhotoDrawScenario(system, tasks);
+    };
+    return s;
+  };
+
+  const PhotoDrawTask new_doc{"img", true};
+  const PhotoDrawTask new_msr{"msr", true};
+  const PhotoDrawTask old_cur{"cur", false};
+  const PhotoDrawTask old_msr{"msr", false};
+
+  return {
+      scenario("p_newdoc", "Create new image.", {new_doc}),
+      scenario("p_newmsr", "Create new composition.", {new_msr}),
+      scenario("p_oldcur", "View line drawing.", {old_cur}),
+      scenario("p_oldmsr", "View composition.", {old_msr}),
+      scenario("p_offcur", "p_newdoc then p_oldcur.", {new_doc, old_cur}),
+      scenario("p_offmsr", "p_newdoc then p_oldmsr.", {new_doc, old_msr}),
+      scenario("p_bigone", "All of the above in one scenario.",
+               {new_doc, new_msr, old_cur, old_msr}),
+  };
+}
+
+}  // namespace
+
+std::unique_ptr<Application> MakePhotoDraw() { return std::make_unique<PhotoDrawApp>(); }
+
+}  // namespace coign

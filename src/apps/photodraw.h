@@ -1,0 +1,28 @@
+// PhotoDraw: a synthetic counterpart of Microsoft PhotoDraw 2000 ("a
+// consumer application for manipulating digital images ... approximately
+// 112 COM component classes in 1.8 million lines of C++").
+//
+// Structural signatures reproduced (see DESIGN.md §2):
+//   * A hierarchy of sprite-cache components managing pixels for subsets of
+//     the composition, passing shared-memory region pointers opaquely
+//     through non-remotable interfaces — the ~50 non-distributable
+//     interfaces of Figure 4 that pin the sprite caches to the GUI.
+//   * A document reader pulling multi-megabyte compositions from the file
+//     store, plus high-level property sets created directly from file data
+//     with larger input than output — the eight components Coign places on
+//     the server in Figure 4.
+
+#ifndef COIGN_SRC_APPS_PHOTODRAW_H_
+#define COIGN_SRC_APPS_PHOTODRAW_H_
+
+#include <memory>
+
+#include "src/apps/app.h"
+
+namespace coign {
+
+std::unique_ptr<Application> MakePhotoDraw();
+
+}  // namespace coign
+
+#endif  // COIGN_SRC_APPS_PHOTODRAW_H_

@@ -1,0 +1,41 @@
+#include "src/apps/suite.h"
+
+#include "src/apps/benefits.h"
+#include "src/apps/octarine.h"
+#include "src/apps/photodraw.h"
+#include "src/support/str_util.h"
+
+namespace coign {
+
+std::vector<std::unique_ptr<Application>> BuildApplicationSuite() {
+  std::vector<std::unique_ptr<Application>> suite;
+  suite.push_back(MakeOctarine());
+  suite.push_back(MakePhotoDraw());
+  suite.push_back(MakeBenefits());
+  return suite;
+}
+
+Result<std::unique_ptr<Application>> BuildApplicationForScenario(
+    const std::string& scenario_id) {
+  if (StartsWith(scenario_id, "o_")) {
+    return MakeOctarine();
+  }
+  if (StartsWith(scenario_id, "p_")) {
+    return MakePhotoDraw();
+  }
+  if (StartsWith(scenario_id, "b_")) {
+    return MakeBenefits();
+  }
+  return NotFoundError("no application for scenario id: " + scenario_id);
+}
+
+std::vector<std::string> Table1ScenarioIds() {
+  return {
+      "o_newdoc", "o_newmus", "o_newtbl", "o_oldtb0", "o_oldtb3", "o_oldwp0",
+      "o_oldwp3", "o_oldwp7", "o_oldbth", "o_offtb3", "o_offwp7", "o_bigone",
+      "p_newdoc", "p_newmsr", "p_oldcur", "p_oldmsr", "p_offcur", "p_offmsr",
+      "p_bigone", "b_vueone", "b_addone", "b_delone", "b_bigone",
+  };
+}
+
+}  // namespace coign

@@ -1,0 +1,27 @@
+// The full application suite of the paper's evaluation: PhotoDraw,
+// Octarine, and the Corporate Benefits Sample, with every Table 1 scenario.
+
+#ifndef COIGN_SRC_APPS_SUITE_H_
+#define COIGN_SRC_APPS_SUITE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/apps/app.h"
+
+namespace coign {
+
+// All three applications, in Table 1 order (Octarine, PhotoDraw, Benefits).
+std::vector<std::unique_ptr<Application>> BuildApplicationSuite();
+
+// Builds the application owning a scenario id by its prefix
+// ("o_" = Octarine, "p_" = PhotoDraw, "b_" = Benefits).
+Result<std::unique_ptr<Application>> BuildApplicationForScenario(const std::string& scenario_id);
+
+// The 23 Table 1 scenario ids, in the table's order.
+std::vector<std::string> Table1ScenarioIds();
+
+}  // namespace coign
+
+#endif  // COIGN_SRC_APPS_SUITE_H_

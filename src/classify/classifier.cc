@@ -1,0 +1,60 @@
+#include "src/classify/classifier.h"
+
+#include <cassert>
+
+namespace coign {
+
+ClassificationId InstanceClassifier::Classify(const ClassDesc& cls,
+                                              const std::vector<CallFrame>& backtrace,
+                                              InstanceId new_instance) {
+  std::vector<CallFrame> trace = backtrace;
+  const int depth = stack_walk_depth();
+  if (depth >= 0 && trace.size() > static_cast<size_t>(depth)) {
+    trace.resize(static_cast<size_t>(depth));
+  }
+  Descriptor descriptor = MakeDescriptor(cls, trace);
+
+  ClassificationId id;
+  auto it = table_.find(descriptor);
+  if (it != table_.end()) {
+    id = it->second;
+  } else {
+    id = static_cast<ClassificationId>(descriptors_.size());
+    table_.emplace(descriptor, id);
+    descriptors_.push_back(std::move(descriptor));
+    instance_counts_.push_back(0);
+  }
+  instance_counts_[id] += 1;
+  ++instances_classified_;
+  instance_bindings_[new_instance] = id;
+  return id;
+}
+
+Result<ClassificationId> InstanceClassifier::ClassificationOf(InstanceId instance) const {
+  auto it = instance_bindings_.find(instance);
+  if (it == instance_bindings_.end()) {
+    return NotFoundError("instance has no classification this execution");
+  }
+  return it->second;
+}
+
+void InstanceClassifier::BeginExecution() { instance_bindings_.clear(); }
+
+Status InstanceClassifier::ImportDescriptors(const std::vector<Descriptor>& descriptors) {
+  if (!descriptors_.empty() || instances_classified_ != 0) {
+    return FailedPreconditionError("classifier table import after classification began");
+  }
+  descriptors_ = descriptors;
+  instance_counts_.assign(descriptors_.size(), 0);
+  for (size_t i = 0; i < descriptors_.size(); ++i) {
+    table_.emplace(descriptors_[i], static_cast<ClassificationId>(i));
+  }
+  return Status::Ok();
+}
+
+ClassificationId InstanceClassifier::PeerClassification(InstanceId instance) const {
+  auto it = instance_bindings_.find(instance);
+  return it == instance_bindings_.end() ? kNoClassification : it->second;
+}
+
+}  // namespace coign

@@ -1,0 +1,102 @@
+// Instance classifiers (paper §3.4).
+//
+// "The instance classifier identifies component instances with similar
+// communication profiles across separate executions of an application ...
+// The classifier groups instances with similar instantiation histories."
+//
+// A classifier is consulted at every instantiation with the class being
+// created and the current cross-component back-trace; it builds a
+// Descriptor (Figure 3) and assigns the instance to the classification of
+// that descriptor, creating a new classification for never-seen
+// descriptors. Classifications persist across program executions — they are
+// the keys profile analysis uses to map profiling-run behaviour onto
+// distribution-run instances.
+
+#ifndef COIGN_SRC_CLASSIFY_CLASSIFIER_H_
+#define COIGN_SRC_CLASSIFY_CLASSIFIER_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/classify/descriptor.h"
+#include "src/com/callstack.h"
+#include "src/com/class_registry.h"
+#include "src/support/status.h"
+
+namespace coign {
+
+// Unlimited stack walk.
+constexpr int kCompleteStackWalk = -1;
+
+class InstanceClassifier {
+ public:
+  virtual ~InstanceClassifier() = default;
+
+  virtual std::string name() const = 0;
+
+  // Classifies a new instance given the back-trace at instantiation time
+  // (innermost frame first). Records the instance → classification binding.
+  ClassificationId Classify(const ClassDesc& cls, const std::vector<CallFrame>& backtrace,
+                            InstanceId new_instance);
+
+  // Classification previously assigned to an instance (this execution).
+  Result<ClassificationId> ClassificationOf(InstanceId instance) const;
+
+  // Total distinct classifications discovered so far (all executions).
+  size_t classification_count() const { return descriptors_.size(); }
+
+  // Number of instances classified so far (all executions).
+  uint64_t instances_classified() const { return instances_classified_; }
+
+  // The descriptor that defines a classification.
+  const Descriptor& DescriptorOf(ClassificationId id) const { return descriptors_[id]; }
+
+  // Instances assigned to each classification (all executions).
+  uint64_t InstanceCountOf(ClassificationId id) const { return instance_counts_[id]; }
+
+  // Clears per-execution instance bindings but keeps the classification
+  // table — the state carried between profiling runs (and into the
+  // distributed run) via the configuration record. Overrides must call the
+  // base implementation.
+  virtual void BeginExecution();
+
+  // Marks the current classification count; classifications created after
+  // the mark are "new" (Table 2's bigone column).
+  void SetMark() { mark_ = descriptors_.size(); }
+  size_t NewClassificationsSinceMark() const { return descriptors_.size() - mark_; }
+
+  // The classification table, for persistence in the configuration record
+  // ("the application's ICC graph and component classification data are
+  // written into the configuration record", paper §2). Importing restores
+  // the id ↔ descriptor mapping so a later execution assigns the same ids.
+  std::vector<Descriptor> ExportDescriptors() const { return descriptors_; }
+  // Must be called before any instance is classified.
+  Status ImportDescriptors(const std::vector<Descriptor>& descriptors);
+
+ protected:
+  // Builds the classifier-specific descriptor. `backtrace` is already
+  // truncated to the classifier's stack-walk depth.
+  virtual Descriptor MakeDescriptor(const ClassDesc& cls,
+                                    const std::vector<CallFrame>& backtrace) = 0;
+
+  // Depth limit applied to the back-trace before MakeDescriptor; negative
+  // means complete walk.
+  virtual int stack_walk_depth() const { return kCompleteStackWalk; }
+
+  // Classification of a back-trace instance, for descriptors that embed
+  // instance classifications (IFCB/EPCB/IB). kNoClassification for unknown.
+  ClassificationId PeerClassification(InstanceId instance) const;
+
+ private:
+  std::unordered_map<Descriptor, ClassificationId, DescriptorHash> table_;
+  std::vector<Descriptor> descriptors_;
+  std::vector<uint64_t> instance_counts_;
+  std::unordered_map<InstanceId, ClassificationId> instance_bindings_;
+  uint64_t instances_classified_ = 0;
+  size_t mark_ = 0;
+};
+
+}  // namespace coign
+
+#endif  // COIGN_SRC_CLASSIFY_CLASSIFIER_H_

@@ -1,0 +1,172 @@
+#include "src/classify/classifiers.h"
+
+#include <cassert>
+
+namespace coign {
+namespace {
+
+enum TokenTag : uint64_t {
+  kTokSequence = 1,
+  kTokFunction = 2,
+  kTokClass = 3,
+  kTokInstanceFunction = 4,
+  kTokParent = 5,
+};
+
+uint64_t FunctionHash(const CallFrame& frame) {
+  uint64_t h = frame.iid.hi;
+  h ^= frame.iid.lo + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  h ^= frame.method + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  return h;
+}
+
+uint64_t ClassHash(const ClassId& clsid) { return clsid.hi ^ (clsid.lo * 3); }
+
+}  // namespace
+
+const std::vector<ClassifierKind>& AllClassifierKinds() {
+  static const std::vector<ClassifierKind> kKinds = {
+      ClassifierKind::kIncremental,
+      ClassifierKind::kProcedureCalledBy,
+      ClassifierKind::kStaticType,
+      ClassifierKind::kStaticTypeCalledBy,
+      ClassifierKind::kInternalFunctionCalledBy,
+      ClassifierKind::kEntryPointCalledBy,
+      ClassifierKind::kInstantiatedBy,
+  };
+  return kKinds;
+}
+
+std::string ClassifierKindName(ClassifierKind kind) {
+  switch (kind) {
+    case ClassifierKind::kIncremental:
+      return "Incremental";
+    case ClassifierKind::kProcedureCalledBy:
+      return "Procedure Called-By";
+    case ClassifierKind::kStaticType:
+      return "Static-Type";
+    case ClassifierKind::kStaticTypeCalledBy:
+      return "Static-Type Called-By";
+    case ClassifierKind::kInternalFunctionCalledBy:
+      return "Internal-Func. Called-By";
+    case ClassifierKind::kEntryPointCalledBy:
+      return "Entry-Point Called-By";
+    case ClassifierKind::kInstantiatedBy:
+      return "Instantiated-By";
+  }
+  return "?";
+}
+
+std::unique_ptr<InstanceClassifier> MakeClassifier(ClassifierKind kind, int depth) {
+  switch (kind) {
+    case ClassifierKind::kIncremental:
+      return std::make_unique<IncrementalClassifier>();
+    case ClassifierKind::kProcedureCalledBy:
+      return std::make_unique<ProcedureCalledByClassifier>(depth);
+    case ClassifierKind::kStaticType:
+      return std::make_unique<StaticTypeClassifier>();
+    case ClassifierKind::kStaticTypeCalledBy:
+      return std::make_unique<StaticTypeCalledByClassifier>(depth);
+    case ClassifierKind::kInternalFunctionCalledBy:
+      return std::make_unique<InternalFunctionCalledByClassifier>(depth);
+    case ClassifierKind::kEntryPointCalledBy:
+      return std::make_unique<EntryPointCalledByClassifier>(depth);
+    case ClassifierKind::kInstantiatedBy:
+      return std::make_unique<InstantiatedByClassifier>();
+  }
+  return nullptr;
+}
+
+Descriptor IncrementalClassifier::MakeDescriptor(const ClassDesc& cls,
+                                                 const std::vector<CallFrame>& backtrace) {
+  (void)cls;
+  (void)backtrace;
+  // Figure 3: "[10] (for 10th call to CoCreateInstance)" — order only, not
+  // even the class being created.
+  Descriptor d;
+  d.tokens.push_back(DescriptorToken{kTokSequence, next_sequence_++, 0});
+  return d;
+}
+
+Descriptor ProcedureCalledByClassifier::MakeDescriptor(
+    const ClassDesc& cls, const std::vector<CallFrame>& backtrace) {
+  Descriptor d;
+  d.clsid = cls.clsid;
+  d.tokens.reserve(backtrace.size());
+  for (const CallFrame& frame : backtrace) {
+    // Functions only — "the PCB classifier does not differentiate between
+    // individual instances of the same component class."
+    d.tokens.push_back(DescriptorToken{kTokFunction, FunctionHash(frame), 0});
+  }
+  return d;
+}
+
+Descriptor StaticTypeClassifier::MakeDescriptor(const ClassDesc& cls,
+                                                const std::vector<CallFrame>& backtrace) {
+  (void)backtrace;
+  Descriptor d;
+  d.clsid = cls.clsid;
+  return d;
+}
+
+Descriptor StaticTypeCalledByClassifier::MakeDescriptor(
+    const ClassDesc& cls, const std::vector<CallFrame>& backtrace) {
+  Descriptor d;
+  d.clsid = cls.clsid;
+  d.tokens.reserve(backtrace.size());
+  for (const CallFrame& frame : backtrace) {
+    d.tokens.push_back(DescriptorToken{kTokClass, ClassHash(frame.clsid), 0});
+  }
+  return d;
+}
+
+Descriptor InternalFunctionCalledByClassifier::MakeDescriptor(
+    const ClassDesc& cls, const std::vector<CallFrame>& backtrace) {
+  Descriptor d;
+  d.clsid = cls.clsid;
+  d.tokens.reserve(backtrace.size());
+  for (const CallFrame& frame : backtrace) {
+    d.tokens.push_back(DescriptorToken{kTokInstanceFunction,
+                                       PeerClassification(frame.instance),
+                                       FunctionHash(frame)});
+  }
+  return d;
+}
+
+Descriptor EntryPointCalledByClassifier::MakeDescriptor(
+    const ClassDesc& cls, const std::vector<CallFrame>& backtrace) {
+  Descriptor d;
+  d.clsid = cls.clsid;
+  // Keep only the frame through which control entered each instance on the
+  // stack: a frame is an entry point if the frame *below* it (next outer)
+  // belongs to a different instance. The back-trace is innermost-first, so
+  // the next outer frame is the next element.
+  size_t kept = 0;
+  for (size_t i = 0; i < backtrace.size(); ++i) {
+    const bool entered = i + 1 >= backtrace.size() ||
+                         backtrace[i + 1].instance != backtrace[i].instance;
+    if (!entered) {
+      continue;
+    }
+    d.tokens.push_back(DescriptorToken{kTokInstanceFunction,
+                                       PeerClassification(backtrace[i].instance),
+                                       FunctionHash(backtrace[i])});
+    if (depth_ >= 0 && ++kept >= static_cast<size_t>(depth_)) {
+      break;
+    }
+  }
+  return d;
+}
+
+Descriptor InstantiatedByClassifier::MakeDescriptor(const ClassDesc& cls,
+                                                    const std::vector<CallFrame>& backtrace) {
+  Descriptor d;
+  d.clsid = cls.clsid;
+  // Parent = the instance executing the instantiation request.
+  const ClassificationId parent =
+      backtrace.empty() ? kNoClassification : PeerClassification(backtrace.front().instance);
+  d.tokens.push_back(DescriptorToken{kTokParent, parent, 0});
+  return d;
+}
+
+}  // namespace coign

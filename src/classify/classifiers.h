@@ -1,0 +1,146 @@
+// The seven instance classifiers of paper §3.4 / Figure 3.
+//
+//   Incremental — order of instantiation; the paper's straw man.
+//   PCB   — static type + functions (class::method) on the back-trace.
+//   ST    — static type only.
+//   STCB  — static type + component *classes* on the back-trace.
+//   IFCB  — static type + (instance-classification, function) pairs for
+//           every frame; the classifier Coign typically uses.
+//   EPCB  — like IFCB but only frames that *entered* a component instance.
+//   IB    — static type + parent instance-classification
+//           (== IFCB with a depth-1 walk).
+//
+// PCB/STCB/IFCB/EPCB take a stack-walk depth (kCompleteStackWalk walks
+// everything) to trade accuracy against overhead (Table 3).
+
+#ifndef COIGN_SRC_CLASSIFY_CLASSIFIERS_H_
+#define COIGN_SRC_CLASSIFY_CLASSIFIERS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/classify/classifier.h"
+
+namespace coign {
+
+enum class ClassifierKind {
+  kIncremental,
+  kProcedureCalledBy,
+  kStaticType,
+  kStaticTypeCalledBy,
+  kInternalFunctionCalledBy,
+  kEntryPointCalledBy,
+  kInstantiatedBy,
+};
+
+// All seven kinds, in Table 2 order.
+const std::vector<ClassifierKind>& AllClassifierKinds();
+
+std::string ClassifierKindName(ClassifierKind kind);
+
+// Factory. `depth` applies to the called-by classifiers and is ignored by
+// Incremental/ST/IB.
+std::unique_ptr<InstanceClassifier> MakeClassifier(ClassifierKind kind,
+                                                   int depth = kCompleteStackWalk);
+
+class IncrementalClassifier : public InstanceClassifier {
+ public:
+  std::string name() const override { return "Incremental"; }
+
+  // The sequence restarts with every execution: the n-th instantiation of a
+  // run always lands in classification [n], which is exactly why the straw
+  // man "is strictly limited by the order of application execution".
+  void BeginExecution() override {
+    InstanceClassifier::BeginExecution();
+    next_sequence_ = 0;
+  }
+
+ protected:
+  Descriptor MakeDescriptor(const ClassDesc& cls,
+                            const std::vector<CallFrame>& backtrace) override;
+
+ private:
+  uint64_t next_sequence_ = 0;
+};
+
+class ProcedureCalledByClassifier : public InstanceClassifier {
+ public:
+  explicit ProcedureCalledByClassifier(int depth = kCompleteStackWalk) : depth_(depth) {}
+  std::string name() const override { return "Procedure Called-By"; }
+
+ protected:
+  Descriptor MakeDescriptor(const ClassDesc& cls,
+                            const std::vector<CallFrame>& backtrace) override;
+  int stack_walk_depth() const override { return depth_; }
+
+ private:
+  int depth_;
+};
+
+class StaticTypeClassifier : public InstanceClassifier {
+ public:
+  std::string name() const override { return "Static-Type"; }
+
+ protected:
+  Descriptor MakeDescriptor(const ClassDesc& cls,
+                            const std::vector<CallFrame>& backtrace) override;
+};
+
+class StaticTypeCalledByClassifier : public InstanceClassifier {
+ public:
+  explicit StaticTypeCalledByClassifier(int depth = kCompleteStackWalk) : depth_(depth) {}
+  std::string name() const override { return "Static-Type Called-By"; }
+
+ protected:
+  Descriptor MakeDescriptor(const ClassDesc& cls,
+                            const std::vector<CallFrame>& backtrace) override;
+  int stack_walk_depth() const override { return depth_; }
+
+ private:
+  int depth_;
+};
+
+class InternalFunctionCalledByClassifier : public InstanceClassifier {
+ public:
+  explicit InternalFunctionCalledByClassifier(int depth = kCompleteStackWalk)
+      : depth_(depth) {}
+  std::string name() const override { return "Internal-Func. Called-By"; }
+
+ protected:
+  Descriptor MakeDescriptor(const ClassDesc& cls,
+                            const std::vector<CallFrame>& backtrace) override;
+  int stack_walk_depth() const override { return depth_; }
+
+ private:
+  int depth_;
+};
+
+// Keeps only frames where control entered a component instance; the depth
+// limit applies to those entry frames.
+class EntryPointCalledByClassifier : public InstanceClassifier {
+ public:
+  explicit EntryPointCalledByClassifier(int depth = kCompleteStackWalk) : depth_(depth) {}
+  std::string name() const override { return "Entry-Point Called-By"; }
+
+ protected:
+  Descriptor MakeDescriptor(const ClassDesc& cls,
+                            const std::vector<CallFrame>& backtrace) override;
+
+ private:
+  int depth_;
+};
+
+class InstantiatedByClassifier : public InstanceClassifier {
+ public:
+  std::string name() const override { return "Instantiated-By"; }
+
+ protected:
+  Descriptor MakeDescriptor(const ClassDesc& cls,
+                            const std::vector<CallFrame>& backtrace) override;
+  int stack_walk_depth() const override { return 1; }
+};
+
+}  // namespace coign
+
+#endif  // COIGN_SRC_CLASSIFY_CLASSIFIERS_H_

@@ -1,0 +1,54 @@
+#include "src/classify/comm_vector.h"
+
+#include <cmath>
+
+namespace coign {
+
+double SparseCorrelation(const SparseVector& a, const SparseVector& b) {
+  double na = 0.0;
+  for (const auto& [dim, v] : a) {
+    na += v * v;
+  }
+  double nb = 0.0;
+  for (const auto& [dim, v] : b) {
+    nb += v * v;
+  }
+  if (na == 0.0 && nb == 0.0) {
+    return 1.0;
+  }
+  if (na == 0.0 || nb == 0.0) {
+    return 0.0;
+  }
+  double dot = 0.0;
+  const SparseVector& small = a.size() <= b.size() ? a : b;
+  const SparseVector& large = a.size() <= b.size() ? b : a;
+  for (const auto& [dim, v] : small) {
+    auto it = large.find(dim);
+    if (it != large.end()) {
+      dot += v * it->second;
+    }
+  }
+  return dot / (std::sqrt(na) * std::sqrt(nb));
+}
+
+void AddScaled(SparseVector* dst, const SparseVector& src, double scale) {
+  for (const auto& [dim, v] : src) {
+    (*dst)[dim] += v * scale;
+  }
+}
+
+void CommMatrix::Add(InstanceId a, InstanceId b, double weight) {
+  if (a == b) {
+    return;  // Intra-instance calls are not communication.
+  }
+  rows_[a][b] += weight;
+  rows_[b][a] += weight;
+}
+
+const std::unordered_map<InstanceId, double>& CommMatrix::RowOf(InstanceId instance) const {
+  static const std::unordered_map<InstanceId, double> kEmpty;
+  auto it = rows_.find(instance);
+  return it == rows_.end() ? kEmpty : it->second;
+}
+
+}  // namespace coign

@@ -1,0 +1,55 @@
+// Instance communication vectors (paper §4.2).
+//
+// "An instance communication vector is an ordered tuple of n real numbers
+// (one for each component instance in the application). Each number
+// quantifies the communication time with another component instance ...
+// We compare the correlation between two communication vectors with the
+// vector dot product operator."
+//
+// To compare vectors *across executions* the peer axis is the peer's
+// instance classification (stable between runs) rather than its transient
+// instance id. Vectors are sparse maps keyed by classification.
+
+#ifndef COIGN_SRC_CLASSIFY_COMM_VECTOR_H_
+#define COIGN_SRC_CLASSIFY_COMM_VECTOR_H_
+
+#include <unordered_map>
+
+#include "src/classify/descriptor.h"
+#include "src/com/types.h"
+
+namespace coign {
+
+using SparseVector = std::unordered_map<ClassificationId, double>;
+
+// Normalized dot product; 1 for identical direction, 0 for disjoint
+// support. Two empty (all-zero) vectors correlate 1.
+double SparseCorrelation(const SparseVector& a, const SparseVector& b);
+
+// dst += src * scale.
+void AddScaled(SparseVector* dst, const SparseVector& src, double scale);
+
+// Pairwise instance-to-instance communication recorded over one execution.
+// Weights are symmetric: communication *with* a peer counts regardless of
+// who called whom.
+class CommMatrix {
+ public:
+  void Add(InstanceId a, InstanceId b, double weight);
+
+  // Communication weights of one instance against its peers; empty map for
+  // instances that never communicated.
+  const std::unordered_map<InstanceId, double>& RowOf(InstanceId instance) const;
+
+  const std::unordered_map<InstanceId, std::unordered_map<InstanceId, double>>& rows() const {
+    return rows_;
+  }
+
+  void Clear() { rows_.clear(); }
+
+ private:
+  std::unordered_map<InstanceId, std::unordered_map<InstanceId, double>> rows_;
+};
+
+}  // namespace coign
+
+#endif  // COIGN_SRC_CLASSIFY_COMM_VECTOR_H_

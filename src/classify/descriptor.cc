@@ -1,0 +1,23 @@
+#include "src/classify/descriptor.h"
+
+namespace coign {
+namespace {
+
+uint64_t MixInto(uint64_t h, uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  return h;
+}
+
+}  // namespace
+
+uint64_t Descriptor::Hash() const {
+  uint64_t h = MixInto(clsid.hi, clsid.lo);
+  for (const DescriptorToken& token : tokens) {
+    h = MixInto(h, token.tag);
+    h = MixInto(h, token.a);
+    h = MixInto(h, token.b);
+  }
+  return h;
+}
+
+}  // namespace coign

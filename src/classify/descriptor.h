@@ -1,0 +1,57 @@
+// Classifier descriptors (paper Figure 3).
+//
+// Each instance classifier creates a descriptor at instantiation time to
+// uniquely identify groups of similar component instances. A descriptor is
+// the component's class plus a classifier-specific encoding of the
+// instantiation context (stack back-trace tokens). Two instantiations with
+// equal descriptors fall into the same instance classification.
+
+#ifndef COIGN_SRC_CLASSIFY_DESCRIPTOR_H_
+#define COIGN_SRC_CLASSIFY_DESCRIPTOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/com/types.h"
+
+namespace coign {
+
+// Dense id of an instance classification, assigned in discovery order by a
+// ClassificationTable. Valid ids start at 0; kNoClassification marks
+// unclassified peers (e.g. the scenario driver).
+using ClassificationId = uint32_t;
+constexpr ClassificationId kNoClassification = ~ClassificationId{0};
+
+// One back-trace element of a descriptor. The meaning of the fields depends
+// on the classifier (a function hash for PCB, a class hash for STCB, a
+// (classification, function) pair for IFCB/EPCB/IB, a sequence number for
+// Incremental); equality and hashing are what matter.
+struct DescriptorToken {
+  uint64_t tag = 0;
+  uint64_t a = 0;
+  uint64_t b = 0;
+
+  friend bool operator==(const DescriptorToken&, const DescriptorToken&) = default;
+};
+
+struct Descriptor {
+  ClassId clsid;            // The class being instantiated.
+  std::vector<DescriptorToken> tokens;  // Innermost stack context first.
+  std::string debug;        // Human-readable form, e.g. "[D, [c,Z], [b2,Y]]".
+
+  // Stable 64-bit hash over clsid + tokens (debug text excluded).
+  uint64_t Hash() const;
+
+  friend bool operator==(const Descriptor& a, const Descriptor& b) {
+    return a.clsid == b.clsid && a.tokens == b.tokens;
+  }
+};
+
+struct DescriptorHash {
+  size_t operator()(const Descriptor& d) const { return static_cast<size_t>(d.Hash()); }
+};
+
+}  // namespace coign
+
+#endif  // COIGN_SRC_CLASSIFY_DESCRIPTOR_H_

@@ -1,0 +1,66 @@
+#include "src/classify/evaluation.h"
+
+namespace coign {
+
+SparseVector ClassifierEvaluator::VectorFor(InstanceId instance, const CommMatrix& comm) const {
+  SparseVector vector;
+  for (const auto& [peer, weight] : comm.RowOf(instance)) {
+    const Result<ClassificationId> peer_class = classifier_->ClassificationOf(peer);
+    // Peers outside classification (the scenario driver) share a synthetic
+    // dimension so "talks mostly to the driver" is itself a signature.
+    const ClassificationId dim = peer_class.ok() ? *peer_class : kNoClassification;
+    vector[dim] += weight;
+  }
+  return vector;
+}
+
+void ClassifierEvaluator::AccumulateProfilingRun(const CommMatrix& comm) {
+  for (const auto& [instance, row] : comm.rows()) {
+    const Result<ClassificationId> cls = classifier_->ClassificationOf(instance);
+    if (!cls.ok()) {
+      continue;
+    }
+    const SparseVector vector = VectorFor(instance, comm);
+    AddScaled(&profiles_[*cls], vector, 1.0);
+  }
+}
+
+void ClassifierEvaluator::BeginEvaluationPhase() {
+  profiled_classifications_ = classifier_->classification_count();
+  profiled_instances_ = classifier_->instances_classified();
+  classifier_->SetMark();
+}
+
+void ClassifierEvaluator::AccumulateEvaluationRun(const CommMatrix& comm) {
+  for (const auto& [instance, row] : comm.rows()) {
+    const Result<ClassificationId> cls = classifier_->ClassificationOf(instance);
+    if (!cls.ok()) {
+      continue;  // The driver pseudo-instance.
+    }
+    const SparseVector actual = VectorFor(instance, comm);
+    auto it = profiles_.find(*cls);
+    if (it == profiles_.end()) {
+      // Instance fell into a classification never seen while profiling: the
+      // chosen profile predicts nothing about it.
+      correlations_.Add(0.0);
+      continue;
+    }
+    correlations_.Add(SparseCorrelation(actual, it->second));
+  }
+}
+
+ClassifierAccuracyRow ClassifierEvaluator::Row() const {
+  ClassifierAccuracyRow row;
+  row.name = classifier_->name();
+  row.profiled_classifications = profiled_classifications_;
+  row.new_classifications = classifier_->NewClassificationsSinceMark();
+  row.avg_instances_per_classification =
+      profiled_classifications_ == 0
+          ? 0.0
+          : static_cast<double>(profiled_instances_) /
+                static_cast<double>(profiled_classifications_);
+  row.avg_correlation = correlations_.count() == 0 ? 0.0 : correlations_.mean();
+  return row;
+}
+
+}  // namespace coign

@@ -1,0 +1,64 @@
+// Classifier accuracy evaluation — produces Tables 2 and 3.
+//
+// Protocol (paper §4.2): run the classifier through every profiling
+// scenario to build per-classification communication profiles, then run the
+// synthesized `bigone` scenario and measure (a) how many classifications
+// are new — a good classifier recognizes everything — and (b) how well each
+// bigone instance's communication vector correlates with the profile of the
+// classification it was assigned to.
+
+#ifndef COIGN_SRC_CLASSIFY_EVALUATION_H_
+#define COIGN_SRC_CLASSIFY_EVALUATION_H_
+
+#include <string>
+#include <unordered_map>
+
+#include "src/classify/classifier.h"
+#include "src/classify/comm_vector.h"
+#include "src/support/stats.h"
+
+namespace coign {
+
+// One row of Table 2 / Table 3.
+struct ClassifierAccuracyRow {
+  std::string name;
+  size_t profiled_classifications = 0;
+  size_t new_classifications = 0;
+  double avg_instances_per_classification = 0.0;
+  double avg_correlation = 0.0;
+};
+
+class ClassifierEvaluator {
+ public:
+  // The evaluator observes but does not own the classifier.
+  explicit ClassifierEvaluator(InstanceClassifier* classifier) : classifier_(classifier) {}
+
+  // Folds one profiling execution's communication into the per-
+  // classification profiles. Call after the execution, before the next
+  // BeginExecution() on the classifier.
+  void AccumulateProfilingRun(const CommMatrix& comm);
+
+  // Snapshots profiling-phase statistics and marks the classifier; call
+  // between the last profiling run and the bigone run.
+  void BeginEvaluationPhase();
+
+  // Scores the bigone execution. Call after the execution.
+  void AccumulateEvaluationRun(const CommMatrix& comm);
+
+  ClassifierAccuracyRow Row() const;
+
+ private:
+  // Instance→sparse vector over peer classifications, using the
+  // classifier's current bindings.
+  SparseVector VectorFor(InstanceId instance, const CommMatrix& comm) const;
+
+  InstanceClassifier* classifier_;
+  std::unordered_map<ClassificationId, SparseVector> profiles_;
+  size_t profiled_classifications_ = 0;
+  uint64_t profiled_instances_ = 0;
+  RunningStats correlations_;
+};
+
+}  // namespace coign
+
+#endif  // COIGN_SRC_CLASSIFY_EVALUATION_H_

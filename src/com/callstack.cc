@@ -1,0 +1,23 @@
+#include "src/com/callstack.h"
+
+#include <cassert>
+
+namespace coign {
+
+void CallStack::Push(const CallFrame& frame) {
+  CallFrame f = frame;
+  f.entered_instance =
+      frames_.empty() || frames_.back().instance != frame.instance;
+  frames_.push_back(f);
+}
+
+void CallStack::Pop() {
+  assert(!frames_.empty());
+  frames_.pop_back();
+}
+
+std::vector<CallFrame> CallStack::BackTrace() const {
+  return {frames_.rbegin(), frames_.rend()};
+}
+
+}  // namespace coign

@@ -1,0 +1,57 @@
+// The execution call stack across component boundaries.
+//
+// In the real system this is the x86 stack, which Coign's instance
+// classifiers walk at instantiation time (paper §3.4, Figure 3). Here the
+// ObjectSystem maintains the cross-component stack explicitly as calls are
+// dispatched, which gives classifiers the same back-trace the paper's
+// stack walker recovers.
+
+#ifndef COIGN_SRC_COM_CALLSTACK_H_
+#define COIGN_SRC_COM_CALLSTACK_H_
+
+#include <string>
+#include <vector>
+
+#include "src/com/types.h"
+
+namespace coign {
+
+struct CallFrame {
+  InstanceId instance = kNoInstance;  // Instance executing this frame.
+  ClassId clsid;                      // Its component class.
+  InterfaceId iid;                    // Interface the call arrived on.
+  MethodIndex method = 0;
+  // True if this frame entered a different instance than the frame below it
+  // (i.e. control crossed a component-instance boundary here). The
+  // entry-point called-by classifier keeps only these frames.
+  bool entered_instance = false;
+};
+
+class CallStack {
+ public:
+  void Push(const CallFrame& frame);
+  void Pop();
+
+  bool empty() const { return frames_.empty(); }
+  size_t depth() const { return frames_.size(); }
+
+  // Innermost (most recent) frame; requires !empty().
+  const CallFrame& Top() const { return frames_.back(); }
+
+  // Frames ordered innermost-first — the order classifier descriptors list
+  // them in Figure 3.
+  std::vector<CallFrame> BackTrace() const;
+
+  // Instance executing right now (kNoInstance when the application's
+  // top-level driver is running).
+  InstanceId CurrentInstance() const {
+    return frames_.empty() ? kNoInstance : frames_.back().instance;
+  }
+
+ private:
+  std::vector<CallFrame> frames_;
+};
+
+}  // namespace coign
+
+#endif  // COIGN_SRC_COM_CALLSTACK_H_

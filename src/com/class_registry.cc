@@ -1,0 +1,46 @@
+#include "src/com/class_registry.h"
+
+#include <algorithm>
+
+namespace coign {
+
+bool ClassDesc::Implements(const InterfaceId& iid) const {
+  return std::find(interfaces.begin(), interfaces.end(), iid) != interfaces.end();
+}
+
+Status ClassRegistry::Register(ClassDesc desc) {
+  if (!desc.factory) {
+    return InvalidArgumentError("class has no factory: " + desc.name);
+  }
+  if (classes_.contains(desc.clsid)) {
+    return AlreadyExistsError("class already registered: " + desc.name);
+  }
+  if (by_name_.contains(desc.name)) {
+    return AlreadyExistsError("class name already registered: " + desc.name);
+  }
+  const ClassId clsid = desc.clsid;
+  by_name_.emplace(desc.name, clsid);
+  classes_.emplace(clsid, std::move(desc));
+  return Status::Ok();
+}
+
+const ClassDesc* ClassRegistry::Lookup(const ClassId& clsid) const {
+  auto it = classes_.find(clsid);
+  return it == classes_.end() ? nullptr : &it->second;
+}
+
+const ClassDesc* ClassRegistry::LookupByName(const std::string& name) const {
+  auto it = by_name_.find(name);
+  return it == by_name_.end() ? nullptr : Lookup(it->second);
+}
+
+std::vector<const ClassDesc*> ClassRegistry::All() const {
+  std::vector<const ClassDesc*> out;
+  out.reserve(classes_.size());
+  for (const auto& [clsid, desc] : classes_) {
+    out.push_back(&desc);
+  }
+  return out;
+}
+
+}  // namespace coign

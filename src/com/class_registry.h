@@ -1,0 +1,58 @@
+// Component classes and their registry — the stand-in for the COM class
+// table, plus the per-class facts Coign's static analysis extracts from
+// binaries (which Windows API families each component touches, paper §2:
+// "components that access a set of known GUI or storage APIs are placed on
+// the client or server respectively").
+
+#ifndef COIGN_SRC_COM_CLASS_REGISTRY_H_
+#define COIGN_SRC_COM_CLASS_REGISTRY_H_
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/com/object.h"
+#include "src/com/types.h"
+#include "src/support/status.h"
+
+namespace coign {
+
+// Bitmask of API families a component's binary code references.
+enum ApiUsage : uint32_t {
+  kApiNone = 0,
+  kApiGui = 1u << 0,      // USER32/GDI32-style calls: must run on the client.
+  kApiStorage = 1u << 1,  // File/storage calls: must run where the data is.
+  kApiOdbc = 1u << 2,     // Proprietary database connection (not analyzable).
+};
+
+struct ClassDesc {
+  ClassId clsid;
+  std::string name;
+  // Interfaces instances of this class implement.
+  std::vector<InterfaceId> interfaces;
+  // ApiUsage bitmask discovered by static binary analysis.
+  uint32_t api_usage = kApiNone;
+  // Instantiates a fresh component. Never null for a registered class.
+  std::function<RefPtr<ComponentInstance>()> factory;
+
+  bool Implements(const InterfaceId& iid) const;
+};
+
+class ClassRegistry {
+ public:
+  Status Register(ClassDesc desc);
+  const ClassDesc* Lookup(const ClassId& clsid) const;
+  const ClassDesc* LookupByName(const std::string& name) const;
+
+  size_t size() const { return classes_.size(); }
+  std::vector<const ClassDesc*> All() const;
+
+ private:
+  std::unordered_map<ClassId, ClassDesc> classes_;
+  std::unordered_map<std::string, ClassId> by_name_;
+};
+
+}  // namespace coign
+
+#endif  // COIGN_SRC_COM_CLASS_REGISTRY_H_

@@ -1,0 +1,45 @@
+#include "src/com/message.h"
+
+namespace coign {
+
+Message& Message::Add(std::string name, Value value) {
+  args_.push_back(Argument{std::move(name), std::move(value)});
+  return *this;
+}
+
+const Value* Message::Find(std::string_view name) const {
+  for (const Argument& arg : args_) {
+    if (arg.name == name) {
+      return &arg.value;
+    }
+  }
+  return nullptr;
+}
+
+bool Message::ContainsOpaque() const {
+  for (const Argument& arg : args_) {
+    if (arg.value.ContainsOpaque()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void Message::CollectInterfaces(std::vector<ObjectRef>* out) const {
+  for (const Argument& arg : args_) {
+    arg.value.CollectInterfaces(out);
+  }
+}
+
+std::string Message::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < args_.size(); ++i) {
+    if (i > 0) {
+      out += ", ";
+    }
+    out += args_[i].name + "=" + args_[i].value.ToString();
+  }
+  return out + ")";
+}
+
+}  // namespace coign

@@ -1,0 +1,53 @@
+// Messages: the argument frames that cross interface boundaries.
+//
+// An interface call carries an input Message (the [in] parameters) and gets
+// back an output Message (the [out] parameters). The marshal library turns
+// Messages into wire bytes with DCOM deep-copy semantics.
+
+#ifndef COIGN_SRC_COM_MESSAGE_H_
+#define COIGN_SRC_COM_MESSAGE_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/com/value.h"
+
+namespace coign {
+
+class Message {
+ public:
+  struct Argument {
+    std::string name;
+    Value value;
+
+    friend bool operator==(const Argument& a, const Argument& b) = default;
+  };
+
+  Message() = default;
+
+  Message& Add(std::string name, Value value);
+
+  size_t size() const { return args_.size(); }
+  bool empty() const { return args_.empty(); }
+
+  const Argument& at(size_t index) const { return args_[index]; }
+  // nullptr if absent.
+  const Value* Find(std::string_view name) const;
+
+  const std::vector<Argument>& args() const { return args_; }
+
+  bool ContainsOpaque() const;
+  void CollectInterfaces(std::vector<ObjectRef>* out) const;
+
+  std::string ToString() const;
+
+  friend bool operator==(const Message& a, const Message& b) = default;
+
+ private:
+  std::vector<Argument> args_;
+};
+
+}  // namespace coign
+
+#endif  // COIGN_SRC_COM_MESSAGE_H_

@@ -1,0 +1,84 @@
+#include "src/com/metadata.h"
+
+#include <cassert>
+#include <utility>
+
+namespace coign {
+
+InterfaceBuilder::InterfaceBuilder(std::string name) {
+  desc_.iid = Guid::FromName("iid:" + name);
+  desc_.name = std::move(name);
+}
+
+InterfaceBuilder& InterfaceBuilder::NonRemotable() {
+  desc_.remotable = false;
+  return *this;
+}
+
+InterfaceBuilder& InterfaceBuilder::Method(std::string name) {
+  desc_.methods.push_back(MethodDesc{std::move(name), {}, false});
+  return *this;
+}
+
+InterfaceBuilder& InterfaceBuilder::Cacheable() {
+  assert(!desc_.methods.empty() && "Cacheable() before Method()");
+  desc_.methods.back().cacheable = true;
+  return *this;
+}
+
+InterfaceBuilder& InterfaceBuilder::In(std::string name, ValueKind kind) {
+  assert(!desc_.methods.empty() && "In() before Method()");
+  desc_.methods.back().params.push_back(
+      ParamDesc{std::move(name), ParamDirection::kIn, kind});
+  return *this;
+}
+
+InterfaceBuilder& InterfaceBuilder::Out(std::string name, ValueKind kind) {
+  assert(!desc_.methods.empty() && "Out() before Method()");
+  desc_.methods.back().params.push_back(
+      ParamDesc{std::move(name), ParamDirection::kOut, kind});
+  return *this;
+}
+
+InterfaceBuilder& InterfaceBuilder::InOut(std::string name, ValueKind kind) {
+  assert(!desc_.methods.empty() && "InOut() before Method()");
+  desc_.methods.back().params.push_back(
+      ParamDesc{std::move(name), ParamDirection::kInOut, kind});
+  return *this;
+}
+
+InterfaceDesc InterfaceBuilder::Build() { return std::move(desc_); }
+
+Status InterfaceRegistry::Register(InterfaceDesc desc) {
+  if (interfaces_.contains(desc.iid)) {
+    return AlreadyExistsError("interface already registered: " + desc.name);
+  }
+  if (by_name_.contains(desc.name)) {
+    return AlreadyExistsError("interface name already registered: " + desc.name);
+  }
+  const InterfaceId iid = desc.iid;
+  by_name_.emplace(desc.name, iid);
+  interfaces_.emplace(iid, std::move(desc));
+  return Status::Ok();
+}
+
+const InterfaceDesc* InterfaceRegistry::Lookup(const InterfaceId& iid) const {
+  auto it = interfaces_.find(iid);
+  return it == interfaces_.end() ? nullptr : &it->second;
+}
+
+const InterfaceDesc* InterfaceRegistry::LookupByName(const std::string& name) const {
+  auto it = by_name_.find(name);
+  return it == by_name_.end() ? nullptr : Lookup(it->second);
+}
+
+std::vector<const InterfaceDesc*> InterfaceRegistry::All() const {
+  std::vector<const InterfaceDesc*> out;
+  out.reserve(interfaces_.size());
+  for (const auto& [iid, desc] : interfaces_) {
+    out.push_back(&desc);
+  }
+  return out;
+}
+
+}  // namespace coign

@@ -1,0 +1,94 @@
+// Static interface metadata — the stand-in for MIDL compiler output.
+//
+// The profiling interface informer uses this metadata to walk every call
+// parameter and measure communication precisely (paper §3.2). An interface
+// declared non-remotable (or whose methods carry opaque pointers) cannot
+// cross a machine boundary; the analysis engine turns such edges into
+// infinite-weight colocation constraints.
+
+#ifndef COIGN_SRC_COM_METADATA_H_
+#define COIGN_SRC_COM_METADATA_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/com/types.h"
+#include "src/com/value.h"
+#include "src/support/status.h"
+
+namespace coign {
+
+enum class ParamDirection : uint8_t { kIn, kOut, kInOut };
+
+struct ParamDesc {
+  std::string name;
+  ParamDirection direction = ParamDirection::kIn;
+  ValueKind kind = ValueKind::kNull;
+};
+
+struct MethodDesc {
+  std::string name;
+  std::vector<ParamDesc> params;
+  // True if the method is a pure query: identical requests yield identical
+  // replies, so a caching proxy may answer repeats locally (the paper's
+  // "per-interface caching through COM's semi-custom marshaling").
+  bool cacheable = false;
+};
+
+struct InterfaceDesc {
+  InterfaceId iid;
+  std::string name;
+  // False for interfaces with no IDL marshaling info (the paper's
+  // "non-distributable interfaces", drawn as solid black lines in Figs 4-5).
+  bool remotable = true;
+  std::vector<MethodDesc> methods;
+
+  const MethodDesc* FindMethod(MethodIndex index) const {
+    if (index >= methods.size()) {
+      return nullptr;
+    }
+    return &methods[index];
+  }
+};
+
+// Builder sugar for declaring interfaces in application code.
+class InterfaceBuilder {
+ public:
+  explicit InterfaceBuilder(std::string name);
+
+  InterfaceBuilder& NonRemotable();
+  // Starts a new method; subsequent In/Out calls attach parameters to it.
+  InterfaceBuilder& Method(std::string name);
+  // Marks the current method as a cacheable pure query.
+  InterfaceBuilder& Cacheable();
+  InterfaceBuilder& In(std::string name, ValueKind kind);
+  InterfaceBuilder& Out(std::string name, ValueKind kind);
+  InterfaceBuilder& InOut(std::string name, ValueKind kind);
+
+  // Consumes the builder's state; call once, at the end of the chain.
+  InterfaceDesc Build();
+
+ private:
+  InterfaceDesc desc_;
+};
+
+class InterfaceRegistry {
+ public:
+  Status Register(InterfaceDesc desc);
+  const InterfaceDesc* Lookup(const InterfaceId& iid) const;
+  const InterfaceDesc* LookupByName(const std::string& name) const;
+
+  size_t size() const { return interfaces_.size(); }
+
+  // All registered interfaces, unordered.
+  std::vector<const InterfaceDesc*> All() const;
+
+ private:
+  std::unordered_map<InterfaceId, InterfaceDesc> interfaces_;
+  std::unordered_map<std::string, InterfaceId> by_name_;
+};
+
+}  // namespace coign
+
+#endif  // COIGN_SRC_COM_METADATA_H_

@@ -1,0 +1,6 @@
+#include "src/com/object.h"
+
+// ComponentInstance is header-only today; this file anchors the library's
+// vtable emission.
+
+namespace coign {}  // namespace coign

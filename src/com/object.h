@@ -1,0 +1,109 @@
+// Component instances.
+//
+// A ComponentInstance is the unit the paper distributes: a refcounted object
+// reached only through interfaces. Concrete components override Dispatch()
+// — the binary-standard entry point through which every inter-component
+// call flows (and at which Coign interposes).
+
+#ifndef COIGN_SRC_COM_OBJECT_H_
+#define COIGN_SRC_COM_OBJECT_H_
+
+#include <cstdint>
+#include <utility>
+
+#include "src/com/message.h"
+#include "src/com/types.h"
+#include "src/support/status.h"
+
+namespace coign {
+
+class ObjectSystem;
+
+class ComponentInstance {
+ public:
+  ComponentInstance() = default;
+  ComponentInstance(const ComponentInstance&) = delete;
+  ComponentInstance& operator=(const ComponentInstance&) = delete;
+  virtual ~ComponentInstance() = default;
+
+  uint32_t AddRef() { return ++ref_count_; }
+  uint32_t Release() {
+    const uint32_t remaining = --ref_count_;
+    if (remaining == 0) {
+      delete this;
+    }
+    return remaining;
+  }
+
+  InstanceId id() const { return id_; }
+  const ClassId& clsid() const { return clsid_; }
+  ObjectSystem* system() const { return system_; }
+
+  // Handles a call on one of this component's interfaces. `out` is the
+  // reply message ([out] parameters); it is empty on entry.
+  virtual Status Dispatch(const InterfaceId& iid, MethodIndex method,
+                          const Message& in, Message* out) = 0;
+
+ private:
+  friend class ObjectSystem;
+  void Bind(ObjectSystem* system, InstanceId id, const ClassId& clsid) {
+    system_ = system;
+    id_ = id;
+    clsid_ = clsid;
+  }
+
+  uint32_t ref_count_ = 1;
+  InstanceId id_ = kNoInstance;
+  ClassId clsid_;
+  ObjectSystem* system_ = nullptr;
+};
+
+// Intrusive smart pointer for ComponentInstance-derived types.
+template <typename T>
+class RefPtr {
+ public:
+  RefPtr() = default;
+  // Adopts an existing reference (does not AddRef).
+  static RefPtr Adopt(T* ptr) {
+    RefPtr out;
+    out.ptr_ = ptr;
+    return out;
+  }
+
+  RefPtr(const RefPtr& other) : ptr_(other.ptr_) {
+    if (ptr_ != nullptr) {
+      ptr_->AddRef();
+    }
+  }
+  RefPtr(RefPtr&& other) noexcept : ptr_(std::exchange(other.ptr_, nullptr)) {}
+  RefPtr& operator=(RefPtr other) noexcept {
+    std::swap(ptr_, other.ptr_);
+    return *this;
+  }
+  ~RefPtr() {
+    if (ptr_ != nullptr) {
+      ptr_->Release();
+    }
+  }
+
+  T* get() const { return ptr_; }
+  T* operator->() const { return ptr_; }
+  T& operator*() const { return *ptr_; }
+  explicit operator bool() const { return ptr_ != nullptr; }
+
+  // Releases ownership without dropping the reference.
+  T* Detach() { return std::exchange(ptr_, nullptr); }
+
+ private:
+  T* ptr_ = nullptr;
+};
+
+// Creates a component with an initial reference.
+template <typename T, typename... Args>
+RefPtr<T> MakeComponent(Args&&... args) {
+  return RefPtr<T>::Adopt(new T(std::forward<Args>(args)...));
+}
+
+}  // namespace coign
+
+#endif  // COIGN_SRC_COM_OBJECT_H_

@@ -1,0 +1,262 @@
+#include "src/com/object_system.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/support/str_util.h"
+
+namespace coign {
+
+ObjectSystem::ObjectSystem() = default;
+
+Result<ObjectRef> ObjectSystem::CreateInstance(const ClassId& clsid, const InterfaceId& iid) {
+  const ClassDesc* cls = classes_.Lookup(clsid);
+  if (cls == nullptr) {
+    return NotFoundError("unknown class " + clsid.ToString());
+  }
+  if (!cls->Implements(iid)) {
+    return InvalidArgumentError(
+        StrFormat("class %s does not implement requested interface", cls->name.c_str()));
+  }
+  const InstanceId creator = stack_.CurrentInstance();
+
+  // The component factory's decision point: which machine fulfills this
+  // instantiation request.
+  MachineId machine = kClientMachine;
+  if (creator != kNoInstance) {
+    // Default COM behaviour: in-process instantiation, i.e. the new
+    // instance lives where its creator runs.
+    auto it = instances_.find(creator);
+    assert(it != instances_.end());
+    machine = it->second.machine;
+  }
+  const InstanceId id = next_id_++;
+  if (placement_) {
+    machine = placement_(*cls, creator, id);
+  }
+
+  RefPtr<ComponentInstance> object = cls->factory();
+  if (!object) {
+    return InternalError("factory returned null for class " + cls->name);
+  }
+  object->Bind(this, id, clsid);
+
+  Entry entry;
+  entry.object = std::move(object);
+  entry.cls = cls;
+  entry.machine = machine;
+  entry.creator = creator;
+  instances_.emplace(id, std::move(entry));
+  ++total_instantiations_;
+
+  for (Interceptor* interceptor : interceptors_) {
+    interceptor->OnInstantiated(*cls, id, creator);
+  }
+  return ObjectRef{id, iid};
+}
+
+Result<ObjectRef> ObjectSystem::CreateInstanceByName(const std::string& class_name,
+                                                     const std::string& interface_name) {
+  const ClassDesc* cls = classes_.LookupByName(class_name);
+  if (cls == nullptr) {
+    return NotFoundError("unknown class name " + class_name);
+  }
+  const InterfaceDesc* iface = interfaces_.LookupByName(interface_name);
+  if (iface == nullptr) {
+    return NotFoundError("unknown interface name " + interface_name);
+  }
+  return CreateInstance(cls->clsid, iface->iid);
+}
+
+Result<ObjectRef> ObjectSystem::QueryInterface(const ObjectRef& ref, const InterfaceId& iid) {
+  auto it = instances_.find(ref.instance);
+  if (it == instances_.end()) {
+    return NotFoundError("QueryInterface on dead instance");
+  }
+  if (!it->second.cls->Implements(iid)) {
+    return NotFoundError(
+        StrFormat("E_NOINTERFACE: %s does not implement requested interface",
+                  it->second.cls->name.c_str()));
+  }
+  return ObjectRef{ref.instance, iid};
+}
+
+Status ObjectSystem::ValidateRemotability(const CallEvent& event, const InterfaceDesc& iface,
+                                          const Message& in) const {
+  if (!event.is_remote()) {
+    return Status::Ok();
+  }
+  if (!iface.remotable) {
+    return FailedPreconditionError(
+        StrFormat("non-remotable interface %s called across machines %d->%d",
+                  iface.name.c_str(), event.caller_machine, event.target_machine));
+  }
+  if (in.ContainsOpaque()) {
+    return FailedPreconditionError(
+        StrFormat("opaque pointer passed across machines on interface %s",
+                  iface.name.c_str()));
+  }
+  return Status::Ok();
+}
+
+Status ObjectSystem::Call(const ObjectRef& target, MethodIndex method, const Message& in,
+                          Message* out) {
+  assert(out != nullptr);
+  auto it = instances_.find(target.instance);
+  if (it == instances_.end()) {
+    return NotFoundError(
+        StrFormat("call on dead instance #%llu",
+                  static_cast<unsigned long long>(target.instance)));
+  }
+  Entry& entry = it->second;
+  if (!entry.cls->Implements(target.iid)) {
+    return InvalidArgumentError(
+        StrFormat("class %s does not implement the called interface",
+                  entry.cls->name.c_str()));
+  }
+  const InterfaceDesc* iface = interfaces_.Lookup(target.iid);
+  if (iface == nullptr) {
+    return NotFoundError("called interface is not registered");
+  }
+  if (iface->FindMethod(method) == nullptr) {
+    return OutOfRangeError(
+        StrFormat("interface %s has no method %u", iface->name.c_str(), method));
+  }
+
+  CallEvent event;
+  event.caller = stack_.CurrentInstance();
+  if (event.caller != kNoInstance) {
+    auto caller_it = instances_.find(event.caller);
+    assert(caller_it != instances_.end());
+    event.caller_clsid = caller_it->second.cls->clsid;
+    event.caller_machine = caller_it->second.machine;
+  }
+  event.target = target;
+  event.target_clsid = entry.cls->clsid;
+  event.target_machine = entry.machine;
+  event.method = method;
+  event.in = &in;
+
+  COIGN_RETURN_IF_ERROR(ValidateRemotability(event, *iface, in));
+
+  // A caching proxy may answer without crossing to the component at all.
+  if (call_filter_ && call_filter_(event, out)) {
+    ++filtered_calls_;
+    return Status::Ok();
+  }
+
+  for (Interceptor* interceptor : interceptors_) {
+    interceptor->OnCallBegin(event);
+  }
+
+  CallFrame frame;
+  frame.instance = target.instance;
+  frame.clsid = entry.cls->clsid;
+  frame.iid = target.iid;
+  frame.method = method;
+  stack_.Push(frame);
+
+  // Keep the callee alive across the dispatch even if it destroys itself.
+  RefPtr<ComponentInstance> callee = entry.object;
+  const Status status = callee->Dispatch(target.iid, method, in, out);
+
+  stack_.Pop();
+  ++total_calls_;
+
+  event.out = out;
+  for (Interceptor* interceptor : interceptors_) {
+    interceptor->OnCallEnd(event, status);
+  }
+  return status;
+}
+
+void ObjectSystem::ChargeCompute(double seconds) {
+  const InstanceId current = stack_.CurrentInstance();
+  for (Interceptor* interceptor : interceptors_) {
+    interceptor->OnCompute(current, seconds);
+  }
+}
+
+Status ObjectSystem::DestroyInstance(InstanceId id) {
+  auto it = instances_.find(id);
+  if (it == instances_.end()) {
+    return NotFoundError("destroy of unknown instance");
+  }
+  const ClassId clsid = it->second.cls->clsid;
+  instances_.erase(it);
+  for (Interceptor* interceptor : interceptors_) {
+    interceptor->OnDestroyed(id, clsid);
+  }
+  return Status::Ok();
+}
+
+void ObjectSystem::DestroyAll() {
+  // Deterministic order: descending id (children before their creators,
+  // typically).
+  std::vector<InstanceId> ids;
+  ids.reserve(instances_.size());
+  for (const auto& [id, entry] : instances_) {
+    ids.push_back(id);
+  }
+  std::sort(ids.rbegin(), ids.rend());
+  for (InstanceId id : ids) {
+    (void)DestroyInstance(id);
+  }
+}
+
+ComponentInstance* ObjectSystem::Resolve(InstanceId id) const {
+  auto it = instances_.find(id);
+  return it == instances_.end() ? nullptr : it->second.object.get();
+}
+
+const ClassDesc* ObjectSystem::ClassOf(InstanceId id) const {
+  auto it = instances_.find(id);
+  return it == instances_.end() ? nullptr : it->second.cls;
+}
+
+Result<MachineId> ObjectSystem::MachineOf(InstanceId id) const {
+  auto it = instances_.find(id);
+  if (it == instances_.end()) {
+    return NotFoundError("machine of unknown instance");
+  }
+  return it->second.machine;
+}
+
+Status ObjectSystem::MoveInstance(InstanceId id, MachineId machine) {
+  auto it = instances_.find(id);
+  if (it == instances_.end()) {
+    return NotFoundError("move of unknown instance");
+  }
+  it->second.machine = machine;
+  return Status::Ok();
+}
+
+void ObjectSystem::AddInterceptor(Interceptor* interceptor) {
+  assert(interceptor != nullptr);
+  interceptors_.push_back(interceptor);
+}
+
+void ObjectSystem::RemoveInterceptor(Interceptor* interceptor) {
+  interceptors_.erase(
+      std::remove(interceptors_.begin(), interceptors_.end(), interceptor),
+      interceptors_.end());
+}
+
+std::vector<ObjectSystem::InstanceInfo> ObjectSystem::LiveInstances() const {
+  std::vector<InstanceInfo> out;
+  out.reserve(instances_.size());
+  for (const auto& [id, entry] : instances_) {
+    InstanceInfo info;
+    info.id = id;
+    info.clsid = entry.cls->clsid;
+    info.class_name = entry.cls->name;
+    info.machine = entry.machine;
+    info.creator = entry.creator;
+    out.push_back(std::move(info));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const InstanceInfo& a, const InstanceInfo& b) { return a.id < b.id; });
+  return out;
+}
+
+}  // namespace coign

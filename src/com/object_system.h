@@ -1,0 +1,183 @@
+// The ObjectSystem: this repo's COM library.
+//
+// It owns the class and interface registries, fulfills instantiation
+// requests, routes every inter-component call, and maintains the
+// cross-component call stack. Crucially it exposes the two interception
+// points Coign needs (paper §2-3):
+//
+//   * Interceptors observe instantiation, destruction, and every interface
+//     call — the effect the binary rewriter + RTE achieve on Windows by
+//     patching the COM library and wrapping interface pointers.
+//   * A PlacementPolicy decides which machine fulfills each instantiation
+//     request — the component factory's lever for realizing a distribution.
+//
+// Machine placement is tracked per instance; calls whose caller and target
+// live on different machines are "remote" and are refused (with an error)
+// when the interface is non-remotable or a parameter is opaque, modeling
+// what would crash in a real mis-partitioned DCOM application.
+
+#ifndef COIGN_SRC_COM_OBJECT_SYSTEM_H_
+#define COIGN_SRC_COM_OBJECT_SYSTEM_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/com/callstack.h"
+#include "src/com/class_registry.h"
+#include "src/com/message.h"
+#include "src/com/metadata.h"
+#include "src/com/object.h"
+#include "src/com/types.h"
+#include "src/support/status.h"
+
+namespace coign {
+
+class ObjectSystem {
+ public:
+  // Facts about one interface call, handed to interceptors.
+  struct CallEvent {
+    InstanceId caller = kNoInstance;
+    ClassId caller_clsid;              // Null GUID when caller is the driver.
+    MachineId caller_machine = kClientMachine;
+    ObjectRef target;
+    ClassId target_clsid;
+    MachineId target_machine = kClientMachine;
+    MethodIndex method = 0;
+    const Message* in = nullptr;
+    const Message* out = nullptr;  // Null until the call completes.
+
+    bool is_remote() const { return caller_machine != target_machine; }
+  };
+
+  // Observation hooks. The Coign runtime (and the distributed-execution
+  // simulator) implement this.
+  class Interceptor {
+   public:
+    virtual ~Interceptor() = default;
+    virtual void OnInstantiated(const ClassDesc& cls, InstanceId id, InstanceId creator) {
+      (void)cls;
+      (void)id;
+      (void)creator;
+    }
+    virtual void OnDestroyed(InstanceId id, const ClassId& clsid) {
+      (void)id;
+      (void)clsid;
+    }
+    virtual void OnCallBegin(const CallEvent& event) { (void)event; }
+    virtual void OnCallEnd(const CallEvent& event, const Status& status) {
+      (void)event;
+      (void)status;
+    }
+    // A component burned CPU (reported via ChargeCompute).
+    virtual void OnCompute(InstanceId instance, double seconds) {
+      (void)instance;
+      (void)seconds;
+    }
+  };
+
+  // Chooses the machine that fulfills an instantiation request. `new_id` is
+  // the id the instance will carry — the instance classifier binds its
+  // classification to it before deciding placement, exactly the RTE →
+  // classifier → component-factory sequence of paper §3.1.
+  using PlacementPolicy =
+      std::function<MachineId(const ClassDesc& cls, InstanceId creator, InstanceId new_id)>;
+
+  // A call filter may answer a call without dispatching it (a caching proxy
+  // answering a repeated query locally). Consulted before dispatch; return
+  // true with `out` filled to short-circuit. Only one filter at a time.
+  using CallFilter = std::function<bool(const CallEvent& event, Message* out)>;
+
+  struct InstanceInfo {
+    InstanceId id = kNoInstance;
+    ClassId clsid;
+    std::string class_name;
+    MachineId machine = kClientMachine;
+    InstanceId creator = kNoInstance;
+  };
+
+  ObjectSystem();
+  ObjectSystem(const ObjectSystem&) = delete;
+  ObjectSystem& operator=(const ObjectSystem&) = delete;
+
+  InterfaceRegistry& interfaces() { return interfaces_; }
+  const InterfaceRegistry& interfaces() const { return interfaces_; }
+  ClassRegistry& classes() { return classes_; }
+  const ClassRegistry& classes() const { return classes_; }
+
+  // The CoCreateInstance analog. The creator is whichever instance is
+  // executing right now (the top of the call stack). The returned ref is on
+  // `iid`, which the class must implement.
+  Result<ObjectRef> CreateInstance(const ClassId& clsid, const InterfaceId& iid);
+  Result<ObjectRef> CreateInstanceByName(const std::string& class_name,
+                                         const std::string& interface_name);
+
+  // Returns a ref to another interface of the same instance.
+  Result<ObjectRef> QueryInterface(const ObjectRef& ref, const InterfaceId& iid);
+
+  // Routes one interface call. `out` receives the reply message.
+  Status Call(const ObjectRef& target, MethodIndex method, const Message& in, Message* out);
+
+  // Called by components from inside Dispatch to account local CPU work of
+  // `seconds` on a reference machine. Interceptors observe it (the profiler
+  // attributes it to the executing classification; the simulator advances
+  // the owning machine's clock).
+  void ChargeCompute(double seconds);
+
+  Status DestroyInstance(InstanceId id);
+  // Destroys all live instances (application shutdown).
+  void DestroyAll();
+
+  ComponentInstance* Resolve(InstanceId id) const;
+  // Null if the instance is unknown.
+  const ClassDesc* ClassOf(InstanceId id) const;
+  Result<MachineId> MachineOf(InstanceId id) const;
+  Status MoveInstance(InstanceId id, MachineId machine);
+
+  const CallStack& call_stack() const { return stack_; }
+
+  void AddInterceptor(Interceptor* interceptor);
+  void RemoveInterceptor(Interceptor* interceptor);
+  void SetPlacementPolicy(PlacementPolicy policy) { placement_ = std::move(policy); }
+  void SetCallFilter(CallFilter filter) { call_filter_ = std::move(filter); }
+
+  // Calls answered by the filter without dispatch.
+  uint64_t filtered_calls() const { return filtered_calls_; }
+
+  size_t live_instance_count() const { return instances_.size(); }
+  uint64_t total_instantiations() const { return total_instantiations_; }
+  uint64_t total_calls() const { return total_calls_; }
+
+  // Live instances sorted by id.
+  std::vector<InstanceInfo> LiveInstances() const;
+
+ private:
+  struct Entry {
+    RefPtr<ComponentInstance> object;
+    const ClassDesc* cls = nullptr;
+    MachineId machine = kClientMachine;
+    InstanceId creator = kNoInstance;
+  };
+
+  // Rejects remote calls that could not happen over DCOM.
+  Status ValidateRemotability(const CallEvent& event, const InterfaceDesc& iface,
+                              const Message& in) const;
+
+  InterfaceRegistry interfaces_;
+  ClassRegistry classes_;
+  std::unordered_map<InstanceId, Entry> instances_;
+  CallStack stack_;
+  std::vector<Interceptor*> interceptors_;
+  PlacementPolicy placement_;
+  CallFilter call_filter_;
+  InstanceId next_id_ = 1;
+  uint64_t total_instantiations_ = 0;
+  uint64_t total_calls_ = 0;
+  uint64_t filtered_calls_ = 0;
+};
+
+}  // namespace coign
+
+#endif  // COIGN_SRC_COM_OBJECT_SYSTEM_H_

@@ -1,0 +1,46 @@
+// Core identifier types of the component model.
+//
+// Interfaces and classes are identified by GUIDs, exactly as in COM. Live
+// component instances get small dense ids assigned by the ObjectSystem.
+
+#ifndef COIGN_SRC_COM_TYPES_H_
+#define COIGN_SRC_COM_TYPES_H_
+
+#include <cstdint>
+
+#include "src/support/guid.h"
+
+namespace coign {
+
+using InterfaceId = Guid;
+using ClassId = Guid;
+
+// Dense runtime id of a live component instance; 0 is reserved for
+// "no instance" (e.g. the application's top-level driver code).
+using InstanceId = uint64_t;
+constexpr InstanceId kNoInstance = 0;
+
+using MethodIndex = uint32_t;
+
+// Machines in the (simulated) network. The paper's evaluation is two-machine
+// client/server; the multiway extension uses additional ids.
+using MachineId = int32_t;
+constexpr MachineId kClientMachine = 0;
+constexpr MachineId kServerMachine = 1;
+
+// A lightweight reference to an interface on a component instance — the
+// moral equivalent of a COM interface pointer after Coign wraps it: calls
+// through it are routable and the runtime can always recover the owning
+// instance.
+struct ObjectRef {
+  InstanceId instance = kNoInstance;
+  InterfaceId iid;
+
+  bool IsNull() const { return instance == kNoInstance; }
+
+  friend bool operator==(const ObjectRef& a, const ObjectRef& b) = default;
+};
+
+}  // namespace coign
+
+#endif  // COIGN_SRC_COM_TYPES_H_

@@ -1,0 +1,332 @@
+#include "src/com/value.h"
+
+#include <cassert>
+
+#include "src/support/str_util.h"
+
+namespace coign {
+
+const char* ValueKindName(ValueKind kind) {
+  switch (kind) {
+    case ValueKind::kNull:
+      return "null";
+    case ValueKind::kBool:
+      return "bool";
+    case ValueKind::kInt32:
+      return "int32";
+    case ValueKind::kInt64:
+      return "int64";
+    case ValueKind::kDouble:
+      return "double";
+    case ValueKind::kString:
+      return "string";
+    case ValueKind::kBlob:
+      return "blob";
+    case ValueKind::kInterface:
+      return "interface";
+    case ValueKind::kArray:
+      return "array";
+    case ValueKind::kRecord:
+      return "record";
+    case ValueKind::kOpaque:
+      return "opaque";
+  }
+  return "?";
+}
+
+uint8_t Blob::ByteAt(uint64_t i) const {
+  if (!data.empty()) {
+    assert(i < data.size());
+    return data[i];
+  }
+  // Deterministic pattern: cheap mix of the seed and offset.
+  uint64_t x = (i + 1) * 0x9e3779b97f4a7c15ull ^ pattern_seed;
+  x ^= x >> 29;
+  return static_cast<uint8_t>(x);
+}
+
+bool operator==(const Blob& a, const Blob& b) {
+  if (a.size != b.size) {
+    return false;
+  }
+  if (a.data.empty() && b.data.empty()) {
+    return a.pattern_seed == b.pattern_seed;
+  }
+  for (uint64_t i = 0; i < a.size; ++i) {
+    if (a.ByteAt(i) != b.ByteAt(i)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Value Value::FromBool(bool v) {
+  Value out;
+  out.kind_ = ValueKind::kBool;
+  out.bool_ = v;
+  return out;
+}
+
+Value Value::FromInt32(int32_t v) {
+  Value out;
+  out.kind_ = ValueKind::kInt32;
+  out.int_ = v;
+  return out;
+}
+
+Value Value::FromInt64(int64_t v) {
+  Value out;
+  out.kind_ = ValueKind::kInt64;
+  out.int_ = v;
+  return out;
+}
+
+Value Value::FromDouble(double v) {
+  Value out;
+  out.kind_ = ValueKind::kDouble;
+  out.double_ = v;
+  return out;
+}
+
+Value Value::FromString(std::string v) {
+  Value out;
+  out.kind_ = ValueKind::kString;
+  out.string_ = std::move(v);
+  return out;
+}
+
+Value Value::FromBytes(std::vector<uint8_t> bytes) {
+  Value out;
+  out.kind_ = ValueKind::kBlob;
+  out.blob_.size = bytes.size();
+  out.blob_.data = std::move(bytes);
+  return out;
+}
+
+Value Value::BlobOfSize(uint64_t size, uint64_t pattern_seed) {
+  Value out;
+  out.kind_ = ValueKind::kBlob;
+  out.blob_.size = size;
+  out.blob_.pattern_seed = pattern_seed;
+  return out;
+}
+
+Value Value::FromInterface(ObjectRef ref) {
+  Value out;
+  out.kind_ = ValueKind::kInterface;
+  out.interface_ = ref;
+  return out;
+}
+
+Value Value::FromArray(std::vector<Value> elements) {
+  Value out;
+  out.kind_ = ValueKind::kArray;
+  out.array_ = std::move(elements);
+  return out;
+}
+
+Value Value::FromRecord(std::vector<std::pair<std::string, Value>> fields) {
+  Value out;
+  out.kind_ = ValueKind::kRecord;
+  out.record_ = std::move(fields);
+  return out;
+}
+
+Value Value::FromOpaque(uint64_t address) {
+  Value out;
+  out.kind_ = ValueKind::kOpaque;
+  out.opaque_ = address;
+  return out;
+}
+
+bool Value::AsBool() const {
+  assert(kind_ == ValueKind::kBool);
+  return bool_;
+}
+
+int32_t Value::AsInt32() const {
+  assert(kind_ == ValueKind::kInt32);
+  return static_cast<int32_t>(int_);
+}
+
+int64_t Value::AsInt64() const {
+  assert(kind_ == ValueKind::kInt64);
+  return int_;
+}
+
+double Value::AsDouble() const {
+  assert(kind_ == ValueKind::kDouble);
+  return double_;
+}
+
+const std::string& Value::AsString() const {
+  assert(kind_ == ValueKind::kString);
+  return string_;
+}
+
+const Blob& Value::AsBlob() const {
+  assert(kind_ == ValueKind::kBlob);
+  return blob_;
+}
+
+const ObjectRef& Value::AsInterface() const {
+  assert(kind_ == ValueKind::kInterface);
+  return interface_;
+}
+
+const std::vector<Value>& Value::AsArray() const {
+  assert(kind_ == ValueKind::kArray);
+  return array_;
+}
+
+const std::vector<std::pair<std::string, Value>>& Value::AsRecord() const {
+  assert(kind_ == ValueKind::kRecord);
+  return record_;
+}
+
+uint64_t Value::AsOpaque() const {
+  assert(kind_ == ValueKind::kOpaque);
+  return opaque_;
+}
+
+bool Value::ContainsOpaque() const {
+  switch (kind_) {
+    case ValueKind::kOpaque:
+      return true;
+    case ValueKind::kArray:
+      for (const Value& v : array_) {
+        if (v.ContainsOpaque()) {
+          return true;
+        }
+      }
+      return false;
+    case ValueKind::kRecord:
+      for (const auto& [name, v] : record_) {
+        if (v.ContainsOpaque()) {
+          return true;
+        }
+      }
+      return false;
+    default:
+      return false;
+  }
+}
+
+bool Value::ContainsInterface() const {
+  switch (kind_) {
+    case ValueKind::kInterface:
+      return true;
+    case ValueKind::kArray:
+      for (const Value& v : array_) {
+        if (v.ContainsInterface()) {
+          return true;
+        }
+      }
+      return false;
+    case ValueKind::kRecord:
+      for (const auto& [name, v] : record_) {
+        if (v.ContainsInterface()) {
+          return true;
+        }
+      }
+      return false;
+    default:
+      return false;
+  }
+}
+
+void Value::CollectInterfaces(std::vector<ObjectRef>* out) const {
+  switch (kind_) {
+    case ValueKind::kInterface:
+      out->push_back(interface_);
+      return;
+    case ValueKind::kArray:
+      for (const Value& v : array_) {
+        v.CollectInterfaces(out);
+      }
+      return;
+    case ValueKind::kRecord:
+      for (const auto& [name, v] : record_) {
+        v.CollectInterfaces(out);
+      }
+      return;
+    default:
+      return;
+  }
+}
+
+std::string Value::ToString() const {
+  switch (kind_) {
+    case ValueKind::kNull:
+      return "null";
+    case ValueKind::kBool:
+      return bool_ ? "true" : "false";
+    case ValueKind::kInt32:
+    case ValueKind::kInt64:
+      return StrFormat("%lld", static_cast<long long>(int_));
+    case ValueKind::kDouble:
+      return StrFormat("%g", double_);
+    case ValueKind::kString:
+      return StrFormat("\"%s\"", string_.c_str());
+    case ValueKind::kBlob:
+      return StrFormat("blob[%llu]", static_cast<unsigned long long>(blob_.size));
+    case ValueKind::kInterface:
+      return StrFormat("iface(#%llu)",
+                       static_cast<unsigned long long>(interface_.instance));
+    case ValueKind::kArray: {
+      std::string out = "[";
+      for (size_t i = 0; i < array_.size(); ++i) {
+        if (i > 0) {
+          out += ", ";
+        }
+        out += array_[i].ToString();
+      }
+      return out + "]";
+    }
+    case ValueKind::kRecord: {
+      std::string out = "{";
+      for (size_t i = 0; i < record_.size(); ++i) {
+        if (i > 0) {
+          out += ", ";
+        }
+        out += record_[i].first + ": " + record_[i].second.ToString();
+      }
+      return out + "}";
+    }
+    case ValueKind::kOpaque:
+      return StrFormat("opaque(0x%llx)", static_cast<unsigned long long>(opaque_));
+  }
+  return "?";
+}
+
+bool operator==(const Value& a, const Value& b) {
+  if (a.kind_ != b.kind_) {
+    return false;
+  }
+  switch (a.kind_) {
+    case ValueKind::kNull:
+      return true;
+    case ValueKind::kBool:
+      return a.bool_ == b.bool_;
+    case ValueKind::kInt32:
+    case ValueKind::kInt64:
+      return a.int_ == b.int_;
+    case ValueKind::kDouble:
+      return a.double_ == b.double_;
+    case ValueKind::kString:
+      return a.string_ == b.string_;
+    case ValueKind::kBlob:
+      return a.blob_ == b.blob_;
+    case ValueKind::kInterface:
+      return a.interface_ == b.interface_;
+    case ValueKind::kArray:
+      return a.array_ == b.array_;
+    case ValueKind::kRecord:
+      return a.record_ == b.record_;
+    case ValueKind::kOpaque:
+      return a.opaque_ == b.opaque_;
+  }
+  return false;
+}
+
+}  // namespace coign

@@ -1,0 +1,118 @@
+// The IDL data model: every parameter of every interface method is a Value.
+//
+// This plays the role of the MIDL-described wire types in COM. The marshal
+// library walks Values to compute (and perform) DCOM-style deep-copy
+// marshaling; interface references marshal as references (never deep
+// copies); opaque pointers cannot be marshaled at all and make an interface
+// non-remotable — the PhotoDraw shared-memory-section case from the paper.
+
+#ifndef COIGN_SRC_COM_VALUE_H_
+#define COIGN_SRC_COM_VALUE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/com/types.h"
+
+namespace coign {
+
+enum class ValueKind : uint8_t {
+  kNull = 0,
+  kBool,
+  kInt32,
+  kInt64,
+  kDouble,
+  kString,
+  kBlob,       // Byte buffer; may be synthetic (size-only) for large payloads.
+  kInterface,  // Reference to a component interface (marshals by reference).
+  kArray,      // Homogeneous-ish sequence of Values.
+  kRecord,     // Named fields (a struct).
+  kOpaque,     // Raw pointer passed opaquely; NOT marshalable.
+};
+
+const char* ValueKindName(ValueKind kind);
+
+class Value;
+
+// A blob is either materialized (real bytes) or synthetic: a declared size
+// plus a pattern seed. Synthetic blobs let scenario scripts "send" megabyte
+// images without allocating them; the marshaler sizes both identically and
+// can serialize both deterministically.
+struct Blob {
+  uint64_t size = 0;
+  uint64_t pattern_seed = 0;
+  std::vector<uint8_t> data;  // Empty when synthetic.
+
+  bool materialized() const { return !data.empty() || size == 0; }
+  // Byte at offset i (pattern-generated for synthetic blobs).
+  uint8_t ByteAt(uint64_t i) const;
+
+  friend bool operator==(const Blob& a, const Blob& b);
+};
+
+class Value {
+ public:
+  Value() : kind_(ValueKind::kNull) {}
+
+  static Value Null() { return Value(); }
+  static Value FromBool(bool v);
+  static Value FromInt32(int32_t v);
+  static Value FromInt64(int64_t v);
+  static Value FromDouble(double v);
+  static Value FromString(std::string v);
+  static Value FromBytes(std::vector<uint8_t> bytes);
+  // Synthetic blob: `size` bytes of a deterministic pattern.
+  static Value BlobOfSize(uint64_t size, uint64_t pattern_seed = 0);
+  static Value FromInterface(ObjectRef ref);
+  static Value FromArray(std::vector<Value> elements);
+  static Value FromRecord(std::vector<std::pair<std::string, Value>> fields);
+  // An opaque pointer (e.g. into a shared memory section).
+  static Value FromOpaque(uint64_t address);
+
+  ValueKind kind() const { return kind_; }
+  bool is_null() const { return kind_ == ValueKind::kNull; }
+
+  // Typed accessors; calling the wrong one is a programming error (asserts).
+  bool AsBool() const;
+  int32_t AsInt32() const;
+  int64_t AsInt64() const;
+  double AsDouble() const;
+  const std::string& AsString() const;
+  const Blob& AsBlob() const;
+  const ObjectRef& AsInterface() const;
+  const std::vector<Value>& AsArray() const;
+  const std::vector<std::pair<std::string, Value>>& AsRecord() const;
+  uint64_t AsOpaque() const;
+
+  // True if this value (recursively) contains an opaque pointer, i.e. cannot
+  // cross a machine boundary.
+  bool ContainsOpaque() const;
+  // True if this value (recursively) contains an interface reference.
+  bool ContainsInterface() const;
+
+  // Collects all interface references in the value tree (in order).
+  void CollectInterfaces(std::vector<ObjectRef>* out) const;
+
+  std::string ToString() const;
+
+  friend bool operator==(const Value& a, const Value& b);
+
+ private:
+  ValueKind kind_;
+  bool bool_ = false;
+  int64_t int_ = 0;          // Backs both kInt32 and kInt64.
+  double double_ = 0.0;
+  uint64_t opaque_ = 0;
+  std::string string_;
+  Blob blob_;
+  ObjectRef interface_;
+  std::vector<Value> array_;
+  std::vector<std::pair<std::string, Value>> record_;
+};
+
+}  // namespace coign
+
+#endif  // COIGN_SRC_COM_VALUE_H_

@@ -1,0 +1,52 @@
+// Component location constraints (paper §2, §4.3).
+//
+// Sources of constraints:
+//   * Static binary analysis: classes touching GUI APIs must run on the
+//     client; classes touching storage APIs run on the server (where the
+//     data files live).
+//   * The programmer: absolute constraints ("this instance runs on machine
+//     M", e.g. for data integrity/security) and pair-wise constraints
+//     ("these two are colocated").
+//   * Non-remotable interfaces (derived from the graph, handled when the
+//     concrete graph is built).
+
+#ifndef COIGN_SRC_GRAPH_CONSTRAINTS_H_
+#define COIGN_SRC_GRAPH_CONSTRAINTS_H_
+
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/classify/descriptor.h"
+#include "src/com/types.h"
+#include "src/profile/icc_profile.h"
+
+namespace coign {
+
+class LocationConstraints {
+ public:
+  // Derives API-based pins from the profile's classification metadata.
+  static LocationConstraints FromProfile(const IccProfile& profile);
+
+  // Explicit programmer constraints.
+  void PinAbsolute(ClassificationId id, MachineId machine);
+  void Colocate(ClassificationId a, ClassificationId b);
+
+  const std::unordered_map<ClassificationId, MachineId>& absolute() const {
+    return absolute_;
+  }
+  const std::vector<std::pair<ClassificationId, ClassificationId>>& colocated() const {
+    return colocated_;
+  }
+
+  // Machine a classification is pinned to, if any.
+  const MachineId* PinOf(ClassificationId id) const;
+
+ private:
+  std::unordered_map<ClassificationId, MachineId> absolute_;
+  std::vector<std::pair<ClassificationId, ClassificationId>> colocated_;
+};
+
+}  // namespace coign
+
+#endif  // COIGN_SRC_GRAPH_CONSTRAINTS_H_

@@ -1,0 +1,18 @@
+#include "src/graph/distribution.h"
+
+#include "src/support/str_util.h"
+
+namespace coign {
+
+std::string Distribution::ToString() const {
+  return StrFormat("distribution{%zu classifications, %zu on client, %zu on server}",
+                   placement.size(), CountOn(kClientMachine), CountOn(kServerMachine));
+}
+
+Distribution EverythingOn(MachineId machine) {
+  Distribution d;
+  d.default_machine = machine;
+  return d;
+}
+
+}  // namespace coign

@@ -1,0 +1,49 @@
+// A distribution: the mapping from instance classifications to machines.
+//
+// "Part of the output of the profile analysis engine is a map of instance
+// classifications to computers in the network." (paper §3.4) The component
+// factory consults this map to relocate instantiation requests; the
+// simulator uses it to place instances.
+
+#ifndef COIGN_SRC_GRAPH_DISTRIBUTION_H_
+#define COIGN_SRC_GRAPH_DISTRIBUTION_H_
+
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+
+#include "src/classify/descriptor.h"
+#include "src/com/types.h"
+
+namespace coign {
+
+struct Distribution {
+  std::unordered_map<ClassificationId, MachineId> placement;
+  // Machine for classifications absent from the map (new classifications at
+  // run time default to the client, where the user drives the app).
+  MachineId default_machine = kClientMachine;
+
+  MachineId MachineFor(ClassificationId id) const {
+    auto it = placement.find(id);
+    return it == placement.end() ? default_machine : it->second;
+  }
+
+  size_t CountOn(MachineId machine) const {
+    size_t count = 0;
+    for (const auto& [id, m] : placement) {
+      count += (m == machine) ? 1 : 0;
+    }
+    return count;
+  }
+
+  size_t size() const { return placement.size(); }
+
+  std::string ToString() const;
+};
+
+// All classifications on one machine — the non-distributed baseline.
+Distribution EverythingOn(MachineId machine);
+
+}  // namespace coign
+
+#endif  // COIGN_SRC_GRAPH_DISTRIBUTION_H_

@@ -1,0 +1,451 @@
+#include "src/marshal/ndr.h"
+
+#include <cassert>
+#include <cstring>
+
+#include "src/support/str_util.h"
+
+namespace coign {
+namespace {
+
+// Wire tags; stable values, part of the format.
+enum WireTag : uint8_t {
+  kTagNull = 0,
+  kTagBool = 1,
+  kTagInt32 = 2,
+  kTagInt64 = 3,
+  kTagDouble = 4,
+  kTagString = 5,
+  kTagBlob = 6,
+  kTagInterface = 7,
+  kTagArray = 8,
+  kTagRecord = 9,
+};
+
+}  // namespace
+
+void NdrWriter::Align(uint64_t alignment) {
+  const uint64_t misalign = offset_ % alignment;
+  if (misalign == 0) {
+    return;
+  }
+  for (uint64_t i = misalign; i < alignment; ++i) {
+    PutByte(0);
+  }
+}
+
+void NdrWriter::PutByte(uint8_t b) {
+  if (buffer_ != nullptr) {
+    buffer_->push_back(b);
+  }
+  ++offset_;
+}
+
+void NdrWriter::PutU16(uint16_t v) {
+  PutByte(static_cast<uint8_t>(v));
+  PutByte(static_cast<uint8_t>(v >> 8));
+}
+
+void NdrWriter::PutU32(uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    PutByte(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+void NdrWriter::PutU64(uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    PutByte(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+void NdrWriter::PutBlobBytes(const Blob& blob) {
+  if (buffer_ == nullptr) {
+    // Counting mode: skip generating the pattern.
+    offset_ += blob.size;
+    return;
+  }
+  for (uint64_t i = 0; i < blob.size; ++i) {
+    PutByte(blob.ByteAt(i));
+  }
+}
+
+Status NdrWriter::WriteValue(const Value& value) {
+  switch (value.kind()) {
+    case ValueKind::kNull:
+      PutByte(kTagNull);
+      return Status::Ok();
+    case ValueKind::kBool:
+      PutByte(kTagBool);
+      Align(4);
+      PutU32(value.AsBool() ? 1 : 0);
+      return Status::Ok();
+    case ValueKind::kInt32:
+      PutByte(kTagInt32);
+      Align(4);
+      PutU32(static_cast<uint32_t>(value.AsInt32()));
+      return Status::Ok();
+    case ValueKind::kInt64:
+      PutByte(kTagInt64);
+      Align(8);
+      PutU64(static_cast<uint64_t>(value.AsInt64()));
+      return Status::Ok();
+    case ValueKind::kDouble: {
+      PutByte(kTagDouble);
+      Align(8);
+      uint64_t bits;
+      const double d = value.AsDouble();
+      std::memcpy(&bits, &d, sizeof(bits));
+      PutU64(bits);
+      return Status::Ok();
+    }
+    case ValueKind::kString: {
+      const std::string& s = value.AsString();
+      PutByte(kTagString);
+      Align(4);
+      PutU32(static_cast<uint32_t>(s.size()));
+      for (char c : s) {
+        PutByte(static_cast<uint8_t>(c));
+      }
+      Align(4);
+      return Status::Ok();
+    }
+    case ValueKind::kBlob: {
+      const Blob& blob = value.AsBlob();
+      PutByte(kTagBlob);
+      Align(8);
+      PutU64(blob.size);
+      PutBlobBytes(blob);
+      Align(4);
+      return Status::Ok();
+    }
+    case ValueKind::kInterface: {
+      // Interface pointers marshal by reference: a fixed-size OBJREF, never
+      // a deep copy of the component behind them.
+      const ObjectRef& ref = value.AsInterface();
+      PutByte(kTagInterface);
+      Align(4);
+      PutU64(ref.iid.hi);
+      PutU64(ref.iid.lo);
+      PutU64(ref.instance);
+      // Remaining OBJREF body (OXID/OID/IPID/bindings model): zero fill.
+      const uint64_t body = kObjRefBytes - 24;
+      for (uint64_t i = 0; i < body; ++i) {
+        PutByte(0);
+      }
+      return Status::Ok();
+    }
+    case ValueKind::kArray: {
+      const auto& elements = value.AsArray();
+      PutByte(kTagArray);
+      Align(4);
+      PutU32(static_cast<uint32_t>(elements.size()));
+      for (const Value& element : elements) {
+        COIGN_RETURN_IF_ERROR(WriteValue(element));
+      }
+      return Status::Ok();
+    }
+    case ValueKind::kRecord: {
+      const auto& fields = value.AsRecord();
+      PutByte(kTagRecord);
+      Align(4);
+      PutU32(static_cast<uint32_t>(fields.size()));
+      for (const auto& [name, field] : fields) {
+        PutU16(static_cast<uint16_t>(name.size()));
+        for (char c : name) {
+          PutByte(static_cast<uint8_t>(c));
+        }
+        COIGN_RETURN_IF_ERROR(WriteValue(field));
+      }
+      return Status::Ok();
+    }
+    case ValueKind::kOpaque:
+      return FailedPreconditionError("opaque pointer cannot be marshaled");
+  }
+  return InternalError("unhandled value kind");
+}
+
+Status NdrWriter::WriteMessage(const Message& message) {
+  PutU32(static_cast<uint32_t>(message.size()));
+  for (const Message::Argument& arg : message.args()) {
+    PutU16(static_cast<uint16_t>(arg.name.size()));
+    for (char c : arg.name) {
+      PutByte(static_cast<uint8_t>(c));
+    }
+    Align(4);
+    COIGN_RETURN_IF_ERROR(WriteValue(arg.value));
+  }
+  return Status::Ok();
+}
+
+Result<uint64_t> WireSize(const Value& value) {
+  NdrWriter writer;
+  COIGN_RETURN_IF_ERROR(writer.WriteValue(value));
+  return writer.bytes_written();
+}
+
+Result<uint64_t> WireSize(const Message& message) {
+  NdrWriter writer;
+  COIGN_RETURN_IF_ERROR(writer.WriteMessage(message));
+  return writer.bytes_written();
+}
+
+Result<std::vector<uint8_t>> Serialize(const Message& message) {
+  std::vector<uint8_t> buffer;
+  NdrWriter writer(&buffer);
+  COIGN_RETURN_IF_ERROR(writer.WriteMessage(message));
+  return buffer;
+}
+
+namespace {
+
+class NdrReader {
+ public:
+  explicit NdrReader(std::span<const uint8_t> bytes) : bytes_(bytes) {}
+
+  Result<Message> ReadMessage();
+
+ private:
+  Status Align(uint64_t alignment) {
+    const uint64_t misalign = offset_ % alignment;
+    if (misalign != 0) {
+      return Skip(alignment - misalign);
+    }
+    return Status::Ok();
+  }
+
+  Status Skip(uint64_t n) {
+    if (offset_ + n > bytes_.size()) {
+      return OutOfRangeError("truncated NDR stream");
+    }
+    offset_ += n;
+    return Status::Ok();
+  }
+
+  Result<uint8_t> GetByte() {
+    if (offset_ >= bytes_.size()) {
+      return OutOfRangeError("truncated NDR stream");
+    }
+    return bytes_[offset_++];
+  }
+
+  Result<uint16_t> GetU16() {
+    uint16_t v = 0;
+    for (int i = 0; i < 2; ++i) {
+      Result<uint8_t> b = GetByte();
+      if (!b.ok()) {
+        return b.status();
+      }
+      v |= static_cast<uint16_t>(*b) << (8 * i);
+    }
+    return v;
+  }
+
+  Result<uint32_t> GetU32() {
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      Result<uint8_t> b = GetByte();
+      if (!b.ok()) {
+        return b.status();
+      }
+      v |= static_cast<uint32_t>(*b) << (8 * i);
+    }
+    return v;
+  }
+
+  Result<uint64_t> GetU64() {
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      Result<uint8_t> b = GetByte();
+      if (!b.ok()) {
+        return b.status();
+      }
+      v |= static_cast<uint64_t>(*b) << (8 * i);
+    }
+    return v;
+  }
+
+  Result<std::string> GetString(uint64_t length) {
+    if (offset_ + length > bytes_.size()) {
+      return OutOfRangeError("truncated NDR string");
+    }
+    std::string out(reinterpret_cast<const char*>(bytes_.data() + offset_), length);
+    offset_ += length;
+    return out;
+  }
+
+  Result<Value> ReadValue();
+
+  std::span<const uint8_t> bytes_;
+  uint64_t offset_ = 0;
+};
+
+Result<Value> NdrReader::ReadValue() {
+  Result<uint8_t> tag = GetByte();
+  if (!tag.ok()) {
+    return tag.status();
+  }
+  switch (*tag) {
+    case kTagNull:
+      return Value::Null();
+    case kTagBool: {
+      COIGN_RETURN_IF_ERROR(Align(4));
+      Result<uint32_t> v = GetU32();
+      if (!v.ok()) {
+        return v.status();
+      }
+      return Value::FromBool(*v != 0);
+    }
+    case kTagInt32: {
+      COIGN_RETURN_IF_ERROR(Align(4));
+      Result<uint32_t> v = GetU32();
+      if (!v.ok()) {
+        return v.status();
+      }
+      return Value::FromInt32(static_cast<int32_t>(*v));
+    }
+    case kTagInt64: {
+      COIGN_RETURN_IF_ERROR(Align(8));
+      Result<uint64_t> v = GetU64();
+      if (!v.ok()) {
+        return v.status();
+      }
+      return Value::FromInt64(static_cast<int64_t>(*v));
+    }
+    case kTagDouble: {
+      COIGN_RETURN_IF_ERROR(Align(8));
+      Result<uint64_t> v = GetU64();
+      if (!v.ok()) {
+        return v.status();
+      }
+      double d;
+      std::memcpy(&d, &*v, sizeof(d));
+      return Value::FromDouble(d);
+    }
+    case kTagString: {
+      COIGN_RETURN_IF_ERROR(Align(4));
+      Result<uint32_t> length = GetU32();
+      if (!length.ok()) {
+        return length.status();
+      }
+      Result<std::string> s = GetString(*length);
+      if (!s.ok()) {
+        return s.status();
+      }
+      COIGN_RETURN_IF_ERROR(Align(4));
+      return Value::FromString(std::move(*s));
+    }
+    case kTagBlob: {
+      COIGN_RETURN_IF_ERROR(Align(8));
+      Result<uint64_t> length = GetU64();
+      if (!length.ok()) {
+        return length.status();
+      }
+      if (offset_ + *length > bytes_.size()) {
+        return OutOfRangeError("truncated NDR blob");
+      }
+      std::vector<uint8_t> data(bytes_.begin() + static_cast<ptrdiff_t>(offset_),
+                                bytes_.begin() + static_cast<ptrdiff_t>(offset_ + *length));
+      offset_ += *length;
+      COIGN_RETURN_IF_ERROR(Align(4));
+      return Value::FromBytes(std::move(data));
+    }
+    case kTagInterface: {
+      COIGN_RETURN_IF_ERROR(Align(4));
+      ObjectRef ref;
+      Result<uint64_t> hi = GetU64();
+      if (!hi.ok()) {
+        return hi.status();
+      }
+      Result<uint64_t> lo = GetU64();
+      if (!lo.ok()) {
+        return lo.status();
+      }
+      Result<uint64_t> instance = GetU64();
+      if (!instance.ok()) {
+        return instance.status();
+      }
+      ref.iid = Guid{*hi, *lo};
+      ref.instance = *instance;
+      COIGN_RETURN_IF_ERROR(Skip(kObjRefBytes - 24));
+      return Value::FromInterface(ref);
+    }
+    case kTagArray: {
+      COIGN_RETURN_IF_ERROR(Align(4));
+      Result<uint32_t> count = GetU32();
+      if (!count.ok()) {
+        return count.status();
+      }
+      std::vector<Value> elements;
+      elements.reserve(*count);
+      for (uint32_t i = 0; i < *count; ++i) {
+        Result<Value> element = ReadValue();
+        if (!element.ok()) {
+          return element.status();
+        }
+        elements.push_back(std::move(*element));
+      }
+      return Value::FromArray(std::move(elements));
+    }
+    case kTagRecord: {
+      COIGN_RETURN_IF_ERROR(Align(4));
+      Result<uint32_t> count = GetU32();
+      if (!count.ok()) {
+        return count.status();
+      }
+      std::vector<std::pair<std::string, Value>> fields;
+      fields.reserve(*count);
+      for (uint32_t i = 0; i < *count; ++i) {
+        Result<uint16_t> name_length = GetU16();
+        if (!name_length.ok()) {
+          return name_length.status();
+        }
+        Result<std::string> name = GetString(*name_length);
+        if (!name.ok()) {
+          return name.status();
+        }
+        Result<Value> field = ReadValue();
+        if (!field.ok()) {
+          return field.status();
+        }
+        fields.emplace_back(std::move(*name), std::move(*field));
+      }
+      return Value::FromRecord(std::move(fields));
+    }
+    default:
+      return InvalidArgumentError(StrFormat("unknown NDR tag %u", *tag));
+  }
+}
+
+Result<Message> NdrReader::ReadMessage() {
+  Result<uint32_t> count = GetU32();
+  if (!count.ok()) {
+    return count.status();
+  }
+  Message message;
+  for (uint32_t i = 0; i < *count; ++i) {
+    Result<uint16_t> name_length = GetU16();
+    if (!name_length.ok()) {
+      return name_length.status();
+    }
+    Result<std::string> name = GetString(*name_length);
+    if (!name.ok()) {
+      return name.status();
+    }
+    COIGN_RETURN_IF_ERROR(Align(4));
+    Result<Value> value = ReadValue();
+    if (!value.ok()) {
+      return value.status();
+    }
+    message.Add(std::move(*name), std::move(*value));
+  }
+  return message;
+}
+
+}  // namespace
+
+Result<Message> Deserialize(std::span<const uint8_t> bytes) {
+  NdrReader reader(bytes);
+  return reader.ReadMessage();
+}
+
+}  // namespace coign

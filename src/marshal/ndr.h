@@ -1,0 +1,82 @@
+// NDR-style marshaling with DCOM deep-copy semantics.
+//
+// Coign measures "the number of bytes that would be transferred from one
+// machine to another if the two communicating components were distributed"
+// by running DCOM's own proxy/stub sizing code in-process (paper §2). This
+// module is that code path for our component model: it walks Values
+// recursively (deep copy), marshals interface pointers by reference (a
+// fixed-size OBJREF), and refuses opaque pointers.
+//
+// Wire format (little-endian, 4-byte alignment between fields):
+//   value   := tag:u8 pad-to-4 payload
+//   bool    -> u32 (NDR marshals BOOL as 4 bytes)
+//   int32   -> u32; int64/double -> u64 (aligned to 8)
+//   string  -> len:u32 bytes pad  (conformant array)
+//   blob    -> len:u64 bytes pad
+//   iface   -> OBJREF (kObjRefBytes, fixed)
+//   array   -> count:u32 values...
+//   record  -> count:u32 (namelen:u16 name value)...
+//
+// Sizing and serialization share one code path (a Writer that can run in
+// counting-only mode), so WireSize is exact by construction.
+
+#ifndef COIGN_SRC_MARSHAL_NDR_H_
+#define COIGN_SRC_MARSHAL_NDR_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/com/message.h"
+#include "src/com/value.h"
+#include "src/support/status.h"
+
+namespace coign {
+
+// Fixed envelope costs, modeled on DCE RPC + ORPC headers.
+inline constexpr uint64_t kRequestHeaderBytes = 80;  // RPC header + ORPCTHIS.
+inline constexpr uint64_t kReplyHeaderBytes = 60;    // RPC header + ORPCTHAT.
+// Marshaled interface pointer: a standard OBJREF (IID + OXID + OID + IPID +
+// string bindings, rounded).
+inline constexpr uint64_t kObjRefBytes = 68;
+
+// Serializer that can either write bytes or merely count them.
+class NdrWriter {
+ public:
+  // Counting-only writer.
+  NdrWriter() : buffer_(nullptr) {}
+  // Writing writer.
+  explicit NdrWriter(std::vector<uint8_t>* buffer) : buffer_(buffer) {}
+
+  Status WriteValue(const Value& value);
+  Status WriteMessage(const Message& message);
+
+  uint64_t bytes_written() const { return offset_; }
+
+ private:
+  void Align(uint64_t alignment);
+  void PutByte(uint8_t b);
+  void PutU16(uint16_t v);
+  void PutU32(uint32_t v);
+  void PutU64(uint64_t v);
+  void PutBlobBytes(const Blob& blob);
+
+  std::vector<uint8_t>* buffer_;
+  uint64_t offset_ = 0;
+};
+
+// Exact count of payload bytes `value`/`message` marshals to (headers not
+// included). Fails on opaque pointers.
+Result<uint64_t> WireSize(const Value& value);
+Result<uint64_t> WireSize(const Message& message);
+
+// Serializes a message to wire bytes.
+Result<std::vector<uint8_t>> Serialize(const Message& message);
+
+// Reconstructs a message from wire bytes. Synthetic blobs come back
+// materialized (the receiver sees real bytes, as it would over DCOM).
+Result<Message> Deserialize(std::span<const uint8_t> bytes);
+
+}  // namespace coign
+
+#endif  // COIGN_SRC_MARSHAL_NDR_H_

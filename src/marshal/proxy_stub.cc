@@ -1,0 +1,41 @@
+#include "src/marshal/proxy_stub.h"
+
+#include "src/marshal/ndr.h"
+
+namespace coign {
+
+WireCall MeasureCall(const InterfaceDesc& iface, MethodIndex method, const Message& in,
+                     const Message& out) {
+  (void)method;
+  WireCall wire;
+  if (!iface.remotable || in.ContainsOpaque() || out.ContainsOpaque()) {
+    wire.remotable = false;
+    // Still collect interface pointers: ownership tracking needs them even
+    // on non-remotable paths.
+    in.CollectInterfaces(&wire.passed_interfaces);
+    out.CollectInterfaces(&wire.passed_interfaces);
+    return wire;
+  }
+
+  Result<uint64_t> request_payload = WireSize(in);
+  Result<uint64_t> reply_payload = WireSize(out);
+  if (!request_payload.ok() || !reply_payload.ok()) {
+    wire.remotable = false;
+    return wire;
+  }
+  wire.request_bytes = kRequestHeaderBytes + *request_payload;
+  wire.reply_bytes = kReplyHeaderBytes + *reply_payload;
+  in.CollectInterfaces(&wire.passed_interfaces);
+  out.CollectInterfaces(&wire.passed_interfaces);
+  return wire;
+}
+
+Result<Message> RoundTrip(const Message& message) {
+  Result<std::vector<uint8_t>> bytes = Serialize(message);
+  if (!bytes.ok()) {
+    return bytes.status();
+  }
+  return Deserialize(*bytes);
+}
+
+}  // namespace coign

@@ -1,0 +1,46 @@
+// Simulated interface proxies and stubs.
+//
+// During profiling Coign invokes DCOM's proxy/stub code inside the
+// application's address space to measure exactly what a call would cost on
+// the wire (paper §2). MeasureCall is that measurement: header + deep-copy
+// payload for the request, header + payload for the reply. It also reports
+// the facts the analysis needs (interface pointers passed, remotability).
+
+#ifndef COIGN_SRC_MARSHAL_PROXY_STUB_H_
+#define COIGN_SRC_MARSHAL_PROXY_STUB_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/com/message.h"
+#include "src/com/metadata.h"
+#include "src/support/status.h"
+
+namespace coign {
+
+struct WireCall {
+  uint64_t request_bytes = 0;  // Header + marshaled [in] parameters.
+  uint64_t reply_bytes = 0;    // Header + marshaled [out] parameters.
+  // Interface pointers crossing the boundary in either direction.
+  std::vector<ObjectRef> passed_interfaces;
+  // False when this call could never be remoted (non-remotable interface or
+  // opaque parameter); bytes are then a best-effort local estimate of 0
+  // payload and the analysis must colocate the endpoints.
+  bool remotable = true;
+
+  uint64_t total_bytes() const { return request_bytes + reply_bytes; }
+};
+
+// Measures one completed call on `iface`.`method` with input and output
+// messages. Never fails: non-marshalable calls come back remotable=false.
+WireCall MeasureCall(const InterfaceDesc& iface, MethodIndex method, const Message& in,
+                     const Message& out);
+
+// Full proxy/stub round trip for a request message: serialize, transmit
+// (the caller models that), deserialize. Exposed so tests can pin sizing to
+// real buffers.
+Result<Message> RoundTrip(const Message& message);
+
+}  // namespace coign
+
+#endif  // COIGN_SRC_MARSHAL_PROXY_STUB_H_

@@ -1,0 +1,60 @@
+#include "src/mincut/edmonds_karp.h"
+
+#include <cassert>
+#include <deque>
+#include <limits>
+#include <vector>
+
+namespace coign {
+
+CutResult MinCutEdmondsKarp(FlowNetwork& network, int source, int sink) {
+  assert(source != sink);
+  constexpr double kEps = 1e-12;
+  double total_flow = 0.0;
+  const int n = network.node_count();
+
+  while (true) {
+    // BFS for the shortest augmenting path.
+    std::vector<int> parent_node(static_cast<size_t>(n), -1);
+    std::vector<size_t> parent_arc(static_cast<size_t>(n), 0);
+    std::deque<int> queue = {source};
+    parent_node[static_cast<size_t>(source)] = source;
+    while (!queue.empty() && parent_node[static_cast<size_t>(sink)] < 0) {
+      const int u = queue.front();
+      queue.pop_front();
+      auto& arcs = network.ArcsFrom(u);
+      for (size_t i = 0; i < arcs.size(); ++i) {
+        const FlowArc& arc = arcs[i];
+        if (arc.Residual() > kEps && parent_node[static_cast<size_t>(arc.to)] < 0) {
+          parent_node[static_cast<size_t>(arc.to)] = u;
+          parent_arc[static_cast<size_t>(arc.to)] = i;
+          queue.push_back(arc.to);
+        }
+      }
+    }
+    if (parent_node[static_cast<size_t>(sink)] < 0) {
+      break;  // No augmenting path remains.
+    }
+
+    // Bottleneck along the path.
+    double bottleneck = std::numeric_limits<double>::infinity();
+    for (int v = sink; v != source; v = parent_node[static_cast<size_t>(v)]) {
+      const int u = parent_node[static_cast<size_t>(v)];
+      const FlowArc& arc = network.ArcsFrom(u)[parent_arc[static_cast<size_t>(v)]];
+      bottleneck = std::min(bottleneck, arc.Residual());
+    }
+
+    // Augment.
+    for (int v = sink; v != source; v = parent_node[static_cast<size_t>(v)]) {
+      const int u = parent_node[static_cast<size_t>(v)];
+      FlowArc& arc = network.ArcsFrom(u)[parent_arc[static_cast<size_t>(v)]];
+      arc.flow += bottleneck;
+      network.ArcsFrom(arc.to)[arc.reverse_index].flow -= bottleneck;
+    }
+    total_flow += bottleneck;
+  }
+
+  return ExtractCut(network, source, total_flow);
+}
+
+}  // namespace coign

@@ -1,0 +1,16 @@
+// Edmonds-Karp maximum flow — the verification baseline for the
+// relabel-to-front implementation. Both must find identical cut values on
+// every graph (the cut itself may differ when several minimum cuts exist).
+
+#ifndef COIGN_SRC_MINCUT_EDMONDS_KARP_H_
+#define COIGN_SRC_MINCUT_EDMONDS_KARP_H_
+
+#include "src/mincut/flow_network.h"
+
+namespace coign {
+
+CutResult MinCutEdmondsKarp(FlowNetwork& network, int source, int sink);
+
+}  // namespace coign
+
+#endif  // COIGN_SRC_MINCUT_EDMONDS_KARP_H_

@@ -1,0 +1,92 @@
+#include "src/mincut/flow_network.h"
+
+#include <cassert>
+
+namespace coign {
+
+FlowNetwork::FlowNetwork(int node_count) : adjacency_(static_cast<size_t>(node_count)) {
+  assert(node_count >= 0);
+}
+
+void FlowNetwork::AddArc(int from, int to, double capacity) {
+  assert(from >= 0 && from < node_count());
+  assert(to >= 0 && to < node_count());
+  assert(capacity >= 0.0);
+  FlowArc forward;
+  forward.to = to;
+  forward.capacity = capacity;
+  forward.reverse_index = adjacency_[to].size();
+  FlowArc backward;
+  backward.to = from;
+  backward.capacity = 0.0;
+  backward.reverse_index = adjacency_[from].size();
+  adjacency_[from].push_back(forward);
+  adjacency_[to].push_back(backward);
+}
+
+void FlowNetwork::AddEdge(int a, int b, double capacity) {
+  assert(a >= 0 && a < node_count());
+  assert(b >= 0 && b < node_count());
+  FlowArc forward;
+  forward.to = b;
+  forward.capacity = capacity;
+  forward.reverse_index = adjacency_[b].size();
+  FlowArc backward;
+  backward.to = a;
+  backward.capacity = capacity;  // Symmetric capacity, not a residual stub.
+  backward.reverse_index = adjacency_[a].size();
+  adjacency_[a].push_back(forward);
+  adjacency_[b].push_back(backward);
+}
+
+void FlowNetwork::ResetFlow() {
+  for (auto& arcs : adjacency_) {
+    for (FlowArc& arc : arcs) {
+      arc.flow = 0.0;
+    }
+  }
+}
+
+std::vector<bool> FlowNetwork::ResidualReachable(int source) const {
+  std::vector<bool> visited(adjacency_.size(), false);
+  std::vector<int> queue = {source};
+  visited[static_cast<size_t>(source)] = true;
+  while (!queue.empty()) {
+    const int node = queue.back();
+    queue.pop_back();
+    for (const FlowArc& arc : adjacency_[static_cast<size_t>(node)]) {
+      if (arc.Residual() > 1e-12 && !visited[static_cast<size_t>(arc.to)]) {
+        visited[static_cast<size_t>(arc.to)] = true;
+        queue.push_back(arc.to);
+      }
+    }
+  }
+  return visited;
+}
+
+int CutResult::SourceSideCount() const {
+  int count = 0;
+  for (bool b : in_source_side) {
+    count += b ? 1 : 0;
+  }
+  return count;
+}
+
+CutResult ExtractCut(const FlowNetwork& network, int source, double flow_value) {
+  CutResult result;
+  result.cut_value = flow_value;
+  result.in_source_side = network.ResidualReachable(source);
+  for (int node = 0; node < network.node_count(); ++node) {
+    if (!result.in_source_side[static_cast<size_t>(node)]) {
+      continue;
+    }
+    for (const FlowArc& arc : network.ArcsFrom(node)) {
+      if (arc.capacity > 0.0 && !result.in_source_side[static_cast<size_t>(arc.to)]) {
+        result.cut_edges.emplace_back(node, arc.to);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace coign

@@ -1,0 +1,72 @@
+// Flow networks for minimum-cut computation.
+//
+// The analysis engine reduces "choose a two-machine distribution of minimal
+// communication time" to s-t minimum cut on the concrete ICC graph: client
+// and server are the terminals, every classification is a node, and edge
+// capacities are predicted communication seconds. Location constraints
+// become effectively-infinite capacities.
+
+#ifndef COIGN_SRC_MINCUT_FLOW_NETWORK_H_
+#define COIGN_SRC_MINCUT_FLOW_NETWORK_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace coign {
+
+// Large finite stand-in for an un-cuttable edge; finite so residual
+// arithmetic stays well-defined. Any real cut is astronomically cheaper.
+inline constexpr double kInfiniteCapacity = 1e30;
+
+struct FlowArc {
+  int to = 0;
+  double capacity = 0.0;
+  double flow = 0.0;
+  size_t reverse_index = 0;  // Index of the reverse arc in adjacency[to].
+
+  double Residual() const { return capacity - flow; }
+};
+
+class FlowNetwork {
+ public:
+  explicit FlowNetwork(int node_count);
+
+  int node_count() const { return static_cast<int>(adjacency_.size()); }
+
+  // Adds a directed arc with a zero-capacity reverse arc.
+  void AddArc(int from, int to, double capacity);
+  // Undirected edge: capacity in both directions (the usual form for
+  // communication graphs — a byte costs the same whichever way it flows).
+  void AddEdge(int a, int b, double capacity);
+
+  std::vector<FlowArc>& ArcsFrom(int node) { return adjacency_[node]; }
+  const std::vector<FlowArc>& ArcsFrom(int node) const { return adjacency_[node]; }
+
+  void ResetFlow();
+
+  // Nodes reachable from `source` through positive-residual arcs — the
+  // source side of a minimum cut once a maximum flow is in place.
+  std::vector<bool> ResidualReachable(int source) const;
+
+ private:
+  std::vector<std::vector<FlowArc>> adjacency_;
+};
+
+// A two-way partition produced by a min-cut algorithm.
+struct CutResult {
+  double cut_value = 0.0;              // == max flow value.
+  std::vector<bool> in_source_side;    // Per node.
+  // Saturated edges crossing the cut, as (from, to) with from on the
+  // source side.
+  std::vector<std::pair<int, int>> cut_edges;
+
+  int SourceSideCount() const;
+};
+
+// Derives the partition and cut edges after a max flow has been computed.
+CutResult ExtractCut(const FlowNetwork& network, int source, double flow_value);
+
+}  // namespace coign
+
+#endif  // COIGN_SRC_MINCUT_FLOW_NETWORK_H_

@@ -1,0 +1,38 @@
+// Multiway cut via the isolation heuristic — the paper's future-work
+// direction ("the problem of partitioning applications across three or more
+// machines is provably NP-hard [13]; numerous heuristic algorithms exist").
+//
+// Dahlhaus et al.'s classic 2(1-1/k)-approximation: compute an isolating
+// minimum cut for each terminal (terminal vs all other terminals merged
+// into a super-sink), discard the most expensive one, and take the union of
+// the rest. Nodes claimed by no isolating cut stay with the discarded
+// terminal.
+
+#ifndef COIGN_SRC_MINCUT_MULTIWAY_H_
+#define COIGN_SRC_MINCUT_MULTIWAY_H_
+
+#include <functional>
+#include <vector>
+
+#include "src/mincut/flow_network.h"
+
+namespace coign {
+
+struct MultiwayCutResult {
+  double total_weight = 0.0;
+  // assignment[node] = index into `terminals` of the side the node landed on.
+  std::vector<int> assignment;
+};
+
+// Builds a fresh FlowNetwork with `extra_nodes` additional scratch nodes
+// beyond the caller's node count, populated by `populate`.
+using EdgeList = std::vector<std::tuple<int, int, double>>;
+
+// Partitions `node_count` nodes among the terminals. `edges` are undirected
+// (a, b, weight). Each terminal must be a distinct valid node.
+MultiwayCutResult MultiwayCutIsolation(int node_count, const EdgeList& edges,
+                                       const std::vector<int>& terminals);
+
+}  // namespace coign
+
+#endif  // COIGN_SRC_MINCUT_MULTIWAY_H_

@@ -1,0 +1,120 @@
+#include "src/mincut/relabel_to_front.h"
+
+#include <cassert>
+#include <list>
+#include <vector>
+
+namespace coign {
+namespace {
+
+class RelabelToFront {
+ public:
+  RelabelToFront(FlowNetwork& network, int source, int sink)
+      : network_(network),
+        source_(source),
+        sink_(sink),
+        n_(network.node_count()),
+        height_(static_cast<size_t>(n_), 0),
+        excess_(static_cast<size_t>(n_), 0.0),
+        current_arc_(static_cast<size_t>(n_), 0) {}
+
+  double Run() {
+    InitializePreflow();
+    // The discharge list: all vertices except source and sink, any order.
+    std::list<int> vertices;
+    for (int v = 0; v < n_; ++v) {
+      if (v != source_ && v != sink_) {
+        vertices.push_back(v);
+      }
+    }
+    auto it = vertices.begin();
+    while (it != vertices.end()) {
+      const int u = *it;
+      const int old_height = height_[static_cast<size_t>(u)];
+      Discharge(u);
+      if (height_[static_cast<size_t>(u)] > old_height) {
+        // Lift-to-front: a relabeled vertex moves to the head of the list
+        // and the scan restarts from it.
+        vertices.erase(it);
+        vertices.push_front(u);
+        it = vertices.begin();
+      }
+      ++it;
+    }
+    return excess_[static_cast<size_t>(sink_)];
+  }
+
+ private:
+  void InitializePreflow() {
+    height_[static_cast<size_t>(source_)] = n_;
+    for (FlowArc& arc : network_.ArcsFrom(source_)) {
+      const double amount = arc.Residual();
+      if (amount <= 0.0) {
+        continue;
+      }
+      arc.flow += amount;
+      network_.ArcsFrom(arc.to)[arc.reverse_index].flow -= amount;
+      excess_[static_cast<size_t>(arc.to)] += amount;
+      excess_[static_cast<size_t>(source_)] -= amount;
+    }
+  }
+
+  void Push(int u, FlowArc& arc) {
+    const double amount = std::min(excess_[static_cast<size_t>(u)], arc.Residual());
+    arc.flow += amount;
+    network_.ArcsFrom(arc.to)[arc.reverse_index].flow -= amount;
+    excess_[static_cast<size_t>(u)] -= amount;
+    excess_[static_cast<size_t>(arc.to)] += amount;
+  }
+
+  void Lift(int u) {
+    int min_height = 2 * n_;
+    for (const FlowArc& arc : network_.ArcsFrom(u)) {
+      if (arc.Residual() > kEps) {
+        min_height = std::min(min_height, height_[static_cast<size_t>(arc.to)]);
+      }
+    }
+    height_[static_cast<size_t>(u)] = min_height + 1;
+  }
+
+  void Discharge(int u) {
+    while (excess_[static_cast<size_t>(u)] > kEps) {
+      auto& arcs = network_.ArcsFrom(u);
+      if (current_arc_[static_cast<size_t>(u)] >= arcs.size()) {
+        Lift(u);
+        current_arc_[static_cast<size_t>(u)] = 0;
+        continue;
+      }
+      FlowArc& arc = arcs[current_arc_[static_cast<size_t>(u)]];
+      if (arc.Residual() > kEps &&
+          height_[static_cast<size_t>(u)] == height_[static_cast<size_t>(arc.to)] + 1) {
+        Push(u, arc);
+      } else {
+        ++current_arc_[static_cast<size_t>(u)];
+      }
+    }
+  }
+
+  static constexpr double kEps = 1e-12;
+
+  FlowNetwork& network_;
+  const int source_;
+  const int sink_;
+  const int n_;
+  std::vector<int> height_;
+  std::vector<double> excess_;
+  std::vector<size_t> current_arc_;
+};
+
+}  // namespace
+
+CutResult MinCutRelabelToFront(FlowNetwork& network, int source, int sink) {
+  assert(source != sink);
+  assert(source >= 0 && source < network.node_count());
+  assert(sink >= 0 && sink < network.node_count());
+  RelabelToFront algorithm(network, source, sink);
+  const double flow = algorithm.Run();
+  return ExtractCut(network, source, flow);
+}
+
+}  // namespace coign

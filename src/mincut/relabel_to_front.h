@@ -1,0 +1,23 @@
+// The lift-to-front (relabel-to-front) minimum-cut algorithm.
+//
+// "Coign employs the lift-to-front minimum-cut graph-cutting algorithm [9]
+// to choose a distribution with minimal communication time." Reference [9]
+// is Cormen, Leiserson & Rivest, whose push-relabel variant discharges
+// vertices from a topologically maintained list, moving relabeled vertices
+// to the front. O(V^3), exact.
+
+#ifndef COIGN_SRC_MINCUT_RELABEL_TO_FRONT_H_
+#define COIGN_SRC_MINCUT_RELABEL_TO_FRONT_H_
+
+#include "src/mincut/flow_network.h"
+
+namespace coign {
+
+// Computes a maximum s-t flow with relabel-to-front push-relabel and
+// returns the induced minimum cut. Mutates the network's flow (call
+// ResetFlow() to reuse). source != sink.
+CutResult MinCutRelabelToFront(FlowNetwork& network, int source, int sink);
+
+}  // namespace coign
+
+#endif  // COIGN_SRC_MINCUT_RELABEL_TO_FRONT_H_

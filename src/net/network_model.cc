@@ -1,0 +1,52 @@
+#include "src/net/network_model.h"
+
+namespace coign {
+
+NetworkModel NetworkModel::TenBaseT() {
+  return NetworkModel{
+      .name = "10BaseT",
+      // A DCOM null call on period hardware cost on the order of a
+      // millisecond round trip; half of that per direction.
+      .per_message_seconds = 650e-6,
+      .bytes_per_second = 1.05e6,  // ~8.4 Mb/s effective of 10 Mb/s.
+      .jitter_fraction = 0.08,
+  };
+}
+
+NetworkModel NetworkModel::HundredBaseT() {
+  return NetworkModel{
+      .name = "100BaseT",
+      .per_message_seconds = 250e-6,
+      .bytes_per_second = 10.5e6,
+      .jitter_fraction = 0.08,
+  };
+}
+
+NetworkModel NetworkModel::Isdn() {
+  return NetworkModel{
+      .name = "ISDN",
+      .per_message_seconds = 15e-3,
+      .bytes_per_second = 14e3,  // 128 kb/s line, protocol overhead removed.
+      .jitter_fraction = 0.05,
+  };
+}
+
+NetworkModel NetworkModel::Atm155() {
+  return NetworkModel{
+      .name = "ATM-155",
+      .per_message_seconds = 180e-6,
+      .bytes_per_second = 16e6,
+      .jitter_fraction = 0.06,
+  };
+}
+
+NetworkModel NetworkModel::San() {
+  return NetworkModel{
+      .name = "SAN",
+      .per_message_seconds = 20e-6,
+      .bytes_per_second = 80e6,
+      .jitter_fraction = 0.03,
+  };
+}
+
+}  // namespace coign

@@ -1,0 +1,46 @@
+#include "src/net/network_profiler.h"
+
+#include <cmath>
+
+namespace coign {
+
+NetworkProfile NetworkProfile::Exact(const NetworkModel& model) {
+  NetworkProfile profile;
+  profile.network_name = model.name;
+  profile.per_message_seconds = model.per_message_seconds;
+  profile.seconds_per_byte = 1.0 / model.bytes_per_second;
+  profile.fit_r_squared = 1.0;
+  return profile;
+}
+
+NetworkProfile NetworkProfiler::Profile(const Transport& transport, Rng& rng) const {
+  std::vector<double> xs;
+  std::vector<double> ys;
+  const double log_min = std::log(static_cast<double>(options_.min_bytes));
+  const double log_max = std::log(static_cast<double>(options_.max_bytes));
+  for (int p = 0; p < options_.size_points; ++p) {
+    const double t = options_.size_points > 1
+                         ? static_cast<double>(p) / (options_.size_points - 1)
+                         : 0.0;
+    const uint64_t bytes =
+        static_cast<uint64_t>(std::llround(std::exp(log_min + t * (log_max - log_min))));
+    for (int s = 0; s < options_.samples_per_size; ++s) {
+      // One-way message time is half of a symmetric round trip of twice the
+      // payload; sampling the round trip mirrors how a real profiler pings.
+      const double rtt = transport.SampleRoundTripSeconds(bytes, bytes, rng);
+      xs.push_back(static_cast<double>(bytes));
+      ys.push_back(rtt / 2.0);
+    }
+  }
+  const LinearFit fit = FitLinear(xs, ys);
+
+  NetworkProfile profile;
+  profile.network_name = transport.model().name;
+  profile.per_message_seconds = fit.intercept;
+  profile.seconds_per_byte = fit.slope;
+  profile.fit_r_squared = fit.r_squared;
+  profile.sample_count = xs.size();
+  return profile;
+}
+
+}  // namespace coign

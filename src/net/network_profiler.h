@@ -1,0 +1,66 @@
+// The network profiler (paper §2): "creates a network profile through
+// statistical sampling of communication time for a representative set of
+// DCOM messages."
+//
+// We sample round trips of geometrically spaced payload sizes over the
+// (jittered) transport and fit time = intercept + slope * bytes by least
+// squares. The resulting NetworkProfile converts the abstract ICC graph's
+// byte counts into the concrete graph's seconds.
+
+#ifndef COIGN_SRC_NET_NETWORK_PROFILER_H_
+#define COIGN_SRC_NET_NETWORK_PROFILER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/net/transport.h"
+#include "src/support/rng.h"
+#include "src/support/stats.h"
+
+namespace coign {
+
+// Fitted cost model of one one-way message as a function of payload bytes.
+struct NetworkProfile {
+  std::string network_name;
+  double per_message_seconds = 0.0;  // Fitted intercept (per direction).
+  double seconds_per_byte = 0.0;     // Fitted slope.
+  double fit_r_squared = 0.0;
+  size_t sample_count = 0;
+
+  double MessageSeconds(double bytes) const {
+    return per_message_seconds + seconds_per_byte * bytes;
+  }
+  // Synchronous call: request message out, reply message back.
+  double CallSeconds(double request_bytes, double reply_bytes) const {
+    return MessageSeconds(request_bytes) + MessageSeconds(reply_bytes);
+  }
+
+  // A profile built directly from the model's true parameters (no sampling
+  // noise) — useful as a fixture and to bound profiler error in tests.
+  static NetworkProfile Exact(const NetworkModel& model);
+};
+
+struct NetworkProfilerOptions {
+  // Representative payload sizes are geometrically spaced over
+  // [min_bytes, max_bytes].
+  uint64_t min_bytes = 16;
+  uint64_t max_bytes = 256 * 1024;
+  int size_points = 24;
+  int samples_per_size = 32;
+};
+
+class NetworkProfiler {
+ public:
+  explicit NetworkProfiler(NetworkProfilerOptions options = {}) : options_(options) {}
+
+  // Samples the transport and fits the profile.
+  NetworkProfile Profile(const Transport& transport, Rng& rng) const;
+
+ private:
+  NetworkProfilerOptions options_;
+};
+
+}  // namespace coign
+
+#endif  // COIGN_SRC_NET_NETWORK_PROFILER_H_

@@ -1,0 +1,17 @@
+#include "src/net/transport.h"
+
+#include <algorithm>
+
+namespace coign {
+
+double Transport::SampleRoundTripSeconds(uint64_t request_bytes, uint64_t reply_bytes,
+                                         Rng& rng) const {
+  const double expected = ExpectedRoundTripSeconds(request_bytes, reply_bytes);
+  if (model_.jitter_fraction <= 0.0) {
+    return expected;
+  }
+  const double noisy = rng.Normal(expected, expected * model_.jitter_fraction);
+  return std::max(noisy, expected * 0.25);
+}
+
+}  // namespace coign

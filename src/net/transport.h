@@ -1,0 +1,46 @@
+// Simulated transport between machines.
+//
+// Carries DCOM-style request/reply round trips over a NetworkModel. Two
+// faces: a deterministic expectation (used when predicting and when
+// accounting simulated communication time) and a sampled path with jitter
+// (what the network profiler measures, and what "measured" experiment runs
+// experience).
+
+#ifndef COIGN_SRC_NET_TRANSPORT_H_
+#define COIGN_SRC_NET_TRANSPORT_H_
+
+#include <cstdint>
+
+#include "src/net/network_model.h"
+#include "src/support/rng.h"
+
+namespace coign {
+
+class Transport {
+ public:
+  explicit Transport(NetworkModel model) : model_(model) {}
+
+  const NetworkModel& model() const { return model_; }
+
+  // Expected (noise-free) time of one synchronous round trip.
+  double ExpectedRoundTripSeconds(uint64_t request_bytes, uint64_t reply_bytes) const {
+    return model_.ExpectedMessageSeconds(request_bytes) +
+           model_.ExpectedMessageSeconds(reply_bytes);
+  }
+
+  // One sampled round trip with multiplicative jitter; always >= 0.
+  double SampleRoundTripSeconds(uint64_t request_bytes, uint64_t reply_bytes, Rng& rng) const;
+
+  // Accumulated clock helpers, for simulations that track elapsed wire time.
+  void Charge(double seconds) { elapsed_seconds_ += seconds; }
+  double elapsed_seconds() const { return elapsed_seconds_; }
+  void ResetClock() { elapsed_seconds_ = 0.0; }
+
+ private:
+  NetworkModel model_;
+  double elapsed_seconds_ = 0.0;
+};
+
+}  // namespace coign
+
+#endif  // COIGN_SRC_NET_TRANSPORT_H_

@@ -1,0 +1,40 @@
+#include "src/profile/event.h"
+
+#include "src/support/str_util.h"
+
+namespace coign {
+
+const char* EventKindName(EventKind kind) {
+  switch (kind) {
+    case EventKind::kComponentInstantiation:
+      return "component-instantiation";
+    case EventKind::kComponentDestruction:
+      return "component-destruction";
+    case EventKind::kInterfaceInstantiation:
+      return "interface-instantiation";
+    case EventKind::kInterfaceDestruction:
+      return "interface-destruction";
+    case EventKind::kInterfaceCall:
+      return "interface-call";
+  }
+  return "?";
+}
+
+std::string ProfileEvent::ToString() const {
+  switch (kind) {
+    case EventKind::kInterfaceCall:
+      return StrFormat("#%llu call %llu->%llu method=%u req=%llu rep=%llu%s",
+                       static_cast<unsigned long long>(sequence),
+                       static_cast<unsigned long long>(caller),
+                       static_cast<unsigned long long>(subject), method,
+                       static_cast<unsigned long long>(request_bytes),
+                       static_cast<unsigned long long>(reply_bytes),
+                       remotable ? "" : " non-remotable");
+    default:
+      return StrFormat("#%llu %s instance=%llu classification=%u",
+                       static_cast<unsigned long long>(sequence), EventKindName(kind),
+                       static_cast<unsigned long long>(subject), subject_classification);
+  }
+}
+
+}  // namespace coign

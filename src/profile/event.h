@@ -1,0 +1,51 @@
+// Application events observed during profiling (paper §3.3): component
+// instantiations and destructions, interface instantiations and
+// destructions, and interface calls. The event logger records these as a
+// detailed trace ("a colleague has used logs from the event logger to drive
+// detailed application simulations"); the profiling logger summarizes them.
+
+#ifndef COIGN_SRC_PROFILE_EVENT_H_
+#define COIGN_SRC_PROFILE_EVENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/classify/descriptor.h"
+#include "src/com/types.h"
+
+namespace coign {
+
+enum class EventKind : uint8_t {
+  kComponentInstantiation,
+  kComponentDestruction,
+  kInterfaceInstantiation,  // An interface ref first crossed a boundary.
+  kInterfaceDestruction,
+  kInterfaceCall,
+};
+
+const char* EventKindName(EventKind kind);
+
+struct ProfileEvent {
+  EventKind kind = EventKind::kInterfaceCall;
+  uint64_t sequence = 0;  // Monotone per execution.
+
+  InstanceId subject = kNoInstance;  // The instance the event is about.
+  ClassId subject_class;
+  ClassificationId subject_classification = kNoClassification;
+
+  // For kInterfaceCall: the calling side.
+  InstanceId caller = kNoInstance;
+  ClassificationId caller_classification = kNoClassification;
+
+  InterfaceId iid;        // Interface involved (calls and interface events).
+  MethodIndex method = 0;
+  uint64_t request_bytes = 0;
+  uint64_t reply_bytes = 0;
+  bool remotable = true;
+
+  std::string ToString() const;
+};
+
+}  // namespace coign
+
+#endif  // COIGN_SRC_PROFILE_EVENT_H_

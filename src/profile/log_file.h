@@ -1,0 +1,36 @@
+// Profile log files.
+//
+// "At the end of a profiling execution, Coign writes the inter-component
+// communication profiles to a file for later analysis ... Log files from
+// multiple profiling scenarios may be combined and summarized during later
+// analysis." (paper §2)
+//
+// A line-oriented text format; loads merge naturally because IccProfile
+// merges associatively.
+
+#ifndef COIGN_SRC_PROFILE_LOG_FILE_H_
+#define COIGN_SRC_PROFILE_LOG_FILE_H_
+
+#include <string>
+
+#include "src/profile/icc_profile.h"
+#include "src/support/status.h"
+
+namespace coign {
+
+// Serializes a profile to the log format.
+std::string SerializeProfile(const IccProfile& profile);
+
+// Parses a serialized profile.
+Result<IccProfile> ParseProfile(const std::string& text);
+
+// File convenience wrappers.
+Status WriteProfileFile(const IccProfile& profile, const std::string& path);
+Result<IccProfile> ReadProfileFile(const std::string& path);
+
+// Loads every path and merges them into one profile.
+Result<IccProfile> MergeProfileFiles(const std::vector<std::string>& paths);
+
+}  // namespace coign
+
+#endif  // COIGN_SRC_PROFILE_LOG_FILE_H_

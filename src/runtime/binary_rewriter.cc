@@ -1,0 +1,63 @@
+#include "src/runtime/binary_rewriter.h"
+
+#include <algorithm>
+
+namespace coign {
+
+Result<ConfigurationRecord> ApplicationImage::ReadConfig() const {
+  if (!config_segment.has_value()) {
+    return NotFoundError("image has no configuration segment: " + name);
+  }
+  return ConfigurationRecord::Parse(*config_segment);
+}
+
+Result<ApplicationImage> BinaryRewriter::Instrument(const ApplicationImage& original,
+                                                    const ConfigurationRecord& config) const {
+  if (original.IsInstrumented()) {
+    return FailedPreconditionError("image already instrumented: " + original.name);
+  }
+  ApplicationImage instrumented = original;
+  // "First, it inserts an entry into the first slot of the application's
+  // DLL import table to load the Coign runtime."
+  instrumented.import_table.insert(instrumented.import_table.begin(), kCoignRuntimeDll);
+  // "Second, it adds a data segment containing configuration information at
+  // the end of the application binary."
+  instrumented.config_segment = config.Serialize();
+  return instrumented;
+}
+
+Result<ApplicationImage> BinaryRewriter::WriteDistribution(
+    const ApplicationImage& instrumented, const Distribution& distribution,
+    const std::string& profile_text, const std::vector<Descriptor>& classifier_table) const {
+  if (!instrumented.IsInstrumented()) {
+    return FailedPreconditionError("image is not instrumented: " + instrumented.name);
+  }
+  Result<ConfigurationRecord> config = instrumented.ReadConfig();
+  if (!config.ok()) {
+    return config.status();
+  }
+  // "The configuration record is also modified to remove the profiling
+  // instrumentation. In its place, a lightweight version of the
+  // instrumentation will be loaded to realize the distribution."
+  config->mode = RuntimeMode::kDistributed;
+  config->distribution = distribution;
+  config->profile_text = profile_text;
+  if (!classifier_table.empty()) {
+    config->classifier_table = classifier_table;
+  }
+  ApplicationImage distributed = instrumented;
+  distributed.config_segment = config->Serialize();
+  return distributed;
+}
+
+ApplicationImage BinaryRewriter::Strip(const ApplicationImage& instrumented) const {
+  ApplicationImage original = instrumented;
+  original.import_table.erase(
+      std::remove(original.import_table.begin(), original.import_table.end(),
+                  std::string(kCoignRuntimeDll)),
+      original.import_table.end());
+  original.config_segment.reset();
+  return original;
+}
+
+}  // namespace coign

@@ -1,0 +1,65 @@
+// The binary rewriter (paper §2).
+//
+// On Windows the rewriter makes two changes to the application's PE files:
+// it inserts the Coign runtime DLL into the *first slot* of the DLL import
+// table (so the runtime loads and runs before the application or any of its
+// DLLs) and appends a configuration-record data segment. Here the
+// application binary is modeled as an ApplicationImage; the rewriter makes
+// the same two changes to it. Running an instrumented image attaches a
+// CoignRuntime configured from the record — the observable effect the
+// import-table trick achieves.
+
+#ifndef COIGN_SRC_RUNTIME_BINARY_REWRITER_H_
+#define COIGN_SRC_RUNTIME_BINARY_REWRITER_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/runtime/config_record.h"
+#include "src/support/status.h"
+
+namespace coign {
+
+inline constexpr char kCoignRuntimeDll[] = "coignrte.dll";
+
+// A modeled application binary: name, module list, import table, and the
+// optional appended configuration segment.
+struct ApplicationImage {
+  std::string name;
+  std::vector<std::string> binaries;      // .EXE plus .DLLs.
+  std::vector<std::string> import_table;  // Import order = load order.
+  // The appended data segment, serialized (the on-disk form).
+  std::optional<std::string> config_segment;
+
+  bool IsInstrumented() const {
+    return !import_table.empty() && import_table.front() == kCoignRuntimeDll &&
+           config_segment.has_value();
+  }
+
+  // Parses the configuration segment.
+  Result<ConfigurationRecord> ReadConfig() const;
+};
+
+class BinaryRewriter {
+ public:
+  // Produces the instrumented image: runtime DLL first in the import table
+  // plus a profiling-mode configuration record.
+  Result<ApplicationImage> Instrument(const ApplicationImage& original,
+                                      const ConfigurationRecord& config) const;
+
+  // Writes analysis output back into the image: the chosen distribution,
+  // the profiled classification table, and the lightweight runtime mode,
+  // "removing" the profiling instrumentation.
+  Result<ApplicationImage> WriteDistribution(
+      const ApplicationImage& instrumented, const Distribution& distribution,
+      const std::string& profile_text,
+      const std::vector<Descriptor>& classifier_table = {}) const;
+
+  // Restores the original, uninstrumented image.
+  ApplicationImage Strip(const ApplicationImage& instrumented) const;
+};
+
+}  // namespace coign
+
+#endif  // COIGN_SRC_RUNTIME_BINARY_REWRITER_H_

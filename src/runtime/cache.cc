@@ -1,0 +1,127 @@
+#include "src/runtime/cache.h"
+
+#include <cassert>
+
+#include "src/marshal/ndr.h"
+
+namespace coign {
+namespace {
+
+uint64_t MixInto(uint64_t h, uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  return h;
+}
+
+}  // namespace
+
+InterfaceCache::InterfaceCache(ObjectSystem* system, size_t max_entries)
+    : system_(system), max_entries_(max_entries) {
+  assert(system_ != nullptr);
+  system_->AddInterceptor(this);
+  system_->SetCallFilter([this](const ObjectSystem::CallEvent& event, Message* out) {
+    return Lookup(event, out);
+  });
+}
+
+InterfaceCache::~InterfaceCache() {
+  system_->RemoveInterceptor(this);
+  system_->SetCallFilter(nullptr);
+}
+
+bool InterfaceCache::KeyFor(const ObjectSystem::CallEvent& event, uint64_t* key) const {
+  if (!event.is_remote()) {
+    return false;  // Local calls are already cheap.
+  }
+  const InterfaceDesc* iface = system_->interfaces().Lookup(event.target.iid);
+  if (iface == nullptr) {
+    return false;
+  }
+  const MethodDesc* method = iface->FindMethod(event.method);
+  if (method == nullptr || !method->cacheable) {
+    return false;
+  }
+  // Key by target interface + method + the exact request bytes — what a
+  // semi-custom marshaling proxy would see on the wire.
+  Result<std::vector<uint8_t>> request = Serialize(*event.in);
+  if (!request.ok()) {
+    return false;
+  }
+  uint64_t h = MixInto(event.target.iid.hi, event.target.iid.lo);
+  h = MixInto(h, event.target.instance);
+  h = MixInto(h, event.method);
+  uint64_t chunk = 0;
+  int filled = 0;
+  for (uint8_t byte : *request) {
+    chunk = (chunk << 8) | byte;
+    if (++filled == 8) {
+      h = MixInto(h, chunk);
+      chunk = 0;
+      filled = 0;
+    }
+  }
+  h = MixInto(h, chunk);
+  h = MixInto(h, request->size());
+  *key = h;
+  return true;
+}
+
+bool InterfaceCache::Lookup(const ObjectSystem::CallEvent& event, Message* out) {
+  uint64_t key = 0;
+  if (!KeyFor(event, &key)) {
+    return false;
+  }
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++misses_;
+    return false;
+  }
+  ++hits_;
+  *out = it->second.reply;
+  return true;
+}
+
+void InterfaceCache::OnCallEnd(const ObjectSystem::CallEvent& event, const Status& status) {
+  if (!status.ok()) {
+    return;
+  }
+  uint64_t key = 0;
+  if (!KeyFor(event, &key)) {
+    return;
+  }
+  Entry entry;
+  entry.reply = *event.out;
+  entry.order = next_order_++;
+  entry.instance = event.target.instance;
+  entries_[key] = std::move(entry);
+  EvictIfNeeded();
+}
+
+void InterfaceCache::OnDestroyed(InstanceId id, const ClassId& clsid) {
+  (void)clsid;
+  // Replies from a dead instance must never be served.
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->second.instance == id) {
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void InterfaceCache::EvictIfNeeded() {
+  while (entries_.size() > max_entries_) {
+    auto oldest = entries_.begin();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (it->second.order < oldest->second.order) {
+        oldest = it;
+      }
+    }
+    entries_.erase(oldest);
+  }
+}
+
+void InterfaceCache::Clear() {
+  entries_.clear();
+}
+
+}  // namespace coign

@@ -1,0 +1,64 @@
+// Per-interface caching (paper §4.3/§6): "Coign can also selectively enable
+// per-interface caching (as appropriate) through COM's semi-custom
+// marshaling mechanism."
+//
+// The InterfaceCache plays the semi-custom marshaling proxy: for *remote*
+// calls on methods declared cacheable (pure queries), it remembers replies
+// keyed by (instance, interface, method, request bytes) and answers
+// repeats locally, eliminating the round trip. It hooks the ObjectSystem
+// twice — as the call filter (cache hits) and as an interceptor (filling
+// the cache from completed remote calls).
+
+#ifndef COIGN_SRC_RUNTIME_CACHE_H_
+#define COIGN_SRC_RUNTIME_CACHE_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "src/com/object_system.h"
+
+namespace coign {
+
+class InterfaceCache : public ObjectSystem::Interceptor {
+ public:
+  // Attaches to the system (filter + interceptor). `max_entries` bounds
+  // memory; oldest-inserted entries are evicted beyond it.
+  explicit InterfaceCache(ObjectSystem* system, size_t max_entries = 4096);
+  ~InterfaceCache() override;
+
+  InterfaceCache(const InterfaceCache&) = delete;
+  InterfaceCache& operator=(const InterfaceCache&) = delete;
+
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  size_t size() const { return entries_.size(); }
+
+  void Clear();
+
+  // --- ObjectSystem::Interceptor -------------------------------------------
+  void OnCallEnd(const ObjectSystem::CallEvent& event, const Status& status) override;
+  void OnDestroyed(InstanceId id, const ClassId& clsid) override;
+
+ private:
+  struct Entry {
+    Message reply;
+    uint64_t order = 0;  // Insertion order, for eviction.
+    InstanceId instance = kNoInstance;
+  };
+
+  // Returns false for non-cacheable calls; otherwise sets `key`.
+  bool KeyFor(const ObjectSystem::CallEvent& event, uint64_t* key) const;
+  bool Lookup(const ObjectSystem::CallEvent& event, Message* out);
+  void EvictIfNeeded();
+
+  ObjectSystem* system_;
+  size_t max_entries_;
+  std::unordered_map<uint64_t, Entry> entries_;
+  uint64_t next_order_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace coign
+
+#endif  // COIGN_SRC_RUNTIME_CACHE_H_

@@ -1,0 +1,16 @@
+#include "src/runtime/factory.h"
+
+namespace coign {
+
+MachineId ComponentFactory::PlaceInstantiation(ClassificationId classification) {
+  const MachineId target = distribution_->MachineFor(classification);
+  if (target == local_machine_ || peer_ == nullptr) {
+    ++local_instantiations_;
+    return local_machine_;
+  }
+  ++forwarded_instantiations_;
+  peer_->FulfillForPeer();
+  return target;
+}
+
+}  // namespace coign

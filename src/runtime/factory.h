@@ -1,0 +1,54 @@
+// The component factory (paper §3.5).
+//
+// "The component factory produces a distributed application by manipulating
+// instance placement. ... During distributed execution, a copy of the
+// component factory is replicated onto each machine. The component
+// factories act as peers. Each traps component instantiation requests on
+// its own machine, forwards requests to other machines as appropriate, and
+// fulfills instantiation requests destined for its machine."
+
+#ifndef COIGN_SRC_RUNTIME_FACTORY_H_
+#define COIGN_SRC_RUNTIME_FACTORY_H_
+
+#include <cstdint>
+
+#include "src/classify/descriptor.h"
+#include "src/com/types.h"
+#include "src/graph/distribution.h"
+
+namespace coign {
+
+class ComponentFactory {
+ public:
+  ComponentFactory(MachineId local_machine, const Distribution* distribution)
+      : local_machine_(local_machine), distribution_(distribution) {}
+
+  void SetPeer(ComponentFactory* peer) { peer_ = peer; }
+
+  MachineId local_machine() const { return local_machine_; }
+
+  // Handles an instantiation request trapped on this factory's machine:
+  // consults the distribution for the instance classification, fulfills the
+  // request locally or forwards it to the peer factory, and returns the
+  // machine that fulfilled it.
+  MachineId PlaceInstantiation(ClassificationId classification);
+
+  uint64_t local_instantiations() const { return local_instantiations_; }
+  uint64_t forwarded_instantiations() const { return forwarded_instantiations_; }
+  uint64_t fulfilled_for_peer() const { return fulfilled_for_peer_; }
+
+ private:
+  // Peer-side fulfillment of a forwarded request.
+  void FulfillForPeer() { ++fulfilled_for_peer_; }
+
+  MachineId local_machine_;
+  const Distribution* distribution_;
+  ComponentFactory* peer_ = nullptr;
+  uint64_t local_instantiations_ = 0;
+  uint64_t forwarded_instantiations_ = 0;
+  uint64_t fulfilled_for_peer_ = 0;
+};
+
+}  // namespace coign
+
+#endif  // COIGN_SRC_RUNTIME_FACTORY_H_

@@ -1,0 +1,22 @@
+#include "src/runtime/informer.h"
+
+namespace coign {
+
+WireCall ProfilingInformer::Inspect(const InterfaceDesc& iface, MethodIndex method,
+                                    const Message& in, const Message& out) {
+  return MeasureCall(iface, method, in, out);
+}
+
+WireCall DistributionInformer::Inspect(const InterfaceDesc& iface, MethodIndex method,
+                                       const Message& in, const Message& out) {
+  (void)method;
+  WireCall wire;
+  wire.remotable = iface.remotable && !in.ContainsOpaque() && !out.ContainsOpaque();
+  // "The distribution informer only examines function call parameters
+  // enough to identify interface pointers."
+  in.CollectInterfaces(&wire.passed_interfaces);
+  out.CollectInterfaces(&wire.passed_interfaces);
+  return wire;
+}
+
+}  // namespace coign

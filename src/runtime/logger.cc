@@ -1,0 +1,42 @@
+#include "src/runtime/logger.h"
+
+namespace coign {
+
+void ProfilingLogger::OnEvent(const ProfileEvent& event) {
+  switch (event.kind) {
+    case EventKind::kComponentInstantiation:
+      profile_.RecordInstantiation(event.subject_classification);
+      return;
+    case EventKind::kInterfaceCall: {
+      CallKey key;
+      key.src = event.caller_classification;
+      key.dst = event.subject_classification;
+      key.iid = event.iid;
+      key.method = event.method;
+      profile_.RecordCall(key, event.request_bytes, event.reply_bytes, event.remotable);
+      // Instance-level weights for classifier evaluation: total bytes that
+      // would cross the wire between the two instances.
+      comm_.Add(event.caller, event.subject,
+                static_cast<double>(event.request_bytes + event.reply_bytes));
+      return;
+    }
+    case EventKind::kComponentDestruction:
+    case EventKind::kInterfaceInstantiation:
+    case EventKind::kInterfaceDestruction:
+      return;  // Summarized profiles do not track these.
+  }
+}
+
+void ProfilingLogger::OnCompute(ClassificationId classification, double seconds) {
+  profile_.RecordCompute(classification, seconds);
+}
+
+void EventLogger::OnEvent(const ProfileEvent& event) {
+  if (max_events_ != 0 && events_.size() >= max_events_) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back(event);
+}
+
+}  // namespace coign

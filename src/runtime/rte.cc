@@ -1,0 +1,249 @@
+#include "src/runtime/rte.h"
+
+#include <cassert>
+
+namespace coign {
+namespace {
+
+uint64_t InterfaceKey(const ObjectRef& ref) {
+  return ref.instance * 0x9e3779b97f4a7c15ull ^ ref.iid.hi ^ (ref.iid.lo << 1);
+}
+
+}  // namespace
+
+CoignRuntime::CoignRuntime(ObjectSystem* system, const ConfigurationRecord& config)
+    : system_(system),
+      config_(config),
+      classifier_(MakeClassifier(config.classifier_kind, config.classifier_depth)),
+      client_factory_(kClientMachine, &config_.distribution),
+      server_factory_(kServerMachine, &config_.distribution) {
+  assert(system_ != nullptr);
+  client_factory_.SetPeer(&server_factory_);
+  server_factory_.SetPeer(&client_factory_);
+  if (!config_.classifier_table.empty()) {
+    // Restore the profiled classification table so run-time instantiations
+    // map onto the ids the analysis engine used.
+    const Status imported = classifier_->ImportDescriptors(config_.classifier_table);
+    assert(imported.ok());
+    (void)imported;
+  }
+  if (config_.mode == RuntimeMode::kProfiling) {
+    informer_ = std::make_unique<ProfilingInformer>();
+    profiling_logger_ = std::make_unique<ProfilingLogger>();
+  } else {
+    informer_ = std::make_unique<DistributionInformer>();
+    null_logger_ = std::make_unique<NullLogger>();
+  }
+  Attach();
+}
+
+CoignRuntime::~CoignRuntime() { Detach(); }
+
+Result<std::unique_ptr<CoignRuntime>> CoignRuntime::LoadFromImage(
+    ObjectSystem* system, const ApplicationImage& image) {
+  if (!image.IsInstrumented()) {
+    return FailedPreconditionError(
+        "image does not import the Coign runtime: " + image.name);
+  }
+  Result<ConfigurationRecord> config = image.ReadConfig();
+  if (!config.ok()) {
+    return config.status();
+  }
+  return std::make_unique<CoignRuntime>(system, *config);
+}
+
+void CoignRuntime::Attach() {
+  if (attached_) {
+    return;
+  }
+  system_->AddInterceptor(this);
+  // The component factory traps instantiation requests. In profiling mode
+  // placement is untouched (everything stays where COM would put it), but
+  // the classifier still runs before every instantiation is fulfilled.
+  system_->SetPlacementPolicy(
+      [this](const ClassDesc& cls, InstanceId creator, InstanceId new_id) -> MachineId {
+        const ClassificationId classification =
+            classifier_->Classify(cls, system_->call_stack().BackTrace(), new_id);
+        if (config_.mode == RuntimeMode::kProfiling) {
+          // In-process instantiation, wherever the creator runs.
+          if (creator == kNoInstance) {
+            return kClientMachine;
+          }
+          Result<MachineId> machine = system_->MachineOf(creator);
+          return machine.ok() ? *machine : kClientMachine;
+        }
+        // Distributed mode: the factory on the creator's machine traps the
+        // request and fulfills or forwards it.
+        MachineId creator_machine = kClientMachine;
+        if (creator != kNoInstance) {
+          Result<MachineId> machine = system_->MachineOf(creator);
+          if (machine.ok()) {
+            creator_machine = *machine;
+          }
+        }
+        ComponentFactory& factory =
+            creator_machine == kServerMachine ? server_factory_ : client_factory_;
+        return factory.PlaceInstantiation(classification);
+      });
+  attached_ = true;
+}
+
+void CoignRuntime::Detach() {
+  if (!attached_) {
+    return;
+  }
+  system_->RemoveInterceptor(this);
+  system_->SetPlacementPolicy(nullptr);
+  attached_ = false;
+}
+
+void CoignRuntime::BeginScenario() {
+  classifier_->BeginExecution();
+  if (profiling_logger_ != nullptr) {
+    profiling_logger_->BeginExecution();
+  }
+  wrapped_interfaces_.clear();
+  event_sequence_ = 0;
+}
+
+ClassificationId CoignRuntime::EnsureClassified(const ClassDesc& cls, InstanceId id) {
+  Result<ClassificationId> existing = classifier_->ClassificationOf(id);
+  if (existing.ok()) {
+    return *existing;
+  }
+  return classifier_->Classify(cls, system_->call_stack().BackTrace(), id);
+}
+
+void CoignRuntime::EmitEvent(const ProfileEvent& event) {
+  if (profiling_logger_ != nullptr) {
+    profiling_logger_->OnEvent(event);
+  }
+  if (null_logger_ != nullptr) {
+    null_logger_->OnEvent(event);
+  }
+  for (InformationLogger* logger : extra_loggers_) {
+    logger->OnEvent(event);
+  }
+}
+
+void CoignRuntime::WrapInterface(const ObjectRef& ref, uint64_t* sequence) {
+  if (ref.IsNull()) {
+    return;
+  }
+  if (!wrapped_interfaces_.insert(InterfaceKey(ref)).second) {
+    return;  // Already wrapped.
+  }
+  ProfileEvent event;
+  event.kind = EventKind::kInterfaceInstantiation;
+  event.sequence = (*sequence)++;
+  event.subject = ref.instance;
+  event.iid = ref.iid;
+  const Result<ClassificationId> classification = classifier_->ClassificationOf(ref.instance);
+  event.subject_classification = classification.ok() ? *classification : kNoClassification;
+  EmitEvent(event);
+}
+
+void CoignRuntime::OnInstantiated(const ClassDesc& cls, InstanceId id, InstanceId creator) {
+  const ClassificationId classification = EnsureClassified(cls, id);
+
+  // First sighting of a classification: register its metadata (class, API
+  // usage from static analysis) with the profile.
+  if (profiling_logger_ != nullptr &&
+      known_classifications_.insert(classification).second) {
+    ClassificationInfo info;
+    info.id = classification;
+    info.clsid = cls.clsid;
+    info.class_name = cls.name;
+    info.api_usage = cls.api_usage;
+    info.instance_count = 0;  // Counted by instantiation events.
+    profiling_logger_->RecordClassification(info);
+  }
+
+  ProfileEvent event;
+  event.kind = EventKind::kComponentInstantiation;
+  event.sequence = event_sequence_++;
+  event.subject = id;
+  event.subject_class = cls.clsid;
+  event.subject_classification = classification;
+  event.caller = creator;
+  EmitEvent(event);
+}
+
+void CoignRuntime::OnDestroyed(InstanceId id, const ClassId& clsid) {
+  ProfileEvent event;
+  event.kind = EventKind::kComponentDestruction;
+  event.sequence = event_sequence_++;
+  event.subject = id;
+  event.subject_class = clsid;
+  const Result<ClassificationId> classification = classifier_->ClassificationOf(id);
+  event.subject_classification = classification.ok() ? *classification : kNoClassification;
+  EmitEvent(event);
+}
+
+void CoignRuntime::OnCallEnd(const ObjectSystem::CallEvent& call, const Status& status) {
+  if (!status.ok()) {
+    return;  // Failed calls carry no communication.
+  }
+  ++calls_observed_;
+  if (call.is_remote()) {
+    ++remote_calls_observed_;
+  }
+
+  const InterfaceDesc* iface = system_->interfaces().Lookup(call.target.iid);
+  assert(iface != nullptr);  // Call() validated it.
+  const WireCall wire = informer_->Inspect(*iface, call.method, *call.in, *call.out);
+
+  // Interface wrapping: the callee's interface plus anything passed through
+  // parameters in either direction.
+  WrapInterface(call.target, &event_sequence_);
+  for (const ObjectRef& passed : wire.passed_interfaces) {
+    WrapInterface(passed, &event_sequence_);
+  }
+
+  if (message_counting_) {
+    // Request + reply = two one-way messages on the pair.
+    const Result<ClassificationId> src = classifier_->ClassificationOf(call.caller);
+    const Result<ClassificationId> dst = classifier_->ClassificationOf(call.target.instance);
+    message_counts_.Record(src.ok() ? *src : kNoClassification,
+                           dst.ok() ? *dst : kNoClassification, 1);
+  }
+
+  if (!informer_->measures_communication()) {
+    return;  // Lightweight runtime: no logging.
+  }
+
+  ProfileEvent event;
+  event.kind = EventKind::kInterfaceCall;
+  event.sequence = event_sequence_++;
+  event.subject = call.target.instance;
+  event.subject_class = call.target_clsid;
+  {
+    const Result<ClassificationId> c = classifier_->ClassificationOf(call.target.instance);
+    event.subject_classification = c.ok() ? *c : kNoClassification;
+  }
+  event.caller = call.caller;
+  {
+    const Result<ClassificationId> c = classifier_->ClassificationOf(call.caller);
+    event.caller_classification = c.ok() ? *c : kNoClassification;
+  }
+  event.iid = call.target.iid;
+  event.method = call.method;
+  event.request_bytes = wire.request_bytes;
+  event.reply_bytes = wire.reply_bytes;
+  event.remotable = wire.remotable;
+  EmitEvent(event);
+}
+
+void CoignRuntime::OnCompute(InstanceId instance, double seconds) {
+  if (profiling_logger_ == nullptr) {
+    return;
+  }
+  const Result<ClassificationId> classification = classifier_->ClassificationOf(instance);
+  profiling_logger_->OnCompute(classification.ok() ? *classification : kNoClassification,
+                               seconds);
+  for (InformationLogger* logger : extra_loggers_) {
+    logger->OnCompute(classification.ok() ? *classification : kNoClassification, seconds);
+  }
+}
+
+}  // namespace coign

@@ -1,0 +1,128 @@
+// The Coign Runtime Executive (paper §3.1).
+//
+// "The RTE provides low-level services to other components in the Coign
+// runtime": interception of component instantiation requests, interface
+// wrapping (here: an interceptor on every routed call), address-space /
+// stack management (the ObjectSystem's cross-component call stack), and
+// access to the configuration record.
+//
+// The RTE composes the replaceable runtime components of Figure 2 — an
+// interface informer, an information logger, an instance classifier, and a
+// pair of component factories — in one of two configurations:
+//
+//   * kProfiling:  ProfilingInformer + ProfilingLogger; classifies every
+//     instantiation and summarizes all inter-component communication.
+//   * kDistributed: DistributionInformer + NullLogger; classifies every
+//     instantiation and lets the component factories relocate it per the
+//     distribution in the configuration record.
+
+#ifndef COIGN_SRC_RUNTIME_RTE_H_
+#define COIGN_SRC_RUNTIME_RTE_H_
+
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "src/com/object_system.h"
+#include "src/runtime/binary_rewriter.h"
+#include "src/runtime/config_record.h"
+#include "src/runtime/drift.h"
+#include "src/runtime/factory.h"
+#include "src/runtime/informer.h"
+#include "src/runtime/logger.h"
+
+namespace coign {
+
+class CoignRuntime : public ObjectSystem::Interceptor {
+ public:
+  // Configures the runtime from a configuration record, as if the
+  // instrumented binary had just loaded it. Attaches on construction.
+  CoignRuntime(ObjectSystem* system, const ConfigurationRecord& config);
+  ~CoignRuntime() override;
+
+  CoignRuntime(const CoignRuntime&) = delete;
+  CoignRuntime& operator=(const CoignRuntime&) = delete;
+
+  // Convenience: loads the configuration record from an instrumented image
+  // and attaches. Fails if the image is not instrumented — an
+  // uninstrumented binary never loads the runtime.
+  static Result<std::unique_ptr<CoignRuntime>> LoadFromImage(ObjectSystem* system,
+                                                             const ApplicationImage& image);
+
+  RuntimeMode mode() const { return config_.mode; }
+  const ConfigurationRecord& config() const { return config_; }
+
+  InstanceClassifier& classifier() { return *classifier_; }
+  InterfaceInformer& informer() { return *informer_; }
+
+  // Non-null only in profiling mode.
+  ProfilingLogger* profiling_logger() { return profiling_logger_.get(); }
+  const ProfilingLogger* profiling_logger() const { return profiling_logger_.get(); }
+
+  // Attaches an additional logger (e.g. an EventLogger); not owned.
+  void AddLogger(InformationLogger* logger) { extra_loggers_.push_back(logger); }
+
+  // Starts a fresh scenario execution: resets per-execution classifier
+  // bindings and the per-execution communication matrix.
+  void BeginScenario();
+
+  // The per-machine factory pair (distributed mode; also available in
+  // profiling mode where everything is fulfilled on the client).
+  const ComponentFactory& client_factory() const { return client_factory_; }
+  const ComponentFactory& server_factory() const { return server_factory_; }
+
+  uint64_t calls_observed() const { return calls_observed_; }
+  uint64_t remote_calls_observed() const { return remote_calls_observed_; }
+  uint64_t interfaces_wrapped() const { return wrapped_interfaces_.size(); }
+
+  // Lightweight per-pair message counting for usage-drift detection (paper
+  // §6: "the lightweight version ... could count messages between
+  // components with only slight additional overhead"). Off by default.
+  void EnableMessageCounting() { message_counting_ = true; }
+  const MessageCounts& message_counts() const { return message_counts_; }
+  void ResetMessageCounts() { message_counts_.Clear(); }
+
+  // --- ObjectSystem::Interceptor -------------------------------------------
+  void OnInstantiated(const ClassDesc& cls, InstanceId id, InstanceId creator) override;
+  void OnDestroyed(InstanceId id, const ClassId& clsid) override;
+  void OnCallEnd(const ObjectSystem::CallEvent& event, const Status& status) override;
+  void OnCompute(InstanceId instance, double seconds) override;
+
+ private:
+  void Attach();
+  void Detach();
+
+  // Classification for an instance, classifying now if needed (profiling
+  // mode classifies in OnInstantiated; distributed mode classified already
+  // in the placement hook).
+  ClassificationId EnsureClassified(const ClassDesc& cls, InstanceId id);
+
+  // Emits interface-instantiation events the first time a (instance, iid)
+  // pair is seen crossing a boundary — the moment the RTE would wrap the
+  // interface pointer.
+  void WrapInterface(const ObjectRef& ref, uint64_t* sequence);
+
+  void EmitEvent(const ProfileEvent& event);
+
+  ObjectSystem* system_;
+  ConfigurationRecord config_;
+  std::unique_ptr<InstanceClassifier> classifier_;
+  std::unique_ptr<InterfaceInformer> informer_;
+  std::unique_ptr<ProfilingLogger> profiling_logger_;  // Profiling mode only.
+  std::unique_ptr<NullLogger> null_logger_;            // Distributed mode.
+  std::vector<InformationLogger*> extra_loggers_;
+  ComponentFactory client_factory_;
+  ComponentFactory server_factory_;
+  std::unordered_set<uint64_t> known_classifications_;
+  std::unordered_set<uint64_t> wrapped_interfaces_;
+  uint64_t event_sequence_ = 0;
+  uint64_t calls_observed_ = 0;
+  uint64_t remote_calls_observed_ = 0;
+  bool attached_ = false;
+  bool message_counting_ = false;
+  MessageCounts message_counts_;
+};
+
+}  // namespace coign
+
+#endif  // COIGN_SRC_RUNTIME_RTE_H_

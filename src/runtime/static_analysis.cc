@@ -1,0 +1,81 @@
+#include "src/runtime/static_analysis.h"
+
+#include <array>
+
+namespace coign {
+namespace {
+
+// Known GUI entry points (USER32/GDI32 family).
+constexpr std::array kGuiApis = {
+    "CreateWindowExW", "ShowWindow",  "GetMessageW",   "DispatchMessageW",
+    "BeginPaint",      "EndPaint",    "BitBlt",        "TextOutW",
+    "SetWindowTextW",  "TrackPopupMenu", "GetDC",      "InvalidateRect",
+};
+
+// Known storage entry points (KERNEL32 file APIs + structured storage).
+constexpr std::array kStorageApis = {
+    "CreateFileW", "ReadFile",      "WriteFile",     "SetFilePointer",
+    "CloseHandle", "StgOpenStorage", "StgCreateDocfile", "FlushFileBuffers",
+    "GetFileSizeEx",
+};
+
+// ODBC entry points: a proprietary database wire protocol Coign cannot
+// analyze ("Coign cannot analyze proprietary connections between the ODBC
+// driver and the database server").
+constexpr std::array kOdbcApis = {
+    "SQLConnect", "SQLExecDirect", "SQLFetch", "SQLDisconnect", "SQLPrepare",
+};
+
+}  // namespace
+
+uint32_t ClassifyApiName(std::string_view api_name) {
+  for (const char* name : kGuiApis) {
+    if (api_name == name) {
+      return kApiGui;
+    }
+  }
+  for (const char* name : kStorageApis) {
+    if (api_name == name) {
+      return kApiStorage;
+    }
+  }
+  for (const char* name : kOdbcApis) {
+    if (api_name == name) {
+      return kApiOdbc;
+    }
+  }
+  return kApiNone;
+}
+
+uint32_t AnalyzeImports(const std::vector<std::string>& imported_apis) {
+  uint32_t usage = kApiNone;
+  for (const std::string& api : imported_apis) {
+    usage |= ClassifyApiName(api);
+  }
+  return usage;
+}
+
+std::string ApiUsageString(uint32_t usage) {
+  if (usage == kApiNone) {
+    return "none";
+  }
+  std::string out;
+  auto append = [&out](const char* name) {
+    if (!out.empty()) {
+      out += "|";
+    }
+    out += name;
+  };
+  if (usage & kApiGui) {
+    append("gui");
+  }
+  if (usage & kApiStorage) {
+    append("storage");
+  }
+  if (usage & kApiOdbc) {
+    append("odbc");
+  }
+  return out;
+}
+
+}  // namespace coign

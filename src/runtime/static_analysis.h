@@ -1,0 +1,34 @@
+// Static binary analysis (paper §2): "For client-server distributions, the
+// analysis engine performs static analysis on component binaries to
+// determine which Windows APIs are called by each component. Components
+// that access a set of known GUI or storage APIs are placed on the client
+// or server respectively."
+//
+// Here a component's "binary" declares the API entry points it references
+// (the information an import-table scan recovers); this module maps those
+// names to ApiUsage flags.
+
+#ifndef COIGN_SRC_RUNTIME_STATIC_ANALYSIS_H_
+#define COIGN_SRC_RUNTIME_STATIC_ANALYSIS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/com/class_registry.h"
+
+namespace coign {
+
+// ApiUsage flag for one imported entry point; kApiNone for APIs with no
+// placement significance.
+uint32_t ClassifyApiName(std::string_view api_name);
+
+// Scans a full import list (what the rewriter sees in a component binary).
+uint32_t AnalyzeImports(const std::vector<std::string>& imported_apis);
+
+// Human-readable rendering of an ApiUsage bitmask, e.g. "gui|storage".
+std::string ApiUsageString(uint32_t usage);
+
+}  // namespace coign
+
+#endif  // COIGN_SRC_RUNTIME_STATIC_ANALYSIS_H_

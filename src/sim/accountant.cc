@@ -1,0 +1,72 @@
+#include "src/sim/accountant.h"
+
+#include <cassert>
+
+#include "src/marshal/proxy_stub.h"
+
+namespace coign {
+
+NetworkAccountant::NetworkAccountant(ObjectSystem* system, Transport transport, Rng* jitter_rng)
+    : system_(system), transport_(transport), jitter_rng_(jitter_rng) {
+  assert(system_ != nullptr);
+  system_->AddInterceptor(this);
+}
+
+NetworkAccountant::~NetworkAccountant() { system_->RemoveInterceptor(this); }
+
+void NetworkAccountant::SetComputeScale(MachineId machine, double scale) {
+  assert(machine >= 0 && machine < static_cast<MachineId>(compute_scale_.size()));
+  assert(scale > 0.0);
+  compute_scale_[static_cast<size_t>(machine)] = scale;
+}
+
+double NetworkAccountant::ScaleOf(MachineId machine) const {
+  if (machine < 0 || machine >= static_cast<MachineId>(compute_scale_.size())) {
+    return 1.0;
+  }
+  return compute_scale_[static_cast<size_t>(machine)];
+}
+
+void NetworkAccountant::Reset() {
+  communication_seconds_ = 0.0;
+  compute_seconds_ = 0.0;
+  total_calls_ = 0;
+  remote_calls_ = 0;
+  remote_bytes_ = 0;
+}
+
+void NetworkAccountant::OnCallEnd(const ObjectSystem::CallEvent& event, const Status& status) {
+  if (!status.ok()) {
+    return;
+  }
+  ++total_calls_;
+  if (!event.is_remote()) {
+    return;
+  }
+  const InterfaceDesc* iface = system_->interfaces().Lookup(event.target.iid);
+  assert(iface != nullptr);
+  // The wire is real here: marshal the actual messages.
+  const WireCall wire = MeasureCall(*iface, event.method, *event.in, *event.out);
+  assert(wire.remotable);  // Call() refuses non-remotable remote calls.
+  ++remote_calls_;
+  remote_bytes_ += wire.total_bytes();
+  const double seconds =
+      jitter_rng_ != nullptr
+          ? transport_.SampleRoundTripSeconds(wire.request_bytes, wire.reply_bytes,
+                                              *jitter_rng_)
+          : transport_.ExpectedRoundTripSeconds(wire.request_bytes, wire.reply_bytes);
+  communication_seconds_ += seconds;
+}
+
+void NetworkAccountant::OnCompute(InstanceId instance, double seconds) {
+  MachineId machine = kClientMachine;
+  if (instance != kNoInstance) {
+    const Result<MachineId> m = system_->MachineOf(instance);
+    if (m.ok()) {
+      machine = *m;
+    }
+  }
+  compute_seconds_ += seconds / ScaleOf(machine);
+}
+
+}  // namespace coign

@@ -1,0 +1,65 @@
+// The network accountant: the simulator's stand-in for real wires.
+//
+// Attached to an ObjectSystem, it charges every cross-machine call with a
+// DCOM round trip over the transport (marshaling the real messages to get
+// real byte counts) and accumulates per-machine compute clocks. With a
+// jitter Rng it produces "measured" times; without one, deterministic
+// expected times.
+
+#ifndef COIGN_SRC_SIM_ACCOUNTANT_H_
+#define COIGN_SRC_SIM_ACCOUNTANT_H_
+
+#include <array>
+#include <cstdint>
+
+#include "src/com/object_system.h"
+#include "src/net/transport.h"
+#include "src/support/rng.h"
+
+namespace coign {
+
+class NetworkAccountant : public ObjectSystem::Interceptor {
+ public:
+  // `jitter_rng` may be null for deterministic accounting; not owned.
+  NetworkAccountant(ObjectSystem* system, Transport transport, Rng* jitter_rng = nullptr);
+  ~NetworkAccountant() override;
+
+  NetworkAccountant(const NetworkAccountant&) = delete;
+  NetworkAccountant& operator=(const NetworkAccountant&) = delete;
+
+  // Relative compute power of a machine (1.0 = the reference profile
+  // machine). Both machines are equal in the paper's testbed.
+  void SetComputeScale(MachineId machine, double scale);
+
+  double communication_seconds() const { return communication_seconds_; }
+  double compute_seconds() const { return compute_seconds_; }
+  // Synchronous application: wall time = compute + communication.
+  double execution_seconds() const { return compute_seconds_ + communication_seconds_; }
+
+  uint64_t total_calls() const { return total_calls_; }
+  uint64_t remote_calls() const { return remote_calls_; }
+  uint64_t remote_bytes() const { return remote_bytes_; }
+
+  void Reset();
+
+  // --- ObjectSystem::Interceptor -------------------------------------------
+  void OnCallEnd(const ObjectSystem::CallEvent& event, const Status& status) override;
+  void OnCompute(InstanceId instance, double seconds) override;
+
+ private:
+  double ScaleOf(MachineId machine) const;
+
+  ObjectSystem* system_;
+  Transport transport_;
+  Rng* jitter_rng_;
+  std::array<double, 2> compute_scale_ = {1.0, 1.0};
+  double communication_seconds_ = 0.0;
+  double compute_seconds_ = 0.0;
+  uint64_t total_calls_ = 0;
+  uint64_t remote_calls_ = 0;
+  uint64_t remote_bytes_ = 0;
+};
+
+}  // namespace coign
+
+#endif  // COIGN_SRC_SIM_ACCOUNTANT_H_

@@ -1,0 +1,5 @@
+#include "src/sim/class_placement.h"
+
+// Header-only today; anchors the translation unit.
+
+namespace coign {}  // namespace coign

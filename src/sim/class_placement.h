@@ -1,0 +1,49 @@
+// Class-based placement: the developer's default distribution.
+//
+// Before Coign, applications ship with a static, programmer-chosen
+// distribution expressed in terms of component *classes* (e.g. "the
+// middle-tier business-logic classes run on the server"). This policy
+// realizes such a distribution so the simulator can measure the paper's
+// "Default" column in Table 4.
+
+#ifndef COIGN_SRC_SIM_CLASS_PLACEMENT_H_
+#define COIGN_SRC_SIM_CLASS_PLACEMENT_H_
+
+#include <unordered_map>
+
+#include "src/com/object_system.h"
+#include "src/com/types.h"
+
+namespace coign {
+
+class ClassPlacement {
+ public:
+  ClassPlacement() = default;
+  explicit ClassPlacement(MachineId default_machine) : default_machine_(default_machine) {}
+
+  void Place(const ClassId& clsid, MachineId machine) { placement_[clsid] = machine; }
+
+  MachineId MachineFor(const ClassId& clsid) const {
+    auto it = placement_.find(clsid);
+    return it == placement_.end() ? default_machine_ : it->second;
+  }
+
+  bool empty() const { return placement_.empty(); }
+
+  // An ObjectSystem placement policy realizing this distribution.
+  ObjectSystem::PlacementPolicy AsPolicy() const {
+    return [this](const ClassDesc& cls, InstanceId creator, InstanceId new_id) {
+      (void)creator;
+      (void)new_id;
+      return MachineFor(cls.clsid);
+    };
+  }
+
+ private:
+  std::unordered_map<ClassId, MachineId> placement_;
+  MachineId default_machine_ = kClientMachine;
+};
+
+}  // namespace coign
+
+#endif  // COIGN_SRC_SIM_CLASS_PLACEMENT_H_

@@ -1,0 +1,30 @@
+// Minimal leveled logging to stderr. Verbosity is a process-global knob so
+// benchmarks and tests can silence the library.
+
+#ifndef COIGN_SRC_SUPPORT_LOG_H_
+#define COIGN_SRC_SUPPORT_LOG_H_
+
+#include <string_view>
+
+namespace coign {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+// Emits "[LEVEL] message\n" to stderr when level >= the global threshold.
+void LogMessage(LogLevel level, std::string_view message);
+
+}  // namespace coign
+
+#define COIGN_LOG(level, ...)                                               \
+  do {                                                                      \
+    if (static_cast<int>(::coign::LogLevel::level) >=                       \
+        static_cast<int>(::coign::GetLogLevel())) {                         \
+      ::coign::LogMessage(::coign::LogLevel::level,                         \
+                          ::coign::StrFormat(__VA_ARGS__));                 \
+    }                                                                       \
+  } while (false)
+
+#endif  // COIGN_SRC_SUPPORT_LOG_H_

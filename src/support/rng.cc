@@ -1,0 +1,108 @@
+#include "src/support/rng.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace coign {
+namespace {
+
+uint64_t SplitMix64(uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ull;
+  uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (uint64_t& s : state_) {
+    s = SplitMix64(sm);
+  }
+}
+
+uint64_t Rng::NextUint64() {
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  assert(lo <= hi);
+  const uint64_t range = static_cast<uint64_t>(hi - lo) + 1;
+  if (range == 0) {  // Full 64-bit range.
+    return static_cast<int64_t>(NextUint64());
+  }
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t limit = ~uint64_t{0} - (~uint64_t{0} % range);
+  uint64_t draw;
+  do {
+    draw = NextUint64();
+  } while (draw >= limit);
+  return lo + static_cast<int64_t>(draw % range);
+}
+
+double Rng::UniformDouble() {
+  // 53 bits of mantissa.
+  return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::UniformDouble(double lo, double hi) {
+  return lo + (hi - lo) * UniformDouble();
+}
+
+double Rng::Normal(double mean, double stddev) {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return mean + stddev * cached_normal_;
+  }
+  double u1;
+  do {
+    u1 = UniformDouble();
+  } while (u1 <= 0.0);
+  const double u2 = UniformDouble();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  cached_normal_ = r * std::sin(theta);
+  has_cached_normal_ = true;
+  return mean + stddev * r * std::cos(theta);
+}
+
+double Rng::Exponential(double mean) {
+  assert(mean > 0.0);
+  double u;
+  do {
+    u = UniformDouble();
+  } while (u <= 0.0);
+  return -mean * std::log(u);
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) {
+    return false;
+  }
+  if (p >= 1.0) {
+    return true;
+  }
+  return UniformDouble() < p;
+}
+
+Rng Rng::Fork(uint64_t stream_index) {
+  // Derive a child seed from the parent stream plus the index; the splitmix
+  // finalizer in the constructor decorrelates neighbouring indices.
+  const uint64_t child_seed =
+      NextUint64() ^ (stream_index * 0x9e3779b97f4a7c15ull + 0x632be59bd9b4e019ull);
+  return Rng(child_seed);
+}
+
+}  // namespace coign

@@ -1,0 +1,51 @@
+// Deterministic pseudo-random number generation. Every stochastic element of
+// the system — scenario scripts, network jitter, the network profiler's
+// statistical sampling — draws from an explicitly seeded Rng so that whole
+// experiments replay bit-for-bit.
+
+#ifndef COIGN_SRC_SUPPORT_RNG_H_
+#define COIGN_SRC_SUPPORT_RNG_H_
+
+#include <cstdint>
+
+namespace coign {
+
+// xoshiro256** seeded via splitmix64. Small, fast, and good enough for
+// simulation workloads; not cryptographic.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  uint64_t NextUint64();
+
+  // Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  // Uniform double in [0, 1).
+  double UniformDouble();
+
+  // Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi);
+
+  // Normal(mean, stddev) via Box-Muller.
+  double Normal(double mean, double stddev);
+
+  // Exponential with the given mean (mean = 1/lambda). mean must be > 0.
+  double Exponential(double mean);
+
+  // True with probability p (clamped to [0, 1]).
+  bool Bernoulli(double p);
+
+  // Forks an independent stream; children of distinct indices are
+  // decorrelated from each other and from the parent.
+  Rng Fork(uint64_t stream_index);
+
+ private:
+  uint64_t state_[4];
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace coign
+
+#endif  // COIGN_SRC_SUPPORT_RNG_H_

@@ -1,0 +1,108 @@
+#include "src/support/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace coign {
+
+void RunningStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) {
+    return 0.0;
+  }
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+LinearFit FitLinear(const std::vector<double>& xs, const std::vector<double>& ys) {
+  assert(xs.size() == ys.size());
+  LinearFit fit;
+  const size_t n = xs.size();
+  if (n == 0) {
+    return fit;
+  }
+  double sum_x = 0.0, sum_y = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    sum_x += xs[i];
+    sum_y += ys[i];
+  }
+  const double mean_x = sum_x / static_cast<double>(n);
+  const double mean_y = sum_y / static_cast<double>(n);
+  double sxx = 0.0, sxy = 0.0, syy = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double dx = xs[i] - mean_x;
+    const double dy = ys[i] - mean_y;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  if (n < 2 || sxx == 0.0) {
+    fit.intercept = mean_y;
+    return fit;
+  }
+  fit.slope = sxy / sxx;
+  fit.intercept = mean_y - fit.slope * mean_x;
+  if (syy > 0.0) {
+    fit.r_squared = (sxy * sxy) / (sxx * syy);
+  } else {
+    fit.r_squared = 1.0;  // ys constant and perfectly predicted.
+  }
+  return fit;
+}
+
+double DotProductCorrelation(const std::vector<double>& a, const std::vector<double>& b) {
+  assert(a.size() == b.size());
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    dot += a[i] * b[i];
+    na += a[i] * a[i];
+    nb += b[i] * b[i];
+  }
+  if (na == 0.0 && nb == 0.0) {
+    return 1.0;  // Both silent: equivalent behaviour.
+  }
+  if (na == 0.0 || nb == 0.0) {
+    return 0.0;
+  }
+  return dot / (std::sqrt(na) * std::sqrt(nb));
+}
+
+double Mean(const std::vector<double>& values) {
+  if (values.empty()) {
+    return 0.0;
+  }
+  double sum = 0.0;
+  for (double v : values) {
+    sum += v;
+  }
+  return sum / static_cast<double>(values.size());
+}
+
+double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) {
+    return 0.0;
+  }
+  p = std::clamp(p, 0.0, 1.0);
+  std::sort(values.begin(), values.end());
+  const double rank = p * static_cast<double>(values.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+}  // namespace coign

@@ -1,0 +1,61 @@
+// Statistics helpers used by the network profiler (linear fits of message
+// time vs size), the classifier evaluation (communication-vector
+// correlation, Section 4.2 of the paper), and the benchmarks.
+
+#ifndef COIGN_SRC_SUPPORT_STATS_H_
+#define COIGN_SRC_SUPPORT_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace coign {
+
+// Streaming mean/variance (Welford).
+class RunningStats {
+ public:
+  void Add(double x);
+
+  size_t count() const { return count_; }
+  double mean() const { return mean_; }
+  // Sample variance (n - 1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Least-squares fit y = intercept + slope * x.
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+  double r_squared = 0.0;
+
+  double Evaluate(double x) const { return intercept + slope * x; }
+};
+
+// Requires xs.size() == ys.size() >= 2 and non-constant xs; otherwise the
+// slope is 0 and the intercept the mean of ys.
+LinearFit FitLinear(const std::vector<double>& xs, const std::vector<double>& ys);
+
+// Normalized dot product of two equal-length vectors, the paper's
+// instance-communication-vector correlation: 1 means equivalent
+// communication behaviour, 0 means none shared. Zero vectors correlate 1
+// with zero vectors and 0 with anything else.
+double DotProductCorrelation(const std::vector<double>& a, const std::vector<double>& b);
+
+// Arithmetic mean; 0 for an empty vector.
+double Mean(const std::vector<double>& values);
+
+// p in [0, 1]; linear interpolation between order statistics.
+double Percentile(std::vector<double> values, double p);
+
+}  // namespace coign
+
+#endif  // COIGN_SRC_SUPPORT_STATS_H_

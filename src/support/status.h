@@ -1,0 +1,109 @@
+// Lightweight Status / Result<T> error handling used across all Coign libraries.
+//
+// Library code does not throw across API boundaries; fallible operations return
+// Status (no payload) or Result<T> (payload or error). Both carry a StatusCode
+// and a human-readable message.
+
+#ifndef COIGN_SRC_SUPPORT_STATUS_H_
+#define COIGN_SRC_SUPPORT_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace coign {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kOutOfRange,
+  kUnimplemented,
+  kInternal,
+};
+
+// Returns a stable, human-readable name like "INVALID_ARGUMENT".
+std::string_view StatusCodeName(StatusCode code);
+
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "INVALID_ARGUMENT: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+Status InvalidArgumentError(std::string message);
+Status NotFoundError(std::string message);
+Status AlreadyExistsError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status OutOfRangeError(std::string message);
+Status UnimplementedError(std::string message);
+Status InternalError(std::string message);
+
+// A value-or-error holder. Accessing value() on an error is a programming
+// bug and aborts in debug builds.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}            // NOLINT(google-explicit-constructor)
+  Result(Status status) : status_(std::move(status)) {     // NOLINT(google-explicit-constructor)
+    assert(!status_.ok() && "Result constructed from OK status without a value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  T& value() {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const {
+    assert(ok());
+    return *value_;
+  }
+
+  T value_or(T fallback) const { return ok() ? *value_ : std::move(fallback); }
+
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+  T& operator*() { return value(); }
+  const T& operator*() const { return value(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+// Propagates errors upward: RETURN_IF_ERROR(DoThing());
+#define COIGN_RETURN_IF_ERROR(expr)            \
+  do {                                         \
+    ::coign::Status coign_status__ = (expr);   \
+    if (!coign_status__.ok()) {                \
+      return coign_status__;                   \
+    }                                          \
+  } while (false)
+
+}  // namespace coign
+
+#endif  // COIGN_SRC_SUPPORT_STATUS_H_

@@ -1,0 +1,111 @@
+// Unit tests for the scripted-component framework the synthetic
+// applications are built from.
+
+#include "src/apps/component_library.h"
+
+#include <gtest/gtest.h>
+
+namespace coign {
+namespace {
+
+class ComponentLibraryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(system_.interfaces()
+                    .Register(InterfaceBuilder("ILib")
+                                  .Method("Handled")
+                                  .Out("ok", ValueKind::kBool)
+                                  .Method("Unhandled")
+                                  .Build())
+                    .ok());
+    iid_ = system_.interfaces().LookupByName("ILib")->iid;
+    handlers_.Set(iid_, 0, [](ScriptedComponent& self, const Message& in, Message* out) {
+      (void)self;
+      (void)in;
+      out->Add("ok", Value::FromBool(true));
+      return Status::Ok();
+    });
+    ASSERT_TRUE(RegisterScriptedClass(&system_, "Lib", {iid_}, kApiNone, &handlers_).ok());
+  }
+
+  ObjectSystem system_;
+  HandlerTable handlers_;
+  InterfaceId iid_;
+};
+
+TEST_F(ComponentLibraryTest, DispatchRoutesToHandler) {
+  Result<ObjectRef> ref = CreateByName(system_, "Lib", "ILib");
+  ASSERT_TRUE(ref.ok());
+  Result<Message> out = CallMethod(system_, *ref, 0);
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out->Find("ok")->AsBool());
+}
+
+TEST_F(ComponentLibraryTest, MissingHandlerIsUnimplemented) {
+  Result<ObjectRef> ref = CreateByName(system_, "Lib", "ILib");
+  ASSERT_TRUE(ref.ok());
+  Result<Message> out = CallMethod(system_, *ref, 1);
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kUnimplemented);
+}
+
+TEST_F(ComponentLibraryTest, HandlerTableLookup) {
+  EXPECT_NE(handlers_.Find(iid_, 0), nullptr);
+  EXPECT_EQ(handlers_.Find(iid_, 1), nullptr);
+  EXPECT_EQ(handlers_.Find(Guid::FromName("iid:Other"), 0), nullptr);
+}
+
+TEST_F(ComponentLibraryTest, StateAndRefs) {
+  Result<ObjectRef> ref = CreateByName(system_, "Lib", "ILib");
+  ASSERT_TRUE(ref.ok());
+  auto* component = static_cast<ScriptedComponent*>(system_.Resolve(ref->instance));
+  ASSERT_NE(component, nullptr);
+
+  EXPECT_EQ(component->GetState("missing"), nullptr);
+  EXPECT_EQ(component->GetInt("missing", -1), -1);
+  component->SetState("count", Value::FromInt64(42));
+  EXPECT_EQ(component->GetInt("count"), 42);
+  component->SetState("count32", Value::FromInt32(7));
+  EXPECT_EQ(component->GetInt("count32"), 7);
+  component->SetState("text", Value::FromString("x"));
+  EXPECT_EQ(component->GetInt("text", -9), -9);  // Non-integer: fallback.
+
+  EXPECT_FALSE(component->HasRef("peer"));
+  EXPECT_TRUE(component->GetRef("peer").IsNull());
+  component->SetRef("peer", *ref);
+  EXPECT_TRUE(component->HasRef("peer"));
+  EXPECT_EQ(component->GetRef("peer"), *ref);
+}
+
+TEST_F(ComponentLibraryTest, RefsWithPrefixAreSortedByKey) {
+  Result<ObjectRef> ref = CreateByName(system_, "Lib", "ILib");
+  ASSERT_TRUE(ref.ok());
+  auto* component = static_cast<ScriptedComponent*>(system_.Resolve(ref->instance));
+  component->SetRef("child02", ObjectRef{12, iid_});
+  component->SetRef("child00", ObjectRef{10, iid_});
+  component->SetRef("child01", ObjectRef{11, iid_});
+  component->SetRef("other", ObjectRef{99, iid_});
+  const std::vector<ObjectRef> children = component->RefsWithPrefix("child");
+  ASSERT_EQ(children.size(), 3u);
+  EXPECT_EQ(children[0].instance, 10u);
+  EXPECT_EQ(children[1].instance, 11u);
+  EXPECT_EQ(children[2].instance, 12u);
+}
+
+TEST_F(ComponentLibraryTest, RegisterValidates) {
+  // Duplicate class name refused.
+  EXPECT_EQ(RegisterScriptedClass(&system_, "Lib", {iid_}, kApiNone, &handlers_).code(),
+            StatusCode::kAlreadyExists);
+  // Api usage lands in the class desc.
+  ASSERT_TRUE(
+      RegisterScriptedClass(&system_, "GuiLib", {iid_}, kApiGui, &handlers_).ok());
+  EXPECT_EQ(system_.classes().LookupByName("GuiLib")->api_usage, kApiGui);
+}
+
+TEST_F(ComponentLibraryTest, CreateByNameErrors) {
+  EXPECT_FALSE(CreateByName(system_, "Nope", "ILib").ok());
+  EXPECT_FALSE(CreateByName(system_, "Lib", "INope").ok());
+}
+
+}  // namespace
+}  // namespace coign

@@ -1,0 +1,221 @@
+// Structural checks on the synthetic application suite: scenario coverage,
+// instance populations, default placements, and runnability of every
+// Table 1 scenario.
+
+#include "src/apps/suite.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "src/apps/benefits.h"
+#include "src/apps/octarine.h"
+#include "src/apps/photodraw.h"
+
+namespace coign {
+namespace {
+
+TEST(SuiteTest, ThreeApplicationsInTableOrder) {
+  const auto suite = BuildApplicationSuite();
+  ASSERT_EQ(suite.size(), 3u);
+  EXPECT_EQ(suite[0]->name(), "Octarine");
+  EXPECT_EQ(suite[1]->name(), "PhotoDraw");
+  EXPECT_EQ(suite[2]->name(), "Benefits");
+}
+
+TEST(SuiteTest, Table1HasAll23Scenarios) {
+  const std::vector<std::string> ids = Table1ScenarioIds();
+  EXPECT_EQ(ids.size(), 23u);
+  // Every id resolves to its application and to a scenario within it.
+  for (const std::string& id : ids) {
+    Result<std::unique_ptr<Application>> app = BuildApplicationForScenario(id);
+    ASSERT_TRUE(app.ok()) << id;
+    EXPECT_TRUE((*app)->FindScenario(id).ok()) << id;
+  }
+  EXPECT_FALSE(BuildApplicationForScenario("x_nothing").ok());
+}
+
+TEST(SuiteTest, ScenarioCountsPerApplication) {
+  const auto suite = BuildApplicationSuite();
+  // Table 1: 12 Octarine + 7 PhotoDraw + 4 Benefits (plus our two explicit
+  // figure workloads on Octarine).
+  EXPECT_EQ(suite[0]->Scenarios().size(), 14u);
+  EXPECT_EQ(suite[1]->Scenarios().size(), 7u);
+  EXPECT_EQ(suite[2]->Scenarios().size(), 4u);
+}
+
+class PerAppTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(PerAppTest, InstallRegistersClassesAndInterfaces) {
+  Result<std::unique_ptr<Application>> app = BuildApplicationForScenario(GetParam());
+  ASSERT_TRUE(app.ok());
+  ObjectSystem system;
+  ASSERT_TRUE((*app)->Install(&system).ok());
+  EXPECT_GT(system.interfaces().size(), 5u);
+  // Paper: "between a dozen and 150 component classes".
+  EXPECT_GE(system.classes().size(), 12u);
+  EXPECT_LE(system.classes().size(), 160u);
+}
+
+TEST_P(PerAppTest, ImageIsWellFormed) {
+  Result<std::unique_ptr<Application>> app = BuildApplicationForScenario(GetParam());
+  ASSERT_TRUE(app.ok());
+  const ApplicationImage image = (*app)->Image();
+  EXPECT_FALSE(image.name.empty());
+  EXPECT_FALSE(image.binaries.empty());
+  EXPECT_FALSE(image.import_table.empty());
+  EXPECT_FALSE(image.IsInstrumented());
+}
+
+TEST_P(PerAppTest, EveryScenarioRunsCleanlyWithDefaultPlacement) {
+  Result<std::unique_ptr<Application>> app = BuildApplicationForScenario(GetParam());
+  ASSERT_TRUE(app.ok());
+  for (const Scenario& scenario : (*app)->Scenarios()) {
+    ObjectSystem system;
+    ASSERT_TRUE((*app)->Install(&system).ok());
+    const ClassPlacement placement = (*app)->DefaultPlacement(system);
+    system.SetPlacementPolicy(placement.AsPolicy());
+    Rng rng(99);
+    EXPECT_TRUE(scenario.run(system, rng).ok()) << scenario.id;
+    EXPECT_GT(system.total_calls(), 0u) << scenario.id;
+    system.DestroyAll();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Apps, PerAppTest, ::testing::Values("o_", "p_", "b_"),
+                         [](const auto& info) {
+                           return std::string(1, info.param[0]) + "app";
+                         });
+
+size_t CountInstances(ObjectSystem& system, const Application& app,
+                      bool include_infrastructure) {
+  size_t count = 0;
+  for (const auto& info : system.LiveInstances()) {
+    if (include_infrastructure || !app.IsInfrastructureClass(info.class_name)) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+size_t RunAndCount(Application& app, const std::string& scenario_id) {
+  ObjectSystem system;
+  EXPECT_TRUE(app.Install(&system).ok());
+  Rng rng(1);
+  Result<Scenario> scenario = app.FindScenario(scenario_id);
+  EXPECT_TRUE(scenario.ok());
+  EXPECT_TRUE(scenario->run(system, rng).ok());
+  return CountInstances(system, app, /*include_infrastructure=*/false);
+}
+
+TEST(OctarineStructureTest, TextDocumentPopulationNearPaper) {
+  // Figure 5: 458 components for the 35-page text document.
+  std::unique_ptr<Application> app = MakeOctarine();
+  const size_t instances = RunAndCount(*app, "o_fig5");
+  EXPECT_GE(instances, 400u);
+  EXPECT_LE(instances, 520u);
+}
+
+TEST(OctarineStructureTest, TablePopulationNearPaper) {
+  // Figure 7: 476 components for the 5-page table.
+  std::unique_ptr<Application> app = MakeOctarine();
+  const size_t instances = RunAndCount(*app, "o_oldtb0");
+  EXPECT_GE(instances, 420u);
+  EXPECT_LE(instances, 540u);
+}
+
+TEST(OctarineStructureTest, MixedDocumentPopulationNearPaper) {
+  // Figure 8: 786 components for the text+tables document.
+  std::unique_ptr<Application> app = MakeOctarine();
+  const size_t instances = RunAndCount(*app, "o_mixed9");
+  EXPECT_GE(instances, 650u);
+  EXPECT_LE(instances, 900u);
+}
+
+TEST(PhotoDrawStructureTest, CompositionPopulationNearPaper) {
+  // Figure 4: 295 components viewing a composition.
+  std::unique_ptr<Application> app = MakePhotoDraw();
+  const size_t instances = RunAndCount(*app, "p_oldmsr");
+  EXPECT_GE(instances, 240u);
+  EXPECT_LE(instances, 360u);
+}
+
+TEST(BenefitsStructureTest, BigonePopulationNearPaper) {
+  // Figure 6: 196 components in client and middle tier.
+  std::unique_ptr<Application> app = MakeBenefits();
+  const size_t instances = RunAndCount(*app, "b_bigone");
+  EXPECT_GE(instances, 160u);
+  EXPECT_LE(instances, 240u);
+}
+
+TEST(BenefitsStructureTest, DefaultPlacementIsThreeTier) {
+  std::unique_ptr<Application> app = MakeBenefits();
+  ObjectSystem system;
+  ASSERT_TRUE(app->Install(&system).ok());
+  const ClassPlacement placement = app->DefaultPlacement(system);
+  system.SetPlacementPolicy(placement.AsPolicy());
+  Rng rng(1);
+  Result<Scenario> scenario = app->FindScenario("b_vueone");
+  ASSERT_TRUE(scenario.ok());
+  ASSERT_TRUE(scenario->run(system, rng).ok());
+
+  size_t client = 0, middle = 0;
+  for (const auto& info : system.LiveInstances()) {
+    if (info.machine == kClientMachine) {
+      ++client;
+      // Only the VB front end lives on the client by default.
+      EXPECT_TRUE(info.class_name == "BN.MainForm" || info.class_name == "BN.GraphView" ||
+                  info.class_name.find("BN.Control") == 0)
+          << info.class_name;
+    } else {
+      ++middle;
+    }
+  }
+  EXPECT_EQ(client, 10u);  // Form + graph + 8 controls.
+  EXPECT_GT(middle, client);  // "187 of 196 on the middle tier" shape.
+}
+
+TEST(OctarineStructureTest, DesktopDefaultKeepsEverythingLocalExceptFiles) {
+  std::unique_ptr<Application> app = MakeOctarine();
+  ObjectSystem system;
+  ASSERT_TRUE(app->Install(&system).ok());
+  const ClassPlacement placement = app->DefaultPlacement(system);
+  system.SetPlacementPolicy(placement.AsPolicy());
+  Rng rng(1);
+  Result<Scenario> scenario = app->FindScenario("o_oldwp0");
+  ASSERT_TRUE(scenario.ok());
+  ASSERT_TRUE(scenario->run(system, rng).ok());
+  for (const auto& info : system.LiveInstances()) {
+    if (info.machine == kServerMachine) {
+      EXPECT_TRUE(app->IsInfrastructureClass(info.class_name)) << info.class_name;
+    }
+  }
+}
+
+TEST(SuiteTest, BigoneIsSupersetOfInstanceClasses) {
+  // The bigone scenario instantiates at least every class any single
+  // scenario instantiates (the premise of the Table 2 methodology).
+  std::unique_ptr<Application> app = MakeOctarine();
+  auto classes_of = [&app](const std::string& id) {
+    ObjectSystem system;
+    EXPECT_TRUE(app->Install(&system).ok());
+    Rng rng(1);
+    Result<Scenario> scenario = app->FindScenario(id);
+    EXPECT_TRUE(scenario.ok());
+    EXPECT_TRUE(scenario->run(system, rng).ok());
+    std::set<std::string> classes;
+    for (const auto& info : system.LiveInstances()) {
+      classes.insert(info.class_name);
+    }
+    return classes;
+  };
+  const std::set<std::string> bigone = classes_of("o_bigone");
+  for (const char* id : {"o_newdoc", "o_newmus", "o_oldtb0", "o_oldwp0", "o_oldbth"}) {
+    for (const std::string& cls : classes_of(id)) {
+      EXPECT_TRUE(bigone.contains(cls)) << id << " class " << cls;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace coign

@@ -1,0 +1,336 @@
+// Validates the seven instance classifiers against the paper's Figure 3
+// control flow:
+//
+//   A::V() { ... a->W()  ... }
+//   A::W() { ... b1->X() ... }
+//   B::X() { ... b2->Y() ... }
+//   B::Y() { ... c->Z()  ... }
+//   C::Z() { ... CoCreateInstance(D) }
+//
+// where a : A, b1, b2 : B (two instances of one class), c : C.
+
+#include "src/classify/classifiers.h"
+
+#include <gtest/gtest.h>
+
+#include "src/apps/component_library.h"
+#include "src/com/object_system.h"
+
+namespace coign {
+namespace {
+
+enum FlowMethod : MethodIndex { kV = 0, kW = 1, kX = 2, kY = 3, kZ = 4 };
+
+class Figure3Fixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(system_.interfaces()
+                    .Register(InterfaceBuilder("IFlow")
+                                  .Method("V")
+                                  .In("mode", ValueKind::kInt32)
+                                  .Method("W")
+                                  .Method("X")
+                                  .Method("Y")
+                                  .Method("Z")
+                                  .Build())
+                    .ok());
+    iid_ = system_.interfaces().LookupByName("IFlow")->iid;
+
+    // A::V dispatches either through W (mode 0) or directly to X (mode 1);
+    // the latter differs from the former only by the intra-instance frame.
+    handlers_.Set(iid_, kV, [this](ScriptedComponent& self, const Message& in, Message* out) {
+      (void)out;
+      if (in.Find("mode")->AsInt32() == 0) {
+        return Call(self, ObjectRef{self.id(), iid_}, kW);
+      }
+      return Call(self, self.GetRef("b_first"), kX);
+    });
+    handlers_.Set(iid_, kW, [this](ScriptedComponent& self, const Message& in, Message* out) {
+      (void)in;
+      (void)out;
+      return Call(self, self.GetRef("b_first"), kX);
+    });
+    handlers_.Set(iid_, kX, [this](ScriptedComponent& self, const Message& in, Message* out) {
+      (void)in;
+      (void)out;
+      return Call(self, self.GetRef("b_second"), kY);
+    });
+    handlers_.Set(iid_, kY, [this](ScriptedComponent& self, const Message& in, Message* out) {
+      (void)in;
+      (void)out;
+      return Call(self, self.GetRef("c"), kZ);
+    });
+    handlers_.Set(iid_, kZ, [this](ScriptedComponent& self, const Message& in, Message* out) {
+      (void)self;
+      (void)in;
+      (void)out;
+      Result<ObjectRef> d = system_.CreateInstance(Guid::FromName("clsid:D"), iid_);
+      if (!d.ok()) {
+        return d.status();
+      }
+      last_d_ = d->instance;
+      return Status::Ok();
+    });
+
+    for (const char* name : {"A", "B", "C", "D"}) {
+      ASSERT_TRUE(RegisterScriptedClass(&system_, name, {iid_}, kApiNone, &handlers_).ok());
+    }
+  }
+
+  Status Call(ScriptedComponent& self, const ObjectRef& target, MethodIndex method) {
+    (void)self;
+    Message in;
+    if (method == kV) {
+      in.Add("mode", Value::FromInt32(0));
+    }
+    Message out;
+    return system_.Call(target, method, in, &out);
+  }
+
+  // Builds a, b1, b2, c and wires the flow: X goes through `first_b`,
+  // Y through `second_b`.
+  void WireChain(InstanceId first_b, InstanceId second_b) {
+    auto* a = static_cast<ScriptedComponent*>(system_.Resolve(a_));
+    a->SetRef("b_first", ObjectRef{first_b, iid_});
+    auto* b_first = static_cast<ScriptedComponent*>(system_.Resolve(first_b));
+    b_first->SetRef("b_second", ObjectRef{second_b, iid_});
+    auto* b_second = static_cast<ScriptedComponent*>(system_.Resolve(second_b));
+    b_second->SetRef("c", ObjectRef{c_, iid_});
+  }
+
+  void CreateActors() {
+    a_ = system_.CreateInstanceByName("A", "IFlow")->instance;
+    b1_ = system_.CreateInstanceByName("B", "IFlow")->instance;
+    b2_ = system_.CreateInstanceByName("B", "IFlow")->instance;
+    c_ = system_.CreateInstanceByName("C", "IFlow")->instance;
+  }
+
+  // Runs the full chain with the given V mode; returns the classification
+  // the classifier assigned to the new D instance.
+  ClassificationId RunChain(InstanceClassifier& classifier, int mode = 0) {
+    attach_ = std::make_unique<ClassifyingInterceptor>(&system_, &classifier);
+    Message in;
+    in.Add("mode", Value::FromInt32(mode));
+    Message out;
+    EXPECT_TRUE(system_.Call(ObjectRef{a_, iid_}, kV, in, &out).ok());
+    attach_.reset();
+    return *classifier.ClassificationOf(last_d_);
+  }
+
+  // Minimal stand-in for the RTE: classifies every instantiation with the
+  // back-trace at instantiation time.
+  class ClassifyingInterceptor : public ObjectSystem::Interceptor {
+   public:
+    ClassifyingInterceptor(ObjectSystem* system, InstanceClassifier* classifier)
+        : system_(system), classifier_(classifier) {
+      system_->AddInterceptor(this);
+    }
+    ~ClassifyingInterceptor() override { system_->RemoveInterceptor(this); }
+    void OnInstantiated(const ClassDesc& cls, InstanceId id, InstanceId creator) override {
+      (void)creator;
+      classifier_->Classify(cls, system_->call_stack().BackTrace(), id);
+    }
+
+   private:
+    ObjectSystem* system_;
+    InstanceClassifier* classifier_;
+  };
+
+  ObjectSystem system_;
+  HandlerTable handlers_;
+  InterfaceId iid_;
+  InstanceId a_ = 0, b1_ = 0, b2_ = 0, c_ = 0;
+  InstanceId last_d_ = 0;
+  std::unique_ptr<ClassifyingInterceptor> attach_;
+};
+
+TEST_F(Figure3Fixture, IdenticalChainsGroupForAllCallChainClassifiers) {
+  for (ClassifierKind kind :
+       {ClassifierKind::kProcedureCalledBy, ClassifierKind::kStaticType,
+        ClassifierKind::kStaticTypeCalledBy, ClassifierKind::kInternalFunctionCalledBy,
+        ClassifierKind::kEntryPointCalledBy, ClassifierKind::kInstantiatedBy}) {
+    CreateActors();
+    WireChain(b1_, b2_);
+    std::unique_ptr<InstanceClassifier> classifier = MakeClassifier(kind);
+    const ClassificationId first = RunChain(*classifier);
+    const ClassificationId second = RunChain(*classifier);
+    EXPECT_EQ(first, second) << ClassifierKindName(kind);
+  }
+}
+
+TEST_F(Figure3Fixture, IncrementalSplitsIdenticalChains) {
+  CreateActors();
+  WireChain(b1_, b2_);
+  std::unique_ptr<InstanceClassifier> classifier =
+      MakeClassifier(ClassifierKind::kIncremental);
+  const ClassificationId first = RunChain(*classifier);
+  const ClassificationId second = RunChain(*classifier);
+  EXPECT_NE(first, second);
+}
+
+TEST_F(Figure3Fixture, IncrementalMatchesByOrderAcrossExecutions) {
+  CreateActors();
+  WireChain(b1_, b2_);
+  std::unique_ptr<InstanceClassifier> classifier =
+      MakeClassifier(ClassifierKind::kIncremental);
+  classifier->BeginExecution();
+  const ClassificationId run1 = RunChain(*classifier);
+  classifier->BeginExecution();  // New execution: sequence restarts.
+  const ClassificationId run2 = RunChain(*classifier);
+  EXPECT_EQ(run1, run2);
+}
+
+TEST_F(Figure3Fixture, StaticTypeCannotDistinguishContexts) {
+  CreateActors();
+  WireChain(b1_, b2_);
+  std::unique_ptr<InstanceClassifier> classifier =
+      MakeClassifier(ClassifierKind::kStaticType);
+  const ClassificationId via_chain = RunChain(*classifier);
+  // A D created directly by the driver, with an empty back-trace.
+  Result<ObjectRef> direct = system_.CreateInstance(Guid::FromName("clsid:D"), iid_);
+  ASSERT_TRUE(direct.ok());
+  const ClassificationId direct_class =
+      classifier->Classify(*system_.classes().Lookup(Guid::FromName("clsid:D")), {},
+                           direct->instance);
+  EXPECT_EQ(via_chain, direct_class);
+}
+
+TEST_F(Figure3Fixture, CallChainClassifiersDistinguishContexts) {
+  for (ClassifierKind kind :
+       {ClassifierKind::kProcedureCalledBy, ClassifierKind::kStaticTypeCalledBy,
+        ClassifierKind::kInternalFunctionCalledBy, ClassifierKind::kEntryPointCalledBy,
+        ClassifierKind::kInstantiatedBy}) {
+    CreateActors();
+    WireChain(b1_, b2_);
+    std::unique_ptr<InstanceClassifier> classifier = MakeClassifier(kind);
+    // The actors themselves are classified (the RTE classifies every
+    // instantiation), so classifications embedded in descriptors resolve.
+    for (InstanceId actor : {a_, b1_, b2_, c_}) {
+      classifier->Classify(*system_.ClassOf(actor), {}, actor);
+    }
+    const ClassificationId via_chain = RunChain(*classifier);
+    Result<ObjectRef> direct = system_.CreateInstance(Guid::FromName("clsid:D"), iid_);
+    ASSERT_TRUE(direct.ok());
+    const ClassificationId direct_class =
+        classifier->Classify(*system_.classes().Lookup(Guid::FromName("clsid:D")), {},
+                             direct->instance);
+    EXPECT_NE(via_chain, direct_class) << ClassifierKindName(kind);
+  }
+}
+
+TEST_F(Figure3Fixture, StcbBlindToInstanceSwapButIfcbSeesIt) {
+  // Chain through (b1 then b2) vs (b2 then b1): the class sequence on the
+  // stack is identical ([D, C, B, B, A]) so STCB groups them; IFCB embeds
+  // instance classifications and separates them.
+  CreateActors();
+  std::unique_ptr<InstanceClassifier> stcb =
+      MakeClassifier(ClassifierKind::kStaticTypeCalledBy);
+  std::unique_ptr<InstanceClassifier> ifcb =
+      MakeClassifier(ClassifierKind::kInternalFunctionCalledBy);
+
+  // Give b1 and b2 distinct IFCB classifications by classifying their
+  // creations from distinct (synthetic) contexts.
+  const ClassDesc& class_b = *system_.classes().Lookup(Guid::FromName("clsid:B"));
+  ifcb->Classify(class_b, {}, b1_);
+  ifcb->Classify(class_b,
+                 {CallFrame{.instance = a_, .clsid = Guid::FromName("clsid:A"),
+                            .iid = iid_, .method = kV}},
+                 b2_);
+  ASSERT_NE(*ifcb->ClassificationOf(b1_), *ifcb->ClassificationOf(b2_));
+  stcb->Classify(class_b, {}, b1_);
+  stcb->Classify(class_b, {}, b2_);
+
+  WireChain(b1_, b2_);
+  const ClassificationId stcb_fwd = RunChain(*stcb);
+  const ClassificationId ifcb_fwd = RunChain(*ifcb);
+  WireChain(b2_, b1_);
+  const ClassificationId stcb_rev = RunChain(*stcb);
+  const ClassificationId ifcb_rev = RunChain(*ifcb);
+
+  EXPECT_EQ(stcb_fwd, stcb_rev);
+  EXPECT_NE(ifcb_fwd, ifcb_rev);
+}
+
+TEST_F(Figure3Fixture, EpcbIgnoresIntraInstanceFramesIfcbDoesNot) {
+  // mode 0 routes V -> W -> X (an intra-instance frame [a,W] on the stack);
+  // mode 1 routes V -> X directly. Only the entry point into `a` differs
+  // by that intra-instance frame, which EPCB drops.
+  CreateActors();
+  WireChain(b1_, b2_);
+  std::unique_ptr<InstanceClassifier> epcb =
+      MakeClassifier(ClassifierKind::kEntryPointCalledBy);
+  std::unique_ptr<InstanceClassifier> ifcb =
+      MakeClassifier(ClassifierKind::kInternalFunctionCalledBy);
+  const ClassificationId epcb_with_w = RunChain(*epcb, /*mode=*/0);
+  const ClassificationId epcb_without_w = RunChain(*epcb, /*mode=*/1);
+  const ClassificationId ifcb_with_w = RunChain(*ifcb, /*mode=*/0);
+  const ClassificationId ifcb_without_w = RunChain(*ifcb, /*mode=*/1);
+  EXPECT_EQ(epcb_with_w, epcb_without_w);
+  EXPECT_NE(ifcb_with_w, ifcb_without_w);
+}
+
+TEST_F(Figure3Fixture, InstantiatedByEqualsDepthOneIfcb) {
+  // IB groups by (class, parent classification) — functionally IFCB with a
+  // depth-1 stack walk. Verify both group/split the same way on chains
+  // whose innermost frames match but whose outer frames differ.
+  CreateActors();
+  WireChain(b1_, b2_);
+  std::unique_ptr<InstanceClassifier> ib = MakeClassifier(ClassifierKind::kInstantiatedBy);
+  std::unique_ptr<InstanceClassifier> ifcb1 =
+      MakeClassifier(ClassifierKind::kInternalFunctionCalledBy, /*depth=*/1);
+  const ClassificationId ib_mode0 = RunChain(*ib, 0);
+  const ClassificationId ib_mode1 = RunChain(*ib, 1);
+  const ClassificationId ifcb1_mode0 = RunChain(*ifcb1, 0);
+  const ClassificationId ifcb1_mode1 = RunChain(*ifcb1, 1);
+  // The innermost frame ([c, Z]) is identical in both modes.
+  EXPECT_EQ(ib_mode0, ib_mode1);
+  EXPECT_EQ(ifcb1_mode0, ifcb1_mode1);
+}
+
+TEST_F(Figure3Fixture, DepthLimitsCoarsenIfcb) {
+  // With depth 1 the W-vs-direct chains group; with full depth they split.
+  CreateActors();
+  WireChain(b1_, b2_);
+  std::unique_ptr<InstanceClassifier> shallow =
+      MakeClassifier(ClassifierKind::kInternalFunctionCalledBy, 1);
+  std::unique_ptr<InstanceClassifier> deep =
+      MakeClassifier(ClassifierKind::kInternalFunctionCalledBy, kCompleteStackWalk);
+  EXPECT_EQ(RunChain(*shallow, 0), RunChain(*shallow, 1));
+  EXPECT_NE(RunChain(*deep, 0), RunChain(*deep, 1));
+}
+
+TEST(ClassifierBasicsTest, CountsAndMarks) {
+  std::unique_ptr<InstanceClassifier> classifier =
+      MakeClassifier(ClassifierKind::kStaticType);
+  ClassDesc cls_a;
+  cls_a.clsid = Guid::FromName("clsid:A");
+  cls_a.name = "A";
+  ClassDesc cls_b;
+  cls_b.clsid = Guid::FromName("clsid:B");
+  cls_b.name = "B";
+
+  classifier->Classify(cls_a, {}, 1);
+  classifier->Classify(cls_a, {}, 2);
+  classifier->SetMark();
+  classifier->Classify(cls_b, {}, 3);
+  EXPECT_EQ(classifier->classification_count(), 2u);
+  EXPECT_EQ(classifier->instances_classified(), 3u);
+  EXPECT_EQ(classifier->NewClassificationsSinceMark(), 1u);
+  EXPECT_EQ(classifier->InstanceCountOf(*classifier->ClassificationOf(1)), 2u);
+
+  classifier->BeginExecution();
+  EXPECT_FALSE(classifier->ClassificationOf(1).ok());  // Bindings cleared.
+  EXPECT_EQ(classifier->classification_count(), 2u);   // Table persists.
+}
+
+TEST(ClassifierBasicsTest, FactoryProducesAllKindsWithNames) {
+  for (ClassifierKind kind : AllClassifierKinds()) {
+    std::unique_ptr<InstanceClassifier> classifier = MakeClassifier(kind);
+    ASSERT_NE(classifier, nullptr);
+    EXPECT_EQ(classifier->name(), ClassifierKindName(kind));
+  }
+  EXPECT_EQ(AllClassifierKinds().size(), 7u);
+}
+
+}  // namespace
+}  // namespace coign

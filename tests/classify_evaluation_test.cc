@@ -1,0 +1,152 @@
+#include "src/classify/evaluation.h"
+
+#include <gtest/gtest.h>
+
+#include "src/classify/classifiers.h"
+#include "src/classify/comm_vector.h"
+
+namespace coign {
+namespace {
+
+TEST(SparseCorrelationTest, MatchesDenseSemantics) {
+  SparseVector a = {{0, 1.0}, {1, 2.0}};
+  SparseVector b = {{0, 2.0}, {1, 4.0}};
+  EXPECT_NEAR(SparseCorrelation(a, b), 1.0, 1e-12);
+  SparseVector c = {{2, 5.0}};
+  EXPECT_EQ(SparseCorrelation(a, c), 0.0);
+  EXPECT_EQ(SparseCorrelation({}, {}), 1.0);
+  EXPECT_EQ(SparseCorrelation(a, {}), 0.0);
+}
+
+TEST(SparseCorrelationTest, SymmetricAndBounded) {
+  SparseVector a = {{0, 3.0}, {2, 1.0}, {5, 0.5}};
+  SparseVector b = {{0, 1.0}, {1, 4.0}, {5, 2.0}};
+  const double ab = SparseCorrelation(a, b);
+  EXPECT_DOUBLE_EQ(ab, SparseCorrelation(b, a));
+  EXPECT_GT(ab, 0.0);
+  EXPECT_LT(ab, 1.0);
+}
+
+TEST(AddScaledTest, Accumulates) {
+  SparseVector dst = {{1, 1.0}};
+  AddScaled(&dst, {{1, 2.0}, {3, 4.0}}, 0.5);
+  EXPECT_DOUBLE_EQ(dst[1], 2.0);
+  EXPECT_DOUBLE_EQ(dst[3], 2.0);
+}
+
+TEST(CommMatrixTest, SymmetricAccumulation) {
+  CommMatrix comm;
+  comm.Add(1, 2, 10.0);
+  comm.Add(2, 1, 5.0);
+  comm.Add(1, 1, 100.0);  // Intra-instance: ignored.
+  EXPECT_DOUBLE_EQ(comm.RowOf(1).at(2), 15.0);
+  EXPECT_DOUBLE_EQ(comm.RowOf(2).at(1), 15.0);
+  EXPECT_TRUE(comm.RowOf(3).empty());
+  EXPECT_EQ(comm.RowOf(1).count(1), 0u);
+  comm.Clear();
+  EXPECT_TRUE(comm.RowOf(1).empty());
+}
+
+// An end-to-end evaluator exercise with hand-built communication: a
+// classifier that recognizes bigone instances scores high; one that lumps
+// differently-behaving instances together scores lower.
+class EvaluatorScenario {
+ public:
+  EvaluatorScenario(ClassifierKind kind, int depth = kCompleteStackWalk)
+      : classifier_(MakeClassifier(kind, depth)), evaluator_(classifier_.get()) {
+    cls_ui_.clsid = Guid::FromName("clsid:Ui");
+    cls_ui_.name = "Ui";
+    cls_worker_.clsid = Guid::FromName("clsid:Worker");
+    cls_worker_.name = "Worker";
+    cls_store_.clsid = Guid::FromName("clsid:Store");
+    cls_store_.name = "Store";
+  }
+
+  // One "execution": a UI-context worker (talks to the UI) and a
+  // store-context worker (talks to the store). Distinct stack contexts.
+  void RunExecution(bool evaluation) {
+    classifier_->BeginExecution();
+    CommMatrix comm;
+    InstanceId next = next_instance_;
+
+    const InstanceId ui = next++;
+    classifier_->Classify(cls_ui_, {}, ui);
+    const InstanceId store = next++;
+    classifier_->Classify(cls_store_, {}, store);
+
+    const InstanceId ui_worker = next++;
+    classifier_->Classify(cls_worker_,
+                          {CallFrame{.instance = ui, .clsid = cls_ui_.clsid,
+                                     .iid = Guid::FromName("iid:IUi"), .method = 0}},
+                          ui_worker);
+    const InstanceId store_worker = next++;
+    classifier_->Classify(cls_worker_,
+                          {CallFrame{.instance = store, .clsid = cls_store_.clsid,
+                                     .iid = Guid::FromName("iid:IStore"), .method = 0}},
+                          store_worker);
+    next_instance_ = next;
+
+    comm.Add(ui_worker, ui, 1000.0);
+    comm.Add(ui_worker, store, 10.0);
+    comm.Add(store_worker, store, 1000.0);
+    comm.Add(store_worker, ui, 10.0);
+
+    if (evaluation) {
+      evaluator_.AccumulateEvaluationRun(comm);
+    } else {
+      evaluator_.AccumulateProfilingRun(comm);
+    }
+  }
+
+  ClassifierAccuracyRow Evaluate() {
+    RunExecution(/*evaluation=*/false);
+    RunExecution(/*evaluation=*/false);
+    evaluator_.BeginEvaluationPhase();
+    RunExecution(/*evaluation=*/true);
+    return evaluator_.Row();
+  }
+
+ private:
+  std::unique_ptr<InstanceClassifier> classifier_;
+  ClassifierEvaluator evaluator_;
+  ClassDesc cls_ui_, cls_worker_, cls_store_;
+  InstanceId next_instance_ = 1;
+};
+
+TEST(ClassifierEvaluatorTest, ContextAwareClassifierScoresHigh) {
+  ClassifierAccuracyRow row = EvaluatorScenario(ClassifierKind::kInstantiatedBy).Evaluate();
+  // 4 classifications (ui, store, worker-from-ui, worker-from-store), none
+  // new in the evaluation run, high correlation.
+  EXPECT_EQ(row.profiled_classifications, 4u);
+  EXPECT_EQ(row.new_classifications, 0u);
+  EXPECT_GT(row.avg_correlation, 0.95);
+  EXPECT_NEAR(row.avg_instances_per_classification, 2.0, 1e-9);
+}
+
+TEST(ClassifierEvaluatorTest, StaticTypeMergesDistinctBehaviours) {
+  ClassifierAccuracyRow row = EvaluatorScenario(ClassifierKind::kStaticType).Evaluate();
+  // Only 3 classifications (both workers share one), still nothing new,
+  // but correlation suffers: each worker is compared against a profile
+  // blending two opposite behaviours.
+  EXPECT_EQ(row.profiled_classifications, 3u);
+  EXPECT_EQ(row.new_classifications, 0u);
+  EXPECT_LT(row.avg_correlation, 0.95);
+  EXPECT_GT(row.avg_correlation, 0.3);
+}
+
+TEST(ClassifierEvaluatorTest, AccuracyOrderingStToContextful) {
+  const double st =
+      EvaluatorScenario(ClassifierKind::kStaticType).Evaluate().avg_correlation;
+  const double ifcb =
+      EvaluatorScenario(ClassifierKind::kInternalFunctionCalledBy).Evaluate().avg_correlation;
+  EXPECT_GT(ifcb, st);
+}
+
+TEST(ClassifierEvaluatorTest, RowCarriesClassifierName) {
+  ClassifierAccuracyRow row =
+      EvaluatorScenario(ClassifierKind::kEntryPointCalledBy).Evaluate();
+  EXPECT_EQ(row.name, "Entry-Point Called-By");
+}
+
+}  // namespace
+}  // namespace coign

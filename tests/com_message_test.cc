@@ -1,0 +1,63 @@
+#include "src/com/message.h"
+
+#include <gtest/gtest.h>
+
+namespace coign {
+namespace {
+
+TEST(MessageTest, EmptyByDefault) {
+  Message m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.size(), 0u);
+  EXPECT_EQ(m.Find("x"), nullptr);
+}
+
+TEST(MessageTest, AddAndFind) {
+  Message m;
+  m.Add("a", Value::FromInt32(1)).Add("b", Value::FromString("two"));
+  EXPECT_EQ(m.size(), 2u);
+  ASSERT_NE(m.Find("b"), nullptr);
+  EXPECT_EQ(m.Find("b")->AsString(), "two");
+  EXPECT_EQ(m.at(0).name, "a");
+}
+
+TEST(MessageTest, FindReturnsFirstMatch) {
+  Message m;
+  m.Add("k", Value::FromInt32(1));
+  m.Add("k", Value::FromInt32(2));
+  EXPECT_EQ(m.Find("k")->AsInt32(), 1);
+}
+
+TEST(MessageTest, ContainsOpaque) {
+  Message m;
+  m.Add("n", Value::FromInt32(1));
+  EXPECT_FALSE(m.ContainsOpaque());
+  m.Add("ptr", Value::FromRecord({{"h", Value::FromOpaque(0x1)}}));
+  EXPECT_TRUE(m.ContainsOpaque());
+}
+
+TEST(MessageTest, CollectInterfacesAcrossArgs) {
+  const ObjectRef r1{1, Guid::FromName("a")};
+  const ObjectRef r2{2, Guid::FromName("b")};
+  Message m;
+  m.Add("x", Value::FromInterface(r1));
+  m.Add("y", Value::FromArray({Value::FromInterface(r2)}));
+  std::vector<ObjectRef> refs;
+  m.CollectInterfaces(&refs);
+  ASSERT_EQ(refs.size(), 2u);
+  EXPECT_EQ(refs[0], r1);
+  EXPECT_EQ(refs[1], r2);
+}
+
+TEST(MessageTest, EqualityAndToString) {
+  Message a, b;
+  a.Add("k", Value::FromInt32(3));
+  b.Add("k", Value::FromInt32(3));
+  EXPECT_EQ(a, b);
+  b.Add("extra", Value::Null());
+  EXPECT_FALSE(a == b);
+  EXPECT_EQ(a.ToString(), "(k=3)");
+}
+
+}  // namespace
+}  // namespace coign

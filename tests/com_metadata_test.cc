@@ -1,0 +1,74 @@
+#include "src/com/metadata.h"
+
+#include <gtest/gtest.h>
+
+namespace coign {
+namespace {
+
+InterfaceDesc MakeSample() {
+  return InterfaceBuilder("ISample")
+      .Method("DoThing")
+      .In("count", ValueKind::kInt32)
+      .Out("result", ValueKind::kBlob)
+      .Method("Other")
+      .InOut("buffer", ValueKind::kString)
+      .Build();
+}
+
+TEST(InterfaceBuilderTest, BuildsMethodsAndParams) {
+  const InterfaceDesc desc = MakeSample();
+  EXPECT_EQ(desc.name, "ISample");
+  EXPECT_TRUE(desc.remotable);
+  ASSERT_EQ(desc.methods.size(), 2u);
+  EXPECT_EQ(desc.methods[0].name, "DoThing");
+  ASSERT_EQ(desc.methods[0].params.size(), 2u);
+  EXPECT_EQ(desc.methods[0].params[0].direction, ParamDirection::kIn);
+  EXPECT_EQ(desc.methods[0].params[1].direction, ParamDirection::kOut);
+  EXPECT_EQ(desc.methods[0].params[1].kind, ValueKind::kBlob);
+  EXPECT_EQ(desc.methods[1].params[0].direction, ParamDirection::kInOut);
+}
+
+TEST(InterfaceBuilderTest, IidDerivedFromName) {
+  EXPECT_EQ(MakeSample().iid, Guid::FromName("iid:ISample"));
+}
+
+TEST(InterfaceBuilderTest, NonRemotable) {
+  const InterfaceDesc desc = InterfaceBuilder("IOpaque").NonRemotable().Method("M").Build();
+  EXPECT_FALSE(desc.remotable);
+}
+
+TEST(InterfaceDescTest, FindMethodBounds) {
+  const InterfaceDesc desc = MakeSample();
+  EXPECT_NE(desc.FindMethod(0), nullptr);
+  EXPECT_NE(desc.FindMethod(1), nullptr);
+  EXPECT_EQ(desc.FindMethod(2), nullptr);
+}
+
+TEST(InterfaceRegistryTest, RegisterAndLookup) {
+  InterfaceRegistry registry;
+  ASSERT_TRUE(registry.Register(MakeSample()).ok());
+  EXPECT_EQ(registry.size(), 1u);
+  const InterfaceDesc* by_iid = registry.Lookup(Guid::FromName("iid:ISample"));
+  ASSERT_NE(by_iid, nullptr);
+  EXPECT_EQ(by_iid->name, "ISample");
+  EXPECT_EQ(registry.LookupByName("ISample"), by_iid);
+  EXPECT_EQ(registry.LookupByName("IMissing"), nullptr);
+  EXPECT_EQ(registry.Lookup(Guid::FromName("iid:IMissing")), nullptr);
+}
+
+TEST(InterfaceRegistryTest, RejectsDuplicates) {
+  InterfaceRegistry registry;
+  ASSERT_TRUE(registry.Register(MakeSample()).ok());
+  const Status dup = registry.Register(MakeSample());
+  EXPECT_EQ(dup.code(), StatusCode::kAlreadyExists);
+}
+
+TEST(InterfaceRegistryTest, AllEnumerates) {
+  InterfaceRegistry registry;
+  ASSERT_TRUE(registry.Register(MakeSample()).ok());
+  ASSERT_TRUE(registry.Register(InterfaceBuilder("IOther").Method("M").Build()).ok());
+  EXPECT_EQ(registry.All().size(), 2u);
+}
+
+}  // namespace
+}  // namespace coign

@@ -1,0 +1,295 @@
+#include "src/com/object_system.h"
+
+#include <gtest/gtest.h>
+
+#include "src/apps/component_library.h"
+
+namespace coign {
+namespace {
+
+// A tiny fixture app: Echo components answering on IEcho, plus a
+// non-remotable IRaw interface.
+class ObjectSystemTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(system_.interfaces()
+                    .Register(InterfaceBuilder("IEcho")
+                                  .Method("Echo")
+                                  .In("x", ValueKind::kInt32)
+                                  .Out("x", ValueKind::kInt32)
+                                  .Method("Spawn")
+                                  .Out("child", ValueKind::kInterface)
+                                  .Build())
+                    .ok());
+    ASSERT_TRUE(system_.interfaces()
+                    .Register(InterfaceBuilder("IRaw")
+                                  .NonRemotable()
+                                  .Method("Touch")
+                                  .In("ptr", ValueKind::kOpaque)
+                                  .Out("ok", ValueKind::kBool)
+                                  .Build())
+                    .ok());
+    iid_echo_ = system_.interfaces().LookupByName("IEcho")->iid;
+    iid_raw_ = system_.interfaces().LookupByName("IRaw")->iid;
+
+    handlers_.Set(iid_echo_, 0, [](ScriptedComponent& self, const Message& in, Message* out) {
+      self.system()->ChargeCompute(1e-6);
+      out->Add("x", Value::FromInt32(in.Find("x")->AsInt32()));
+      return Status::Ok();
+    });
+    handlers_.Set(iid_echo_, 1, [this](ScriptedComponent& self, const Message& in,
+                                       Message* out) {
+      (void)in;
+      Result<ObjectRef> child =
+          self.system()->CreateInstance(Guid::FromName("clsid:Echo"), iid_echo_);
+      if (!child.ok()) {
+        return child.status();
+      }
+      out->Add("child", Value::FromInterface(*child));
+      return Status::Ok();
+    });
+    handlers_.Set(iid_raw_, 0, [](ScriptedComponent& self, const Message& in, Message* out) {
+      (void)self;
+      (void)in;
+      out->Add("ok", Value::FromBool(true));
+      return Status::Ok();
+    });
+    ASSERT_TRUE(RegisterScriptedClass(&system_, "Echo", {iid_echo_, iid_raw_}, kApiNone,
+                                      &handlers_)
+                    .ok());
+  }
+
+  ObjectSystem system_;
+  HandlerTable handlers_;
+  InterfaceId iid_echo_;
+  InterfaceId iid_raw_;
+};
+
+TEST_F(ObjectSystemTest, CreateInstanceAssignsIdsAndTracksLiveness) {
+  Result<ObjectRef> a = system_.CreateInstanceByName("Echo", "IEcho");
+  ASSERT_TRUE(a.ok());
+  Result<ObjectRef> b = system_.CreateInstanceByName("Echo", "IEcho");
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(a->instance, b->instance);
+  EXPECT_EQ(system_.live_instance_count(), 2u);
+  EXPECT_EQ(system_.total_instantiations(), 2u);
+  const auto live = system_.LiveInstances();
+  ASSERT_EQ(live.size(), 2u);
+  EXPECT_EQ(live[0].class_name, "Echo");
+  EXPECT_EQ(live[0].creator, kNoInstance);
+}
+
+TEST_F(ObjectSystemTest, CreateRejectsUnknownClassAndInterface) {
+  EXPECT_EQ(system_.CreateInstanceByName("Nope", "IEcho").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(system_.CreateInstanceByName("Echo", "INope").status().code(),
+            StatusCode::kNotFound);
+  Result<ObjectRef> wrong_iface =
+      system_.CreateInstance(Guid::FromName("clsid:Echo"), Guid::FromName("iid:IOther"));
+  EXPECT_EQ(wrong_iface.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ObjectSystemTest, CallDispatchesToHandler) {
+  Result<ObjectRef> echo = system_.CreateInstanceByName("Echo", "IEcho");
+  ASSERT_TRUE(echo.ok());
+  Message in;
+  in.Add("x", Value::FromInt32(99));
+  Message out;
+  ASSERT_TRUE(system_.Call(*echo, 0, in, &out).ok());
+  EXPECT_EQ(out.Find("x")->AsInt32(), 99);
+  EXPECT_EQ(system_.total_calls(), 1u);
+}
+
+TEST_F(ObjectSystemTest, CallValidatesTargets) {
+  Result<ObjectRef> echo = system_.CreateInstanceByName("Echo", "IEcho");
+  ASSERT_TRUE(echo.ok());
+  Message out;
+  // Dead instance.
+  EXPECT_EQ(system_.Call(ObjectRef{999, iid_echo_}, 0, Message(), &out).code(),
+            StatusCode::kNotFound);
+  // Bad method index.
+  EXPECT_EQ(system_.Call(*echo, 17, Message(), &out).code(), StatusCode::kOutOfRange);
+}
+
+TEST_F(ObjectSystemTest, QueryInterfaceSwitchesIid) {
+  Result<ObjectRef> echo = system_.CreateInstanceByName("Echo", "IEcho");
+  ASSERT_TRUE(echo.ok());
+  Result<ObjectRef> raw = system_.QueryInterface(*echo, iid_raw_);
+  ASSERT_TRUE(raw.ok());
+  EXPECT_EQ(raw->instance, echo->instance);
+  EXPECT_EQ(raw->iid, iid_raw_);
+  EXPECT_EQ(system_.QueryInterface(*echo, Guid::FromName("iid:Nope")).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(ObjectSystemTest, NestedCreationRecordsCreatorAndStack) {
+  Result<ObjectRef> parent = system_.CreateInstanceByName("Echo", "IEcho");
+  ASSERT_TRUE(parent.ok());
+  Message out;
+  ASSERT_TRUE(system_.Call(*parent, 1, Message(), &out).ok());  // Spawn.
+  const ObjectRef child = out.Find("child")->AsInterface();
+  const auto live = system_.LiveInstances();
+  ASSERT_EQ(live.size(), 2u);
+  EXPECT_EQ(live[1].id, child.instance);
+  EXPECT_EQ(live[1].creator, parent->instance);
+  // Stack unwound after the call.
+  EXPECT_TRUE(system_.call_stack().empty());
+}
+
+TEST_F(ObjectSystemTest, RemoteNonRemotableCallRefused) {
+  Result<ObjectRef> a = system_.CreateInstanceByName("Echo", "IEcho");
+  Result<ObjectRef> b = system_.CreateInstanceByName("Echo", "IEcho");
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_TRUE(system_.MoveInstance(b->instance, kServerMachine).ok());
+
+  // Driver (client) calling a server instance over the non-remotable
+  // interface: refused. (Driver-originated calls count as client-side.)
+  Message in;
+  in.Add("ptr", Value::FromOpaque(0x1234));
+  Message out;
+  const Status status = system_.Call(ObjectRef{b->instance, iid_raw_}, 0, in, &out);
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+
+  // Same call, colocated: fine.
+  ASSERT_TRUE(system_.MoveInstance(b->instance, kClientMachine).ok());
+  EXPECT_TRUE(system_.Call(ObjectRef{b->instance, iid_raw_}, 0, in, &out).ok());
+}
+
+TEST_F(ObjectSystemTest, OpaqueParameterRefusedAcrossMachinesEvenOnRemotableInterface) {
+  ASSERT_TRUE(system_.interfaces()
+                  .Register(InterfaceBuilder("ILoose")
+                                .Method("M")
+                                .In("p", ValueKind::kOpaque)
+                                .Build())
+                  .ok());
+  // Register a class implementing ILoose via a fresh handler table.
+  static HandlerTable loose_handlers;
+  const InterfaceId iid_loose = system_.interfaces().LookupByName("ILoose")->iid;
+  loose_handlers.Set(iid_loose, 0,
+                     [](ScriptedComponent&, const Message&, Message*) { return Status::Ok(); });
+  ASSERT_TRUE(
+      RegisterScriptedClass(&system_, "Loose", {iid_loose}, kApiNone, &loose_handlers).ok());
+  Result<ObjectRef> loose = system_.CreateInstanceByName("Loose", "ILoose");
+  ASSERT_TRUE(loose.ok());
+  ASSERT_TRUE(system_.MoveInstance(loose->instance, kServerMachine).ok());
+  Message in;
+  in.Add("p", Value::FromOpaque(7));
+  Message out;
+  EXPECT_EQ(system_.Call(*loose, 0, in, &out).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(ObjectSystemTest, PlacementPolicyDecidesMachine) {
+  system_.SetPlacementPolicy(
+      [](const ClassDesc&, InstanceId, InstanceId new_id) -> MachineId {
+        return (new_id % 2 == 0) ? kServerMachine : kClientMachine;
+      });
+  Result<ObjectRef> first = system_.CreateInstanceByName("Echo", "IEcho");   // id 1.
+  Result<ObjectRef> second = system_.CreateInstanceByName("Echo", "IEcho");  // id 2.
+  ASSERT_TRUE(first.ok() && second.ok());
+  EXPECT_EQ(*system_.MachineOf(first->instance), kClientMachine);
+  EXPECT_EQ(*system_.MachineOf(second->instance), kServerMachine);
+}
+
+TEST_F(ObjectSystemTest, DefaultPlacementInheritsCreatorMachine) {
+  Result<ObjectRef> parent = system_.CreateInstanceByName("Echo", "IEcho");
+  ASSERT_TRUE(parent.ok());
+  ASSERT_TRUE(system_.MoveInstance(parent->instance, kServerMachine).ok());
+  Message out;
+  ASSERT_TRUE(system_.Call(*parent, 1, Message(), &out).ok());  // Spawn on the server.
+  const ObjectRef child = out.Find("child")->AsInterface();
+  EXPECT_EQ(*system_.MachineOf(child.instance), kServerMachine);
+}
+
+TEST_F(ObjectSystemTest, DestroyInstanceAndDestroyAll) {
+  Result<ObjectRef> a = system_.CreateInstanceByName("Echo", "IEcho");
+  Result<ObjectRef> b = system_.CreateInstanceByName("Echo", "IEcho");
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_TRUE(system_.DestroyInstance(a->instance).ok());
+  EXPECT_EQ(system_.live_instance_count(), 1u);
+  EXPECT_EQ(system_.DestroyInstance(a->instance).code(), StatusCode::kNotFound);
+  Message out;
+  EXPECT_EQ(system_.Call(*a, 0, Message(), &out).code(), StatusCode::kNotFound);
+  system_.DestroyAll();
+  EXPECT_EQ(system_.live_instance_count(), 0u);
+}
+
+class RecordingInterceptor : public ObjectSystem::Interceptor {
+ public:
+  void OnInstantiated(const ClassDesc& cls, InstanceId id, InstanceId creator) override {
+    (void)cls;
+    instantiations.emplace_back(id, creator);
+  }
+  void OnDestroyed(InstanceId id, const ClassId&) override { destructions.push_back(id); }
+  void OnCallBegin(const ObjectSystem::CallEvent& event) override {
+    begins.push_back(event.method);
+  }
+  void OnCallEnd(const ObjectSystem::CallEvent& event, const Status& status) override {
+    ends.push_back(event.method);
+    last_ok = status.ok();
+    last_out_size = event.out != nullptr ? event.out->size() : 0;
+  }
+  void OnCompute(InstanceId instance, double seconds) override {
+    compute_instance = instance;
+    compute_seconds += seconds;
+  }
+
+  std::vector<std::pair<InstanceId, InstanceId>> instantiations;
+  std::vector<InstanceId> destructions;
+  std::vector<MethodIndex> begins;
+  std::vector<MethodIndex> ends;
+  bool last_ok = false;
+  size_t last_out_size = 0;
+  InstanceId compute_instance = kNoInstance;
+  double compute_seconds = 0.0;
+};
+
+TEST_F(ObjectSystemTest, InterceptorSeesLifecycleAndCalls) {
+  RecordingInterceptor interceptor;
+  system_.AddInterceptor(&interceptor);
+  Result<ObjectRef> echo = system_.CreateInstanceByName("Echo", "IEcho");
+  ASSERT_TRUE(echo.ok());
+  Message in;
+  in.Add("x", Value::FromInt32(1));
+  Message out;
+  ASSERT_TRUE(system_.Call(*echo, 0, in, &out).ok());
+  ASSERT_TRUE(system_.DestroyInstance(echo->instance).ok());
+
+  ASSERT_EQ(interceptor.instantiations.size(), 1u);
+  EXPECT_EQ(interceptor.instantiations[0].first, echo->instance);
+  EXPECT_EQ(interceptor.begins, std::vector<MethodIndex>{0});
+  EXPECT_EQ(interceptor.ends, std::vector<MethodIndex>{0});
+  EXPECT_TRUE(interceptor.last_ok);
+  EXPECT_EQ(interceptor.last_out_size, 1u);
+  EXPECT_EQ(interceptor.destructions, std::vector<InstanceId>{echo->instance});
+  // ChargeCompute inside the handler is attributed to the callee.
+  EXPECT_EQ(interceptor.compute_instance, echo->instance);
+  EXPECT_GT(interceptor.compute_seconds, 0.0);
+
+  system_.RemoveInterceptor(&interceptor);
+  ASSERT_TRUE(system_.CreateInstanceByName("Echo", "IEcho").ok());
+  EXPECT_EQ(interceptor.instantiations.size(), 1u);  // No longer observing.
+}
+
+TEST(CallStackTest, EntryFlagTracksInstanceChanges) {
+  CallStack stack;
+  EXPECT_TRUE(stack.empty());
+  EXPECT_EQ(stack.CurrentInstance(), kNoInstance);
+  CallFrame f1{.instance = 1, .clsid = Guid::FromName("A"), .iid = {}, .method = 0};
+  CallFrame f2{.instance = 1, .clsid = Guid::FromName("A"), .iid = {}, .method = 1};
+  CallFrame f3{.instance = 2, .clsid = Guid::FromName("B"), .iid = {}, .method = 0};
+  stack.Push(f1);
+  stack.Push(f2);  // Same instance: not an entry.
+  stack.Push(f3);
+  const auto trace = stack.BackTrace();
+  ASSERT_EQ(trace.size(), 3u);
+  EXPECT_EQ(trace[0].instance, 2u);  // Innermost first.
+  EXPECT_TRUE(trace[0].entered_instance);
+  EXPECT_FALSE(trace[1].entered_instance);
+  EXPECT_TRUE(trace[2].entered_instance);
+  EXPECT_EQ(stack.CurrentInstance(), 2u);
+  stack.Pop();
+  EXPECT_EQ(stack.CurrentInstance(), 1u);
+}
+
+}  // namespace
+}  // namespace coign

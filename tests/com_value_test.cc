@@ -1,0 +1,110 @@
+#include "src/com/value.h"
+
+#include <gtest/gtest.h>
+
+namespace coign {
+namespace {
+
+TEST(ValueTest, NullByDefault) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.kind(), ValueKind::kNull);
+}
+
+TEST(ValueTest, ScalarRoundTrips) {
+  EXPECT_EQ(Value::FromBool(true).AsBool(), true);
+  EXPECT_EQ(Value::FromInt32(-7).AsInt32(), -7);
+  EXPECT_EQ(Value::FromInt64(1ll << 40).AsInt64(), 1ll << 40);
+  EXPECT_DOUBLE_EQ(Value::FromDouble(2.5).AsDouble(), 2.5);
+  EXPECT_EQ(Value::FromString("hi").AsString(), "hi");
+  EXPECT_EQ(Value::FromOpaque(0xdead).AsOpaque(), 0xdeadu);
+}
+
+TEST(ValueTest, MaterializedBlob) {
+  const Value v = Value::FromBytes({1, 2, 3});
+  EXPECT_EQ(v.AsBlob().size, 3u);
+  EXPECT_TRUE(v.AsBlob().materialized());
+  EXPECT_EQ(v.AsBlob().ByteAt(1), 2);
+}
+
+TEST(ValueTest, SyntheticBlobIsDeterministic) {
+  const Value a = Value::BlobOfSize(1000, 42);
+  const Value b = Value::BlobOfSize(1000, 42);
+  EXPECT_FALSE(a.AsBlob().materialized());
+  EXPECT_EQ(a.AsBlob().ByteAt(500), b.AsBlob().ByteAt(500));
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == Value::BlobOfSize(1000, 43));
+}
+
+TEST(ValueTest, SyntheticAndMaterializedBlobsCompareByContent) {
+  const Value synthetic = Value::BlobOfSize(16, 5);
+  std::vector<uint8_t> bytes;
+  for (uint64_t i = 0; i < 16; ++i) {
+    bytes.push_back(synthetic.AsBlob().ByteAt(i));
+  }
+  EXPECT_EQ(synthetic, Value::FromBytes(bytes));
+}
+
+TEST(ValueTest, ZeroSizeBlobCountsAsMaterialized) {
+  EXPECT_TRUE(Value::BlobOfSize(0).AsBlob().materialized());
+}
+
+TEST(ValueTest, InterfaceHoldsRef) {
+  const ObjectRef ref{42, Guid::FromName("iid:IThing")};
+  EXPECT_EQ(Value::FromInterface(ref).AsInterface(), ref);
+}
+
+TEST(ValueTest, ArraysAndRecords) {
+  const Value v = Value::FromRecord({
+      {"xs", Value::FromArray({Value::FromInt32(1), Value::FromInt32(2)})},
+      {"name", Value::FromString("n")},
+  });
+  EXPECT_EQ(v.AsRecord().size(), 2u);
+  EXPECT_EQ(v.AsRecord()[0].second.AsArray()[1].AsInt32(), 2);
+}
+
+TEST(ValueTest, ContainsOpaqueRecurses) {
+  EXPECT_TRUE(Value::FromOpaque(1).ContainsOpaque());
+  EXPECT_FALSE(Value::FromInt32(1).ContainsOpaque());
+  const Value nested = Value::FromRecord({
+      {"deep", Value::FromArray({Value::FromRecord({{"ptr", Value::FromOpaque(9)}})})},
+  });
+  EXPECT_TRUE(nested.ContainsOpaque());
+}
+
+TEST(ValueTest, CollectInterfacesRecursesInOrder) {
+  const ObjectRef r1{1, Guid::FromName("i1")};
+  const ObjectRef r2{2, Guid::FromName("i2")};
+  const Value nested = Value::FromArray({
+      Value::FromInterface(r1),
+      Value::FromRecord({{"x", Value::FromInterface(r2)}}),
+      Value::FromInt32(3),
+  });
+  EXPECT_TRUE(nested.ContainsInterface());
+  std::vector<ObjectRef> refs;
+  nested.CollectInterfaces(&refs);
+  ASSERT_EQ(refs.size(), 2u);
+  EXPECT_EQ(refs[0], r1);
+  EXPECT_EQ(refs[1], r2);
+}
+
+TEST(ValueTest, EqualityDiscriminatesKinds) {
+  EXPECT_FALSE(Value::FromInt32(1) == Value::FromInt64(1));
+  EXPECT_FALSE(Value::FromBool(false) == Value::Null());
+  EXPECT_EQ(Value::Null(), Value::Null());
+}
+
+TEST(ValueTest, ToStringIsReadable) {
+  EXPECT_EQ(Value::FromInt32(5).ToString(), "5");
+  EXPECT_EQ(Value::FromString("a").ToString(), "\"a\"");
+  EXPECT_EQ(Value::BlobOfSize(10).ToString(), "blob[10]");
+  EXPECT_EQ(Value::FromArray({Value::FromInt32(1)}).ToString(), "[1]");
+}
+
+TEST(ValueKindTest, NamesAreStable) {
+  EXPECT_STREQ(ValueKindName(ValueKind::kOpaque), "opaque");
+  EXPECT_STREQ(ValueKindName(ValueKind::kInterface), "interface");
+}
+
+}  // namespace
+}  // namespace coign

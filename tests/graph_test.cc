@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include "src/com/class_registry.h"
+#include "src/graph/concrete_graph.h"
+#include "src/graph/constraints.h"
+#include "src/graph/distribution.h"
+#include "src/graph/icc_graph.h"
+
+namespace coign {
+namespace {
+
+CallKey MakeKey(ClassificationId src, ClassificationId dst, MethodIndex method = 0) {
+  CallKey key;
+  key.src = src;
+  key.dst = dst;
+  key.iid = Guid::FromName("iid:IGraphTest");
+  key.method = method;
+  return key;
+}
+
+void AddClassification(IccProfile* profile, ClassificationId id, const std::string& name,
+                       uint32_t api = kApiNone, uint64_t instances = 1) {
+  ClassificationInfo info;
+  info.id = id;
+  info.clsid = Guid::FromName("clsid:" + name);
+  info.class_name = name;
+  info.api_usage = api;
+  info.instance_count = instances;
+  profile->RecordClassification(info);
+}
+
+TEST(DistributionTest, PlacementLookupAndCounts) {
+  Distribution d;
+  d.placement[0] = kClientMachine;
+  d.placement[1] = kServerMachine;
+  d.placement[2] = kServerMachine;
+  EXPECT_EQ(d.MachineFor(1), kServerMachine);
+  EXPECT_EQ(d.MachineFor(42), kClientMachine);  // Default.
+  EXPECT_EQ(d.CountOn(kServerMachine), 2u);
+  EXPECT_EQ(d.CountOn(kClientMachine), 1u);
+  EXPECT_NE(d.ToString().find("2 on server"), std::string::npos);
+
+  const Distribution all_server = EverythingOn(kServerMachine);
+  EXPECT_EQ(all_server.MachineFor(7), kServerMachine);
+}
+
+TEST(AbstractIccGraphTest, MergesDirectionsAndMethodsPerPair) {
+  IccProfile profile;
+  AddClassification(&profile, 0, "A");
+  AddClassification(&profile, 1, "B");
+  profile.RecordCall(MakeKey(0, 1, 0), 100, 10, true);
+  profile.RecordCall(MakeKey(1, 0, 2), 50, 5, true);   // Reverse direction.
+  profile.RecordCall(MakeKey(0, 1, 3), 25, 25, false);  // Another method.
+  profile.RecordCall(MakeKey(1, 1, 0), 9, 9, true);     // Intra: dropped.
+
+  const AbstractIccGraph graph = AbstractIccGraph::FromProfile(profile);
+  EXPECT_EQ(graph.edge_count(), 1u);
+  const auto& edge = graph.edges().begin()->second;
+  EXPECT_EQ(edge.calls, 3u);
+  // Each call contributes request + reply messages.
+  EXPECT_EQ(edge.messages.total_count(), 6u);
+  EXPECT_EQ(edge.messages.total_bytes(), 100u + 10 + 50 + 5 + 25 + 25);
+  EXPECT_EQ(edge.non_remotable_calls, 1u);
+  EXPECT_TRUE(edge.MustColocate());
+}
+
+TEST(AbstractIccGraphTest, DriverPairUsesNoClassification) {
+  IccProfile profile;
+  AddClassification(&profile, 0, "A");
+  profile.RecordCall(MakeKey(kNoClassification, 0), 10, 10, true);
+  const AbstractIccGraph graph = AbstractIccGraph::FromProfile(profile);
+  ASSERT_EQ(graph.SortedPairs().size(), 1u);
+  EXPECT_EQ(graph.SortedPairs()[0].a, 0u);
+  EXPECT_EQ(graph.SortedPairs()[0].b, kNoClassification);
+}
+
+TEST(ConstraintsTest, FromProfileDerivesApiPins) {
+  IccProfile profile;
+  AddClassification(&profile, 0, "Gui", kApiGui);
+  AddClassification(&profile, 1, "Store", kApiStorage);
+  AddClassification(&profile, 2, "Free", kApiNone);
+  AddClassification(&profile, 3, "Db", kApiOdbc | kApiStorage);
+  const LocationConstraints constraints = LocationConstraints::FromProfile(profile);
+  ASSERT_NE(constraints.PinOf(0), nullptr);
+  EXPECT_EQ(*constraints.PinOf(0), kClientMachine);
+  ASSERT_NE(constraints.PinOf(1), nullptr);
+  EXPECT_EQ(*constraints.PinOf(1), kServerMachine);
+  EXPECT_EQ(constraints.PinOf(2), nullptr);
+  EXPECT_EQ(*constraints.PinOf(3), kServerMachine);
+}
+
+TEST(ConstraintsTest, ExplicitConstraintsAccumulate) {
+  LocationConstraints constraints;
+  constraints.PinAbsolute(5, kServerMachine);
+  constraints.Colocate(1, 2);
+  EXPECT_EQ(*constraints.PinOf(5), kServerMachine);
+  ASSERT_EQ(constraints.colocated().size(), 1u);
+  EXPECT_EQ(constraints.colocated()[0], (std::pair<ClassificationId, ClassificationId>{1, 2}));
+}
+
+TEST(EdgeSecondsTest, AffineInCountAndBytes) {
+  AbstractIccGraph::Edge edge;
+  edge.messages.Add(100);
+  edge.messages.Add(100);
+  NetworkProfile network;
+  network.per_message_seconds = 1e-3;
+  network.seconds_per_byte = 1e-6;
+  EXPECT_NEAR(EdgeSeconds(edge, network), 2 * 1e-3 + 200 * 1e-6, 1e-12);
+}
+
+TEST(ConcreteGraphTest, BuildWiresTerminalsClassificationsAndConstraints) {
+  IccProfile profile;
+  AddClassification(&profile, 0, "Gui", kApiGui, 3);
+  AddClassification(&profile, 1, "Store", kApiStorage, 1);
+  AddClassification(&profile, 2, "Free", kApiNone, 5);
+  profile.RecordCall(MakeKey(kNoClassification, 2), 500, 100, true);  // Driver <-> Free.
+  profile.RecordCall(MakeKey(2, 1), 200, 1000, true);                  // Free <-> Store.
+  profile.RecordCall(MakeKey(2, 0), 10, 10, false);                    // Non-remotable.
+
+  const AbstractIccGraph abstract = AbstractIccGraph::FromProfile(profile);
+  const LocationConstraints constraints = LocationConstraints::FromProfile(profile);
+  NetworkProfile network;
+  network.per_message_seconds = 1e-3;
+  network.seconds_per_byte = 1e-6;
+  const ConcreteGraph graph = ConcreteGraph::Build(abstract, network, constraints);
+
+  EXPECT_EQ(graph.node_count(), 5);  // 2 terminals + 3 classifications.
+  ASSERT_TRUE(graph.IndexOf(0).ok());
+  EXPECT_EQ(graph.ClassificationAt(*graph.IndexOf(0)), 0u);
+  EXPECT_FALSE(graph.IndexOf(42).ok());
+
+  int constraint_edges = 0;
+  int comm_edges = 0;
+  for (const ConcreteEdge& edge : graph.edges()) {
+    if (edge.constraint) {
+      ++constraint_edges;
+    } else {
+      ++comm_edges;
+      EXPECT_GT(edge.seconds, 0.0);
+    }
+  }
+  // Constraints: gui pin, store pin, and the non-remotable pair.
+  EXPECT_EQ(constraint_edges, 3);
+  EXPECT_EQ(comm_edges, 3);
+  EXPECT_GT(graph.TotalCommunicationSeconds(), 0.0);
+}
+
+TEST(ConcreteGraphTest, DriverEdgesAttachToClientTerminal) {
+  IccProfile profile;
+  AddClassification(&profile, 0, "Free");
+  profile.RecordCall(MakeKey(kNoClassification, 0), 100, 100, true);
+  const AbstractIccGraph abstract = AbstractIccGraph::FromProfile(profile);
+  const ConcreteGraph graph =
+      ConcreteGraph::Build(abstract, NetworkProfile::Exact(NetworkModel::TenBaseT()),
+                           LocationConstraints());
+  ASSERT_EQ(graph.edges().size(), 1u);
+  const ConcreteEdge& edge = graph.edges()[0];
+  EXPECT_TRUE(edge.a == ConcreteGraph::kClientNode || edge.b == ConcreteGraph::kClientNode);
+}
+
+}  // namespace
+}  // namespace coign

@@ -1,0 +1,88 @@
+#include "src/marshal/proxy_stub.h"
+
+#include <gtest/gtest.h>
+
+#include "src/marshal/ndr.h"
+
+namespace coign {
+namespace {
+
+InterfaceDesc RemotableIface() {
+  return InterfaceBuilder("IRemotable")
+      .Method("M")
+      .In("x", ValueKind::kInt32)
+      .Out("y", ValueKind::kBlob)
+      .Build();
+}
+
+InterfaceDesc NonRemotableIface() {
+  return InterfaceBuilder("ILocalOnly").NonRemotable().Method("M").Build();
+}
+
+TEST(ProxyStubTest, MeasuresHeadersPlusPayload) {
+  const InterfaceDesc iface = RemotableIface();
+  Message in;
+  in.Add("x", Value::FromInt32(1));
+  Message out;
+  out.Add("y", Value::BlobOfSize(1000, 3));
+  const WireCall wire = MeasureCall(iface, 0, in, out);
+  EXPECT_TRUE(wire.remotable);
+  EXPECT_EQ(wire.request_bytes, kRequestHeaderBytes + *WireSize(in));
+  EXPECT_EQ(wire.reply_bytes, kReplyHeaderBytes + *WireSize(out));
+  EXPECT_EQ(wire.total_bytes(), wire.request_bytes + wire.reply_bytes);
+  EXPECT_GT(wire.reply_bytes, 1000u);  // Deep copy of the blob.
+}
+
+TEST(ProxyStubTest, EmptyCallStillCostsHeaders) {
+  const WireCall wire = MeasureCall(RemotableIface(), 0, Message(), Message());
+  EXPECT_EQ(wire.request_bytes, kRequestHeaderBytes + 4);  // Header + arg count.
+  EXPECT_EQ(wire.reply_bytes, kReplyHeaderBytes + 4);
+}
+
+TEST(ProxyStubTest, NonRemotableInterfaceFlagged) {
+  const WireCall wire = MeasureCall(NonRemotableIface(), 0, Message(), Message());
+  EXPECT_FALSE(wire.remotable);
+  EXPECT_EQ(wire.total_bytes(), 0u);
+}
+
+TEST(ProxyStubTest, OpaqueParameterFlagsNonRemotable) {
+  Message in;
+  in.Add("ptr", Value::FromOpaque(0x1));
+  const WireCall wire = MeasureCall(RemotableIface(), 0, in, Message());
+  EXPECT_FALSE(wire.remotable);
+}
+
+TEST(ProxyStubTest, CollectsPassedInterfacesBothDirections) {
+  const ObjectRef in_ref{5, Guid::FromName("a")};
+  const ObjectRef out_ref{6, Guid::FromName("b")};
+  Message in;
+  in.Add("i", Value::FromInterface(in_ref));
+  Message out;
+  out.Add("o", Value::FromArray({Value::FromInterface(out_ref)}));
+  const WireCall wire = MeasureCall(RemotableIface(), 0, in, out);
+  ASSERT_EQ(wire.passed_interfaces.size(), 2u);
+  EXPECT_EQ(wire.passed_interfaces[0], in_ref);
+  EXPECT_EQ(wire.passed_interfaces[1], out_ref);
+}
+
+TEST(ProxyStubTest, NonRemotableStillReportsInterfaces) {
+  const ObjectRef ref{5, Guid::FromName("a")};
+  Message in;
+  in.Add("i", Value::FromInterface(ref));
+  in.Add("ptr", Value::FromOpaque(1));
+  const WireCall wire = MeasureCall(RemotableIface(), 0, in, Message());
+  EXPECT_FALSE(wire.remotable);
+  ASSERT_EQ(wire.passed_interfaces.size(), 1u);
+  EXPECT_EQ(wire.passed_interfaces[0], ref);
+}
+
+TEST(ProxyStubTest, RoundTripMatchesMessage) {
+  Message m;
+  m.Add("x", Value::FromString("abc"));
+  Result<Message> back = RoundTrip(m);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, m);
+}
+
+}  // namespace
+}  // namespace coign

@@ -1,0 +1,125 @@
+#include "src/mincut/multiway.h"
+
+#include <gtest/gtest.h>
+
+#include "src/support/rng.h"
+
+namespace coign {
+namespace {
+
+double AssignmentWeight(const EdgeList& edges, const std::vector<int>& assignment) {
+  double weight = 0.0;
+  for (const auto& [a, b, w] : edges) {
+    if (assignment[static_cast<size_t>(a)] != assignment[static_cast<size_t>(b)]) {
+      weight += w;
+    }
+  }
+  return weight;
+}
+
+TEST(MultiwayCutTest, TwoTerminalsMatchesExactMinCutStructure) {
+  // Triangle-ish: node 2 clearly belongs with terminal 1.
+  EdgeList edges = {{0, 2, 1.0}, {2, 1, 5.0}};
+  const MultiwayCutResult result = MultiwayCutIsolation(3, edges, {0, 1});
+  EXPECT_EQ(result.assignment[0], 0);
+  EXPECT_EQ(result.assignment[1], 1);
+  EXPECT_EQ(result.assignment[2], 1);
+  EXPECT_NEAR(result.total_weight, 1.0, 1e-9);
+}
+
+TEST(MultiwayCutTest, ThreeClusters) {
+  // Three tight clusters, one terminal each, thin inter-cluster links.
+  // Nodes: 0-2 cluster A, 3-5 cluster B, 6-8 cluster C.
+  EdgeList edges;
+  auto clique = [&edges](int base) {
+    edges.emplace_back(base, base + 1, 10.0);
+    edges.emplace_back(base + 1, base + 2, 10.0);
+    edges.emplace_back(base, base + 2, 10.0);
+  };
+  clique(0);
+  clique(3);
+  clique(6);
+  edges.emplace_back(2, 3, 0.5);
+  edges.emplace_back(5, 6, 0.5);
+  edges.emplace_back(8, 0, 0.5);
+
+  const MultiwayCutResult result = MultiwayCutIsolation(9, edges, {0, 3, 6});
+  // Each cluster stays whole with its terminal.
+  for (int v = 0; v < 3; ++v) {
+    EXPECT_EQ(result.assignment[static_cast<size_t>(v)], 0) << v;
+  }
+  for (int v = 3; v < 6; ++v) {
+    EXPECT_EQ(result.assignment[static_cast<size_t>(v)], 1) << v;
+  }
+  for (int v = 6; v < 9; ++v) {
+    EXPECT_EQ(result.assignment[static_cast<size_t>(v)], 2) << v;
+  }
+  EXPECT_NEAR(result.total_weight, 1.5, 1e-9);
+  EXPECT_NEAR(result.total_weight, AssignmentWeight(edges, result.assignment), 1e-9);
+}
+
+TEST(MultiwayCutTest, TerminalsAlwaysKeepTheirOwnSide) {
+  EdgeList edges = {{0, 1, 100.0}, {1, 2, 100.0}, {0, 2, 100.0}};
+  const MultiwayCutResult result = MultiwayCutIsolation(3, edges, {0, 1, 2});
+  EXPECT_EQ(result.assignment[0], 0);
+  EXPECT_EQ(result.assignment[1], 1);
+  EXPECT_EQ(result.assignment[2], 2);
+}
+
+TEST(MultiwayCutTest, IsolatedNodesLandWithDiscardedTerminal) {
+  // Node 3 has no edges; the heuristic leaves it with the terminal whose
+  // isolating cut was discarded. Whatever the side, the weight is stable.
+  EdgeList edges = {{0, 1, 1.0}};
+  const MultiwayCutResult result = MultiwayCutIsolation(4, edges, {0, 1, 2});
+  EXPECT_EQ(result.assignment.size(), 4u);
+  EXPECT_NEAR(result.total_weight, AssignmentWeight(edges, result.assignment), 1e-12);
+}
+
+// Property: the isolation heuristic is within 2(1 - 1/k) of any partition
+// we can find by brute force on small random instances.
+class MultiwayPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MultiwayPropertyTest, WithinApproximationBoundOfBruteForce) {
+  Rng rng(GetParam());
+  const int n = 7;
+  const std::vector<int> terminals = {0, 1, 2};
+  EdgeList edges;
+  for (int a = 0; a < n; ++a) {
+    for (int b = a + 1; b < n; ++b) {
+      if (rng.Bernoulli(0.6)) {
+        edges.emplace_back(a, b, rng.UniformDouble(0.1, 5.0));
+      }
+    }
+  }
+  const MultiwayCutResult result = MultiwayCutIsolation(n, edges, terminals);
+  EXPECT_NEAR(result.total_weight, AssignmentWeight(edges, result.assignment), 1e-9);
+
+  // Brute force over the 3^(n-3) assignments of free nodes.
+  double best = 1e300;
+  std::vector<int> assignment(n);
+  assignment[0] = 0;
+  assignment[1] = 1;
+  assignment[2] = 2;
+  const int free_nodes = n - 3;
+  int combos = 1;
+  for (int i = 0; i < free_nodes; ++i) {
+    combos *= 3;
+  }
+  for (int mask = 0; mask < combos; ++mask) {
+    int m = mask;
+    for (int i = 0; i < free_nodes; ++i) {
+      assignment[static_cast<size_t>(3 + i)] = m % 3;
+      m /= 3;
+    }
+    best = std::min(best, AssignmentWeight(edges, assignment));
+  }
+  const double bound = 2.0 * (1.0 - 1.0 / 3.0);
+  EXPECT_LE(result.total_weight, best * bound + 1e-9);
+  EXPECT_GE(result.total_weight, best - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MultiwayPropertyTest,
+                         ::testing::Range(uint64_t{2000}, uint64_t{2012}));
+
+}  // namespace
+}  // namespace coign

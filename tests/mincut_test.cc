@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include "src/mincut/edmonds_karp.h"
+#include "src/mincut/flow_network.h"
+#include "src/mincut/relabel_to_front.h"
+#include "src/support/rng.h"
+
+namespace coign {
+namespace {
+
+using CutFn = CutResult (*)(FlowNetwork&, int, int);
+
+struct AlgorithmParam {
+  const char* name;
+  CutFn fn;
+};
+
+class MinCutAlgorithmTest : public ::testing::TestWithParam<AlgorithmParam> {};
+
+TEST_P(MinCutAlgorithmTest, SingleEdge) {
+  FlowNetwork network(2);
+  network.AddEdge(0, 1, 5.0);
+  const CutResult cut = GetParam().fn(network, 0, 1);
+  EXPECT_NEAR(cut.cut_value, 5.0, 1e-9);
+  EXPECT_TRUE(cut.in_source_side[0]);
+  EXPECT_FALSE(cut.in_source_side[1]);
+  ASSERT_EQ(cut.cut_edges.size(), 1u);
+}
+
+TEST_P(MinCutAlgorithmTest, DisconnectedTerminalsHaveZeroCut) {
+  FlowNetwork network(4);
+  network.AddEdge(0, 2, 9.0);
+  network.AddEdge(1, 3, 9.0);
+  const CutResult cut = GetParam().fn(network, 0, 1);
+  EXPECT_NEAR(cut.cut_value, 0.0, 1e-12);
+  EXPECT_TRUE(cut.cut_edges.empty());
+}
+
+TEST_P(MinCutAlgorithmTest, ClassicClrsExample) {
+  // CLRS figure-style network: directed arcs.
+  FlowNetwork network(6);
+  network.AddArc(0, 1, 16);
+  network.AddArc(0, 2, 13);
+  network.AddArc(1, 2, 10);
+  network.AddArc(2, 1, 4);
+  network.AddArc(1, 3, 12);
+  network.AddArc(3, 2, 9);
+  network.AddArc(2, 4, 14);
+  network.AddArc(4, 3, 7);
+  network.AddArc(3, 5, 20);
+  network.AddArc(4, 5, 4);
+  const CutResult cut = GetParam().fn(network, 0, 5);
+  EXPECT_NEAR(cut.cut_value, 23.0, 1e-9);  // The textbook max flow.
+}
+
+TEST_P(MinCutAlgorithmTest, PathBottleneck) {
+  FlowNetwork network(5);
+  network.AddEdge(0, 1, 10);
+  network.AddEdge(1, 2, 1.5);  // Bottleneck.
+  network.AddEdge(2, 3, 10);
+  network.AddEdge(3, 4, 10);
+  const CutResult cut = GetParam().fn(network, 0, 4);
+  EXPECT_NEAR(cut.cut_value, 1.5, 1e-9);
+  EXPECT_TRUE(cut.in_source_side[1]);
+  EXPECT_FALSE(cut.in_source_side[2]);
+}
+
+TEST_P(MinCutAlgorithmTest, InfiniteConstraintEdgeNeverCut) {
+  // A "pinned" node wired to the source with kInfiniteCapacity must end up
+  // on the source side even when all its other traffic points at the sink.
+  FlowNetwork network(3);
+  network.AddEdge(0, 2, kInfiniteCapacity);  // Constraint: 2 stays with 0.
+  network.AddEdge(2, 1, 100.0);              // Heavy traffic toward the sink.
+  const CutResult cut = GetParam().fn(network, 0, 1);
+  EXPECT_NEAR(cut.cut_value, 100.0, 1e-6);
+  EXPECT_TRUE(cut.in_source_side[2]);
+}
+
+TEST_P(MinCutAlgorithmTest, StarGraphCutsCheaperSide) {
+  // Node 2 talks 1.0 to the client and 3.0 to the server: it belongs on
+  // the server side; the cut pays only the client edge.
+  FlowNetwork network(3);
+  network.AddEdge(0, 2, 1.0);
+  network.AddEdge(2, 1, 3.0);
+  const CutResult cut = GetParam().fn(network, 0, 1);
+  EXPECT_NEAR(cut.cut_value, 1.0, 1e-9);
+  EXPECT_FALSE(cut.in_source_side[2]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Algorithms, MinCutAlgorithmTest,
+                         ::testing::Values(AlgorithmParam{"RelabelToFront",
+                                                          &MinCutRelabelToFront},
+                                           AlgorithmParam{"EdmondsKarp", &MinCutEdmondsKarp}),
+                         [](const auto& info) { return info.param.name; });
+
+double CutWeightOfPartition(const std::vector<std::tuple<int, int, double>>& edges,
+                            const std::vector<bool>& source_side) {
+  double weight = 0.0;
+  for (const auto& [a, b, w] : edges) {
+    if (source_side[static_cast<size_t>(a)] != source_side[static_cast<size_t>(b)]) {
+      weight += w;
+    }
+  }
+  return weight;
+}
+
+// Property: on random graphs both algorithms find cuts with (a) equal
+// value, (b) value equal to the partition weight they report, and (c) no
+// cheaper single-node move (local optimality of a min cut).
+class RandomGraphTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomGraphTest, AlgorithmsAgreeAndCutsAreConsistent) {
+  Rng rng(GetParam());
+  const int n = static_cast<int>(rng.UniformInt(4, 24));
+  std::vector<std::tuple<int, int, double>> edges;
+  for (int a = 0; a < n; ++a) {
+    for (int b = a + 1; b < n; ++b) {
+      if (rng.Bernoulli(0.35)) {
+        edges.emplace_back(a, b, rng.UniformDouble(0.1, 10.0));
+      }
+    }
+  }
+
+  FlowNetwork network1(n);
+  FlowNetwork network2(n);
+  for (const auto& [a, b, w] : edges) {
+    network1.AddEdge(a, b, w);
+    network2.AddEdge(a, b, w);
+  }
+  const CutResult rtf = MinCutRelabelToFront(network1, 0, n - 1);
+  const CutResult ek = MinCutEdmondsKarp(network2, 0, n - 1);
+
+  EXPECT_NEAR(rtf.cut_value, ek.cut_value, 1e-6);
+
+  // The reported flow value equals the partition's crossing weight.
+  EXPECT_NEAR(CutWeightOfPartition(edges, rtf.in_source_side), rtf.cut_value, 1e-6);
+  EXPECT_NEAR(CutWeightOfPartition(edges, ek.in_source_side), ek.cut_value, 1e-6);
+
+  // No single node can move sides and lower the cut (necessary condition
+  // for optimality; terminals stay put).
+  for (int v = 1; v < n - 1; ++v) {
+    std::vector<bool> flipped = rtf.in_source_side;
+    flipped[static_cast<size_t>(v)] = !flipped[static_cast<size_t>(v)];
+    EXPECT_GE(CutWeightOfPartition(edges, flipped) + 1e-9, rtf.cut_value);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomGraphTest,
+                         ::testing::Range(uint64_t{1000}, uint64_t{1020}));
+
+TEST(FlowNetworkTest, ResetFlowAllowsReuse) {
+  FlowNetwork network(3);
+  network.AddEdge(0, 1, 2.0);
+  network.AddEdge(1, 2, 2.0);
+  const CutResult first = MinCutRelabelToFront(network, 0, 2);
+  network.ResetFlow();
+  const CutResult second = MinCutRelabelToFront(network, 0, 2);
+  EXPECT_NEAR(first.cut_value, second.cut_value, 1e-12);
+}
+
+TEST(FlowNetworkTest, ExtractCutListsSaturatedCrossingEdges) {
+  FlowNetwork network(4);
+  network.AddEdge(0, 1, 1.0);
+  network.AddEdge(0, 2, 1.0);
+  network.AddEdge(1, 3, 1.0);
+  network.AddEdge(2, 3, 1.0);
+  const CutResult cut = MinCutRelabelToFront(network, 0, 3);
+  EXPECT_NEAR(cut.cut_value, 2.0, 1e-9);
+  EXPECT_EQ(cut.cut_edges.size(), 2u);
+  // Both unit-capacity source edges saturate; only the source remains on
+  // the source side.
+  EXPECT_EQ(cut.SourceSideCount(), 1);
+  for (const auto& [from, to] : cut.cut_edges) {
+    EXPECT_EQ(from, 0);
+    EXPECT_TRUE(to == 1 || to == 2);
+  }
+}
+
+}  // namespace
+}  // namespace coign

@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "src/net/network_model.h"
+#include "src/net/network_profiler.h"
+#include "src/net/transport.h"
+
+namespace coign {
+namespace {
+
+TEST(NetworkModelTest, ExpectedMessageTimeIsAffine) {
+  NetworkModel model;
+  model.per_message_seconds = 1e-3;
+  model.bytes_per_second = 1e6;
+  EXPECT_DOUBLE_EQ(model.ExpectedMessageSeconds(0), 1e-3);
+  EXPECT_DOUBLE_EQ(model.ExpectedMessageSeconds(1000000), 1e-3 + 1.0);
+}
+
+TEST(NetworkModelTest, PresetsAreOrderedByBandwidth) {
+  EXPECT_LT(NetworkModel::Isdn().bytes_per_second, NetworkModel::TenBaseT().bytes_per_second);
+  EXPECT_LT(NetworkModel::TenBaseT().bytes_per_second,
+            NetworkModel::HundredBaseT().bytes_per_second);
+  EXPECT_LT(NetworkModel::HundredBaseT().bytes_per_second,
+            NetworkModel::San().bytes_per_second);
+  // Latency ordering is the reverse.
+  EXPECT_GT(NetworkModel::Isdn().per_message_seconds,
+            NetworkModel::TenBaseT().per_message_seconds);
+  EXPECT_GT(NetworkModel::TenBaseT().per_message_seconds,
+            NetworkModel::San().per_message_seconds);
+}
+
+TEST(TransportTest, RoundTripSumsBothDirections) {
+  Transport transport(NetworkModel::TenBaseT());
+  const NetworkModel& m = transport.model();
+  EXPECT_DOUBLE_EQ(transport.ExpectedRoundTripSeconds(100, 200),
+                   m.ExpectedMessageSeconds(100) + m.ExpectedMessageSeconds(200));
+}
+
+TEST(TransportTest, SampledTimesCenterOnExpectation) {
+  Transport transport(NetworkModel::TenBaseT());
+  Rng rng(77);
+  const double expected = transport.ExpectedRoundTripSeconds(4096, 4096);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double sample = transport.SampleRoundTripSeconds(4096, 4096, rng);
+    EXPECT_GT(sample, 0.0);
+    sum += sample;
+  }
+  EXPECT_NEAR(sum / n, expected, expected * 0.01);
+}
+
+TEST(TransportTest, ZeroJitterIsDeterministic) {
+  NetworkModel model = NetworkModel::TenBaseT();
+  model.jitter_fraction = 0.0;
+  Transport transport(model);
+  Rng rng(1);
+  EXPECT_DOUBLE_EQ(transport.SampleRoundTripSeconds(100, 100, rng),
+                   transport.ExpectedRoundTripSeconds(100, 100));
+}
+
+TEST(TransportTest, ClockAccumulates) {
+  Transport transport(NetworkModel::TenBaseT());
+  transport.Charge(0.5);
+  transport.Charge(0.25);
+  EXPECT_DOUBLE_EQ(transport.elapsed_seconds(), 0.75);
+  transport.ResetClock();
+  EXPECT_EQ(transport.elapsed_seconds(), 0.0);
+}
+
+TEST(NetworkProfileTest, ExactProfileMatchesModel) {
+  const NetworkModel model = NetworkModel::TenBaseT();
+  const NetworkProfile profile = NetworkProfile::Exact(model);
+  EXPECT_DOUBLE_EQ(profile.MessageSeconds(0), model.per_message_seconds);
+  EXPECT_NEAR(profile.MessageSeconds(1e6), model.ExpectedMessageSeconds(1000000), 1e-12);
+  EXPECT_DOUBLE_EQ(profile.CallSeconds(100, 200),
+                   profile.MessageSeconds(100) + profile.MessageSeconds(200));
+}
+
+// Statistical sampling recovers the true model parameters within a few
+// percent, despite jitter — the property Coign's predictions depend on.
+class NetworkProfilerParamTest
+    : public ::testing::TestWithParam<std::pair<const char*, NetworkModel>> {};
+
+TEST_P(NetworkProfilerParamTest, FitRecoversModelParameters) {
+  const NetworkModel& model = GetParam().second;
+  Transport transport(model);
+  Rng rng(2024);
+  NetworkProfiler profiler;
+  const NetworkProfile profile = profiler.Profile(transport, rng);
+  EXPECT_EQ(profile.network_name, model.name);
+  EXPECT_GT(profile.sample_count, 0u);
+  EXPECT_NEAR(profile.per_message_seconds, model.per_message_seconds,
+              model.per_message_seconds * 0.25);
+  EXPECT_NEAR(profile.seconds_per_byte, 1.0 / model.bytes_per_second,
+              0.05 / model.bytes_per_second);
+  EXPECT_GT(profile.fit_r_squared, 0.95);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Presets, NetworkProfilerParamTest,
+    ::testing::Values(std::pair{"10bt", NetworkModel::TenBaseT()},
+                      std::pair{"100bt", NetworkModel::HundredBaseT()},
+                      std::pair{"isdn", NetworkModel::Isdn()},
+                      std::pair{"atm", NetworkModel::Atm155()},
+                      std::pair{"san", NetworkModel::San()}),
+    [](const auto& info) { return info.param.first; });
+
+}  // namespace
+}  // namespace coign

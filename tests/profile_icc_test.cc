@@ -1,0 +1,116 @@
+#include "src/profile/icc_profile.h"
+
+#include <gtest/gtest.h>
+
+#include "src/com/class_registry.h"
+
+namespace coign {
+namespace {
+
+CallKey MakeKey(ClassificationId src, ClassificationId dst, MethodIndex method = 0) {
+  CallKey key;
+  key.src = src;
+  key.dst = dst;
+  key.iid = Guid::FromName("iid:ITest");
+  key.method = method;
+  return key;
+}
+
+ClassificationInfo MakeInfo(ClassificationId id, const std::string& name,
+                            uint32_t api = kApiNone) {
+  ClassificationInfo info;
+  info.id = id;
+  info.clsid = Guid::FromName("clsid:" + name);
+  info.class_name = name;
+  info.api_usage = api;
+  return info;
+}
+
+TEST(IccProfileTest, EmptyByDefault) {
+  IccProfile profile;
+  EXPECT_TRUE(profile.empty());
+  EXPECT_EQ(profile.total_calls(), 0u);
+  EXPECT_EQ(profile.FindClassification(3), nullptr);
+}
+
+TEST(IccProfileTest, RecordCallAggregatesByKey) {
+  IccProfile profile;
+  profile.RecordCall(MakeKey(1, 2), 100, 50, true);
+  profile.RecordCall(MakeKey(1, 2), 200, 60, true);
+  profile.RecordCall(MakeKey(1, 2, /*method=*/1), 5, 5, false);
+  EXPECT_EQ(profile.total_calls(), 3u);
+  EXPECT_EQ(profile.total_bytes(), 100u + 50 + 200 + 60 + 10);
+  ASSERT_EQ(profile.calls().size(), 2u);
+  const CallSummary& summary = profile.calls().at(MakeKey(1, 2));
+  EXPECT_EQ(summary.call_count(), 2u);
+  EXPECT_EQ(summary.requests.total_bytes(), 300u);
+  EXPECT_EQ(summary.replies.total_bytes(), 110u);
+  EXPECT_EQ(summary.non_remotable_calls, 0u);
+  EXPECT_EQ(profile.calls().at(MakeKey(1, 2, 1)).non_remotable_calls, 1u);
+}
+
+TEST(IccProfileTest, ClassificationMetadataAndInstantiation) {
+  IccProfile profile;
+  profile.RecordClassification(MakeInfo(7, "Widget", kApiGui));
+  profile.RecordInstantiation(7);
+  profile.RecordInstantiation(7);
+  profile.RecordInstantiation(99);  // Unknown id: ignored.
+  const ClassificationInfo* info = profile.FindClassification(7);
+  ASSERT_NE(info, nullptr);
+  EXPECT_EQ(info->class_name, "Widget");
+  EXPECT_EQ(info->instance_count, 2u);
+  EXPECT_EQ(info->api_usage, kApiGui);
+}
+
+TEST(IccProfileTest, ComputeAccumulatesPerClassification) {
+  IccProfile profile;
+  profile.RecordCompute(1, 0.5);
+  profile.RecordCompute(1, 0.25);
+  profile.RecordCompute(2, 1.0);
+  EXPECT_DOUBLE_EQ(profile.ComputeSecondsOf(1), 0.75);
+  EXPECT_DOUBLE_EQ(profile.ComputeSecondsOf(2), 1.0);
+  EXPECT_DOUBLE_EQ(profile.ComputeSecondsOf(3), 0.0);
+  EXPECT_DOUBLE_EQ(profile.total_compute_seconds(), 1.75);
+}
+
+TEST(IccProfileTest, MergeIsAssociativeAccumulation) {
+  IccProfile a;
+  a.RecordClassification(MakeInfo(1, "A"));
+  a.RecordInstantiation(1);
+  a.RecordCall(MakeKey(1, 2), 100, 10, true);
+  a.RecordCompute(1, 0.5);
+
+  IccProfile b;
+  b.RecordClassification(MakeInfo(1, "A"));
+  b.RecordClassification(MakeInfo(2, "B", kApiStorage));
+  b.RecordInstantiation(1);
+  b.RecordCall(MakeKey(1, 2), 50, 5, false);
+  b.RecordCall(MakeKey(2, 3), 7, 7, true);
+  b.RecordCompute(1, 0.5);
+
+  a.Merge(b);
+  EXPECT_EQ(a.FindClassification(1)->instance_count, 2u);
+  EXPECT_EQ(a.FindClassification(2)->api_usage, kApiStorage);
+  EXPECT_EQ(a.calls().at(MakeKey(1, 2)).call_count(), 2u);
+  EXPECT_EQ(a.calls().at(MakeKey(1, 2)).non_remotable_calls, 1u);
+  EXPECT_EQ(a.total_calls(), 3u);
+  EXPECT_DOUBLE_EQ(a.total_compute_seconds(), 1.0);
+  EXPECT_DOUBLE_EQ(a.ComputeSecondsOf(1), 1.0);
+  EXPECT_EQ(a.SortedClassificationIds(), (std::vector<ClassificationId>{1, 2}));
+}
+
+TEST(IccProfileTest, InjectCallSummaryUpdatesTotals) {
+  IccProfile profile;
+  ExponentialHistogram requests, replies;
+  requests.Add(100);
+  requests.Add(200);
+  replies.Add(10);
+  replies.Add(20);
+  profile.InjectCallSummary(MakeKey(4, 5), requests, replies, 1);
+  EXPECT_EQ(profile.total_calls(), 2u);
+  EXPECT_EQ(profile.total_bytes(), 330u);
+  EXPECT_EQ(profile.calls().at(MakeKey(4, 5)).non_remotable_calls, 1u);
+}
+
+}  // namespace
+}  // namespace coign

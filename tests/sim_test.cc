@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include "src/apps/component_library.h"
+#include "src/sim/accountant.h"
+#include "src/sim/class_placement.h"
+#include "src/sim/measurement.h"
+
+namespace coign {
+namespace {
+
+enum Method : MethodIndex { kPing = 0 };
+
+class SimTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(system_.interfaces()
+                    .Register(InterfaceBuilder("IPing")
+                                  .Method("Ping")
+                                  .In("payload", ValueKind::kBlob)
+                                  .Out("echo", ValueKind::kBlob)
+                                  .Build())
+                    .ok());
+    iid_ = system_.interfaces().LookupByName("IPing")->iid;
+    handlers_.Set(iid_, kPing, [](ScriptedComponent& self, const Message& in, Message* out) {
+      self.system()->ChargeCompute(1e-3);
+      out->Add("echo", Value::BlobOfSize(in.Find("payload")->AsBlob().size / 2, 1));
+      return Status::Ok();
+    });
+    ASSERT_TRUE(RegisterScriptedClass(&system_, "Ping", {iid_}, kApiNone, &handlers_).ok());
+  }
+
+  ObjectRef MakePing(MachineId machine) {
+    Result<ObjectRef> ping = system_.CreateInstanceByName("Ping", "IPing");
+    EXPECT_TRUE(ping.ok());
+    EXPECT_TRUE(system_.MoveInstance(ping->instance, machine).ok());
+    return *ping;
+  }
+
+  Status CallPing(const ObjectRef& ping, uint64_t payload) {
+    Message in;
+    in.Add("payload", Value::BlobOfSize(payload, 7));
+    Message out;
+    return system_.Call(ping, kPing, in, &out);
+  }
+
+  ObjectSystem system_;
+  HandlerTable handlers_;
+  InterfaceId iid_;
+};
+
+TEST_F(SimTest, LocalCallsCostNoCommunication) {
+  NetworkAccountant accountant(&system_, Transport(NetworkModel::TenBaseT()));
+  const ObjectRef ping = MakePing(kClientMachine);
+  ASSERT_TRUE(CallPing(ping, 1000).ok());
+  EXPECT_EQ(accountant.remote_calls(), 0u);
+  EXPECT_EQ(accountant.communication_seconds(), 0.0);
+  EXPECT_GT(accountant.compute_seconds(), 0.0);
+  EXPECT_EQ(accountant.total_calls(), 1u);
+}
+
+TEST_F(SimTest, RemoteCallsChargedByMarshaledBytes) {
+  const NetworkModel model = NetworkModel::TenBaseT();
+  NetworkAccountant accountant(&system_, Transport(model));
+  const ObjectRef ping = MakePing(kServerMachine);
+  ASSERT_TRUE(CallPing(ping, 10000).ok());
+  EXPECT_EQ(accountant.remote_calls(), 1u);
+  EXPECT_GT(accountant.remote_bytes(), 15000u);  // Request + half-size echo.
+  const double expected = Transport(model).ExpectedRoundTripSeconds(
+      accountant.remote_bytes(), 0);  // Sum is what matters under affine cost.
+  EXPECT_NEAR(accountant.communication_seconds(), expected, 1e-9);
+  EXPECT_DOUBLE_EQ(accountant.execution_seconds(),
+                   accountant.compute_seconds() + accountant.communication_seconds());
+}
+
+TEST_F(SimTest, ComputeScalesWithMachinePower) {
+  NetworkAccountant accountant(&system_, Transport(NetworkModel::TenBaseT()));
+  accountant.SetComputeScale(kServerMachine, 2.0);  // Server twice as fast.
+  const ObjectRef client_ping = MakePing(kClientMachine);
+  const ObjectRef server_ping = MakePing(kServerMachine);
+  ASSERT_TRUE(CallPing(client_ping, 10).ok());
+  const double client_compute = accountant.compute_seconds();
+  accountant.Reset();
+  ASSERT_TRUE(CallPing(server_ping, 10).ok());
+  EXPECT_NEAR(accountant.compute_seconds(), client_compute / 2.0, 1e-12);
+}
+
+TEST_F(SimTest, JitteredRunsVaryDeterministicRunsDoNot) {
+  const ObjectRef ping = MakePing(kServerMachine);
+  double deterministic1, deterministic2;
+  {
+    NetworkAccountant accountant(&system_, Transport(NetworkModel::TenBaseT()));
+    ASSERT_TRUE(CallPing(ping, 5000).ok());
+    deterministic1 = accountant.communication_seconds();
+  }
+  {
+    NetworkAccountant accountant(&system_, Transport(NetworkModel::TenBaseT()));
+    ASSERT_TRUE(CallPing(ping, 5000).ok());
+    deterministic2 = accountant.communication_seconds();
+  }
+  EXPECT_DOUBLE_EQ(deterministic1, deterministic2);
+
+  Rng rng(5);
+  NetworkAccountant jittered(&system_, Transport(NetworkModel::TenBaseT()), &rng);
+  ASSERT_TRUE(CallPing(ping, 5000).ok());
+  EXPECT_NE(jittered.communication_seconds(), deterministic1);
+  EXPECT_NEAR(jittered.communication_seconds(), deterministic1, deterministic1 * 0.5);
+}
+
+TEST_F(SimTest, ClassPlacementPolicyPlacesByClass) {
+  ClassPlacement placement(kClientMachine);
+  placement.Place(Guid::FromName("clsid:Ping"), kServerMachine);
+  system_.SetPlacementPolicy(placement.AsPolicy());
+  Result<ObjectRef> ping = system_.CreateInstanceByName("Ping", "IPing");
+  ASSERT_TRUE(ping.ok());
+  EXPECT_EQ(*system_.MachineOf(ping->instance), kServerMachine);
+  EXPECT_EQ(placement.MachineFor(Guid::FromName("clsid:Other")), kClientMachine);
+  EXPECT_FALSE(placement.empty());
+}
+
+TEST_F(SimTest, MeasureRunReportsAndCleansUp) {
+  MeasurementOptions options;
+  options.network = NetworkModel::TenBaseT();
+  Result<RunMeasurement> run = MeasureRun(
+      system_,
+      [this](ObjectSystem& sys) -> Status {
+        (void)sys;
+        const ObjectRef ping = MakePing(kServerMachine);
+        return CallPing(ping, 2000);
+      },
+      options);
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(run->total_calls, 1u);
+  EXPECT_EQ(run->remote_calls, 1u);
+  EXPECT_GT(run->communication_seconds, 0.0);
+  EXPECT_NEAR(run->execution_seconds, run->communication_seconds + run->compute_seconds,
+              1e-12);
+  EXPECT_EQ(system_.live_instance_count(), 0u);  // DestroyAll happened.
+}
+
+TEST_F(SimTest, MeasureRunPropagatesScenarioFailure) {
+  MeasurementOptions options;
+  options.network = NetworkModel::TenBaseT();
+  Result<RunMeasurement> run = MeasureRun(
+      system_, [](ObjectSystem&) { return InternalError("scripted failure"); }, options);
+  EXPECT_FALSE(run.ok());
+  EXPECT_EQ(run.status().code(), StatusCode::kInternal);
+  EXPECT_EQ(system_.live_instance_count(), 0u);  // Cleanup on failure too.
+}
+
+TEST_F(SimTest, FasterNetworksCostLess) {
+  const ObjectRef ping = MakePing(kServerMachine);
+  double slow, fast;
+  {
+    NetworkAccountant accountant(&system_, Transport(NetworkModel::Isdn()));
+    ASSERT_TRUE(CallPing(ping, 30000).ok());
+    slow = accountant.communication_seconds();
+  }
+  {
+    NetworkAccountant accountant(&system_, Transport(NetworkModel::San()));
+    ASSERT_TRUE(CallPing(ping, 30000).ok());
+    fast = accountant.communication_seconds();
+  }
+  EXPECT_GT(slow, fast * 50);
+}
+
+}  // namespace
+}  // namespace coign

@@ -1,0 +1,108 @@
+#include "src/support/rng.h"
+
+#include <gtest/gtest.h>
+
+#include "src/support/stats.h"
+
+namespace coign {
+namespace {
+
+TEST(RngTest, SameSeedSameStream) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    equal += (a.NextUint64() == b.NextUint64()) ? 1 : 0;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, UniformIntStaysInRange) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const int64_t v = rng.UniformInt(-5, 17);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 17);
+  }
+}
+
+TEST(RngTest, UniformIntSingletonRange) {
+  Rng rng(4);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(rng.UniformInt(9, 9), 9);
+  }
+}
+
+TEST(RngTest, UniformIntIsRoughlyUniform) {
+  Rng rng(5);
+  int counts[10] = {};
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    counts[rng.UniformInt(0, 9)] += 1;
+  }
+  for (int bucket = 0; bucket < 10; ++bucket) {
+    EXPECT_NEAR(counts[bucket], n / 10, n / 100);
+  }
+}
+
+TEST(RngTest, UniformDoubleInHalfOpenUnitInterval) {
+  Rng rng(6);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.UniformDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, NormalMatchesMoments) {
+  Rng rng(8);
+  RunningStats stats;
+  for (int i = 0; i < 200000; ++i) {
+    stats.Add(rng.Normal(10.0, 2.0));
+  }
+  EXPECT_NEAR(stats.mean(), 10.0, 0.05);
+  EXPECT_NEAR(stats.stddev(), 2.0, 0.05);
+}
+
+TEST(RngTest, ExponentialMatchesMean) {
+  Rng rng(9);
+  RunningStats stats;
+  for (int i = 0; i < 200000; ++i) {
+    const double v = rng.Exponential(3.0);
+    EXPECT_GE(v, 0.0);
+    stats.Add(v);
+  }
+  EXPECT_NEAR(stats.mean(), 3.0, 0.1);
+}
+
+TEST(RngTest, BernoulliEdgesAndRate) {
+  Rng rng(10);
+  EXPECT_FALSE(rng.Bernoulli(0.0));
+  EXPECT_TRUE(rng.Bernoulli(1.0));
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    hits += rng.Bernoulli(0.25) ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.25, 0.01);
+}
+
+TEST(RngTest, ForkedStreamsAreDecorrelated) {
+  Rng parent(11);
+  Rng child_a = parent.Fork(0);
+  Rng child_b = parent.Fork(1);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    equal += (child_a.NextUint64() == child_b.NextUint64()) ? 1 : 0;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+}  // namespace
+}  // namespace coign

@@ -1,0 +1,111 @@
+#include "src/support/stats.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/support/rng.h"
+
+namespace coign {
+namespace {
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  RunningStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_EQ(stats.mean(), 0.0);
+  EXPECT_EQ(stats.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, SingleValue) {
+  RunningStats stats;
+  stats.Add(5.0);
+  EXPECT_EQ(stats.count(), 1u);
+  EXPECT_EQ(stats.mean(), 5.0);
+  EXPECT_EQ(stats.variance(), 0.0);
+  EXPECT_EQ(stats.min(), 5.0);
+  EXPECT_EQ(stats.max(), 5.0);
+}
+
+TEST(RunningStatsTest, KnownSequence) {
+  RunningStats stats;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    stats.Add(v);
+  }
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  // Sample variance of the sequence is 32/7.
+  EXPECT_NEAR(stats.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_EQ(stats.min(), 2.0);
+  EXPECT_EQ(stats.max(), 9.0);
+}
+
+TEST(FitLinearTest, PerfectLine) {
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 20; ++i) {
+    xs.push_back(i);
+    ys.push_back(3.0 + 2.5 * i);
+  }
+  const LinearFit fit = FitLinear(xs, ys);
+  EXPECT_NEAR(fit.intercept, 3.0, 1e-9);
+  EXPECT_NEAR(fit.slope, 2.5, 1e-9);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-9);
+  EXPECT_NEAR(fit.Evaluate(100.0), 253.0, 1e-6);
+}
+
+TEST(FitLinearTest, NoisyLineRecoversParameters) {
+  Rng rng(42);
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 5000; ++i) {
+    const double x = rng.UniformDouble(0, 1000);
+    xs.push_back(x);
+    ys.push_back(1.5 + 0.02 * x + rng.Normal(0.0, 0.5));
+  }
+  const LinearFit fit = FitLinear(xs, ys);
+  EXPECT_NEAR(fit.intercept, 1.5, 0.05);
+  EXPECT_NEAR(fit.slope, 0.02, 0.001);
+  EXPECT_GT(fit.r_squared, 0.9);
+}
+
+TEST(FitLinearTest, DegenerateInputs) {
+  EXPECT_EQ(FitLinear({}, {}).slope, 0.0);
+  const LinearFit constant_x = FitLinear({2.0, 2.0, 2.0}, {1.0, 2.0, 3.0});
+  EXPECT_EQ(constant_x.slope, 0.0);
+  EXPECT_DOUBLE_EQ(constant_x.intercept, 2.0);  // Mean of ys.
+  const LinearFit constant_y = FitLinear({1.0, 2.0, 3.0}, {4.0, 4.0, 4.0});
+  EXPECT_NEAR(constant_y.slope, 0.0, 1e-12);
+  EXPECT_EQ(constant_y.r_squared, 1.0);
+}
+
+TEST(DotProductCorrelationTest, IdenticalDirectionIsOne) {
+  EXPECT_NEAR(DotProductCorrelation({1, 2, 3}, {2, 4, 6}), 1.0, 1e-12);
+}
+
+TEST(DotProductCorrelationTest, OrthogonalIsZero) {
+  EXPECT_EQ(DotProductCorrelation({1, 0}, {0, 1}), 0.0);
+}
+
+TEST(DotProductCorrelationTest, ZeroVectors) {
+  EXPECT_EQ(DotProductCorrelation({0, 0}, {0, 0}), 1.0);
+  EXPECT_EQ(DotProductCorrelation({0, 0}, {1, 0}), 0.0);
+}
+
+TEST(DotProductCorrelationTest, PartialOverlap) {
+  // cos angle between (1,1,0) and (0,1,1) = 1/2.
+  EXPECT_NEAR(DotProductCorrelation({1, 1, 0}, {0, 1, 1}), 0.5, 1e-12);
+}
+
+TEST(MeanTest, Basics) {
+  EXPECT_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Mean({1.0, 2.0, 3.0}), 2.0);
+}
+
+TEST(PercentileTest, OrderStatistics) {
+  std::vector<double> values = {5, 1, 4, 2, 3};
+  EXPECT_EQ(Percentile(values, 0.0), 1.0);
+  EXPECT_EQ(Percentile(values, 1.0), 5.0);
+  EXPECT_EQ(Percentile(values, 0.5), 3.0);
+  EXPECT_NEAR(Percentile(values, 0.25), 2.0, 1e-12);
+  EXPECT_EQ(Percentile({}, 0.5), 0.0);
+}
+
+}  // namespace
+}  // namespace coign

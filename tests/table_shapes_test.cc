@@ -1,0 +1,78 @@
+// Regression locks on the classifier-evaluation shapes of Tables 2 and 3
+// (the full tables come from bench_table2_classifiers /
+// bench_table3_stack_depth; these tests pin the orderings the paper's
+// conclusions rest on).
+
+#include <gtest/gtest.h>
+
+#include "bench/harness.h"
+
+namespace coign {
+namespace {
+
+ClassifierAccuracyRow Evaluate(ClassifierKind kind, int depth = kCompleteStackWalk) {
+  Result<ClassifierAccuracyRow> row = EvaluateOctarineClassifier(kind, depth);
+  EXPECT_TRUE(row.ok()) << row.status().ToString();
+  return *row;
+}
+
+TEST(Table2ShapeTest, CallChainClassifiersRecognizeEverything) {
+  for (ClassifierKind kind :
+       {ClassifierKind::kProcedureCalledBy, ClassifierKind::kStaticType,
+        ClassifierKind::kStaticTypeCalledBy, ClassifierKind::kInternalFunctionCalledBy,
+        ClassifierKind::kEntryPointCalledBy, ClassifierKind::kInstantiatedBy}) {
+    EXPECT_EQ(Evaluate(kind).new_classifications, 0u) << ClassifierKindName(kind);
+  }
+}
+
+TEST(Table2ShapeTest, IncrementalStrawManFails) {
+  const ClassifierAccuracyRow incremental = Evaluate(ClassifierKind::kIncremental);
+  const ClassifierAccuracyRow ifcb =
+      Evaluate(ClassifierKind::kInternalFunctionCalledBy);
+  // The straw man invents classifications in bigone and correlates far
+  // worse than the contextual classifiers.
+  EXPECT_GT(incremental.new_classifications, 50u);
+  EXPECT_LT(incremental.avg_correlation, ifcb.avg_correlation - 0.3);
+}
+
+TEST(Table2ShapeTest, StaticTypeLumpsInstances) {
+  const ClassifierAccuracyRow st = Evaluate(ClassifierKind::kStaticType);
+  const ClassifierAccuracyRow ifcb =
+      Evaluate(ClassifierKind::kInternalFunctionCalledBy);
+  // Paper: 45.6 instances/classification for ST vs 2.6 for IFCB.
+  EXPECT_GT(st.avg_instances_per_classification, 30.0);
+  EXPECT_LT(ifcb.avg_instances_per_classification,
+            st.avg_instances_per_classification / 4.0);
+  // And IFCB preserves far more distribution granularity.
+  EXPECT_GT(ifcb.profiled_classifications, st.profiled_classifications * 4);
+}
+
+TEST(Table2ShapeTest, IfcbFinestEpcbJustBelow) {
+  const ClassifierAccuracyRow ifcb =
+      Evaluate(ClassifierKind::kInternalFunctionCalledBy);
+  const ClassifierAccuracyRow epcb = Evaluate(ClassifierKind::kEntryPointCalledBy);
+  const ClassifierAccuracyRow stcb = Evaluate(ClassifierKind::kStaticTypeCalledBy);
+  EXPECT_GE(ifcb.profiled_classifications, epcb.profiled_classifications);
+  EXPECT_GT(epcb.profiled_classifications, stcb.profiled_classifications);
+}
+
+TEST(Table3ShapeTest, AccuracyMonotoneInDepthAndSaturates) {
+  const ClassifierAccuracyRow d1 =
+      Evaluate(ClassifierKind::kInternalFunctionCalledBy, 1);
+  const ClassifierAccuracyRow d2 =
+      Evaluate(ClassifierKind::kInternalFunctionCalledBy, 2);
+  const ClassifierAccuracyRow d4 =
+      Evaluate(ClassifierKind::kInternalFunctionCalledBy, 4);
+  const ClassifierAccuracyRow complete =
+      Evaluate(ClassifierKind::kInternalFunctionCalledBy, kCompleteStackWalk);
+  // Classifications grow with depth...
+  EXPECT_LT(d1.profiled_classifications, d2.profiled_classifications);
+  EXPECT_LE(d2.profiled_classifications, d4.profiled_classifications);
+  EXPECT_LE(d4.profiled_classifications, complete.profiled_classifications);
+  // ...and so does correlation, saturating at full depth.
+  EXPECT_LT(d1.avg_correlation, d2.avg_correlation);
+  EXPECT_NEAR(d4.avg_correlation, complete.avg_correlation, 1e-6);
+}
+
+}  // namespace
+}  // namespace coign

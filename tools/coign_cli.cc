@@ -1,0 +1,391 @@
+// coign: the command-line face of the toolset, mirroring the paper's
+// workflow over real files.
+//
+//   coign list
+//       Applications and their Table 1 scenarios.
+//   coign profile --scenario <id> [--scenario <id> ...] -o <base>
+//       Scenario-based profiling of the owning application; writes
+//       <base>.profile (the ICC profile log) and <base>.config (a
+//       profiling-mode configuration record carrying the classification
+//       table).
+//   coign analyze -i <base> [--network <name>] [--dot <file>]
+//       Combines the profile with a fitted network profile, cuts the
+//       graph, prints the distribution report and hot spots, and writes
+//       <base>.dist (a distributed-mode configuration record: the data the
+//       binary rewriter would put into the application binary).
+//   coign measure -i <base> --scenario <id> [--network <name>]
+//       Runs the scenario under the developer default and under the
+//       distribution in <base>.dist; prints a Table 4 style row.
+//
+// Networks: isdn, 10baset, 100baset, atm, san.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/analysis/dot_export.h"
+#include "src/analysis/engine.h"
+#include "src/analysis/hotspots.h"
+#include "src/analysis/report.h"
+#include "src/apps/suite.h"
+#include "src/net/network_profiler.h"
+#include "src/profile/log_file.h"
+#include "src/runtime/rte.h"
+#include "src/sim/measurement.h"
+#include "src/support/str_util.h"
+
+namespace coign {
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  coign list\n"
+               "  coign profile --scenario <id> [--scenario <id> ...] -o <base>\n"
+               "  coign analyze -i <base> [--network <name>] [--dot <file>]\n"
+               "  coign measure -i <base> --scenario <id> [--network <name>]\n");
+  return 2;
+}
+
+Result<NetworkModel> NetworkByName(const std::string& name) {
+  if (name == "isdn") {
+    return NetworkModel::Isdn();
+  }
+  if (name == "10baset") {
+    return NetworkModel::TenBaseT();
+  }
+  if (name == "100baset") {
+    return NetworkModel::HundredBaseT();
+  }
+  if (name == "atm") {
+    return NetworkModel::Atm155();
+  }
+  if (name == "san") {
+    return NetworkModel::San();
+  }
+  return NotFoundError("unknown network (use isdn|10baset|100baset|atm|san): " + name);
+}
+
+Status WriteFile(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return InternalError("cannot write " + path);
+  }
+  out << text;
+  return out.good() ? Status::Ok() : InternalError("short write to " + path);
+}
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return NotFoundError("cannot read " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+struct Flags {
+  std::vector<std::string> scenarios;
+  std::string output_base;
+  std::string input_base;
+  std::string network = "10baset";
+  std::string dot_path;
+};
+
+Result<Flags> ParseFlags(int argc, char** argv, int first) {
+  Flags flags;
+  for (int i = first; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> Result<std::string> {
+      if (i + 1 >= argc) {
+        return InvalidArgumentError("missing value after " + arg);
+      }
+      return std::string(argv[++i]);
+    };
+    if (arg == "--scenario") {
+      Result<std::string> value = next();
+      if (!value.ok()) {
+        return value.status();
+      }
+      flags.scenarios.push_back(*value);
+    } else if (arg == "-o") {
+      Result<std::string> value = next();
+      if (!value.ok()) {
+        return value.status();
+      }
+      flags.output_base = *value;
+    } else if (arg == "-i") {
+      Result<std::string> value = next();
+      if (!value.ok()) {
+        return value.status();
+      }
+      flags.input_base = *value;
+    } else if (arg == "--network") {
+      Result<std::string> value = next();
+      if (!value.ok()) {
+        return value.status();
+      }
+      flags.network = *value;
+    } else if (arg == "--dot") {
+      Result<std::string> value = next();
+      if (!value.ok()) {
+        return value.status();
+      }
+      flags.dot_path = *value;
+    } else {
+      return InvalidArgumentError("unknown flag: " + arg);
+    }
+  }
+  return flags;
+}
+
+int CmdList() {
+  for (const std::unique_ptr<Application>& app : BuildApplicationSuite()) {
+    std::printf("%s\n", app->name().c_str());
+    for (const Scenario& scenario : app->Scenarios()) {
+      std::printf("  %-10s %s\n", scenario.id.c_str(), scenario.description.c_str());
+    }
+  }
+  return 0;
+}
+
+int CmdProfile(const Flags& flags) {
+  if (flags.scenarios.empty() || flags.output_base.empty()) {
+    return Usage();
+  }
+  Result<std::unique_ptr<Application>> app =
+      BuildApplicationForScenario(flags.scenarios.front());
+  if (!app.ok()) {
+    std::fprintf(stderr, "%s\n", app.status().ToString().c_str());
+    return 1;
+  }
+
+  ObjectSystem system;
+  Status installed = (*app)->Install(&system);
+  if (!installed.ok()) {
+    std::fprintf(stderr, "%s\n", installed.ToString().c_str());
+    return 1;
+  }
+  BinaryRewriter rewriter;
+  Result<ApplicationImage> image = rewriter.Instrument((*app)->Image(), ConfigurationRecord());
+  if (!image.ok()) {
+    std::fprintf(stderr, "%s\n", image.status().ToString().c_str());
+    return 1;
+  }
+  Result<std::unique_ptr<CoignRuntime>> runtime = CoignRuntime::LoadFromImage(&system, *image);
+  if (!runtime.ok()) {
+    std::fprintf(stderr, "%s\n", runtime.status().ToString().c_str());
+    return 1;
+  }
+
+  Rng rng(17);
+  for (const std::string& id : flags.scenarios) {
+    Result<Scenario> scenario = (*app)->FindScenario(id);
+    if (!scenario.ok()) {
+      std::fprintf(stderr, "%s\n", scenario.status().ToString().c_str());
+      return 1;
+    }
+    (*runtime)->BeginScenario();
+    const Status run = scenario->run(system, rng);
+    if (!run.ok()) {
+      std::fprintf(stderr, "%s: %s\n", id.c_str(), run.ToString().c_str());
+      return 1;
+    }
+    system.DestroyAll();
+    std::printf("profiled %s\n", id.c_str());
+  }
+
+  const IccProfile& profile = (*runtime)->profiling_logger()->profile();
+  const Status wrote_profile =
+      WriteProfileFile(profile, flags.output_base + ".profile");
+  if (!wrote_profile.ok()) {
+    std::fprintf(stderr, "%s\n", wrote_profile.ToString().c_str());
+    return 1;
+  }
+  ConfigurationRecord config;
+  config.classifier_table = (*runtime)->classifier().ExportDescriptors();
+  const Status wrote_config =
+      WriteFile(flags.output_base + ".config", config.Serialize());
+  if (!wrote_config.ok()) {
+    std::fprintf(stderr, "%s\n", wrote_config.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s.profile (%llu calls, %zu classifications) and %s.config\n",
+              flags.output_base.c_str(),
+              static_cast<unsigned long long>(profile.total_calls()),
+              profile.classifications().size(), flags.output_base.c_str());
+  return 0;
+}
+
+int CmdAnalyze(const Flags& flags) {
+  if (flags.input_base.empty()) {
+    return Usage();
+  }
+  Result<IccProfile> profile = ReadProfileFile(flags.input_base + ".profile");
+  if (!profile.ok()) {
+    std::fprintf(stderr, "%s\n", profile.status().ToString().c_str());
+    return 1;
+  }
+  Result<std::string> config_text = ReadFile(flags.input_base + ".config");
+  if (!config_text.ok()) {
+    std::fprintf(stderr, "%s\n", config_text.status().ToString().c_str());
+    return 1;
+  }
+  Result<ConfigurationRecord> config = ConfigurationRecord::Parse(*config_text);
+  if (!config.ok()) {
+    std::fprintf(stderr, "%s\n", config.status().ToString().c_str());
+    return 1;
+  }
+  Result<NetworkModel> network = NetworkByName(flags.network);
+  if (!network.ok()) {
+    std::fprintf(stderr, "%s\n", network.status().ToString().c_str());
+    return 1;
+  }
+
+  Rng rng(23);
+  NetworkProfiler profiler;
+  const NetworkProfile fitted = profiler.Profile(Transport(*network), rng);
+  std::printf("network %s: %.1f us/message + %.1f ns/byte (r^2 %.4f)\n\n",
+              fitted.network_name.c_str(), fitted.per_message_seconds * 1e6,
+              fitted.seconds_per_byte * 1e9, fitted.fit_r_squared);
+
+  ProfileAnalysisEngine engine;
+  Result<AnalysisResult> analysis = engine.Analyze(*profile, fitted);
+  if (!analysis.ok()) {
+    std::fprintf(stderr, "%s\n", analysis.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n", DistributionReport(*profile, *analysis).c_str());
+  std::printf("%s\n", HotSpotReport(FindHotSpots(*profile, analysis->distribution, fitted,
+                                                 nullptr, 8))
+                          .c_str());
+
+  config->mode = RuntimeMode::kDistributed;
+  config->distribution = analysis->distribution;
+  const Status wrote = WriteFile(flags.input_base + ".dist", config->Serialize());
+  if (!wrote.ok()) {
+    std::fprintf(stderr, "%s\n", wrote.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s.dist\n", flags.input_base.c_str());
+
+  if (!flags.dot_path.empty()) {
+    const Status dot = WriteDistributionDot(*profile, *analysis, flags.dot_path);
+    if (!dot.ok()) {
+      std::fprintf(stderr, "%s\n", dot.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", flags.dot_path.c_str());
+  }
+  return 0;
+}
+
+int CmdMeasure(const Flags& flags) {
+  if (flags.input_base.empty() || flags.scenarios.size() != 1) {
+    return Usage();
+  }
+  const std::string& scenario_id = flags.scenarios.front();
+  Result<std::unique_ptr<Application>> app = BuildApplicationForScenario(scenario_id);
+  if (!app.ok()) {
+    std::fprintf(stderr, "%s\n", app.status().ToString().c_str());
+    return 1;
+  }
+  Result<std::string> dist_text = ReadFile(flags.input_base + ".dist");
+  if (!dist_text.ok()) {
+    std::fprintf(stderr, "%s (run `coign analyze` first)\n",
+                 dist_text.status().ToString().c_str());
+    return 1;
+  }
+  Result<ConfigurationRecord> config = ConfigurationRecord::Parse(*dist_text);
+  if (!config.ok()) {
+    std::fprintf(stderr, "%s\n", config.status().ToString().c_str());
+    return 1;
+  }
+  Result<NetworkModel> network = NetworkByName(flags.network);
+  if (!network.ok()) {
+    std::fprintf(stderr, "%s\n", network.status().ToString().c_str());
+    return 1;
+  }
+
+  MeasurementOptions options;
+  options.network = *network;
+  Rng rng(17);
+
+  double default_seconds = 0.0;
+  {
+    ObjectSystem system;
+    Status installed = (*app)->Install(&system);
+    if (!installed.ok()) {
+      return 1;
+    }
+    const ClassPlacement placement = (*app)->DefaultPlacement(system);
+    system.SetPlacementPolicy(placement.AsPolicy());
+    Result<Scenario> scenario = (*app)->FindScenario(scenario_id);
+    Result<RunMeasurement> run = MeasureRun(
+        system, [&](ObjectSystem& sys) { return scenario->run(sys, rng); }, options);
+    if (!run.ok()) {
+      std::fprintf(stderr, "default run: %s\n", run.status().ToString().c_str());
+      return 1;
+    }
+    default_seconds = run->communication_seconds;
+  }
+
+  double coign_seconds = 0.0;
+  {
+    ObjectSystem system;
+    Status installed = (*app)->Install(&system);
+    if (!installed.ok()) {
+      return 1;
+    }
+    CoignRuntime runtime(&system, *config);
+    runtime.BeginScenario();
+    Result<Scenario> scenario = (*app)->FindScenario(scenario_id);
+    Result<RunMeasurement> run = MeasureRun(
+        system, [&](ObjectSystem& sys) { return scenario->run(sys, rng); }, options);
+    if (!run.ok()) {
+      std::fprintf(stderr, "coign run: %s\n", run.status().ToString().c_str());
+      return 1;
+    }
+    coign_seconds = run->communication_seconds;
+  }
+
+  const double savings =
+      default_seconds > 0.0 ? 100.0 * (1.0 - coign_seconds / default_seconds) : 0.0;
+  std::printf("%-10s | default %.3f s | coign %.3f s | savings %.0f%%\n",
+              scenario_id.c_str(), default_seconds, coign_seconds, savings);
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) {
+    return Usage();
+  }
+  const std::string command = argv[1];
+  if (command == "list") {
+    return CmdList();
+  }
+  Result<Flags> flags = ParseFlags(argc, argv, 2);
+  if (!flags.ok()) {
+    std::fprintf(stderr, "%s\n", flags.status().ToString().c_str());
+    return Usage();
+  }
+  if (command == "profile") {
+    return CmdProfile(*flags);
+  }
+  if (command == "analyze") {
+    return CmdAnalyze(*flags);
+  }
+  if (command == "measure") {
+    return CmdMeasure(*flags);
+  }
+  return Usage();
+}
+
+}  // namespace
+}  // namespace coign
+
+int main(int argc, char** argv) { return coign::Main(argc, argv); }
