@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_cut.dir/bench_ablation_cut.cc.o"
+  "CMakeFiles/bench_ablation_cut.dir/bench_ablation_cut.cc.o.d"
+  "bench_ablation_cut"
+  "bench_ablation_cut.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_cut.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

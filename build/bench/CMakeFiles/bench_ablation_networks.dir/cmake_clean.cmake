@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_networks.dir/bench_ablation_networks.cc.o"
+  "CMakeFiles/bench_ablation_networks.dir/bench_ablation_networks.cc.o.d"
+  "bench_ablation_networks"
+  "bench_ablation_networks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_networks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_summarization.dir/bench_ablation_summarization.cc.o"
+  "CMakeFiles/bench_ablation_summarization.dir/bench_ablation_summarization.cc.o.d"
+  "bench_ablation_summarization"
+  "bench_ablation_summarization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_summarization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_caching.dir/bench_ext_caching.cc.o"
+  "CMakeFiles/bench_ext_caching.dir/bench_ext_caching.cc.o.d"
+  "bench_ext_caching"
+  "bench_ext_caching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_caching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_drift.dir/bench_ext_drift.cc.o"
+  "CMakeFiles/bench_ext_drift.dir/bench_ext_drift.cc.o.d"
+  "bench_ext_drift"
+  "bench_ext_drift.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_drift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

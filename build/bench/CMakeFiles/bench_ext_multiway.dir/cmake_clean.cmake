@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_multiway.dir/bench_ext_multiway.cc.o"
+  "CMakeFiles/bench_ext_multiway.dir/bench_ext_multiway.cc.o.d"
+  "bench_ext_multiway"
+  "bench_ext_multiway.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_multiway.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

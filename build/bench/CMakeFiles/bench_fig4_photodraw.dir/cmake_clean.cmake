@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_photodraw.dir/bench_fig4_photodraw.cc.o"
+  "CMakeFiles/bench_fig4_photodraw.dir/bench_fig4_photodraw.cc.o.d"
+  "bench_fig4_photodraw"
+  "bench_fig4_photodraw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_photodraw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

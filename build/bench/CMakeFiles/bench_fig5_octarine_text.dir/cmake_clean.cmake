@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_octarine_text.dir/bench_fig5_octarine_text.cc.o"
+  "CMakeFiles/bench_fig5_octarine_text.dir/bench_fig5_octarine_text.cc.o.d"
+  "bench_fig5_octarine_text"
+  "bench_fig5_octarine_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_octarine_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_benefits.dir/bench_fig6_benefits.cc.o"
+  "CMakeFiles/bench_fig6_benefits.dir/bench_fig6_benefits.cc.o.d"
+  "bench_fig6_benefits"
+  "bench_fig6_benefits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_benefits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

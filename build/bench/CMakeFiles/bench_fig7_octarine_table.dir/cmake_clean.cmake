@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_octarine_table.dir/bench_fig7_octarine_table.cc.o"
+  "CMakeFiles/bench_fig7_octarine_table.dir/bench_fig7_octarine_table.cc.o.d"
+  "bench_fig7_octarine_table"
+  "bench_fig7_octarine_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_octarine_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig8_octarine_mixed.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_classify.dir/bench_micro_classify.cc.o"
+  "CMakeFiles/bench_micro_classify.dir/bench_micro_classify.cc.o.d"
+  "bench_micro_classify"
+  "bench_micro_classify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_classify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

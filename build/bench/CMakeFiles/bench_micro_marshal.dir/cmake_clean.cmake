@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_marshal.dir/bench_micro_marshal.cc.o"
+  "CMakeFiles/bench_micro_marshal.dir/bench_micro_marshal.cc.o.d"
+  "bench_micro_marshal"
+  "bench_micro_marshal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_marshal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

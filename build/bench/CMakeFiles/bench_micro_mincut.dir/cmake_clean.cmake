@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_mincut.dir/bench_micro_mincut.cc.o"
+  "CMakeFiles/bench_micro_mincut.dir/bench_micro_mincut.cc.o.d"
+  "bench_micro_mincut"
+  "bench_micro_mincut.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_mincut.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_scenarios.dir/bench_table1_scenarios.cc.o"
+  "CMakeFiles/bench_table1_scenarios.dir/bench_table1_scenarios.cc.o.d"
+  "bench_table1_scenarios"
+  "bench_table1_scenarios.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_scenarios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

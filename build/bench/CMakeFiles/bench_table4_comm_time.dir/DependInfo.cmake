@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table4_comm_time.cc" "bench/CMakeFiles/bench_table4_comm_time.dir/bench_table4_comm_time.cc.o" "gcc" "bench/CMakeFiles/bench_table4_comm_time.dir/bench_table4_comm_time.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/coign_bench_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/coign_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/coign_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/coign_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/coign_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/coign_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/mincut/CMakeFiles/coign_mincut.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/coign_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/classify/CMakeFiles/coign_classify.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/coign_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/marshal/CMakeFiles/coign_marshal.dir/DependInfo.cmake"
+  "/root/repo/build/src/com/CMakeFiles/coign_com.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/coign_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_prediction.dir/bench_table5_prediction.cc.o"
+  "CMakeFiles/bench_table5_prediction.dir/bench_table5_prediction.cc.o.d"
+  "bench_table5_prediction"
+  "bench_table5_prediction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

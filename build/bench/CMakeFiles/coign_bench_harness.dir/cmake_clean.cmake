@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coign_bench_harness.dir/figure_common.cc.o"
+  "CMakeFiles/coign_bench_harness.dir/figure_common.cc.o.d"
+  "CMakeFiles/coign_bench_harness.dir/harness.cc.o"
+  "CMakeFiles/coign_bench_harness.dir/harness.cc.o.d"
+  "libcoign_bench_harness.a"
+  "libcoign_bench_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coign_bench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2243 @@
+coign-profile v1
+classification 0 {fe82f6b9af236e94-88e81a95776d8994} 1 1 Octarine.App
+compute 0 5.000000000e-06
+classification 1 {0f3a702e03c17dd3-d32fb18b855649ef} 0 2 Octarine.Widget01
+compute 1 1.700000000e-04
+classification 2 {cea20a9481393013-86da5b2f166f9957} 1 1 Octarine.Frame
+compute 2 7.000000000e-05
+classification 3 {13e2dd66b96e0f14-d5033a141fe424c9} 1 1 Octarine.Widget00
+compute 3 1.300000000e-04
+classification 4 {1a4815e3c1290793-a0f29212ee43e2d1} 0 1 Octarine.Widget45
+compute 4 9.000000000e-05
+classification 5 {dc020ed8c547e8bb-16d8dbe37990decb} 0 1 Octarine.Widget83
+compute 5 8.000000000e-05
+classification 6 {5806991484078a8b-e85c6c5bbdc9ec85} 1 1 Octarine.Widget88
+compute 6 8.000000000e-05
+classification 7 {8c65cccc34320e9e-3194c5a8fdbdf88e} 0 1 Octarine.Widget50
+compute 7 9.000000000e-05
+classification 8 {7102d3caf1c159db-35cdfb0a4d5b4db3} 0 1 Octarine.Widget90
+compute 8 8.000000000e-05
+classification 9 {0ad9af436d7ec3c4-aa1da0f543f75907} 0 1 Octarine.Widget95
+compute 9 8.000000000e-05
+classification 10 {af4f5c8421d8b8e2-5b717341e54fee37} 0 1 Octarine.Widget55
+compute 10 9.000000000e-05
+classification 11 {d048f35dc97ffee6-9d906e5a0aa4efd4} 0 1 Octarine.Widget15
+compute 11 8.000000000e-05
+classification 12 {9443997cd565f29c-000f5b22228a0bdb} 1 1 Octarine.Widget20
+compute 12 8.000000000e-05
+classification 13 {ce96ce811c54a9fe-8463ff302c633edd} 1 1 Octarine.Widget60
+compute 13 9.000000000e-05
+classification 14 {c4529aba7d465848-bb36bc826ac87991} 0 1 Octarine.Widget22
+compute 14 8.000000000e-05
+classification 15 {f4e3e24d15631276-976dc0fa1732c9f6} 0 1 Octarine.Widget27
+compute 15 8.000000000e-05
+classification 16 {2bccc3212c141576-e1aef7688cff43b5} 0 1 Octarine.Widget65
+compute 16 9.000000000e-05
+classification 17 {c760f28ee1e1bad6-5c4e09478ffc45c5} 0 1 Octarine.Widget29
+compute 17 8.000000000e-05
+classification 18 {c02f9eb59ea7b0a3-30fa4430cc5401d5} 0 1 Octarine.Widget34
+compute 18 8.000000000e-05
+classification 19 {f56b64f185f37fd2-c0f393a9fc1d30ee} 0 1 Octarine.Widget70
+compute 19 9.000000000e-05
+classification 20 {0cb9b1975c37f30e-9a62ad7d8e35a010} 1 1 Octarine.Widget36
+compute 20 8.000000000e-05
+classification 21 {97867ae7eba7a4f7-8b00412242c03c5b} 0 1 Octarine.Widget41
+compute 21 8.000000000e-05
+classification 22 {1f388d5e5c437c6d-dc18e81cad1ad5e5} 0 1 Octarine.Widget75
+compute 22 9.000000000e-05
+classification 23 {0f94e1e094981fd7-40d25bde2dc2571e} 0 1 Octarine.Widget43
+compute 23 8.000000000e-05
+classification 24 {6d8c641333155fab-4ab69eb19b96623f} 1 1 Octarine.Widget48
+compute 24 8.000000000e-05
+classification 25 {7fa34c2b792915ec-d1e8964c03386cd5} 1 1 Octarine.Widget80
+compute 25 9.000000000e-05
+classification 26 {8c65cccc34320e9e-3194c5a8fdbdf88e} 0 1 Octarine.Widget50
+compute 26 8.000000000e-05
+classification 27 {af4f5c8421d8b8e2-5b717341e54fee37} 0 1 Octarine.Widget55
+compute 27 8.000000000e-05
+classification 28 {5d67cb4de61b27ae-8a0d55df52d02c03} 0 1 Octarine.Widget85
+compute 28 9.000000000e-05
+classification 29 {f4248fdc2409ab6f-c5b30e75764ea06d} 0 1 Octarine.Widget57
+compute 29 8.000000000e-05
+classification 30 {c0d3d2c4c517f471-b7694c3a48199c58} 0 1 Octarine.Widget62
+compute 30 8.000000000e-05
+classification 31 {7102d3caf1c159db-35cdfb0a4d5b4db3} 0 1 Octarine.Widget90
+compute 31 9.000000000e-05
+classification 32 {1888717b9c8b1347-7c811c12aa2fc28a} 1 1 Octarine.Widget64
+compute 32 8.000000000e-05
+classification 33 {f3c339b5076081e0-7922a445ded44fd4} 0 1 Octarine.Widget69
+compute 33 8.000000000e-05
+classification 34 {76f425219bd900af-e1914fe5340cccd5} 1 1 Octarine.Widget52
+compute 34 9.000000000e-05
+classification 35 {ae405bff708d840b-831b6acdfb51a0b2} 0 1 Octarine.Widget71
+compute 35 8.000000000e-05
+classification 36 {a39d93205331b216-c551ed275e45cf7d} 1 1 Octarine.Widget76
+compute 36 8.000000000e-05
+classification 37 {f4248fdc2409ab6f-c5b30e75764ea06d} 0 1 Octarine.Widget57
+compute 37 9.000000000e-05
+classification 38 {cf038d63650e3845-978938d80fdcf3af} 0 1 Octarine.Widget78
+compute 38 8.000000000e-05
+classification 39 {dc020ed8c547e8bb-16d8dbe37990decb} 0 1 Octarine.Widget83
+compute 39 8.000000000e-05
+classification 40 {c0d3d2c4c517f471-b7694c3a48199c58} 0 1 Octarine.Widget62
+compute 40 9.000000000e-05
+classification 41 {5d67cb4de61b27ae-8a0d55df52d02c03} 0 1 Octarine.Widget85
+compute 41 8.000000000e-05
+classification 42 {7102d3caf1c159db-35cdfb0a4d5b4db3} 0 1 Octarine.Widget90
+compute 42 8.000000000e-05
+classification 43 {c9e62b31503ccb83-b426023995906864} 0 1 Octarine.Widget67
+compute 43 9.000000000e-05
+classification 44 {73637748596509fd-d97532df98059b33} 1 1 Octarine.Widget92
+compute 44 8.000000000e-05
+classification 45 {d048f35dc97ffee6-9d906e5a0aa4efd4} 0 1 Octarine.Widget15
+compute 45 8.000000000e-05
+classification 46 {e635eab8092fd582-f79865aace1f273d} 1 1 Octarine.Widget72
+compute 46 9.000000000e-05
+classification 47 {505037238861d37b-515d95582ae91c89} 0 1 Octarine.Widget17
+compute 47 8.000000000e-05
+classification 48 {c4529aba7d465848-bb36bc826ac87991} 0 1 Octarine.Widget22
+compute 48 8.000000000e-05
+classification 49 {6f5824cdfa92765e-17d913f141aa2781} 0 1 Octarine.Widget77
+compute 49 9.000000000e-05
+classification 50 {35a8f95ff7060d6e-3ac19270f19b1060} 1 1 Octarine.Widget24
+compute 50 8.000000000e-05
+classification 51 {c760f28ee1e1bad6-5c4e09478ffc45c5} 0 1 Octarine.Widget29
+compute 51 8.000000000e-05
+classification 52 {d124291f74c9224a-14ae955a5cc78ee3} 0 1 Octarine.Widget82
+compute 52 9.000000000e-05
+classification 53 {b12cd9e39ae3d995-b88aef10322f5a56} 0 1 Octarine.Widget31
+compute 53 8.000000000e-05
+classification 54 {0cb9b1975c37f30e-9a62ad7d8e35a010} 1 1 Octarine.Widget36
+compute 54 8.000000000e-05
+classification 55 {9e0c02aa2f32a594-7b96b86cab7c207a} 0 1 Octarine.Widget87
+compute 55 9.000000000e-05
+classification 56 {8ab58797716f98bb-ff996e4cf1c3f50d} 0 1 Octarine.Widget38
+compute 56 8.000000000e-05
+classification 57 {0f94e1e094981fd7-40d25bde2dc2571e} 0 1 Octarine.Widget43
+compute 57 8.000000000e-05
+classification 58 {73637748596509fd-d97532df98059b33} 1 1 Octarine.Widget92
+compute 58 9.000000000e-05
+classification 59 {1a4815e3c1290793-a0f29212ee43e2d1} 0 1 Octarine.Widget45
+compute 59 8.000000000e-05
+classification 60 {8c65cccc34320e9e-3194c5a8fdbdf88e} 0 1 Octarine.Widget50
+compute 60 8.000000000e-05
+classification 61 {d048f35dc97ffee6-9d906e5a0aa4efd4} 0 1 Octarine.Widget15
+compute 61 9.000000000e-05
+classification 62 {76f425219bd900af-e1914fe5340cccd5} 1 1 Octarine.Widget52
+compute 62 8.000000000e-05
+classification 63 {f4248fdc2409ab6f-c5b30e75764ea06d} 0 1 Octarine.Widget57
+compute 63 8.000000000e-05
+classification 64 {5c6bb6d9d014eef1-f1812ba9ffb151f9} 0 1 Octarine.Widget02
+compute 64 1.300000000e-04
+classification 65 {fe577335db2dce67-28bc66ac9b64df43} 0 1 Octarine.Widget59
+compute 65 9.000000000e-05
+classification 66 {fe577335db2dce67-28bc66ac9b64df43} 0 1 Octarine.Widget59
+compute 66 8.000000000e-05
+classification 67 {1888717b9c8b1347-7c811c12aa2fc28a} 1 1 Octarine.Widget64
+compute 67 8.000000000e-05
+classification 68 {1888717b9c8b1347-7c811c12aa2fc28a} 1 1 Octarine.Widget64
+compute 68 9.000000000e-05
+classification 69 {104ff6bccdadfefd-1f7628ffdd4eba6a} 0 1 Octarine.Widget66
+compute 69 8.000000000e-05
+classification 70 {ae405bff708d840b-831b6acdfb51a0b2} 0 1 Octarine.Widget71
+compute 70 8.000000000e-05
+classification 71 {f3c339b5076081e0-7922a445ded44fd4} 0 1 Octarine.Widget69
+compute 71 9.000000000e-05
+classification 72 {18b4b3d0cc9cf741-8bca4e76cc6a80aa} 0 1 Octarine.Widget73
+compute 72 8.000000000e-05
+classification 73 {cf038d63650e3845-978938d80fdcf3af} 0 1 Octarine.Widget78
+compute 73 8.000000000e-05
+classification 74 {701cd3cacca41669-aa63965b4612ca0b} 0 1 Octarine.Widget74
+compute 74 9.000000000e-05
+classification 75 {7fa34c2b792915ec-d1e8964c03386cd5} 1 1 Octarine.Widget80
+compute 75 8.000000000e-05
+classification 76 {5d67cb4de61b27ae-8a0d55df52d02c03} 0 1 Octarine.Widget85
+compute 76 8.000000000e-05
+classification 77 {2c424325fbd800db-9b887316f91b18e1} 0 1 Octarine.Widget79
+compute 77 9.000000000e-05
+classification 78 {9e0c02aa2f32a594-7b96b86cab7c207a} 0 1 Octarine.Widget87
+compute 78 8.000000000e-05
+classification 79 {73637748596509fd-d97532df98059b33} 1 1 Octarine.Widget92
+compute 79 8.000000000e-05
+classification 80 {3e3ac3a5aaf37ed9-219241c55361ec28} 1 1 Octarine.Widget84
+compute 80 9.000000000e-05
+classification 81 {586e8705e79d8b76-a61ac33e78384829} 0 1 Octarine.Widget94
+compute 81 8.000000000e-05
+classification 82 {505037238861d37b-515d95582ae91c89} 0 1 Octarine.Widget17
+compute 82 8.000000000e-05
+classification 83 {67604103a36e8315-b7d23f9a2477a9cb} 0 1 Octarine.Widget89
+compute 83 9.000000000e-05
+classification 84 {7a344d824062d50c-1931e02032a5716c} 0 1 Octarine.Widget19
+compute 84 8.000000000e-05
+classification 85 {35a8f95ff7060d6e-3ac19270f19b1060} 1 1 Octarine.Widget24
+compute 85 8.000000000e-05
+classification 86 {586e8705e79d8b76-a61ac33e78384829} 0 1 Octarine.Widget94
+compute 86 9.000000000e-05
+classification 87 {2517c99f4a82f00a-1711c5771c76bf46} 0 1 Octarine.Widget26
+compute 87 8.000000000e-05
+classification 88 {b12cd9e39ae3d995-b88aef10322f5a56} 0 1 Octarine.Widget31
+compute 88 8.000000000e-05
+classification 89 {505037238861d37b-515d95582ae91c89} 0 1 Octarine.Widget17
+compute 89 9.000000000e-05
+classification 90 {c5ab98752c5ef412-cb8c70a039aefe3b} 0 1 Octarine.Widget33
+compute 90 8.000000000e-05
+classification 91 {8ab58797716f98bb-ff996e4cf1c3f50d} 0 1 Octarine.Widget38
+compute 91 8.000000000e-05
+classification 92 {c4529aba7d465848-bb36bc826ac87991} 0 1 Octarine.Widget22
+compute 92 9.000000000e-05
+classification 93 {b13e3c958e74c93f-4cd28ccdc673ca21} 1 1 Octarine.Widget40
+compute 93 8.000000000e-05
+classification 94 {1a4815e3c1290793-a0f29212ee43e2d1} 0 1 Octarine.Widget45
+compute 94 8.000000000e-05
+classification 95 {8ff98eedd34d8398-4c7e28635db2a497} 0 1 Octarine.Widget03
+compute 95 1.300000000e-04
+classification 96 {104ff6bccdadfefd-1f7628ffdd4eba6a} 0 1 Octarine.Widget66
+compute 96 9.000000000e-05
+classification 97 {e84be4981767265e-212154d174d43632} 0 1 Octarine.Widget47
+compute 97 8.000000000e-05
+classification 98 {76f425219bd900af-e1914fe5340cccd5} 1 1 Octarine.Widget52
+compute 98 8.000000000e-05
+classification 99 {ae405bff708d840b-831b6acdfb51a0b2} 0 1 Octarine.Widget71
+compute 99 9.000000000e-05
+classification 100 {e88c08daa65ba0c3-f0bdb5b92b5044a2} 0 1 Octarine.Widget54
+compute 100 8.000000000e-05
+classification 101 {fe577335db2dce67-28bc66ac9b64df43} 0 1 Octarine.Widget59
+compute 101 8.000000000e-05
+classification 102 {a39d93205331b216-c551ed275e45cf7d} 1 1 Octarine.Widget76
+compute 102 9.000000000e-05
+classification 103 {f1efc9932ea0b628-9af63c2ca68bf504} 0 1 Octarine.Widget61
+compute 103 8.000000000e-05
+classification 104 {104ff6bccdadfefd-1f7628ffdd4eba6a} 0 1 Octarine.Widget66
+compute 104 8.000000000e-05
+classification 105 {540ac1d315382d5d-7e919ac8d59b0d8c} 0 1 Octarine.Widget81
+compute 105 9.000000000e-05
+classification 106 {7f263d341d73cbb2-67ac792792ea91de} 1 1 Octarine.Widget68
+compute 106 8.000000000e-05
+classification 107 {18b4b3d0cc9cf741-8bca4e76cc6a80aa} 0 1 Octarine.Widget73
+compute 107 8.000000000e-05
+classification 108 {c21d506499912a69-c0c2a75053e25224} 0 1 Octarine.Widget86
+compute 108 9.000000000e-05
+classification 109 {1f388d5e5c437c6d-dc18e81cad1ad5e5} 0 1 Octarine.Widget75
+compute 109 8.000000000e-05
+classification 110 {7fa34c2b792915ec-d1e8964c03386cd5} 1 1 Octarine.Widget80
+compute 110 8.000000000e-05
+classification 111 {37ca9627bca0e81e-37cb8102d6de2dea} 0 1 Octarine.Widget91
+compute 111 9.000000000e-05
+classification 112 {d124291f74c9224a-14ae955a5cc78ee3} 0 1 Octarine.Widget82
+compute 112 8.000000000e-05
+classification 113 {9e0c02aa2f32a594-7b96b86cab7c207a} 0 1 Octarine.Widget87
+compute 113 8.000000000e-05
+classification 114 {8481b7f14cc51499-6bdf7e141211c52b} 0 1 Octarine.Widget14
+compute 114 9.000000000e-05
+classification 115 {67604103a36e8315-b7d23f9a2477a9cb} 0 1 Octarine.Widget89
+compute 115 8.000000000e-05
+classification 116 {586e8705e79d8b76-a61ac33e78384829} 0 1 Octarine.Widget94
+compute 116 8.000000000e-05
+classification 117 {7a344d824062d50c-1931e02032a5716c} 0 1 Octarine.Widget19
+compute 117 9.000000000e-05
+classification 118 {8481b7f14cc51499-6bdf7e141211c52b} 0 1 Octarine.Widget14
+compute 118 8.000000000e-05
+classification 119 {7a344d824062d50c-1931e02032a5716c} 0 1 Octarine.Widget19
+compute 119 8.000000000e-05
+classification 120 {35a8f95ff7060d6e-3ac19270f19b1060} 1 1 Octarine.Widget24
+compute 120 9.000000000e-05
+classification 121 {c394a67471e65845-864c928dd38311b0} 0 1 Octarine.Widget21
+compute 121 8.000000000e-05
+classification 122 {2517c99f4a82f00a-1711c5771c76bf46} 0 1 Octarine.Widget26
+compute 122 8.000000000e-05
+classification 123 {c760f28ee1e1bad6-5c4e09478ffc45c5} 0 1 Octarine.Widget29
+compute 123 9.000000000e-05
+classification 124 {c2e17527a49a7b86-dc3efb0b3e634c6b} 1 1 Octarine.Widget28
+compute 124 8.000000000e-05
+classification 125 {c5ab98752c5ef412-cb8c70a039aefe3b} 0 1 Octarine.Widget33
+compute 125 8.000000000e-05
+classification 126 {2f3e61aa4dab9cfd-6306ae3a75860802} 1 1 Octarine.Widget04
+compute 126 1.300000000e-04
+classification 127 {18b4b3d0cc9cf741-8bca4e76cc6a80aa} 0 1 Octarine.Widget73
+compute 127 9.000000000e-05
+classification 128 {1a8e15cecaea66ad-f0b8c4400ba9955b} 0 1 Octarine.Widget35
+compute 128 8.000000000e-05
+classification 129 {b13e3c958e74c93f-4cd28ccdc673ca21} 1 1 Octarine.Widget40
+compute 129 8.000000000e-05
+classification 130 {cf038d63650e3845-978938d80fdcf3af} 0 1 Octarine.Widget78
+compute 130 9.000000000e-05
+classification 131 {52cc2b933c00b249-573d881469cf8887} 0 1 Octarine.Widget42
+compute 131 8.000000000e-05
+classification 132 {e84be4981767265e-212154d174d43632} 0 1 Octarine.Widget47
+compute 132 8.000000000e-05
+classification 133 {dc020ed8c547e8bb-16d8dbe37990decb} 0 1 Octarine.Widget83
+compute 133 9.000000000e-05
+classification 134 {39dbee4ec04c6efc-2b8892d2300a86e9} 0 1 Octarine.Widget49
+compute 134 8.000000000e-05
+classification 135 {e88c08daa65ba0c3-f0bdb5b92b5044a2} 0 1 Octarine.Widget54
+compute 135 8.000000000e-05
+classification 136 {5806991484078a8b-e85c6c5bbdc9ec85} 1 1 Octarine.Widget88
+compute 136 9.000000000e-05
+classification 137 {9553b9bfb0be45ef-cf5651ff27815510} 1 1 Octarine.Widget56
+compute 137 8.000000000e-05
+classification 138 {f1efc9932ea0b628-9af63c2ca68bf504} 0 1 Octarine.Widget61
+compute 138 8.000000000e-05
+classification 139 {48059321c4afdcc0-ababf19405b47087} 0 1 Octarine.Widget93
+compute 139 9.000000000e-05
+classification 140 {5968a2fba15e0c64-0ee87673e723666d} 0 1 Octarine.Widget63
+compute 140 8.000000000e-05
+classification 141 {7f263d341d73cbb2-67ac792792ea91de} 1 1 Octarine.Widget68
+compute 141 8.000000000e-05
+classification 142 {36efefe6797c44c6-cc3682dfd42dec48} 1 1 Octarine.Widget16
+compute 142 9.000000000e-05
+classification 143 {f56b64f185f37fd2-c0f393a9fc1d30ee} 0 1 Octarine.Widget70
+compute 143 8.000000000e-05
+classification 144 {1f388d5e5c437c6d-dc18e81cad1ad5e5} 0 1 Octarine.Widget75
+compute 144 8.000000000e-05
+classification 145 {c394a67471e65845-864c928dd38311b0} 0 1 Octarine.Widget21
+compute 145 9.000000000e-05
+classification 146 {6f5824cdfa92765e-17d913f141aa2781} 0 1 Octarine.Widget77
+compute 146 8.000000000e-05
+classification 147 {d124291f74c9224a-14ae955a5cc78ee3} 0 1 Octarine.Widget82
+compute 147 8.000000000e-05
+classification 148 {2517c99f4a82f00a-1711c5771c76bf46} 0 1 Octarine.Widget26
+compute 148 9.000000000e-05
+classification 149 {3e3ac3a5aaf37ed9-219241c55361ec28} 1 1 Octarine.Widget84
+compute 149 8.000000000e-05
+classification 150 {67604103a36e8315-b7d23f9a2477a9cb} 0 1 Octarine.Widget89
+compute 150 8.000000000e-05
+classification 151 {b12cd9e39ae3d995-b88aef10322f5a56} 0 1 Octarine.Widget31
+compute 151 9.000000000e-05
+classification 152 {37ca9627bca0e81e-37cb8102d6de2dea} 0 1 Octarine.Widget91
+compute 152 8.000000000e-05
+classification 153 {8481b7f14cc51499-6bdf7e141211c52b} 0 1 Octarine.Widget14
+compute 153 8.000000000e-05
+classification 154 {0cb9b1975c37f30e-9a62ad7d8e35a010} 1 1 Octarine.Widget36
+compute 154 9.000000000e-05
+classification 155 {36efefe6797c44c6-cc3682dfd42dec48} 1 1 Octarine.Widget16
+compute 155 8.000000000e-05
+classification 156 {c394a67471e65845-864c928dd38311b0} 0 1 Octarine.Widget21
+compute 156 8.000000000e-05
+classification 157 {672b9bea3c2a1bc2-a5feece8e16b6a08} 0 1 Octarine.Widget05
+compute 157 1.300000000e-04
+classification 158 {7fa34c2b792915ec-d1e8964c03386cd5} 1 1 Octarine.Widget80
+compute 158 9.000000000e-05
+classification 159 {fcf4f623f3027518-724c4717d5dd56b1} 0 1 Octarine.Widget23
+compute 159 8.000000000e-05
+classification 160 {c2e17527a49a7b86-dc3efb0b3e634c6b} 1 1 Octarine.Widget28
+compute 160 8.000000000e-05
+classification 161 {5d67cb4de61b27ae-8a0d55df52d02c03} 0 1 Octarine.Widget85
+compute 161 9.000000000e-05
+classification 162 {c81a5f033174e355-88b8083c1d7878ae} 0 1 Octarine.Widget30
+compute 162 8.000000000e-05
+classification 163 {1a8e15cecaea66ad-f0b8c4400ba9955b} 0 1 Octarine.Widget35
+compute 163 8.000000000e-05
+classification 164 {7102d3caf1c159db-35cdfb0a4d5b4db3} 0 1 Octarine.Widget90
+compute 164 9.000000000e-05
+classification 165 {66a0e0fe36e6eeec-88f180f22029ea5c} 0 1 Octarine.Widget37
+compute 165 8.000000000e-05
+classification 166 {52cc2b933c00b249-573d881469cf8887} 0 1 Octarine.Widget42
+compute 166 8.000000000e-05
+classification 167 {0ad9af436d7ec3c4-aa1da0f543f75907} 0 1 Octarine.Widget95
+compute 167 9.000000000e-05
+classification 168 {abe748afa81e0635-8a374637f03a2085} 1 1 Octarine.Widget44
+compute 168 8.000000000e-05
+classification 169 {39dbee4ec04c6efc-2b8892d2300a86e9} 0 1 Octarine.Widget49
+compute 169 8.000000000e-05
+classification 170 {28410f4265f984d0-1a73aca3fd671ff9} 0 1 Octarine.Widget18
+compute 170 9.000000000e-05
+classification 171 {68377de5be6b4fa4-70ad09dd61cc0744} 0 1 Octarine.Widget51
+compute 171 8.000000000e-05
+classification 172 {9553b9bfb0be45ef-cf5651ff27815510} 1 1 Octarine.Widget56
+compute 172 8.000000000e-05
+classification 173 {fcf4f623f3027518-724c4717d5dd56b1} 0 1 Octarine.Widget23
+compute 173 9.000000000e-05
+classification 174 {c48b6fd6a6a56201-4d00e2c25ef00346} 0 1 Octarine.Widget58
+compute 174 8.000000000e-05
+classification 175 {5968a2fba15e0c64-0ee87673e723666d} 0 1 Octarine.Widget63
+compute 175 8.000000000e-05
+classification 176 {c2e17527a49a7b86-dc3efb0b3e634c6b} 1 1 Octarine.Widget28
+compute 176 9.000000000e-05
+classification 177 {2bccc3212c141576-e1aef7688cff43b5} 0 1 Octarine.Widget65
+compute 177 8.000000000e-05
+classification 178 {f56b64f185f37fd2-c0f393a9fc1d30ee} 0 1 Octarine.Widget70
+compute 178 8.000000000e-05
+classification 179 {c5ab98752c5ef412-cb8c70a039aefe3b} 0 1 Octarine.Widget33
+compute 179 9.000000000e-05
+classification 180 {e635eab8092fd582-f79865aace1f273d} 1 1 Octarine.Widget72
+compute 180 8.000000000e-05
+classification 181 {6f5824cdfa92765e-17d913f141aa2781} 0 1 Octarine.Widget77
+compute 181 8.000000000e-05
+classification 182 {8ab58797716f98bb-ff996e4cf1c3f50d} 0 1 Octarine.Widget38
+compute 182 9.000000000e-05
+classification 183 {2c424325fbd800db-9b887316f91b18e1} 0 1 Octarine.Widget79
+compute 183 8.000000000e-05
+classification 184 {3e3ac3a5aaf37ed9-219241c55361ec28} 1 1 Octarine.Widget84
+compute 184 8.000000000e-05
+classification 185 {0f94e1e094981fd7-40d25bde2dc2571e} 0 1 Octarine.Widget43
+compute 185 9.000000000e-05
+classification 186 {c21d506499912a69-c0c2a75053e25224} 0 1 Octarine.Widget86
+compute 186 8.000000000e-05
+classification 187 {37ca9627bca0e81e-37cb8102d6de2dea} 0 1 Octarine.Widget91
+compute 187 8.000000000e-05
+classification 188 {8b8c7314dc16a03f-c443e426f9de9c6d} 0 1 Octarine.Widget06
+compute 188 1.300000000e-04
+classification 189 {9e0c02aa2f32a594-7b96b86cab7c207a} 0 1 Octarine.Widget87
+compute 189 9.000000000e-05
+classification 190 {48059321c4afdcc0-ababf19405b47087} 0 1 Octarine.Widget93
+compute 190 8.000000000e-05
+classification 191 {36efefe6797c44c6-cc3682dfd42dec48} 1 1 Octarine.Widget16
+compute 191 8.000000000e-05
+classification 192 {73637748596509fd-d97532df98059b33} 1 1 Octarine.Widget92
+compute 192 9.000000000e-05
+classification 193 {28410f4265f984d0-1a73aca3fd671ff9} 0 1 Octarine.Widget18
+compute 193 8.000000000e-05
+classification 194 {fcf4f623f3027518-724c4717d5dd56b1} 0 1 Octarine.Widget23
+compute 194 8.000000000e-05
+classification 195 {d048f35dc97ffee6-9d906e5a0aa4efd4} 0 1 Octarine.Widget15
+compute 195 9.000000000e-05
+classification 196 {2f324ea0a556f8d2-327f69acf76b2e77} 0 1 Octarine.Widget25
+compute 196 8.000000000e-05
+classification 197 {c81a5f033174e355-88b8083c1d7878ae} 0 1 Octarine.Widget30
+compute 197 8.000000000e-05
+classification 198 {9443997cd565f29c-000f5b22228a0bdb} 1 1 Octarine.Widget20
+compute 198 9.000000000e-05
+classification 199 {192fcf6742786bc4-980c78be14068109} 1 1 Octarine.Widget32
+compute 199 8.000000000e-05
+classification 200 {66a0e0fe36e6eeec-88f180f22029ea5c} 0 1 Octarine.Widget37
+compute 200 8.000000000e-05
+classification 201 {2f324ea0a556f8d2-327f69acf76b2e77} 0 1 Octarine.Widget25
+compute 201 9.000000000e-05
+classification 202 {be40309253372f96-cc04403cc3e04c54} 0 1 Octarine.Widget39
+compute 202 8.000000000e-05
+classification 203 {abe748afa81e0635-8a374637f03a2085} 1 1 Octarine.Widget44
+compute 203 8.000000000e-05
+classification 204 {c81a5f033174e355-88b8083c1d7878ae} 0 1 Octarine.Widget30
+compute 204 9.000000000e-05
+classification 205 {56cca2d30bf2315d-072e189356cefbec} 0 1 Octarine.Widget46
+compute 205 8.000000000e-05
+classification 206 {68377de5be6b4fa4-70ad09dd61cc0744} 0 1 Octarine.Widget51
+compute 206 8.000000000e-05
+classification 207 {1a8e15cecaea66ad-f0b8c4400ba9955b} 0 1 Octarine.Widget35
+compute 207 9.000000000e-05
+classification 208 {d1587a80c316e212-15faace79cc49627} 0 1 Octarine.Widget53
+compute 208 8.000000000e-05
+classification 209 {c48b6fd6a6a56201-4d00e2c25ef00346} 0 1 Octarine.Widget58
+compute 209 8.000000000e-05
+classification 210 {b13e3c958e74c93f-4cd28ccdc673ca21} 1 1 Octarine.Widget40
+compute 210 9.000000000e-05
+classification 211 {ce96ce811c54a9fe-8463ff302c633edd} 1 1 Octarine.Widget60
+compute 211 8.000000000e-05
+classification 212 {2bccc3212c141576-e1aef7688cff43b5} 0 1 Octarine.Widget65
+compute 212 8.000000000e-05
+classification 213 {1a4815e3c1290793-a0f29212ee43e2d1} 0 1 Octarine.Widget45
+compute 213 9.000000000e-05
+classification 214 {c9e62b31503ccb83-b426023995906864} 0 1 Octarine.Widget67
+compute 214 8.000000000e-05
+classification 215 {e635eab8092fd582-f79865aace1f273d} 1 1 Octarine.Widget72
+compute 215 8.000000000e-05
+classification 216 {8c65cccc34320e9e-3194c5a8fdbdf88e} 0 1 Octarine.Widget50
+compute 216 9.000000000e-05
+classification 217 {701cd3cacca41669-aa63965b4612ca0b} 0 1 Octarine.Widget74
+compute 217 8.000000000e-05
+classification 218 {2c424325fbd800db-9b887316f91b18e1} 0 1 Octarine.Widget79
+compute 218 8.000000000e-05
+classification 219 {380c2c33a832ae47-81baf1b27c442b6d} 0 1 Octarine.Widget07
+compute 219 1.300000000e-04
+classification 220 {586e8705e79d8b76-a61ac33e78384829} 0 1 Octarine.Widget94
+compute 220 9.000000000e-05
+classification 221 {540ac1d315382d5d-7e919ac8d59b0d8c} 0 1 Octarine.Widget81
+compute 221 8.000000000e-05
+classification 222 {c21d506499912a69-c0c2a75053e25224} 0 1 Octarine.Widget86
+compute 222 8.000000000e-05
+classification 223 {505037238861d37b-515d95582ae91c89} 0 1 Octarine.Widget17
+compute 223 9.000000000e-05
+classification 224 {5806991484078a8b-e85c6c5bbdc9ec85} 1 1 Octarine.Widget88
+compute 224 8.000000000e-05
+classification 225 {48059321c4afdcc0-ababf19405b47087} 0 1 Octarine.Widget93
+compute 225 8.000000000e-05
+classification 226 {c4529aba7d465848-bb36bc826ac87991} 0 1 Octarine.Widget22
+compute 226 9.000000000e-05
+classification 227 {0ad9af436d7ec3c4-aa1da0f543f75907} 0 1 Octarine.Widget95
+compute 227 8.000000000e-05
+classification 228 {28410f4265f984d0-1a73aca3fd671ff9} 0 1 Octarine.Widget18
+compute 228 8.000000000e-05
+classification 229 {f4e3e24d15631276-976dc0fa1732c9f6} 0 1 Octarine.Widget27
+compute 229 9.000000000e-05
+classification 230 {9443997cd565f29c-000f5b22228a0bdb} 1 1 Octarine.Widget20
+compute 230 8.000000000e-05
+classification 231 {2f324ea0a556f8d2-327f69acf76b2e77} 0 1 Octarine.Widget25
+compute 231 8.000000000e-05
+classification 232 {192fcf6742786bc4-980c78be14068109} 1 1 Octarine.Widget32
+compute 232 9.000000000e-05
+classification 233 {f4e3e24d15631276-976dc0fa1732c9f6} 0 1 Octarine.Widget27
+compute 233 8.000000000e-05
+classification 234 {192fcf6742786bc4-980c78be14068109} 1 1 Octarine.Widget32
+compute 234 8.000000000e-05
+classification 235 {66a0e0fe36e6eeec-88f180f22029ea5c} 0 1 Octarine.Widget37
+compute 235 9.000000000e-05
+classification 236 {c02f9eb59ea7b0a3-30fa4430cc5401d5} 0 1 Octarine.Widget34
+compute 236 8.000000000e-05
+classification 237 {be40309253372f96-cc04403cc3e04c54} 0 1 Octarine.Widget39
+compute 237 8.000000000e-05
+classification 238 {52cc2b933c00b249-573d881469cf8887} 0 1 Octarine.Widget42
+compute 238 9.000000000e-05
+classification 239 {97867ae7eba7a4f7-8b00412242c03c5b} 0 1 Octarine.Widget41
+compute 239 8.000000000e-05
+classification 240 {56cca2d30bf2315d-072e189356cefbec} 0 1 Octarine.Widget46
+compute 240 8.000000000e-05
+classification 241 {e84be4981767265e-212154d174d43632} 0 1 Octarine.Widget47
+compute 241 9.000000000e-05
+classification 242 {6d8c641333155fab-4ab69eb19b96623f} 1 1 Octarine.Widget48
+compute 242 8.000000000e-05
+classification 243 {d1587a80c316e212-15faace79cc49627} 0 1 Octarine.Widget53
+compute 243 8.000000000e-05
+classification 244 {76f425219bd900af-e1914fe5340cccd5} 1 1 Octarine.Widget52
+compute 244 9.000000000e-05
+classification 245 {af4f5c8421d8b8e2-5b717341e54fee37} 0 1 Octarine.Widget55
+compute 245 8.000000000e-05
+classification 246 {ce96ce811c54a9fe-8463ff302c633edd} 1 1 Octarine.Widget60
+compute 246 8.000000000e-05
+classification 247 {f4248fdc2409ab6f-c5b30e75764ea06d} 0 1 Octarine.Widget57
+compute 247 9.000000000e-05
+classification 248 {c0d3d2c4c517f471-b7694c3a48199c58} 0 1 Octarine.Widget62
+compute 248 8.000000000e-05
+classification 249 {c9e62b31503ccb83-b426023995906864} 0 1 Octarine.Widget67
+compute 249 8.000000000e-05
+classification 250 {4904f5b0cc51c5ba-9bff48e7168550ff} 1 1 Octarine.Widget08
+compute 250 1.300000000e-04
+classification 251 {7a344d824062d50c-1931e02032a5716c} 0 1 Octarine.Widget19
+compute 251 9.000000000e-05
+classification 252 {f3c339b5076081e0-7922a445ded44fd4} 0 1 Octarine.Widget69
+compute 252 8.000000000e-05
+classification 253 {701cd3cacca41669-aa63965b4612ca0b} 0 1 Octarine.Widget74
+compute 253 8.000000000e-05
+classification 254 {35a8f95ff7060d6e-3ac19270f19b1060} 1 1 Octarine.Widget24
+compute 254 9.000000000e-05
+classification 255 {a39d93205331b216-c551ed275e45cf7d} 1 1 Octarine.Widget76
+compute 255 8.000000000e-05
+classification 256 {540ac1d315382d5d-7e919ac8d59b0d8c} 0 1 Octarine.Widget81
+compute 256 8.000000000e-05
+classification 257 {c760f28ee1e1bad6-5c4e09478ffc45c5} 0 1 Octarine.Widget29
+compute 257 9.000000000e-05
+classification 258 {dc020ed8c547e8bb-16d8dbe37990decb} 0 1 Octarine.Widget83
+compute 258 8.000000000e-05
+classification 259 {5806991484078a8b-e85c6c5bbdc9ec85} 1 1 Octarine.Widget88
+compute 259 8.000000000e-05
+classification 260 {c02f9eb59ea7b0a3-30fa4430cc5401d5} 0 1 Octarine.Widget34
+compute 260 9.000000000e-05
+classification 261 {7102d3caf1c159db-35cdfb0a4d5b4db3} 0 1 Octarine.Widget90
+compute 261 8.000000000e-05
+classification 262 {0ad9af436d7ec3c4-aa1da0f543f75907} 0 1 Octarine.Widget95
+compute 262 8.000000000e-05
+classification 263 {be40309253372f96-cc04403cc3e04c54} 0 1 Octarine.Widget39
+compute 263 9.000000000e-05
+classification 264 {d048f35dc97ffee6-9d906e5a0aa4efd4} 0 1 Octarine.Widget15
+compute 264 8.000000000e-05
+classification 265 {9443997cd565f29c-000f5b22228a0bdb} 1 1 Octarine.Widget20
+compute 265 8.000000000e-05
+classification 266 {abe748afa81e0635-8a374637f03a2085} 1 1 Octarine.Widget44
+compute 266 9.000000000e-05
+classification 267 {c4529aba7d465848-bb36bc826ac87991} 0 1 Octarine.Widget22
+compute 267 8.000000000e-05
+classification 268 {f4e3e24d15631276-976dc0fa1732c9f6} 0 1 Octarine.Widget27
+compute 268 8.000000000e-05
+classification 269 {39dbee4ec04c6efc-2b8892d2300a86e9} 0 1 Octarine.Widget49
+compute 269 9.000000000e-05
+classification 270 {c760f28ee1e1bad6-5c4e09478ffc45c5} 0 1 Octarine.Widget29
+compute 270 8.000000000e-05
+classification 271 {c02f9eb59ea7b0a3-30fa4430cc5401d5} 0 1 Octarine.Widget34
+compute 271 8.000000000e-05
+classification 272 {e88c08daa65ba0c3-f0bdb5b92b5044a2} 0 1 Octarine.Widget54
+compute 272 9.000000000e-05
+classification 273 {0cb9b1975c37f30e-9a62ad7d8e35a010} 1 1 Octarine.Widget36
+compute 273 8.000000000e-05
+classification 274 {97867ae7eba7a4f7-8b00412242c03c5b} 0 1 Octarine.Widget41
+compute 274 8.000000000e-05
+classification 275 {fe577335db2dce67-28bc66ac9b64df43} 0 1 Octarine.Widget59
+compute 275 9.000000000e-05
+classification 276 {0f94e1e094981fd7-40d25bde2dc2571e} 0 1 Octarine.Widget43
+compute 276 8.000000000e-05
+classification 277 {6d8c641333155fab-4ab69eb19b96623f} 1 1 Octarine.Widget48
+compute 277 8.000000000e-05
+classification 278 {1888717b9c8b1347-7c811c12aa2fc28a} 1 1 Octarine.Widget64
+compute 278 9.000000000e-05
+classification 279 {8c65cccc34320e9e-3194c5a8fdbdf88e} 0 1 Octarine.Widget50
+compute 279 8.000000000e-05
+classification 280 {af4f5c8421d8b8e2-5b717341e54fee37} 0 1 Octarine.Widget55
+compute 280 8.000000000e-05
+classification 281 {5a361c50dd4408db-8c26985273819a8e} 0 1 Octarine.Widget09
+compute 281 1.300000000e-04
+classification 282 {2517c99f4a82f00a-1711c5771c76bf46} 0 1 Octarine.Widget26
+compute 282 9.000000000e-05
+classification 283 {f4248fdc2409ab6f-c5b30e75764ea06d} 0 1 Octarine.Widget57
+compute 283 8.000000000e-05
+classification 284 {c0d3d2c4c517f471-b7694c3a48199c58} 0 1 Octarine.Widget62
+compute 284 8.000000000e-05
+classification 285 {b12cd9e39ae3d995-b88aef10322f5a56} 0 1 Octarine.Widget31
+compute 285 9.000000000e-05
+classification 286 {1888717b9c8b1347-7c811c12aa2fc28a} 1 1 Octarine.Widget64
+compute 286 8.000000000e-05
+classification 287 {f3c339b5076081e0-7922a445ded44fd4} 0 1 Octarine.Widget69
+compute 287 8.000000000e-05
+classification 288 {0cb9b1975c37f30e-9a62ad7d8e35a010} 1 1 Octarine.Widget36
+compute 288 9.000000000e-05
+classification 289 {ae405bff708d840b-831b6acdfb51a0b2} 0 1 Octarine.Widget71
+compute 289 8.000000000e-05
+classification 290 {a39d93205331b216-c551ed275e45cf7d} 1 1 Octarine.Widget76
+compute 290 8.000000000e-05
+classification 291 {97867ae7eba7a4f7-8b00412242c03c5b} 0 1 Octarine.Widget41
+compute 291 9.000000000e-05
+classification 292 {cf038d63650e3845-978938d80fdcf3af} 0 1 Octarine.Widget78
+compute 292 8.000000000e-05
+classification 293 {dc020ed8c547e8bb-16d8dbe37990decb} 0 1 Octarine.Widget83
+compute 293 8.000000000e-05
+classification 294 {56cca2d30bf2315d-072e189356cefbec} 0 1 Octarine.Widget46
+compute 294 9.000000000e-05
+classification 295 {5d67cb4de61b27ae-8a0d55df52d02c03} 0 1 Octarine.Widget85
+compute 295 8.000000000e-05
+classification 296 {7102d3caf1c159db-35cdfb0a4d5b4db3} 0 1 Octarine.Widget90
+compute 296 8.000000000e-05
+classification 297 {68377de5be6b4fa4-70ad09dd61cc0744} 0 1 Octarine.Widget51
+compute 297 9.000000000e-05
+classification 298 {73637748596509fd-d97532df98059b33} 1 1 Octarine.Widget92
+compute 298 8.000000000e-05
+classification 299 {d048f35dc97ffee6-9d906e5a0aa4efd4} 0 1 Octarine.Widget15
+compute 299 8.000000000e-05
+classification 300 {9553b9bfb0be45ef-cf5651ff27815510} 1 1 Octarine.Widget56
+compute 300 9.000000000e-05
+classification 301 {505037238861d37b-515d95582ae91c89} 0 1 Octarine.Widget17
+compute 301 8.000000000e-05
+classification 302 {c4529aba7d465848-bb36bc826ac87991} 0 1 Octarine.Widget22
+compute 302 8.000000000e-05
+classification 303 {f1efc9932ea0b628-9af63c2ca68bf504} 0 1 Octarine.Widget61
+compute 303 9.000000000e-05
+classification 304 {35a8f95ff7060d6e-3ac19270f19b1060} 1 1 Octarine.Widget24
+compute 304 8.000000000e-05
+classification 305 {c760f28ee1e1bad6-5c4e09478ffc45c5} 0 1 Octarine.Widget29
+compute 305 8.000000000e-05
+classification 306 {104ff6bccdadfefd-1f7628ffdd4eba6a} 0 1 Octarine.Widget66
+compute 306 9.000000000e-05
+classification 307 {b12cd9e39ae3d995-b88aef10322f5a56} 0 1 Octarine.Widget31
+compute 307 8.000000000e-05
+classification 308 {0cb9b1975c37f30e-9a62ad7d8e35a010} 1 1 Octarine.Widget36
+compute 308 8.000000000e-05
+classification 309 {ae405bff708d840b-831b6acdfb51a0b2} 0 1 Octarine.Widget71
+compute 309 9.000000000e-05
+classification 310 {8ab58797716f98bb-ff996e4cf1c3f50d} 0 1 Octarine.Widget38
+compute 310 8.000000000e-05
+classification 311 {0f94e1e094981fd7-40d25bde2dc2571e} 0 1 Octarine.Widget43
+compute 311 8.000000000e-05
+classification 312 {e535c0c718af6369-7de6ebe226d9ac9c} 0 1 Octarine.Widget10
+compute 312 1.300000000e-04
+classification 313 {c5ab98752c5ef412-cb8c70a039aefe3b} 0 1 Octarine.Widget33
+compute 313 9.000000000e-05
+classification 314 {1a4815e3c1290793-a0f29212ee43e2d1} 0 1 Octarine.Widget45
+compute 314 8.000000000e-05
+classification 315 {8c65cccc34320e9e-3194c5a8fdbdf88e} 0 1 Octarine.Widget50
+compute 315 8.000000000e-05
+classification 316 {8ab58797716f98bb-ff996e4cf1c3f50d} 0 1 Octarine.Widget38
+compute 316 9.000000000e-05
+classification 317 {76f425219bd900af-e1914fe5340cccd5} 1 1 Octarine.Widget52
+compute 317 8.000000000e-05
+classification 318 {f4248fdc2409ab6f-c5b30e75764ea06d} 0 1 Octarine.Widget57
+compute 318 8.000000000e-05
+classification 319 {0f94e1e094981fd7-40d25bde2dc2571e} 0 1 Octarine.Widget43
+compute 319 9.000000000e-05
+classification 320 {fe577335db2dce67-28bc66ac9b64df43} 0 1 Octarine.Widget59
+compute 320 8.000000000e-05
+classification 321 {1888717b9c8b1347-7c811c12aa2fc28a} 1 1 Octarine.Widget64
+compute 321 8.000000000e-05
+classification 322 {6d8c641333155fab-4ab69eb19b96623f} 1 1 Octarine.Widget48
+compute 322 9.000000000e-05
+classification 323 {104ff6bccdadfefd-1f7628ffdd4eba6a} 0 1 Octarine.Widget66
+compute 323 8.000000000e-05
+classification 324 {ae405bff708d840b-831b6acdfb51a0b2} 0 1 Octarine.Widget71
+compute 324 8.000000000e-05
+classification 325 {d1587a80c316e212-15faace79cc49627} 0 1 Octarine.Widget53
+compute 325 9.000000000e-05
+classification 326 {18b4b3d0cc9cf741-8bca4e76cc6a80aa} 0 1 Octarine.Widget73
+compute 326 8.000000000e-05
+classification 327 {cf038d63650e3845-978938d80fdcf3af} 0 1 Octarine.Widget78
+compute 327 8.000000000e-05
+classification 328 {c48b6fd6a6a56201-4d00e2c25ef00346} 0 1 Octarine.Widget58
+compute 328 9.000000000e-05
+classification 329 {7fa34c2b792915ec-d1e8964c03386cd5} 1 1 Octarine.Widget80
+compute 329 8.000000000e-05
+classification 330 {5d67cb4de61b27ae-8a0d55df52d02c03} 0 1 Octarine.Widget85
+compute 330 8.000000000e-05
+classification 331 {5968a2fba15e0c64-0ee87673e723666d} 0 1 Octarine.Widget63
+compute 331 9.000000000e-05
+classification 332 {9e0c02aa2f32a594-7b96b86cab7c207a} 0 1 Octarine.Widget87
+compute 332 8.000000000e-05
+classification 333 {73637748596509fd-d97532df98059b33} 1 1 Octarine.Widget92
+compute 333 8.000000000e-05
+classification 334 {7f263d341d73cbb2-67ac792792ea91de} 1 1 Octarine.Widget68
+compute 334 9.000000000e-05
+classification 335 {586e8705e79d8b76-a61ac33e78384829} 0 1 Octarine.Widget94
+compute 335 8.000000000e-05
+classification 336 {505037238861d37b-515d95582ae91c89} 0 1 Octarine.Widget17
+compute 336 8.000000000e-05
+classification 337 {18b4b3d0cc9cf741-8bca4e76cc6a80aa} 0 1 Octarine.Widget73
+compute 337 9.000000000e-05
+classification 338 {7a344d824062d50c-1931e02032a5716c} 0 1 Octarine.Widget19
+compute 338 8.000000000e-05
+classification 339 {35a8f95ff7060d6e-3ac19270f19b1060} 1 1 Octarine.Widget24
+compute 339 8.000000000e-05
+classification 340 {cf038d63650e3845-978938d80fdcf3af} 0 1 Octarine.Widget78
+compute 340 9.000000000e-05
+classification 341 {2517c99f4a82f00a-1711c5771c76bf46} 0 1 Octarine.Widget26
+compute 341 8.000000000e-05
+classification 342 {b12cd9e39ae3d995-b88aef10322f5a56} 0 1 Octarine.Widget31
+compute 342 8.000000000e-05
+classification 343 {a08444b8df2ef9d4-5c599c5a917a2a8d} 0 1 Octarine.Widget11
+compute 343 1.300000000e-04
+classification 344 {b13e3c958e74c93f-4cd28ccdc673ca21} 1 1 Octarine.Widget40
+compute 344 9.000000000e-05
+classification 345 {c5ab98752c5ef412-cb8c70a039aefe3b} 0 1 Octarine.Widget33
+compute 345 8.000000000e-05
+classification 346 {8ab58797716f98bb-ff996e4cf1c3f50d} 0 1 Octarine.Widget38
+compute 346 8.000000000e-05
+classification 347 {1a4815e3c1290793-a0f29212ee43e2d1} 0 1 Octarine.Widget45
+compute 347 9.000000000e-05
+classification 348 {b13e3c958e74c93f-4cd28ccdc673ca21} 1 1 Octarine.Widget40
+compute 348 8.000000000e-05
+classification 349 {1a4815e3c1290793-a0f29212ee43e2d1} 0 1 Octarine.Widget45
+compute 349 8.000000000e-05
+classification 350 {8c65cccc34320e9e-3194c5a8fdbdf88e} 0 1 Octarine.Widget50
+compute 350 9.000000000e-05
+classification 351 {e84be4981767265e-212154d174d43632} 0 1 Octarine.Widget47
+compute 351 8.000000000e-05
+classification 352 {76f425219bd900af-e1914fe5340cccd5} 1 1 Octarine.Widget52
+compute 352 8.000000000e-05
+classification 353 {af4f5c8421d8b8e2-5b717341e54fee37} 0 1 Octarine.Widget55
+compute 353 9.000000000e-05
+classification 354 {e88c08daa65ba0c3-f0bdb5b92b5044a2} 0 1 Octarine.Widget54
+compute 354 8.000000000e-05
+classification 355 {fe577335db2dce67-28bc66ac9b64df43} 0 1 Octarine.Widget59
+compute 355 8.000000000e-05
+classification 356 {ce96ce811c54a9fe-8463ff302c633edd} 1 1 Octarine.Widget60
+compute 356 9.000000000e-05
+classification 357 {f1efc9932ea0b628-9af63c2ca68bf504} 0 1 Octarine.Widget61
+compute 357 8.000000000e-05
+classification 358 {104ff6bccdadfefd-1f7628ffdd4eba6a} 0 1 Octarine.Widget66
+compute 358 8.000000000e-05
+classification 359 {2bccc3212c141576-e1aef7688cff43b5} 0 1 Octarine.Widget65
+compute 359 9.000000000e-05
+classification 360 {7f263d341d73cbb2-67ac792792ea91de} 1 1 Octarine.Widget68
+compute 360 8.000000000e-05
+classification 361 {18b4b3d0cc9cf741-8bca4e76cc6a80aa} 0 1 Octarine.Widget73
+compute 361 8.000000000e-05
+classification 362 {f56b64f185f37fd2-c0f393a9fc1d30ee} 0 1 Octarine.Widget70
+compute 362 9.000000000e-05
+classification 363 {1f388d5e5c437c6d-dc18e81cad1ad5e5} 0 1 Octarine.Widget75
+compute 363 8.000000000e-05
+classification 364 {7fa34c2b792915ec-d1e8964c03386cd5} 1 1 Octarine.Widget80
+compute 364 8.000000000e-05
+classification 365 {1f388d5e5c437c6d-dc18e81cad1ad5e5} 0 1 Octarine.Widget75
+compute 365 9.000000000e-05
+classification 366 {d124291f74c9224a-14ae955a5cc78ee3} 0 1 Octarine.Widget82
+compute 366 8.000000000e-05
+classification 367 {9e0c02aa2f32a594-7b96b86cab7c207a} 0 1 Octarine.Widget87
+compute 367 8.000000000e-05
+classification 368 {7fa34c2b792915ec-d1e8964c03386cd5} 1 1 Octarine.Widget80
+compute 368 9.000000000e-05
+classification 369 {67604103a36e8315-b7d23f9a2477a9cb} 0 1 Octarine.Widget89
+compute 369 8.000000000e-05
+classification 370 {586e8705e79d8b76-a61ac33e78384829} 0 1 Octarine.Widget94
+compute 370 8.000000000e-05
+classification 371 {5d67cb4de61b27ae-8a0d55df52d02c03} 0 1 Octarine.Widget85
+compute 371 9.000000000e-05
+classification 372 {8481b7f14cc51499-6bdf7e141211c52b} 0 1 Octarine.Widget14
+compute 372 8.000000000e-05
+classification 373 {7a344d824062d50c-1931e02032a5716c} 0 1 Octarine.Widget19
+compute 373 8.000000000e-05
+classification 374 {0d03a3bf3ca38347-b4ed6aa7e051f55f} 1 1 Octarine.Widget12
+compute 374 1.300000000e-04
+classification 375 {e84be4981767265e-212154d174d43632} 0 1 Octarine.Widget47
+compute 375 9.000000000e-05
+classification 376 {c394a67471e65845-864c928dd38311b0} 0 1 Octarine.Widget21
+compute 376 8.000000000e-05
+classification 377 {2517c99f4a82f00a-1711c5771c76bf46} 0 1 Octarine.Widget26
+compute 377 8.000000000e-05
+classification 378 {76f425219bd900af-e1914fe5340cccd5} 1 1 Octarine.Widget52
+compute 378 9.000000000e-05
+classification 379 {c2e17527a49a7b86-dc3efb0b3e634c6b} 1 1 Octarine.Widget28
+compute 379 8.000000000e-05
+classification 380 {c5ab98752c5ef412-cb8c70a039aefe3b} 0 1 Octarine.Widget33
+compute 380 8.000000000e-05
+classification 381 {f4248fdc2409ab6f-c5b30e75764ea06d} 0 1 Octarine.Widget57
+compute 381 9.000000000e-05
+classification 382 {1a8e15cecaea66ad-f0b8c4400ba9955b} 0 1 Octarine.Widget35
+compute 382 8.000000000e-05
+classification 383 {b13e3c958e74c93f-4cd28ccdc673ca21} 1 1 Octarine.Widget40
+compute 383 8.000000000e-05
+classification 384 {c0d3d2c4c517f471-b7694c3a48199c58} 0 1 Octarine.Widget62
+compute 384 9.000000000e-05
+classification 385 {52cc2b933c00b249-573d881469cf8887} 0 1 Octarine.Widget42
+compute 385 8.000000000e-05
+classification 386 {e84be4981767265e-212154d174d43632} 0 1 Octarine.Widget47
+compute 386 8.000000000e-05
+classification 387 {c9e62b31503ccb83-b426023995906864} 0 1 Octarine.Widget67
+compute 387 9.000000000e-05
+classification 388 {39dbee4ec04c6efc-2b8892d2300a86e9} 0 1 Octarine.Widget49
+compute 388 8.000000000e-05
+classification 389 {e88c08daa65ba0c3-f0bdb5b92b5044a2} 0 1 Octarine.Widget54
+compute 389 8.000000000e-05
+classification 390 {e635eab8092fd582-f79865aace1f273d} 1 1 Octarine.Widget72
+compute 390 9.000000000e-05
+classification 391 {9553b9bfb0be45ef-cf5651ff27815510} 1 1 Octarine.Widget56
+compute 391 8.000000000e-05
+classification 392 {f1efc9932ea0b628-9af63c2ca68bf504} 0 1 Octarine.Widget61
+compute 392 8.000000000e-05
+classification 393 {6f5824cdfa92765e-17d913f141aa2781} 0 1 Octarine.Widget77
+compute 393 9.000000000e-05
+classification 394 {5968a2fba15e0c64-0ee87673e723666d} 0 1 Octarine.Widget63
+compute 394 8.000000000e-05
+classification 395 {7f263d341d73cbb2-67ac792792ea91de} 1 1 Octarine.Widget68
+compute 395 8.000000000e-05
+classification 396 {d124291f74c9224a-14ae955a5cc78ee3} 0 1 Octarine.Widget82
+compute 396 9.000000000e-05
+classification 397 {f56b64f185f37fd2-c0f393a9fc1d30ee} 0 1 Octarine.Widget70
+compute 397 8.000000000e-05
+classification 398 {1f388d5e5c437c6d-dc18e81cad1ad5e5} 0 1 Octarine.Widget75
+compute 398 8.000000000e-05
+classification 399 {9e0c02aa2f32a594-7b96b86cab7c207a} 0 1 Octarine.Widget87
+compute 399 9.000000000e-05
+classification 400 {6f5824cdfa92765e-17d913f141aa2781} 0 1 Octarine.Widget77
+compute 400 8.000000000e-05
+classification 401 {d124291f74c9224a-14ae955a5cc78ee3} 0 1 Octarine.Widget82
+compute 401 8.000000000e-05
+classification 402 {73637748596509fd-d97532df98059b33} 1 1 Octarine.Widget92
+compute 402 9.000000000e-05
+classification 403 {3e3ac3a5aaf37ed9-219241c55361ec28} 1 1 Octarine.Widget84
+compute 403 8.000000000e-05
+classification 404 {67604103a36e8315-b7d23f9a2477a9cb} 0 1 Octarine.Widget89
+compute 404 8.000000000e-05
+classification 405 {4c175a61c7f8fa5a-78e7a477a9616a28} 0 1 Octarine.Widget13
+compute 405 1.300000000e-04
+classification 406 {e88c08daa65ba0c3-f0bdb5b92b5044a2} 0 1 Octarine.Widget54
+compute 406 9.000000000e-05
+classification 407 {37ca9627bca0e81e-37cb8102d6de2dea} 0 1 Octarine.Widget91
+compute 407 8.000000000e-05
+classification 408 {8481b7f14cc51499-6bdf7e141211c52b} 0 1 Octarine.Widget14
+compute 408 8.000000000e-05
+classification 409 {fe577335db2dce67-28bc66ac9b64df43} 0 1 Octarine.Widget59
+compute 409 9.000000000e-05
+classification 410 {36efefe6797c44c6-cc3682dfd42dec48} 1 1 Octarine.Widget16
+compute 410 8.000000000e-05
+classification 411 {c394a67471e65845-864c928dd38311b0} 0 1 Octarine.Widget21
+compute 411 8.000000000e-05
+classification 412 {1888717b9c8b1347-7c811c12aa2fc28a} 1 1 Octarine.Widget64
+compute 412 9.000000000e-05
+classification 413 {fcf4f623f3027518-724c4717d5dd56b1} 0 1 Octarine.Widget23
+compute 413 8.000000000e-05
+classification 414 {c2e17527a49a7b86-dc3efb0b3e634c6b} 1 1 Octarine.Widget28
+compute 414 8.000000000e-05
+classification 415 {f3c339b5076081e0-7922a445ded44fd4} 0 1 Octarine.Widget69
+compute 415 9.000000000e-05
+classification 416 {c81a5f033174e355-88b8083c1d7878ae} 0 1 Octarine.Widget30
+compute 416 8.000000000e-05
+classification 417 {1a8e15cecaea66ad-f0b8c4400ba9955b} 0 1 Octarine.Widget35
+compute 417 8.000000000e-05
+classification 418 {701cd3cacca41669-aa63965b4612ca0b} 0 1 Octarine.Widget74
+compute 418 9.000000000e-05
+classification 419 {66a0e0fe36e6eeec-88f180f22029ea5c} 0 1 Octarine.Widget37
+compute 419 8.000000000e-05
+classification 420 {52cc2b933c00b249-573d881469cf8887} 0 1 Octarine.Widget42
+compute 420 8.000000000e-05
+classification 421 {2c424325fbd800db-9b887316f91b18e1} 0 1 Octarine.Widget79
+compute 421 9.000000000e-05
+classification 422 {abe748afa81e0635-8a374637f03a2085} 1 1 Octarine.Widget44
+compute 422 8.000000000e-05
+classification 423 {39dbee4ec04c6efc-2b8892d2300a86e9} 0 1 Octarine.Widget49
+compute 423 8.000000000e-05
+classification 424 {3e3ac3a5aaf37ed9-219241c55361ec28} 1 1 Octarine.Widget84
+compute 424 9.000000000e-05
+classification 425 {68377de5be6b4fa4-70ad09dd61cc0744} 0 1 Octarine.Widget51
+compute 425 8.000000000e-05
+classification 426 {9553b9bfb0be45ef-cf5651ff27815510} 1 1 Octarine.Widget56
+compute 426 8.000000000e-05
+classification 427 {67604103a36e8315-b7d23f9a2477a9cb} 0 1 Octarine.Widget89
+compute 427 9.000000000e-05
+classification 428 {c48b6fd6a6a56201-4d00e2c25ef00346} 0 1 Octarine.Widget58
+compute 428 8.000000000e-05
+classification 429 {5968a2fba15e0c64-0ee87673e723666d} 0 1 Octarine.Widget63
+compute 429 8.000000000e-05
+classification 430 {586e8705e79d8b76-a61ac33e78384829} 0 1 Octarine.Widget94
+compute 430 9.000000000e-05
+classification 431 {2bccc3212c141576-e1aef7688cff43b5} 0 1 Octarine.Widget65
+compute 431 8.000000000e-05
+classification 432 {f56b64f185f37fd2-c0f393a9fc1d30ee} 0 1 Octarine.Widget70
+compute 432 8.000000000e-05
+classification 433 {505037238861d37b-515d95582ae91c89} 0 1 Octarine.Widget17
+compute 433 9.000000000e-05
+classification 434 {e635eab8092fd582-f79865aace1f273d} 1 1 Octarine.Widget72
+compute 434 8.000000000e-05
+classification 435 {6f5824cdfa92765e-17d913f141aa2781} 0 1 Octarine.Widget77
+compute 435 8.000000000e-05
+classification 436 {4e1c3126bcdfa2ad-f8c7a55a32ae1715} 1 1 Octarine.View
+compute 436 2.000000000e-03
+classification 437 {39b1905c26247d28-10698e470ca6e077} 1 1 Octarine.PageView
+compute 437 2.000000000e-03
+classification 438 {d03dc0e42d541913-60b5136578b7ba30} 0 1 Octarine.UndoLog
+compute 438 1.350000000e-04
+classification 439 {99ef5310928db364-030ee6cfbe944407} 2 1 Octarine.FileStore
+compute 439 1.380000000e-02
+classification 440 {badeb50feb81f95c-d3585bcd80aad05e} 0 1 Octarine.DocReader
+compute 440 5.072000000e-02
+classification 441 {afaebdacc7134d2b-52b2d5776505d014} 0 1 Octarine.TextProps
+compute 441 2.580000000e-03
+classification 442 {8b52709af06f9969-7a1996e32f780034} 0 1 Octarine.TextEngine
+compute 442 2.000000000e-03
+classification 443 {f0db75a7a04d5627-ba34b57f56f6a334} 0 1 Octarine.Formatter
+compute 443 2.400000000e-04
+classification 444 {19a780f915869d88-5bb4e5425f521fa0} 0 1 Octarine.Dict02
+compute 444 1.000000000e-05
+classification 445 {416920d0b732f557-4037e9512477523f} 0 1 Octarine.Dict09
+compute 445 1.000000000e-05
+classification 446 {e3224c5ecb94ba38-fab9eb8b43c1ffd1} 0 1 Octarine.Dict16
+compute 446 1.000000000e-05
+classification 447 {ed54f5b82ecb8adb-59f9d6df12ebcc86} 0 8 Octarine.Paragraph
+compute 447 3.360000000e-03
+classification 448 {9b8d71baaf47393b-c5e87744661d28da} 0 2 Octarine.GlyphRun
+compute 448 6.000000000e-05
+classification 449 {5730c3c466dbf632-bd6131d7d69a12ed} 0 8 Octarine.UndoEntry
+compute 449 1.280000000e-04
+classification 450 {9b8d71baaf47393b-c5e87744661d28da} 0 2 Octarine.GlyphRun
+compute 450 6.000000000e-05
+classification 451 {9b8d71baaf47393b-c5e87744661d28da} 0 2 Octarine.GlyphRun
+compute 451 6.000000000e-05
+classification 452 {9b8d71baaf47393b-c5e87744661d28da} 0 2 Octarine.GlyphRun
+compute 452 6.000000000e-05
+classification 453 {5730c3c466dbf632-bd6131d7d69a12ed} 0 1 Octarine.UndoEntry
+compute 453 1.600000000e-05
+call 0 453 {c8e9e765b87c2836-e419c56ee1c02fe2} 0 0 req 10:1:1604 ; rep 6:1:76 ;
+call 0 438 {40b29d677c3c9bfb-07b3c0377b9105db} 0 0 req 9:1:604 ; rep 7:1:144 ;
+call 442 437 {4f208dc8893e8ae2-0808d22e1a7777c8} 0 0 req 12:1:8104 ; rep 6:1:76 ;
+call 443 452 {9ed1b13284c45e19-a8b305e494edae1a} 0 0 req 8:2:648 ; rep 6:2:200 ;
+call 443 450 {9ed1b13284c45e19-a8b305e494edae1a} 0 0 req 8:2:648 ; rep 6:2:200 ;
+call 442 449 {c8e9e765b87c2836-e419c56ee1c02fe2} 0 0 req 8:8:4032 ; rep 6:8:608 ;
+call 438 449 {c8e9e765b87c2836-e419c56ee1c02fe2} 0 0 req 8:8:2272 ; rep 6:8:608 ;
+call 442 447 {c554c1bd66eeb1cf-960df612f3c59275} 1 0 req 6:8:672 ; rep 6:8:800 ;
+call 442 440 {22c0f8b1b38bbb3e-1374aa7e8e07f4b3} 1 0 req 6:40:4640 ; rep 8:40:20160 ;
+call 442 441 {3b92af302daa038b-82fb1eff8929f31d} 1 0 req 6:12:1200 ; rep 8:12:3216 ;
+call 442 446 {ec588a09417cfba8-a152bc25dabe661e} 0 0 req 7:1:156 ; rep 6:1:76 ;
+call 0 442 {12983bf84524f5cf-b9dca0afd582f057} 0 0 req 8:1:488 ; rep 6:1:76 ;
+call 438 453 {c8e9e765b87c2836-e419c56ee1c02fe2} 0 0 req 9:1:604 ; rep 6:1:76 ;
+call 0 441 {3b92af302daa038b-82fb1eff8929f31d} 0 0 req 7:1:180 ; rep 6:1:80 ;
+call 441 439 {bbc1318e25754ba4-7973196065607c9a} 1 0 req 7:40:5440 ; rep 11:40:85280 ;
+call 441 439 {bbc1318e25754ba4-7973196065607c9a} 0 0 req 6:1:112 ; rep 6:1:80 ;
+call 0 440 {22c0f8b1b38bbb3e-1374aa7e8e07f4b3} 0 0 req 7:1:216 ; rep 6:1:108 ;
+call 440 439 {bbc1318e25754ba4-7973196065607c9a} 2 0 req 6:1:100 ; rep 6:1:64 ;
+call 440 439 {bbc1318e25754ba4-7973196065607c9a} 0 0 req 6:1:108 ; rep 6:1:80 ;
+call 0 405 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 10:1:1128 ; rep 6:1:76 ;
+call 433 435 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 433 434 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 430 432 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 430 431 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 405 427 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 9:1:512 ; rep 6:1:76 ;
+call 427 429 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 405 424 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 9:1:512 ; rep 6:1:76 ;
+call 424 426 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 424 425 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 421 423 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 421 422 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 418 420 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 418 419 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 405 415 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 9:1:512 ; rep 6:1:76 ;
+call 415 417 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 415 416 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 405 412 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 9:1:512 ; rep 6:1:76 ;
+call 412 413 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 405 406 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 9:1:512 ; rep 6:1:76 ;
+call 406 407 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 442 447 {c554c1bd66eeb1cf-960df612f3c59275} 0 0 req 9:40:22080 ; rep 6:40:4960 ;
+call 0 374 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 10:1:1128 ; rep 6:1:76 ;
+call 402 404 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 402 403 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 399 401 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 399 400 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 374 396 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 9:1:512 ; rep 6:1:76 ;
+call 396 398 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 374 393 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 9:1:512 ; rep 6:1:76 ;
+call 442 438 {40b29d677c3c9bfb-07b3c0377b9105db} 0 0 req 8:8:2272 ; rep 7:8:1152 ;
+call 393 395 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 393 394 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 390 392 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 390 391 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 387 389 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 387 388 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 374 384 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 9:1:512 ; rep 6:1:76 ;
+call 384 386 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 384 385 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 374 381 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 9:1:512 ; rep 6:1:76 ;
+call 381 383 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 442 445 {ec588a09417cfba8-a152bc25dabe661e} 0 0 req 7:1:156 ; rep 6:1:76 ;
+call 409 411 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 374 375 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 9:1:512 ; rep 6:1:76 ;
+call 0 343 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 10:1:1128 ; rep 6:1:76 ;
+call 371 373 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 406 408 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 371 372 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 368 370 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 368 369 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 343 365 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 9:1:512 ; rep 6:1:76 ;
+call 365 367 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 343 362 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 9:1:512 ; rep 6:1:76 ;
+call 362 363 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 359 361 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 359 360 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 356 358 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 343 353 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 9:1:512 ; rep 6:1:76 ;
+call 353 355 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 343 350 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 9:1:512 ; rep 6:1:76 ;
+call 350 352 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 340 342 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 337 339 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 312 334 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 9:1:512 ; rep 6:1:76 ;
+call 334 336 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 312 331 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 9:1:512 ; rep 6:1:76 ;
+call 331 333 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 328 330 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 325 327 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 312 322 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 9:1:512 ; rep 6:1:76 ;
+call 322 324 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 312 319 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 9:1:512 ; rep 6:1:76 ;
+call 319 321 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 316 317 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 0 281 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 10:1:1128 ; rep 6:1:76 ;
+call 309 311 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 281 306 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 9:1:512 ; rep 6:1:76 ;
+call 306 308 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 306 307 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 281 303 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 9:1:512 ; rep 6:1:76 ;
+call 281 300 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 9:1:512 ; rep 6:1:76 ;
+call 300 302 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 281 297 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 9:1:512 ; rep 6:1:76 ;
+call 297 299 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 294 296 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 281 291 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 9:1:512 ; rep 6:1:76 ;
+call 291 293 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 281 288 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 9:1:512 ; rep 6:1:76 ;
+call 285 286 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 0 250 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 10:1:1128 ; rep 6:1:76 ;
+call 278 280 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 250 275 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 9:1:512 ; rep 6:1:76 ;
+call 275 277 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 275 276 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 250 272 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 9:1:512 ; rep 6:1:76 ;
+call 272 274 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 250 269 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 9:1:512 ; rep 6:1:76 ;
+call 269 271 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 250 266 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 9:1:512 ; rep 6:1:76 ;
+call 266 268 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 266 267 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 263 265 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 250 260 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 9:1:512 ; rep 6:1:76 ;
+call 260 262 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 250 257 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 9:1:512 ; rep 6:1:76 ;
+call 251 253 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 0 219 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 10:1:1128 ; rep 6:1:76 ;
+call 247 249 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 219 244 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 9:1:512 ; rep 6:1:76 ;
+call 244 246 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 219 241 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 9:1:512 ; rep 6:1:76 ;
+call 269 270 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 269 250 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 95 117 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 266 267 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 250 263 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 263 264 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 281 285 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 9:1:512 ; rep 6:1:76 ;
+call 263 250 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 250 260 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 250 257 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 143 142 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 189 191 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 257 250 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 253 251 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 251 252 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 262 260 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 322 312 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 409 410 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 219 244 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 246 244 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 219 241 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 393 374 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 10 12 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 243 241 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 241 219 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 219 238 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 433 405 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 240 238 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 219 247 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 238 239 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 3 19 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 9:1:512 ; rep 6:1:76 ;
+call 238 219 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 64 86 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 235 236 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 234 232 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 219 232 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 232 233 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 219 229 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 231 229 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 229 230 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 219 226 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 158 160 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 228 226 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 226 227 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 219 238 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 9:1:512 ; rep 6:1:76 ;
+call 226 219 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 223 219 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 350 351 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 95 114 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 9:1:512 ; rep 6:1:76 ;
+call 100 99 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 374 2 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 222 220 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 241 243 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 405 418 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 9:1:512 ; rep 6:1:76 ;
+call 220 221 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 220 219 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 188 213 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 161 162 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 213 214 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 188 210 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 362 343 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 210 188 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 188 207 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 409 410 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 154 126 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 402 374 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 270 269 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 188 216 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 207 208 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 207 188 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 267 266 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 374 381 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 204 205 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 412 414 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 312 2 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 1 58 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 210 211 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 158 159 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 264 263 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 203 201 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 443 443 {5060085d401b6ca9-ae88695f667765d7} 0 0 req 8:12:4176 ; rep 6:12:912 ;
+call 188 201 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 201 202 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 261 260 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 200 198 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 188 195 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 81 80 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 195 188 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 319 320 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 64 83 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 9:1:512 ; rep 6:1:76 ;
+call 216 217 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 69 68 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 252 251 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 99 100 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 151 152 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 191 189 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 210 212 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 189 188 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 0 157 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 157 182 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 281 309 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 245 244 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 184 182 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 130 131 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 182 183 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 64 68 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 9:1:512 ; rep 6:1:76 ;
+call 283 282 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 1 40 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 9:1:512 ; rep 6:1:76 ;
+call 157 179 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 331 312 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 244 245 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 331 333 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 219 235 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 9:1:512 ; rep 6:1:76 ;
+call 95 2 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 181 179 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 179 157 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 157 176 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 378 379 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 123 95 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 405 433 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 9:1:512 ; rep 6:1:76 ;
+call 371 343 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 239 238 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 374 387 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 9:1:512 ; rep 6:1:76 ;
+call 189 190 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 426 424 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 3 28 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 9:1:512 ; rep 6:1:76 ;
+call 157 185 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 176 177 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 29 28 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 236 235 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 343 350 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 175 173 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 1 40 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 173 174 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 421 422 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 235 219 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 157 170 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 405 418 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 179 180 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 127 128 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 233 232 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 172 170 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 170 171 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 171 170 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 157 167 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 230 229 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 169 167 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 347 343 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 417 415 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 124 123 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 167 168 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 20 19 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 157 164 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 362 364 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 343 2 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 227 226 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 166 164 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 374 399 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 164 157 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 412 405 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 229 219 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 316 317 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 161 157 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 288 289 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 0 343 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 185 186 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 38 37 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 221 220 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 160 158 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 408 406 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 179 181 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 37 1 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 11 10 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 0 126 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 380 378 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 151 153 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 217 216 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 156 154 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 412 413 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 157 176 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 9:1:512 ; rep 6:1:76 ;
+call 126 151 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 250 278 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 214 213 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 153 151 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 151 126 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 272 273 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 359 361 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 126 148 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 300 281 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 244 245 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 192 193 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 126 130 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 9:1:512 ; rep 6:1:76 ;
+call 345 344 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 108 95 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 3 7 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 188 204 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 9:1:512 ; rep 6:1:76 ;
+call 211 210 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 150 148 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 148 126 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 208 207 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 343 356 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 9:1:512 ; rep 6:1:76 ;
+call 158 159 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 395 393 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 0 374 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 126 154 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 145 146 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 440 439 {bbc1318e25754ba4-7973196065607c9a} 1 0 req 7:416:56576 ; rep 10:416:673920 ;
+call 145 126 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 393 395 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 142 143 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 390 391 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 225 223 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 204 188 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 126 139 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 374 387 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 219 229 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 9:1:512 ; rep 6:1:76 ;
+call 148 149 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 96 97 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 141 139 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 139 140 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 130 126 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 33 31 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 140 139 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 126 136 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 136 137 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 126 133 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 196 195 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 135 133 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 343 368 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 133 126 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 381 374 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 353 354 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 405 406 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 250 254 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 9:1:512 ; rep 6:1:76 ;
+call 232 219 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 0 442 {12983bf84524f5cf-b9dca0afd582f057} 1 0 req 7:1:136 ; rep 6:1:76 ;
+call 405 2 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 131 130 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 64 2 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 215 213 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 13 15 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 409 405 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 46 47 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 133 135 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 70 68 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 49 1 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 183 182 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 229 231 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 122 120 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 1 46 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 248 247 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 187 185 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 198 199 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 435 433 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 1 37 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 371 373 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 266 250 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 83 64 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 117 119 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 157 173 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 9:1:512 ; rep 6:1:76 ;
+call 46 48 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 126 136 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 9:1:512 ; rep 6:1:76 ;
+call 288 281 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 442 443 {5060085d401b6ca9-ae88695f667765d7} 0 0 req 8:8:2784 ; rep 6:8:608 ;
+call 1 43 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 168 167 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 4294967295 0 {7a7ded4c9e65737b-ee41adbaa8b79f87} 1 0 req 7:1:136 ; rep 6:1:76 ;
+call 107 105 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 285 281 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 355 353 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 48 46 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 348 347 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 111 113 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 108 110 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 188 198 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 9:1:512 ; rep 6:1:76 ;
+call 186 185 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 125 123 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 396 397 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 95 114 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 343 371 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 9:1:512 ; rep 6:1:76 ;
+call 309 281 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 202 201 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 0 3 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 254 256 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 219 220 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 167 168 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 213 188 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 334 335 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 421 423 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 254 250 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 381 382 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 126 145 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 9:1:512 ; rep 6:1:76 ;
+call 1 49 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 71 64 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 279 278 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 322 323 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 409 411 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 374 375 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 47 46 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 58 60 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 295 294 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 331 332 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 105 95 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 58 1 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 258 257 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 192 194 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 105 106 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 157 158 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 197 195 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 405 430 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 7 8 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 383 381 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 154 156 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 442 444 {ec588a09417cfba8-a152bc25dabe661e} 0 0 req 7:1:156 ; rep 6:1:76 ;
+call 3 19 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 188 216 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 9:1:512 ; rep 6:1:76 ;
+call 427 428 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 126 145 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 347 348 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 92 64 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 374 402 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 9:1:512 ; rep 6:1:76 ;
+call 340 312 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 212 210 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 10 12 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 198 188 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 285 286 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 0 219 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 1 0 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 297 298 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 384 386 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 73 71 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 281 306 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 1 2 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 21 19 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 4 3 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 137 136 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 76 74 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 10 3 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 223 224 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 99 95 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 22 24 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 22 3 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 271 269 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 95 102 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 65 64 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 313 312 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 176 157 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 337 338 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 424 426 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 120 121 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 68 69 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 174 173 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 281 288 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 220 222 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 113 111 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 206 204 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 4 6 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 46 47 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 17 16 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 12 10 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 1 55 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 58 59 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 159 158 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 40 42 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 127 129 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 416 415 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 34 1 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 117 118 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 65 66 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 110 108 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 3 4 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 9:1:512 ; rep 6:1:76 ;
+call 55 56 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 281 309 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 9:1:512 ; rep 6:1:76 ;
+call 247 219 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 26 25 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 126 151 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 9:1:512 ; rep 6:1:76 ;
+call 223 225 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 136 137 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 188 189 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 52 54 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 289 288 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 98 96 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 346 344 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 406 405 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 117 119 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 117 95 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 209 207 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 7 9 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 157 170 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 9:1:512 ; rep 6:1:76 ;
+call 55 57 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 95 111 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 9:1:512 ; rep 6:1:76 ;
+call 312 325 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 9:1:512 ; rep 6:1:76 ;
+call 127 128 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 188 198 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 13 3 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 102 95 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 310 309 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 350 343 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 8 7 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 343 353 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 31 33 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 254 255 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 306 307 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 1 55 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 9:1:512 ; rep 6:1:76 ;
+call 280 278 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 281 2 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 405 430 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 9:1:512 ; rep 6:1:76 ;
+call 255 254 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 154 155 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 194 192 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 173 157 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 95 108 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 343 356 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 219 223 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 96 98 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 123 124 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 374 399 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 9:1:512 ; rep 6:1:76 ;
+call 224 223 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 96 95 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 37 39 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 3 25 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 61 62 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 312 337 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 9:1:512 ; rep 6:1:76 ;
+call 162 161 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 34 36 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 247 248 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 282 284 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 32 31 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 328 329 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 415 417 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 165 164 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 99 101 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 64 65 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 104 102 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 312 337 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 199 198 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 138 136 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 316 312 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 386 384 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 108 109 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 195 197 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 343 368 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 9:1:512 ; rep 6:1:76 ;
+call 193 192 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 92 93 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 132 130 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 111 95 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 406 407 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 249 247 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 188 2 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 77 79 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 157 167 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 9:1:512 ; rep 6:1:76 ;
+call 16 17 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 392 390 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 43 44 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 188 207 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 9:1:512 ; rep 6:1:76 ;
+call 3 10 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 14 13 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 218 216 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 16 3 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 16 18 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 49 50 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 297 298 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 237 235 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 0 1 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:2:392 ; rep 6:2:152 ;
+call 95 123 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 219 235 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 149 148 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 108 110 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 397 396 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 64 89 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 95 105 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 46 1 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 256 254 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 19 20 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 126 127 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 161 163 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 74 75 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 119 117 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 19 21 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 294 295 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 286 285 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 49 51 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 136 138 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 425 424 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 250 254 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 312 328 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 9:1:512 ; rep 6:1:76 ;
+call 259 257 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 22 23 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 136 138 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 49 50 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 25 3 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 25 26 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 77 78 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 114 95 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 351 350 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 114 116 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 362 364 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 52 53 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 23 22 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 145 146 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 232 234 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 250 269 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 177 176 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 64 77 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 9:1:512 ; rep 6:1:76 ;
+call 116 114 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 265 263 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 28 29 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 404 402 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 3 2 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 251 250 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 30 28 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 28 30 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 251 252 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 303 304 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 260 250 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 347 348 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 102 104 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 39 37 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 421 405 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 31 3 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 198 200 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 111 112 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 57 55 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 188 204 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 118 117 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 120 95 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 241 242 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 328 330 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 250 263 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 9:1:512 ; rep 6:1:76 ;
+call 65 66 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 86 64 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 178 176 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 126 139 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 9:1:512 ; rep 6:1:76 ;
+call 35 34 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 68 64 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 68 70 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 443 448 {9ed1b13284c45e19-a8b305e494edae1a} 0 0 req 8:2:648 ; rep 6:2:200 ;
+call 64 68 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 244 219 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 356 357 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 3 22 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 9:1:512 ; rep 6:1:76 ;
+call 443 451 {9ed1b13284c45e19-a8b305e494edae1a} 0 0 req 8:2:648 ; rep 6:2:200 ;
+call 64 71 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 254 255 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 167 157 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 74 64 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 75 74 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 134 133 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 1 46 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 9:1:512 ; rep 6:1:76 ;
+call 74 75 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 260 261 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 40 1 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 64 74 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 219 247 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 9:1:512 ; rep 6:1:76 ;
+call 185 157 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 78 77 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 79 77 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 139 140 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 226 228 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 163 161 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 142 126 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 64 77 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 312 325 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 77 78 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 164 166 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 101 99 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 80 64 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 375 376 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 28 29 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 80 81 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 328 329 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 82 80 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 43 45 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 64 80 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 242 241 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 312 328 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 66 65 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 84 83 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 64 92 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 83 84 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 146 145 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 85 83 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 3 31 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 52 1 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 365 366 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 64 83 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 312 340 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 9:1:512 ; rep 6:1:76 ;
+call 278 250 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 25 27 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 95 99 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 157 173 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 87 86 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 272 250 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 89 64 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 241 242 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 189 190 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 34 35 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 86 87 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 257 258 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 319 312 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 3 10 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 9:1:512 ; rep 6:1:76 ;
+call 95 96 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 130 132 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 43 44 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 88 86 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 192 188 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 25 26 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 164 165 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 401 399 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 86 88 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 126 142 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 9:1:512 ; rep 6:1:76 ;
+call 37 38 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 19 3 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 89 90 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 190 189 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 64 92 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 9:1:512 ; rep 6:1:76 ;
+call 337 338 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 152 151 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 198 200 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 91 89 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 93 92 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 182 157 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 303 304 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 390 392 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 0 95 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 276 275 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 4 5 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 278 279 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 313 315 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 219 2 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 155 154 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 43 1 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 94 92 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 268 266 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 31 32 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 250 266 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 180 179 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 95 120 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 205 204 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 312 319 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 144 142 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 41 40 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 6 4 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 281 294 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 9:1:512 ; rep 6:1:76 ;
+call 96 97 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 44 43 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 9 7 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 317 316 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 80 82 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 28 30 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 442 436 {4f208dc8893e8ae2-0808d22e1a7777c8} 0 0 req 16:1:120104 ; rep 6:1:76 ;
+call 45 43 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 0 188 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 106 105 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 50 49 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 15 13 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 105 106 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 56 55 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 126 142 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 304 303 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 374 390 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 0 157 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 10:1:1128 ; rep 6:1:76 ;
+call 42 40 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 250 275 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 103 102 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 105 107 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 353 355 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 250 278 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 9:1:512 ; rep 6:1:76 ;
+call 216 188 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 109 108 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 53 52 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 18 16 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 89 91 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 326 325 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 37 39 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 108 109 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 111 112 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 359 360 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 13 14 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 72 71 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 322 324 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 95 111 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 344 343 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 55 57 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 97 96 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 54 52 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 115 114 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 1 52 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 9:1:512 ; rep 6:1:76 ;
+call 59 58 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 24 22 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 114 115 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 51 49 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 3 28 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 62 61 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 27 25 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 405 421 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 335 334 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 46 48 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 60 58 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 121 120 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 167 169 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 126 2 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 127 126 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 67 65 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 375 374 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 86 88 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 128 127 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 112 111 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 7 3 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 129 127 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 377 375 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 148 150 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 343 359 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 273 272 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 220 221 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 272 273 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 37 38 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 274 272 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 250 272 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 36 34 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 424 405 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 275 250 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 223 224 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 275 276 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 40 41 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 277 275 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 5 4 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 312 340 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 257 259 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 170 171 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 136 126 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 0 250 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 10 11 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 282 281 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 282 283 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 1 34 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 284 282 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 145 147 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 58 59 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 382 381 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 287 285 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 58 60 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 139 126 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 376 375 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 157 161 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 9:1:512 ; rep 6:1:76 ;
+call 281 285 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 343 359 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 9:1:512 ; rep 6:1:76 ;
+call 290 288 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 368 369 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 95 123 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 9:1:512 ; rep 6:1:76 ;
+call 291 281 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 378 379 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 292 291 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 291 292 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 281 291 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 312 316 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 9:1:512 ; rep 6:1:76 ;
+call 294 281 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 282 284 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 247 248 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 334 336 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 281 294 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 402 404 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 297 281 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 61 63 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 298 297 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 405 412 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 281 297 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 301 300 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 300 301 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 13 14 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 302 300 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 281 300 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 341 340 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 52 54 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 1 52 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 303 281 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 250 2 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 281 303 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 306 281 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 307 306 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 71 72 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 19 20 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 308 306 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 250 251 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 285 287 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 198 199 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 257 258 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 344 346 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 309 310 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 257 259 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 309 311 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 343 371 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 288 290 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 201 202 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 0 281 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 313 314 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 61 63 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 315 313 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 318 316 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 55 1 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 89 91 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 170 157 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 407 406 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 188 192 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 9:1:512 ; rep 6:1:76 ;
+call 312 316 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 374 390 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 9:1:512 ; rep 6:1:76 ;
+call 321 319 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 92 94 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 399 400 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 126 154 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 9:1:512 ; rep 6:1:76 ;
+call 34 36 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 323 322 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 61 1 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 322 323 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 324 322 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 312 322 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 343 347 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 9:1:512 ; rep 6:1:76 ;
+call 325 312 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 313 315 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 278 279 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 365 367 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 325 326 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 327 325 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 433 435 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 328 312 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 330 328 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 43 45 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 332 331 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 333 331 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 312 331 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 372 371 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 83 85 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 334 312 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 282 283 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 334 335 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 99 100 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 336 334 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 312 334 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 337 312 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 102 103 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 339 337 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 285 287 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 250 251 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 9:1:512 ; rep 6:1:76 ;
+call 337 339 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 281 282 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 316 318 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 229 230 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 288 289 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 375 377 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 340 341 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 342 340 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 288 290 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 340 342 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 374 402 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 319 321 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 232 233 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 0 312 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 344 345 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 349 347 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 120 122 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 260 261 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 312 313 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 347 349 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 201 188 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 219 223 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 9:1:512 ; rep 6:1:76 ;
+call 343 347 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 405 421 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 9:1:512 ; rep 6:1:76 ;
+call 352 350 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 123 125 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 430 431 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 157 185 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 9:1:512 ; rep 6:1:76 ;
+call 263 264 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 350 352 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 353 343 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 65 67 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 354 353 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 353 354 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 374 378 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 9:1:512 ; rep 6:1:76 ;
+call 356 343 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 344 346 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 309 310 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 396 398 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 127 129 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 40 41 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 3 22 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 356 357 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 358 356 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 269 270 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 356 358 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 157 161 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 0 1 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 10:1:1128 ; rep 6:1:76 ;
+call 359 343 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 3 7 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 9:1:512 ; rep 6:1:76 ;
+call 158 157 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 0 188 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 10:1:1128 ; rep 6:1:76 ;
+call 361 359 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 74 76 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 363 362 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 362 363 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 0 64 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 364 362 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 343 362 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 403 402 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 114 116 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 365 343 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 313 314 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 365 366 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 130 131 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 367 365 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 343 365 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 368 343 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 133 134 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 370 368 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 316 318 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 281 282 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 9:1:512 ; rep 6:1:76 ;
+call 368 370 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 319 320 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 406 408 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 371 372 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 373 371 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 378 374 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 291 292 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 343 344 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 378 380 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 311 309 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 22 23 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 374 378 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 294 295 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 381 383 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 0 95 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 10:1:1128 ; rep 6:1:76 ;
+call 384 374 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 96 98 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 385 384 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 384 385 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 374 384 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 405 409 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 9:1:512 ; rep 6:1:76 ;
+call 387 374 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 375 377 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 340 341 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 427 429 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 158 160 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 71 72 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 387 388 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 0 126 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 10:1:1128 ; rep 6:1:76 ;
+call 389 387 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 300 301 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 387 389 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 188 192 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 31 32 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 390 374 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 105 107 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 394 393 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 0 312 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 10:1:1128 ; rep 6:1:76 ;
+call 393 394 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 374 393 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 434 433 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 145 147 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 396 374 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 344 345 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 396 397 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 161 162 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 398 396 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 374 396 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 64 74 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 9:1:512 ; rep 6:1:76 ;
+call 399 374 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 64 80 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 9:1:512 ; rep 6:1:76 ;
+call 347 349 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 312 313 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 9:1:512 ; rep 6:1:76 ;
+call 399 401 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 350 351 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 402 403 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 411 409 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 182 184 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 405 409 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 414 412 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 185 187 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 325 326 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 412 414 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 415 405 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 415 416 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 405 415 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 418 405 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 189 191 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 102 103 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 418 419 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 420 418 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 331 332 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 418 420 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 423 421 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 424 425 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 405 424 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 176 178 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 427 405 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 375 376 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 427 428 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 192 193 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 429 427 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 405 427 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 95 105 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 9:1:512 ; rep 6:1:76 ;
+call 430 405 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 7 9 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 195 196 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 432 430 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 378 380 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 343 344 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 9:1:512 ; rep 6:1:76 ;
+call 430 432 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 381 382 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 433 434 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 63 61 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 405 433 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 0 405 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 293 291 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 4 5 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 126 130 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 4 6 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 296 294 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 7 8 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 1 34 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 9:1:512 ; rep 6:1:76 ;
+call 157 2 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 299 297 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 10 11 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 65 67 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 13 15 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 3 13 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 9:1:512 ; rep 6:1:76 ;
+call 305 303 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 68 69 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 16 17 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 16 18 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 90 89 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 3 16 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 9:1:512 ; rep 6:1:76 ;
+call 71 73 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 19 21 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 74 76 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 22 24 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 95 99 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 9:1:512 ; rep 6:1:76 ;
+call 314 313 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 77 64 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 25 27 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 3 25 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 9:1:512 ; rep 6:1:76 ;
+call 320 319 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 83 85 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 31 33 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 3 31 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 9:1:512 ; rep 6:1:76 ;
+call 0 3 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 10:1:1128 ; rep 6:1:76 ;
+call 1 37 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 9:1:512 ; rep 6:1:76 ;
+call 92 94 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 329 328 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 40 42 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 1 43 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 9:1:512 ; rep 6:1:76 ;
+call 338 337 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 49 51 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 1 49 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 9:1:512 ; rep 6:1:76 ;
+call 139 141 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 52 53 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 379 378 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 142 144 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 55 56 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 1 58 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 9:1:512 ; rep 6:1:76 ;
+call 201 203 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 148 150 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 61 62 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 303 305 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 1 61 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 9:1:512 ; rep 6:1:76 ;
+call 120 122 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 357 356 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 68 70 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 123 125 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 360 359 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 71 73 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 64 71 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 9:1:512 ; rep 6:1:76 ;
+call 366 365 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 77 79 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 167 169 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 80 81 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 369 368 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 80 82 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 170 172 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 83 84 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 173 175 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 410 409 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 86 87 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 64 86 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 9:1:512 ; rep 6:1:76 ;
+call 238 240 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 176 178 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 413 412 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 89 90 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 64 89 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 9:1:512 ; rep 6:1:76 ;
+call 179 181 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 92 93 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 0 64 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 10:1:1128 ; rep 6:1:76 ;
+call 388 387 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 151 153 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 64 65 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 9:1:512 ; rep 6:1:76 ;
+call 99 101 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 154 156 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 391 390 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 102 104 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 95 102 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 9:1:512 ; rep 6:1:76 ;
+call 147 145 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 95 108 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 9:1:512 ; rep 6:1:76 ;
+call 400 399 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 111 113 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 201 203 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 114 115 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 204 206 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 117 118 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 95 117 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 9:1:512 ; rep 6:1:76 ;
+call 207 209 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 120 121 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 95 120 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 9:1:512 ; rep 6:1:76 ;
+call 210 212 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 123 124 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 213 215 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 161 163 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 126 127 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 9:1:512 ; rep 6:1:76 ;
+call 419 418 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 182 184 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 95 96 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 9:1:512 ; rep 6:1:76 ;
+call 130 132 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 220 222 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 133 134 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 185 187 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 422 421 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 133 135 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 126 133 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 9:1:512 ; rep 6:1:76 ;
+call 428 427 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 139 141 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 229 231 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 142 143 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 431 430 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 142 144 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 235 237 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 148 149 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 126 148 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 9:1:512 ; rep 6:1:76 ;
+call 238 240 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 151 152 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 241 243 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 154 155 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 251 253 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 164 165 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 216 218 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 164 166 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 157 164 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 9:1:512 ; rep 6:1:76 ;
+call 170 172 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 260 262 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 173 174 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 173 175 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 263 265 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 176 177 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 266 268 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 179 180 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 157 179 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 9:1:512 ; rep 6:1:76 ;
+call 269 271 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 182 183 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 157 182 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 9:1:512 ; rep 6:1:76 ;
+call 272 274 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 185 186 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 244 246 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 157 158 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 9:1:512 ; rep 6:1:76 ;
+call 192 194 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 195 196 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 247 249 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 195 197 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 188 195 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 9:1:512 ; rep 6:1:76 ;
+call 3 4 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 188 201 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 9:1:512 ; rep 6:1:76 ;
+call 291 293 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 204 205 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 204 206 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 294 296 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 207 208 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 207 209 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 297 299 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 210 211 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 3 13 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 188 210 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 9:1:512 ; rep 6:1:76 ;
+call 300 302 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 213 214 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 28 3 {3bf95887d16a6fff-d182a1a2d54e9a4c} 0 1 req 0:1:0 ; rep 0:1:0 ;
+call 213 215 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 3 16 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 188 213 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 9:1:512 ; rep 6:1:76 ;
+call 303 305 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 1 61 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 216 217 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 216 218 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 254 256 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 306 308 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 219 220 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 9:1:512 ; rep 6:1:76 ;
+call 275 277 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 188 189 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 9:1:512 ; rep 6:1:76 ;
+call 223 225 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 226 227 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 278 280 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 226 228 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 219 226 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 9:1:512 ; rep 6:1:76 ;
+call 232 234 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 34 35 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 219 232 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 9:1:512 ; rep 6:1:76 ;
+call 235 236 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 235 237 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;
+call 325 327 {a1214670e13e89bc-8627aa70890683fd} 0 0 req 7:1:196 ; rep 6:1:76 ;
+call 238 239 {a1214670e13e89bc-8627aa70890683fd} 1 0 req 8:1:304 ; rep 6:1:76 ;

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_network.dir/adaptive_network.cpp.o"
+  "CMakeFiles/adaptive_network.dir/adaptive_network.cpp.o.d"
+  "adaptive_network"
+  "adaptive_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

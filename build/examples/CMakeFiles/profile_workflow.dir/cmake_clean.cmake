@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/profile_workflow.dir/profile_workflow.cpp.o"
+  "CMakeFiles/profile_workflow.dir/profile_workflow.cpp.o.d"
+  "profile_workflow"
+  "profile_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/profile_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("com")
+subdirs("marshal")
+subdirs("net")
+subdirs("classify")
+subdirs("profile")
+subdirs("runtime")
+subdirs("graph")
+subdirs("mincut")
+subdirs("analysis")
+subdirs("sim")
+subdirs("apps")

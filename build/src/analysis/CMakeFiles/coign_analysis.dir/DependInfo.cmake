@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/dot_export.cc" "src/analysis/CMakeFiles/coign_analysis.dir/dot_export.cc.o" "gcc" "src/analysis/CMakeFiles/coign_analysis.dir/dot_export.cc.o.d"
+  "/root/repo/src/analysis/engine.cc" "src/analysis/CMakeFiles/coign_analysis.dir/engine.cc.o" "gcc" "src/analysis/CMakeFiles/coign_analysis.dir/engine.cc.o.d"
+  "/root/repo/src/analysis/hotspots.cc" "src/analysis/CMakeFiles/coign_analysis.dir/hotspots.cc.o" "gcc" "src/analysis/CMakeFiles/coign_analysis.dir/hotspots.cc.o.d"
+  "/root/repo/src/analysis/multiway.cc" "src/analysis/CMakeFiles/coign_analysis.dir/multiway.cc.o" "gcc" "src/analysis/CMakeFiles/coign_analysis.dir/multiway.cc.o.d"
+  "/root/repo/src/analysis/prediction.cc" "src/analysis/CMakeFiles/coign_analysis.dir/prediction.cc.o" "gcc" "src/analysis/CMakeFiles/coign_analysis.dir/prediction.cc.o.d"
+  "/root/repo/src/analysis/report.cc" "src/analysis/CMakeFiles/coign_analysis.dir/report.cc.o" "gcc" "src/analysis/CMakeFiles/coign_analysis.dir/report.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/coign_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/mincut/CMakeFiles/coign_mincut.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/coign_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/coign_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/coign_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/classify/CMakeFiles/coign_classify.dir/DependInfo.cmake"
+  "/root/repo/build/src/com/CMakeFiles/coign_com.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

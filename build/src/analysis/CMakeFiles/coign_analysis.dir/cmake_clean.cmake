@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coign_analysis.dir/dot_export.cc.o"
+  "CMakeFiles/coign_analysis.dir/dot_export.cc.o.d"
+  "CMakeFiles/coign_analysis.dir/engine.cc.o"
+  "CMakeFiles/coign_analysis.dir/engine.cc.o.d"
+  "CMakeFiles/coign_analysis.dir/hotspots.cc.o"
+  "CMakeFiles/coign_analysis.dir/hotspots.cc.o.d"
+  "CMakeFiles/coign_analysis.dir/multiway.cc.o"
+  "CMakeFiles/coign_analysis.dir/multiway.cc.o.d"
+  "CMakeFiles/coign_analysis.dir/prediction.cc.o"
+  "CMakeFiles/coign_analysis.dir/prediction.cc.o.d"
+  "CMakeFiles/coign_analysis.dir/report.cc.o"
+  "CMakeFiles/coign_analysis.dir/report.cc.o.d"
+  "libcoign_analysis.a"
+  "libcoign_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coign_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

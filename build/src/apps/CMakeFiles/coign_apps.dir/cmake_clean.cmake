@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coign_apps.dir/app.cc.o"
+  "CMakeFiles/coign_apps.dir/app.cc.o.d"
+  "CMakeFiles/coign_apps.dir/benefits.cc.o"
+  "CMakeFiles/coign_apps.dir/benefits.cc.o.d"
+  "CMakeFiles/coign_apps.dir/component_library.cc.o"
+  "CMakeFiles/coign_apps.dir/component_library.cc.o.d"
+  "CMakeFiles/coign_apps.dir/octarine.cc.o"
+  "CMakeFiles/coign_apps.dir/octarine.cc.o.d"
+  "CMakeFiles/coign_apps.dir/photodraw.cc.o"
+  "CMakeFiles/coign_apps.dir/photodraw.cc.o.d"
+  "CMakeFiles/coign_apps.dir/suite.cc.o"
+  "CMakeFiles/coign_apps.dir/suite.cc.o.d"
+  "libcoign_apps.a"
+  "libcoign_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coign_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/classify/classifier.cc" "src/classify/CMakeFiles/coign_classify.dir/classifier.cc.o" "gcc" "src/classify/CMakeFiles/coign_classify.dir/classifier.cc.o.d"
+  "/root/repo/src/classify/classifiers.cc" "src/classify/CMakeFiles/coign_classify.dir/classifiers.cc.o" "gcc" "src/classify/CMakeFiles/coign_classify.dir/classifiers.cc.o.d"
+  "/root/repo/src/classify/comm_vector.cc" "src/classify/CMakeFiles/coign_classify.dir/comm_vector.cc.o" "gcc" "src/classify/CMakeFiles/coign_classify.dir/comm_vector.cc.o.d"
+  "/root/repo/src/classify/descriptor.cc" "src/classify/CMakeFiles/coign_classify.dir/descriptor.cc.o" "gcc" "src/classify/CMakeFiles/coign_classify.dir/descriptor.cc.o.d"
+  "/root/repo/src/classify/evaluation.cc" "src/classify/CMakeFiles/coign_classify.dir/evaluation.cc.o" "gcc" "src/classify/CMakeFiles/coign_classify.dir/evaluation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/com/CMakeFiles/coign_com.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/coign_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

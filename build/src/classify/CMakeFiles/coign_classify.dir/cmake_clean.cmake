@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coign_classify.dir/classifier.cc.o"
+  "CMakeFiles/coign_classify.dir/classifier.cc.o.d"
+  "CMakeFiles/coign_classify.dir/classifiers.cc.o"
+  "CMakeFiles/coign_classify.dir/classifiers.cc.o.d"
+  "CMakeFiles/coign_classify.dir/comm_vector.cc.o"
+  "CMakeFiles/coign_classify.dir/comm_vector.cc.o.d"
+  "CMakeFiles/coign_classify.dir/descriptor.cc.o"
+  "CMakeFiles/coign_classify.dir/descriptor.cc.o.d"
+  "CMakeFiles/coign_classify.dir/evaluation.cc.o"
+  "CMakeFiles/coign_classify.dir/evaluation.cc.o.d"
+  "libcoign_classify.a"
+  "libcoign_classify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coign_classify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/com/callstack.cc" "src/com/CMakeFiles/coign_com.dir/callstack.cc.o" "gcc" "src/com/CMakeFiles/coign_com.dir/callstack.cc.o.d"
+  "/root/repo/src/com/class_registry.cc" "src/com/CMakeFiles/coign_com.dir/class_registry.cc.o" "gcc" "src/com/CMakeFiles/coign_com.dir/class_registry.cc.o.d"
+  "/root/repo/src/com/message.cc" "src/com/CMakeFiles/coign_com.dir/message.cc.o" "gcc" "src/com/CMakeFiles/coign_com.dir/message.cc.o.d"
+  "/root/repo/src/com/metadata.cc" "src/com/CMakeFiles/coign_com.dir/metadata.cc.o" "gcc" "src/com/CMakeFiles/coign_com.dir/metadata.cc.o.d"
+  "/root/repo/src/com/object.cc" "src/com/CMakeFiles/coign_com.dir/object.cc.o" "gcc" "src/com/CMakeFiles/coign_com.dir/object.cc.o.d"
+  "/root/repo/src/com/object_system.cc" "src/com/CMakeFiles/coign_com.dir/object_system.cc.o" "gcc" "src/com/CMakeFiles/coign_com.dir/object_system.cc.o.d"
+  "/root/repo/src/com/value.cc" "src/com/CMakeFiles/coign_com.dir/value.cc.o" "gcc" "src/com/CMakeFiles/coign_com.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/coign_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

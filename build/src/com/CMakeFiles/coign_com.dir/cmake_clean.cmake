@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coign_com.dir/callstack.cc.o"
+  "CMakeFiles/coign_com.dir/callstack.cc.o.d"
+  "CMakeFiles/coign_com.dir/class_registry.cc.o"
+  "CMakeFiles/coign_com.dir/class_registry.cc.o.d"
+  "CMakeFiles/coign_com.dir/message.cc.o"
+  "CMakeFiles/coign_com.dir/message.cc.o.d"
+  "CMakeFiles/coign_com.dir/metadata.cc.o"
+  "CMakeFiles/coign_com.dir/metadata.cc.o.d"
+  "CMakeFiles/coign_com.dir/object.cc.o"
+  "CMakeFiles/coign_com.dir/object.cc.o.d"
+  "CMakeFiles/coign_com.dir/object_system.cc.o"
+  "CMakeFiles/coign_com.dir/object_system.cc.o.d"
+  "CMakeFiles/coign_com.dir/value.cc.o"
+  "CMakeFiles/coign_com.dir/value.cc.o.d"
+  "libcoign_com.a"
+  "libcoign_com.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coign_com.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

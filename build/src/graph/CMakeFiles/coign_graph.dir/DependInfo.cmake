@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/concrete_graph.cc" "src/graph/CMakeFiles/coign_graph.dir/concrete_graph.cc.o" "gcc" "src/graph/CMakeFiles/coign_graph.dir/concrete_graph.cc.o.d"
+  "/root/repo/src/graph/constraints.cc" "src/graph/CMakeFiles/coign_graph.dir/constraints.cc.o" "gcc" "src/graph/CMakeFiles/coign_graph.dir/constraints.cc.o.d"
+  "/root/repo/src/graph/distribution.cc" "src/graph/CMakeFiles/coign_graph.dir/distribution.cc.o" "gcc" "src/graph/CMakeFiles/coign_graph.dir/distribution.cc.o.d"
+  "/root/repo/src/graph/icc_graph.cc" "src/graph/CMakeFiles/coign_graph.dir/icc_graph.cc.o" "gcc" "src/graph/CMakeFiles/coign_graph.dir/icc_graph.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/profile/CMakeFiles/coign_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/coign_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/mincut/CMakeFiles/coign_mincut.dir/DependInfo.cmake"
+  "/root/repo/build/src/classify/CMakeFiles/coign_classify.dir/DependInfo.cmake"
+  "/root/repo/build/src/com/CMakeFiles/coign_com.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/coign_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

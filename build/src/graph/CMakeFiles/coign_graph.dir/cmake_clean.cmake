@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coign_graph.dir/concrete_graph.cc.o"
+  "CMakeFiles/coign_graph.dir/concrete_graph.cc.o.d"
+  "CMakeFiles/coign_graph.dir/constraints.cc.o"
+  "CMakeFiles/coign_graph.dir/constraints.cc.o.d"
+  "CMakeFiles/coign_graph.dir/distribution.cc.o"
+  "CMakeFiles/coign_graph.dir/distribution.cc.o.d"
+  "CMakeFiles/coign_graph.dir/icc_graph.cc.o"
+  "CMakeFiles/coign_graph.dir/icc_graph.cc.o.d"
+  "libcoign_graph.a"
+  "libcoign_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coign_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/marshal/ndr.cc" "src/marshal/CMakeFiles/coign_marshal.dir/ndr.cc.o" "gcc" "src/marshal/CMakeFiles/coign_marshal.dir/ndr.cc.o.d"
+  "/root/repo/src/marshal/proxy_stub.cc" "src/marshal/CMakeFiles/coign_marshal.dir/proxy_stub.cc.o" "gcc" "src/marshal/CMakeFiles/coign_marshal.dir/proxy_stub.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/com/CMakeFiles/coign_com.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/coign_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

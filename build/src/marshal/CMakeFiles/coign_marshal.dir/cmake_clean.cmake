@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coign_marshal.dir/ndr.cc.o"
+  "CMakeFiles/coign_marshal.dir/ndr.cc.o.d"
+  "CMakeFiles/coign_marshal.dir/proxy_stub.cc.o"
+  "CMakeFiles/coign_marshal.dir/proxy_stub.cc.o.d"
+  "libcoign_marshal.a"
+  "libcoign_marshal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coign_marshal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

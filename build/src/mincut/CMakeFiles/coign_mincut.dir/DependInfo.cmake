@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mincut/edmonds_karp.cc" "src/mincut/CMakeFiles/coign_mincut.dir/edmonds_karp.cc.o" "gcc" "src/mincut/CMakeFiles/coign_mincut.dir/edmonds_karp.cc.o.d"
+  "/root/repo/src/mincut/flow_network.cc" "src/mincut/CMakeFiles/coign_mincut.dir/flow_network.cc.o" "gcc" "src/mincut/CMakeFiles/coign_mincut.dir/flow_network.cc.o.d"
+  "/root/repo/src/mincut/multiway.cc" "src/mincut/CMakeFiles/coign_mincut.dir/multiway.cc.o" "gcc" "src/mincut/CMakeFiles/coign_mincut.dir/multiway.cc.o.d"
+  "/root/repo/src/mincut/relabel_to_front.cc" "src/mincut/CMakeFiles/coign_mincut.dir/relabel_to_front.cc.o" "gcc" "src/mincut/CMakeFiles/coign_mincut.dir/relabel_to_front.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/coign_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coign_mincut.dir/edmonds_karp.cc.o"
+  "CMakeFiles/coign_mincut.dir/edmonds_karp.cc.o.d"
+  "CMakeFiles/coign_mincut.dir/flow_network.cc.o"
+  "CMakeFiles/coign_mincut.dir/flow_network.cc.o.d"
+  "CMakeFiles/coign_mincut.dir/multiway.cc.o"
+  "CMakeFiles/coign_mincut.dir/multiway.cc.o.d"
+  "CMakeFiles/coign_mincut.dir/relabel_to_front.cc.o"
+  "CMakeFiles/coign_mincut.dir/relabel_to_front.cc.o.d"
+  "libcoign_mincut.a"
+  "libcoign_mincut.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coign_mincut.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

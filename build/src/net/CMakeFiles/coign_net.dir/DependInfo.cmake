@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/network_model.cc" "src/net/CMakeFiles/coign_net.dir/network_model.cc.o" "gcc" "src/net/CMakeFiles/coign_net.dir/network_model.cc.o.d"
+  "/root/repo/src/net/network_profiler.cc" "src/net/CMakeFiles/coign_net.dir/network_profiler.cc.o" "gcc" "src/net/CMakeFiles/coign_net.dir/network_profiler.cc.o.d"
+  "/root/repo/src/net/transport.cc" "src/net/CMakeFiles/coign_net.dir/transport.cc.o" "gcc" "src/net/CMakeFiles/coign_net.dir/transport.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/coign_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

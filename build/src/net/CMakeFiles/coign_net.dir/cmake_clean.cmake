@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coign_net.dir/network_model.cc.o"
+  "CMakeFiles/coign_net.dir/network_model.cc.o.d"
+  "CMakeFiles/coign_net.dir/network_profiler.cc.o"
+  "CMakeFiles/coign_net.dir/network_profiler.cc.o.d"
+  "CMakeFiles/coign_net.dir/transport.cc.o"
+  "CMakeFiles/coign_net.dir/transport.cc.o.d"
+  "libcoign_net.a"
+  "libcoign_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coign_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcoign_net.a"
+)

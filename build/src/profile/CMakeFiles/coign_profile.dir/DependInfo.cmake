@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/profile/event.cc" "src/profile/CMakeFiles/coign_profile.dir/event.cc.o" "gcc" "src/profile/CMakeFiles/coign_profile.dir/event.cc.o.d"
+  "/root/repo/src/profile/icc_profile.cc" "src/profile/CMakeFiles/coign_profile.dir/icc_profile.cc.o" "gcc" "src/profile/CMakeFiles/coign_profile.dir/icc_profile.cc.o.d"
+  "/root/repo/src/profile/log_file.cc" "src/profile/CMakeFiles/coign_profile.dir/log_file.cc.o" "gcc" "src/profile/CMakeFiles/coign_profile.dir/log_file.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/classify/CMakeFiles/coign_classify.dir/DependInfo.cmake"
+  "/root/repo/build/src/com/CMakeFiles/coign_com.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/coign_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

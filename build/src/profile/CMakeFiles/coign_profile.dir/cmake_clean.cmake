@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coign_profile.dir/event.cc.o"
+  "CMakeFiles/coign_profile.dir/event.cc.o.d"
+  "CMakeFiles/coign_profile.dir/icc_profile.cc.o"
+  "CMakeFiles/coign_profile.dir/icc_profile.cc.o.d"
+  "CMakeFiles/coign_profile.dir/log_file.cc.o"
+  "CMakeFiles/coign_profile.dir/log_file.cc.o.d"
+  "libcoign_profile.a"
+  "libcoign_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coign_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/binary_rewriter.cc" "src/runtime/CMakeFiles/coign_runtime.dir/binary_rewriter.cc.o" "gcc" "src/runtime/CMakeFiles/coign_runtime.dir/binary_rewriter.cc.o.d"
+  "/root/repo/src/runtime/cache.cc" "src/runtime/CMakeFiles/coign_runtime.dir/cache.cc.o" "gcc" "src/runtime/CMakeFiles/coign_runtime.dir/cache.cc.o.d"
+  "/root/repo/src/runtime/config_record.cc" "src/runtime/CMakeFiles/coign_runtime.dir/config_record.cc.o" "gcc" "src/runtime/CMakeFiles/coign_runtime.dir/config_record.cc.o.d"
+  "/root/repo/src/runtime/drift.cc" "src/runtime/CMakeFiles/coign_runtime.dir/drift.cc.o" "gcc" "src/runtime/CMakeFiles/coign_runtime.dir/drift.cc.o.d"
+  "/root/repo/src/runtime/factory.cc" "src/runtime/CMakeFiles/coign_runtime.dir/factory.cc.o" "gcc" "src/runtime/CMakeFiles/coign_runtime.dir/factory.cc.o.d"
+  "/root/repo/src/runtime/informer.cc" "src/runtime/CMakeFiles/coign_runtime.dir/informer.cc.o" "gcc" "src/runtime/CMakeFiles/coign_runtime.dir/informer.cc.o.d"
+  "/root/repo/src/runtime/logger.cc" "src/runtime/CMakeFiles/coign_runtime.dir/logger.cc.o" "gcc" "src/runtime/CMakeFiles/coign_runtime.dir/logger.cc.o.d"
+  "/root/repo/src/runtime/rte.cc" "src/runtime/CMakeFiles/coign_runtime.dir/rte.cc.o" "gcc" "src/runtime/CMakeFiles/coign_runtime.dir/rte.cc.o.d"
+  "/root/repo/src/runtime/static_analysis.cc" "src/runtime/CMakeFiles/coign_runtime.dir/static_analysis.cc.o" "gcc" "src/runtime/CMakeFiles/coign_runtime.dir/static_analysis.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/coign_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/coign_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/classify/CMakeFiles/coign_classify.dir/DependInfo.cmake"
+  "/root/repo/build/src/marshal/CMakeFiles/coign_marshal.dir/DependInfo.cmake"
+  "/root/repo/build/src/com/CMakeFiles/coign_com.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/coign_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/coign_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/mincut/CMakeFiles/coign_mincut.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coign_runtime.dir/binary_rewriter.cc.o"
+  "CMakeFiles/coign_runtime.dir/binary_rewriter.cc.o.d"
+  "CMakeFiles/coign_runtime.dir/cache.cc.o"
+  "CMakeFiles/coign_runtime.dir/cache.cc.o.d"
+  "CMakeFiles/coign_runtime.dir/config_record.cc.o"
+  "CMakeFiles/coign_runtime.dir/config_record.cc.o.d"
+  "CMakeFiles/coign_runtime.dir/drift.cc.o"
+  "CMakeFiles/coign_runtime.dir/drift.cc.o.d"
+  "CMakeFiles/coign_runtime.dir/factory.cc.o"
+  "CMakeFiles/coign_runtime.dir/factory.cc.o.d"
+  "CMakeFiles/coign_runtime.dir/informer.cc.o"
+  "CMakeFiles/coign_runtime.dir/informer.cc.o.d"
+  "CMakeFiles/coign_runtime.dir/logger.cc.o"
+  "CMakeFiles/coign_runtime.dir/logger.cc.o.d"
+  "CMakeFiles/coign_runtime.dir/rte.cc.o"
+  "CMakeFiles/coign_runtime.dir/rte.cc.o.d"
+  "CMakeFiles/coign_runtime.dir/static_analysis.cc.o"
+  "CMakeFiles/coign_runtime.dir/static_analysis.cc.o.d"
+  "libcoign_runtime.a"
+  "libcoign_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coign_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

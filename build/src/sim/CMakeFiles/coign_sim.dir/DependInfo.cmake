@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/accountant.cc" "src/sim/CMakeFiles/coign_sim.dir/accountant.cc.o" "gcc" "src/sim/CMakeFiles/coign_sim.dir/accountant.cc.o.d"
+  "/root/repo/src/sim/class_placement.cc" "src/sim/CMakeFiles/coign_sim.dir/class_placement.cc.o" "gcc" "src/sim/CMakeFiles/coign_sim.dir/class_placement.cc.o.d"
+  "/root/repo/src/sim/measurement.cc" "src/sim/CMakeFiles/coign_sim.dir/measurement.cc.o" "gcc" "src/sim/CMakeFiles/coign_sim.dir/measurement.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/marshal/CMakeFiles/coign_marshal.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/coign_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/com/CMakeFiles/coign_com.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/coign_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

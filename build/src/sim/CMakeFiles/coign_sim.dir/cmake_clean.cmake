@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coign_sim.dir/accountant.cc.o"
+  "CMakeFiles/coign_sim.dir/accountant.cc.o.d"
+  "CMakeFiles/coign_sim.dir/class_placement.cc.o"
+  "CMakeFiles/coign_sim.dir/class_placement.cc.o.d"
+  "CMakeFiles/coign_sim.dir/measurement.cc.o"
+  "CMakeFiles/coign_sim.dir/measurement.cc.o.d"
+  "libcoign_sim.a"
+  "libcoign_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coign_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

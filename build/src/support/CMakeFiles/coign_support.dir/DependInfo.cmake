@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/support/guid.cc" "src/support/CMakeFiles/coign_support.dir/guid.cc.o" "gcc" "src/support/CMakeFiles/coign_support.dir/guid.cc.o.d"
+  "/root/repo/src/support/histogram.cc" "src/support/CMakeFiles/coign_support.dir/histogram.cc.o" "gcc" "src/support/CMakeFiles/coign_support.dir/histogram.cc.o.d"
+  "/root/repo/src/support/log.cc" "src/support/CMakeFiles/coign_support.dir/log.cc.o" "gcc" "src/support/CMakeFiles/coign_support.dir/log.cc.o.d"
+  "/root/repo/src/support/rng.cc" "src/support/CMakeFiles/coign_support.dir/rng.cc.o" "gcc" "src/support/CMakeFiles/coign_support.dir/rng.cc.o.d"
+  "/root/repo/src/support/stats.cc" "src/support/CMakeFiles/coign_support.dir/stats.cc.o" "gcc" "src/support/CMakeFiles/coign_support.dir/stats.cc.o.d"
+  "/root/repo/src/support/status.cc" "src/support/CMakeFiles/coign_support.dir/status.cc.o" "gcc" "src/support/CMakeFiles/coign_support.dir/status.cc.o.d"
+  "/root/repo/src/support/str_util.cc" "src/support/CMakeFiles/coign_support.dir/str_util.cc.o" "gcc" "src/support/CMakeFiles/coign_support.dir/str_util.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coign_support.dir/guid.cc.o"
+  "CMakeFiles/coign_support.dir/guid.cc.o.d"
+  "CMakeFiles/coign_support.dir/histogram.cc.o"
+  "CMakeFiles/coign_support.dir/histogram.cc.o.d"
+  "CMakeFiles/coign_support.dir/log.cc.o"
+  "CMakeFiles/coign_support.dir/log.cc.o.d"
+  "CMakeFiles/coign_support.dir/rng.cc.o"
+  "CMakeFiles/coign_support.dir/rng.cc.o.d"
+  "CMakeFiles/coign_support.dir/stats.cc.o"
+  "CMakeFiles/coign_support.dir/stats.cc.o.d"
+  "CMakeFiles/coign_support.dir/status.cc.o"
+  "CMakeFiles/coign_support.dir/status.cc.o.d"
+  "CMakeFiles/coign_support.dir/str_util.cc.o"
+  "CMakeFiles/coign_support.dir/str_util.cc.o.d"
+  "libcoign_support.a"
+  "libcoign_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coign_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

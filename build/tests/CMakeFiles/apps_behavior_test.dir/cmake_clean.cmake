@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apps_behavior_test.dir/apps_behavior_test.cc.o"
+  "CMakeFiles/apps_behavior_test.dir/apps_behavior_test.cc.o.d"
+  "apps_behavior_test"
+  "apps_behavior_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apps_behavior_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

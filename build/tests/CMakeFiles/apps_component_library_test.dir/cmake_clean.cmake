@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apps_component_library_test.dir/apps_component_library_test.cc.o"
+  "CMakeFiles/apps_component_library_test.dir/apps_component_library_test.cc.o.d"
+  "apps_component_library_test"
+  "apps_component_library_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apps_component_library_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for apps_component_library_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cache_hotspots_test.dir/cache_hotspots_test.cc.o"
+  "CMakeFiles/cache_hotspots_test.dir/cache_hotspots_test.cc.o.d"
+  "cache_hotspots_test"
+  "cache_hotspots_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cache_hotspots_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

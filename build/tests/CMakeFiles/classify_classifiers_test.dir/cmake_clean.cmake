@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/classify_classifiers_test.dir/classify_classifiers_test.cc.o"
+  "CMakeFiles/classify_classifiers_test.dir/classify_classifiers_test.cc.o.d"
+  "classify_classifiers_test"
+  "classify_classifiers_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/classify_classifiers_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

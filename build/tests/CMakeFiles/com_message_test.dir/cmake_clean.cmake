@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/com_message_test.dir/com_message_test.cc.o"
+  "CMakeFiles/com_message_test.dir/com_message_test.cc.o.d"
+  "com_message_test"
+  "com_message_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/com_message_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

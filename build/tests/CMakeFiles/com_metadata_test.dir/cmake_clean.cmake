@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/com_metadata_test.dir/com_metadata_test.cc.o"
+  "CMakeFiles/com_metadata_test.dir/com_metadata_test.cc.o.d"
+  "com_metadata_test"
+  "com_metadata_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/com_metadata_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/com_object_system_test.dir/com_object_system_test.cc.o"
+  "CMakeFiles/com_object_system_test.dir/com_object_system_test.cc.o.d"
+  "com_object_system_test"
+  "com_object_system_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/com_object_system_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

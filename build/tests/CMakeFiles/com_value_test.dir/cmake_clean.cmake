@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/com_value_test.dir/com_value_test.cc.o"
+  "CMakeFiles/com_value_test.dir/com_value_test.cc.o.d"
+  "com_value_test"
+  "com_value_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/com_value_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/marshal_ndr_test.dir/marshal_ndr_test.cc.o"
+  "CMakeFiles/marshal_ndr_test.dir/marshal_ndr_test.cc.o.d"
+  "marshal_ndr_test"
+  "marshal_ndr_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/marshal_ndr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

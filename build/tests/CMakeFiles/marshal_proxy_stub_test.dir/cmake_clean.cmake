@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/marshal_proxy_stub_test.dir/marshal_proxy_stub_test.cc.o"
+  "CMakeFiles/marshal_proxy_stub_test.dir/marshal_proxy_stub_test.cc.o.d"
+  "marshal_proxy_stub_test"
+  "marshal_proxy_stub_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/marshal_proxy_stub_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

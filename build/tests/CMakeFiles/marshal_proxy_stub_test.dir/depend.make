@@ -1,0 +1,2 @@
+# Empty dependencies file for marshal_proxy_stub_test.
+# This may be replaced when dependencies are built.

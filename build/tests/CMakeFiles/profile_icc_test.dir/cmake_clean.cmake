@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/profile_icc_test.dir/profile_icc_test.cc.o"
+  "CMakeFiles/profile_icc_test.dir/profile_icc_test.cc.o.d"
+  "profile_icc_test"
+  "profile_icc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/profile_icc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/profile_log_file_test.dir/profile_log_file_test.cc.o"
+  "CMakeFiles/profile_log_file_test.dir/profile_log_file_test.cc.o.d"
+  "profile_log_file_test"
+  "profile_log_file_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/profile_log_file_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

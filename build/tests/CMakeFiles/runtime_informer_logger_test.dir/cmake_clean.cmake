@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_informer_logger_test.dir/runtime_informer_logger_test.cc.o"
+  "CMakeFiles/runtime_informer_logger_test.dir/runtime_informer_logger_test.cc.o.d"
+  "runtime_informer_logger_test"
+  "runtime_informer_logger_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_informer_logger_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_rewriter_test.dir/runtime_rewriter_test.cc.o"
+  "CMakeFiles/runtime_rewriter_test.dir/runtime_rewriter_test.cc.o.d"
+  "runtime_rewriter_test"
+  "runtime_rewriter_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_rewriter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

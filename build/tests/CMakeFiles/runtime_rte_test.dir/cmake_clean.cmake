@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_rte_test.dir/runtime_rte_test.cc.o"
+  "CMakeFiles/runtime_rte_test.dir/runtime_rte_test.cc.o.d"
+  "runtime_rte_test"
+  "runtime_rte_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_rte_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/support_guid_test.dir/support_guid_test.cc.o"
+  "CMakeFiles/support_guid_test.dir/support_guid_test.cc.o.d"
+  "support_guid_test"
+  "support_guid_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/support_guid_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/support_rng_test.dir/support_rng_test.cc.o"
+  "CMakeFiles/support_rng_test.dir/support_rng_test.cc.o.d"
+  "support_rng_test"
+  "support_rng_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/support_rng_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

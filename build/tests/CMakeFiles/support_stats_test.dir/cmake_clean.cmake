@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/support_stats_test.dir/support_stats_test.cc.o"
+  "CMakeFiles/support_stats_test.dir/support_stats_test.cc.o.d"
+  "support_stats_test"
+  "support_stats_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/support_stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/support_str_util_test.dir/support_str_util_test.cc.o"
+  "CMakeFiles/support_str_util_test.dir/support_str_util_test.cc.o.d"
+  "support_str_util_test"
+  "support_str_util_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/support_str_util_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_shapes_test.dir/table_shapes_test.cc.o"
+  "CMakeFiles/table_shapes_test.dir/table_shapes_test.cc.o.d"
+  "table_shapes_test"
+  "table_shapes_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_shapes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coign.dir/coign_cli.cc.o"
+  "CMakeFiles/coign.dir/coign_cli.cc.o.d"
+  "coign"
+  "coign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
