@@ -1,0 +1,35 @@
+#include "src/online/migrator.h"
+
+#include "src/support/str_util.h"
+
+namespace coign {
+
+std::string MigrationReport::ToString() const {
+  return StrFormat("migration{instances=%llu, bytes=%llu, seconds=%.4f}",
+                   static_cast<unsigned long long>(instances_moved),
+                   static_cast<unsigned long long>(bytes_transferred), seconds);
+}
+
+Result<MigrationReport> LiveMigrator::Migrate(ObjectSystem& system,
+                                              const Distribution& target,
+                                              const NetworkProfile& network) const {
+  MigrationReport report;
+  for (const ObjectSystem::InstanceInfo& info : system.LiveInstances()) {
+    const ClassificationId classification = resolver_(info.id);
+    if (classification == kNoClassification) {
+      continue;
+    }
+    const MachineId destination = target.MachineFor(classification);
+    if (destination == info.machine) {
+      continue;
+    }
+    COIGN_RETURN_IF_ERROR(system.MoveInstance(info.id, destination));
+    report.instances_moved += 1;
+    report.bytes_transferred += state_bytes_per_instance_;
+    report.seconds +=
+        network.MessageSeconds(static_cast<double>(state_bytes_per_instance_));
+  }
+  return report;
+}
+
+}  // namespace coign

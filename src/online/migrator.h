@@ -1,0 +1,56 @@
+// The live migrator: relocates running component instances between
+// machines inside the ObjectSystem to realize a newly adopted distribution.
+//
+// The paper's component factories place instances at *instantiation* time;
+// adapting a running application additionally requires moving instances
+// that already exist. The migrator walks the live instance table, moves
+// every instance whose classification landed on the other side of the new
+// cut, and bills the state transfer (one message of modeled serialized
+// state per instance) so adaptive runs cannot pretend migration is free.
+
+#ifndef COIGN_SRC_ONLINE_MIGRATOR_H_
+#define COIGN_SRC_ONLINE_MIGRATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "src/com/object_system.h"
+#include "src/graph/distribution.h"
+#include "src/net/network_profiler.h"
+#include "src/support/status.h"
+
+namespace coign {
+
+struct MigrationReport {
+  uint64_t instances_moved = 0;
+  uint64_t bytes_transferred = 0;
+  double seconds = 0.0;
+
+  std::string ToString() const;
+};
+
+class LiveMigrator {
+ public:
+  // Maps a live instance to its classification; return kNoClassification
+  // for unclassified instances (they stay put — nothing is known of them).
+  using ClassificationResolver = std::function<ClassificationId(InstanceId)>;
+
+  LiveMigrator(uint64_t state_bytes_per_instance, ClassificationResolver resolver)
+      : state_bytes_per_instance_(state_bytes_per_instance),
+        resolver_(std::move(resolver)) {}
+
+  // Moves every live instance whose classification's machine under
+  // `target` differs from where the instance currently runs. Charges each
+  // move one state message priced by `network`.
+  Result<MigrationReport> Migrate(ObjectSystem& system, const Distribution& target,
+                                  const NetworkProfile& network) const;
+
+ private:
+  uint64_t state_bytes_per_instance_;
+  ClassificationResolver resolver_;
+};
+
+}  // namespace coign
+
+#endif  // COIGN_SRC_ONLINE_MIGRATOR_H_

@@ -1,0 +1,177 @@
+#include "src/online/repartitioner.h"
+
+#include <cassert>
+
+#include "src/support/log.h"
+#include "src/support/str_util.h"
+
+namespace coign {
+
+std::string OnlineStats::ToString() const {
+  return StrFormat(
+      "online{epochs=%llu, drift=%llu, evals=%llu, repartitions=%llu (lazy %llu), "
+      "hysteresis_rej=%llu, cost_rej=%llu, moved=%llu, migration_bytes=%llu, "
+      "migration_s=%.4f}",
+      static_cast<unsigned long long>(epochs), static_cast<unsigned long long>(drift_flags),
+      static_cast<unsigned long long>(evaluations),
+      static_cast<unsigned long long>(repartitions),
+      static_cast<unsigned long long>(lazy_adoptions),
+      static_cast<unsigned long long>(hysteresis_rejections),
+      static_cast<unsigned long long>(cost_rejections),
+      static_cast<unsigned long long>(instances_moved),
+      static_cast<unsigned long long>(migration_bytes), migration_seconds);
+}
+
+OnlineRepartitioner::OnlineRepartitioner(ObjectSystem* system, CoignRuntime* runtime,
+                                         const IccProfile& base_profile,
+                                         NetworkProfile network, OnlineOptions options)
+    : system_(system),
+      runtime_(runtime),
+      base_profile_(base_profile),
+      network_(std::move(network)),
+      options_(options),
+      window_(options.window),
+      policy_(options.policy, options.analysis) {
+  assert(system_ != nullptr && runtime_ != nullptr);
+  system_->AddInterceptor(this);
+}
+
+OnlineRepartitioner::~OnlineRepartitioner() { system_->RemoveInterceptor(this); }
+
+ClassificationId OnlineRepartitioner::ClassificationOf(InstanceId instance) const {
+  const Result<ClassificationId> classification =
+      runtime_->classifier().ClassificationOf(instance);
+  return classification.ok() ? *classification : kNoClassification;
+}
+
+void OnlineRepartitioner::OnInstantiated(const ClassDesc& cls, InstanceId id,
+                                         InstanceId creator) {
+  (void)creator;
+  // The classifier binds the classification before placement, so it is
+  // already known here. Classifications the base profile covers need no
+  // registration; the others are exactly the §6 case — usage the profiling
+  // scenarios never saw — and the re-cut needs their metadata (clsid, name,
+  // api_usage for constraint pinning) to place them deliberately.
+  const ClassificationId classification = ClassificationOf(id);
+  if (classification == kNoClassification ||
+      base_profile_.FindClassification(classification) != nullptr) {
+    return;
+  }
+  ClassificationInfo& info = live_registry_[classification];
+  if (info.id == kNoClassification) {
+    info.id = classification;
+    info.clsid = cls.clsid;
+    info.class_name = cls.name;
+    info.api_usage = cls.api_usage;
+  }
+  ++info.instance_count;
+}
+
+void OnlineRepartitioner::OnCallEnd(const ObjectSystem::CallEvent& event,
+                                    const Status& status) {
+  if (!status.ok()) {
+    return;  // Failed calls carry no communication.
+  }
+  CallKey key;
+  key.src = ClassificationOf(event.caller);
+  key.dst = ClassificationOf(event.target.instance);
+  key.iid = event.target.iid;
+  key.method = event.method;
+  // The same cheap remotability check the profiling informer uses:
+  // interface metadata plus an opaque-parameter scan of the live messages.
+  bool remotable = true;
+  const InterfaceDesc* iface = system_->interfaces().Lookup(event.target.iid);
+  if (iface != nullptr && !iface->remotable) {
+    remotable = false;
+  }
+  if (remotable && event.in != nullptr && event.in->ContainsOpaque()) {
+    remotable = false;
+  }
+  if (remotable && event.out != nullptr && event.out->ContainsOpaque()) {
+    remotable = false;
+  }
+  window_.Record(key, /*calls=*/1, remotable);
+}
+
+void OnlineRepartitioner::OnCompute(InstanceId instance, double seconds) {
+  window_.RecordCompute(ClassificationOf(instance), seconds);
+}
+
+Status OnlineRepartitioner::EndEpoch() {
+  window_.AdvanceEpoch();
+  ++stats_.epochs;
+  ++epochs_since_evaluation_;
+
+  last_drift_ = DetectDrift(base_profile_, window_.WindowMessageCounts(), options_.drift);
+  if (last_drift_.reprofile_recommended) {
+    ++stats_.drift_flags;
+  }
+
+  if (cooldown_remaining_ > 0) {
+    --cooldown_remaining_;
+    return Status::Ok();
+  }
+  const bool periodic = options_.epochs_per_recut > 0 &&
+                        epochs_since_evaluation_ >= options_.epochs_per_recut;
+  if (!last_drift_.reprofile_recommended && !periodic) {
+    return Status::Ok();
+  }
+
+  // Live instance census: what an accepted cut would have to migrate.
+  std::unordered_map<ClassificationId, uint64_t> live;
+  for (const ObjectSystem::InstanceInfo& info : system_->LiveInstances()) {
+    const ClassificationId classification = ClassificationOf(info.id);
+    if (classification != kNoClassification) {
+      ++live[classification];
+    }
+  }
+
+  const IccProfile windowed = window_.WindowedProfile(base_profile_, live_registry_);
+  Result<RepartitionDecision> decision =
+      policy_.Evaluate(windowed, network_, distribution(), live);
+  if (!decision.ok()) {
+    return decision.status();
+  }
+  last_decision_ = *decision;
+  ++stats_.evaluations;
+  epochs_since_evaluation_ = 0;
+  COIGN_LOG(kDebug,
+            "epoch %llu: %s | current %.4fs proposed %.4fs move %.4fs (%llu instances)",
+            static_cast<unsigned long long>(stats_.epochs), decision->reason.c_str(),
+            decision->current_seconds, decision->proposed_seconds,
+            decision->migration_seconds,
+            static_cast<unsigned long long>(decision->instances_to_move));
+
+  if (!decision->adopt) {
+    if (decision->reject_cause == RejectCause::kHysteresis) {
+      ++stats_.hysteresis_rejections;
+    } else if (decision->reject_cause == RejectCause::kMigrationCost) {
+      ++stats_.cost_rejections;
+    }
+    return Status::Ok();
+  }
+
+  if (decision->migrate) {
+    LiveMigrator migrator(options_.policy.state_bytes_per_instance,
+                          [this](InstanceId id) { return ClassificationOf(id); });
+    Result<MigrationReport> moved =
+        migrator.Migrate(*system_, decision->proposed, network_);
+    if (!moved.ok()) {
+      return moved.status();
+    }
+    if (charge_) {
+      charge_(moved->bytes_transferred, moved->seconds);
+    }
+    stats_.instances_moved += moved->instances_moved;
+    stats_.migration_bytes += moved->bytes_transferred;
+    stats_.migration_seconds += moved->seconds;
+  } else {
+    ++stats_.lazy_adoptions;  // Live instances rent the old cut until death.
+  }
+  runtime_->AdoptDistribution(decision->proposed);
+  ++stats_.repartitions;
+  cooldown_remaining_ = options_.cooldown_epochs;
+  return Status::Ok();
+}
+
+}  // namespace coign

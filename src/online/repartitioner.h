@@ -1,0 +1,126 @@
+// The online repartitioner: closes the loop the paper's §6 leaves open.
+//
+// Attached beside a distributed-mode CoignRuntime, it watches every
+// inter-component call (MessageCounts-style, O(1) per call) through the
+// sliding-window accountant. At each epoch boundary it runs the drift
+// detector against the profile the current distribution was computed from;
+// when drift fires (or on a configured periodic re-cut), it re-runs the
+// analysis engine over the windowed graph and asks the rent-or-buy policy
+// whether the better cut is worth the migration bill. Accepted cuts are
+// realized immediately: live instances are moved by the migrator (state
+// bytes charged to the network) and the runtime adopts the new
+// distribution so its component factories place future instances per the
+// new cut.
+
+#ifndef COIGN_SRC_ONLINE_REPARTITIONER_H_
+#define COIGN_SRC_ONLINE_REPARTITIONER_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+
+#include "src/com/object_system.h"
+#include "src/net/network_profiler.h"
+#include "src/online/migrator.h"
+#include "src/online/policy.h"
+#include "src/online/window.h"
+#include "src/runtime/drift.h"
+#include "src/runtime/rte.h"
+
+namespace coign {
+
+struct OnlineOptions {
+  WindowOptions window;
+  RepartitionConfig policy;
+  DriftOptions drift;
+  AnalysisOptions analysis;
+  // Re-evaluate the cut every this many epochs even without drift;
+  // 0 = drift-driven only.
+  uint64_t epochs_per_recut = 0;
+  // Epochs to sit still after an accepted repartition (anti-thrash).
+  uint64_t cooldown_epochs = 1;
+};
+
+struct OnlineStats {
+  uint64_t epochs = 0;
+  uint64_t drift_flags = 0;     // Epochs where DetectDrift recommended action.
+  uint64_t evaluations = 0;     // Policy evaluations (cut re-runs).
+  uint64_t repartitions = 0;    // Accepted, applied repartitions (any kind).
+  uint64_t lazy_adoptions = 0;  // Repartitions applied without migrating live state.
+  uint64_t hysteresis_rejections = 0;
+  uint64_t cost_rejections = 0;  // Rent-or-buy kept the current cut.
+  uint64_t instances_moved = 0;
+  uint64_t migration_bytes = 0;
+  double migration_seconds = 0.0;
+
+  std::string ToString() const;
+};
+
+class OnlineRepartitioner : public ObjectSystem::Interceptor {
+ public:
+  // Charged once per applied migration (e.g. into the NetworkAccountant so
+  // measured runs pay for their own adaptation).
+  using MigrationChargeFn = std::function<void(uint64_t bytes, double seconds)>;
+
+  // `runtime` must be a distributed-mode runtime attached to `system`;
+  // `base_profile` is the profile its distribution was computed from. All
+  // pointers/references must outlive the repartitioner. Attaches as an
+  // interceptor on construction.
+  OnlineRepartitioner(ObjectSystem* system, CoignRuntime* runtime,
+                      const IccProfile& base_profile, NetworkProfile network,
+                      OnlineOptions options = {});
+  ~OnlineRepartitioner() override;
+
+  OnlineRepartitioner(const OnlineRepartitioner&) = delete;
+  OnlineRepartitioner& operator=(const OnlineRepartitioner&) = delete;
+
+  void SetMigrationCharge(MigrationChargeFn charge) { charge_ = std::move(charge); }
+
+  // Marks an epoch boundary: folds the window, runs drift detection, and
+  // repartitions if the policy accepts. Call while the epoch's instances
+  // are still live so migration has real state to move.
+  Status EndEpoch();
+
+  const OnlineStats& stats() const { return stats_; }
+  const DriftReport& last_drift() const { return last_drift_; }
+  const RepartitionDecision& last_decision() const { return last_decision_; }
+  const Distribution& distribution() const { return runtime_->config().distribution; }
+  const SlidingWindowGraph& window() const { return window_; }
+
+  // Classifications observed live that the base profile never saw —
+  // the §6 case: usage differing from the profiled scenarios.
+  const std::unordered_map<ClassificationId, ClassificationInfo>& live_classifications()
+      const {
+    return live_registry_;
+  }
+
+  // --- ObjectSystem::Interceptor -------------------------------------------
+  void OnInstantiated(const ClassDesc& cls, InstanceId id, InstanceId creator) override;
+  void OnCallEnd(const ObjectSystem::CallEvent& event, const Status& status) override;
+  void OnCompute(InstanceId instance, double seconds) override;
+
+ private:
+  ClassificationId ClassificationOf(InstanceId instance) const;
+
+  ObjectSystem* system_;
+  CoignRuntime* runtime_;
+  const IccProfile& base_profile_;
+  NetworkProfile network_;
+  OnlineOptions options_;
+  SlidingWindowGraph window_;
+  RepartitionPolicy policy_;
+  // Metadata (clsid, name, api_usage) for classifications first seen live,
+  // registered at instantiation so re-cuts can place and constrain them.
+  std::unordered_map<ClassificationId, ClassificationInfo> live_registry_;
+  MigrationChargeFn charge_;
+  OnlineStats stats_;
+  DriftReport last_drift_;
+  RepartitionDecision last_decision_;
+  uint64_t epochs_since_evaluation_ = 0;
+  uint64_t cooldown_remaining_ = 0;
+};
+
+}  // namespace coign
+
+#endif  // COIGN_SRC_ONLINE_REPARTITIONER_H_

@@ -76,8 +76,12 @@ DriftReport DetectDrift(const IccProfile& profile, const MessageCounts& observed
   } else {
     report.similarity = norm_observed == norm_profiled ? 1.0 : 0.0;
   }
+  // Guard the empty-window case (reachable when min_messages is 0): an
+  // application that sent nothing has not drifted.
   report.unprofiled_fraction =
-      static_cast<double>(unprofiled) / static_cast<double>(report.observed_messages);
+      report.observed_messages == 0
+          ? 0.0
+          : static_cast<double>(unprofiled) / static_cast<double>(report.observed_messages);
   report.reprofile_recommended = report.similarity < options.similarity_threshold ||
                                  report.unprofiled_fraction > options.unprofiled_threshold;
   return report;

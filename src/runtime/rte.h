@@ -66,6 +66,14 @@ class CoignRuntime : public ObjectSystem::Interceptor {
   // bindings and the per-execution communication matrix.
   void BeginScenario();
 
+  // Replaces the distribution in the configuration record. The component
+  // factories hold a live view of it, so subsequent instantiations are
+  // placed per the new cut immediately — the adoption half of online
+  // repartitioning (already-live instances are the migrator's job).
+  void AdoptDistribution(const Distribution& distribution) {
+    config_.distribution = distribution;
+  }
+
   // The per-machine factory pair (distributed mode; also available in
   // profiling mode where everything is fulfilled on the client).
   const ComponentFactory& client_factory() const { return client_factory_; }

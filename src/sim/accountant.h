@@ -40,6 +40,13 @@ class NetworkAccountant : public ObjectSystem::Interceptor {
   uint64_t remote_calls() const { return remote_calls_; }
   uint64_t remote_bytes() const { return remote_bytes_; }
 
+  // Bills out-of-band traffic (online repartitioning's state transfers) to
+  // this accountant's clocks, so adaptive runs pay for their migrations.
+  void ChargeMigration(uint64_t bytes, double seconds) {
+    remote_bytes_ += bytes;
+    communication_seconds_ += seconds;
+  }
+
   void Reset();
 
   // --- ObjectSystem::Interceptor -------------------------------------------

@@ -1,4 +1,4 @@
-# Drives the coign CLI end to end: profile -> analyze -> measure.
+# Drives the coign CLI end to end: profile -> analyze -> measure -> online.
 file(MAKE_DIRECTORY ${WORK_DIR})
 function(run)
   execute_process(COMMAND ${ARGN} WORKING_DIRECTORY ${WORK_DIR}
@@ -10,6 +10,8 @@ endfunction()
 run(${COIGN_BIN} profile --scenario o_oldwp7 -o smoke)
 run(${COIGN_BIN} analyze -i smoke --network 10baset --dot smoke.dot)
 run(${COIGN_BIN} measure -i smoke --scenario o_oldwp7)
+run(${COIGN_BIN} online -i smoke --scenario o_oldwp7 --scenario o_mixed9
+    --cycles 1 --reps 2)
 foreach(artifact smoke.profile smoke.config smoke.dist smoke.dot)
   if(NOT EXISTS ${WORK_DIR}/${artifact})
     message(FATAL_ERROR "missing artifact: ${artifact}")

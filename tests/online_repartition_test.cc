@@ -1,0 +1,409 @@
+// Tests for the online repartitioning subsystem: the sliding-window
+// accountant, the rent-or-buy policy (hysteresis, migration-cost gates),
+// the live migrator, and the drift-detector edge cases the online loop
+// depends on.
+
+#include <gtest/gtest.h>
+
+#include "src/apps/component_library.h"
+#include "src/apps/octarine.h"
+#include "src/net/network_model.h"
+#include "src/online/measure_online.h"
+#include "src/online/migrator.h"
+#include "src/online/policy.h"
+#include "src/online/window.h"
+#include "src/runtime/drift.h"
+
+namespace coign {
+namespace {
+
+CallKey KeyOf(ClassificationId src, ClassificationId dst, MethodIndex method = 0) {
+  CallKey key;
+  key.src = src;
+  key.dst = dst;
+  key.iid = Guid::FromName("iid:ITest");
+  key.method = method;
+  return key;
+}
+
+ClassificationInfo InfoOf(ClassificationId id, const std::string& name) {
+  ClassificationInfo info;
+  info.id = id;
+  info.clsid = Guid::FromName("clsid:" + name);
+  info.class_name = name;
+  info.api_usage = kApiNone;
+  info.instance_count = 1;
+  return info;
+}
+
+// --- SlidingWindowGraph -----------------------------------------------------
+
+TEST(SlidingWindowTest, EpochFoldAndExponentialDecay) {
+  WindowOptions options;
+  options.decay = 0.5;
+  options.prune_weight = 0.01;
+  SlidingWindowGraph window(options);
+  const CallKey key = KeyOf(1, 2);
+
+  window.Record(key, 8);
+  EXPECT_DOUBLE_EQ(window.WeightOf(key), 0.0);  // Current epoch not folded yet.
+  window.AdvanceEpoch();
+  EXPECT_DOUBLE_EQ(window.WeightOf(key), 8.0);
+
+  window.AdvanceEpoch();  // No new traffic: decays.
+  EXPECT_DOUBLE_EQ(window.WeightOf(key), 4.0);
+  window.Record(key, 2);
+  window.AdvanceEpoch();  // window = 0.5 * 4 + 2.
+  EXPECT_DOUBLE_EQ(window.WeightOf(key), 4.0);
+  EXPECT_EQ(window.epoch_count(), 3u);
+}
+
+TEST(SlidingWindowTest, PruningBoundsMemory) {
+  WindowOptions options;
+  options.decay = 0.5;
+  options.prune_weight = 0.01;
+  SlidingWindowGraph window(options);
+  window.Record(KeyOf(1, 2), 1);
+  window.AdvanceEpoch();
+  EXPECT_EQ(window.tracked_keys(), 1u);
+  // 1 * 0.5^n falls below 0.01 within 7 epochs; the key must vanish.
+  for (int i = 0; i < 8; ++i) {
+    window.AdvanceEpoch();
+  }
+  EXPECT_EQ(window.tracked_keys(), 0u);
+  EXPECT_DOUBLE_EQ(window.total_message_weight(), 0.0);
+}
+
+TEST(SlidingWindowTest, WindowedProfileScalesProfiledKeys) {
+  IccProfile base;
+  base.RecordClassification(InfoOf(1, "A"));
+  base.RecordClassification(InfoOf(2, "B"));
+  const CallKey key = KeyOf(1, 2);
+  for (int i = 0; i < 10; ++i) {
+    base.RecordCall(key, 100, 50, /*remotable=*/true);
+  }
+
+  SlidingWindowGraph window;
+  window.Record(key, 20);  // Twice the profiled rate.
+  window.AdvanceEpoch();
+
+  const IccProfile windowed = window.WindowedProfile(base);
+  auto it = windowed.calls().find(key);
+  ASSERT_NE(it, windowed.calls().end());
+  EXPECT_EQ(it->second.call_count(), 20u);
+  // Size distribution preserved: 150 bytes round-trip per call.
+  EXPECT_EQ(it->second.total_bytes(), 20u * 150u);
+}
+
+TEST(SlidingWindowTest, UnprofiledKeysNeedLiveRegistry) {
+  IccProfile base;
+  base.RecordClassification(InfoOf(1, "A"));
+  const CallKey key = KeyOf(1, 9);  // Classification 9 unknown to the profile.
+
+  SlidingWindowGraph window;
+  window.Record(key, 50, /*remotable=*/false);
+  window.AdvanceEpoch();
+
+  // Without metadata for 9 the key cannot be placed — it is dropped.
+  EXPECT_TRUE(window.WindowedProfile(base).calls().empty());
+
+  // With the live registry (classification first seen at run time) the key
+  // is synthesized at the default message size, non-remotability preserved.
+  std::unordered_map<ClassificationId, ClassificationInfo> live;
+  live.emplace(9, InfoOf(9, "LiveOnly"));
+  const IccProfile windowed = window.WindowedProfile(base, live);
+  auto it = windowed.calls().find(key);
+  ASSERT_NE(it, windowed.calls().end());
+  EXPECT_EQ(it->second.call_count(), 50u);
+  EXPECT_EQ(it->second.non_remotable_calls, 50u);
+  ASSERT_NE(windowed.FindClassification(9), nullptr);
+  EXPECT_EQ(windowed.FindClassification(9)->class_name, "LiveOnly");
+}
+
+// --- RepartitionPolicy ------------------------------------------------------
+
+// A profile with one hot pair: A (client) talking to B over the wire.
+IccProfile HotPairProfile(uint64_t calls) {
+  IccProfile profile;
+  profile.RecordClassification(InfoOf(1, "A"));
+  profile.RecordClassification(InfoOf(2, "B"));
+  const CallKey key = KeyOf(1, 2);
+  for (uint64_t i = 0; i < calls; ++i) {
+    profile.RecordCall(key, 4096, 4096, /*remotable=*/true);
+  }
+  return profile;
+}
+
+Distribution SplitAB() {
+  Distribution current;
+  current.placement[1] = kClientMachine;
+  current.placement[2] = kServerMachine;
+  return current;
+}
+
+TEST(RepartitionPolicyTest, RejectsEmptyAndThinWindows) {
+  const NetworkProfile network = NetworkProfile::Exact(NetworkModel::TenBaseT());
+  RepartitionPolicy policy;
+
+  Result<RepartitionDecision> empty =
+      policy.Evaluate(IccProfile(), network, Distribution(), {});
+  ASSERT_TRUE(empty.ok());
+  EXPECT_FALSE(empty->adopt);
+  EXPECT_EQ(empty->reject_cause, RejectCause::kEmptyWindow);
+
+  Result<RepartitionDecision> thin =
+      policy.Evaluate(HotPairProfile(3), network, SplitAB(), {});
+  ASSERT_TRUE(thin.ok());
+  EXPECT_FALSE(thin->adopt);
+  EXPECT_EQ(thin->reject_cause, RejectCause::kInsufficientEvidence);
+}
+
+TEST(RepartitionPolicyTest, AcceptsColocationOfHotPair) {
+  const NetworkProfile network = NetworkProfile::Exact(NetworkModel::TenBaseT());
+  RepartitionPolicy policy;
+  std::unordered_map<ClassificationId, uint64_t> live = {{1, 1}, {2, 1}};
+
+  Result<RepartitionDecision> decision =
+      policy.Evaluate(HotPairProfile(500), network, SplitAB(), live);
+  ASSERT_TRUE(decision.ok());
+  EXPECT_TRUE(decision->adopt) << decision->reason;
+  // The bill (one instance's state) is far below a window of hot traffic,
+  // so the policy moves live state eagerly rather than adopting lazily.
+  EXPECT_TRUE(decision->migrate) << decision->reason;
+  EXPECT_EQ(decision->reject_cause, RejectCause::kNone);
+  // The proposed cut colocates the pair: no cross-machine traffic left.
+  EXPECT_EQ(decision->proposed.MachineFor(1), decision->proposed.MachineFor(2));
+  EXPECT_LT(decision->proposed_seconds, decision->current_seconds);
+  EXPECT_GT(decision->instances_to_move, 0u);
+}
+
+TEST(RepartitionPolicyTest, HysteresisRejectsMarginalGains) {
+  const NetworkProfile network = NetworkProfile::Exact(NetworkModel::TenBaseT());
+  RepartitionConfig config;
+  // A gain threshold no real cut can clear: relative gain is at most 100%.
+  config.min_relative_gain = 1.5;
+  RepartitionPolicy policy(config);
+  std::unordered_map<ClassificationId, uint64_t> live = {{1, 1}, {2, 1}};
+
+  Result<RepartitionDecision> decision =
+      policy.Evaluate(HotPairProfile(500), network, SplitAB(), live);
+  ASSERT_TRUE(decision.ok());
+  EXPECT_FALSE(decision->adopt);
+  EXPECT_EQ(decision->reject_cause, RejectCause::kHysteresis);
+}
+
+TEST(RepartitionPolicyTest, RentOrBuyAdoptsLazilyWhenMigrationIsExpensive) {
+  const NetworkProfile network = NetworkProfile::Exact(NetworkModel::TenBaseT());
+  RepartitionConfig config;
+  config.state_bytes_per_instance = 64 * 1024 * 1024;  // Monstrous state.
+  RepartitionPolicy policy(config);
+  // Many live instances of the server-side classification.
+  std::unordered_map<ClassificationId, uint64_t> live = {{1, 1}, {2, 1000}};
+
+  Result<RepartitionDecision> decision =
+      policy.Evaluate(HotPairProfile(500), network, SplitAB(), live);
+  ASSERT_TRUE(decision.ok());
+  // The better cut is still worth adopting — factories place future
+  // instances per it for free — but moving 1000 instances of huge state is
+  // not: live instances keep renting the old cut until they die.
+  EXPECT_TRUE(decision->adopt) << decision->reason;
+  EXPECT_FALSE(decision->migrate);
+  EXPECT_EQ(decision->reject_cause, RejectCause::kNone);
+  EXPECT_GT(decision->migration_seconds, 0.0);
+}
+
+TEST(RepartitionPolicyTest, RentOrBuyKeepsRentingOverAShortHorizon) {
+  const NetworkProfile network = NetworkProfile::Exact(NetworkModel::TenBaseT());
+  RepartitionConfig config;
+  config.state_bytes_per_instance = 64 * 1024 * 1024;
+  // One window of future: lazy adoption gains nothing (live instances rent
+  // through it) and eager migration cannot amortize the bill.
+  config.horizon_windows = 1.0;
+  RepartitionPolicy policy(config);
+  std::unordered_map<ClassificationId, uint64_t> live = {{1, 1}, {2, 1000}};
+
+  Result<RepartitionDecision> decision =
+      policy.Evaluate(HotPairProfile(500), network, SplitAB(), live);
+  ASSERT_TRUE(decision.ok());
+  EXPECT_FALSE(decision->adopt);
+  EXPECT_FALSE(decision->migrate);
+  EXPECT_EQ(decision->reject_cause, RejectCause::kMigrationCost);
+}
+
+TEST(RepartitionPolicyTest, IdleClassificationsKeepTheirPlacement) {
+  const NetworkProfile network = NetworkProfile::Exact(NetworkModel::TenBaseT());
+  // Window sees only the A-B pair; classification 3 exists in the profile
+  // but has no traffic — a disconnected node the min cut would place
+  // arbitrarily. The policy must keep it where it is (server).
+  IccProfile windowed = HotPairProfile(500);
+  windowed.RecordClassification(InfoOf(3, "Idle"));
+  Distribution current = SplitAB();
+  current.placement[3] = kServerMachine;
+
+  RepartitionPolicy policy;
+  std::unordered_map<ClassificationId, uint64_t> live = {{1, 1}, {2, 1}, {3, 4}};
+  Result<RepartitionDecision> decision = policy.Evaluate(windowed, network, current, live);
+  ASSERT_TRUE(decision.ok());
+  EXPECT_EQ(decision->proposed.MachineFor(3), kServerMachine);
+}
+
+// --- LiveMigrator -----------------------------------------------------------
+
+class MigratorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(system_.interfaces()
+                    .Register(InterfaceBuilder("IEcho")
+                                  .Method("Echo")
+                                  .In("x", ValueKind::kInt32)
+                                  .Out("x", ValueKind::kInt32)
+                                  .Build())
+                    .ok());
+    iid_ = system_.interfaces().LookupByName("IEcho")->iid;
+    handlers_.Set(iid_, 0,
+                  [](ScriptedComponent& self, const Message& in, Message* out) {
+                    (void)self;
+                    out->Add("x", Value::FromInt32(in.Find("x")->AsInt32()));
+                    return Status::Ok();
+                  });
+    ASSERT_TRUE(
+        RegisterScriptedClass(&system_, "Echo", {iid_}, kApiNone, &handlers_).ok());
+  }
+
+  ObjectSystem system_;
+  HandlerTable handlers_;
+  InterfaceId iid_;
+};
+
+TEST_F(MigratorTest, MovesInstancesAcrossTheCutAndBillsState) {
+  ASSERT_TRUE(system_.CreateInstanceByName("Echo", "IEcho").ok());
+  ASSERT_TRUE(system_.CreateInstanceByName("Echo", "IEcho").ok());
+  for (const auto& info : system_.LiveInstances()) {
+    EXPECT_EQ(info.machine, kClientMachine);
+  }
+
+  Distribution target;
+  target.placement[7] = kServerMachine;
+  const NetworkProfile network = NetworkProfile::Exact(NetworkModel::TenBaseT());
+  LiveMigrator migrator(/*state_bytes_per_instance=*/2048,
+                        [](InstanceId) -> ClassificationId { return 7; });
+  Result<MigrationReport> report = migrator.Migrate(system_, target, network);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->instances_moved, 2u);
+  EXPECT_EQ(report->bytes_transferred, 2u * 2048u);
+  EXPECT_GT(report->seconds, 0.0);
+  for (const auto& info : system_.LiveInstances()) {
+    EXPECT_EQ(info.machine, kServerMachine);
+  }
+
+  // Already in place: a second migration is a no-op.
+  Result<MigrationReport> again = migrator.Migrate(system_, target, network);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->instances_moved, 0u);
+}
+
+TEST_F(MigratorTest, UnclassifiedInstancesStayPut) {
+  ASSERT_TRUE(system_.CreateInstanceByName("Echo", "IEcho").ok());
+  Distribution target;
+  target.default_machine = kServerMachine;
+  const NetworkProfile network = NetworkProfile::Exact(NetworkModel::TenBaseT());
+  LiveMigrator migrator(2048,
+                        [](InstanceId) -> ClassificationId { return kNoClassification; });
+  Result<MigrationReport> report = migrator.Migrate(system_, target, network);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->instances_moved, 0u);
+  EXPECT_EQ(system_.LiveInstances()[0].machine, kClientMachine);
+}
+
+// --- DetectDrift edge cases -------------------------------------------------
+
+TEST(DriftEdgeCaseTest, EmptyWindowIsNotDrift) {
+  IccProfile profile = HotPairProfile(100);
+  DriftOptions options;
+  options.min_messages = 0;  // Force a judgment on the empty window.
+  const DriftReport report = DetectDrift(profile, MessageCounts(), options);
+  EXPECT_EQ(report.observed_messages, 0u);
+  // Regression: this used to be 0/0 = NaN.
+  EXPECT_DOUBLE_EQ(report.unprofiled_fraction, 0.0);
+  EXPECT_FALSE(report.unprofiled_fraction != report.unprofiled_fraction);
+}
+
+TEST(DriftEdgeCaseTest, EmptyProfileFlagsAllTrafficAsUnprofiled) {
+  MessageCounts observed;
+  observed.Record(1, 2, 500);
+  DriftOptions options;
+  options.min_messages = 100;
+  const DriftReport report = DetectDrift(IccProfile(), observed, options);
+  EXPECT_DOUBLE_EQ(report.unprofiled_fraction, 1.0);
+  EXPECT_TRUE(report.reprofile_recommended);
+}
+
+TEST(DriftEdgeCaseTest, MatchingTrafficIsNotDrift) {
+  IccProfile profile = HotPairProfile(100);
+  MessageCounts observed;
+  observed.Record(1, 2, 200);  // Same pair, scaled rate: same direction.
+  const DriftReport report = DetectDrift(profile, observed);
+  EXPECT_GT(report.similarity, 0.99);
+  EXPECT_FALSE(report.reprofile_recommended);
+}
+
+// --- End to end: the closed loop on a real application ----------------------
+
+TEST(OnlineRepartitionIntegrationTest, AdaptiveRunRepartitionsUnderDrift) {
+  std::unique_ptr<Application> app = MakeOctarine();
+
+  // Profile text usage only, in-process (profiling-mode runtime).
+  ObjectSystem profiling_system;
+  ASSERT_TRUE(app->Install(&profiling_system).ok());
+  ConfigurationRecord profiling_config;
+  profiling_config.mode = RuntimeMode::kProfiling;
+  CoignRuntime profiling_runtime(&profiling_system, profiling_config);
+  Rng rng(17);
+  for (const char* id : {"o_oldwp0", "o_oldwp3"}) {
+    Result<Scenario> scenario = app->FindScenario(id);
+    ASSERT_TRUE(scenario.ok());
+    profiling_runtime.BeginScenario();
+    ASSERT_TRUE(scenario->run(profiling_system, rng).ok());
+    profiling_system.DestroyAll();
+  }
+  const IccProfile profile = profiling_runtime.profiling_logger()->profile();
+
+  const NetworkModel network = NetworkModel::TenBaseT();
+  const NetworkProfile fitted = NetworkProfile::Exact(network);
+  ProfileAnalysisEngine engine;
+  Result<AnalysisResult> analysis = engine.Analyze(profile, fitted);
+  ASSERT_TRUE(analysis.ok());
+
+  ConfigurationRecord config;
+  config.mode = RuntimeMode::kDistributed;
+  config.classifier_table = profiling_runtime.classifier().ExportDescriptors();
+  config.distribution = analysis->distribution;
+
+  OnlineMeasurementOptions options;
+  options.network = network;
+  options.fitted = fitted;
+  options.online.policy.min_window_messages = 50.0;
+
+  // Usage drifts to table-heavy documents the profile never saw.
+  const std::vector<OnlinePhase> workload =
+      CyclicWorkload({"o_oldwp3", "o_mixed9"}, /*repetitions=*/2, /*cycles=*/2);
+  Result<OnlineRunResult> adaptive =
+      MeasureOnlineRun(*app, workload, config, profile, options);
+  ASSERT_TRUE(adaptive.ok());
+  EXPECT_EQ(adaptive->online.epochs, 8u);
+  EXPECT_GE(adaptive->online.drift_flags, 1u);
+  EXPECT_GE(adaptive->online.repartitions, 1u);
+  // Every repartition either migrated live state or adopted lazily.
+  EXPECT_LE(adaptive->online.lazy_adoptions, adaptive->online.repartitions);
+
+  // The same workload without adaptation pays more communication.
+  OnlineMeasurementOptions static_options = options;
+  static_options.adaptive = false;
+  Result<OnlineRunResult> fixed =
+      MeasureOnlineRun(*app, workload, config, profile, static_options);
+  ASSERT_TRUE(fixed.ok());
+  EXPECT_LT(adaptive->run.communication_seconds, fixed->run.communication_seconds);
+}
+
+}  // namespace
+}  // namespace coign

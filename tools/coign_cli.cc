@@ -16,10 +16,17 @@
 //   coign measure -i <base> --scenario <id> [--network <name>]
 //       Runs the scenario under the developer default and under the
 //       distribution in <base>.dist; prints a Table 4 style row.
+//   coign online -i <base> --scenario <id> [--scenario <id> ...]
+//               [--network <name>] [--cycles <n>] [--reps <n>]
+//       Replays the scenarios as a cyclic phase-shifting workload under
+//       the distribution in <base>.dist, once statically and once with
+//       the online repartitioner adapting as usage drifts from the
+//       profile; prints both runs and the adaptation statistics.
 //
 // Networks: isdn, 10baset, 100baset, atm, san.
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -32,6 +39,7 @@
 #include "src/analysis/report.h"
 #include "src/apps/suite.h"
 #include "src/net/network_profiler.h"
+#include "src/online/measure_online.h"
 #include "src/profile/log_file.h"
 #include "src/runtime/rte.h"
 #include "src/sim/measurement.h"
@@ -46,7 +54,9 @@ int Usage() {
                "  coign list\n"
                "  coign profile --scenario <id> [--scenario <id> ...] -o <base>\n"
                "  coign analyze -i <base> [--network <name>] [--dot <file>]\n"
-               "  coign measure -i <base> --scenario <id> [--network <name>]\n");
+               "  coign measure -i <base> --scenario <id> [--network <name>]\n"
+               "  coign online -i <base> --scenario <id> [--scenario <id> ...]\n"
+               "              [--network <name>] [--cycles <n>] [--reps <n>]\n");
   return 2;
 }
 
@@ -94,6 +104,8 @@ struct Flags {
   std::string input_base;
   std::string network = "10baset";
   std::string dot_path;
+  int cycles = 2;
+  int reps = 3;
 };
 
 Result<Flags> ParseFlags(int argc, char** argv, int first) {
@@ -136,6 +148,16 @@ Result<Flags> ParseFlags(int argc, char** argv, int first) {
         return value.status();
       }
       flags.dot_path = *value;
+    } else if (arg == "--cycles" || arg == "--reps") {
+      Result<std::string> value = next();
+      if (!value.ok()) {
+        return value.status();
+      }
+      const int parsed = std::atoi(value->c_str());
+      if (parsed <= 0) {
+        return InvalidArgumentError(arg + " wants a positive integer, got " + *value);
+      }
+      (arg == "--cycles" ? flags.cycles : flags.reps) = parsed;
     } else {
       return InvalidArgumentError("unknown flag: " + arg);
     }
@@ -360,6 +382,83 @@ int CmdMeasure(const Flags& flags) {
   return 0;
 }
 
+int CmdOnline(const Flags& flags) {
+  if (flags.input_base.empty() || flags.scenarios.empty()) {
+    return Usage();
+  }
+  Result<std::unique_ptr<Application>> app =
+      BuildApplicationForScenario(flags.scenarios.front());
+  if (!app.ok()) {
+    std::fprintf(stderr, "%s\n", app.status().ToString().c_str());
+    return 1;
+  }
+  Result<IccProfile> profile = ReadProfileFile(flags.input_base + ".profile");
+  if (!profile.ok()) {
+    std::fprintf(stderr, "%s\n", profile.status().ToString().c_str());
+    return 1;
+  }
+  Result<std::string> dist_text = ReadFile(flags.input_base + ".dist");
+  if (!dist_text.ok()) {
+    std::fprintf(stderr, "%s (run `coign analyze` first)\n",
+                 dist_text.status().ToString().c_str());
+    return 1;
+  }
+  Result<ConfigurationRecord> config = ConfigurationRecord::Parse(*dist_text);
+  if (!config.ok()) {
+    std::fprintf(stderr, "%s\n", config.status().ToString().c_str());
+    return 1;
+  }
+  Result<NetworkModel> network = NetworkByName(flags.network);
+  if (!network.ok()) {
+    std::fprintf(stderr, "%s\n", network.status().ToString().c_str());
+    return 1;
+  }
+
+  Rng rng(23);
+  NetworkProfiler profiler;
+
+  OnlineMeasurementOptions options;
+  options.network = *network;
+  options.fitted = profiler.Profile(Transport(*network), rng);
+
+  const std::vector<OnlinePhase> workload =
+      CyclicWorkload(flags.scenarios, flags.reps, flags.cycles);
+  std::printf("workload: %zu scenario(s) x %d rep(s) x %d cycle(s) = %zu epochs on %s\n",
+              flags.scenarios.size(), flags.reps, flags.cycles, workload.size() *
+                  static_cast<size_t>(flags.reps), network->name.c_str());
+
+  options.adaptive = false;
+  Result<OnlineRunResult> fixed =
+      MeasureOnlineRun(**app, workload, *config, *profile, options);
+  if (!fixed.ok()) {
+    std::fprintf(stderr, "static run: %s\n", fixed.status().ToString().c_str());
+    return 1;
+  }
+  options.adaptive = true;
+  Result<OnlineRunResult> adaptive =
+      MeasureOnlineRun(**app, workload, *config, *profile, options);
+  if (!adaptive.ok()) {
+    std::fprintf(stderr, "adaptive run: %s\n", adaptive.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("static   | comm %.3f s | exec %.3f s\n",
+              fixed->run.communication_seconds, fixed->run.execution_seconds);
+  std::printf("adaptive | comm %.3f s | exec %.3f s | %llu repartitions, %llu moves\n",
+              adaptive->run.communication_seconds, adaptive->run.execution_seconds,
+              static_cast<unsigned long long>(adaptive->online.repartitions),
+              static_cast<unsigned long long>(adaptive->online.instances_moved));
+  std::printf("%s\n", adaptive->online.ToString().c_str());
+  std::printf("final drift: %s\n", adaptive->final_drift.ToString().c_str());
+  const double savings =
+      fixed->run.execution_seconds > 0.0
+          ? 100.0 * (1.0 - adaptive->run.execution_seconds / fixed->run.execution_seconds)
+          : 0.0;
+  std::printf("online adaptation saves %.1f%% vs the shipped static distribution\n",
+              savings);
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   if (argc < 2) {
     return Usage();
@@ -381,6 +480,9 @@ int Main(int argc, char** argv) {
   }
   if (command == "measure") {
     return CmdMeasure(*flags);
+  }
+  if (command == "online") {
+    return CmdOnline(*flags);
   }
   return Usage();
 }
