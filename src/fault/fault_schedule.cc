@@ -1,0 +1,157 @@
+#include "src/fault/fault_schedule.h"
+
+#include <algorithm>
+
+#include "src/support/str_util.h"
+
+namespace coign {
+
+std::string_view FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kDropBurst:
+      return "drop-burst";
+    case FaultKind::kDuplicateBurst:
+      return "duplicate-burst";
+    case FaultKind::kReorderBurst:
+      return "reorder-burst";
+    case FaultKind::kLatencySpike:
+      return "latency-spike";
+    case FaultKind::kBandwidthDrop:
+      return "bandwidth-drop";
+    case FaultKind::kPartition:
+      return "partition";
+    case FaultKind::kCrashRestart:
+      return "crash-restart";
+  }
+  return "unknown";
+}
+
+std::string FaultEpisode::ToString() const {
+  const std::string target =
+      machine == kAnyMachine ? std::string("*") : StrFormat("m%d", machine);
+  return StrFormat("%s[%s] %.3fs..%.3fs x%.3f", std::string(FaultKindName(kind)).c_str(),
+                   target.c_str(), start_seconds, end_seconds(), magnitude);
+}
+
+FaultSchedule FaultSchedule::FromEpisodes(std::vector<FaultEpisode> episodes) {
+  FaultSchedule schedule;
+  schedule.episodes_ = std::move(episodes);
+  std::sort(schedule.episodes_.begin(), schedule.episodes_.end(),
+            [](const FaultEpisode& a, const FaultEpisode& b) {
+              return a.start_seconds < b.start_seconds;
+            });
+  return schedule;
+}
+
+namespace {
+
+// Draws one episode of `kind` somewhere inside the horizon.
+FaultEpisode DrawEpisode(FaultKind kind, const RandomFaultOptions& options, Rng& rng) {
+  FaultEpisode episode;
+  episode.kind = kind;
+  episode.start_seconds = rng.UniformDouble(0.0, options.horizon_seconds);
+  episode.duration_seconds = std::min(rng.Exponential(options.mean_duration_seconds),
+                                      options.horizon_seconds * 0.25);
+  switch (kind) {
+    case FaultKind::kDropBurst:
+      episode.magnitude = rng.UniformDouble(0.05, options.drop_burst_max);
+      break;
+    case FaultKind::kDuplicateBurst:
+      episode.magnitude = rng.UniformDouble(0.05, options.duplicate_burst_max);
+      break;
+    case FaultKind::kReorderBurst:
+      episode.magnitude = rng.UniformDouble(0.05, options.reorder_burst_max);
+      break;
+    case FaultKind::kLatencySpike:
+      episode.magnitude = rng.UniformDouble(2.0, options.latency_spike_max);
+      break;
+    case FaultKind::kBandwidthDrop:
+      episode.magnitude = rng.UniformDouble(2.0, options.bandwidth_drop_max);
+      break;
+    case FaultKind::kPartition:
+      episode.magnitude = 1.0;
+      episode.machine = rng.Bernoulli(0.5)
+                            ? kAnyMachine
+                            : (rng.Bernoulli(0.5) ? kServerMachine : kClientMachine);
+      break;
+    case FaultKind::kCrashRestart:
+      episode.magnitude = options.restart_penalty_seconds;
+      episode.machine = rng.Bernoulli(0.5) ? kServerMachine : kClientMachine;
+      break;
+  }
+  return episode;
+}
+
+}  // namespace
+
+FaultSchedule FaultSchedule::Random(const RandomFaultOptions& options, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<FaultEpisode> episodes;
+  const auto draw_kind = [&](FaultKind kind) {
+    const int64_t cap = static_cast<int64_t>(2.0 * options.episodes_per_kind);
+    const int64_t count = cap <= 0 ? 0 : rng.UniformInt(0, cap);
+    for (int64_t i = 0; i < count; ++i) {
+      episodes.push_back(DrawEpisode(kind, options, rng));
+    }
+  };
+  draw_kind(FaultKind::kDropBurst);
+  draw_kind(FaultKind::kDuplicateBurst);
+  draw_kind(FaultKind::kReorderBurst);
+  draw_kind(FaultKind::kLatencySpike);
+  draw_kind(FaultKind::kBandwidthDrop);
+  if (options.include_partitions) {
+    draw_kind(FaultKind::kPartition);
+  }
+  if (options.include_crashes) {
+    draw_kind(FaultKind::kCrashRestart);
+  }
+  return FromEpisodes(std::move(episodes));
+}
+
+const FaultEpisode* FaultSchedule::ActiveEpisode(FaultKind kind, double now, MachineId src,
+                                                 MachineId dst) const {
+  const FaultEpisode* best = nullptr;
+  for (const FaultEpisode& episode : episodes_) {
+    if (episode.kind != kind || !episode.ActiveAt(now) || !episode.Covers(src, dst)) {
+      continue;
+    }
+    if (best == nullptr || episode.magnitude > best->magnitude) {
+      best = &episode;
+    }
+  }
+  return best;
+}
+
+bool FaultSchedule::AnyActiveAt(double now) const {
+  for (const FaultEpisode& episode : episodes_) {
+    if (episode.ActiveAt(now)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+double FaultSchedule::HorizonSeconds() const {
+  double horizon = 0.0;
+  for (const FaultEpisode& episode : episodes_) {
+    horizon = std::max(horizon, episode.end_seconds());
+  }
+  return horizon;
+}
+
+std::string FaultSchedule::ToString() const {
+  if (episodes_.empty()) {
+    return "fault-schedule{}";
+  }
+  std::string out = "fault-schedule{";
+  for (size_t i = 0; i < episodes_.size(); ++i) {
+    if (i > 0) {
+      out += "; ";
+    }
+    out += episodes_[i].ToString();
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace coign

@@ -1,0 +1,125 @@
+#include "src/fault/injector.h"
+
+#include <algorithm>
+
+#include "src/support/str_util.h"
+
+namespace coign {
+
+std::string FaultStats::ToString() const {
+  return StrFormat(
+      "faults{attempts=%llu, drops=%llu, dups=%llu, reorders=%llu, lat_spiked=%llu, "
+      "bw_limited=%llu, partition_drops=%llu, crash_drops=%llu, restarts=%llu}",
+      static_cast<unsigned long long>(attempts), static_cast<unsigned long long>(drops),
+      static_cast<unsigned long long>(duplicates),
+      static_cast<unsigned long long>(reorders),
+      static_cast<unsigned long long>(latency_spiked),
+      static_cast<unsigned long long>(bandwidth_limited),
+      static_cast<unsigned long long>(partition_drops),
+      static_cast<unsigned long long>(crash_drops),
+      static_cast<unsigned long long>(restart_penalties));
+}
+
+RetryPolicy SuggestedRetryPolicy(const NetworkModel& model) {
+  const double round_trip = 2.0 * model.per_message_seconds;
+  RetryPolicy policy;
+  policy.timeout_seconds = 4.0 * round_trip;
+  policy.max_attempts = 4;
+  policy.backoff_initial_seconds = round_trip;
+  policy.backoff_multiplier = 2.0;
+  policy.backoff_max_seconds = 8.0 * round_trip;
+  policy.backoff_jitter = 0.2;
+  return policy;
+}
+
+void FaultInjector::AdvanceClock(double seconds) {
+  if (seconds > 0.0) {
+    now_seconds_ += seconds;
+  }
+}
+
+AttemptPlan FaultInjector::OnAttempt(MachineId src, MachineId dst, uint64_t request_bytes,
+                                     uint64_t reply_bytes) {
+  (void)request_bytes;
+  (void)reply_bytes;
+  AttemptPlan plan;
+  ++stats_.attempts;
+
+  // Crash-restart: the machine is down for the episode; remember to charge
+  // the restart penalty on the first delivery once it is back.
+  for (const FaultEpisode& episode : schedule_.episodes()) {
+    if (episode.kind != FaultKind::kCrashRestart || !episode.Covers(src, dst)) {
+      continue;
+    }
+    if (episode.ActiveAt(now_seconds_)) {
+      pending_restart_[episode.machine] =
+          std::max(pending_restart_[episode.machine], episode.magnitude);
+      ++stats_.crash_drops;
+      plan.delivered = false;
+      return plan;
+    }
+  }
+
+  if (schedule_.ActiveEpisode(FaultKind::kPartition, now_seconds_, src, dst) != nullptr) {
+    ++stats_.partition_drops;
+    plan.delivered = false;
+    return plan;
+  }
+
+  double drop_p = background_.drop;
+  if (const FaultEpisode* burst =
+          schedule_.ActiveEpisode(FaultKind::kDropBurst, now_seconds_, src, dst)) {
+    drop_p = std::min(1.0, drop_p + burst->magnitude);
+  }
+  if (drop_p > 0.0 && rng_.Bernoulli(drop_p)) {
+    ++stats_.drops;
+    plan.delivered = false;
+    return plan;
+  }
+
+  // Delivered: recovering machines charge their restart penalty exactly once.
+  for (auto it = pending_restart_.begin(); it != pending_restart_.end();) {
+    const FaultEpisode probe{FaultKind::kCrashRestart, 0.0, 0.0, it->first, 0.0};
+    if (probe.Covers(src, dst)) {
+      plan.extra_seconds += it->second;
+      ++stats_.restart_penalties;
+      it = pending_restart_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  double dup_p = background_.duplicate;
+  if (const FaultEpisode* burst =
+          schedule_.ActiveEpisode(FaultKind::kDuplicateBurst, now_seconds_, src, dst)) {
+    dup_p = std::min(1.0, dup_p + burst->magnitude);
+  }
+  if (dup_p > 0.0 && rng_.Bernoulli(dup_p)) {
+    plan.duplicated = true;
+    ++stats_.duplicates;
+  }
+
+  double reorder_p = background_.reorder;
+  if (const FaultEpisode* burst =
+          schedule_.ActiveEpisode(FaultKind::kReorderBurst, now_seconds_, src, dst)) {
+    reorder_p = std::min(1.0, reorder_p + burst->magnitude);
+  }
+  if (reorder_p > 0.0 && rng_.Bernoulli(reorder_p)) {
+    plan.reordered = true;
+    ++stats_.reorders;
+  }
+
+  if (const FaultEpisode* spike =
+          schedule_.ActiveEpisode(FaultKind::kLatencySpike, now_seconds_, src, dst)) {
+    plan.latency_scale = spike->magnitude;
+    ++stats_.latency_spiked;
+  }
+  if (const FaultEpisode* drop =
+          schedule_.ActiveEpisode(FaultKind::kBandwidthDrop, now_seconds_, src, dst)) {
+    plan.bandwidth_scale = drop->magnitude;
+    ++stats_.bandwidth_limited;
+  }
+  return plan;
+}
+
+}  // namespace coign

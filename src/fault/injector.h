@@ -1,0 +1,81 @@
+// The deterministic fault injector: interprets a FaultSchedule (plus
+// steady background loss rates) against live transport traffic.
+//
+// Implements the TransportFaultModel hook the hardened transport consults
+// on every delivery attempt. All randomness comes from one seeded Rng and
+// the clock advances only with modeled simulated time, so a whole chaos
+// run — schedule, per-attempt coin flips, backoff jitter — replays
+// byte-for-byte from (schedule seed, injector seed). Crash-restart
+// episodes make a machine unreachable for their duration and charge the
+// first delivery after recovery a restart penalty.
+
+#ifndef COIGN_SRC_FAULT_INJECTOR_H_
+#define COIGN_SRC_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "src/fault/fault_schedule.h"
+#include "src/net/transport.h"
+#include "src/support/rng.h"
+
+namespace coign {
+
+struct FaultStats {
+  uint64_t attempts = 0;
+  uint64_t drops = 0;            // Background + burst probability drops.
+  uint64_t duplicates = 0;
+  uint64_t reorders = 0;
+  uint64_t latency_spiked = 0;   // Attempts delivered under a latency spike.
+  uint64_t bandwidth_limited = 0;
+  uint64_t partition_drops = 0;  // Attempts killed by a partition episode.
+  uint64_t crash_drops = 0;      // Attempts killed by a crashed machine.
+  uint64_t restart_penalties = 0;
+
+  uint64_t total_faulted() const {
+    return drops + duplicates + reorders + latency_spiked + bandwidth_limited +
+           partition_drops + crash_drops;
+  }
+  std::string ToString() const;
+};
+
+// A retry policy proportioned to a network model: timeouts a few null
+// round trips long, backoff starting at one round trip. Keeps the cost
+// of one masked drop a single-digit multiple of a healthy call on any of
+// the preset networks, so steady background loss inflates the live
+// latency estimate only mildly.
+RetryPolicy SuggestedRetryPolicy(const NetworkModel& model);
+
+class FaultInjector : public TransportFaultModel {
+ public:
+  FaultInjector(FaultSchedule schedule, FaultRates background, uint64_t seed)
+      : schedule_(std::move(schedule)), background_(background), rng_(seed) {}
+
+  const FaultSchedule& schedule() const { return schedule_; }
+  const FaultStats& stats() const { return stats_; }
+  double now_seconds() const { return now_seconds_; }
+  // Whether any scheduled episode is active right now (ground truth; the
+  // online layer must *detect* episodes from transport health instead).
+  bool InEpisode() const { return schedule_.AnyActiveAt(now_seconds_); }
+
+  // --- TransportFaultModel --------------------------------------------------
+  AttemptPlan OnAttempt(MachineId src, MachineId dst, uint64_t request_bytes,
+                        uint64_t reply_bytes) override;
+  void AdvanceClock(double seconds) override;
+  double JitterUnit() override { return rng_.UniformDouble(); }
+
+ private:
+  FaultSchedule schedule_;
+  FaultRates background_;
+  Rng rng_;
+  FaultStats stats_;
+  double now_seconds_ = 0.0;
+  // Machines with a pending restart penalty (crash episode ended, first
+  // delivery not yet charged).
+  std::unordered_map<MachineId, double> pending_restart_;
+};
+
+}  // namespace coign
+
+#endif  // COIGN_SRC_FAULT_INJECTOR_H_

@@ -112,9 +112,74 @@ CutResult MinCutRelabelToFront(FlowNetwork& network, int source, int sink) {
   assert(source != sink);
   assert(source >= 0 && source < network.node_count());
   assert(sink >= 0 && sink < network.node_count());
+
+  // Push-relabel accumulates per-node excess, and the initial preflow
+  // saturates every source arc — so a constraint pin on the source gives
+  // its node an excess of kInfiniteCapacity. Any subsequent push across a
+  // small finite arc is then absorbed outright in double arithmetic
+  // (1e30 - 1e-3 == 1e30), which manufactures excess from nothing and can
+  // keep Discharge busy forever. Clamping effectively-infinite capacities
+  // to just above the total finite capacity keeps all excess at one
+  // floating-point scale and preserves every minimum cut: a cut either
+  // avoids infinite arcs (value below the clamp, unchanged) or contains
+  // one (value above any finite cut either way).
+  double finite_total = 0.0;
+  for (int node = 0; node < network.node_count(); ++node) {
+    for (const FlowArc& arc : network.ArcsFrom(node)) {
+      if (arc.capacity < kInfiniteCapacity / 2) {
+        finite_total += arc.capacity;
+      }
+    }
+  }
+  const double clamp = finite_total + 1.0;
+  struct ClampedArc {
+    int node;
+    size_t index;
+    double original;
+  };
+  std::vector<ClampedArc> clamped;
+  for (int node = 0; node < network.node_count(); ++node) {
+    auto& arcs = network.ArcsFrom(node);
+    for (size_t i = 0; i < arcs.size(); ++i) {
+      if (arcs[i].capacity >= kInfiniteCapacity / 2) {
+        clamped.push_back({node, i, arcs[i].capacity});
+        arcs[i].capacity = clamp;
+      }
+    }
+  }
+
   RelabelToFront algorithm(network, source, sink);
   const double flow = algorithm.Run();
-  return ExtractCut(network, source, flow);
+  // Extract while the clamp is in place: a saturated clamped arc must
+  // block residual reachability, or an infinite cut would flood through.
+  CutResult cut = ExtractCut(network, source, flow);
+
+  bool infinite_arc_cut = false;
+  for (const ClampedArc& entry : clamped) {
+    FlowArc& arc = network.ArcsFrom(entry.node)[entry.index];
+    arc.capacity = entry.original;
+    if (cut.in_source_side[static_cast<size_t>(entry.node)] &&
+        !cut.in_source_side[static_cast<size_t>(arc.to)]) {
+      infinite_arc_cut = true;
+    }
+  }
+  if (infinite_arc_cut) {
+    // Constraints are infeasible (every cut severs a pin). Report the real
+    // crossing capacity so callers' infinite-cut sentinels still fire.
+    double real_value = 0.0;
+    for (int node = 0; node < network.node_count(); ++node) {
+      if (!cut.in_source_side[static_cast<size_t>(node)]) {
+        continue;
+      }
+      for (const FlowArc& arc : network.ArcsFrom(node)) {
+        if (!cut.in_source_side[static_cast<size_t>(arc.to)]) {
+          real_value += arc.capacity;
+        }
+      }
+    }
+    cut.cut_value = real_value;
+  }
+  return cut;
 }
 
 }  // namespace coign

@@ -14,4 +14,85 @@ double Transport::SampleRoundTripSeconds(uint64_t request_bytes, uint64_t reply_
   return std::max(noisy, expected * 0.25);
 }
 
+Transport::RoundTripSplit Transport::ScaledRoundTripSplit(uint64_t request_bytes,
+                                                          uint64_t reply_bytes,
+                                                          double latency_scale,
+                                                          double bandwidth_scale,
+                                                          Rng* jitter_rng) const {
+  RoundTripSplit split;
+  split.latency = 2.0 * model_.per_message_seconds * latency_scale;
+  split.payload = static_cast<double>(request_bytes + reply_bytes) /
+                  model_.bytes_per_second * bandwidth_scale;
+  const double expected = split.total();
+  if (jitter_rng == nullptr || model_.jitter_fraction <= 0.0 || expected <= 0.0) {
+    return split;
+  }
+  const double noisy = jitter_rng->Normal(expected, expected * model_.jitter_fraction);
+  const double factor = std::max(noisy, expected * 0.25) / expected;
+  split.latency *= factor;
+  split.payload *= factor;
+  return split;
+}
+
+DeliveryReceipt Transport::ReliableRoundTrip(MachineId src, MachineId dst,
+                                             uint64_t request_bytes, uint64_t reply_bytes,
+                                             Rng* jitter_rng) {
+  DeliveryReceipt receipt;
+  receipt.attempts = 0;
+  receipt.delivered = false;
+  const int budget = std::max(1, retry_.max_attempts);
+  double backoff = retry_.backoff_initial_seconds;
+  for (int attempt = 0; attempt < budget; ++attempt) {
+    ++receipt.attempts;
+    AttemptPlan plan;
+    if (faults_ != nullptr) {
+      plan = faults_->OnAttempt(src, dst, request_bytes, reply_bytes);
+    }
+    if (!plan.clean()) {
+      receipt.faulted = true;
+    }
+    if (!plan.delivered) {
+      receipt.latency_seconds += retry_.timeout_seconds;
+      AdvanceFaultClock(retry_.timeout_seconds);
+      if (attempt + 1 < budget) {
+        const double wait = std::min(backoff, retry_.backoff_max_seconds);
+        // Jitter desynchronizes retries; the unit draw comes from the fault
+        // model's seeded stream so runs replay exactly.
+        const double unit =
+            faults_ != nullptr ? faults_->JitterUnit()
+                               : (jitter_rng != nullptr ? jitter_rng->UniformDouble() : 0.5);
+        const double jittered =
+            wait * (1.0 + retry_.backoff_jitter * (2.0 * unit - 1.0));
+        receipt.latency_seconds += std::max(jittered, 0.0);
+        AdvanceFaultClock(std::max(jittered, 0.0));
+        backoff *= retry_.backoff_multiplier;
+      }
+      continue;
+    }
+    RoundTripSplit split = ScaledRoundTripSplit(request_bytes, reply_bytes,
+                                                plan.latency_scale, plan.bandwidth_scale,
+                                                jitter_rng);
+    if (plan.duplicated) {
+      // The duplicate request traverses the wire once more.
+      split.latency += model_.per_message_seconds * plan.latency_scale;
+      split.payload += static_cast<double>(request_bytes) / model_.bytes_per_second *
+                       plan.bandwidth_scale;
+      ++receipt.duplicate_messages;
+    }
+    if (plan.reordered) {
+      // The reply is recognized one message-latency late.
+      split.latency += model_.per_message_seconds * plan.latency_scale;
+    }
+    split.latency += plan.extra_seconds;
+    receipt.latency_seconds += split.latency;
+    receipt.payload_seconds += split.payload;
+    AdvanceFaultClock(split.total());
+    receipt.delivered = true;
+    break;
+  }
+  receipt.seconds = receipt.latency_seconds + receipt.payload_seconds;
+  Charge(receipt.seconds);
+  return receipt;
+}
+
 }  // namespace coign

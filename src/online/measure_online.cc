@@ -27,6 +27,9 @@ Result<OnlineRunResult> MeasureOnlineRun(Application& app,
 
   CoignRuntime runtime(&system, config);
   NetworkAccountant accountant(&system, Transport(options.network));
+  if (options.faults != nullptr) {
+    accountant.AttachFaults(options.faults, options.retry);
+  }
 
   std::unique_ptr<OnlineRepartitioner> repartitioner;
   if (options.adaptive) {
@@ -35,6 +38,9 @@ Result<OnlineRunResult> MeasureOnlineRun(Application& app,
     repartitioner->SetMigrationCharge([&accountant](uint64_t bytes, double seconds) {
       accountant.ChargeMigration(bytes, seconds);
     });
+    if (options.faults != nullptr) {
+      repartitioner->SetTransportProbe([&accountant] { return accountant.health(); });
+    }
   }
 
   Rng rng(options.scenario_seed);

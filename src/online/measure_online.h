@@ -45,6 +45,12 @@ struct OnlineMeasurementOptions {
   OnlineOptions online;
   bool adaptive = true;  // False: measure the fixed distribution only.
   uint64_t scenario_seed = 17;
+  // Non-null → the run executes under this fault model (not owned) with
+  // the hardened transport; the repartitioner additionally gets a
+  // transport-health probe so the quarantine rule and the live network
+  // estimator engage.
+  TransportFaultModel* faults = nullptr;
+  RetryPolicy retry;
 };
 
 // Runs the workload under `config` (a distributed-mode configuration

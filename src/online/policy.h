@@ -46,6 +46,39 @@ struct RepartitionConfig {
   double min_window_messages = 100.0;
 };
 
+// The quarantine rule: windows measured while the transport was visibly
+// fighting faults are not evidence about the application. An epoch whose
+// faulted-call fraction spikes above the steady-state level is discarded
+// outright — it neither folds into the sliding window, nor updates the
+// live network estimate, nor triggers a policy evaluation — and suspicion
+// lingers for `hold_epochs` more epochs so a recut never keys off the
+// tail of an episode. Without this rule, retry-inflated message weights
+// and timeout-inflated latency estimates drive recuts that the
+// post-episode network immediately invalidates: thrash.
+//
+// Detection is baseline-relative: an EWMA of healthy epochs' faulted
+// fraction tracks the steady background fault level (which retries absorb
+// and the live estimator prices in), and an epoch is quarantined only
+// when its fraction exceeds `faulted_fraction_threshold` plus
+// `baseline_multiplier` times that baseline. A lossy-but-steady link is
+// the network, not an episode.
+struct QuarantineConfig {
+  bool enabled = true;
+  // Absolute floor of the quarantine trigger: with a clean baseline, an
+  // epoch is quarantined when faulted calls / remote calls exceeds this.
+  double faulted_fraction_threshold = 0.05;
+  // Trigger scales with the learned steady-state fault level:
+  //   fraction > threshold + multiplier * baseline  =>  quarantine.
+  double baseline_multiplier = 3.0;
+  // EWMA weight of the newest healthy epoch in the faulted-fraction
+  // baseline. Quarantined epochs never update the baseline.
+  double baseline_alpha = 0.3;
+  // Extra epochs of distrust after the detector last fired.
+  uint64_t hold_epochs = 1;
+  // EWMA weight of the newest healthy epoch in the live network estimate.
+  double estimator_alpha = 0.4;
+};
+
 enum class RejectCause {
   kNone,                  // Accepted.
   kEmptyWindow,           // Nothing observed.

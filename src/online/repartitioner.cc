@@ -11,7 +11,7 @@ std::string OnlineStats::ToString() const {
   return StrFormat(
       "online{epochs=%llu, drift=%llu, evals=%llu, repartitions=%llu (lazy %llu), "
       "hysteresis_rej=%llu, cost_rej=%llu, moved=%llu, migration_bytes=%llu, "
-      "migration_s=%.4f}",
+      "migration_s=%.4f, fault_episodes=%llu, quarantined=%llu, slowdown=%.2fx}",
       static_cast<unsigned long long>(epochs), static_cast<unsigned long long>(drift_flags),
       static_cast<unsigned long long>(evaluations),
       static_cast<unsigned long long>(repartitions),
@@ -19,7 +19,9 @@ std::string OnlineStats::ToString() const {
       static_cast<unsigned long long>(hysteresis_rejections),
       static_cast<unsigned long long>(cost_rejections),
       static_cast<unsigned long long>(instances_moved),
-      static_cast<unsigned long long>(migration_bytes), migration_seconds);
+      static_cast<unsigned long long>(migration_bytes), migration_seconds,
+      static_cast<unsigned long long>(fault_episodes),
+      static_cast<unsigned long long>(quarantined_epochs), live_slowdown);
 }
 
 OnlineRepartitioner::OnlineRepartitioner(ObjectSystem* system, CoignRuntime* runtime,
@@ -37,6 +39,18 @@ OnlineRepartitioner::OnlineRepartitioner(ObjectSystem* system, CoignRuntime* run
 }
 
 OnlineRepartitioner::~OnlineRepartitioner() { system_->RemoveInterceptor(this); }
+
+void OnlineRepartitioner::SetTransportProbe(TransportProbeFn probe) {
+  probe_ = std::move(probe);
+  if (probe_) {
+    estimator_ = std::make_unique<LiveNetworkEstimator>(
+        network_, options_.quarantine.estimator_alpha);
+    call_health_ = probe_();
+    epoch_health_ = call_health_;
+  } else {
+    estimator_.reset();
+  }
+}
 
 ClassificationId OnlineRepartitioner::ClassificationOf(InstanceId instance) const {
   const Result<ClassificationId> classification =
@@ -90,7 +104,17 @@ void OnlineRepartitioner::OnCallEnd(const ObjectSystem::CallEvent& event,
   if (remotable && event.out != nullptr && event.out->ContainsOpaque()) {
     remotable = false;
   }
-  window_.Record(key, /*calls=*/1, remotable);
+  // With a transport probe, wire reality weights the window: a call the
+  // hardened transport had to retry put that many extra round trips on the
+  // wire, and the lightweight runtime counts messages, not intents. (Calls
+  // are sequential in the simulator, so the probe delta is this call's.)
+  uint64_t wire_calls = 1;
+  if (probe_) {
+    const TransportHealth now = probe_();
+    wire_calls += now.retries - call_health_.retries;
+    call_health_ = now;
+  }
+  window_.Record(key, wire_calls, remotable);
 }
 
 void OnlineRepartitioner::OnCompute(InstanceId instance, double seconds) {
@@ -98,9 +122,55 @@ void OnlineRepartitioner::OnCompute(InstanceId instance, double seconds) {
 }
 
 Status OnlineRepartitioner::EndEpoch() {
-  window_.AdvanceEpoch();
   ++stats_.epochs;
   ++epochs_since_evaluation_;
+
+  // Fault-episode screening: an epoch whose transport visibly fought the
+  // network (timeouts, exhausted budgets, spiked round trips) is not
+  // evidence about the application. Quarantine discards it wholesale.
+  if (probe_) {
+    const TransportHealth now = probe_();
+    const uint64_t epoch_calls = now.calls - epoch_health_.calls;
+    const uint64_t epoch_faulted = now.faulted_calls - epoch_health_.faulted_calls;
+    const uint64_t epoch_bytes = now.wire_bytes - epoch_health_.wire_bytes;
+    const double epoch_latency =
+        now.wire_latency_seconds - epoch_health_.wire_latency_seconds;
+    const double epoch_payload =
+        now.wire_payload_seconds - epoch_health_.wire_payload_seconds;
+    epoch_health_ = now;
+    call_health_ = now;
+    if (options_.quarantine.enabled) {
+      const double faulted_fraction =
+          epoch_calls > 0 ? static_cast<double>(epoch_faulted) /
+                                static_cast<double>(epoch_calls)
+                          : (epoch_faulted > 0 ? 1.0 : 0.0);
+      // Baseline-relative trigger: steady background loss raises the
+      // baseline and stops looking like an episode; bursts stand out.
+      const double trigger = options_.quarantine.faulted_fraction_threshold +
+                             options_.quarantine.baseline_multiplier * fault_baseline_;
+      if (fault_baseline_primed_ && faulted_fraction > trigger) {
+        quarantine_hold_ = options_.quarantine.hold_epochs + 1;
+        ++stats_.fault_episodes;
+      }
+      if (quarantine_hold_ > 0) {
+        --quarantine_hold_;
+        ++stats_.quarantined_epochs;
+        window_.DiscardEpoch();
+        return Status::Ok();
+      }
+      const double alpha = options_.quarantine.baseline_alpha;
+      fault_baseline_ = fault_baseline_primed_
+                            ? (1.0 - alpha) * fault_baseline_ + alpha * faulted_fraction
+                            : faulted_fraction;
+      fault_baseline_primed_ = true;
+    }
+    if (estimator_ != nullptr) {
+      estimator_->ObserveEpoch(epoch_calls, epoch_bytes, epoch_latency, epoch_payload);
+      stats_.live_slowdown = estimator_->slowdown();
+    }
+  }
+
+  window_.AdvanceEpoch();
 
   last_drift_ = DetectDrift(base_profile_, window_.WindowMessageCounts(), options_.drift);
   if (last_drift_.reprofile_recommended) {
@@ -127,8 +197,12 @@ Status OnlineRepartitioner::EndEpoch() {
   }
 
   const IccProfile windowed = window_.WindowedProfile(base_profile_, live_registry_);
+  // Cut pricing uses the live network estimate when one is maintained —
+  // the adaptive loop reacting to measurements, which is precisely what
+  // quarantine protects from fault-poisoned epochs.
+  const NetworkProfile& pricing = estimator_ != nullptr ? estimator_->live() : network_;
   Result<RepartitionDecision> decision =
-      policy_.Evaluate(windowed, network_, distribution(), live);
+      policy_.Evaluate(windowed, pricing, distribution(), live);
   if (!decision.ok()) {
     return decision.status();
   }

@@ -17,12 +17,15 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <unordered_map>
 
 #include "src/com/object_system.h"
 #include "src/net/network_profiler.h"
+#include "src/net/transport.h"
 #include "src/online/migrator.h"
+#include "src/online/net_estimator.h"
 #include "src/online/policy.h"
 #include "src/online/window.h"
 #include "src/runtime/drift.h"
@@ -40,6 +43,8 @@ struct OnlineOptions {
   uint64_t epochs_per_recut = 0;
   // Epochs to sit still after an accepted repartition (anti-thrash).
   uint64_t cooldown_epochs = 1;
+  // Fault-episode quarantine (only effective with a transport probe set).
+  QuarantineConfig quarantine;
 };
 
 struct OnlineStats {
@@ -53,6 +58,10 @@ struct OnlineStats {
   uint64_t instances_moved = 0;
   uint64_t migration_bytes = 0;
   double migration_seconds = 0.0;
+  uint64_t fault_episodes = 0;      // Epochs where the fault detector fired.
+  uint64_t quarantined_epochs = 0;  // Epochs discarded by the quarantine rule.
+  // Final live-estimate / fitted per-message ratio (1.0 without a probe).
+  double live_slowdown = 1.0;
 
   std::string ToString() const;
 };
@@ -76,6 +85,17 @@ class OnlineRepartitioner : public ObjectSystem::Interceptor {
   OnlineRepartitioner& operator=(const OnlineRepartitioner&) = delete;
 
   void SetMigrationCharge(MigrationChargeFn charge) { charge_ = std::move(charge); }
+
+  // Cumulative transport health, polled per call and per epoch (the network
+  // accountant's health() is the canonical source). Setting a probe turns
+  // on the fault-aware path: retry-inflated wire traffic weights the
+  // window, epochs are screened by the quarantine rule, and cut pricing
+  // switches to a live network estimate fed by healthy epochs.
+  using TransportProbeFn = std::function<TransportHealth()>;
+  void SetTransportProbe(TransportProbeFn probe);
+
+  // Null until a transport probe is set.
+  const LiveNetworkEstimator* net_estimator() const { return estimator_.get(); }
 
   // Marks an epoch boundary: folds the window, runs drift detection, and
   // repartitions if the policy accepts. Call while the epoch's instances
@@ -114,11 +134,22 @@ class OnlineRepartitioner : public ObjectSystem::Interceptor {
   // registered at instantiation so re-cuts can place and constrain them.
   std::unordered_map<ClassificationId, ClassificationInfo> live_registry_;
   MigrationChargeFn charge_;
+  TransportProbeFn probe_;
+  std::unique_ptr<LiveNetworkEstimator> estimator_;
+  // Probe cursors: per-call (weights retries into the window) and
+  // per-epoch (fault detection + estimator feed).
+  TransportHealth call_health_;
+  TransportHealth epoch_health_;
   OnlineStats stats_;
   DriftReport last_drift_;
   RepartitionDecision last_decision_;
   uint64_t epochs_since_evaluation_ = 0;
   uint64_t cooldown_remaining_ = 0;
+  uint64_t quarantine_hold_ = 0;
+  // EWMA of healthy epochs' faulted-call fraction: the steady background
+  // fault level the quarantine trigger is measured against.
+  double fault_baseline_ = 0.0;
+  bool fault_baseline_primed_ = false;
 };
 
 }  // namespace coign

@@ -68,6 +68,12 @@ void SlidingWindowGraph::AdvanceEpoch() {
   compute_epoch_.clear();
 }
 
+void SlidingWindowGraph::DiscardEpoch() {
+  ++epochs_;
+  epoch_.clear();
+  compute_epoch_.clear();
+}
+
 double SlidingWindowGraph::total_message_weight() const {
   double total = 0.0;
   for (const auto& [key, cell] : window_) {

@@ -47,6 +47,12 @@ class SlidingWindowGraph {
   // Folds the current epoch into the decayed window and prunes.
   void AdvanceEpoch();
 
+  // Throws the current epoch's accumulators away without folding or
+  // decaying — the quarantine path for epochs measured during a detected
+  // fault episode. The preserved window keeps describing the last healthy
+  // traffic; the epoch still counts toward epoch_count().
+  void DiscardEpoch();
+
   uint64_t epoch_count() const { return epochs_; }
   // Decayed total one-way message weight across the window (2 per call).
   double total_message_weight() const;

@@ -33,6 +33,7 @@ void NetworkAccountant::Reset() {
   total_calls_ = 0;
   remote_calls_ = 0;
   remote_bytes_ = 0;
+  health_ = TransportHealth{};
 }
 
 void NetworkAccountant::OnCallEnd(const ObjectSystem::CallEvent& event, const Status& status) {
@@ -50,12 +51,40 @@ void NetworkAccountant::OnCallEnd(const ObjectSystem::CallEvent& event, const St
   assert(wire.remotable);  // Call() refuses non-remotable remote calls.
   ++remote_calls_;
   remote_bytes_ += wire.total_bytes();
-  const double seconds =
-      jitter_rng_ != nullptr
-          ? transport_.SampleRoundTripSeconds(wire.request_bytes, wire.reply_bytes,
-                                              *jitter_rng_)
-          : transport_.ExpectedRoundTripSeconds(wire.request_bytes, wire.reply_bytes);
+  double seconds = 0.0;
+  if (transport_.has_faults()) {
+    const DeliveryReceipt receipt =
+        transport_.ReliableRoundTrip(event.caller_machine, event.target_machine,
+                                     wire.request_bytes, wire.reply_bytes, jitter_rng_);
+    seconds = receipt.seconds;
+    health_.attempts += static_cast<uint64_t>(receipt.attempts);
+    health_.retries += static_cast<uint64_t>(receipt.attempts - 1);
+    health_.wire_latency_seconds += receipt.latency_seconds;
+    health_.wire_payload_seconds += receipt.payload_seconds;
+    if (!receipt.delivered) {
+      ++health_.undelivered;
+    }
+    if (receipt.faulted) {
+      ++health_.faulted_calls;
+    }
+  } else {
+    seconds = jitter_rng_ != nullptr
+                  ? transport_.SampleRoundTripSeconds(wire.request_bytes,
+                                                      wire.reply_bytes, *jitter_rng_)
+                  : transport_.ExpectedRoundTripSeconds(wire.request_bytes,
+                                                        wire.reply_bytes);
+    ++health_.attempts;
+    // Expected-shape decomposition (jitter pro-rated across both terms).
+    const Transport::RoundTripSplit split = transport_.ScaledRoundTripSplit(
+        wire.request_bytes, wire.reply_bytes, 1.0, 1.0, nullptr);
+    const double factor = split.total() > 0.0 ? seconds / split.total() : 0.0;
+    health_.wire_latency_seconds += split.latency * factor;
+    health_.wire_payload_seconds += split.payload * factor;
+  }
   communication_seconds_ += seconds;
+  ++health_.calls;
+  health_.wire_bytes += wire.total_bytes();
+  health_.wire_seconds += seconds;
 }
 
 void NetworkAccountant::OnCompute(InstanceId instance, double seconds) {
@@ -66,7 +95,11 @@ void NetworkAccountant::OnCompute(InstanceId instance, double seconds) {
       machine = *m;
     }
   }
-  compute_seconds_ += seconds / ScaleOf(machine);
+  const double scaled = seconds / ScaleOf(machine);
+  compute_seconds_ += scaled;
+  // Fault episodes are scheduled in simulated seconds; compute time passes
+  // on that clock too.
+  transport_.AdvanceFaultClock(scaled);
 }
 
 }  // namespace coign

@@ -5,6 +5,13 @@
 // real byte counts) and accumulates per-machine compute clocks. With a
 // jitter Rng it produces "measured" times; without one, deterministic
 // expected times.
+//
+// With a fault model attached (src/fault), remote calls instead take the
+// transport's hardened path: delivery attempts run under the fault
+// schedule and failed attempts cost timeout + backoff time, bounded by the
+// retry budget. The accountant keeps the fault clock in step with modeled
+// time (compute included) and exposes a TransportHealth snapshot the
+// online layer uses to detect fault episodes.
 
 #ifndef COIGN_SRC_SIM_ACCOUNTANT_H_
 #define COIGN_SRC_SIM_ACCOUNTANT_H_
@@ -40,11 +47,27 @@ class NetworkAccountant : public ObjectSystem::Interceptor {
   uint64_t remote_calls() const { return remote_calls_; }
   uint64_t remote_bytes() const { return remote_bytes_; }
 
+  // Routes remote calls through the hardened transport under `faults` (not
+  // owned, may be null to detach) and `retry`. Faults cost modeled time:
+  // timeouts, backoff, duplicate wire traffic, and spike-scaled round
+  // trips all land on the communication clock.
+  void AttachFaults(TransportFaultModel* faults, const RetryPolicy& retry) {
+    transport_.SetRetryPolicy(retry);
+    transport_.AttachFaults(faults);
+  }
+
+  // Cumulative call-path health (migration charges excluded).
+  TransportHealth health() const { return health_; }
+
   // Bills out-of-band traffic (online repartitioning's state transfers) to
   // this accountant's clocks, so adaptive runs pay for their migrations.
   void ChargeMigration(uint64_t bytes, double seconds) {
     remote_bytes_ += bytes;
     communication_seconds_ += seconds;
+    // Migration time passes on the fault clock, but stays out of the
+    // TransportHealth call counters: the live network estimate must not
+    // read the adaptive loop's own state transfers as a slow wire.
+    transport_.AdvanceFaultClock(seconds);
   }
 
   void Reset();
@@ -60,6 +83,7 @@ class NetworkAccountant : public ObjectSystem::Interceptor {
   Transport transport_;
   Rng* jitter_rng_;
   std::array<double, 2> compute_scale_ = {1.0, 1.0};
+  TransportHealth health_;
   double communication_seconds_ = 0.0;
   double compute_seconds_ = 0.0;
   uint64_t total_calls_ = 0;

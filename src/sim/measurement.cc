@@ -11,6 +11,9 @@ Result<RunMeasurement> MeasureRun(ObjectSystem& system,
   NetworkAccountant accountant(&system, Transport(options.network), options.jitter_rng);
   accountant.SetComputeScale(kClientMachine, options.client_compute_scale);
   accountant.SetComputeScale(kServerMachine, options.server_compute_scale);
+  if (options.faults != nullptr) {
+    accountant.AttachFaults(options.faults, options.retry);
+  }
 
   const Status status = body(system);
   system.DestroyAll();

@@ -10,6 +10,7 @@
 
 #include "src/com/object_system.h"
 #include "src/net/network_model.h"
+#include "src/net/transport.h"
 #include "src/support/rng.h"
 #include "src/support/status.h"
 
@@ -30,6 +31,10 @@ struct MeasurementOptions {
   Rng* jitter_rng = nullptr;
   double client_compute_scale = 1.0;
   double server_compute_scale = 1.0;
+  // Non-null → remote calls run hardened against this fault model (not
+  // owned) under `retry`; faults cost modeled time through the accountant.
+  TransportFaultModel* faults = nullptr;
+  RetryPolicy retry;
 };
 
 // Runs `body` once and accounts its cross-machine traffic. The system's

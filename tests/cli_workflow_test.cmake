@@ -1,4 +1,5 @@
-# Drives the coign CLI end to end: profile -> analyze -> measure -> online.
+# Drives the coign CLI end to end: profile -> analyze -> measure -> online
+# -> chaos.
 file(MAKE_DIRECTORY ${WORK_DIR})
 function(run)
   execute_process(COMMAND ${ARGN} WORKING_DIRECTORY ${WORK_DIR}
@@ -6,6 +7,7 @@ function(run)
   if(NOT code EQUAL 0)
     message(FATAL_ERROR "command failed (${code}): ${ARGN}\n${out}\n${err}")
   endif()
+  set(last_output "${out}" PARENT_SCOPE)
 endfunction()
 run(${COIGN_BIN} profile --scenario o_oldwp7 -o smoke)
 run(${COIGN_BIN} analyze -i smoke --network 10baset --dot smoke.dot)
@@ -17,3 +19,26 @@ foreach(artifact smoke.profile smoke.config smoke.dist smoke.dot)
     message(FATAL_ERROR "missing artifact: ${artifact}")
   endif()
 endforeach()
+
+# Chaos is seed-driven and must replay byte-for-byte: run it twice with the
+# same seed and compare outputs, then once more with another seed to prove
+# the seed actually steers the schedule.
+set(chaos_args -i smoke --scenario o_oldwp7 --scenario o_mixed9
+    --cycles 1 --reps 2)
+run(${COIGN_BIN} chaos ${chaos_args} --seed 42)
+set(chaos_first "${last_output}")
+run(${COIGN_BIN} chaos ${chaos_args} --seed 42)
+if(NOT chaos_first STREQUAL last_output)
+  message(FATAL_ERROR "chaos --seed 42 is not deterministic:\n"
+          "--- first ---\n${chaos_first}\n--- second ---\n${last_output}")
+endif()
+if(NOT chaos_first MATCHES "chaos summary:")
+  message(FATAL_ERROR "chaos output missing summary line:\n${chaos_first}")
+endif()
+if(NOT chaos_first MATCHES "fault-schedule")
+  message(FATAL_ERROR "chaos output missing fault schedule:\n${chaos_first}")
+endif()
+run(${COIGN_BIN} chaos ${chaos_args} --seed 7)
+if(chaos_first STREQUAL last_output)
+  message(FATAL_ERROR "chaos ignores --seed: seeds 42 and 7 match")
+endif()

@@ -1,0 +1,95 @@
+// Seeded generators for the fault-injection property tests: random fault
+// schedules, background loss rates, retry policies, and call sequences,
+// all drawn from a caller-provided Rng so an entire generated case
+// replays from one seed. Kept header-only and test-local — production
+// code must not depend on test generators.
+
+#ifndef COIGN_TESTS_FAULT_GENERATORS_H_
+#define COIGN_TESTS_FAULT_GENERATORS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/fault/fault_schedule.h"
+#include "src/net/transport.h"
+#include "src/support/rng.h"
+
+namespace coign {
+namespace testing {
+
+// One synchronous remote call a generated workload will push through the
+// hardened transport.
+struct GeneratedCall {
+  MachineId src = 0;
+  MachineId dst = 1;
+  uint64_t request_bytes = 0;
+  uint64_t reply_bytes = 0;
+};
+
+// Schedule-generation knobs spanning quiet to hostile: short horizons
+// force episode overlap, long ones leave clean stretches.
+inline RandomFaultOptions GenFaultOptions(Rng& rng) {
+  RandomFaultOptions options;
+  options.horizon_seconds = rng.UniformDouble(0.5, 30.0);
+  options.episodes_per_kind = rng.UniformDouble(0.0, 3.0);
+  options.mean_duration_seconds = rng.UniformDouble(0.05, 2.0);
+  options.drop_burst_max = rng.UniformDouble(0.0, 0.6);
+  options.duplicate_burst_max = rng.UniformDouble(0.0, 0.4);
+  options.reorder_burst_max = rng.UniformDouble(0.0, 0.4);
+  options.latency_spike_max = rng.UniformDouble(1.0, 12.0);
+  options.bandwidth_drop_max = rng.UniformDouble(1.0, 8.0);
+  options.restart_penalty_seconds = rng.UniformDouble(0.0, 0.5);
+  options.include_partitions = rng.Bernoulli(0.7);
+  options.include_crashes = rng.Bernoulli(0.7);
+  return options;
+}
+
+// Steady background lossiness, occasionally zero so clean wires are in
+// the tested population too.
+inline FaultRates GenBackground(Rng& rng) {
+  FaultRates rates;
+  if (rng.Bernoulli(0.8)) {
+    rates.drop = rng.UniformDouble(0.0, 0.3);
+    rates.duplicate = rng.UniformDouble(0.0, 0.15);
+    rates.reorder = rng.UniformDouble(0.0, 0.15);
+  }
+  return rates;
+}
+
+// Retry policies from no-retry to persistent, with tight and loose
+// timeouts relative to the tested network.
+inline RetryPolicy GenRetryPolicy(Rng& rng, const NetworkModel& model) {
+  const double round_trip = 2.0 * model.per_message_seconds;
+  RetryPolicy policy;
+  policy.max_attempts = static_cast<int>(rng.UniformInt(1, 6));
+  policy.timeout_seconds = round_trip * rng.UniformDouble(1.0, 20.0);
+  policy.backoff_initial_seconds = round_trip * rng.UniformDouble(0.5, 4.0);
+  policy.backoff_multiplier = rng.UniformDouble(1.0, 3.0);
+  policy.backoff_max_seconds =
+      policy.backoff_initial_seconds * rng.UniformDouble(1.0, 10.0);
+  policy.backoff_jitter = rng.UniformDouble(0.0, 0.5);
+  return policy;
+}
+
+// A call sequence across a handful of machines with payloads spanning
+// empty pings to multi-kilobyte replies.
+inline std::vector<GeneratedCall> GenCallSequence(Rng& rng, int count) {
+  std::vector<GeneratedCall> calls;
+  calls.reserve(count);
+  for (int i = 0; i < count; ++i) {
+    GeneratedCall call;
+    call.src = static_cast<MachineId>(rng.UniformInt(0, 2));
+    do {
+      call.dst = static_cast<MachineId>(rng.UniformInt(0, 2));
+    } while (call.dst == call.src);
+    call.request_bytes = static_cast<uint64_t>(rng.UniformInt(0, 4096));
+    call.reply_bytes = static_cast<uint64_t>(rng.UniformInt(0, 4096));
+    calls.push_back(call);
+  }
+  return calls;
+}
+
+}  // namespace testing
+}  // namespace coign
+
+#endif  // COIGN_TESTS_FAULT_GENERATORS_H_

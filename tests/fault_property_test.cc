@@ -1,0 +1,234 @@
+// Property tests for the fault-injection layer: 200+ seeded random fault
+// schedules and call sequences pushed through the hardened transport,
+// asserting the invariants the design promises regardless of what the
+// generated network does —
+//   * attempts never exceed the retry budget;
+//   * every receipt decomposes exactly into latency + payload shares,
+//     with no negative time anywhere;
+//   * the transport's elapsed clock and the injector's fault clock are
+//     monotone and agree (fault episodes stay aligned with modeled time);
+//   * injector stats are consistent with delivered/undelivered receipts;
+//   * the same seed replays the whole run bit-for-bit.
+// Plus a few end-to-end adaptive runs under faults: the run completes
+// with no lost placements, time only accumulates, and identical seeds
+// produce identical measurements and online stats.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+#include "src/apps/octarine.h"
+#include "src/fault/injector.h"
+#include "src/online/measure_online.h"
+#include "tests/fault_generators.h"
+
+namespace coign {
+namespace {
+
+constexpr int kSchedules = 220;
+constexpr int kCallsPerSchedule = 60;
+
+// Everything observable about one hardened run, for exact replay checks.
+struct RunTrace {
+  std::vector<DeliveryReceipt> receipts;
+  FaultStats stats;
+  double elapsed_seconds = 0.0;
+  double fault_clock_seconds = 0.0;
+};
+
+bool SameReceipt(const DeliveryReceipt& a, const DeliveryReceipt& b) {
+  return a.seconds == b.seconds && a.latency_seconds == b.latency_seconds &&
+         a.payload_seconds == b.payload_seconds && a.attempts == b.attempts &&
+         a.delivered == b.delivered && a.faulted == b.faulted &&
+         a.duplicate_messages == b.duplicate_messages;
+}
+
+RunTrace RunGeneratedCase(uint64_t seed) {
+  Rng gen(seed);
+  const RandomFaultOptions schedule_options = testing::GenFaultOptions(gen);
+  const FaultSchedule schedule = FaultSchedule::Random(schedule_options, seed);
+  const FaultRates background = testing::GenBackground(gen);
+  const NetworkModel model = NetworkModel::TenBaseT();
+  const RetryPolicy policy = testing::GenRetryPolicy(gen, model);
+  const std::vector<testing::GeneratedCall> calls =
+      testing::GenCallSequence(gen, kCallsPerSchedule);
+
+  FaultInjector injector(schedule, background, seed ^ 0x9e3779b97f4a7c15ull);
+  Transport transport(model);
+  transport.AttachFaults(&injector);
+  transport.SetRetryPolicy(policy);
+  Rng jitter(seed + 1);
+
+  RunTrace trace;
+  double last_elapsed = 0.0;
+  double last_fault_clock = 0.0;
+  uint64_t receipt_attempts = 0;
+  for (const testing::GeneratedCall& call : calls) {
+    const DeliveryReceipt receipt = transport.ReliableRoundTrip(
+        call.src, call.dst, call.request_bytes, call.reply_bytes, &jitter);
+    trace.receipts.push_back(receipt);
+
+    // Retry budget bounds attempts; undelivered means the budget was spent.
+    EXPECT_GE(receipt.attempts, 1);
+    EXPECT_LE(receipt.attempts, std::max(1, policy.max_attempts));
+    if (!receipt.delivered) {
+      EXPECT_EQ(receipt.attempts, std::max(1, policy.max_attempts));
+      EXPECT_TRUE(receipt.faulted);
+      EXPECT_DOUBLE_EQ(receipt.payload_seconds, 0.0);
+    }
+
+    // Time decomposes exactly and never runs backwards.
+    EXPECT_GE(receipt.latency_seconds, 0.0);
+    EXPECT_GE(receipt.payload_seconds, 0.0);
+    EXPECT_DOUBLE_EQ(receipt.seconds,
+                     receipt.latency_seconds + receipt.payload_seconds);
+    EXPECT_GE(transport.elapsed_seconds(), last_elapsed);
+    EXPECT_GE(injector.now_seconds(), last_fault_clock);
+    last_elapsed = transport.elapsed_seconds();
+    last_fault_clock = injector.now_seconds();
+    receipt_attempts += static_cast<uint64_t>(receipt.attempts);
+  }
+
+  // The transport charged itself exactly what it told the fault clock.
+  EXPECT_NEAR(transport.elapsed_seconds(), injector.now_seconds(),
+              1e-9 * (1.0 + transport.elapsed_seconds()));
+  // Every delivery attempt was offered to the fault model, and no more.
+  EXPECT_EQ(injector.stats().attempts, receipt_attempts);
+
+  trace.stats = injector.stats();
+  trace.elapsed_seconds = transport.elapsed_seconds();
+  trace.fault_clock_seconds = injector.now_seconds();
+  return trace;
+}
+
+TEST(FaultPropertyTest, HardenedTransportInvariantsAcrossSeededSchedules) {
+  uint64_t delivered = 0, undelivered = 0, faulted = 0;
+  for (int seed = 0; seed < kSchedules; ++seed) {
+    SCOPED_TRACE(::testing::Message() << "seed=" << seed);
+    const RunTrace trace = RunGeneratedCase(static_cast<uint64_t>(seed));
+    for (const DeliveryReceipt& receipt : trace.receipts) {
+      delivered += receipt.delivered ? 1 : 0;
+      undelivered += receipt.delivered ? 0 : 1;
+      faulted += receipt.faulted ? 1 : 0;
+    }
+  }
+  // The generated population must actually exercise the hard paths —
+  // otherwise the invariants above were vacuous.
+  EXPECT_GT(delivered, 0u);
+  EXPECT_GT(undelivered, 0u);
+  EXPECT_GT(faulted, 0u);
+}
+
+TEST(FaultPropertyTest, SameSeedReplaysBitForBit) {
+  for (int seed = 0; seed < kSchedules; seed += 7) {
+    SCOPED_TRACE(::testing::Message() << "seed=" << seed);
+    const RunTrace a = RunGeneratedCase(static_cast<uint64_t>(seed));
+    const RunTrace b = RunGeneratedCase(static_cast<uint64_t>(seed));
+    ASSERT_EQ(a.receipts.size(), b.receipts.size());
+    for (size_t i = 0; i < a.receipts.size(); ++i) {
+      EXPECT_TRUE(SameReceipt(a.receipts[i], b.receipts[i])) << "receipt " << i;
+    }
+    EXPECT_EQ(a.elapsed_seconds, b.elapsed_seconds);
+    EXPECT_EQ(a.fault_clock_seconds, b.fault_clock_seconds);
+    EXPECT_EQ(a.stats.ToString(), b.stats.ToString());
+  }
+}
+
+// --- End-to-end: the adaptive loop under generated fault schedules -------
+
+struct EndToEndFixture {
+  std::unique_ptr<Application> app;
+  IccProfile profile;
+  ConfigurationRecord config;
+  OnlineMeasurementOptions options;
+  std::vector<OnlinePhase> workload;
+};
+
+EndToEndFixture MakeFixture() {
+  EndToEndFixture fx;
+  fx.app = MakeOctarine();
+  std::vector<Descriptor> table;
+  Result<IccProfile> profile = ProfileScenarios(
+      *fx.app, {"o_oldwp0", "o_oldwp3"}, ClassifierKind::kInternalFunctionCalledBy,
+      kCompleteStackWalk, 17, &table);
+  EXPECT_TRUE(profile.ok());
+  fx.profile = *profile;
+
+  const NetworkModel network = NetworkModel::TenBaseT();
+  const NetworkProfile fitted = FitNetwork(network);
+  ProfileAnalysisEngine engine;
+  Result<AnalysisResult> analysis = engine.Analyze(fx.profile, fitted);
+  EXPECT_TRUE(analysis.ok());
+
+  fx.config.mode = RuntimeMode::kDistributed;
+  fx.config.classifier_table = table;
+  fx.config.distribution = analysis->distribution;
+
+  fx.options.network = network;
+  fx.options.fitted = fitted;
+  fx.options.adaptive = true;
+  fx.options.retry = SuggestedRetryPolicy(network);
+  fx.workload = CyclicWorkload({"o_oldwp3", "o_mixed9"}, /*repetitions=*/1,
+                               /*cycles=*/2);
+  return fx;
+}
+
+TEST(FaultPropertyTest, AdaptiveRunSurvivesGeneratedSchedules) {
+  EndToEndFixture fx = MakeFixture();
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    SCOPED_TRACE(::testing::Message() << "seed=" << seed);
+    Rng gen(seed * 31);
+    RandomFaultOptions schedule_options = testing::GenFaultOptions(gen);
+    // Keep the horizon inside the run so episodes actually overlap traffic.
+    schedule_options.horizon_seconds = 2.0;
+    const FaultSchedule schedule = FaultSchedule::Random(schedule_options, seed);
+    FaultRates background;
+    background.drop = 0.02;
+
+    FaultInjector injector(schedule, background, seed);
+    OnlineMeasurementOptions options = fx.options;
+    options.faults = &injector;
+    Result<OnlineRunResult> run =
+        MeasureOnlineRun(*fx.app, fx.workload, fx.config, fx.profile, options);
+    // No lost placements: every call in every epoch found its instance and
+    // completed; a lost placement surfaces as a failed run.
+    ASSERT_TRUE(run.ok()) << run.status().ToString();
+    EXPECT_EQ(run->online.epochs, fx.workload.size());
+    // Time only accumulates.
+    EXPECT_GT(run->run.execution_seconds, 0.0);
+    EXPECT_GE(run->run.communication_seconds, 0.0);
+    EXPECT_GE(run->run.execution_seconds, run->run.communication_seconds);
+  }
+}
+
+TEST(FaultPropertyTest, AdaptiveRunReplaysIdenticallyPerSeed) {
+  EndToEndFixture fx = MakeFixture();
+  RandomFaultOptions schedule_options;
+  schedule_options.horizon_seconds = 2.0;
+  const FaultSchedule schedule = FaultSchedule::Random(schedule_options, 5);
+  FaultRates background;
+  background.drop = 0.02;
+
+  auto run_once = [&]() {
+    FaultInjector injector(schedule, background, 77);
+    OnlineMeasurementOptions options = fx.options;
+    options.faults = &injector;
+    Result<OnlineRunResult> run =
+        MeasureOnlineRun(*fx.app, fx.workload, fx.config, fx.profile, options);
+    EXPECT_TRUE(run.ok());
+    return run.ok() ? *run : OnlineRunResult{};
+  };
+  const OnlineRunResult a = run_once();
+  const OnlineRunResult b = run_once();
+  EXPECT_EQ(a.run.execution_seconds, b.run.execution_seconds);
+  EXPECT_EQ(a.run.communication_seconds, b.run.communication_seconds);
+  EXPECT_EQ(a.run.remote_calls, b.run.remote_calls);
+  EXPECT_EQ(a.run.remote_bytes, b.run.remote_bytes);
+  EXPECT_EQ(a.online.ToString(), b.online.ToString());
+}
+
+}  // namespace
+}  // namespace coign

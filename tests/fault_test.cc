@@ -1,0 +1,236 @@
+// Unit tests for the fault-injection layer: schedule queries and seeded
+// generation, the injector's per-episode behaviors, and the hardened
+// transport's retry/backoff/timeout accounting.
+
+#include <gtest/gtest.h>
+
+#include "src/fault/fault_schedule.h"
+#include "src/fault/injector.h"
+#include "src/net/transport.h"
+
+namespace coign {
+namespace {
+
+FaultEpisode Episode(FaultKind kind, double start, double duration, double magnitude,
+                     MachineId machine = kAnyMachine) {
+  FaultEpisode episode;
+  episode.kind = kind;
+  episode.start_seconds = start;
+  episode.duration_seconds = duration;
+  episode.machine = machine;
+  episode.magnitude = magnitude;
+  return episode;
+}
+
+TEST(FaultScheduleTest, ActiveEpisodeRespectsTimeWindow) {
+  FaultSchedule schedule = FaultSchedule::FromEpisodes(
+      {Episode(FaultKind::kLatencySpike, 1.0, 2.0, 4.0)});
+  EXPECT_EQ(schedule.ActiveEpisode(FaultKind::kLatencySpike, 0.5, 0, 1), nullptr);
+  ASSERT_NE(schedule.ActiveEpisode(FaultKind::kLatencySpike, 1.5, 0, 1), nullptr);
+  EXPECT_DOUBLE_EQ(
+      schedule.ActiveEpisode(FaultKind::kLatencySpike, 1.5, 0, 1)->magnitude, 4.0);
+  // End is exclusive.
+  EXPECT_EQ(schedule.ActiveEpisode(FaultKind::kLatencySpike, 3.0, 0, 1), nullptr);
+}
+
+TEST(FaultScheduleTest, OverlappingEpisodesDegradeToStrongest) {
+  FaultSchedule schedule = FaultSchedule::FromEpisodes(
+      {Episode(FaultKind::kLatencySpike, 0.0, 10.0, 2.0),
+       Episode(FaultKind::kLatencySpike, 1.0, 2.0, 6.0)});
+  EXPECT_DOUBLE_EQ(
+      schedule.ActiveEpisode(FaultKind::kLatencySpike, 1.5, 0, 1)->magnitude, 6.0);
+  EXPECT_DOUBLE_EQ(
+      schedule.ActiveEpisode(FaultKind::kLatencySpike, 5.0, 0, 1)->magnitude, 2.0);
+}
+
+TEST(FaultScheduleTest, MachineTargetingLimitsBlastRadius) {
+  FaultSchedule schedule = FaultSchedule::FromEpisodes(
+      {Episode(FaultKind::kPartition, 0.0, 5.0, 1.0, /*machine=*/1)});
+  EXPECT_NE(schedule.ActiveEpisode(FaultKind::kPartition, 1.0, 0, 1), nullptr);
+  EXPECT_NE(schedule.ActiveEpisode(FaultKind::kPartition, 1.0, 1, 2), nullptr);
+  EXPECT_EQ(schedule.ActiveEpisode(FaultKind::kPartition, 1.0, 0, 2), nullptr);
+}
+
+TEST(FaultScheduleTest, RandomIsDeterministicPerSeed) {
+  RandomFaultOptions options;
+  options.horizon_seconds = 20.0;
+  options.episodes_per_kind = 2.0;
+  const FaultSchedule a = FaultSchedule::Random(options, 42);
+  const FaultSchedule b = FaultSchedule::Random(options, 42);
+  const FaultSchedule c = FaultSchedule::Random(options, 43);
+  EXPECT_EQ(a.ToString(), b.ToString());
+  EXPECT_NE(a.ToString(), c.ToString());
+}
+
+TEST(FaultScheduleTest, RandomEpisodesStayInHorizonSortedByStart) {
+  RandomFaultOptions options;
+  options.horizon_seconds = 10.0;
+  options.episodes_per_kind = 3.0;
+  const FaultSchedule schedule = FaultSchedule::Random(options, 7);
+  double last_start = 0.0;
+  for (const FaultEpisode& episode : schedule.episodes()) {
+    EXPECT_GE(episode.start_seconds, 0.0);
+    EXPECT_LE(episode.start_seconds, options.horizon_seconds);
+    EXPECT_GE(episode.start_seconds, last_start);
+    EXPECT_GT(episode.duration_seconds, 0.0);
+    last_start = episode.start_seconds;
+  }
+}
+
+TEST(FaultInjectorTest, BackgroundDropRateIsRoughlyHonored) {
+  FaultRates background;
+  background.drop = 0.25;
+  FaultInjector injector(FaultSchedule(), background, 11);
+  int drops = 0;
+  const int kAttempts = 4000;
+  for (int i = 0; i < kAttempts; ++i) {
+    if (!injector.OnAttempt(0, 1, 100, 100).delivered) {
+      ++drops;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(drops) / kAttempts, 0.25, 0.03);
+  EXPECT_EQ(injector.stats().attempts, static_cast<uint64_t>(kAttempts));
+  EXPECT_EQ(injector.stats().drops, static_cast<uint64_t>(drops));
+}
+
+TEST(FaultInjectorTest, PartitionDropsEverythingWhileActive) {
+  FaultSchedule schedule = FaultSchedule::FromEpisodes(
+      {Episode(FaultKind::kPartition, 0.0, 1.0, 1.0)});
+  FaultInjector injector(schedule, FaultRates{}, 3);
+  EXPECT_FALSE(injector.OnAttempt(0, 1, 10, 10).delivered);
+  injector.AdvanceClock(2.0);  // Past the episode.
+  EXPECT_TRUE(injector.OnAttempt(0, 1, 10, 10).delivered);
+}
+
+TEST(FaultInjectorTest, CrashChargesRestartPenaltyExactlyOnce) {
+  FaultSchedule schedule = FaultSchedule::FromEpisodes(
+      {Episode(FaultKind::kCrashRestart, 0.0, 1.0, 0.5, /*machine=*/1)});
+  FaultInjector injector(schedule, FaultRates{}, 3);
+  EXPECT_FALSE(injector.OnAttempt(0, 1, 10, 10).delivered);  // Machine down.
+  injector.AdvanceClock(2.0);
+  const AttemptPlan first = injector.OnAttempt(0, 1, 10, 10);
+  EXPECT_TRUE(first.delivered);
+  EXPECT_DOUBLE_EQ(first.extra_seconds, 0.5);  // Restart penalty, once.
+  const AttemptPlan second = injector.OnAttempt(0, 1, 10, 10);
+  EXPECT_DOUBLE_EQ(second.extra_seconds, 0.0);
+  EXPECT_EQ(injector.stats().restart_penalties, 1u);
+}
+
+TEST(FaultInjectorTest, ScalesComeFromActiveEpisodes) {
+  FaultSchedule schedule = FaultSchedule::FromEpisodes(
+      {Episode(FaultKind::kLatencySpike, 0.0, 1.0, 5.0),
+       Episode(FaultKind::kBandwidthDrop, 0.0, 1.0, 3.0)});
+  FaultInjector injector(schedule, FaultRates{}, 3);
+  const AttemptPlan plan = injector.OnAttempt(0, 1, 10, 10);
+  EXPECT_DOUBLE_EQ(plan.latency_scale, 5.0);
+  EXPECT_DOUBLE_EQ(plan.bandwidth_scale, 3.0);
+  EXPECT_FALSE(plan.clean());
+}
+
+TEST(ReliableRoundTripTest, CleanPathMatchesExpectedTime) {
+  Transport transport(NetworkModel::TenBaseT());
+  const DeliveryReceipt receipt = transport.ReliableRoundTrip(0, 1, 100, 200, nullptr);
+  EXPECT_TRUE(receipt.delivered);
+  EXPECT_FALSE(receipt.faulted);
+  EXPECT_EQ(receipt.attempts, 1);
+  EXPECT_DOUBLE_EQ(receipt.seconds, transport.ExpectedRoundTripSeconds(100, 200));
+  EXPECT_DOUBLE_EQ(receipt.seconds,
+                   receipt.latency_seconds + receipt.payload_seconds);
+}
+
+TEST(ReliableRoundTripTest, RetryBudgetBoundsAttempts) {
+  FaultSchedule schedule = FaultSchedule::FromEpisodes(
+      {Episode(FaultKind::kPartition, 0.0, 100.0, 1.0)});
+  FaultInjector injector(schedule, FaultRates{}, 5);
+  Transport transport(NetworkModel::TenBaseT());
+  transport.AttachFaults(&injector);
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.timeout_seconds = 0.01;
+  policy.backoff_initial_seconds = 0.002;
+  policy.backoff_jitter = 0.0;
+  transport.SetRetryPolicy(policy);
+
+  const DeliveryReceipt receipt = transport.ReliableRoundTrip(0, 1, 100, 100, nullptr);
+  EXPECT_FALSE(receipt.delivered);
+  EXPECT_TRUE(receipt.faulted);
+  EXPECT_EQ(receipt.attempts, 3);
+  // 3 timeouts + 2 backoffs (0.002, then 0.004), no jitter.
+  EXPECT_NEAR(receipt.seconds, 3 * 0.01 + 0.002 + 0.004, 1e-12);
+  EXPECT_DOUBLE_EQ(receipt.payload_seconds, 0.0);  // Nothing was delivered.
+}
+
+TEST(ReliableRoundTripTest, BackoffIsCappedAndClockAdvances) {
+  FaultSchedule schedule = FaultSchedule::FromEpisodes(
+      {Episode(FaultKind::kPartition, 0.0, 100.0, 1.0)});
+  FaultInjector injector(schedule, FaultRates{}, 5);
+  Transport transport(NetworkModel::TenBaseT());
+  transport.AttachFaults(&injector);
+  RetryPolicy policy;
+  policy.max_attempts = 5;
+  policy.timeout_seconds = 0.01;
+  policy.backoff_initial_seconds = 0.02;
+  policy.backoff_multiplier = 10.0;
+  policy.backoff_max_seconds = 0.05;  // Caps the 3rd/4th waits.
+  policy.backoff_jitter = 0.0;
+  transport.SetRetryPolicy(policy);
+
+  const DeliveryReceipt receipt = transport.ReliableRoundTrip(0, 1, 100, 100, nullptr);
+  EXPECT_EQ(receipt.attempts, 5);
+  // 5 timeouts + waits 0.02, then capped 0.05 x3.
+  EXPECT_NEAR(receipt.seconds, 5 * 0.01 + 0.02 + 3 * 0.05, 1e-12);
+  // The injector's clock saw every modeled second.
+  EXPECT_NEAR(injector.now_seconds(), receipt.seconds, 1e-12);
+}
+
+TEST(ReliableRoundTripTest, LatencySpikeScalesOnlyTheLatencyShare) {
+  FaultSchedule schedule = FaultSchedule::FromEpisodes(
+      {Episode(FaultKind::kLatencySpike, 0.0, 100.0, 4.0)});
+  FaultInjector injector(schedule, FaultRates{}, 5);
+  NetworkModel model = NetworkModel::TenBaseT();
+  model.jitter_fraction = 0.0;
+  Transport transport(model);
+  transport.AttachFaults(&injector);
+
+  const DeliveryReceipt receipt =
+      transport.ReliableRoundTrip(0, 1, 1000, 1000, nullptr);
+  EXPECT_TRUE(receipt.delivered);
+  EXPECT_TRUE(receipt.faulted);
+  EXPECT_NEAR(receipt.latency_seconds, 4.0 * 2.0 * model.per_message_seconds, 1e-12);
+  EXPECT_NEAR(receipt.payload_seconds, 2000.0 / model.bytes_per_second, 1e-12);
+}
+
+TEST(ReliableRoundTripTest, SameSeedReplaysByteForByte) {
+  RandomFaultOptions options;
+  options.horizon_seconds = 1.0;
+  options.episodes_per_kind = 2.0;
+  options.mean_duration_seconds = 0.1;
+  const FaultSchedule schedule = FaultSchedule::Random(options, 99);
+  FaultRates background;
+  background.drop = 0.1;
+  background.duplicate = 0.05;
+  background.reorder = 0.05;
+
+  auto run = [&]() {
+    FaultInjector injector(schedule, background, 1234);
+    Transport transport(NetworkModel::TenBaseT());
+    transport.AttachFaults(&injector);
+    double total = 0.0;
+    for (int i = 0; i < 200; ++i) {
+      total += transport.ReliableRoundTrip(0, 1, 64 * (i % 7), 128, nullptr).seconds;
+    }
+    return total;
+  };
+  EXPECT_DOUBLE_EQ(run(), run());
+}
+
+TEST(SuggestedRetryPolicyTest, ScalesWithTheNetworkModel) {
+  const RetryPolicy lan = SuggestedRetryPolicy(NetworkModel::TenBaseT());
+  const RetryPolicy wan = SuggestedRetryPolicy(NetworkModel::Isdn());
+  EXPECT_GT(wan.timeout_seconds, lan.timeout_seconds);
+  EXPECT_GT(lan.max_attempts, 1);
+  EXPECT_GT(lan.backoff_max_seconds, lan.backoff_initial_seconds);
+}
+
+}  // namespace
+}  // namespace coign

@@ -22,6 +22,15 @@
 //       the distribution in <base>.dist, once statically and once with
 //       the online repartitioner adapting as usage drifts from the
 //       profile; prints both runs and the adaptation statistics.
+//   coign chaos -i <base> --scenario <id> [--scenario <id> ...]
+//              [--network <name>] [--cycles <n>] [--reps <n>]
+//              [--seed <n>] [--drop <p>]
+//       Replays the same workload under a seeded random fault schedule
+//       (loss/duplication/reorder bursts, latency and bandwidth spikes,
+//       partitions, crash-restart) with the hardened transport: static
+//       distribution, adaptive with fault quarantine, and adaptive with
+//       quarantine disabled. Fully deterministic per seed — identical
+//       invocations print identical bytes.
 //
 // Networks: isdn, 10baset, 100baset, atm, san.
 
@@ -38,6 +47,7 @@
 #include "src/analysis/hotspots.h"
 #include "src/analysis/report.h"
 #include "src/apps/suite.h"
+#include "src/fault/injector.h"
 #include "src/net/network_profiler.h"
 #include "src/online/measure_online.h"
 #include "src/profile/log_file.h"
@@ -56,7 +66,10 @@ int Usage() {
                "  coign analyze -i <base> [--network <name>] [--dot <file>]\n"
                "  coign measure -i <base> --scenario <id> [--network <name>]\n"
                "  coign online -i <base> --scenario <id> [--scenario <id> ...]\n"
-               "              [--network <name>] [--cycles <n>] [--reps <n>]\n");
+               "              [--network <name>] [--cycles <n>] [--reps <n>]\n"
+               "  coign chaos -i <base> --scenario <id> [--scenario <id> ...]\n"
+               "             [--network <name>] [--cycles <n>] [--reps <n>]\n"
+               "             [--seed <n>] [--drop <p>]\n");
   return 2;
 }
 
@@ -106,6 +119,8 @@ struct Flags {
   std::string dot_path;
   int cycles = 2;
   int reps = 3;
+  uint64_t seed = 42;
+  double drop = 0.01;
 };
 
 Result<Flags> ParseFlags(int argc, char** argv, int first) {
@@ -158,6 +173,22 @@ Result<Flags> ParseFlags(int argc, char** argv, int first) {
         return InvalidArgumentError(arg + " wants a positive integer, got " + *value);
       }
       (arg == "--cycles" ? flags.cycles : flags.reps) = parsed;
+    } else if (arg == "--seed") {
+      Result<std::string> value = next();
+      if (!value.ok()) {
+        return value.status();
+      }
+      flags.seed = std::strtoull(value->c_str(), nullptr, 10);
+    } else if (arg == "--drop") {
+      Result<std::string> value = next();
+      if (!value.ok()) {
+        return value.status();
+      }
+      const double parsed = std::atof(value->c_str());
+      if (parsed < 0.0 || parsed >= 1.0) {
+        return InvalidArgumentError(arg + " wants a probability in [0, 1), got " + *value);
+      }
+      flags.drop = parsed;
     } else {
       return InvalidArgumentError("unknown flag: " + arg);
     }
@@ -459,6 +490,150 @@ int CmdOnline(const Flags& flags) {
   return 0;
 }
 
+int CmdChaos(const Flags& flags) {
+  if (flags.input_base.empty() || flags.scenarios.empty()) {
+    return Usage();
+  }
+  Result<std::unique_ptr<Application>> app =
+      BuildApplicationForScenario(flags.scenarios.front());
+  if (!app.ok()) {
+    std::fprintf(stderr, "%s\n", app.status().ToString().c_str());
+    return 1;
+  }
+  Result<IccProfile> profile = ReadProfileFile(flags.input_base + ".profile");
+  if (!profile.ok()) {
+    std::fprintf(stderr, "%s\n", profile.status().ToString().c_str());
+    return 1;
+  }
+  Result<std::string> dist_text = ReadFile(flags.input_base + ".dist");
+  if (!dist_text.ok()) {
+    std::fprintf(stderr, "%s (run `coign analyze` first)\n",
+                 dist_text.status().ToString().c_str());
+    return 1;
+  }
+  Result<ConfigurationRecord> config = ConfigurationRecord::Parse(*dist_text);
+  if (!config.ok()) {
+    std::fprintf(stderr, "%s\n", config.status().ToString().c_str());
+    return 1;
+  }
+  Result<NetworkModel> network = NetworkByName(flags.network);
+  if (!network.ok()) {
+    std::fprintf(stderr, "%s\n", network.status().ToString().c_str());
+    return 1;
+  }
+
+  Rng rng(23);
+  NetworkProfiler profiler;
+  OnlineMeasurementOptions options;
+  options.network = *network;
+  options.fitted = profiler.Profile(Transport(*network), rng);
+  options.retry = SuggestedRetryPolicy(*network);
+
+  const std::vector<OnlinePhase> workload =
+      CyclicWorkload(flags.scenarios, flags.reps, flags.cycles);
+
+  // The fault-free static run sizes the schedule horizon in modeled time.
+  options.adaptive = false;
+  Result<OnlineRunResult> clean_static =
+      MeasureOnlineRun(**app, workload, *config, *profile, options);
+  if (!clean_static.ok()) {
+    std::fprintf(stderr, "fault-free static run: %s\n",
+                 clean_static.status().ToString().c_str());
+    return 1;
+  }
+  options.adaptive = true;
+  Result<OnlineRunResult> clean_adaptive =
+      MeasureOnlineRun(**app, workload, *config, *profile, options);
+  if (!clean_adaptive.ok()) {
+    std::fprintf(stderr, "fault-free adaptive run: %s\n",
+                 clean_adaptive.status().ToString().c_str());
+    return 1;
+  }
+
+  RandomFaultOptions fault_options;
+  fault_options.horizon_seconds = clean_static->run.execution_seconds;
+  fault_options.mean_duration_seconds = fault_options.horizon_seconds / 8.0;
+  FaultSchedule schedule = FaultSchedule::Random(fault_options, flags.seed);
+  FaultRates background;
+  background.drop = flags.drop;
+
+  std::printf("chaos seed %llu on %s: %zu episode(s), background drop %.1f%%\n",
+              static_cast<unsigned long long>(flags.seed), network->name.c_str(),
+              schedule.episodes().size(), 100.0 * flags.drop);
+  std::printf("%s\n\n", schedule.ToString().c_str());
+  std::printf("%-26s %10s %10s %7s %6s %12s\n", "run", "comm (s)", "exec (s)", "recuts",
+              "moves", "quarantined");
+
+  const auto print_row = [](const char* label, const OnlineRunResult& result,
+                            bool adaptive) {
+    if (adaptive) {
+      std::printf("%-26s %10.3f %10.3f %7llu %6llu %12llu\n", label,
+                  result.run.communication_seconds, result.run.execution_seconds,
+                  static_cast<unsigned long long>(result.online.repartitions),
+                  static_cast<unsigned long long>(result.online.instances_moved),
+                  static_cast<unsigned long long>(result.online.quarantined_epochs));
+    } else {
+      std::printf("%-26s %10.3f %10.3f %7s %6s %12s\n", label,
+                  result.run.communication_seconds, result.run.execution_seconds, "-",
+                  "-", "-");
+    }
+  };
+  print_row("fault-free static", *clean_static, false);
+  print_row("fault-free adaptive", *clean_adaptive, true);
+
+  // Each faulted run replays the identical schedule with a fresh injector
+  // so the three runs (and any rerun of this command) see the same network.
+  const auto faulted_run = [&](bool adaptive,
+                               bool quarantine) -> Result<OnlineRunResult> {
+    FaultInjector injector(schedule, background, flags.seed + 1);
+    OnlineMeasurementOptions run_options = options;
+    run_options.adaptive = adaptive;
+    run_options.faults = &injector;
+    run_options.online.quarantine.enabled = quarantine;
+    Result<OnlineRunResult> result =
+        MeasureOnlineRun(**app, workload, *config, *profile, run_options);
+    if (result.ok() && adaptive && quarantine) {
+      std::printf("faults: %s\n", injector.stats().ToString().c_str());
+    }
+    return result;
+  };
+
+  Result<OnlineRunResult> faulted_static = faulted_run(false, true);
+  if (!faulted_static.ok()) {
+    std::fprintf(stderr, "static under faults: %s\n",
+                 faulted_static.status().ToString().c_str());
+    return 1;
+  }
+  print_row("static under faults", *faulted_static, false);
+  Result<OnlineRunResult> naive = faulted_run(true, false);
+  if (!naive.ok()) {
+    std::fprintf(stderr, "adaptive (no quarantine): %s\n",
+                 naive.status().ToString().c_str());
+    return 1;
+  }
+  print_row("adaptive (no quarantine)", *naive, true);
+  Result<OnlineRunResult> quarantined = faulted_run(true, true);
+  if (!quarantined.ok()) {
+    std::fprintf(stderr, "adaptive (quarantine): %s\n",
+                 quarantined.status().ToString().c_str());
+    return 1;
+  }
+  print_row("adaptive (quarantine)", *quarantined, true);
+
+  std::printf("\nonline: %s\n", quarantined->online.ToString().c_str());
+  const double ratio =
+      clean_adaptive->run.execution_seconds > 0.0
+          ? quarantined->run.execution_seconds / clean_adaptive->run.execution_seconds
+          : 0.0;
+  std::printf(
+      "chaos summary: quarantine recuts=%llu naive recuts=%llu quarantined_epochs=%llu "
+      "exec vs fault-free adaptive=%.2fx\n",
+      static_cast<unsigned long long>(quarantined->online.repartitions),
+      static_cast<unsigned long long>(naive->online.repartitions),
+      static_cast<unsigned long long>(quarantined->online.quarantined_epochs), ratio);
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   if (argc < 2) {
     return Usage();
@@ -483,6 +658,9 @@ int Main(int argc, char** argv) {
   }
   if (command == "online") {
     return CmdOnline(*flags);
+  }
+  if (command == "chaos") {
+    return CmdChaos(*flags);
   }
   return Usage();
 }
