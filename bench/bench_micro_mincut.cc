@@ -36,7 +36,8 @@ void BM_RelabelToFront(benchmark::State& state) {
   FlowNetwork network = BuildGraph(nodes, 8.0 / nodes, 7);
   double cut_value = 0.0;
   for (auto _ : state) {
-    network.ResetFlow();
+    // The const& entry point copies internally; the copy is part of what a
+    // caller pays per cut, so it belongs inside the timed region.
     const CutResult cut = MinCutRelabelToFront(network, 0, 1);
     cut_value = cut.cut_value;
     benchmark::DoNotOptimize(cut_value);
@@ -50,7 +51,6 @@ void BM_EdmondsKarp(benchmark::State& state) {
   FlowNetwork network = BuildGraph(nodes, 8.0 / nodes, 7);
   double cut_value = 0.0;
   for (auto _ : state) {
-    network.ResetFlow();
     const CutResult cut = MinCutEdmondsKarp(network, 0, 1);
     cut_value = cut.cut_value;
     benchmark::DoNotOptimize(cut_value);

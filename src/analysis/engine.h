@@ -58,6 +58,11 @@ struct AnalysisResult {
   std::vector<CutEdgeReport> cut_edges;
 };
 
+// Re-entrancy contract: Analyze is const and keeps all working state
+// (graphs, flow network, cut) on the stack of the call; the min-cut layer
+// underneath likewise operates on per-call copies. One engine may serve
+// concurrent Analyze calls from many threads — the fleet partitioning
+// service computes per-cohort cuts in parallel through a single engine.
 class ProfileAnalysisEngine {
  public:
   explicit ProfileAnalysisEngine(AnalysisOptions options = {}) : options_(options) {}

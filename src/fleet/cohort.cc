@@ -1,0 +1,55 @@
+#include "src/fleet/cohort.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "src/support/str_util.h"
+
+namespace coign {
+
+std::string CohortKey::ToString() const {
+  return StrFormat("L%+d/B%+d", latency_bucket, bandwidth_bucket);
+}
+
+CohortKey BucketOf(const NetworkModel& network, const CohortingOptions& options) {
+  CohortKey key;
+  key.latency_bucket = static_cast<int32_t>(std::floor(
+      std::log10(network.per_message_seconds) * options.latency_buckets_per_decade));
+  key.bandwidth_bucket = static_cast<int32_t>(std::floor(
+      std::log10(network.bytes_per_second) * options.bandwidth_buckets_per_decade));
+  return key;
+}
+
+NetworkModel BucketCenter(const CohortKey& key, const CohortingOptions& options) {
+  NetworkModel center;
+  center.per_message_seconds = std::pow(
+      10.0, (key.latency_bucket + 0.5) / options.latency_buckets_per_decade);
+  center.bytes_per_second = std::pow(
+      10.0, (key.bandwidth_bucket + 0.5) / options.bandwidth_buckets_per_decade);
+  center.jitter_fraction = 0.0;  // The center is a model, not a measurement.
+  center.name = "cohort " + key.ToString();
+  return center;
+}
+
+std::vector<Cohort> BuildCohorts(const std::vector<FleetClient>& fleet,
+                                 const CohortingOptions& options) {
+  // std::map keeps cohorts in grid order without a separate sort; fleets
+  // occupy at most a few hundred buckets.
+  std::map<CohortKey, std::vector<uint32_t>> buckets;
+  for (const FleetClient& client : fleet) {
+    buckets[BucketOf(client.network, options)].push_back(client.id);
+  }
+  std::vector<Cohort> cohorts;
+  cohorts.reserve(buckets.size());
+  for (auto& [key, members] : buckets) {
+    Cohort cohort;
+    cohort.key = key;
+    cohort.representative = BucketCenter(key, options);
+    cohort.members = std::move(members);
+    cohorts.push_back(std::move(cohort));
+  }
+  return cohorts;
+}
+
+}  // namespace coign

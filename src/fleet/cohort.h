@@ -1,0 +1,82 @@
+// Cohorting: bucket a fleet's clients by network characteristics so one
+// cut serves many clients.
+//
+// A distribution is a discrete object — small shifts in link parameters
+// rarely move the minimum cut (the ablation benches show plateaus spanning
+// most of a decade). So instead of cutting per client, clients are
+// bucketed on a log scale over the two NetworkModel cost parameters
+// (per-message latency and payload bandwidth), and one cut is computed per
+// occupied bucket at the bucket's geometric center. Pricing at the center
+// — not at the mean of the current members — makes a cohort's plan a pure
+// function of its bucket, which is what lets the plan cache serve
+// repeated and drifting fleets. Online balanced-partitioning work (Avin
+// et al.; Räcke et al.) motivates exactly this amortization of cut
+// computation across similar concurrent demands.
+
+#ifndef COIGN_SRC_FLEET_COHORT_H_
+#define COIGN_SRC_FLEET_COHORT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/net/network_model.h"
+#include "src/sim/fleet_population.h"
+
+namespace coign {
+
+struct CohortingOptions {
+  // Bucket granularity on each log10 axis. Finer buckets mean lower
+  // within-cohort regret but more cuts to compute; 8/decade keeps the
+  // worst within-bucket parameter ratio at 10^(1/8) ~ 1.33x.
+  double latency_buckets_per_decade = 8.0;
+  double bandwidth_buckets_per_decade = 8.0;
+};
+
+// A bucket on the (log latency, log bandwidth) grid.
+struct CohortKey {
+  int32_t latency_bucket = 0;
+  int32_t bandwidth_bucket = 0;
+
+  friend bool operator==(const CohortKey&, const CohortKey&) = default;
+  // Grid order: latency-major — the deterministic iteration order
+  // everywhere cohorts are listed.
+  friend bool operator<(const CohortKey& a, const CohortKey& b) {
+    return a.latency_bucket != b.latency_bucket
+               ? a.latency_bucket < b.latency_bucket
+               : a.bandwidth_bucket < b.bandwidth_bucket;
+  }
+
+  std::string ToString() const;
+};
+
+struct CohortKeyHash {
+  size_t operator()(const CohortKey& key) const {
+    return static_cast<size_t>(
+        (static_cast<uint64_t>(static_cast<uint32_t>(key.latency_bucket)) << 32) ^
+        static_cast<uint32_t>(key.bandwidth_bucket) * 0x9e3779b97f4a7c15ull);
+  }
+};
+
+struct Cohort {
+  CohortKey key;
+  // The bucket's geometric center: the network every member's plan is
+  // computed against.
+  NetworkModel representative;
+  // Member client ids, in fleet order.
+  std::vector<uint32_t> members;
+};
+
+// The bucket a network's parameters land in.
+CohortKey BucketOf(const NetworkModel& network, const CohortingOptions& options);
+
+// The geometric center of a bucket.
+NetworkModel BucketCenter(const CohortKey& key, const CohortingOptions& options);
+
+// Groups the fleet into occupied buckets, sorted by CohortKey grid order.
+std::vector<Cohort> BuildCohorts(const std::vector<FleetClient>& fleet,
+                                 const CohortingOptions& options);
+
+}  // namespace coign
+
+#endif  // COIGN_SRC_FLEET_COHORT_H_

@@ -1,0 +1,85 @@
+#include "src/fleet/fingerprint.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+#include <string_view>
+#include <vector>
+
+namespace coign {
+namespace {
+
+constexpr uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+void Fold(uint64_t* hash, const void* data, size_t size) {
+  const unsigned char* bytes = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < size; ++i) {
+    *hash ^= bytes[i];
+    *hash *= kFnvPrime;
+  }
+}
+
+void FoldU64(uint64_t* hash, uint64_t value) { Fold(hash, &value, sizeof(value)); }
+
+void FoldDouble(uint64_t* hash, double value) {
+  FoldU64(hash, std::bit_cast<uint64_t>(value));
+}
+
+void FoldString(uint64_t* hash, std::string_view text) {
+  FoldU64(hash, text.size());
+  Fold(hash, text.data(), text.size());
+}
+
+void FoldHistogram(uint64_t* hash, const ExponentialHistogram& histogram) {
+  for (int bucket : histogram.NonEmptyBuckets()) {
+    FoldU64(hash, static_cast<uint64_t>(static_cast<int64_t>(bucket)));
+    FoldU64(hash, histogram.CountAt(bucket));
+    FoldU64(hash, histogram.BytesAt(bucket));
+  }
+  FoldU64(hash, histogram.total_count());
+  FoldU64(hash, histogram.total_bytes());
+}
+
+}  // namespace
+
+uint64_t ProfileFingerprint(const IccProfile& profile) {
+  uint64_t hash = kFnvOffset;
+
+  for (ClassificationId id : profile.SortedClassificationIds()) {
+    const ClassificationInfo* info = profile.FindClassification(id);
+    FoldU64(&hash, info->id);
+    FoldU64(&hash, info->clsid.hi);
+    FoldU64(&hash, info->clsid.lo);
+    FoldU64(&hash, info->api_usage);
+    FoldU64(&hash, info->instance_count);
+    FoldString(&hash, info->class_name);
+    FoldDouble(&hash, profile.ComputeSecondsOf(id));
+  }
+
+  std::vector<const std::pair<const CallKey, CallSummary>*> calls;
+  calls.reserve(profile.calls().size());
+  for (const auto& entry : profile.calls()) {
+    calls.push_back(&entry);
+  }
+  std::sort(calls.begin(), calls.end(), [](const auto* a, const auto* b) {
+    const CallKey& x = a->first;
+    const CallKey& y = b->first;
+    return std::tie(x.src, x.dst, x.iid.hi, x.iid.lo, x.method) <
+           std::tie(y.src, y.dst, y.iid.hi, y.iid.lo, y.method);
+  });
+  for (const auto* entry : calls) {
+    const CallKey& key = entry->first;
+    FoldU64(&hash, key.src);
+    FoldU64(&hash, key.dst);
+    FoldU64(&hash, key.iid.hi);
+    FoldU64(&hash, key.iid.lo);
+    FoldU64(&hash, key.method);
+    FoldU64(&hash, entry->second.non_remotable_calls);
+    FoldHistogram(&hash, entry->second.requests);
+    FoldHistogram(&hash, entry->second.replies);
+  }
+  return hash;
+}
+
+}  // namespace coign

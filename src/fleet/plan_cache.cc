@@ -1,0 +1,65 @@
+#include "src/fleet/plan_cache.h"
+
+#include "src/support/str_util.h"
+
+namespace coign {
+
+std::string PlanCacheStats::ToString() const {
+  return StrFormat("plan-cache{hits=%llu, misses=%llu, hit_rate=%.1f%%, "
+                   "insertions=%llu, evictions=%llu}",
+                   static_cast<unsigned long long>(hits),
+                   static_cast<unsigned long long>(misses), 100.0 * hit_rate(),
+                   static_cast<unsigned long long>(insertions),
+                   static_cast<unsigned long long>(evictions));
+}
+
+std::optional<AnalysisResult> PlanCache::Lookup(const PlanCacheKey& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  ++stats_.hits;
+  lru_.splice(lru_.begin(), lru_, it->second);  // Refresh to most recent.
+  return it->second->plan;
+}
+
+void PlanCache::Insert(const PlanCacheKey& key, AnalysisResult plan) {
+  if (capacity_ == 0) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->plan = std::move(plan);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.push_front(Entry{key, std::move(plan)});
+  index_[key] = lru_.begin();
+  ++stats_.insertions;
+  while (lru_.size() > capacity_) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+size_t PlanCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lru_.size();
+}
+
+PlanCacheStats PlanCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void PlanCache::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  lru_.clear();
+  index_.clear();
+}
+
+}  // namespace coign

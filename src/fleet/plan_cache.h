@@ -1,0 +1,95 @@
+// The partition-plan cache: (profile fingerprint x cohort bucket) -> plan.
+//
+// A cohort's plan is a pure function of its cache key — the cut is priced
+// at the bucket's geometric center, never at the member mean — so a
+// repeated fleet hits for every cohort and a drifting fleet (clients
+// churning within their link classes) hits for every bucket that stays
+// occupied. LRU eviction bounds memory on long-running services facing
+// many profiles; hit/miss counters feed the fleet reports.
+//
+// Thread safety: all operations lock an internal mutex, so the cache may
+// be probed from any thread. The fleet service nevertheless performs all
+// lookups and insertions on its coordinator thread in cohort grid order so
+// the LRU sequence — and therefore eviction, and therefore every counter —
+// is deterministic however many workers compute plans.
+
+#ifndef COIGN_SRC_FLEET_PLAN_CACHE_H_
+#define COIGN_SRC_FLEET_PLAN_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "src/analysis/engine.h"
+#include "src/fleet/cohort.h"
+
+namespace coign {
+
+struct PlanCacheKey {
+  uint64_t profile_fingerprint = 0;
+  CohortKey bucket;
+
+  friend bool operator==(const PlanCacheKey&, const PlanCacheKey&) = default;
+};
+
+struct PlanCacheKeyHash {
+  size_t operator()(const PlanCacheKey& key) const {
+    uint64_t h = key.profile_fingerprint;
+    h = h * 0x9e3779b97f4a7c15ull + CohortKeyHash()(key.bucket);
+    return static_cast<size_t>(h);
+  }
+};
+
+struct PlanCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t insertions = 0;
+  uint64_t evictions = 0;
+
+  uint64_t lookups() const { return hits + misses; }
+  double hit_rate() const {
+    return lookups() == 0 ? 0.0 : static_cast<double>(hits) / lookups();
+  }
+  std::string ToString() const;
+};
+
+class PlanCache {
+ public:
+  // capacity 0 disables caching (every lookup misses, inserts are dropped).
+  explicit PlanCache(size_t capacity) : capacity_(capacity) {}
+
+  PlanCache(const PlanCache&) = delete;
+  PlanCache& operator=(const PlanCache&) = delete;
+
+  // Returns a copy of the cached plan and refreshes its LRU position.
+  std::optional<AnalysisResult> Lookup(const PlanCacheKey& key);
+
+  // Inserts (or refreshes) a plan, evicting least-recently-used entries
+  // beyond capacity.
+  void Insert(const PlanCacheKey& key, AnalysisResult plan);
+
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+  PlanCacheStats stats() const;
+  void Clear();
+
+ private:
+  struct Entry {
+    PlanCacheKey key;
+    AnalysisResult plan;
+  };
+
+  const size_t capacity_;
+  mutable std::mutex mutex_;
+  std::list<Entry> lru_;  // Front = most recently used.
+  std::unordered_map<PlanCacheKey, std::list<Entry>::iterator, PlanCacheKeyHash> index_;
+  PlanCacheStats stats_;
+};
+
+}  // namespace coign
+
+#endif  // COIGN_SRC_FLEET_PLAN_CACHE_H_

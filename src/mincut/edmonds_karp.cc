@@ -7,9 +7,12 @@
 
 namespace coign {
 
-CutResult MinCutEdmondsKarp(FlowNetwork& network, int source, int sink) {
+CutResult MinCutEdmondsKarp(const FlowNetwork& original, int source, int sink) {
   assert(source != sink);
   constexpr double kEps = 1e-12;
+  // Augmentation mutates only this per-call copy; see the header's
+  // re-entrancy contract.
+  FlowNetwork network = original;
   double total_flow = 0.0;
   const int n = network.node_count();
 

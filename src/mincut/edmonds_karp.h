@@ -9,7 +9,9 @@
 
 namespace coign {
 
-CutResult MinCutEdmondsKarp(FlowNetwork& network, int source, int sink);
+// The input network is not modified (flow accumulates on a per-call
+// working copy), so concurrent cuts are safe.
+CutResult MinCutEdmondsKarp(const FlowNetwork& network, int source, int sink);
 
 }  // namespace coign
 

@@ -5,6 +5,11 @@
 // and server are the terminals, every classification is a node, and edge
 // capacities are predicted communication seconds. Location constraints
 // become effectively-infinite capacities.
+//
+// Re-entrancy contract: FlowNetwork is a plain value type with no shared
+// or global state, and the min-cut entry points take it by const reference
+// and run on per-call working copies. The fleet partitioning service
+// relies on this to drive many cuts concurrently from a worker pool.
 
 #ifndef COIGN_SRC_MINCUT_FLOW_NETWORK_H_
 #define COIGN_SRC_MINCUT_FLOW_NETWORK_H_

@@ -108,10 +108,15 @@ class RelabelToFront {
 
 }  // namespace
 
-CutResult MinCutRelabelToFront(FlowNetwork& network, int source, int sink) {
+CutResult MinCutRelabelToFront(const FlowNetwork& original, int source, int sink) {
   assert(source != sink);
-  assert(source >= 0 && source < network.node_count());
-  assert(sink >= 0 && sink < network.node_count());
+  assert(source >= 0 && source < original.node_count());
+  assert(sink >= 0 && sink < original.node_count());
+
+  // All mutation — preflow, relabeling, and the capacity clamp below —
+  // happens on this per-call copy, which is what makes the entry point
+  // safe to call from many worker threads at once.
+  FlowNetwork network = original;
 
   // Push-relabel accumulates per-node excess, and the initial preflow
   // saturates every source arc — so a constraint pin on the source gives

@@ -2,6 +2,13 @@
 
 namespace coign {
 
+NetworkModel NetworkModel::Scaled(double latency_scale, double bandwidth_scale) const {
+  NetworkModel scaled = *this;
+  scaled.per_message_seconds *= latency_scale;
+  scaled.bytes_per_second *= bandwidth_scale;
+  return scaled;
+}
+
 NetworkModel NetworkModel::TenBaseT() {
   return NetworkModel{
       .name = "10BaseT",

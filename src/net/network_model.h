@@ -30,6 +30,11 @@ struct NetworkModel {
     return per_message_seconds + static_cast<double>(bytes) / bytes_per_second;
   }
 
+  // A copy of this model with latency multiplied by `latency_scale` and
+  // bandwidth multiplied by `bandwidth_scale` — how fleet simulation derives
+  // one client's measured link from an archetype preset.
+  NetworkModel Scaled(double latency_scale, double bandwidth_scale) const;
+
   // --- Presets -------------------------------------------------------------
   // The paper's testbed: isolated 10 Mb/s Ethernet, mid-90s protocol stacks.
   static NetworkModel TenBaseT();

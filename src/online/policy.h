@@ -61,7 +61,10 @@ struct RepartitionConfig {
 // and the live estimator prices in), and an epoch is quarantined only
 // when its fraction exceeds `faulted_fraction_threshold` plus
 // `baseline_multiplier` times that baseline. A lossy-but-steady link is
-// the network, not an episode.
+// the network, not an episode. Silent degradation — the wire slowing
+// without any call being marked faulted — is screened the same way
+// against per-call latency and per-byte payload baselines (the
+// FaultEpisodeDetector in episode_detector.h implements the rule).
 struct QuarantineConfig {
   bool enabled = true;
   // Absolute floor of the quarantine trigger: with a clean baseline, an
@@ -73,6 +76,11 @@ struct QuarantineConfig {
   // EWMA weight of the newest healthy epoch in the faulted-fraction
   // baseline. Quarantined epochs never update the baseline.
   double baseline_alpha = 0.3;
+  // Silent-degradation trigger: quarantine an epoch whose per-call latency
+  // or per-byte payload time exceeds this multiple of the healthy-epoch
+  // baseline, even when no individual call was marked faulted (a congested
+  // or re-routed wire slows everything without tripping the retry path).
+  double slowdown_multiplier = 3.0;
   // Extra epochs of distrust after the detector last fired.
   uint64_t hold_epochs = 1;
   // EWMA weight of the newest healthy epoch in the live network estimate.

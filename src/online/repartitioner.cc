@@ -33,7 +33,8 @@ OnlineRepartitioner::OnlineRepartitioner(ObjectSystem* system, CoignRuntime* run
       network_(std::move(network)),
       options_(options),
       window_(options.window),
-      policy_(options.policy, options.analysis) {
+      policy_(options.policy, options.analysis),
+      episode_detector_(options.quarantine) {
   assert(system_ != nullptr && runtime_ != nullptr);
   system_->AddInterceptor(this);
 }
@@ -140,29 +141,21 @@ Status OnlineRepartitioner::EndEpoch() {
     epoch_health_ = now;
     call_health_ = now;
     if (options_.quarantine.enabled) {
-      const double faulted_fraction =
-          epoch_calls > 0 ? static_cast<double>(epoch_faulted) /
-                                static_cast<double>(epoch_calls)
-                          : (epoch_faulted > 0 ? 1.0 : 0.0);
-      // Baseline-relative trigger: steady background loss raises the
-      // baseline and stops looking like an episode; bursts stand out.
-      const double trigger = options_.quarantine.faulted_fraction_threshold +
-                             options_.quarantine.baseline_multiplier * fault_baseline_;
-      if (fault_baseline_primed_ && faulted_fraction > trigger) {
-        quarantine_hold_ = options_.quarantine.hold_epochs + 1;
+      EpochHealthSample sample;
+      sample.calls = epoch_calls;
+      sample.faulted_calls = epoch_faulted;
+      sample.wire_bytes = epoch_bytes;
+      sample.latency_seconds = epoch_latency;
+      sample.payload_seconds = epoch_payload;
+      const FaultEpisodeDetector::Verdict verdict = episode_detector_.Observe(sample);
+      if (verdict.episode != FaultEpisodeDetector::Trigger::kNone) {
         ++stats_.fault_episodes;
       }
-      if (quarantine_hold_ > 0) {
-        --quarantine_hold_;
+      if (verdict.quarantine) {
         ++stats_.quarantined_epochs;
         window_.DiscardEpoch();
         return Status::Ok();
       }
-      const double alpha = options_.quarantine.baseline_alpha;
-      fault_baseline_ = fault_baseline_primed_
-                            ? (1.0 - alpha) * fault_baseline_ + alpha * faulted_fraction
-                            : faulted_fraction;
-      fault_baseline_primed_ = true;
     }
     if (estimator_ != nullptr) {
       estimator_->ObserveEpoch(epoch_calls, epoch_bytes, epoch_latency, epoch_payload);

@@ -24,6 +24,7 @@
 #include "src/com/object_system.h"
 #include "src/net/network_profiler.h"
 #include "src/net/transport.h"
+#include "src/online/episode_detector.h"
 #include "src/online/migrator.h"
 #include "src/online/net_estimator.h"
 #include "src/online/policy.h"
@@ -145,11 +146,9 @@ class OnlineRepartitioner : public ObjectSystem::Interceptor {
   RepartitionDecision last_decision_;
   uint64_t epochs_since_evaluation_ = 0;
   uint64_t cooldown_remaining_ = 0;
-  uint64_t quarantine_hold_ = 0;
-  // EWMA of healthy epochs' faulted-call fraction: the steady background
-  // fault level the quarantine trigger is measured against.
-  double fault_baseline_ = 0.0;
-  bool fault_baseline_primed_ = false;
+  // Screens epochs for fault episodes (visible faults and silent
+  // latency/payload slowdown) against healthy-epoch baselines.
+  FaultEpisodeDetector episode_detector_;
 };
 
 }  // namespace coign

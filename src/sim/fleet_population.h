@@ -1,0 +1,61 @@
+// Simulated client fleets for the fleet partitioning service.
+//
+// The paper computes one distribution for one client/server pair over one
+// measured network (§2). Serving a large deployed population means every
+// client arrives with its own measured network — the same application runs
+// over ISDN dial-ups, office Ethernet, and datacenter SANs at once, and no
+// single cut is right for all of them. This generator draws a seeded
+// population of clients whose link parameters come from the preset
+// archetypes spread by a per-client multiplicative factor (real fleets
+// cluster around link classes but no two DSL lines measure identically).
+// Everything is deterministic per seed so fleet experiments replay
+// bit-for-bit.
+
+#ifndef COIGN_SRC_SIM_FLEET_POPULATION_H_
+#define COIGN_SRC_SIM_FLEET_POPULATION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/net/network_model.h"
+#include "src/support/rng.h"
+
+namespace coign {
+
+// One simulated client: an identity plus its measured link parameters.
+struct FleetClient {
+  uint32_t id = 0;
+  std::string archetype;  // Preset the link was drawn from, for reports.
+  NetworkModel network;
+};
+
+// An archetype is a link class with a population share and a spread: a
+// client drawn from it scales the preset's latency and bandwidth by
+// independent log-uniform factors in [1/spread, spread].
+struct FleetArchetype {
+  NetworkModel base;
+  double weight = 1.0;
+  double spread = 2.0;
+};
+
+struct FleetPopulationOptions {
+  int client_count = 2000;
+  // Empty = DefaultFleetArchetypes().
+  std::vector<FleetArchetype> archetypes;
+};
+
+// The default mix: a consumer-heavy population across the five presets,
+// dominated by slow links (where partitioning matters most) with a long
+// fast-network tail.
+std::vector<FleetArchetype> DefaultFleetArchetypes();
+
+// Draws `options.client_count` clients deterministically from `seed`.
+// Clients are returned in id order; the same (options, seed) always
+// produces the identical population.
+std::vector<FleetClient> GenerateFleet(const FleetPopulationOptions& options,
+                                       uint64_t seed);
+
+}  // namespace coign
+
+#endif  // COIGN_SRC_SIM_FLEET_POPULATION_H_

@@ -1,5 +1,5 @@
 # Drives the coign CLI end to end: profile -> analyze -> measure -> online
-# -> chaos.
+# -> chaos -> fleet.
 file(MAKE_DIRECTORY ${WORK_DIR})
 function(run)
   execute_process(COMMAND ${ARGN} WORKING_DIRECTORY ${WORK_DIR}
@@ -41,4 +41,32 @@ endif()
 run(${COIGN_BIN} chaos ${chaos_args} --seed 7)
 if(chaos_first STREQUAL last_output)
   message(FATAL_ERROR "chaos ignores --seed: seeds 42 and 7 match")
+endif()
+
+# Fleet planning is threaded but must stay byte-deterministic: same seed,
+# same bytes — including across different worker counts, since results are
+# reduced in cohort grid order on the coordinator, never in claim order.
+set(fleet_args -i smoke --clients 200 --seed 42)
+run(${COIGN_BIN} fleet ${fleet_args} --threads 4)
+set(fleet_first "${last_output}")
+run(${COIGN_BIN} fleet ${fleet_args} --threads 4)
+if(NOT fleet_first STREQUAL last_output)
+  message(FATAL_ERROR "fleet --seed 42 is not deterministic:\n"
+          "--- first ---\n${fleet_first}\n--- second ---\n${last_output}")
+endif()
+run(${COIGN_BIN} fleet ${fleet_args} --threads 1)
+string(REPLACE "1 thread(s)" "4 thread(s)" fleet_serial "${last_output}")
+if(NOT fleet_first STREQUAL fleet_serial)
+  message(FATAL_ERROR "fleet output depends on the worker count:\n"
+          "--- 4 threads ---\n${fleet_first}\n--- 1 thread ---\n${fleet_serial}")
+endif()
+if(NOT fleet_first MATCHES "cache_hits=")
+  message(FATAL_ERROR "fleet output missing cache counters:\n${fleet_first}")
+endif()
+if(NOT fleet_first MATCHES "regret")
+  message(FATAL_ERROR "fleet output missing regret summary:\n${fleet_first}")
+endif()
+run(${COIGN_BIN} fleet -i smoke --clients 200 --seed 7 --threads 4)
+if(fleet_first STREQUAL last_output)
+  message(FATAL_ERROR "fleet ignores --seed: seeds 42 and 7 match")
 endif()

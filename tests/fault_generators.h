@@ -8,6 +8,7 @@
 #define COIGN_TESTS_FAULT_GENERATORS_H_
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "src/fault/fault_schedule.h"
@@ -87,6 +88,30 @@ inline std::vector<GeneratedCall> GenCallSequence(Rng& rng, int count) {
     calls.push_back(call);
   }
   return calls;
+}
+
+// --- Shrinking ------------------------------------------------------------
+
+// Smallest n in [1, count] with fails(n), given fails(count) is true.
+// Binary search assumes prefix-monotone failure: a generated case replays
+// deterministically and an n-call prefix executes identically within any
+// longer run, so once the first violating call is inside the prefix it
+// stays violating as the prefix grows. Callers shrinking along an axis
+// where monotonicity is only heuristic (e.g. dropping schedule episodes,
+// which changes what the surviving episodes meet) must re-verify the
+// returned candidate and fall back to `count` if it no longer fails.
+inline int SmallestFailingPrefix(int count, const std::function<bool(int)>& fails) {
+  int lo = 1;
+  int hi = count;
+  while (lo < hi) {
+    const int mid = lo + (hi - lo) / 2;
+    if (fails(mid)) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return hi;
 }
 
 }  // namespace testing

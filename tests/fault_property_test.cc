@@ -12,10 +12,19 @@
 // Plus a few end-to-end adaptive runs under faults: the run completes
 // with no lost placements, time only accumulates, and identical seeds
 // produce identical measurements and online stats.
+//
+// Failures shrink before they report: the harness bisects the failing
+// case's call sequence to the shortest violating prefix, then bisects the
+// fault schedule to the fewest leading episodes that still reproduce, and
+// prints the minimal case — seed, calls, episodes, retry policy — ready to
+// paste into a regression test.
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
+#include <functional>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -46,70 +55,169 @@ bool SameReceipt(const DeliveryReceipt& a, const DeliveryReceipt& b) {
          a.duplicate_messages == b.duplicate_messages;
 }
 
-RunTrace RunGeneratedCase(uint64_t seed) {
-  Rng gen(seed);
-  const RandomFaultOptions schedule_options = testing::GenFaultOptions(gen);
-  const FaultSchedule schedule = FaultSchedule::Random(schedule_options, seed);
-  const FaultRates background = testing::GenBackground(gen);
-  const NetworkModel model = NetworkModel::TenBaseT();
-  const RetryPolicy policy = testing::GenRetryPolicy(gen, model);
-  const std::vector<testing::GeneratedCall> calls =
-      testing::GenCallSequence(gen, kCallsPerSchedule);
+// One generated case, fully reconstructible from (seed, call_count,
+// episode_count) — the shrinker's search space.
+struct GeneratedCase {
+  RandomFaultOptions schedule_options;
+  FaultSchedule schedule;
+  FaultRates background;
+  NetworkModel model;
+  RetryPolicy policy;
+  std::vector<testing::GeneratedCall> calls;
+};
 
-  FaultInjector injector(schedule, background, seed ^ 0x9e3779b97f4a7c15ull);
-  Transport transport(model);
+GeneratedCase BuildCase(uint64_t seed, int call_count, int episode_count) {
+  GeneratedCase c;
+  Rng gen(seed);
+  c.schedule_options = testing::GenFaultOptions(gen);
+  c.schedule = FaultSchedule::Random(c.schedule_options, seed);
+  if (episode_count >= 0 &&
+      episode_count < static_cast<int>(c.schedule.episodes().size())) {
+    c.schedule = FaultSchedule::FromEpisodes(std::vector<FaultEpisode>(
+        c.schedule.episodes().begin(), c.schedule.episodes().begin() + episode_count));
+  }
+  c.background = testing::GenBackground(gen);
+  c.model = NetworkModel::TenBaseT();
+  c.policy = testing::GenRetryPolicy(gen, c.model);
+  // Calls are drawn one at a time, so a shorter sequence is an exact
+  // prefix of the longer one — the property the prefix shrinker rests on.
+  c.calls = testing::GenCallSequence(gen, call_count);
+  return c;
+}
+
+// Runs one generated case and checks every transport invariant without
+// asserting: the first violation comes back as text (empty = clean), so
+// the shrinker can re-run prefixes of the case without tripping gtest.
+struct CaseOutcome {
+  RunTrace trace;
+  std::string violation;  // First violated invariant, or empty.
+};
+
+CaseOutcome RunCase(uint64_t seed, int call_count, int episode_count = -1) {
+  const GeneratedCase c = BuildCase(seed, call_count, episode_count);
+  FaultInjector injector(c.schedule, c.background, seed ^ 0x9e3779b97f4a7c15ull);
+  Transport transport(c.model);
   transport.AttachFaults(&injector);
-  transport.SetRetryPolicy(policy);
+  transport.SetRetryPolicy(c.policy);
   Rng jitter(seed + 1);
 
-  RunTrace trace;
+  CaseOutcome outcome;
+  std::ostringstream violation;
+  const auto fail = [&](size_t call_index, const std::string& what) {
+    violation << "call " << call_index << ": " << what;
+    outcome.violation = violation.str();
+  };
+
   double last_elapsed = 0.0;
   double last_fault_clock = 0.0;
   uint64_t receipt_attempts = 0;
-  for (const testing::GeneratedCall& call : calls) {
+  for (size_t i = 0; i < c.calls.size() && outcome.violation.empty(); ++i) {
+    const testing::GeneratedCall& call = c.calls[i];
     const DeliveryReceipt receipt = transport.ReliableRoundTrip(
         call.src, call.dst, call.request_bytes, call.reply_bytes, &jitter);
-    trace.receipts.push_back(receipt);
+    outcome.trace.receipts.push_back(receipt);
 
     // Retry budget bounds attempts; undelivered means the budget was spent.
-    EXPECT_GE(receipt.attempts, 1);
-    EXPECT_LE(receipt.attempts, std::max(1, policy.max_attempts));
-    if (!receipt.delivered) {
-      EXPECT_EQ(receipt.attempts, std::max(1, policy.max_attempts));
-      EXPECT_TRUE(receipt.faulted);
-      EXPECT_DOUBLE_EQ(receipt.payload_seconds, 0.0);
+    const int budget = std::max(1, c.policy.max_attempts);
+    if (receipt.attempts < 1 || receipt.attempts > budget) {
+      fail(i, "attempts " + std::to_string(receipt.attempts) + " outside [1, " +
+                  std::to_string(budget) + "]");
+    } else if (!receipt.delivered &&
+               (receipt.attempts != budget || !receipt.faulted ||
+                receipt.payload_seconds != 0.0)) {
+      fail(i, "undelivered receipt with unspent budget, no fault mark, or "
+              "payload time");
+    } else if (receipt.latency_seconds < 0.0 || receipt.payload_seconds < 0.0) {
+      fail(i, "negative time share");
+    } else if (receipt.seconds != receipt.latency_seconds + receipt.payload_seconds) {
+      fail(i, "seconds do not decompose into latency + payload");
+    } else if (transport.elapsed_seconds() < last_elapsed) {
+      fail(i, "transport clock ran backwards");
+    } else if (injector.now_seconds() < last_fault_clock) {
+      fail(i, "fault clock ran backwards");
     }
-
-    // Time decomposes exactly and never runs backwards.
-    EXPECT_GE(receipt.latency_seconds, 0.0);
-    EXPECT_GE(receipt.payload_seconds, 0.0);
-    EXPECT_DOUBLE_EQ(receipt.seconds,
-                     receipt.latency_seconds + receipt.payload_seconds);
-    EXPECT_GE(transport.elapsed_seconds(), last_elapsed);
-    EXPECT_GE(injector.now_seconds(), last_fault_clock);
     last_elapsed = transport.elapsed_seconds();
     last_fault_clock = injector.now_seconds();
     receipt_attempts += static_cast<uint64_t>(receipt.attempts);
   }
 
-  // The transport charged itself exactly what it told the fault clock.
-  EXPECT_NEAR(transport.elapsed_seconds(), injector.now_seconds(),
-              1e-9 * (1.0 + transport.elapsed_seconds()));
-  // Every delivery attempt was offered to the fault model, and no more.
-  EXPECT_EQ(injector.stats().attempts, receipt_attempts);
+  if (outcome.violation.empty()) {
+    // The transport charged itself exactly what it told the fault clock,
+    // and every delivery attempt was offered to the fault model.
+    const double skew = std::abs(transport.elapsed_seconds() - injector.now_seconds());
+    if (skew > 1e-9 * (1.0 + transport.elapsed_seconds())) {
+      fail(c.calls.size(), "transport and fault clocks disagree");
+    } else if (injector.stats().attempts != receipt_attempts) {
+      fail(c.calls.size(), "injector saw " + std::to_string(injector.stats().attempts) +
+                               " attempts, receipts total " +
+                               std::to_string(receipt_attempts));
+    }
+  }
 
-  trace.stats = injector.stats();
-  trace.elapsed_seconds = transport.elapsed_seconds();
-  trace.fault_clock_seconds = injector.now_seconds();
-  return trace;
+  outcome.trace.stats = injector.stats();
+  outcome.trace.elapsed_seconds = transport.elapsed_seconds();
+  outcome.trace.fault_clock_seconds = injector.now_seconds();
+  return outcome;
+}
+
+// Shrinks a failing case to a minimal reproducing prefix and formats it.
+// `fails(calls, episodes)` must re-run the case; episodes = -1 keeps the
+// whole schedule. Call-prefix bisection is sound (deterministic replay
+// makes failure prefix-monotone); episode-prefix bisection is heuristic,
+// so its candidate is re-verified and discarded if it stopped failing.
+std::string MinimalReproReport(uint64_t seed,
+                               const std::function<std::string(int, int)>& fails) {
+  const int minimal_calls = testing::SmallestFailingPrefix(
+      kCallsPerSchedule, [&](int n) { return !fails(n, -1).empty(); });
+
+  const GeneratedCase full = BuildCase(seed, minimal_calls, -1);
+  const int total_episodes = static_cast<int>(full.schedule.episodes().size());
+  int minimal_episodes = total_episodes;
+  if (total_episodes > 0) {
+    if (!fails(minimal_calls, 0).empty()) {
+      minimal_episodes = 0;  // Background rates alone reproduce.
+    } else {
+      const int candidate = testing::SmallestFailingPrefix(
+          total_episodes, [&](int k) { return !fails(minimal_calls, k).empty(); });
+      if (!fails(minimal_calls, candidate).empty()) {
+        minimal_episodes = candidate;
+      }
+    }
+  }
+
+  const GeneratedCase c = BuildCase(seed, minimal_calls, minimal_episodes);
+  std::ostringstream report;
+  report << "minimal repro: seed=" << seed << " calls=" << minimal_calls << "/"
+         << kCallsPerSchedule << " episodes=" << minimal_episodes << "/"
+         << total_episodes << "\n";
+  report << "violation: " << fails(minimal_calls, minimal_episodes) << "\n";
+  report << "retry: attempts=" << c.policy.max_attempts
+         << " timeout=" << c.policy.timeout_seconds << "s\n";
+  report << "background: drop=" << c.background.drop
+         << " dup=" << c.background.duplicate << " reorder=" << c.background.reorder
+         << "\n";
+  report << c.schedule.ToString() << "\n";
+  for (size_t i = 0; i < c.calls.size(); ++i) {
+    report << "  call " << i << ": " << static_cast<int>(c.calls[i].src) << "->"
+           << static_cast<int>(c.calls[i].dst) << " req=" << c.calls[i].request_bytes
+           << "B reply=" << c.calls[i].reply_bytes << "B\n";
+  }
+  return report.str();
 }
 
 TEST(FaultPropertyTest, HardenedTransportInvariantsAcrossSeededSchedules) {
   uint64_t delivered = 0, undelivered = 0, faulted = 0;
   for (int seed = 0; seed < kSchedules; ++seed) {
-    SCOPED_TRACE(::testing::Message() << "seed=" << seed);
-    const RunTrace trace = RunGeneratedCase(static_cast<uint64_t>(seed));
-    for (const DeliveryReceipt& receipt : trace.receipts) {
+    const CaseOutcome outcome =
+        RunCase(static_cast<uint64_t>(seed), kCallsPerSchedule);
+    if (!outcome.violation.empty()) {
+      ADD_FAILURE() << MinimalReproReport(
+          static_cast<uint64_t>(seed), [&](int calls, int episodes) {
+            return RunCase(static_cast<uint64_t>(seed), calls, episodes).violation;
+          });
+      continue;
+    }
+    for (const DeliveryReceipt& receipt : outcome.trace.receipts) {
       delivered += receipt.delivered ? 1 : 0;
       undelivered += receipt.delivered ? 0 : 1;
       faulted += receipt.faulted ? 1 : 0;
@@ -123,18 +231,79 @@ TEST(FaultPropertyTest, HardenedTransportInvariantsAcrossSeededSchedules) {
 }
 
 TEST(FaultPropertyTest, SameSeedReplaysBitForBit) {
-  for (int seed = 0; seed < kSchedules; seed += 7) {
-    SCOPED_TRACE(::testing::Message() << "seed=" << seed);
-    const RunTrace a = RunGeneratedCase(static_cast<uint64_t>(seed));
-    const RunTrace b = RunGeneratedCase(static_cast<uint64_t>(seed));
-    ASSERT_EQ(a.receipts.size(), b.receipts.size());
-    for (size_t i = 0; i < a.receipts.size(); ++i) {
-      EXPECT_TRUE(SameReceipt(a.receipts[i], b.receipts[i])) << "receipt " << i;
+  // Replay divergence shrinks like an invariant violation: the checker
+  // runs the prefix twice and reports the first receipt that differs.
+  const auto divergence = [](uint64_t seed, int calls,
+                             int episodes) -> std::string {
+    const RunTrace a = RunCase(seed, calls, episodes).trace;
+    const RunTrace b = RunCase(seed, calls, episodes).trace;
+    if (a.receipts.size() != b.receipts.size()) {
+      return "replay produced a different receipt count";
     }
-    EXPECT_EQ(a.elapsed_seconds, b.elapsed_seconds);
-    EXPECT_EQ(a.fault_clock_seconds, b.fault_clock_seconds);
-    EXPECT_EQ(a.stats.ToString(), b.stats.ToString());
+    for (size_t i = 0; i < a.receipts.size(); ++i) {
+      if (!SameReceipt(a.receipts[i], b.receipts[i])) {
+        return "replay diverged at receipt " + std::to_string(i);
+      }
+    }
+    if (a.elapsed_seconds != b.elapsed_seconds ||
+        a.fault_clock_seconds != b.fault_clock_seconds ||
+        a.stats.ToString() != b.stats.ToString()) {
+      return "replay diverged in totals";
+    }
+    return "";
+  };
+
+  for (int seed = 0; seed < kSchedules; seed += 7) {
+    const std::string diverged =
+        divergence(static_cast<uint64_t>(seed), kCallsPerSchedule, -1);
+    if (!diverged.empty()) {
+      ADD_FAILURE() << MinimalReproReport(
+          static_cast<uint64_t>(seed), [&](int calls, int episodes) {
+            return divergence(static_cast<uint64_t>(seed), calls, episodes);
+          });
+    }
   }
+}
+
+// The shrinker itself: plant a known violation and check the bisection
+// lands on exactly the first offending call.
+TEST(FaultPropertyTest, ShrinkerFindsTheFirstFailingCall) {
+  // A synthetic monotone failure: "fails" when the prefix reaches call 23.
+  int probes = 0;
+  const int minimal = testing::SmallestFailingPrefix(kCallsPerSchedule, [&](int n) {
+    ++probes;
+    return n >= 23;
+  });
+  EXPECT_EQ(minimal, 23);
+  EXPECT_LE(probes, 8);  // log2(60) probes, not 60.
+
+  // And end-to-end on a real generated case: a fake invariant that
+  // rejects any undelivered receipt shrinks to the first undelivered call.
+  uint64_t seed_with_undelivered = 0;
+  int first_undelivered = -1;
+  for (uint64_t seed = 0; seed < 64 && first_undelivered < 0; ++seed) {
+    const RunTrace trace = RunCase(seed, kCallsPerSchedule).trace;
+    for (size_t i = 0; i < trace.receipts.size(); ++i) {
+      if (!trace.receipts[i].delivered) {
+        seed_with_undelivered = seed;
+        first_undelivered = static_cast<int>(i);
+        break;
+      }
+    }
+  }
+  ASSERT_GE(first_undelivered, 0) << "no generated case lost a call";
+
+  const auto fails = [&](int calls) {
+    const RunTrace trace = RunCase(seed_with_undelivered, calls).trace;
+    for (const DeliveryReceipt& receipt : trace.receipts) {
+      if (!receipt.delivered) {
+        return true;
+      }
+    }
+    return false;
+  };
+  EXPECT_EQ(testing::SmallestFailingPrefix(kCallsPerSchedule, fails),
+            first_undelivered + 1);
 }
 
 // --- End-to-end: the adaptive loop under generated fault schedules -------

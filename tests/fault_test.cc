@@ -7,6 +7,7 @@
 #include "src/fault/fault_schedule.h"
 #include "src/fault/injector.h"
 #include "src/net/transport.h"
+#include "src/online/episode_detector.h"
 
 namespace coign {
 namespace {
@@ -230,6 +231,121 @@ TEST(SuggestedRetryPolicyTest, ScalesWithTheNetworkModel) {
   EXPECT_GT(wan.timeout_seconds, lan.timeout_seconds);
   EXPECT_GT(lan.max_attempts, 1);
   EXPECT_GT(lan.backoff_max_seconds, lan.backoff_initial_seconds);
+}
+
+// --- FaultEpisodeDetector: the quarantine rule in isolation ---------------
+
+// A healthy epoch: 1000 calls, 1% faulted, 1 ms/call latency, 1 us/byte.
+EpochHealthSample HealthyEpoch() {
+  EpochHealthSample epoch;
+  epoch.calls = 1000;
+  epoch.faulted_calls = 10;
+  epoch.wire_bytes = 1000000;
+  epoch.latency_seconds = 1.0;
+  epoch.payload_seconds = 1.0;
+  return epoch;
+}
+
+TEST(EpisodeDetectorTest, FaultBurstQuarantinesAndHoldExpires) {
+  QuarantineConfig config;
+  config.hold_epochs = 1;
+  FaultEpisodeDetector detector(config);
+
+  EXPECT_FALSE(detector.Observe(HealthyEpoch()).quarantine);  // Primes.
+  EXPECT_FALSE(detector.Observe(HealthyEpoch()).quarantine);
+
+  EpochHealthSample burst = HealthyEpoch();
+  burst.faulted_calls = 300;  // 30% >> 5% + 3 * 1% baseline.
+  const FaultEpisodeDetector::Verdict fired = detector.Observe(burst);
+  EXPECT_EQ(fired.episode, FaultEpisodeDetector::Trigger::kFaultedFraction);
+  EXPECT_TRUE(fired.quarantine);
+
+  // The hold distrusts the tail, then a healthy epoch clears.
+  const FaultEpisodeDetector::Verdict held = detector.Observe(HealthyEpoch());
+  EXPECT_EQ(held.episode, FaultEpisodeDetector::Trigger::kNone);
+  EXPECT_TRUE(held.quarantine);
+  EXPECT_FALSE(detector.Observe(HealthyEpoch()).quarantine);
+}
+
+TEST(EpisodeDetectorTest, SilentLatencySlowdownQuarantines) {
+  FaultEpisodeDetector detector(QuarantineConfig{});
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_FALSE(detector.Observe(HealthyEpoch()).quarantine);
+  }
+
+  // The wire slows 5x but not one call is marked faulted: the pre-slowdown
+  // detector (faulted fraction only) would happily feed this epoch to the
+  // window and the live estimator.
+  EpochHealthSample congested = HealthyEpoch();
+  congested.faulted_calls = 10;
+  congested.latency_seconds = 5.0;
+  const FaultEpisodeDetector::Verdict verdict = detector.Observe(congested);
+  EXPECT_EQ(verdict.episode, FaultEpisodeDetector::Trigger::kLatencySlowdown);
+  EXPECT_TRUE(verdict.quarantine);
+}
+
+TEST(EpisodeDetectorTest, SilentPayloadSlowdownQuarantines) {
+  FaultEpisodeDetector detector(QuarantineConfig{});
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_FALSE(detector.Observe(HealthyEpoch()).quarantine);
+  }
+  EpochHealthSample squeezed = HealthyEpoch();
+  squeezed.payload_seconds = 4.0;  // Per-byte time 4x baseline.
+  const FaultEpisodeDetector::Verdict verdict = detector.Observe(squeezed);
+  EXPECT_EQ(verdict.episode, FaultEpisodeDetector::Trigger::kPayloadSlowdown);
+  EXPECT_TRUE(verdict.quarantine);
+}
+
+TEST(EpisodeDetectorTest, SteadyDegradationBecomesTheBaseline) {
+  QuarantineConfig config;
+  config.hold_epochs = 0;
+  FaultEpisodeDetector detector(config);
+  detector.Observe(HealthyEpoch());
+
+  // A permanently slower link: 2.5x latency every epoch, under the 3x
+  // trigger. No epoch may quarantine and the baseline must converge to the
+  // new normal — steady slow is the network, not an endless episode.
+  EpochHealthSample slow = HealthyEpoch();
+  slow.latency_seconds = 2.5;
+  int quarantined_tail = 0;
+  for (int i = 0; i < 30; ++i) {
+    const bool quarantined = detector.Observe(slow).quarantine;
+    if (i >= 20 && quarantined) {
+      ++quarantined_tail;
+    }
+  }
+  EXPECT_EQ(quarantined_tail, 0);
+  EXPECT_NEAR(detector.latency_baseline(), 2.5e-3, 2.5e-4);
+}
+
+TEST(EpisodeDetectorTest, QuarantinedEpochsDoNotPoisonTheBaselines) {
+  QuarantineConfig config;
+  config.hold_epochs = 0;
+  FaultEpisodeDetector detector(config);
+  detector.Observe(HealthyEpoch());
+  detector.Observe(HealthyEpoch());
+  const double before = detector.latency_baseline();
+
+  // A 10x episode, many epochs long: every epoch quarantines and the
+  // baseline must not learn it.
+  EpochHealthSample episode = HealthyEpoch();
+  episode.latency_seconds = 10.0;
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(detector.Observe(episode).quarantine) << i;
+  }
+  EXPECT_DOUBLE_EQ(detector.latency_baseline(), before);
+  EXPECT_FALSE(detector.Observe(HealthyEpoch()).quarantine);
+}
+
+TEST(EpisodeDetectorTest, IdleEpochsLeaveRateBaselinesAlone) {
+  FaultEpisodeDetector detector(QuarantineConfig{});
+  detector.Observe(HealthyEpoch());
+  detector.Observe(HealthyEpoch());
+  const double latency = detector.latency_baseline();
+  const double payload = detector.payload_baseline();
+  detector.Observe(EpochHealthSample{});  // Nothing on the wire.
+  EXPECT_DOUBLE_EQ(detector.latency_baseline(), latency);
+  EXPECT_DOUBLE_EQ(detector.payload_baseline(), payload);
 }
 
 }  // namespace

@@ -8,7 +8,7 @@
 namespace coign {
 namespace {
 
-using CutFn = CutResult (*)(FlowNetwork&, int, int);
+using CutFn = CutResult (*)(const FlowNetwork&, int, int);
 
 struct AlgorithmParam {
   const char* name;
@@ -148,14 +148,23 @@ TEST_P(RandomGraphTest, AlgorithmsAgreeAndCutsAreConsistent) {
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomGraphTest,
                          ::testing::Range(uint64_t{1000}, uint64_t{1020}));
 
-TEST(FlowNetworkTest, ResetFlowAllowsReuse) {
+TEST(FlowNetworkTest, CutsDoNotMutateTheInputNetwork) {
+  // The const& entry points work on per-call copies: repeated cuts over
+  // the same network agree, and the caller's arcs keep zero flow.
   FlowNetwork network(3);
   network.AddEdge(0, 1, 2.0);
   network.AddEdge(1, 2, 2.0);
   const CutResult first = MinCutRelabelToFront(network, 0, 2);
-  network.ResetFlow();
   const CutResult second = MinCutRelabelToFront(network, 0, 2);
   EXPECT_NEAR(first.cut_value, second.cut_value, 1e-12);
+  for (int node = 0; node < network.node_count(); ++node) {
+    for (const FlowArc& arc : network.ArcsFrom(node)) {
+      EXPECT_DOUBLE_EQ(arc.flow, 0.0);
+    }
+  }
+  // ResetFlow stays available for callers that build flows by hand.
+  network.ResetFlow();
+  EXPECT_NEAR(MinCutRelabelToFront(network, 0, 2).cut_value, first.cut_value, 1e-12);
 }
 
 TEST(FlowNetworkTest, ExtractCutListsSaturatedCrossingEdges) {

@@ -31,6 +31,14 @@
 //       distribution, adaptive with fault quarantine, and adaptive with
 //       quarantine disabled. Fully deterministic per seed — identical
 //       invocations print identical bytes.
+//   coign fleet -i <base> [--clients <n>] [--threads <n>] [--seed <n>]
+//       Plans the profiled application for a simulated fleet of clients
+//       with heterogeneous measured networks: cohorts by log-bucketed
+//       link parameters, one cut per cohort across a worker pool, plans
+//       served from the (profile x bucket) LRU cache. Runs the fleet
+//       twice to exercise the cache and reports per-client execution-time
+//       regret vs individually optimal cuts. Output is deterministic per
+//       seed regardless of thread count.
 //
 // Networks: isdn, 10baset, 100baset, atm, san.
 
@@ -48,7 +56,10 @@
 #include "src/analysis/report.h"
 #include "src/apps/suite.h"
 #include "src/fault/injector.h"
+#include "src/fleet/fingerprint.h"
+#include "src/fleet/service.h"
 #include "src/net/network_profiler.h"
+#include "src/sim/fleet_population.h"
 #include "src/online/measure_online.h"
 #include "src/profile/log_file.h"
 #include "src/runtime/rte.h"
@@ -69,7 +80,8 @@ int Usage() {
                "              [--network <name>] [--cycles <n>] [--reps <n>]\n"
                "  coign chaos -i <base> --scenario <id> [--scenario <id> ...]\n"
                "             [--network <name>] [--cycles <n>] [--reps <n>]\n"
-               "             [--seed <n>] [--drop <p>]\n");
+               "             [--seed <n>] [--drop <p>]\n"
+               "  coign fleet -i <base> [--clients <n>] [--threads <n>] [--seed <n>]\n");
   return 2;
 }
 
@@ -121,6 +133,8 @@ struct Flags {
   int reps = 3;
   uint64_t seed = 42;
   double drop = 0.01;
+  int clients = 2000;
+  int threads = 8;
 };
 
 Result<Flags> ParseFlags(int argc, char** argv, int first) {
@@ -163,7 +177,8 @@ Result<Flags> ParseFlags(int argc, char** argv, int first) {
         return value.status();
       }
       flags.dot_path = *value;
-    } else if (arg == "--cycles" || arg == "--reps") {
+    } else if (arg == "--cycles" || arg == "--reps" || arg == "--clients" ||
+               arg == "--threads") {
       Result<std::string> value = next();
       if (!value.ok()) {
         return value.status();
@@ -172,7 +187,10 @@ Result<Flags> ParseFlags(int argc, char** argv, int first) {
       if (parsed <= 0) {
         return InvalidArgumentError(arg + " wants a positive integer, got " + *value);
       }
-      (arg == "--cycles" ? flags.cycles : flags.reps) = parsed;
+      (arg == "--cycles"    ? flags.cycles
+       : arg == "--reps"    ? flags.reps
+       : arg == "--clients" ? flags.clients
+                            : flags.threads) = parsed;
     } else if (arg == "--seed") {
       Result<std::string> value = next();
       if (!value.ok()) {
@@ -634,6 +652,57 @@ int CmdChaos(const Flags& flags) {
   return 0;
 }
 
+int CmdFleet(const Flags& flags) {
+  if (flags.input_base.empty()) {
+    return Usage();
+  }
+  Result<IccProfile> profile = ReadProfileFile(flags.input_base + ".profile");
+  if (!profile.ok()) {
+    std::fprintf(stderr, "%s\n", profile.status().ToString().c_str());
+    return 1;
+  }
+
+  FleetPopulationOptions population;
+  population.client_count = flags.clients;
+  const std::vector<FleetClient> fleet = GenerateFleet(population, flags.seed);
+
+  FleetServiceOptions options;
+  options.worker_threads = flags.threads;
+  options.compute_regret = true;
+  FleetPartitionService service(options);
+
+  std::printf("fleet: %d client(s), seed %llu, %d thread(s), profile %016llx\n",
+              flags.clients, static_cast<unsigned long long>(flags.seed),
+              flags.threads,
+              static_cast<unsigned long long>(ProfileFingerprint(*profile)));
+
+  // Two passes over the same fleet: the first fills the plan cache, the
+  // second is served from it — the steady state of a long-running service.
+  for (int pass = 1; pass <= 2; ++pass) {
+    Result<FleetPlanResult> planned = service.Plan(*profile, fleet);
+    if (!planned.ok()) {
+      std::fprintf(stderr, "pass %d: %s\n", pass, planned.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("\npass %d: %s\n", pass, planned->stats.ToString().c_str());
+    if (pass == 1) {
+      std::printf("%-16s %8s %12s %12s %8s %10s\n", "cohort", "clients", "lat (us)",
+                  "bw (MB/s)", "srv cls", "comm (s)");
+      for (const CohortPlan& plan : planned->plans) {
+        std::printf("%-16s %8zu %12.1f %12.2f %8zu %10.4f\n",
+                    plan.cohort.key.ToString().c_str(), plan.cohort.members.size(),
+                    plan.cohort.representative.per_message_seconds * 1e6,
+                    plan.cohort.representative.bytes_per_second / 1e6,
+                    plan.analysis.server_classifications,
+                    plan.analysis.predicted_comm_seconds);
+      }
+    }
+    std::printf("%s\n", planned->regret.ToString().c_str());
+  }
+  std::printf("\n%s\n", service.cache_stats().ToString().c_str());
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   if (argc < 2) {
     return Usage();
@@ -661,6 +730,9 @@ int Main(int argc, char** argv) {
   }
   if (command == "chaos") {
     return CmdChaos(*flags);
+  }
+  if (command == "fleet") {
+    return CmdFleet(*flags);
   }
   return Usage();
 }
