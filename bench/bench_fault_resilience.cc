@@ -47,10 +47,12 @@ struct FaultLevel {
 FaultSchedule EpisodeSchedule(double horizon) {
   std::vector<FaultEpisode> episodes;
   for (int i = 0; i < 8; ++i) {
-    const FaultKind kind = i % 2 == 0 ? FaultKind::kLatencySpike
-                                      : FaultKind::kBandwidthDrop;
-    episodes.push_back(
-        {kind, (0.08 + 0.11 * i) * horizon, 0.04 * horizon, kAnyMachine, 10.0});
+    FaultEpisode episode;
+    episode.kind = i % 2 == 0 ? FaultKind::kLatencySpike : FaultKind::kBandwidthDrop;
+    episode.start_seconds = (0.08 + 0.11 * i) * horizon;
+    episode.duration_seconds = 0.04 * horizon;
+    episode.magnitude = 10.0;
+    episodes.push_back(episode);
   }
   return FaultSchedule::FromEpisodes(std::move(episodes));
 }

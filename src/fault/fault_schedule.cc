@@ -22,15 +22,26 @@ std::string_view FaultKindName(FaultKind kind) {
       return "partition";
     case FaultKind::kCrashRestart:
       return "crash-restart";
+    case FaultKind::kGilbertElliott:
+      return "gilbert-elliott";
   }
   return "unknown";
 }
 
 std::string FaultEpisode::ToString() const {
-  const std::string target =
+  std::string target =
       machine == kAnyMachine ? std::string("*") : StrFormat("m%d", machine);
-  return StrFormat("%s[%s] %.3fs..%.3fs x%.3f", std::string(FaultKindName(kind)).c_str(),
-                   target.c_str(), start_seconds, end_seconds(), magnitude);
+  if (machine != kAnyMachine && direction != FaultDirection::kBoth) {
+    target += direction == FaultDirection::kInbound ? "<-" : "->";
+  }
+  std::string out =
+      StrFormat("%s[%s] %.3fs..%.3fs x%.3f", std::string(FaultKindName(kind)).c_str(),
+                target.c_str(), start_seconds, end_seconds(), magnitude);
+  if (kind == FaultKind::kGilbertElliott) {
+    out += StrFormat(" ge{p01=%.3f, p10=%.3f, loss=%.3f/%.3f}", gilbert.p_good_to_bad,
+                     gilbert.p_bad_to_good, gilbert.loss_good, gilbert.loss_bad);
+  }
+  return out;
 }
 
 FaultSchedule FaultSchedule::FromEpisodes(std::vector<FaultEpisode> episodes) {
@@ -44,6 +55,16 @@ FaultSchedule FaultSchedule::FromEpisodes(std::vector<FaultEpisode> episodes) {
 }
 
 namespace {
+
+// With probability `p`, point the episode at one machine in one direction.
+void MaybeAsymmetric(FaultEpisode& episode, double p, Rng& rng) {
+  if (p <= 0.0 || !rng.Bernoulli(p)) {
+    return;
+  }
+  episode.machine = rng.Bernoulli(0.5) ? kServerMachine : kClientMachine;
+  episode.direction =
+      rng.Bernoulli(0.5) ? FaultDirection::kInbound : FaultDirection::kOutbound;
+}
 
 // Draws one episode of `kind` somewhere inside the horizon.
 FaultEpisode DrawEpisode(FaultKind kind, const RandomFaultOptions& options, Rng& rng) {
@@ -78,6 +99,14 @@ FaultEpisode DrawEpisode(FaultKind kind, const RandomFaultOptions& options, Rng&
       episode.magnitude = options.restart_penalty_seconds;
       episode.machine = rng.Bernoulli(0.5) ? kServerMachine : kClientMachine;
       break;
+    case FaultKind::kGilbertElliott:
+      episode.gilbert.p_good_to_bad = rng.UniformDouble(0.01, options.ge_p_good_to_bad_max);
+      episode.gilbert.p_bad_to_good = rng.UniformDouble(0.05, options.ge_p_bad_to_good_max);
+      episode.gilbert.loss_good = rng.UniformDouble(0.0, 0.05);
+      episode.gilbert.loss_bad = rng.UniformDouble(0.2, options.ge_loss_bad_max);
+      episode.magnitude = episode.gilbert.loss_bad;
+      MaybeAsymmetric(episode, options.asymmetric_probability, rng);
+      break;
   }
   return episode;
 }
@@ -104,6 +133,73 @@ FaultSchedule FaultSchedule::Random(const RandomFaultOptions& options, uint64_t 
   }
   if (options.include_crashes) {
     draw_kind(FaultKind::kCrashRestart);
+  }
+  // New kinds draw after every legacy kind: a given seed's schedule keeps
+  // its old episodes as a prefix and only gains episodes at the tail.
+  if (options.include_gilbert_elliott) {
+    draw_kind(FaultKind::kGilbertElliott);
+  }
+  if (options.asymmetric_probability > 0.0) {
+    // Direction-targeted drop bursts on top of the symmetric population.
+    const int64_t cap = static_cast<int64_t>(2.0 * options.episodes_per_kind);
+    const int64_t count = cap <= 0 ? 0 : rng.UniformInt(0, cap);
+    for (int64_t i = 0; i < count; ++i) {
+      FaultEpisode episode = DrawEpisode(FaultKind::kDropBurst, options, rng);
+      MaybeAsymmetric(episode, 1.0, rng);
+      episodes.push_back(episode);
+    }
+  }
+  return FromEpisodes(std::move(episodes));
+}
+
+FaultSchedule FaultSchedule::CrashStorm(const CrashStormOptions& options, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<FaultEpisode> episodes;
+  const double horizon = options.horizon_seconds;
+  const double crash_len = horizon * options.crash_duration_fraction;
+  for (int i = 0; i < options.crash_count; ++i) {
+    FaultEpisode crash;
+    crash.kind = FaultKind::kCrashRestart;
+    // Evenly spread with a jittered offset, alternating victims, so
+    // crashes land across the whole run rather than clumping at one end.
+    const double slot = horizon / (options.crash_count + 1);
+    crash.start_seconds = slot * (i + 1) + rng.UniformDouble(-0.3, 0.3) * slot;
+    crash.start_seconds = std::clamp(crash.start_seconds, 0.0, horizon - crash_len);
+    crash.duration_seconds = crash_len;
+    crash.machine = (i % 2 == 0) ? kServerMachine : kClientMachine;
+    crash.magnitude = options.restart_penalty_seconds;
+    episodes.push_back(crash);
+  }
+  if (options.include_gilbert_elliott) {
+    // One bursty loss regime per direction, each with its own chain odds:
+    // the server-bound path degrades harder than the client-bound path.
+    FaultEpisode toward_server;
+    toward_server.kind = FaultKind::kGilbertElliott;
+    toward_server.start_seconds = 0.0;
+    toward_server.duration_seconds = horizon;
+    toward_server.machine = kServerMachine;
+    toward_server.direction = FaultDirection::kInbound;
+    toward_server.gilbert = {0.12, 0.25, 0.01, 0.6};
+    toward_server.magnitude = toward_server.gilbert.loss_bad;
+    episodes.push_back(toward_server);
+
+    FaultEpisode toward_client;
+    toward_client.kind = FaultKind::kGilbertElliott;
+    toward_client.start_seconds = 0.0;
+    toward_client.duration_seconds = horizon;
+    toward_client.machine = kClientMachine;
+    toward_client.direction = FaultDirection::kInbound;
+    toward_client.gilbert = {0.05, 0.4, 0.005, 0.35};
+    toward_client.magnitude = toward_client.gilbert.loss_bad;
+    episodes.push_back(toward_client);
+  }
+  if (options.include_partition) {
+    FaultEpisode partition;
+    partition.kind = FaultKind::kPartition;
+    partition.start_seconds = horizon * rng.UniformDouble(0.4, 0.6);
+    partition.duration_seconds = horizon * 0.04;
+    partition.machine = kAnyMachine;
+    episodes.push_back(partition);
   }
   return FromEpisodes(std::move(episodes));
 }

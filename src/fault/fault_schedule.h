@@ -2,8 +2,11 @@
 //
 // A FaultSchedule is a list of timed fault episodes over the run's
 // simulated clock — latency spikes, bandwidth collapses, loss/duplication/
-// reorder bursts, transient partitions, and crash-restart of one machine —
-// plus steady background loss rates. Schedules are data: built explicitly
+// reorder bursts, correlated Gilbert-Elliott loss regimes, transient
+// partitions, and crash-restart of one machine — plus steady background
+// loss rates. Episodes can target one machine and, within that, a single
+// traffic direction (toward or away from it), so loss can be asymmetric
+// the way real congested links are. Schedules are data: built explicitly
 // from episodes, or generated from a seeded Rng so that an entire hostile
 // scenario replays bit-for-bit from one integer. The FaultInjector
 // (src/fault/injector) interprets a schedule against live traffic.
@@ -31,9 +34,31 @@ enum class FaultKind {
   kBandwidthDrop,  // magnitude = multiplier on the per-byte time.
   kPartition,      // traffic touching `machine` (or all) is undeliverable.
   kCrashRestart,   // machine is down; magnitude = restart penalty seconds.
+  kGilbertElliott, // correlated two-state loss; params in `gilbert`.
 };
 
 std::string_view FaultKindName(FaultKind kind);
+
+// Which traffic a machine-targeted episode covers. Only meaningful when
+// the episode names a machine; kAnyMachine episodes always hit both ways.
+enum class FaultDirection {
+  kBoth,    // Any attempt touching the machine.
+  kInbound, // Only attempts delivering *to* the machine (dst == machine).
+  kOutbound,// Only attempts leaving the machine (src == machine).
+};
+
+// Gilbert-Elliott two-state loss chain: the wire alternates between a
+// good state (rare loss) and a bad state (heavy loss); state transitions
+// are drawn once per delivery attempt the episode covers, so loss is
+// bursty and correlated rather than i.i.d. Each covered traffic
+// direction advances its own chain, which is what makes a single episode
+// asymmetric in practice even before direction targeting.
+struct GilbertElliottParams {
+  double p_good_to_bad = 0.05;
+  double p_bad_to_good = 0.3;
+  double loss_good = 0.01;
+  double loss_bad = 0.6;
+};
 
 struct FaultEpisode {
   FaultKind kind = FaultKind::kDropBurst;
@@ -43,8 +68,13 @@ struct FaultEpisode {
   // cross-machine traffic.
   MachineId machine = kAnyMachine;
   // Probability for bursts, time multiplier for spikes, restart-penalty
-  // seconds for crashes.
+  // seconds for crashes. For Gilbert-Elliott episodes this mirrors
+  // `gilbert.loss_bad` so "strongest episode" comparisons stay meaningful.
   double magnitude = 1.0;
+  // Direction filter for machine-targeted episodes (ignored otherwise).
+  FaultDirection direction = FaultDirection::kBoth;
+  // Chain parameters, used only by kGilbertElliott episodes.
+  GilbertElliottParams gilbert;
 
   double end_seconds() const { return start_seconds + duration_seconds; }
   bool ActiveAt(double now) const {
@@ -52,7 +82,21 @@ struct FaultEpisode {
   }
   // Whether traffic between src and dst is in this episode's blast radius.
   bool Covers(MachineId src, MachineId dst) const {
-    return machine == kAnyMachine || machine == src || machine == dst;
+    if (machine == kAnyMachine) {
+      return true;
+    }
+    if (machine != src && machine != dst) {
+      return false;
+    }
+    switch (direction) {
+      case FaultDirection::kBoth:
+        return true;
+      case FaultDirection::kInbound:
+        return dst == machine;
+      case FaultDirection::kOutbound:
+        return src == machine;
+    }
+    return true;
   }
   std::string ToString() const;
 };
@@ -81,6 +125,28 @@ struct RandomFaultOptions {
   double restart_penalty_seconds = 0.2;
   bool include_partitions = true;
   bool include_crashes = true;
+  // Gilbert-Elliott episodes (drawn after every legacy kind so older
+  // seeds keep their episode prefix).
+  bool include_gilbert_elliott = true;
+  double ge_p_good_to_bad_max = 0.25;
+  double ge_p_bad_to_good_max = 0.5;
+  double ge_loss_bad_max = 0.8;
+  // Probability that a drawn drop/GE/latency episode targets one machine
+  // in one direction instead of all traffic symmetrically.
+  double asymmetric_probability = 0.35;
+};
+
+// A deterministic crash-storm: alternating crash-restart episodes on both
+// machines, a horizon-spanning asymmetric Gilbert-Elliott loss regime,
+// and a mid-run partition — the schedule migrations must survive.
+struct CrashStormOptions {
+  double horizon_seconds = 10.0;
+  int crash_count = 6;
+  // Each crash lasts this fraction of the horizon.
+  double crash_duration_fraction = 0.05;
+  double restart_penalty_seconds = 0.2;
+  bool include_gilbert_elliott = true;
+  bool include_partition = true;
 };
 
 class FaultSchedule {
@@ -90,6 +156,8 @@ class FaultSchedule {
   static FaultSchedule FromEpisodes(std::vector<FaultEpisode> episodes);
   // Generates a schedule from a seeded stream: same seed, same schedule.
   static FaultSchedule Random(const RandomFaultOptions& options, uint64_t seed);
+  // Generates a crash-storm schedule (see CrashStormOptions).
+  static FaultSchedule CrashStorm(const CrashStormOptions& options, uint64_t seed);
 
   const std::vector<FaultEpisode>& episodes() const { return episodes_; }
   bool empty() const { return episodes_.empty(); }

@@ -8,15 +8,19 @@ namespace coign {
 
 std::string FaultStats::ToString() const {
   return StrFormat(
-      "faults{attempts=%llu, drops=%llu, dups=%llu, reorders=%llu, lat_spiked=%llu, "
-      "bw_limited=%llu, partition_drops=%llu, crash_drops=%llu, restarts=%llu}",
+      "faults{attempts=%llu, drops=%llu, ge_drops=%llu, reply_drops=%llu, dups=%llu, "
+      "reorders=%llu, lat_spiked=%llu, bw_limited=%llu, partition_drops=%llu, "
+      "crash_drops=%llu, voided_inflight=%llu, restarts=%llu}",
       static_cast<unsigned long long>(attempts), static_cast<unsigned long long>(drops),
+      static_cast<unsigned long long>(ge_drops),
+      static_cast<unsigned long long>(reply_drops),
       static_cast<unsigned long long>(duplicates),
       static_cast<unsigned long long>(reorders),
       static_cast<unsigned long long>(latency_spiked),
       static_cast<unsigned long long>(bandwidth_limited),
       static_cast<unsigned long long>(partition_drops),
       static_cast<unsigned long long>(crash_drops),
+      static_cast<unsigned long long>(voided_inflight),
       static_cast<unsigned long long>(restart_penalties));
 }
 
@@ -39,7 +43,7 @@ void FaultInjector::AdvanceClock(double seconds) {
 }
 
 AttemptPlan FaultInjector::OnAttempt(MachineId src, MachineId dst, uint64_t request_bytes,
-                                     uint64_t reply_bytes) {
+                                     uint64_t reply_bytes, double expected_seconds) {
   (void)request_bytes;
   (void)reply_bytes;
   AttemptPlan plan;
@@ -74,12 +78,76 @@ AttemptPlan FaultInjector::OnAttempt(MachineId src, MachineId dst, uint64_t requ
   if (drop_p > 0.0 && rng_.Bernoulli(drop_p)) {
     ++stats_.drops;
     plan.delivered = false;
+    // Either leg can be the lost one: a reply-leg loss means the request
+    // reached the receiver and executed — the retry will be a duplicate.
+    if (rng_.Bernoulli(0.5)) {
+      plan.request_reached = true;
+      ++stats_.reply_drops;
+    }
     return plan;
+  }
+
+  // Gilbert-Elliott: the strongest active covering episode walks its
+  // per-direction chain one step on every covered attempt, then loses the
+  // attempt at the state's loss rate. Burstiness falls out of the chain:
+  // consecutive attempts inside a bad stretch drop together.
+  {
+    const FaultEpisode* ge = nullptr;
+    size_t ge_index = 0;
+    const std::vector<FaultEpisode>& episodes = schedule_.episodes();
+    for (size_t i = 0; i < episodes.size(); ++i) {
+      const FaultEpisode& episode = episodes[i];
+      if (episode.kind != FaultKind::kGilbertElliott ||
+          !episode.ActiveAt(now_seconds_) || !episode.Covers(src, dst)) {
+        continue;
+      }
+      if (ge == nullptr || episode.magnitude > ge->magnitude) {
+        ge = &episode;
+        ge_index = i;
+      }
+    }
+    if (ge != nullptr) {
+      bool& bad = ge_bad_[GeChainKey(ge_index, src, dst)];
+      const double flip = bad ? ge->gilbert.p_bad_to_good : ge->gilbert.p_good_to_bad;
+      if (rng_.Bernoulli(flip)) {
+        bad = !bad;
+      }
+      const double loss = bad ? ge->gilbert.loss_bad : ge->gilbert.loss_good;
+      if (loss > 0.0 && rng_.Bernoulli(loss)) {
+        ++stats_.ge_drops;
+        plan.delivered = false;
+        if (rng_.Bernoulli(0.5)) {
+          plan.request_reached = true;
+          ++stats_.reply_drops;
+        }
+        return plan;
+      }
+    }
+  }
+
+  // Crash semantics for in-flight transfers: if a crash episode covering
+  // this traffic *starts* while the round trip is on the wire, the
+  // receiver dies holding un-acked state — the delivery is void and the
+  // sender's copy is lost with it, not executed-but-unacked.
+  if (expected_seconds > 0.0) {
+    for (const FaultEpisode& episode : schedule_.episodes()) {
+      if (episode.kind != FaultKind::kCrashRestart || !episode.Covers(src, dst)) {
+        continue;
+      }
+      if (episode.start_seconds > now_seconds_ &&
+          episode.start_seconds <= now_seconds_ + expected_seconds) {
+        ++stats_.voided_inflight;
+        plan.delivered = false;
+        return plan;
+      }
+    }
   }
 
   // Delivered: recovering machines charge their restart penalty exactly once.
   for (auto it = pending_restart_.begin(); it != pending_restart_.end();) {
-    const FaultEpisode probe{FaultKind::kCrashRestart, 0.0, 0.0, it->first, 0.0};
+    FaultEpisode probe;
+    probe.kind = FaultKind::kCrashRestart;
+    probe.machine = it->first;
     if (probe.Covers(src, dst)) {
       plan.extra_seconds += it->second;
       ++stats_.restart_penalties;
@@ -119,6 +187,7 @@ AttemptPlan FaultInjector::OnAttempt(MachineId src, MachineId dst, uint64_t requ
     plan.bandwidth_scale = drop->magnitude;
     ++stats_.bandwidth_limited;
   }
+
   return plan;
 }
 

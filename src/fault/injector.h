@@ -4,10 +4,12 @@
 // Implements the TransportFaultModel hook the hardened transport consults
 // on every delivery attempt. All randomness comes from one seeded Rng and
 // the clock advances only with modeled simulated time, so a whole chaos
-// run — schedule, per-attempt coin flips, backoff jitter — replays
-// byte-for-byte from (schedule seed, injector seed). Crash-restart
-// episodes make a machine unreachable for their duration and charge the
-// first delivery after recovery a restart penalty.
+// run — schedule, per-attempt coin flips, Gilbert-Elliott chain walks,
+// backoff jitter — replays byte-for-byte from (schedule seed, injector
+// seed). Crash-restart episodes make a machine unreachable for their
+// duration, void deliveries the crash onset would have caught in flight
+// (the un-acked transfer's state is lost with the machine), and charge
+// the first delivery after recovery a restart penalty.
 
 #ifndef COIGN_SRC_FAULT_INJECTOR_H_
 #define COIGN_SRC_FAULT_INJECTOR_H_
@@ -25,17 +27,20 @@ namespace coign {
 struct FaultStats {
   uint64_t attempts = 0;
   uint64_t drops = 0;            // Background + burst probability drops.
+  uint64_t ge_drops = 0;         // Gilbert-Elliott chain drops.
+  uint64_t reply_drops = 0;      // Drops where the request reached the receiver.
   uint64_t duplicates = 0;
   uint64_t reorders = 0;
   uint64_t latency_spiked = 0;   // Attempts delivered under a latency spike.
   uint64_t bandwidth_limited = 0;
   uint64_t partition_drops = 0;  // Attempts killed by a partition episode.
   uint64_t crash_drops = 0;      // Attempts killed by a crashed machine.
+  uint64_t voided_inflight = 0;  // Deliveries voided by a crash starting mid-flight.
   uint64_t restart_penalties = 0;
 
   uint64_t total_faulted() const {
-    return drops + duplicates + reorders + latency_spiked + bandwidth_limited +
-           partition_drops + crash_drops;
+    return drops + ge_drops + duplicates + reorders + latency_spiked +
+           bandwidth_limited + partition_drops + crash_drops + voided_inflight;
   }
   std::string ToString() const;
 };
@@ -61,11 +66,20 @@ class FaultInjector : public TransportFaultModel {
 
   // --- TransportFaultModel --------------------------------------------------
   AttemptPlan OnAttempt(MachineId src, MachineId dst, uint64_t request_bytes,
-                        uint64_t reply_bytes) override;
+                        uint64_t reply_bytes, double expected_seconds) override;
   void AdvanceClock(double seconds) override;
   double JitterUnit() override { return rng_.UniformDouble(); }
 
  private:
+  // Chain key of one GE episode for one ordered traffic direction: each
+  // (episode, src->dst) pair walks its own chain, which is what makes
+  // loss per-direction asymmetric even under a symmetric episode.
+  static uint64_t GeChainKey(size_t episode_index, MachineId src, MachineId dst) {
+    return (static_cast<uint64_t>(episode_index) << 32) |
+           (static_cast<uint64_t>(static_cast<uint16_t>(src)) << 16) |
+           static_cast<uint64_t>(static_cast<uint16_t>(dst));
+  }
+
   FaultSchedule schedule_;
   FaultRates background_;
   Rng rng_;
@@ -74,6 +88,10 @@ class FaultInjector : public TransportFaultModel {
   // Machines with a pending restart penalty (crash episode ended, first
   // delivery not yet charged).
   std::unordered_map<MachineId, double> pending_restart_;
+  // Gilbert-Elliott chain states: true = bad state. Keyed per episode and
+  // per ordered direction; only ever probed by key, so the unordered map
+  // cannot perturb determinism.
+  std::unordered_map<uint64_t, bool> ge_bad_;
 };
 
 }  // namespace coign

@@ -1,8 +1,45 @@
 #include "src/fleet/plan_cache.h"
 
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
 #include "src/support/str_util.h"
 
 namespace coign {
+
+namespace {
+
+// Exact double round-trip: serialize the bit pattern, not a decimal
+// approximation, so a reloaded cache prices cuts byte-identically.
+std::string DoubleHex(double value) {
+  uint64_t bits = 0;
+  std::memcpy(&bits, &value, sizeof(bits));
+  return StrFormat("%016llx", static_cast<unsigned long long>(bits));
+}
+
+bool ParseDoubleHex(const std::string& hex, double* out) {
+  if (hex.size() != 16) {
+    return false;
+  }
+  uint64_t bits = 0;
+  for (char c : hex) {
+    int digit;
+    if (c >= '0' && c <= '9') {
+      digit = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      digit = c - 'a' + 10;
+    } else {
+      return false;
+    }
+    bits = (bits << 4) | static_cast<uint64_t>(digit);
+  }
+  std::memcpy(out, &bits, sizeof(bits));
+  return true;
+}
+
+}  // namespace
 
 std::string PlanCacheStats::ToString() const {
   return StrFormat("plan-cache{hits=%llu, misses=%llu, hit_rate=%.1f%%, "
@@ -60,6 +97,135 @@ void PlanCache::Clear() {
   std::lock_guard<std::mutex> lock(mutex_);
   lru_.clear();
   index_.clear();
+}
+
+std::string PlanCache::Serialize() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out = StrFormat("plan-cache v1 %zu\n", lru_.size());
+  // Least-recent first: replaying inserts in file order rebuilds the
+  // exact LRU sequence (the last line loaded ends up most recent).
+  for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+    const Entry& entry = *it;
+    const AnalysisResult& plan = entry.plan;
+    // Placement sorted by classification id: the plan map is unordered,
+    // the snapshot must not be.
+    std::vector<std::pair<ClassificationId, MachineId>> placement(
+        plan.distribution.placement.begin(), plan.distribution.placement.end());
+    std::sort(placement.begin(), placement.end());
+    out += StrFormat("entry %llu %d %d\n",
+                     static_cast<unsigned long long>(entry.key.profile_fingerprint),
+                     entry.key.bucket.latency_bucket, entry.key.bucket.bandwidth_bucket);
+    out += StrFormat("plan %s %s %zu %zu %llu %llu %zu %d %zu %zu\n",
+                     DoubleHex(plan.predicted_comm_seconds).c_str(),
+                     DoubleHex(plan.total_comm_seconds).c_str(),
+                     plan.client_classifications, plan.server_classifications,
+                     static_cast<unsigned long long>(plan.client_instances),
+                     static_cast<unsigned long long>(plan.server_instances),
+                     plan.non_remotable_pairs, plan.distribution.default_machine,
+                     placement.size(), plan.cut_edges.size());
+    for (const auto& [classification, machine] : placement) {
+      out += StrFormat("place %u %d\n", classification, machine);
+    }
+    for (const CutEdgeReport& edge : plan.cut_edges) {
+      out += StrFormat("edge %u %u %s\n", edge.client_side, edge.server_side,
+                       DoubleHex(edge.seconds).c_str());
+    }
+  }
+  return out;
+}
+
+Status PlanCache::Load(const std::string& text) {
+  std::istringstream in(text);
+  std::string tag, version;
+  size_t count = 0;
+  if (!(in >> tag >> version >> count) || tag != "plan-cache" || version != "v1") {
+    return InvalidArgumentError("plan cache: bad header");
+  }
+  std::list<Entry> loaded;
+  for (size_t i = 0; i < count; ++i) {
+    Entry entry;
+    unsigned long long fingerprint = 0;
+    if (!(in >> tag >> fingerprint >> entry.key.bucket.latency_bucket >>
+          entry.key.bucket.bandwidth_bucket) ||
+        tag != "entry") {
+      return InvalidArgumentError("plan cache: bad entry line");
+    }
+    entry.key.profile_fingerprint = static_cast<uint64_t>(fingerprint);
+    AnalysisResult& plan = entry.plan;
+    std::string predicted_hex, total_hex;
+    unsigned long long client_instances = 0, server_instances = 0;
+    size_t placements = 0, edges = 0;
+    if (!(in >> tag >> predicted_hex >> total_hex >> plan.client_classifications >>
+          plan.server_classifications >> client_instances >> server_instances >>
+          plan.non_remotable_pairs >> plan.distribution.default_machine >> placements >>
+          edges) ||
+        tag != "plan" || !ParseDoubleHex(predicted_hex, &plan.predicted_comm_seconds) ||
+        !ParseDoubleHex(total_hex, &plan.total_comm_seconds)) {
+      return InvalidArgumentError("plan cache: bad plan line");
+    }
+    plan.client_instances = static_cast<uint64_t>(client_instances);
+    plan.server_instances = static_cast<uint64_t>(server_instances);
+    for (size_t p = 0; p < placements; ++p) {
+      ClassificationId classification = kNoClassification;
+      MachineId machine = kClientMachine;
+      if (!(in >> tag >> classification >> machine) || tag != "place") {
+        return InvalidArgumentError("plan cache: bad place line");
+      }
+      plan.distribution.placement[classification] = machine;
+    }
+    for (size_t e = 0; e < edges; ++e) {
+      CutEdgeReport edge;
+      std::string seconds_hex;
+      if (!(in >> tag >> edge.client_side >> edge.server_side >> seconds_hex) ||
+          tag != "edge" || !ParseDoubleHex(seconds_hex, &edge.seconds)) {
+        return InvalidArgumentError("plan cache: bad edge line");
+      }
+      plan.cut_edges.push_back(edge);
+    }
+    // File order is least-recent first; push_front keeps front = most recent.
+    loaded.push_front(std::move(entry));
+  }
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  lru_.clear();
+  index_.clear();
+  if (capacity_ == 0) {
+    return Status::Ok();
+  }
+  for (Entry& entry : loaded) {
+    if (lru_.size() >= capacity_) {
+      break;  // Oldest entries beyond capacity are dropped.
+    }
+    if (index_.count(entry.key) != 0) {
+      return InvalidArgumentError("plan cache: duplicate key in snapshot");
+    }
+    lru_.push_back(std::move(entry));
+    index_[lru_.back().key] = std::prev(lru_.end());
+  }
+  return Status::Ok();
+}
+
+Status PlanCache::SaveToFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return InternalError("plan cache: cannot open for write: " + path);
+  }
+  out << Serialize();
+  out.flush();
+  if (!out) {
+    return InternalError("plan cache: write failed: " + path);
+  }
+  return Status::Ok();
+}
+
+Status PlanCache::LoadFromFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return NotFoundError("plan cache: cannot open: " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return Load(buffer.str());
 }
 
 }  // namespace coign

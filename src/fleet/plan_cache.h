@@ -26,6 +26,7 @@
 
 #include "src/analysis/engine.h"
 #include "src/fleet/cohort.h"
+#include "src/support/status.h"
 
 namespace coign {
 
@@ -76,6 +77,19 @@ class PlanCache {
   size_t capacity() const { return capacity_; }
   PlanCacheStats stats() const;
   void Clear();
+
+  // --- Persistence ----------------------------------------------------------
+  // Byte-exact text snapshot of the entries, written least- to
+  // most-recently-used so loading reproduces the LRU order exactly.
+  // Doubles are serialized as bit patterns (hex), so a save/load round
+  // trip is the identity down to the last ULP. Stats are not persisted —
+  // a warm start is capacity, not traffic.
+  std::string Serialize() const;
+  // Replaces the contents with a parsed snapshot. Entries beyond this
+  // cache's capacity are dropped oldest-first; stats are left untouched.
+  Status Load(const std::string& text);
+  Status SaveToFile(const std::string& path) const;
+  Status LoadFromFile(const std::string& path);
 
  private:
   struct Entry {

@@ -106,6 +106,14 @@ class FleetPartitionService {
   // Lifetime cache counters across every Plan() call on this service.
   PlanCacheStats cache_stats() const { return cache_.stats(); }
 
+  // Persist / restore the plan cache across service restarts: a reloaded
+  // service starts warm and serves repeat fleets from cache immediately.
+  // Save writes the byte-exact LRU snapshot; Load replaces the cache
+  // contents (missing file -> NotFound, caller decides if that is fatal).
+  Status SaveCache(const std::string& path) const { return cache_.SaveToFile(path); }
+  Status LoadCache(const std::string& path) { return cache_.LoadFromFile(path); }
+  size_t cache_size() const { return cache_.size(); }
+
  private:
   FleetServiceOptions options_;
   ProfileAnalysisEngine engine_;

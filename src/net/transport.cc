@@ -41,17 +41,32 @@ DeliveryReceipt Transport::ReliableRoundTrip(MachineId src, MachineId dst,
   receipt.attempts = 0;
   receipt.delivered = false;
   const int budget = std::max(1, retry_.max_attempts);
+  const double expected = ExpectedRoundTripSeconds(request_bytes, reply_bytes);
+  // At-most-once delivery: the call carries one idempotency token; the
+  // receiver executes the first request it sees under that token and
+  // discards (re-acking) every later arrival — retransmissions after a
+  // lost reply and wire duplicates alike.
+  (void)next_idempotency_token_++;
+  bool receiver_executed = false;
   double backoff = retry_.backoff_initial_seconds;
   for (int attempt = 0; attempt < budget; ++attempt) {
     ++receipt.attempts;
     AttemptPlan plan;
     if (faults_ != nullptr) {
-      plan = faults_->OnAttempt(src, dst, request_bytes, reply_bytes);
+      plan = faults_->OnAttempt(src, dst, request_bytes, reply_bytes, expected);
     }
     if (!plan.clean()) {
       receipt.faulted = true;
     }
     if (!plan.delivered) {
+      if (plan.request_reached) {
+        // Reply lost after the receiver executed: the token is now spent,
+        // so any later arrival of this request is a duplicate.
+        if (receiver_executed) {
+          ++receipt.duplicates_suppressed;
+        }
+        receiver_executed = true;
+      }
       receipt.latency_seconds += retry_.timeout_seconds;
       AdvanceFaultClock(retry_.timeout_seconds);
       if (attempt + 1 < budget) {
@@ -69,15 +84,23 @@ DeliveryReceipt Transport::ReliableRoundTrip(MachineId src, MachineId dst,
       }
       continue;
     }
+    if (receiver_executed) {
+      // A retransmission reaching a spent token: the receiver suppresses
+      // the re-execution and just re-acks. Wire time is still real.
+      ++receipt.duplicates_suppressed;
+    }
+    receiver_executed = true;
     RoundTripSplit split = ScaledRoundTripSplit(request_bytes, reply_bytes,
                                                 plan.latency_scale, plan.bandwidth_scale,
                                                 jitter_rng);
     if (plan.duplicated) {
-      // The duplicate request traverses the wire once more.
+      // The duplicate request traverses the wire once more; the receiver
+      // discards it by token.
       split.latency += model_.per_message_seconds * plan.latency_scale;
       split.payload += static_cast<double>(request_bytes) / model_.bytes_per_second *
                        plan.bandwidth_scale;
       ++receipt.duplicate_messages;
+      ++receipt.duplicates_suppressed;
     }
     if (plan.reordered) {
       // The reply is recognized one message-latency late.

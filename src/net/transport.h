@@ -43,6 +43,11 @@ struct RetryPolicy {
 // What an attached fault model does to one delivery attempt.
 struct AttemptPlan {
   bool delivered = true;
+  // Only meaningful when !delivered: the request crossed the wire and the
+  // receiver executed it, but the reply was lost. The sender still times
+  // out and retries; the retry is a duplicate the receiver's idempotency
+  // token must suppress.
+  bool request_reached = false;
   // The wire carried a duplicate of the request (receiver discards it,
   // but the bytes and the message time are real).
   bool duplicated = false;
@@ -70,8 +75,11 @@ class TransportFaultModel {
  public:
   virtual ~TransportFaultModel() = default;
   // Decides the fate of one delivery attempt between two machines.
+  // `expected_seconds` is the attempt's expected (unscaled) round-trip
+  // time, so models can void deliveries that a crash episode starting
+  // mid-flight would have interrupted.
   virtual AttemptPlan OnAttempt(MachineId src, MachineId dst, uint64_t request_bytes,
-                                uint64_t reply_bytes) = 0;
+                                uint64_t reply_bytes, double expected_seconds) = 0;
   // Advances the fault clock by consumed modeled seconds (communication,
   // timeouts, backoff, and compute all count).
   virtual void AdvanceClock(double seconds) = 0;
@@ -92,6 +100,10 @@ struct DeliveryReceipt {
   bool delivered = true; // False: retry budget exhausted, call timed out.
   bool faulted = false;  // Any attempt was touched by a fault.
   uint64_t duplicate_messages = 0;
+  // Requests the receiver discarded by idempotency token: wire duplicates
+  // plus retransmissions of a request whose reply was lost. At-most-once
+  // delivery — the call's side effects executed exactly once.
+  uint64_t duplicates_suppressed = 0;
 };
 
 // Cumulative transport-level health counters, as exposed by the network
@@ -110,6 +122,7 @@ struct TransportHealth {
   // (latency, timeouts, backoff, penalties) vs byte-proportional time.
   double wire_latency_seconds = 0.0;
   double wire_payload_seconds = 0.0;
+  uint64_t duplicates_suppressed = 0;  // Receiver-side dedup events.
 };
 
 class Transport {
@@ -182,6 +195,10 @@ class Transport {
   RetryPolicy retry_;
   TransportFaultModel* faults_ = nullptr;  // Not owned.
   double elapsed_seconds_ = 0.0;
+  // Idempotency tokens: one per ReliableRoundTrip call. The receiver keys
+  // its dedup table on them; in the simulation the per-call bookkeeping in
+  // ReliableRoundTrip plays that table's role.
+  uint64_t next_idempotency_token_ = 1;
 };
 
 }  // namespace coign

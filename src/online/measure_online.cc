@@ -35,11 +35,22 @@ Result<OnlineRunResult> MeasureOnlineRun(Application& app,
   if (options.adaptive) {
     repartitioner = std::make_unique<OnlineRepartitioner>(
         &system, &runtime, base_profile, options.fitted, options.online);
-    repartitioner->SetMigrationCharge([&accountant](uint64_t bytes, double seconds) {
-      accountant.ChargeMigration(bytes, seconds);
-    });
     if (options.faults != nullptr) {
       repartitioner->SetTransportProbe([&accountant] { return accountant.health(); });
+      // Journaled migration: state copies ride the same faulted transport
+      // as the calls, and ReliableRoundTrip already advances the fault
+      // clock — charge clocks only, no second advance.
+      repartitioner->SetMigrationTransport(&accountant.transport(), nullptr);
+      repartitioner->SetMigrationCharge([&accountant](uint64_t bytes, double seconds) {
+        accountant.ChargeMigrationReceipts(bytes, seconds);
+      });
+      if (options.migration_crash_gate) {
+        repartitioner->SetMigrationCrashGate(options.migration_crash_gate);
+      }
+    } else {
+      repartitioner->SetMigrationCharge([&accountant](uint64_t bytes, double seconds) {
+        accountant.ChargeMigration(bytes, seconds);
+      });
     }
   }
 

@@ -48,9 +48,14 @@ struct OnlineMeasurementOptions {
   // Non-null → the run executes under this fault model (not owned) with
   // the hardened transport; the repartitioner additionally gets a
   // transport-health probe so the quarantine rule and the live network
-  // estimator engage.
+  // estimator engage, and migrations take the journaled two-phase path
+  // through the accountant's transport (state copies feel the faults).
   TransportFaultModel* faults = nullptr;
   RetryPolicy retry;
+  // Optional simulated coordinator crash during journaled migrations
+  // (chaos/bench runs force interruptions with this; see
+  // LiveMigrator::CrashGate). Only consulted when `faults` is set.
+  LiveMigrator::CrashGate migration_crash_gate;
 };
 
 // Runs the workload under `config` (a distributed-mode configuration

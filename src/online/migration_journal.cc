@@ -1,0 +1,133 @@
+#include "src/online/migration_journal.h"
+
+#include <sstream>
+
+#include "src/support/str_util.h"
+
+namespace coign {
+
+std::string_view MigrationPhaseName(MigrationPhase phase) {
+  switch (phase) {
+    case MigrationPhase::kIntent:
+      return "intent";
+    case MigrationPhase::kPrepared:
+      return "prepared";
+    case MigrationPhase::kCommitted:
+      return "committed";
+    case MigrationPhase::kRolledBack:
+      return "rolled-back";
+  }
+  return "unknown";
+}
+
+namespace {
+
+Result<MigrationPhase> PhaseByName(const std::string& name) {
+  if (name == "intent") {
+    return MigrationPhase::kIntent;
+  }
+  if (name == "prepared") {
+    return MigrationPhase::kPrepared;
+  }
+  if (name == "committed") {
+    return MigrationPhase::kCommitted;
+  }
+  if (name == "rolled-back") {
+    return MigrationPhase::kRolledBack;
+  }
+  return InvalidArgumentError("unknown migration phase: " + name);
+}
+
+}  // namespace
+
+std::string MigrationRecord::ToString() const {
+  return StrFormat("%s inst=%llu m%d->m%d %lluB",
+                   std::string(MigrationPhaseName(phase)).c_str(),
+                   static_cast<unsigned long long>(instance), from, to,
+                   static_cast<unsigned long long>(state_bytes));
+}
+
+void MigrationJournal::Append(const MigrationRecord& record) {
+  last_index_[record.instance] = records_.size();
+  records_.push_back(record);
+}
+
+void MigrationJournal::Clear() {
+  records_.clear();
+  last_index_.clear();
+}
+
+const MigrationRecord* MigrationJournal::LastFor(InstanceId instance) const {
+  auto it = last_index_.find(instance);
+  return it == last_index_.end() ? nullptr : &records_[it->second];
+}
+
+std::vector<MigrationRecord> MigrationJournal::InFlight() const {
+  std::vector<MigrationRecord> in_flight;
+  for (size_t i = 0; i < records_.size(); ++i) {
+    const MigrationRecord& record = records_[i];
+    auto it = last_index_.find(record.instance);
+    if (it == last_index_.end() || it->second != i) {
+      continue;  // Superseded by a later record.
+    }
+    if (record.phase == MigrationPhase::kIntent ||
+        record.phase == MigrationPhase::kPrepared) {
+      in_flight.push_back(record);
+    }
+  }
+  return in_flight;
+}
+
+std::string MigrationJournal::Serialize() const {
+  std::string out = "migration-journal v1\n";
+  for (const MigrationRecord& record : records_) {
+    out += StrFormat("rec %s %llu %d %d %llu\n",
+                     std::string(MigrationPhaseName(record.phase)).c_str(),
+                     static_cast<unsigned long long>(record.instance), record.from,
+                     record.to, static_cast<unsigned long long>(record.state_bytes));
+  }
+  return out;
+}
+
+Result<MigrationJournal> MigrationJournal::Parse(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line) || line != "migration-journal v1") {
+    return InvalidArgumentError("migration journal: bad header");
+  }
+  MigrationJournal journal;
+  while (std::getline(in, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    std::istringstream fields(line);
+    std::string tag, phase_name;
+    MigrationRecord record;
+    unsigned long long instance = 0, bytes = 0;
+    if (!(fields >> tag >> phase_name >> instance >> record.from >> record.to >> bytes) ||
+        tag != "rec") {
+      return InvalidArgumentError("migration journal: bad record: " + line);
+    }
+    Result<MigrationPhase> phase = PhaseByName(phase_name);
+    if (!phase.ok()) {
+      return phase.status();
+    }
+    record.phase = *phase;
+    record.instance = static_cast<InstanceId>(instance);
+    record.state_bytes = static_cast<uint64_t>(bytes);
+    journal.Append(record);
+  }
+  return journal;
+}
+
+std::string MigrationJournal::ToString() const {
+  std::string out = StrFormat("journal{%zu records", records_.size());
+  const std::vector<MigrationRecord> in_flight = InFlight();
+  if (!in_flight.empty()) {
+    out += StrFormat(", %zu in flight", in_flight.size());
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace coign

@@ -1,0 +1,82 @@
+// The migration write-ahead journal: the durable record the two-phase
+// live migrator appends to before every state change it makes.
+//
+// One migration writes, per moved instance, the sequence
+//   intent -> prepared -> committed
+// where `prepared` means the destination acked the state copy and
+// `committed` is the commit point: once the committed record is journaled,
+// the residency flip is a fact and crash recovery redoes it; before that
+// record, recovery rolls the instance back to its source and the copy at
+// the destination is discarded. A copy that exhausted its retries is
+// journaled `rolled-back` immediately — the instance never left its
+// source. An instance therefore can never end up double-resident or lost:
+// the journal's last record for it names exactly one authoritative home.
+//
+// The journal serializes to a line-oriented text form (Serialize/Parse
+// round-trip exactly) so a service can persist it across restarts; the
+// simulation keeps it in memory and "crashes" by abandoning the migrator
+// mid-protocol, which leaves precisely the state a real crash would.
+
+#ifndef COIGN_SRC_ONLINE_MIGRATION_JOURNAL_H_
+#define COIGN_SRC_ONLINE_MIGRATION_JOURNAL_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/com/types.h"
+#include "src/support/status.h"
+
+namespace coign {
+
+enum class MigrationPhase {
+  kIntent,     // Move decided; copy not yet acked.
+  kPrepared,   // Destination acked the state copy.
+  kCommitted,  // Commit point: the destination is authoritative.
+  kRolledBack, // Copy abandoned; the source is (still) authoritative.
+};
+
+std::string_view MigrationPhaseName(MigrationPhase phase);
+
+struct MigrationRecord {
+  MigrationPhase phase = MigrationPhase::kIntent;
+  InstanceId instance = kNoInstance;
+  MachineId from = kClientMachine;
+  MachineId to = kServerMachine;
+  uint64_t state_bytes = 0;
+
+  std::string ToString() const;
+};
+
+class MigrationJournal {
+ public:
+  void Append(const MigrationRecord& record);
+  void Clear();
+
+  const std::vector<MigrationRecord>& records() const { return records_; }
+  bool empty() const { return records_.empty(); }
+  size_t size() const { return records_.size(); }
+
+  // The last journaled record for `instance`, or null if never journaled.
+  const MigrationRecord* LastFor(InstanceId instance) const;
+
+  // Records that are an instance's *last* word and still in flight
+  // (intent/prepared) — what crash recovery must roll back. Append order.
+  std::vector<MigrationRecord> InFlight() const;
+
+  // Exact text round-trip for durability across restarts.
+  std::string Serialize() const;
+  static Result<MigrationJournal> Parse(const std::string& text);
+
+  std::string ToString() const;
+
+ private:
+  std::vector<MigrationRecord> records_;
+  // Instance -> index of its last record, for O(1) outcome queries.
+  std::unordered_map<InstanceId, size_t> last_index_;
+};
+
+}  // namespace coign
+
+#endif  // COIGN_SRC_ONLINE_MIGRATION_JOURNAL_H_

@@ -5,9 +5,26 @@
 namespace coign {
 
 std::string MigrationReport::ToString() const {
-  return StrFormat("migration{instances=%llu, bytes=%llu, seconds=%.4f}",
-                   static_cast<unsigned long long>(instances_moved),
-                   static_cast<unsigned long long>(bytes_transferred), seconds);
+  std::string out = StrFormat("migration{instances=%llu, bytes=%llu, seconds=%.4f",
+                              static_cast<unsigned long long>(instances_moved),
+                              static_cast<unsigned long long>(bytes_transferred), seconds);
+  if (copy_rpcs > 0 || instances_deferred > 0 || interrupted) {
+    out += StrFormat(", rpcs=%llu, wasted=%lluB, deferred=%llu, dedup=%llu%s%s",
+                     static_cast<unsigned long long>(copy_rpcs),
+                     static_cast<unsigned long long>(wasted_bytes),
+                     static_cast<unsigned long long>(instances_deferred),
+                     static_cast<unsigned long long>(duplicates_suppressed),
+                     complete ? "" : ", incomplete", interrupted ? ", interrupted" : "");
+  }
+  out += "}";
+  return out;
+}
+
+std::string RecoveryReport::ToString() const {
+  return StrFormat("recovery{redone=%llu, rolled_back=%llu, wasted=%lluB}",
+                   static_cast<unsigned long long>(instances_redone),
+                   static_cast<unsigned long long>(instances_rolled_back),
+                   static_cast<unsigned long long>(wasted_bytes));
 }
 
 Result<MigrationReport> LiveMigrator::Migrate(ObjectSystem& system,
@@ -25,9 +42,142 @@ Result<MigrationReport> LiveMigrator::Migrate(ObjectSystem& system,
     }
     COIGN_RETURN_IF_ERROR(system.MoveInstance(info.id, destination));
     report.instances_moved += 1;
-    report.bytes_transferred += state_bytes_per_instance_;
+    report.bytes_transferred += options_.state_bytes_per_instance;
     report.seconds +=
-        network.MessageSeconds(static_cast<double>(state_bytes_per_instance_));
+        network.MessageSeconds(static_cast<double>(options_.state_bytes_per_instance));
+  }
+  return report;
+}
+
+Result<MigrationReport> LiveMigrator::Migrate(ObjectSystem& system,
+                                              const Distribution& target,
+                                              MigrationJournal& journal,
+                                              Transport& transport,
+                                              Rng* jitter_rng) const {
+  MigrationReport report;
+  const uint64_t state_bytes = options_.state_bytes_per_instance;
+  // The gate models the coordinator crashing: every journal append and
+  // every residency flip is a step the crash can land in front of.
+  auto crashed = [&]() {
+    if (gate_ && gate_()) {
+      report.interrupted = true;
+      report.complete = false;
+      return true;
+    }
+    return false;
+  };
+
+  for (const ObjectSystem::InstanceInfo& info : system.LiveInstances()) {
+    const ClassificationId classification = resolver_(info.id);
+    if (classification == kNoClassification) {
+      continue;
+    }
+    const MachineId destination = target.MachineFor(classification);
+    if (destination == info.machine) {
+      continue;
+    }
+    // A record already terminal for this instance in this journal belongs
+    // to a run that was not recovered yet; leave it to Recover().
+    if (const MigrationRecord* last = journal.LastFor(info.id)) {
+      if (last->phase == MigrationPhase::kIntent ||
+          last->phase == MigrationPhase::kPrepared) {
+        return InternalError("journaled migrate over unrecovered in-flight instance " +
+                             std::to_string(info.id));
+      }
+    }
+
+    if (crashed()) {
+      return report;
+    }
+    MigrationRecord record;
+    record.instance = info.id;
+    record.from = info.machine;
+    record.to = destination;
+    record.state_bytes = state_bytes;
+    record.phase = MigrationPhase::kIntent;
+    journal.Append(record);
+
+    // Copy phase: ship the state through the faulted transport until one
+    // round trip is acked or the per-instance budget runs out.
+    bool copied = false;
+    for (int attempt = 0; attempt < options_.copy_attempts_per_instance; ++attempt) {
+      const DeliveryReceipt receipt = transport.ReliableRoundTrip(
+          info.machine, destination, state_bytes, options_.ack_bytes, jitter_rng);
+      report.copy_rpcs += 1;
+      report.seconds += receipt.seconds;
+      report.duplicates_suppressed += receipt.duplicates_suppressed;
+      // Every attempt beyond the one that landed re-shipped the state.
+      const uint64_t shipped = static_cast<uint64_t>(receipt.attempts);
+      report.wasted_bytes += state_bytes * (shipped - (receipt.delivered ? 1 : 0));
+      if (receipt.delivered) {
+        copied = true;
+        break;
+      }
+    }
+    if (!copied) {
+      record.phase = MigrationPhase::kRolledBack;
+      journal.Append(record);
+      report.instances_deferred += 1;
+      report.complete = false;
+      continue;
+    }
+
+    if (crashed()) {
+      return report;
+    }
+    record.phase = MigrationPhase::kPrepared;
+    journal.Append(record);
+
+    if (crashed()) {
+      return report;
+    }
+    // Commit point: once this record is journaled the destination is
+    // authoritative, crash or no crash.
+    record.phase = MigrationPhase::kCommitted;
+    journal.Append(record);
+
+    if (crashed()) {
+      return report;
+    }
+    COIGN_RETURN_IF_ERROR(system.MoveInstance(info.id, destination));
+    report.instances_moved += 1;
+    report.bytes_transferred += state_bytes;
+  }
+  return report;
+}
+
+Result<RecoveryReport> LiveMigrator::Recover(ObjectSystem& system,
+                                             const MigrationJournal& journal) {
+  RecoveryReport report;
+  const std::vector<MigrationRecord>& records = journal.records();
+  for (const MigrationRecord& record : records) {
+    if (journal.LastFor(record.instance) != &record) {
+      continue;  // Superseded by a later record for the same instance.
+    }
+    Result<MachineId> machine = system.MachineOf(record.instance);
+    if (!machine.ok()) {
+      continue;  // Instance destroyed since; nothing to repair.
+    }
+    switch (record.phase) {
+      case MigrationPhase::kCommitted:
+        // Redo: the flip is a fact the moment the record was journaled.
+        if (*machine != record.to) {
+          COIGN_RETURN_IF_ERROR(system.MoveInstance(record.instance, record.to));
+        }
+        report.instances_redone += 1;
+        break;
+      case MigrationPhase::kIntent:
+      case MigrationPhase::kPrepared:
+        // Roll back: discard the in-flight copy, source stays home.
+        if (*machine != record.from) {
+          COIGN_RETURN_IF_ERROR(system.MoveInstance(record.instance, record.from));
+        }
+        report.instances_rolled_back += 1;
+        report.wasted_bytes += record.state_bytes;
+        break;
+      case MigrationPhase::kRolledBack:
+        break;  // Already consistent: the move never happened.
+    }
   }
   return report;
 }

@@ -8,10 +8,10 @@
 namespace coign {
 
 std::string OnlineStats::ToString() const {
-  return StrFormat(
+  std::string out = StrFormat(
       "online{epochs=%llu, drift=%llu, evals=%llu, repartitions=%llu (lazy %llu), "
       "hysteresis_rej=%llu, cost_rej=%llu, moved=%llu, migration_bytes=%llu, "
-      "migration_s=%.4f, fault_episodes=%llu, quarantined=%llu, slowdown=%.2fx}",
+      "migration_s=%.4f, fault_episodes=%llu, quarantined=%llu, slowdown=%.2fx",
       static_cast<unsigned long long>(epochs), static_cast<unsigned long long>(drift_flags),
       static_cast<unsigned long long>(evaluations),
       static_cast<unsigned long long>(repartitions),
@@ -22,6 +22,18 @@ std::string OnlineStats::ToString() const {
       static_cast<unsigned long long>(migration_bytes), migration_seconds,
       static_cast<unsigned long long>(fault_episodes),
       static_cast<unsigned long long>(quarantined_epochs), live_slowdown);
+  if (interrupted_migrations > 0 || migration_resumes > 0 || migration_rollbacks > 0 ||
+      migration_wasted_bytes > 0 || duplicates_suppressed > 0) {
+    out += StrFormat(
+        ", interrupted=%llu, resumes=%llu, rollbacks=%llu, wasted=%lluB, dedup=%llu",
+        static_cast<unsigned long long>(interrupted_migrations),
+        static_cast<unsigned long long>(migration_resumes),
+        static_cast<unsigned long long>(migration_rollbacks),
+        static_cast<unsigned long long>(migration_wasted_bytes),
+        static_cast<unsigned long long>(duplicates_suppressed));
+  }
+  out += "}";
+  return out;
 }
 
 OnlineRepartitioner::OnlineRepartitioner(ObjectSystem* system, CoignRuntime* runtime,
@@ -57,6 +69,72 @@ ClassificationId OnlineRepartitioner::ClassificationOf(InstanceId instance) cons
   const Result<ClassificationId> classification =
       runtime_->classifier().ClassificationOf(instance);
   return classification.ok() ? *classification : kNoClassification;
+}
+
+LiveMigrator OnlineRepartitioner::MakeJournaledMigrator() const {
+  MigrationOptions options;
+  options.state_bytes_per_instance = options_.policy.state_bytes_per_instance;
+  options.ack_bytes = options_.migration_ack_bytes;
+  options.copy_attempts_per_instance = options_.migration_copy_attempts;
+  LiveMigrator migrator(options, [this](InstanceId id) { return ClassificationOf(id); });
+  if (crash_gate_) {
+    migrator.SetCrashGate(crash_gate_);
+  }
+  return migrator;
+}
+
+void OnlineRepartitioner::AbsorbMigrationReport(const MigrationReport& report) {
+  stats_.instances_moved += report.instances_moved;
+  stats_.migration_bytes += report.bytes_transferred;
+  stats_.migration_seconds += report.seconds;
+  stats_.migration_wasted_bytes += report.wasted_bytes;
+  stats_.duplicates_suppressed += report.duplicates_suppressed;
+  if (report.interrupted) {
+    ++stats_.interrupted_migrations;
+  }
+  if (charge_) {
+    // Committed state plus every retransmitted/abandoned copy went over
+    // the wire; the run pays for all of it.
+    charge_(report.bytes_transferred + report.wasted_bytes, report.seconds);
+  }
+}
+
+Status OnlineRepartitioner::ResumePendingMigration() {
+  PendingMigration& pending = *pending_;
+  ++pending.resumes;
+  ++stats_.migration_resumes;
+  // Crash recovery from the journal: redo committed flips, roll in-flight
+  // copies back. After this every journaled instance has one home again,
+  // and the journal is checkpointed (cleared) for the re-attempt.
+  Result<RecoveryReport> recovered = LiveMigrator::Recover(*system_, pending.journal);
+  if (!recovered.ok()) {
+    return recovered.status();
+  }
+  stats_.migration_rollbacks += recovered->instances_rolled_back;
+  stats_.migration_wasted_bytes += recovered->wasted_bytes;
+  pending.journal.Clear();
+  if (pending.resumes > options_.max_migration_resumes) {
+    // Give up: residency is consistent, stragglers rent the old placement
+    // at their source until the next accepted repartition moves them.
+    pending_.reset();
+    cooldown_remaining_ = options_.cooldown_epochs;
+    return Status::Ok();
+  }
+  // Re-attempt toward the already-adopted distribution. Rolled-back
+  // stragglers still sit on the wrong machine, so the migrator naturally
+  // picks exactly them up.
+  LiveMigrator migrator = MakeJournaledMigrator();
+  Result<MigrationReport> moved = migrator.Migrate(
+      *system_, distribution(), pending.journal, *migration_transport_, migration_jitter_);
+  if (!moved.ok()) {
+    return moved.status();
+  }
+  AbsorbMigrationReport(*moved);
+  if (moved->complete) {
+    pending_.reset();
+    cooldown_remaining_ = options_.cooldown_epochs;
+  }
+  return Status::Ok();
 }
 
 void OnlineRepartitioner::OnInstantiated(const ClassDesc& cls, InstanceId id,
@@ -170,6 +248,14 @@ Status OnlineRepartitioner::EndEpoch() {
     ++stats_.drift_flags;
   }
 
+  // An interrupted migration owns the loop until it completes or is
+  // abandoned: recover from its journal and re-attempt before any new
+  // evaluation. (Quarantined epochs returned above — recovery waits for a
+  // healthy wire rather than re-copying state into a fault episode.)
+  if (pending_) {
+    return ResumePendingMigration();
+  }
+
   if (cooldown_remaining_ > 0) {
     --cooldown_remaining_;
     return Status::Ok();
@@ -219,23 +305,43 @@ Status OnlineRepartitioner::EndEpoch() {
   }
 
   if (decision->migrate) {
-    LiveMigrator migrator(options_.policy.state_bytes_per_instance,
-                          [this](InstanceId id) { return ClassificationOf(id); });
-    Result<MigrationReport> moved =
-        migrator.Migrate(*system_, decision->proposed, network_);
-    if (!moved.ok()) {
-      return moved.status();
+    if (migration_transport_ != nullptr) {
+      // Journaled two-phase path: adopt first (the journal's target is the
+      // adopted distribution, so resumes after a crash aim at the same
+      // cut), then push state through the faulted wire.
+      runtime_->AdoptDistribution(decision->proposed);
+      PendingMigration pending;
+      LiveMigrator migrator = MakeJournaledMigrator();
+      Result<MigrationReport> moved =
+          migrator.Migrate(*system_, decision->proposed, pending.journal,
+                           *migration_transport_, migration_jitter_);
+      if (!moved.ok()) {
+        return moved.status();
+      }
+      AbsorbMigrationReport(*moved);
+      if (!moved->complete) {
+        pending_ = std::move(pending);  // Resume at the next healthy epoch.
+      }
+    } else {
+      LiveMigrator migrator(options_.policy.state_bytes_per_instance,
+                            [this](InstanceId id) { return ClassificationOf(id); });
+      Result<MigrationReport> moved =
+          migrator.Migrate(*system_, decision->proposed, network_);
+      if (!moved.ok()) {
+        return moved.status();
+      }
+      if (charge_) {
+        charge_(moved->bytes_transferred, moved->seconds);
+      }
+      stats_.instances_moved += moved->instances_moved;
+      stats_.migration_bytes += moved->bytes_transferred;
+      stats_.migration_seconds += moved->seconds;
+      runtime_->AdoptDistribution(decision->proposed);
     }
-    if (charge_) {
-      charge_(moved->bytes_transferred, moved->seconds);
-    }
-    stats_.instances_moved += moved->instances_moved;
-    stats_.migration_bytes += moved->bytes_transferred;
-    stats_.migration_seconds += moved->seconds;
   } else {
     ++stats_.lazy_adoptions;  // Live instances rent the old cut until death.
+    runtime_->AdoptDistribution(decision->proposed);
   }
-  runtime_->AdoptDistribution(decision->proposed);
   ++stats_.repartitions;
   cooldown_remaining_ = options_.cooldown_epochs;
   return Status::Ok();

@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <unordered_map>
 
@@ -46,6 +47,12 @@ struct OnlineOptions {
   uint64_t cooldown_epochs = 1;
   // Fault-episode quarantine (only effective with a transport probe set).
   QuarantineConfig quarantine;
+  // Journaled-migration knobs (effective with SetMigrationTransport).
+  uint64_t migration_ack_bytes = 64;
+  int migration_copy_attempts = 2;
+  // Epoch boundaries an interrupted/incomplete migration may resume at
+  // before recovery abandons it (stragglers rent the old placement).
+  uint64_t max_migration_resumes = 8;
 };
 
 struct OnlineStats {
@@ -61,6 +68,12 @@ struct OnlineStats {
   double migration_seconds = 0.0;
   uint64_t fault_episodes = 0;      // Epochs where the fault detector fired.
   uint64_t quarantined_epochs = 0;  // Epochs discarded by the quarantine rule.
+  // Journaled-migration path (transport-backed migrations only).
+  uint64_t interrupted_migrations = 0;  // Crash-gate hits mid-protocol.
+  uint64_t migration_resumes = 0;       // Epoch boundaries that re-entered one.
+  uint64_t migration_rollbacks = 0;     // In-flight instances rolled back.
+  uint64_t migration_wasted_bytes = 0;  // Retransmitted/discarded state bytes.
+  uint64_t duplicates_suppressed = 0;   // Copy retries deduped at the receiver.
   // Final live-estimate / fitted per-message ratio (1.0 without a probe).
   double live_slowdown = 1.0;
 
@@ -98,6 +111,30 @@ class OnlineRepartitioner : public ObjectSystem::Interceptor {
   // Null until a transport probe is set.
   const LiveNetworkEstimator* net_estimator() const { return estimator_.get(); }
 
+  // Switches migration to the journaled two-phase path through `transport`
+  // (both must outlive the repartitioner; `jitter_rng` may be null): state
+  // copies travel the hardened wire, every step is write-ahead journaled,
+  // and an interrupted migration re-enters the policy loop — each healthy
+  // epoch boundary runs crash recovery from the journal and re-attempts
+  // the stragglers, up to max_migration_resumes. Quarantined epochs do not
+  // resume: recovery too waits out detected fault episodes.
+  void SetMigrationTransport(Transport* transport, Rng* jitter_rng) {
+    migration_transport_ = transport;
+    migration_jitter_ = jitter_rng;
+  }
+
+  // Simulated coordinator crash for chaos runs: forwarded to the migrator
+  // on every journaled migration (see LiveMigrator::CrashGate).
+  void SetMigrationCrashGate(LiveMigrator::CrashGate gate) {
+    crash_gate_ = std::move(gate);
+  }
+
+  bool has_pending_migration() const { return pending_.has_value(); }
+  // The pending migration's journal; null when none is in flight.
+  const MigrationJournal* pending_journal() const {
+    return pending_ ? &pending_->journal : nullptr;
+  }
+
   // Marks an epoch boundary: folds the window, runs drift detection, and
   // repartitions if the policy accepts. Call while the epoch's instances
   // are still live so migration has real state to move.
@@ -123,6 +160,11 @@ class OnlineRepartitioner : public ObjectSystem::Interceptor {
 
  private:
   ClassificationId ClassificationOf(InstanceId instance) const;
+  LiveMigrator MakeJournaledMigrator() const;
+  // Folds one journaled migration report into stats and the charge hook.
+  void AbsorbMigrationReport(const MigrationReport& report);
+  // Recovery + re-attempt of the pending migration at an epoch boundary.
+  Status ResumePendingMigration();
 
   ObjectSystem* system_;
   CoignRuntime* runtime_;
@@ -146,6 +188,15 @@ class OnlineRepartitioner : public ObjectSystem::Interceptor {
   RepartitionDecision last_decision_;
   uint64_t epochs_since_evaluation_ = 0;
   uint64_t cooldown_remaining_ = 0;
+  // Journaled migration path.
+  Transport* migration_transport_ = nullptr;  // Not owned; null = model-priced.
+  Rng* migration_jitter_ = nullptr;           // Not owned.
+  LiveMigrator::CrashGate crash_gate_;
+  struct PendingMigration {
+    MigrationJournal journal;
+    uint64_t resumes = 0;
+  };
+  std::optional<PendingMigration> pending_;
   // Screens epochs for fault episodes (visible faults and silent
   // latency/payload slowdown) against healthy-epoch baselines.
   FaultEpisodeDetector episode_detector_;

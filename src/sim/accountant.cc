@@ -67,6 +67,7 @@ void NetworkAccountant::OnCallEnd(const ObjectSystem::CallEvent& event, const St
     if (receipt.faulted) {
       ++health_.faulted_calls;
     }
+    health_.duplicates_suppressed += receipt.duplicates_suppressed;
   } else {
     seconds = jitter_rng_ != nullptr
                   ? transport_.SampleRoundTripSeconds(wire.request_bytes,

@@ -59,6 +59,12 @@ class NetworkAccountant : public ObjectSystem::Interceptor {
   // Cumulative call-path health (migration charges excluded).
   TransportHealth health() const { return health_; }
 
+  // The accountant's transport, for out-of-band traffic that must share
+  // the run's fault schedule and retry policy — the journaled migrator
+  // pushes its state copies through this so crashes and loss hit them.
+  // Migration round trips bypass OnCallEnd, so health() stays call-only.
+  Transport& transport() { return transport_; }
+
   // Bills out-of-band traffic (online repartitioning's state transfers) to
   // this accountant's clocks, so adaptive runs pay for their migrations.
   void ChargeMigration(uint64_t bytes, double seconds) {
@@ -68,6 +74,14 @@ class NetworkAccountant : public ObjectSystem::Interceptor {
     // TransportHealth call counters: the live network estimate must not
     // read the adaptive loop's own state transfers as a slow wire.
     transport_.AdvanceFaultClock(seconds);
+  }
+
+  // Like ChargeMigration, but for migration traffic that already traveled
+  // through transport() — ReliableRoundTrip advanced the fault clock while
+  // the copies were on the wire, so advancing it again would double-count.
+  void ChargeMigrationReceipts(uint64_t bytes, double seconds) {
+    remote_bytes_ += bytes;
+    communication_seconds_ += seconds;
   }
 
   void Reset();

@@ -4,6 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
 #include "src/fault/fault_schedule.h"
 #include "src/fault/injector.h"
 #include "src/net/transport.h"
@@ -85,7 +88,7 @@ TEST(FaultInjectorTest, BackgroundDropRateIsRoughlyHonored) {
   int drops = 0;
   const int kAttempts = 4000;
   for (int i = 0; i < kAttempts; ++i) {
-    if (!injector.OnAttempt(0, 1, 100, 100).delivered) {
+    if (!injector.OnAttempt(0, 1, 100, 100, 0.0).delivered) {
       ++drops;
     }
   }
@@ -98,21 +101,21 @@ TEST(FaultInjectorTest, PartitionDropsEverythingWhileActive) {
   FaultSchedule schedule = FaultSchedule::FromEpisodes(
       {Episode(FaultKind::kPartition, 0.0, 1.0, 1.0)});
   FaultInjector injector(schedule, FaultRates{}, 3);
-  EXPECT_FALSE(injector.OnAttempt(0, 1, 10, 10).delivered);
+  EXPECT_FALSE(injector.OnAttempt(0, 1, 10, 10, 0.0).delivered);
   injector.AdvanceClock(2.0);  // Past the episode.
-  EXPECT_TRUE(injector.OnAttempt(0, 1, 10, 10).delivered);
+  EXPECT_TRUE(injector.OnAttempt(0, 1, 10, 10, 0.0).delivered);
 }
 
 TEST(FaultInjectorTest, CrashChargesRestartPenaltyExactlyOnce) {
   FaultSchedule schedule = FaultSchedule::FromEpisodes(
       {Episode(FaultKind::kCrashRestart, 0.0, 1.0, 0.5, /*machine=*/1)});
   FaultInjector injector(schedule, FaultRates{}, 3);
-  EXPECT_FALSE(injector.OnAttempt(0, 1, 10, 10).delivered);  // Machine down.
+  EXPECT_FALSE(injector.OnAttempt(0, 1, 10, 10, 0.0).delivered);  // Machine down.
   injector.AdvanceClock(2.0);
-  const AttemptPlan first = injector.OnAttempt(0, 1, 10, 10);
+  const AttemptPlan first = injector.OnAttempt(0, 1, 10, 10, 0.0);
   EXPECT_TRUE(first.delivered);
   EXPECT_DOUBLE_EQ(first.extra_seconds, 0.5);  // Restart penalty, once.
-  const AttemptPlan second = injector.OnAttempt(0, 1, 10, 10);
+  const AttemptPlan second = injector.OnAttempt(0, 1, 10, 10, 0.0);
   EXPECT_DOUBLE_EQ(second.extra_seconds, 0.0);
   EXPECT_EQ(injector.stats().restart_penalties, 1u);
 }
@@ -122,7 +125,7 @@ TEST(FaultInjectorTest, ScalesComeFromActiveEpisodes) {
       {Episode(FaultKind::kLatencySpike, 0.0, 1.0, 5.0),
        Episode(FaultKind::kBandwidthDrop, 0.0, 1.0, 3.0)});
   FaultInjector injector(schedule, FaultRates{}, 3);
-  const AttemptPlan plan = injector.OnAttempt(0, 1, 10, 10);
+  const AttemptPlan plan = injector.OnAttempt(0, 1, 10, 10, 0.0);
   EXPECT_DOUBLE_EQ(plan.latency_scale, 5.0);
   EXPECT_DOUBLE_EQ(plan.bandwidth_scale, 3.0);
   EXPECT_FALSE(plan.clean());
@@ -231,6 +234,263 @@ TEST(SuggestedRetryPolicyTest, ScalesWithTheNetworkModel) {
   EXPECT_GT(wan.timeout_seconds, lan.timeout_seconds);
   EXPECT_GT(lan.max_attempts, 1);
   EXPECT_GT(lan.backoff_max_seconds, lan.backoff_initial_seconds);
+}
+
+// --- Gilbert-Elliott two-state loss ---------------------------------------
+
+FaultEpisode GilbertEpisode(double start, double duration, GilbertElliottParams params,
+                            MachineId machine = kAnyMachine,
+                            FaultDirection direction = FaultDirection::kBoth) {
+  FaultEpisode episode;
+  episode.kind = FaultKind::kGilbertElliott;
+  episode.start_seconds = start;
+  episode.duration_seconds = duration;
+  episode.gilbert = params;
+  episode.magnitude = params.loss_bad;
+  episode.machine = machine;
+  episode.direction = direction;
+  return episode;
+}
+
+TEST(GilbertElliottTest, LossIsBurstyNotIndependent) {
+  // loss_good = 0: every drop happens inside a bad stretch, so the drop
+  // fraction must match the chain's stationary bad probability and drops
+  // must clump in runs roughly 1/p_bad_to_good long — the burstiness an
+  // independent Bernoulli of the same rate cannot produce.
+  GilbertElliottParams params;
+  params.p_good_to_bad = 0.05;
+  params.p_bad_to_good = 0.3;
+  params.loss_good = 0.0;
+  params.loss_bad = 1.0;
+  FaultSchedule schedule =
+      FaultSchedule::FromEpisodes({GilbertEpisode(0.0, 1000.0, params)});
+  FaultInjector injector(schedule, FaultRates{}, 21);
+
+  const int kAttempts = 20000;
+  int drops = 0, runs = 0;
+  bool in_run = false;
+  for (int i = 0; i < kAttempts; ++i) {
+    const bool dropped = !injector.OnAttempt(0, 1, 100, 100, 0.0).delivered;
+    if (dropped) {
+      ++drops;
+      if (!in_run) {
+        ++runs;
+      }
+    }
+    in_run = dropped;
+  }
+  // Stationary P(bad) = p01 / (p01 + p10) = 0.05 / 0.35.
+  EXPECT_NEAR(static_cast<double>(drops) / kAttempts, 0.05 / 0.35, 0.02);
+  EXPECT_EQ(injector.stats().ge_drops, static_cast<uint64_t>(drops));
+  ASSERT_GT(runs, 0);
+  // Mean run length ~ 1/0.3 = 3.3; independent loss at this rate gives 1.17.
+  EXPECT_GT(static_cast<double>(drops) / runs, 2.0);
+}
+
+TEST(GilbertElliottTest, ChainWalkIsDeterministicPerSeed) {
+  GilbertElliottParams params;
+  params.p_good_to_bad = 0.1;
+  params.p_bad_to_good = 0.2;
+  params.loss_good = 0.02;
+  params.loss_bad = 0.7;
+  FaultSchedule schedule =
+      FaultSchedule::FromEpisodes({GilbertEpisode(0.0, 1000.0, params)});
+
+  auto trace = [&](uint64_t seed) {
+    FaultInjector injector(schedule, FaultRates{}, seed);
+    std::string bits;
+    for (int i = 0; i < 500; ++i) {
+      bits += injector.OnAttempt(0, 1, 64, 64, 0.0).delivered ? '1' : '0';
+    }
+    return bits;
+  };
+  EXPECT_EQ(trace(7), trace(7));
+  EXPECT_NE(trace(7), trace(8));
+}
+
+TEST(GilbertElliottTest, InboundDirectionOnlyHitsTrafficTowardTheMachine) {
+  // An inbound-only GE episode at machine 1 with certain loss: traffic
+  // toward machine 1 dies, traffic from machine 1 sails through — the
+  // per-direction asymmetric episode the symmetric kinds cannot express.
+  GilbertElliottParams params;
+  params.loss_good = 1.0;
+  params.loss_bad = 1.0;
+  FaultSchedule schedule = FaultSchedule::FromEpisodes({GilbertEpisode(
+      0.0, 100.0, params, /*machine=*/1, FaultDirection::kInbound)});
+  FaultInjector injector(schedule, FaultRates{}, 3);
+  EXPECT_FALSE(injector.OnAttempt(0, 1, 10, 10, 0.0).delivered);  // dst == 1.
+  EXPECT_TRUE(injector.OnAttempt(1, 0, 10, 10, 0.0).delivered);   // src == 1.
+  EXPECT_TRUE(injector.OnAttempt(2, 0, 10, 10, 0.0).delivered);   // Uninvolved.
+}
+
+TEST(GilbertElliottTest, OutboundDirectionMirrorsInbound) {
+  GilbertElliottParams params;
+  params.loss_good = 1.0;
+  params.loss_bad = 1.0;
+  FaultSchedule schedule = FaultSchedule::FromEpisodes({GilbertEpisode(
+      0.0, 100.0, params, /*machine=*/1, FaultDirection::kOutbound)});
+  FaultInjector injector(schedule, FaultRates{}, 3);
+  EXPECT_TRUE(injector.OnAttempt(0, 1, 10, 10, 0.0).delivered);
+  EXPECT_FALSE(injector.OnAttempt(1, 0, 10, 10, 0.0).delivered);
+}
+
+TEST(FaultScheduleTest, RandomSchedulesIncludeGilbertAndAsymmetricEpisodes) {
+  RandomFaultOptions options;
+  options.horizon_seconds = 50.0;
+  options.episodes_per_kind = 2.0;
+  int gilbert = 0, asymmetric = 0;
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    const FaultSchedule schedule = FaultSchedule::Random(options, seed);
+    for (const FaultEpisode& episode : schedule.episodes()) {
+      if (episode.kind == FaultKind::kGilbertElliott) {
+        ++gilbert;
+      }
+      if (episode.direction != FaultDirection::kBoth) {
+        ++asymmetric;
+        EXPECT_NE(episode.machine, kAnyMachine);  // Direction needs a target.
+      }
+    }
+  }
+  EXPECT_GT(gilbert, 0);
+  EXPECT_GT(asymmetric, 0);
+}
+
+TEST(FaultScheduleTest, CrashStormIsDeterministicAndCrashHeavy) {
+  CrashStormOptions options;
+  options.horizon_seconds = 10.0;
+  const FaultSchedule a = FaultSchedule::CrashStorm(options, 5);
+  const FaultSchedule b = FaultSchedule::CrashStorm(options, 5);
+  EXPECT_EQ(a.ToString(), b.ToString());
+  EXPECT_NE(a.ToString(), FaultSchedule::CrashStorm(options, 6).ToString());
+  int crashes = 0, gilbert = 0;
+  for (const FaultEpisode& episode : a.episodes()) {
+    crashes += episode.kind == FaultKind::kCrashRestart;
+    gilbert += episode.kind == FaultKind::kGilbertElliott;
+  }
+  EXPECT_EQ(crashes, options.crash_count);
+  EXPECT_GT(gilbert, 0);
+}
+
+// --- Crash semantics for in-flight transfers -------------------------------
+
+TEST(FaultInjectorTest, CrashOnsetVoidsInFlightTransfers) {
+  FaultSchedule schedule = FaultSchedule::FromEpisodes(
+      {Episode(FaultKind::kCrashRestart, 1.0, 1.0, 0.0, /*machine=*/1)});
+  FaultInjector injector(schedule, FaultRates{}, 3);
+  injector.AdvanceClock(0.5);
+  // Round trip that would finish before the crash onset: unharmed.
+  EXPECT_TRUE(injector.OnAttempt(0, 1, 10, 10, /*expected_seconds=*/0.4).delivered);
+  // Round trip still on the wire when machine 1 dies at t=1.0: the
+  // receiver dies holding un-acked state, the delivery is void.
+  EXPECT_FALSE(injector.OnAttempt(0, 1, 10, 10, /*expected_seconds=*/1.0).delivered);
+  EXPECT_EQ(injector.stats().voided_inflight, 1u);
+  // Traffic not involving machine 1 is untouched.
+  EXPECT_TRUE(injector.OnAttempt(0, 2, 10, 10, /*expected_seconds=*/1.0).delivered);
+}
+
+// --- At-most-once delivery: idempotency-token dedup (satellite) ------------
+
+// Scripts the fate of successive attempts, so dedup accounting can be
+// asserted exactly rather than statistically.
+class ScriptedFaultModel : public TransportFaultModel {
+ public:
+  explicit ScriptedFaultModel(std::vector<AttemptPlan> plans)
+      : plans_(std::move(plans)) {}
+  AttemptPlan OnAttempt(MachineId, MachineId, uint64_t, uint64_t, double) override {
+    return next_ < plans_.size() ? plans_[next_++] : AttemptPlan{};
+  }
+  void AdvanceClock(double) override {}
+  double JitterUnit() override { return 0.5; }
+
+ private:
+  std::vector<AttemptPlan> plans_;
+  size_t next_ = 0;
+};
+
+TEST(ReliableRoundTripTest, ReplyLegLossMakesTheRetryADuplicate) {
+  // Attempt 1: request crosses, receiver executes, reply lost. Attempt 2:
+  // delivered — but the receiver saw this token already, so it suppresses
+  // the re-execution. At-most-once: one execution, one dedup event.
+  AttemptPlan reply_lost;
+  reply_lost.delivered = false;
+  reply_lost.request_reached = true;
+  ScriptedFaultModel model({reply_lost, AttemptPlan{}});
+  Transport transport(NetworkModel::TenBaseT());
+  transport.AttachFaults(&model);
+
+  const DeliveryReceipt receipt = transport.ReliableRoundTrip(0, 1, 100, 100, nullptr);
+  EXPECT_TRUE(receipt.delivered);
+  EXPECT_EQ(receipt.attempts, 2);
+  EXPECT_EQ(receipt.duplicates_suppressed, 1u);
+}
+
+TEST(ReliableRoundTripTest, EveryExtraExecutionIsSuppressedExactlyOnce) {
+  // Two consecutive reply-leg losses then a delivery: the receiver
+  // executed on attempt 1; attempts 2 and 3 both arrive as duplicates.
+  AttemptPlan reply_lost;
+  reply_lost.delivered = false;
+  reply_lost.request_reached = true;
+  ScriptedFaultModel model({reply_lost, reply_lost, AttemptPlan{}});
+  Transport transport(NetworkModel::TenBaseT());
+  transport.AttachFaults(&model);
+
+  const DeliveryReceipt receipt = transport.ReliableRoundTrip(0, 1, 100, 100, nullptr);
+  EXPECT_TRUE(receipt.delivered);
+  EXPECT_EQ(receipt.attempts, 3);
+  EXPECT_EQ(receipt.duplicates_suppressed, 2u);
+}
+
+TEST(ReliableRoundTripTest, RequestLegLossIsNotADuplicate) {
+  // The request never reached the receiver: the retry is the first
+  // execution, nothing to suppress.
+  AttemptPlan request_lost;
+  request_lost.delivered = false;
+  ScriptedFaultModel model({request_lost, AttemptPlan{}});
+  Transport transport(NetworkModel::TenBaseT());
+  transport.AttachFaults(&model);
+
+  const DeliveryReceipt receipt = transport.ReliableRoundTrip(0, 1, 100, 100, nullptr);
+  EXPECT_TRUE(receipt.delivered);
+  EXPECT_EQ(receipt.attempts, 2);
+  EXPECT_EQ(receipt.duplicates_suppressed, 0u);
+}
+
+TEST(ReliableRoundTripTest, WireDuplicatesCountAsSuppressed) {
+  AttemptPlan duplicated;
+  duplicated.duplicated = true;
+  ScriptedFaultModel model({duplicated});
+  Transport transport(NetworkModel::TenBaseT());
+  transport.AttachFaults(&model);
+
+  const DeliveryReceipt receipt = transport.ReliableRoundTrip(0, 1, 100, 100, nullptr);
+  EXPECT_TRUE(receipt.delivered);
+  EXPECT_EQ(receipt.duplicate_messages, 1u);
+  EXPECT_EQ(receipt.duplicates_suppressed, 1u);
+}
+
+TEST(ReliableRoundTripTest, DedupCountersMatchInjectorReplyDrops) {
+  // Statistical cross-check against the real injector: with generous
+  // retries every reply-leg loss is followed by another execution, so the
+  // suppressed count must be reply drops plus wire duplicates.
+  FaultRates background;
+  background.drop = 0.3;
+  background.duplicate = 0.05;
+  FaultInjector injector(FaultSchedule(), background, 77);
+  Transport transport(NetworkModel::TenBaseT());
+  transport.AttachFaults(&injector);
+  RetryPolicy policy = SuggestedRetryPolicy(NetworkModel::TenBaseT());
+  policy.max_attempts = 12;  // Effectively always delivers eventually.
+  transport.SetRetryPolicy(policy);
+
+  uint64_t suppressed = 0, undelivered = 0;
+  for (int i = 0; i < 500; ++i) {
+    const DeliveryReceipt receipt = transport.ReliableRoundTrip(0, 1, 128, 64, nullptr);
+    suppressed += receipt.duplicates_suppressed;
+    undelivered += receipt.delivered ? 0 : 1;
+  }
+  ASSERT_EQ(undelivered, 0u);
+  EXPECT_GT(injector.stats().reply_drops, 0u);
+  EXPECT_EQ(suppressed, injector.stats().reply_drops + injector.stats().duplicates);
 }
 
 // --- FaultEpisodeDetector: the quarantine rule in isolation ---------------

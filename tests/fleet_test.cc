@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <set>
+#include <string>
 #include <vector>
 
 #include "src/com/class_registry.h"
@@ -143,6 +144,126 @@ TEST(PlanCacheTest, ZeroCapacityDisablesCaching) {
   cache.Insert(PlanCacheKey{1, CohortKey{0, 0}}, plan);
   EXPECT_FALSE(cache.Lookup(PlanCacheKey{1, CohortKey{0, 0}}).has_value());
   EXPECT_EQ(cache.size(), 0u);
+}
+
+// A plan with every serialized field populated, so the round-trip tests
+// exercise the full snapshot format (bit-pattern doubles included).
+AnalysisResult SnapshotPlan(double seconds) {
+  AnalysisResult plan;
+  plan.predicted_comm_seconds = seconds;
+  plan.total_comm_seconds = seconds * 3.0 + 0.1;
+  plan.client_classifications = 2;
+  plan.server_classifications = 1;
+  plan.client_instances = 6;
+  plan.server_instances = 1;
+  plan.non_remotable_pairs = 1;
+  plan.distribution.default_machine = kClientMachine;
+  plan.distribution.placement[0] = kClientMachine;
+  plan.distribution.placement[1] = kClientMachine;
+  plan.distribution.placement[2] = kServerMachine;
+  CutEdgeReport edge;
+  edge.client_side = 1;
+  edge.server_side = 2;
+  edge.seconds = seconds / 7.0;  // Not decimal-round; bit pattern must survive.
+  plan.cut_edges.push_back(edge);
+  return plan;
+}
+
+TEST(PlanCacheTest, SerializeLoadRoundTripsByteExactly) {
+  PlanCache cache(8);
+  cache.Insert(PlanCacheKey{11, CohortKey{0, 1}}, SnapshotPlan(0.125));
+  cache.Insert(PlanCacheKey{11, CohortKey{2, 3}}, SnapshotPlan(1.0 / 3.0));
+  cache.Insert(PlanCacheKey{12, CohortKey{0, 1}}, SnapshotPlan(2.7182818));
+
+  const std::string snapshot = cache.Serialize();
+  PlanCache reloaded(8);
+  ASSERT_TRUE(reloaded.Load(snapshot).ok());
+  EXPECT_EQ(reloaded.size(), 3u);
+  // Byte-exact round trip: reserializing the loaded cache reproduces the
+  // snapshot, LRU order and double bit patterns included.
+  EXPECT_EQ(reloaded.Serialize(), snapshot);
+
+  const auto hit = reloaded.Lookup(PlanCacheKey{11, CohortKey{2, 3}});
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->predicted_comm_seconds, 1.0 / 3.0);
+  EXPECT_EQ(hit->distribution.placement.at(2), kServerMachine);
+  ASSERT_EQ(hit->cut_edges.size(), 1u);
+  EXPECT_EQ(hit->cut_edges[0].seconds, (1.0 / 3.0) / 7.0);
+}
+
+TEST(PlanCacheTest, LoadPreservesLruOrderAcrossRestart) {
+  PlanCache cache(2);
+  const auto key = [](int32_t bucket) {
+    return PlanCacheKey{1, CohortKey{bucket, 0}};
+  };
+  cache.Insert(key(0), SnapshotPlan(0.1));
+  cache.Insert(key(1), SnapshotPlan(0.2));
+  (void)cache.Lookup(key(0));  // 0 is now most recent; 1 is the LRU.
+
+  PlanCache reloaded(2);
+  ASSERT_TRUE(reloaded.Load(cache.Serialize()).ok());
+  reloaded.Insert(key(2), SnapshotPlan(0.3));  // Must evict 1, not 0.
+  EXPECT_TRUE(reloaded.Lookup(key(0)).has_value());
+  EXPECT_FALSE(reloaded.Lookup(key(1)).has_value());
+  EXPECT_TRUE(reloaded.Lookup(key(2)).has_value());
+}
+
+TEST(PlanCacheTest, LoadIntoSmallerCacheKeepsTheMostRecentEntries) {
+  PlanCache cache(4);
+  const auto key = [](int32_t bucket) {
+    return PlanCacheKey{1, CohortKey{bucket, 0}};
+  };
+  for (int32_t bucket = 0; bucket < 4; ++bucket) {
+    cache.Insert(key(bucket), SnapshotPlan(0.1 * (bucket + 1)));
+  }
+
+  PlanCache smaller(2);
+  ASSERT_TRUE(smaller.Load(cache.Serialize()).ok());
+  EXPECT_EQ(smaller.size(), 2u);
+  EXPECT_TRUE(smaller.Lookup(key(3)).has_value());
+  EXPECT_TRUE(smaller.Lookup(key(2)).has_value());
+  EXPECT_FALSE(smaller.Lookup(key(0)).has_value());
+}
+
+TEST(PlanCacheTest, LoadRejectsMalformedSnapshots) {
+  PlanCache cache(4);
+  EXPECT_FALSE(cache.Load("not a cache").ok());
+  EXPECT_FALSE(cache.Load("plan-cache v2 0\n").ok());
+  EXPECT_FALSE(cache.Load("plan-cache v1 1\nentry oops\n").ok());
+}
+
+TEST(FleetServiceTest, CacheFileRoundTripServesWarmRestart) {
+  const IccProfile profile = TestProfile();
+  const std::vector<FleetClient> fleet = TestFleet(48);
+  const std::string path = ::testing::TempDir() + "/coign_plan_cache_test.txt";
+
+  FleetServiceOptions options;
+  options.worker_threads = 1;
+  FleetPartitionService cold(options);
+  Result<FleetPlanResult> first = cold.Plan(profile, fleet);
+  ASSERT_TRUE(first.ok());
+  EXPECT_GT(first->stats.plans_computed, 0u);
+  ASSERT_TRUE(cold.SaveCache(path).ok());
+
+  FleetPartitionService warm(options);
+  ASSERT_TRUE(warm.LoadCache(path).ok());
+  EXPECT_EQ(warm.cache_size(), cold.cache_size());
+  Result<FleetPlanResult> second = warm.Plan(profile, fleet);
+  ASSERT_TRUE(second.ok());
+  // A warm restart recomputes nothing and serves identical plans.
+  EXPECT_EQ(second->stats.plans_computed, 0u);
+  EXPECT_EQ(second->stats.cache_hits, second->stats.cohorts);
+  ASSERT_EQ(second->plans.size(), first->plans.size());
+  for (size_t i = 0; i < first->plans.size(); ++i) {
+    EXPECT_EQ(second->plans[i].analysis.predicted_comm_seconds,
+              first->plans[i].analysis.predicted_comm_seconds);
+    EXPECT_EQ(second->plans[i].analysis.distribution.placement,
+              first->plans[i].analysis.distribution.placement);
+  }
+
+  FleetPartitionService missing(options);
+  EXPECT_EQ(missing.LoadCache(path + ".does-not-exist").code(),
+            StatusCode::kNotFound);
 }
 
 TEST(WorkerPoolTest, RunsEveryIndexExactlyOnce) {

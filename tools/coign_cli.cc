@@ -80,8 +80,9 @@ int Usage() {
                "              [--network <name>] [--cycles <n>] [--reps <n>]\n"
                "  coign chaos -i <base> --scenario <id> [--scenario <id> ...]\n"
                "             [--network <name>] [--cycles <n>] [--reps <n>]\n"
-               "             [--seed <n>] [--drop <p>]\n"
-               "  coign fleet -i <base> [--clients <n>] [--threads <n>] [--seed <n>]\n");
+               "             [--seed <n>] [--drop <p>] [--storm]\n"
+               "  coign fleet -i <base> [--clients <n>] [--threads <n>] [--seed <n>]\n"
+               "             [--cache-file <path>]\n");
   return 2;
 }
 
@@ -135,6 +136,12 @@ struct Flags {
   double drop = 0.01;
   int clients = 2000;
   int threads = 8;
+  // chaos --storm: crash-storm schedule with coordinator crashes forced
+  // mid-migration (exercises journaled recovery end to end).
+  bool storm = false;
+  // fleet --cache-file: load the plan cache from this path when present,
+  // save it back after planning (warm restarts).
+  std::string cache_file;
 };
 
 Result<Flags> ParseFlags(int argc, char** argv, int first) {
@@ -207,6 +214,14 @@ Result<Flags> ParseFlags(int argc, char** argv, int first) {
         return InvalidArgumentError(arg + " wants a probability in [0, 1), got " + *value);
       }
       flags.drop = parsed;
+    } else if (arg == "--storm") {
+      flags.storm = true;
+    } else if (arg == "--cache-file") {
+      Result<std::string> value = next();
+      if (!value.ok()) {
+        return value.status();
+      }
+      flags.cache_file = *value;
     } else {
       return InvalidArgumentError("unknown flag: " + arg);
     }
@@ -568,15 +583,23 @@ int CmdChaos(const Flags& flags) {
     return 1;
   }
 
-  RandomFaultOptions fault_options;
-  fault_options.horizon_seconds = clean_static->run.execution_seconds;
-  fault_options.mean_duration_seconds = fault_options.horizon_seconds / 8.0;
-  FaultSchedule schedule = FaultSchedule::Random(fault_options, flags.seed);
+  FaultSchedule schedule;
+  if (flags.storm) {
+    CrashStormOptions storm_options;
+    storm_options.horizon_seconds = clean_static->run.execution_seconds;
+    schedule = FaultSchedule::CrashStorm(storm_options, flags.seed);
+  } else {
+    RandomFaultOptions fault_options;
+    fault_options.horizon_seconds = clean_static->run.execution_seconds;
+    fault_options.mean_duration_seconds = fault_options.horizon_seconds / 8.0;
+    schedule = FaultSchedule::Random(fault_options, flags.seed);
+  }
   FaultRates background;
   background.drop = flags.drop;
 
-  std::printf("chaos seed %llu on %s: %zu episode(s), background drop %.1f%%\n",
+  std::printf("chaos seed %llu on %s%s: %zu episode(s), background drop %.1f%%\n",
               static_cast<unsigned long long>(flags.seed), network->name.c_str(),
+              flags.storm ? " (crash storm)" : "",
               schedule.episodes().size(), 100.0 * flags.drop);
   std::printf("%s\n\n", schedule.ToString().c_str());
   std::printf("%-26s %10s %10s %7s %6s %12s\n", "run", "comm (s)", "exec (s)", "recuts",
@@ -608,6 +631,31 @@ int CmdChaos(const Flags& flags) {
     run_options.adaptive = adaptive;
     run_options.faults = &injector;
     run_options.online.quarantine.enabled = quarantine;
+    // Storm mode forces coordinator crashes mid-migration: a deterministic
+    // countdown gate (seeded, re-arming with a doubling interval, three
+    // crashes per run) interrupts the journaled protocol so recovery and
+    // resume run end to end.
+    struct StormGate {
+      uint64_t step = 0;
+      uint64_t next = 0;
+      int crashes_left = 3;
+    };
+    auto gate = std::make_shared<StormGate>();
+    if (flags.storm && adaptive) {
+      gate->next = 3 + flags.seed % 5;
+      run_options.migration_crash_gate = [gate]() {
+        if (gate->crashes_left <= 0) {
+          return false;
+        }
+        if (++gate->step >= gate->next) {
+          gate->step = 0;
+          gate->next *= 2;
+          --gate->crashes_left;
+          return true;
+        }
+        return false;
+      };
+    }
     Result<OnlineRunResult> result =
         MeasureOnlineRun(**app, workload, *config, *profile, run_options);
     if (result.ok() && adaptive && quarantine) {
@@ -645,10 +693,12 @@ int CmdChaos(const Flags& flags) {
           : 0.0;
   std::printf(
       "chaos summary: quarantine recuts=%llu naive recuts=%llu quarantined_epochs=%llu "
-      "exec vs fault-free adaptive=%.2fx\n",
+      "interrupted=%llu resumes=%llu exec vs fault-free adaptive=%.2fx\n",
       static_cast<unsigned long long>(quarantined->online.repartitions),
       static_cast<unsigned long long>(naive->online.repartitions),
-      static_cast<unsigned long long>(quarantined->online.quarantined_epochs), ratio);
+      static_cast<unsigned long long>(quarantined->online.quarantined_epochs),
+      static_cast<unsigned long long>(quarantined->online.interrupted_migrations),
+      static_cast<unsigned long long>(quarantined->online.migration_resumes), ratio);
   return 0;
 }
 
@@ -676,6 +726,21 @@ int CmdFleet(const Flags& flags) {
               flags.threads,
               static_cast<unsigned long long>(ProfileFingerprint(*profile)));
 
+  // Warm start: a restarted service reloads its persisted plan cache and
+  // serves repeat fleets without recomputing a single cut.
+  if (!flags.cache_file.empty()) {
+    const Status loaded = service.LoadCache(flags.cache_file);
+    if (loaded.ok()) {
+      std::printf("plan cache: loaded %zu entr%s from %s\n", service.cache_size(),
+                  service.cache_size() == 1 ? "y" : "ies", flags.cache_file.c_str());
+    } else if (loaded.code() == StatusCode::kNotFound) {
+      std::printf("plan cache: %s not found, starting cold\n", flags.cache_file.c_str());
+    } else {
+      std::fprintf(stderr, "%s\n", loaded.ToString().c_str());
+      return 1;
+    }
+  }
+
   // Two passes over the same fleet: the first fills the plan cache, the
   // second is served from it — the steady state of a long-running service.
   for (int pass = 1; pass <= 2; ++pass) {
@@ -700,6 +765,15 @@ int CmdFleet(const Flags& flags) {
     std::printf("%s\n", planned->regret.ToString().c_str());
   }
   std::printf("\n%s\n", service.cache_stats().ToString().c_str());
+  if (!flags.cache_file.empty()) {
+    const Status saved = service.SaveCache(flags.cache_file);
+    if (!saved.ok()) {
+      std::fprintf(stderr, "%s\n", saved.ToString().c_str());
+      return 1;
+    }
+    std::printf("plan cache: saved %zu entr%s to %s\n", service.cache_size(),
+                service.cache_size() == 1 ? "y" : "ies", flags.cache_file.c_str());
+  }
   return 0;
 }
 
