@@ -327,6 +327,8 @@ Status BenefitsApp::Install(ObjectSystem* system) {
                    return rows.status();
                  }
                  sys.ChargeCompute(t.cache_cost * 10);
+                 // The cache pins the whole result set in memory.
+                 sys.ChargeAllocation(64ull * static_cast<uint64_t>(t.field_reply_bytes));
                  out->Add("count", Value::FromInt32(64));
                  return Status::Ok();
                });

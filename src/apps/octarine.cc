@@ -366,6 +366,8 @@ Status OctarineApp::RegisterClasses(ObjectSystem* system) {
                [](ScriptedComponent& self, const Message& in, Message* out) {
                  (void)in;
                  self.system()->ChargeCompute(50e-6);
+                 // Per-handle bookkeeping retained until kStoreClose.
+                 self.system()->ChargeAllocation(256);
                  const int64_t handle = self.GetInt("next_handle", 1);
                  self.SetState("next_handle", Value::FromInt64(handle + 1));
                  out->Add("handle", Value::FromInt32(static_cast<int32_t>(handle)));
@@ -423,6 +425,9 @@ Status OctarineApp::RegisterClasses(ObjectSystem* system) {
                      return reply.status();
                    }
                    self.system()->ChargeCompute(120e-6);
+                   // The reader buffers every block it reads for the life of
+                   // the document, so its live state tracks document size.
+                   self.system()->ChargeAllocation(static_cast<uint64_t>(size));
                    return Status::Ok();
                  };
 
@@ -524,6 +529,8 @@ Status OctarineApp::RegisterClasses(ObjectSystem* system) {
                      return reply.status();
                    }
                    sys.ChargeCompute(60e-6);
+                   // Style tables stay resident after loading.
+                   sys.ChargeAllocation(static_cast<uint64_t>(t.style_part_bytes));
                  }
                  out->Add("count", Value::FromInt32(parts * 16));
                  return Status::Ok();
@@ -551,6 +558,8 @@ Status OctarineApp::RegisterClasses(ObjectSystem* system) {
                [t](ScriptedComponent& self, const Message& in, Message* out) {
                  (void)in;
                  self.system()->ChargeCompute(t.layout_para_cost / t.chunks_per_para);
+                 // Three line boxes of layout state per chunk.
+                 self.system()->ChargeAllocation(3 * 64);
                  const int64_t lines = self.GetInt("lines") + 3;
                  self.SetState("lines", Value::FromInt64(lines));
                  out->Add("metrics", Value::FromRecord({
@@ -579,6 +588,9 @@ Status OctarineApp::RegisterClasses(ObjectSystem* system) {
                [t](ScriptedComponent& self, const Message& in, Message* out) {
                  (void)in;
                  self.system()->ChargeCompute(t.cell_cost);
+                 // The cell keeps its content until the document closes.
+                 self.system()->ChargeAllocation(
+                     static_cast<uint64_t>(t.cell_content_bytes));
                  out->Add("ok", Value::FromBool(true));
                  return Status::Ok();
                });

@@ -263,6 +263,8 @@ Status PhotoDrawApp::Install(ObjectSystem* system) {
                      return reply.status();
                    }
                    sys.ChargeCompute(t.parse_cost);
+                   // Decoded image data stays resident in the reader.
+                   sys.ChargeAllocation(static_cast<uint64_t>(chunk_bytes));
                    offset += chunk_bytes;
                  }
                  Message close_in;

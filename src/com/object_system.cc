@@ -177,6 +177,13 @@ void ObjectSystem::ChargeCompute(double seconds) {
   }
 }
 
+void ObjectSystem::ChargeAllocation(uint64_t bytes) {
+  const InstanceId current = stack_.CurrentInstance();
+  for (Interceptor* interceptor : interceptors_) {
+    interceptor->OnAllocate(current, bytes);
+  }
+}
+
 Status ObjectSystem::DestroyInstance(InstanceId id) {
   auto it = instances_.find(id);
   if (it == instances_.end()) {

@@ -76,6 +76,11 @@ class ObjectSystem {
       (void)instance;
       (void)seconds;
     }
+    // A component grew its resident state (reported via ChargeAllocation).
+    virtual void OnAllocate(InstanceId instance, uint64_t bytes) {
+      (void)instance;
+      (void)bytes;
+    }
   };
 
   // Chooses the machine that fulfills an instantiation request. `new_id` is
@@ -125,6 +130,12 @@ class ObjectSystem {
   // attributes it to the executing classification; the simulator advances
   // the owning machine's clock).
   void ChargeCompute(double seconds);
+
+  // Called by components from inside Dispatch to account `bytes` of
+  // durable instance state (documents, tables, caches). Interceptors
+  // observe it; the profiler attributes it to the executing classification,
+  // which is what grounds per-instance migration state-size estimates.
+  void ChargeAllocation(uint64_t bytes);
 
   Status DestroyInstance(InstanceId id);
   // Destroys all live instances (application shutdown).

@@ -39,6 +39,41 @@ RetryPolicy SuggestedRetryPolicy(const NetworkModel& model) {
 void FaultInjector::AdvanceClock(double seconds) {
   if (seconds > 0.0) {
     now_seconds_ += seconds;
+    if (obs_ != nullptr) {
+      ObserveEpisodeTransitions();
+    }
+  }
+}
+
+void FaultInjector::SetObservability(Observability* obs) {
+  obs_ = obs;
+  episode_was_active_.assign(schedule_.episodes().size(), false);
+  if (obs_ != nullptr) {
+    ObserveEpisodeTransitions();
+  }
+}
+
+void FaultInjector::ObserveEpisodeTransitions() {
+  const std::vector<FaultEpisode>& episodes = schedule_.episodes();
+  for (size_t i = 0; i < episodes.size(); ++i) {
+    const FaultEpisode& episode = episodes[i];
+    const bool active = episode.ActiveAt(now_seconds_);
+    if (active == static_cast<bool>(episode_was_active_[i])) {
+      continue;
+    }
+    episode_was_active_[i] = active;
+    const std::string kind(FaultKindName(episode.kind));
+    if (active) {
+      obs_->metrics().GetCounter("fault.episode_onsets." + kind)->Add();
+    }
+    obs_->tracer().Instant(
+        active ? "episode-onset" : "episode-offset", "fault", kTrackFault,
+        {{"kind", Tracer::ArgString(kind)},
+         {"episode", Tracer::ArgUint(i)},
+         {"machine", Tracer::ArgInt(episode.machine)},
+         {"magnitude", Tracer::ArgDouble(episode.magnitude)},
+         {"start_s", Tracer::ArgDouble(episode.start_seconds)},
+         {"end_s", Tracer::ArgDouble(episode.end_seconds())}});
   }
 }
 

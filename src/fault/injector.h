@@ -17,9 +17,11 @@
 #include <cstdint>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "src/fault/fault_schedule.h"
 #include "src/net/transport.h"
+#include "src/obs/obs.h"
 #include "src/support/rng.h"
 
 namespace coign {
@@ -64,6 +66,11 @@ class FaultInjector : public TransportFaultModel {
   // online layer must *detect* episodes from transport health instead).
   bool InEpisode() const { return schedule_.AnyActiveAt(now_seconds_); }
 
+  // Emits an instant event per episode onset/offset (by kind) and per-kind
+  // episode counters as the fault clock crosses episode boundaries. Reads
+  // the schedule only — never the Rng — so traced runs replay identically.
+  void SetObservability(Observability* obs);
+
   // --- TransportFaultModel --------------------------------------------------
   AttemptPlan OnAttempt(MachineId src, MachineId dst, uint64_t request_bytes,
                         uint64_t reply_bytes, double expected_seconds) override;
@@ -80,11 +87,17 @@ class FaultInjector : public TransportFaultModel {
            static_cast<uint64_t>(static_cast<uint16_t>(dst));
   }
 
+  // Diffs each episode's ActiveAt against its last observed state and
+  // records the transitions. Called whenever the fault clock moves.
+  void ObserveEpisodeTransitions();
+
   FaultSchedule schedule_;
   FaultRates background_;
   Rng rng_;
   FaultStats stats_;
   double now_seconds_ = 0.0;
+  Observability* obs_ = nullptr;  // Not owned.
+  std::vector<bool> episode_was_active_;
   // Machines with a pending restart penalty (crash episode ended, first
   // delivery not yet charged).
   std::unordered_map<MachineId, double> pending_restart_;

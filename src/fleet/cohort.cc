@@ -9,7 +9,12 @@
 namespace coign {
 
 std::string CohortKey::ToString() const {
-  return StrFormat("L%+d/B%+d", latency_bucket, bandwidth_bucket);
+  // The loss axis only appears for lossy buckets, so clean-fleet reports
+  // read exactly as they did before loss bucketing existed.
+  if (loss_bucket == 0) {
+    return StrFormat("L%+d/B%+d", latency_bucket, bandwidth_bucket);
+  }
+  return StrFormat("L%+d/B%+d/D%+d", latency_bucket, bandwidth_bucket, loss_bucket);
 }
 
 CohortKey BucketOf(const NetworkModel& network, const CohortingOptions& options) {
@@ -18,6 +23,20 @@ CohortKey BucketOf(const NetworkModel& network, const CohortingOptions& options)
       std::log10(network.per_message_seconds) * options.latency_buckets_per_decade));
   key.bandwidth_bucket = static_cast<int32_t>(std::floor(
       std::log10(network.bytes_per_second) * options.bandwidth_buckets_per_decade));
+  return key;
+}
+
+CohortKey BucketOf(const FleetClient& client, const CohortingOptions& options) {
+  CohortKey key = BucketOf(client.network, options);
+  const double drop = client.fault_rates.drop;
+  if (drop > options.clean_drop_threshold) {
+    // Drop rates are < 1, so buckets come out negative; clamp to -1 keeps
+    // even a pathological near-1 rate out of the clean bucket 0.
+    key.loss_bucket = std::min(
+        static_cast<int32_t>(
+            std::floor(std::log10(drop) * options.loss_buckets_per_decade)),
+        -1);
+  }
   return key;
 }
 
@@ -32,13 +51,30 @@ NetworkModel BucketCenter(const CohortKey& key, const CohortingOptions& options)
   return center;
 }
 
+double BucketDropCenter(int32_t loss_bucket, const CohortingOptions& options) {
+  if (loss_bucket == 0) {
+    return 0.0;
+  }
+  return std::pow(10.0, (loss_bucket + 0.5) / options.loss_buckets_per_decade);
+}
+
+NetworkModel InflateForLoss(NetworkModel network, double drop_rate) {
+  if (drop_rate <= 0.0) {
+    return network;
+  }
+  const double inflation = 1.0 / (1.0 - drop_rate);
+  network.per_message_seconds *= inflation;
+  network.bytes_per_second /= inflation;
+  return network;
+}
+
 std::vector<Cohort> BuildCohorts(const std::vector<FleetClient>& fleet,
                                  const CohortingOptions& options) {
   // std::map keeps cohorts in grid order without a separate sort; fleets
   // occupy at most a few hundred buckets.
   std::map<CohortKey, std::vector<uint32_t>> buckets;
   for (const FleetClient& client : fleet) {
-    buckets[BucketOf(client.network, options)].push_back(client.id);
+    buckets[BucketOf(client, options)].push_back(client.id);
   }
   std::vector<Cohort> cohorts;
   cohorts.reserve(buckets.size());
@@ -46,6 +82,7 @@ std::vector<Cohort> BuildCohorts(const std::vector<FleetClient>& fleet,
     Cohort cohort;
     cohort.key = key;
     cohort.representative = BucketCenter(key, options);
+    cohort.representative_drop = BucketDropCenter(key.loss_bucket, options);
     cohort.members = std::move(members);
     cohorts.push_back(std::move(cohort));
   }

@@ -101,7 +101,9 @@ void PlanCache::Clear() {
 
 std::string PlanCache::Serialize() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  std::string out = StrFormat("plan-cache v1 %zu\n", lru_.size());
+  // v2 appends the loss bucket to each entry line; v1 snapshots (written
+  // before loss-aware cohorting) still load, with every entry clean.
+  std::string out = StrFormat("plan-cache v2 %zu\n", lru_.size());
   // Least-recent first: replaying inserts in file order rebuilds the
   // exact LRU sequence (the last line loaded ends up most recent).
   for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
@@ -112,9 +114,10 @@ std::string PlanCache::Serialize() const {
     std::vector<std::pair<ClassificationId, MachineId>> placement(
         plan.distribution.placement.begin(), plan.distribution.placement.end());
     std::sort(placement.begin(), placement.end());
-    out += StrFormat("entry %llu %d %d\n",
+    out += StrFormat("entry %llu %d %d %d\n",
                      static_cast<unsigned long long>(entry.key.profile_fingerprint),
-                     entry.key.bucket.latency_bucket, entry.key.bucket.bandwidth_bucket);
+                     entry.key.bucket.latency_bucket, entry.key.bucket.bandwidth_bucket,
+                     entry.key.bucket.loss_bucket);
     out += StrFormat("plan %s %s %zu %zu %llu %llu %zu %d %zu %zu\n",
                      DoubleHex(plan.predicted_comm_seconds).c_str(),
                      DoubleHex(plan.total_comm_seconds).c_str(),
@@ -138,9 +141,11 @@ Status PlanCache::Load(const std::string& text) {
   std::istringstream in(text);
   std::string tag, version;
   size_t count = 0;
-  if (!(in >> tag >> version >> count) || tag != "plan-cache" || version != "v1") {
+  if (!(in >> tag >> version >> count) || tag != "plan-cache" ||
+      (version != "v1" && version != "v2")) {
     return InvalidArgumentError("plan cache: bad header");
   }
+  const bool has_loss_bucket = version == "v2";
   std::list<Entry> loaded;
   for (size_t i = 0; i < count; ++i) {
     Entry entry;
@@ -148,6 +153,9 @@ Status PlanCache::Load(const std::string& text) {
     if (!(in >> tag >> fingerprint >> entry.key.bucket.latency_bucket >>
           entry.key.bucket.bandwidth_bucket) ||
         tag != "entry") {
+      return InvalidArgumentError("plan cache: bad entry line");
+    }
+    if (has_loss_bucket && !(in >> entry.key.bucket.loss_bucket)) {
       return InvalidArgumentError("plan cache: bad entry line");
     }
     entry.key.profile_fingerprint = static_cast<uint64_t>(fingerprint);

@@ -73,7 +73,11 @@ Result<FleetPlanResult> FleetPartitionService::Plan(
   std::vector<Status> task_status(misses.size());
   pool_.ParallelFor(misses.size(), [&](size_t task_index) {
     CohortPlan& plan = result.plans[misses[task_index]];
-    const NetworkProfile pricing = NetworkProfile::Exact(plan.cohort.representative);
+    // Lossy cohorts price their cut on the loss-inflated representative:
+    // expected retransmissions make every message slower, which pushes the
+    // min cut toward fewer, larger crossings than the clean bucket's plan.
+    const NetworkProfile pricing = NetworkProfile::Exact(
+        InflateForLoss(plan.cohort.representative, plan.cohort.representative_drop));
     Result<AnalysisResult> analyzed = engine_.Analyze(profile, pricing);
     if (analyzed.ok()) {
       plan.analysis = *std::move(analyzed);
@@ -92,6 +96,27 @@ Result<FleetPlanResult> FleetPartitionService::Plan(
   for (size_t miss : misses) {
     const CohortPlan& plan = result.plans[miss];
     cache_.Insert(PlanCacheKey{fingerprint, plan.cohort.key}, plan.analysis);
+  }
+
+  if (options_.obs != nullptr) {
+    // Coordinator-side, after the barrier, in grid order: worker
+    // scheduling can never reorder (or time-skew) what gets recorded.
+    Tracer& tracer = options_.obs->tracer();
+    for (const CohortPlan& plan : result.plans) {
+      const double start = tracer.Now();
+      tracer.Complete("cohort-plan", "fleet", kTrackFleet, start, tracer.Now(),
+                      {{"cohort", Tracer::ArgString(plan.cohort.key.ToString())},
+                       {"members", Tracer::ArgUint(plan.cohort.members.size())},
+                       {"cache", Tracer::ArgString(plan.from_cache ? "hit" : "miss")}});
+    }
+    MetricsRegistry& metrics = options_.obs->metrics();
+    metrics.GetCounter("fleet.plan_calls")->Add(1);
+    metrics.GetCounter("fleet.clients")->Add(result.stats.clients);
+    metrics.GetCounter("fleet.cohorts")->Add(result.stats.cohorts);
+    metrics.GetCounter("fleet.cache.hits")->Add(result.stats.cache_hits);
+    metrics.GetCounter("fleet.cache.misses")->Add(misses.size());
+    metrics.GetGauge("fleet.pool.workers")
+        ->Set(static_cast<double>(options_.worker_threads));
   }
 
   // Client id -> cohort index, for CohortIndexOf.
@@ -118,7 +143,9 @@ Result<FleetPlanResult> FleetPartitionService::Plan(
   std::vector<Status> regret_status(fleet.size());
   pool_.ParallelFor(fleet.size(), [&](size_t i) {
     const FleetClient& client = fleet[i];
-    const NetworkProfile exact = NetworkProfile::Exact(client.network);
+    // Both sides of the regret ratio feel the client's own measured loss.
+    const NetworkProfile exact = NetworkProfile::Exact(
+        InflateForLoss(client.network, client.fault_rates.drop));
     const int cohort_index = result.CohortIndexOf(client.id);
     const ExecutionPrediction cohort_prediction = PredictExecutionTime(
         profile, result.plans[cohort_index].analysis.distribution, exact);

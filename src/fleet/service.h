@@ -29,6 +29,7 @@
 #include "src/fleet/cohort.h"
 #include "src/fleet/plan_cache.h"
 #include "src/fleet/thread_pool.h"
+#include "src/obs/obs.h"
 #include "src/profile/icc_profile.h"
 #include "src/sim/fleet_population.h"
 #include "src/support/status.h"
@@ -47,6 +48,10 @@ struct FleetServiceOptions {
   // exactly the bill cohorting exists to avoid — so it is off by default
   // and on in benches and reports.
   bool compute_regret = false;
+  // Not owned; null disables instrumentation. All spans and counters are
+  // emitted coordinator-side in cohort grid order after the parallel
+  // sections complete, so traces are identical whatever the thread count.
+  Observability* obs = nullptr;
 };
 
 struct CohortPlan {

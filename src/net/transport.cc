@@ -1,8 +1,85 @@
 #include "src/net/transport.h"
 
 #include <algorithm>
+#include <vector>
 
 namespace coign {
+
+namespace {
+
+// RTT buckets: 100us to 3s in half-decade steps, covering clean LAN round
+// trips through multi-retry timeout stacks.
+const std::vector<double> kRttBounds = {1e-4, 3e-4, 1e-3, 3e-3, 1e-2,
+                                        3e-2, 1e-1, 3e-1, 1.0,  3.0};
+// Retry-wait buckets: timeout+backoff time burned per retried call.
+const std::vector<double> kRetryWaitBounds = {0.05, 0.1, 0.25, 0.5, 1.0, 2.0, 5.0};
+
+}  // namespace
+
+void Transport::SetObservability(Observability* obs) {
+  obs_ = obs;
+  instruments_ = Instruments();
+  if (obs_ == nullptr) {
+    return;
+  }
+  MetricsRegistry& metrics = obs_->metrics();
+  instruments_.calls = metrics.GetCounter("transport.calls");
+  instruments_.attempts = metrics.GetCounter("transport.attempts");
+  instruments_.retries = metrics.GetCounter("transport.retries");
+  instruments_.undelivered = metrics.GetCounter("transport.undelivered");
+  instruments_.faulted_calls = metrics.GetCounter("transport.faulted_calls");
+  instruments_.duplicates_suppressed =
+      metrics.GetCounter("transport.duplicates_suppressed");
+  instruments_.duplicate_wire_messages =
+      metrics.GetCounter("transport.duplicate_wire_messages");
+  instruments_.rtt_seconds =
+      metrics.GetHistogram("transport.rtt_seconds", kRttBounds);
+  instruments_.retry_wait_seconds =
+      metrics.GetHistogram("transport.retry_wait_seconds", kRetryWaitBounds);
+}
+
+void Transport::RecordReceipt(MachineId src, MachineId dst, uint64_t request_bytes,
+                              uint64_t reply_bytes, double wait_seconds,
+                              const DeliveryReceipt& receipt) {
+  instruments_.calls->Add();
+  instruments_.attempts->Add(static_cast<uint64_t>(receipt.attempts));
+  if (receipt.attempts > 1) {
+    instruments_.retries->Add(static_cast<uint64_t>(receipt.attempts - 1));
+    instruments_.retry_wait_seconds->Observe(wait_seconds);
+  }
+  if (!receipt.delivered) {
+    instruments_.undelivered->Add();
+  }
+  if (receipt.faulted) {
+    instruments_.faulted_calls->Add();
+  }
+  if (receipt.duplicates_suppressed > 0) {
+    instruments_.duplicates_suppressed->Add(receipt.duplicates_suppressed);
+  }
+  if (receipt.duplicate_messages > 0) {
+    instruments_.duplicate_wire_messages->Add(receipt.duplicate_messages);
+  }
+  instruments_.rtt_seconds->Observe(receipt.seconds);
+  // One complete span per round trip. The sim clock only advances once the
+  // caller charges the receipt, so the span's duration is the modeled time
+  // appended to the current clock reading.
+  Tracer& tracer = obs_->tracer();
+  const double start = tracer.Now();
+  std::vector<std::pair<std::string, std::string>> args;
+  args.emplace_back("src", Tracer::ArgInt(static_cast<int64_t>(src)));
+  args.emplace_back("dst", Tracer::ArgInt(static_cast<int64_t>(dst)));
+  args.emplace_back("req_bytes", Tracer::ArgUint(request_bytes));
+  args.emplace_back("reply_bytes", Tracer::ArgUint(reply_bytes));
+  args.emplace_back("attempts", Tracer::ArgInt(receipt.attempts));
+  if (!receipt.delivered) {
+    args.emplace_back("delivered", "false");
+  }
+  if (receipt.faulted) {
+    args.emplace_back("faulted", "true");
+  }
+  tracer.Complete("rpc", "net", kTrackTransport, start, start + receipt.seconds,
+                  std::move(args));
+}
 
 double Transport::SampleRoundTripSeconds(uint64_t request_bytes, uint64_t reply_bytes,
                                          Rng& rng) const {
@@ -49,6 +126,7 @@ DeliveryReceipt Transport::ReliableRoundTrip(MachineId src, MachineId dst,
   (void)next_idempotency_token_++;
   bool receiver_executed = false;
   double backoff = retry_.backoff_initial_seconds;
+  double wait_seconds = 0.0;  // Timeout + backoff time, for observability.
   for (int attempt = 0; attempt < budget; ++attempt) {
     ++receipt.attempts;
     AttemptPlan plan;
@@ -68,6 +146,7 @@ DeliveryReceipt Transport::ReliableRoundTrip(MachineId src, MachineId dst,
         receiver_executed = true;
       }
       receipt.latency_seconds += retry_.timeout_seconds;
+      wait_seconds += retry_.timeout_seconds;
       AdvanceFaultClock(retry_.timeout_seconds);
       if (attempt + 1 < budget) {
         const double wait = std::min(backoff, retry_.backoff_max_seconds);
@@ -79,6 +158,7 @@ DeliveryReceipt Transport::ReliableRoundTrip(MachineId src, MachineId dst,
         const double jittered =
             wait * (1.0 + retry_.backoff_jitter * (2.0 * unit - 1.0));
         receipt.latency_seconds += std::max(jittered, 0.0);
+        wait_seconds += std::max(jittered, 0.0);
         AdvanceFaultClock(std::max(jittered, 0.0));
         backoff *= retry_.backoff_multiplier;
       }
@@ -115,6 +195,9 @@ DeliveryReceipt Transport::ReliableRoundTrip(MachineId src, MachineId dst,
   }
   receipt.seconds = receipt.latency_seconds + receipt.payload_seconds;
   Charge(receipt.seconds);
+  if (obs_ != nullptr) {
+    RecordReceipt(src, dst, request_bytes, reply_bytes, wait_seconds, receipt);
+  }
   return receipt;
 }
 

@@ -20,6 +20,7 @@
 
 #include "src/com/types.h"
 #include "src/net/network_model.h"
+#include "src/obs/obs.h"
 #include "src/support/rng.h"
 
 namespace coign {
@@ -190,10 +191,37 @@ class Transport {
   double elapsed_seconds() const { return elapsed_seconds_; }
   void ResetClock() { elapsed_seconds_ = 0.0; }
 
+  // --- Observability --------------------------------------------------------
+  // Opt-in per transport instance; `obs` is not owned and must outlive the
+  // transport and its copies. Instrument pointers are resolved here once so
+  // the round-trip hot path never takes the registry lock. Attaching reads
+  // receipts only — it never draws randomness or changes modeled time, so
+  // traced and untraced runs follow identical schedules.
+  void SetObservability(Observability* obs);
+  Observability* observability() const { return obs_; }
+
  private:
+  struct Instruments {
+    MetricCounter* calls = nullptr;
+    MetricCounter* attempts = nullptr;
+    MetricCounter* retries = nullptr;
+    MetricCounter* undelivered = nullptr;
+    MetricCounter* faulted_calls = nullptr;
+    MetricCounter* duplicates_suppressed = nullptr;
+    MetricCounter* duplicate_wire_messages = nullptr;
+    MetricHistogram* rtt_seconds = nullptr;
+    MetricHistogram* retry_wait_seconds = nullptr;
+  };
+
+  void RecordReceipt(MachineId src, MachineId dst, uint64_t request_bytes,
+                     uint64_t reply_bytes, double wait_seconds,
+                     const DeliveryReceipt& receipt);
+
   NetworkModel model_;
   RetryPolicy retry_;
   TransportFaultModel* faults_ = nullptr;  // Not owned.
+  Observability* obs_ = nullptr;           // Not owned.
+  Instruments instruments_;
   double elapsed_seconds_ = 0.0;
   // Idempotency tokens: one per ReliableRoundTrip call. The receiver keys
   // its dedup table on them; in the simulation the per-call bookkeeping in

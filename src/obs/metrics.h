@@ -1,0 +1,109 @@
+// Metrics registry: named counters, gauges, and fixed-bucket histograms
+// with a byte-stable snapshot format.
+//
+// Determinism contract: a snapshot is a pure function of the sequence of
+// metric updates — names are emitted in sorted order and every number is
+// formatted with a fixed printf spec — so two same-seed runs produce
+// byte-identical snapshots, which CI diffs directly.
+//
+// Instruments are created on first use and live as long as the registry;
+// the returned pointers are stable, so hot paths look a metric up once and
+// update it lock-free (counters and gauges are atomics).
+//
+// FixedHistogram is the observability histogram — explicit, caller-chosen
+// bucket bounds for dashboards/snapshots. It is deliberately distinct from
+// support/histogram.h's ExponentialHistogram, which is the paper's
+// profiling-logger structure with its own serialization.
+
+#ifndef COIGN_SRC_OBS_METRICS_H_
+#define COIGN_SRC_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/support/status.h"
+
+namespace coign {
+
+class MetricCounter {
+ public:
+  void Add(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+class MetricGauge {
+ public:
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+// Histogram over explicit upper bounds. A sample lands in the first bucket
+// whose upper bound is >= the sample (bounds are inclusive, Prometheus
+// "le" semantics); samples above every bound land in the implicit
+// overflow bucket. bucket_count() == bounds.size() + 1.
+class MetricHistogram {
+ public:
+  explicit MetricHistogram(std::vector<double> upper_bounds);
+
+  void Observe(double value);
+
+  // First bucket index whose range contains `value`.
+  size_t BucketFor(double value) const;
+
+  uint64_t count() const;
+  double sum() const;
+  size_t bucket_count() const { return counts_.size(); }
+  uint64_t CountAt(size_t bucket) const;
+  // Upper bound of a bucket; the final (overflow) bucket has no bound.
+  double UpperBoundAt(size_t bucket) const;
+  const std::vector<double>& upper_bounds() const { return bounds_; }
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<double> bounds_;  // Sorted ascending, deduplicated.
+  std::vector<uint64_t> counts_;  // bounds_.size() + 1 (overflow last).
+  uint64_t count_ = 0;
+  double sum_ = 0.0;
+};
+
+class MetricsRegistry {
+ public:
+  // First call with a name creates the instrument; later calls return the
+  // same pointer. Histogram bounds are fixed by the first call; a second
+  // call with different bounds still returns the original instrument.
+  MetricCounter* GetCounter(const std::string& name);
+  MetricGauge* GetGauge(const std::string& name);
+  MetricHistogram* GetHistogram(const std::string& name,
+                                std::vector<double> upper_bounds);
+
+  // Stable text snapshot: "# coign-metrics v1" header, then one line per
+  // instrument, grouped counter/gauge/histogram, each group name-sorted.
+  std::string SnapshotText() const;
+  // The same data as a JSON object.
+  std::string SnapshotJson() const;
+
+  Status WriteText(const std::string& path) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<MetricCounter>> counters_;
+  std::map<std::string, std::unique_ptr<MetricGauge>> gauges_;
+  std::map<std::string, std::unique_ptr<MetricHistogram>> histograms_;
+};
+
+}  // namespace coign
+
+#endif  // COIGN_SRC_OBS_METRICS_H_

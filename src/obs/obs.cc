@@ -1,0 +1,27 @@
+#include "src/obs/obs.h"
+
+#include "src/support/log.h"
+#include "src/support/str_util.h"
+
+namespace coign {
+
+void Observability::Dump(const std::string& reason) {
+  metrics_.GetCounter("obs.dumps")->Add();
+  tracer_.Instant("flight-recorder-dump", "obs", kTrackOnline,
+                  {{"reason", Tracer::ArgString(reason)}});
+  if (dump_prefix_.empty() || dumps_written_ >= dump_limit_) {
+    return;
+  }
+  const std::string path =
+      StrFormat("%s-%d-%s.json", dump_prefix_.c_str(), dumps_written_,
+                reason.c_str());
+  const Status status = tracer_.WriteChromeTrace(path);
+  if (status.ok()) {
+    ++dumps_written_;
+  } else {
+    COIGN_LOG(kWarning, "flight-recorder dump failed: %s",
+              status.ToString().c_str());
+  }
+}
+
+}  // namespace coign

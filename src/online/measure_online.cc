@@ -30,11 +30,26 @@ Result<OnlineRunResult> MeasureOnlineRun(Application& app,
   if (options.faults != nullptr) {
     accountant.AttachFaults(options.faults, options.retry);
   }
+  if (options.obs != nullptr) {
+    // Trace timestamps are the run's modeled execution clock; unbind it
+    // before the accountant dies so late writes fall back to logical ticks.
+    options.obs->tracer().SetClock([&accountant] { return accountant.execution_seconds(); });
+    accountant.transport().SetObservability(options.obs);
+  }
+  struct ClockGuard {
+    Observability* obs;
+    ~ClockGuard() {
+      if (obs != nullptr) {
+        obs->tracer().SetClock(nullptr);
+      }
+    }
+  } clock_guard{options.obs};
 
   std::unique_ptr<OnlineRepartitioner> repartitioner;
   if (options.adaptive) {
     repartitioner = std::make_unique<OnlineRepartitioner>(
         &system, &runtime, base_profile, options.fitted, options.online);
+    repartitioner->SetObservability(options.obs);
     if (options.faults != nullptr) {
       repartitioner->SetTransportProbe([&accountant] { return accountant.health(); });
       // Journaled migration: state copies ride the same faulted transport

@@ -56,6 +56,13 @@ struct OnlineMeasurementOptions {
   // (chaos/bench runs force interruptions with this; see
   // LiveMigrator::CrashGate). Only consulted when `faults` is set.
   LiveMigrator::CrashGate migration_crash_gate;
+  // Non-null → the run is traced and metered (not owned): the tracer's
+  // clock is bound to the accountant's modeled execution clock for the
+  // duration of the run, and the transport, fault injector hooks, and
+  // repartitioner all record into it. Observability never draws from the
+  // run's RNG or advances modeled time, so traced and untraced runs follow
+  // identical schedules.
+  Observability* obs = nullptr;
 };
 
 // Runs the workload under `config` (a distributed-mode configuration

@@ -1,5 +1,6 @@
 #include "src/online/migration_journal.h"
 
+#include <fstream>
 #include <sstream>
 
 #include "src/support/str_util.h"
@@ -89,35 +90,98 @@ std::string MigrationJournal::Serialize() const {
   return out;
 }
 
+namespace {
+
+// Sets `truncated` when the line ends mid-record — fewer fields than a
+// complete record carries. A line with all its fields but unusable contents
+// (bad tag, unknown phase) is corruption, never tearing: a torn write can
+// only lose a suffix, not rewrite completed fields.
+Result<MigrationRecord> ParseRecordLine(const std::string& line, bool* truncated) {
+  *truncated = false;
+  std::istringstream fields(line);
+  std::string tag, phase_name;
+  MigrationRecord record;
+  unsigned long long instance = 0, bytes = 0;
+  if (!(fields >> tag >> phase_name >> instance >> record.from >> record.to >> bytes)) {
+    *truncated = true;
+    return InvalidArgumentError("migration journal: truncated record: " + line);
+  }
+  if (tag != "rec") {
+    return InvalidArgumentError("migration journal: bad record: " + line);
+  }
+  Result<MigrationPhase> phase = PhaseByName(phase_name);
+  if (!phase.ok()) {
+    return phase.status();
+  }
+  record.phase = *phase;
+  record.instance = static_cast<InstanceId>(instance);
+  record.state_bytes = static_cast<uint64_t>(bytes);
+  return record;
+}
+
+}  // namespace
+
 Result<MigrationJournal> MigrationJournal::Parse(const std::string& text) {
-  std::istringstream in(text);
+  // Durability boundary: a record exists only once its terminating newline
+  // is on disk. A crash mid-append leaves a torn tail — bytes after the
+  // last newline, or a final terminated line whose fields were cut short —
+  // and recovery must treat exactly that suffix as never written. Earlier
+  // records are covered by later newlines, so damage there is corruption,
+  // not tearing, and stays a hard error.
+  const size_t last_newline = text.find_last_of('\n');
+  bool torn = last_newline == std::string::npos || last_newline + 1 < text.size();
+  const std::string body =
+      last_newline == std::string::npos ? "" : text.substr(0, last_newline + 1);
+
+  std::istringstream in(body);
   std::string line;
   if (!std::getline(in, line) || line != "migration-journal v1") {
     return InvalidArgumentError("migration journal: bad header");
   }
-  MigrationJournal journal;
+  std::vector<std::string> lines;
   while (std::getline(in, line)) {
-    if (line.empty()) {
-      continue;
+    if (!line.empty()) {
+      lines.push_back(line);
     }
-    std::istringstream fields(line);
-    std::string tag, phase_name;
-    MigrationRecord record;
-    unsigned long long instance = 0, bytes = 0;
-    if (!(fields >> tag >> phase_name >> instance >> record.from >> record.to >> bytes) ||
-        tag != "rec") {
-      return InvalidArgumentError("migration journal: bad record: " + line);
-    }
-    Result<MigrationPhase> phase = PhaseByName(phase_name);
-    if (!phase.ok()) {
-      return phase.status();
-    }
-    record.phase = *phase;
-    record.instance = static_cast<InstanceId>(instance);
-    record.state_bytes = static_cast<uint64_t>(bytes);
-    journal.Append(record);
   }
+  MigrationJournal journal;
+  for (size_t i = 0; i < lines.size(); ++i) {
+    bool truncated = false;
+    Result<MigrationRecord> record = ParseRecordLine(lines[i], &truncated);
+    if (!record.ok()) {
+      if (truncated && i + 1 == lines.size()) {
+        torn = true;  // The cut-short final record: drop it.
+        break;
+      }
+      return record.status();
+    }
+    journal.Append(*record);
+  }
+  journal.recovered_torn_tail_ = torn;
   return journal;
+}
+
+Status MigrationJournal::SaveToFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return InternalError("migration journal: cannot open for write: " + path);
+  }
+  out << Serialize();
+  out.flush();
+  if (!out) {
+    return InternalError("migration journal: write failed: " + path);
+  }
+  return Status::Ok();
+}
+
+Result<MigrationJournal> MigrationJournal::LoadFromFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return NotFoundError("migration journal: cannot open: " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return Parse(buffer.str());
 }
 
 std::string MigrationJournal::ToString() const {

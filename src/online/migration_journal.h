@@ -65,9 +65,21 @@ class MigrationJournal {
   // (intent/prepared) — what crash recovery must roll back. Append order.
   std::vector<MigrationRecord> InFlight() const;
 
-  // Exact text round-trip for durability across restarts.
+  // Exact text round-trip for durability across restarts. Parse tolerates
+  // a torn tail — a crash mid-append leaves either bytes after the final
+  // newline or a truncated final record, and either is dropped (it was
+  // never durably written); damage anywhere earlier is corruption and
+  // fails. recovered_torn_tail() reports whether a tail was dropped.
   std::string Serialize() const;
   static Result<MigrationJournal> Parse(const std::string& text);
+
+  // Snapshot persistence across process restarts (plan-cache pattern):
+  // SaveToFile writes Serialize() atomically enough for the simulator;
+  // LoadFromFile parses with torn-tail tolerance.
+  Status SaveToFile(const std::string& path) const;
+  static Result<MigrationJournal> LoadFromFile(const std::string& path);
+
+  bool recovered_torn_tail() const { return recovered_torn_tail_; }
 
   std::string ToString() const;
 
@@ -75,6 +87,7 @@ class MigrationJournal {
   std::vector<MigrationRecord> records_;
   // Instance -> index of its last record, for O(1) outcome queries.
   std::unordered_map<InstanceId, size_t> last_index_;
+  bool recovered_torn_tail_ = false;
 };
 
 }  // namespace coign

@@ -27,6 +27,16 @@ std::string RecoveryReport::ToString() const {
                    static_cast<unsigned long long>(wasted_bytes));
 }
 
+uint64_t LiveMigrator::StateBytesFor(InstanceId instance) const {
+  if (state_size_) {
+    const uint64_t bytes = state_size_(instance);
+    if (bytes > 0) {
+      return bytes;
+    }
+  }
+  return options_.state_bytes_per_instance;
+}
+
 Result<MigrationReport> LiveMigrator::Migrate(ObjectSystem& system,
                                               const Distribution& target,
                                               const NetworkProfile& network) const {
@@ -41,10 +51,10 @@ Result<MigrationReport> LiveMigrator::Migrate(ObjectSystem& system,
       continue;
     }
     COIGN_RETURN_IF_ERROR(system.MoveInstance(info.id, destination));
+    const uint64_t state_bytes = StateBytesFor(info.id);
     report.instances_moved += 1;
-    report.bytes_transferred += options_.state_bytes_per_instance;
-    report.seconds +=
-        network.MessageSeconds(static_cast<double>(options_.state_bytes_per_instance));
+    report.bytes_transferred += state_bytes;
+    report.seconds += network.MessageSeconds(static_cast<double>(state_bytes));
   }
   return report;
 }
@@ -55,16 +65,34 @@ Result<MigrationReport> LiveMigrator::Migrate(ObjectSystem& system,
                                               Transport& transport,
                                               Rng* jitter_rng) const {
   MigrationReport report;
-  const uint64_t state_bytes = options_.state_bytes_per_instance;
   // The gate models the coordinator crashing: every journal append and
   // every residency flip is a step the crash can land in front of.
   auto crashed = [&]() {
     if (gate_ && gate_()) {
       report.interrupted = true;
       report.complete = false;
+      if (obs_ != nullptr) {
+        obs_->metrics().GetCounter("migration.interrupted")->Add();
+        obs_->tracer().Instant("migration-crash-gate", "migration",
+                               kTrackMigration);
+      }
       return true;
     }
     return false;
+  };
+  // One instant per journal append mirrors the write-ahead protocol into
+  // the trace: intent -> prepared -> committed / rolled-back.
+  auto note_phase = [&](const MigrationRecord& record) {
+    if (obs_ == nullptr) {
+      return;
+    }
+    obs_->tracer().Instant(
+        std::string("journal-") + std::string(MigrationPhaseName(record.phase)),
+        "migration", kTrackMigration,
+        {{"instance", Tracer::ArgUint(record.instance)},
+         {"from", Tracer::ArgInt(record.from)},
+         {"to", Tracer::ArgInt(record.to)},
+         {"bytes", Tracer::ArgUint(record.state_bytes)}});
   };
 
   for (const ObjectSystem::InstanceInfo& info : system.LiveInstances()) {
@@ -89,6 +117,11 @@ Result<MigrationReport> LiveMigrator::Migrate(ObjectSystem& system,
     if (crashed()) {
       return report;
     }
+    const uint64_t state_bytes = StateBytesFor(info.id);
+    TraceSpan span(obs_ != nullptr ? &obs_->tracer() : nullptr,
+                   "migrate-instance", "migration", kTrackMigration);
+    span.AddArg("instance", static_cast<uint64_t>(info.id));
+    span.AddArg("bytes", state_bytes);
     MigrationRecord record;
     record.instance = info.id;
     record.from = info.machine;
@@ -96,15 +129,18 @@ Result<MigrationReport> LiveMigrator::Migrate(ObjectSystem& system,
     record.state_bytes = state_bytes;
     record.phase = MigrationPhase::kIntent;
     journal.Append(record);
+    note_phase(record);
 
     // Copy phase: ship the state through the faulted transport until one
     // round trip is acked or the per-instance budget runs out.
     bool copied = false;
+    double copy_seconds = 0.0;
     for (int attempt = 0; attempt < options_.copy_attempts_per_instance; ++attempt) {
       const DeliveryReceipt receipt = transport.ReliableRoundTrip(
           info.machine, destination, state_bytes, options_.ack_bytes, jitter_rng);
       report.copy_rpcs += 1;
       report.seconds += receipt.seconds;
+      copy_seconds += receipt.seconds;
       report.duplicates_suppressed += receipt.duplicates_suppressed;
       // Every attempt beyond the one that landed re-shipped the state.
       const uint64_t shipped = static_cast<uint64_t>(receipt.attempts);
@@ -117,31 +153,54 @@ Result<MigrationReport> LiveMigrator::Migrate(ObjectSystem& system,
     if (!copied) {
       record.phase = MigrationPhase::kRolledBack;
       journal.Append(record);
+      note_phase(record);
       report.instances_deferred += 1;
       report.complete = false;
+      if (obs_ != nullptr) {
+        obs_->metrics().GetCounter("migration.instances_deferred")->Add();
+      }
+      span.AddArg("outcome", "deferred");
+      span.End(copy_seconds);
       continue;
     }
 
     if (crashed()) {
+      span.AddArg("outcome", "interrupted");
+      span.End(copy_seconds);
       return report;
     }
     record.phase = MigrationPhase::kPrepared;
     journal.Append(record);
+    note_phase(record);
 
     if (crashed()) {
+      span.AddArg("outcome", "interrupted");
+      span.End(copy_seconds);
       return report;
     }
     // Commit point: once this record is journaled the destination is
     // authoritative, crash or no crash.
     record.phase = MigrationPhase::kCommitted;
     journal.Append(record);
+    note_phase(record);
 
     if (crashed()) {
+      span.AddArg("outcome", "interrupted");
+      span.End(copy_seconds);
       return report;
     }
     COIGN_RETURN_IF_ERROR(system.MoveInstance(info.id, destination));
     report.instances_moved += 1;
     report.bytes_transferred += state_bytes;
+    if (obs_ != nullptr) {
+      obs_->metrics().GetCounter("migration.instances_committed")->Add();
+      obs_->metrics().GetCounter("migration.state_bytes")->Add(state_bytes);
+    }
+    span.AddArg("outcome", "committed");
+    span.End(copy_seconds);
+  }
+  if (obs_ != nullptr && report.wasted_bytes > 0) {
+    obs_->metrics().GetCounter("migration.wasted_bytes")->Add(report.wasted_bytes);
   }
   return report;
 }

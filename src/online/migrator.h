@@ -36,6 +36,7 @@
 #include "src/graph/distribution.h"
 #include "src/net/network_profiler.h"
 #include "src/net/transport.h"
+#include "src/obs/obs.h"
 #include "src/online/migration_journal.h"
 #include "src/support/rng.h"
 #include "src/support/status.h"
@@ -44,6 +45,8 @@ namespace coign {
 
 struct MigrationOptions {
   // Modeled serialized state per instance, shipped in one request message.
+  // The fallback when no per-instance state-size resolver is set (or the
+  // resolver has no allocation data for an instance's classification).
   uint64_t state_bytes_per_instance = 4096;
   // Destination's copy-ack reply size.
   uint64_t ack_bytes = 64;
@@ -96,8 +99,19 @@ class LiveMigrator {
     options_.state_bytes_per_instance = state_bytes_per_instance;
   }
 
+  // Serialized state size of one live instance, in bytes. Profiled
+  // allocation drives this (heterogeneous components ship heterogeneous
+  // state); returning 0 falls back to options().state_bytes_per_instance.
+  using StateSizeResolver = std::function<uint64_t(InstanceId)>;
+
   const MigrationOptions& options() const { return options_; }
   void SetCrashGate(CrashGate gate) { gate_ = std::move(gate); }
+  void SetStateSizeResolver(StateSizeResolver resolver) {
+    state_size_ = std::move(resolver);
+  }
+  // Per-phase journal instants, per-instance copy spans, and migration
+  // counters. `obs` is not owned; null disables instrumentation.
+  void SetObservability(Observability* obs) { obs_ = obs; }
 
   // Model-priced path: moves every live instance whose classification's
   // machine under `target` differs from where the instance currently
@@ -125,9 +139,13 @@ class LiveMigrator {
                                         const MigrationJournal& journal);
 
  private:
+  uint64_t StateBytesFor(InstanceId instance) const;
+
   MigrationOptions options_;
   ClassificationResolver resolver_;
   CrashGate gate_;
+  StateSizeResolver state_size_;
+  Observability* obs_ = nullptr;  // Not owned.
 };
 
 }  // namespace coign

@@ -51,17 +51,21 @@ Result<RepartitionDecision> RepartitionPolicy::Evaluate(
       PredictCommunicationSeconds(windowed, analysis->distribution, network);
 
   // Migration bill: every live instance whose classification changes sides
-  // ships its state in one message.
+  // ships its state in one message. State size comes from profiled
+  // allocations when the window recorded any; the configured flat size is
+  // only the fallback for classifications that never charged an allocation.
   for (const auto& [id, count] : live_instances) {
     if (count == 0) {
       continue;
     }
     if (decision.proposed.MachineFor(id) != current.MachineFor(id)) {
+      const uint64_t state_bytes = ProfiledStateBytes(
+          windowed.FindClassification(id), config_.state_bytes_per_instance);
       decision.instances_to_move += count;
-      decision.migration_bytes += count * config_.state_bytes_per_instance;
+      decision.migration_bytes += count * state_bytes;
       decision.migration_seconds +=
           static_cast<double>(count) *
-          network.MessageSeconds(static_cast<double>(config_.state_bytes_per_instance));
+          network.MessageSeconds(static_cast<double>(state_bytes));
     }
   }
 

@@ -1,6 +1,7 @@
 #include "src/online/repartitioner.h"
 
 #include <cassert>
+#include <cstdio>
 
 #include "src/support/log.h"
 #include "src/support/str_util.h"
@@ -48,6 +49,22 @@ OnlineRepartitioner::OnlineRepartitioner(ObjectSystem* system, CoignRuntime* run
       policy_(options.policy, options.analysis),
       episode_detector_(options.quarantine) {
   assert(system_ != nullptr && runtime_ != nullptr);
+  // A journal file left by a previous process means that process died with
+  // a migration in flight: pick it up as the pending migration so the first
+  // healthy epoch boundary runs crash recovery against it.
+  if (!options_.journal_path.empty()) {
+    Result<MigrationJournal> loaded =
+        MigrationJournal::LoadFromFile(options_.journal_path);
+    if (loaded.ok() && !loaded->empty()) {
+      if (loaded->recovered_torn_tail()) {
+        COIGN_LOG(kWarning, "journal %s had a torn tail; dropped the partial record",
+                  options_.journal_path.c_str());
+      }
+      PendingMigration pending;
+      pending.journal = std::move(*loaded);
+      pending_ = std::move(pending);
+    }
+  }
   system_->AddInterceptor(this);
 }
 
@@ -80,7 +97,50 @@ LiveMigrator OnlineRepartitioner::MakeJournaledMigrator() const {
   if (crash_gate_) {
     migrator.SetCrashGate(crash_gate_);
   }
+  // Per-instance state from profiled allocations — the same source the
+  // policy priced the migration bill with. 0 = no data, migrator falls
+  // back to the flat configured size.
+  migrator.SetStateSizeResolver([this](InstanceId id) -> uint64_t {
+    const ClassificationId classification = ClassificationOf(id);
+    if (classification == kNoClassification) {
+      return 0;
+    }
+    const ClassificationInfo* info = base_profile_.FindClassification(classification);
+    if (info == nullptr) {
+      auto it = live_registry_.find(classification);
+      info = it != live_registry_.end() ? &it->second : nullptr;
+    }
+    return ProfiledStateBytes(info, 0);
+  });
+  migrator.SetObservability(obs_);
   return migrator;
+}
+
+void OnlineRepartitioner::PersistPendingJournal() const {
+  if (options_.journal_path.empty()) {
+    return;
+  }
+  if (!pending_) {
+    std::remove(options_.journal_path.c_str());
+    return;
+  }
+  const Status saved = pending_->journal.SaveToFile(options_.journal_path);
+  if (!saved.ok()) {
+    COIGN_LOG(kWarning, "journal snapshot to %s failed: %s",
+              options_.journal_path.c_str(), saved.ToString().c_str());
+  }
+}
+
+void OnlineRepartitioner::AbandonPendingMigration() {
+  pending_.reset();
+  cooldown_remaining_ = options_.cooldown_epochs;
+  PersistPendingJournal();  // Removes the snapshot file.
+  if (obs_ != nullptr) {
+    obs_->metrics().GetCounter("online.migrations_abandoned")->Add(1);
+    obs_->tracer().Instant("migration-abandoned", "online", kTrackMigration,
+                           {{"epoch", Tracer::ArgUint(stats_.epochs)}});
+    obs_->Dump("migration-abandoned");
+  }
 }
 
 void OnlineRepartitioner::AbsorbMigrationReport(const MigrationReport& report) {
@@ -103,6 +163,12 @@ Status OnlineRepartitioner::ResumePendingMigration() {
   PendingMigration& pending = *pending_;
   ++pending.resumes;
   ++stats_.migration_resumes;
+  if (obs_ != nullptr) {
+    obs_->metrics().GetCounter("online.migration_resumes")->Add(1);
+    obs_->tracer().Instant("migration-resume", "online", kTrackMigration,
+                           {{"epoch", Tracer::ArgUint(stats_.epochs)},
+                            {"resumes", Tracer::ArgUint(pending.resumes)}});
+  }
   // Crash recovery from the journal: redo committed flips, roll in-flight
   // copies back. After this every journaled instance has one home again,
   // and the journal is checkpointed (cleared) for the re-attempt.
@@ -116,8 +182,7 @@ Status OnlineRepartitioner::ResumePendingMigration() {
   if (pending.resumes > options_.max_migration_resumes) {
     // Give up: residency is consistent, stragglers rent the old placement
     // at their source until the next accepted repartition moves them.
-    pending_.reset();
-    cooldown_remaining_ = options_.cooldown_epochs;
+    AbandonPendingMigration();
     return Status::Ok();
   }
   // Re-attempt toward the already-adopted distribution. Rolled-back
@@ -134,6 +199,7 @@ Status OnlineRepartitioner::ResumePendingMigration() {
     pending_.reset();
     cooldown_remaining_ = options_.cooldown_epochs;
   }
+  PersistPendingJournal();
   return Status::Ok();
 }
 
@@ -203,6 +269,12 @@ void OnlineRepartitioner::OnCompute(InstanceId instance, double seconds) {
 Status OnlineRepartitioner::EndEpoch() {
   ++stats_.epochs;
   ++epochs_since_evaluation_;
+  Tracer* tracer = obs_ != nullptr ? &obs_->tracer() : nullptr;
+  TraceSpan epoch_span(tracer, "epoch", "online", kTrackOnline);
+  epoch_span.AddArg("epoch", stats_.epochs);
+  if (obs_ != nullptr) {
+    obs_->metrics().GetCounter("online.epochs")->Add(1);
+  }
 
   // Fault-episode screening: an epoch whose transport visibly fought the
   // network (timeouts, exhausted budgets, spiked round trips) is not
@@ -228,10 +300,25 @@ Status OnlineRepartitioner::EndEpoch() {
       const FaultEpisodeDetector::Verdict verdict = episode_detector_.Observe(sample);
       if (verdict.episode != FaultEpisodeDetector::Trigger::kNone) {
         ++stats_.fault_episodes;
+        if (obs_ != nullptr) {
+          obs_->metrics().GetCounter("online.fault_episodes")->Add(1);
+        }
       }
       if (verdict.quarantine) {
         ++stats_.quarantined_epochs;
         window_.DiscardEpoch();
+        epoch_span.AddArg("outcome", "quarantined");
+        if (obs_ != nullptr) {
+          obs_->metrics().GetCounter("online.quarantined_epochs")->Add(1);
+          obs_->tracer().Instant("quarantine", "online", kTrackOnline,
+                                 {{"epoch", Tracer::ArgUint(stats_.epochs)}});
+          if (!in_quarantine_) {
+            // First quarantined epoch of an episode: the retained tail of
+            // the trace ring is exactly the evidence that led here.
+            obs_->Dump("quarantine");
+          }
+        }
+        in_quarantine_ = true;
         return Status::Ok();
       }
     }
@@ -241,11 +328,22 @@ Status OnlineRepartitioner::EndEpoch() {
     }
   }
 
+  if (in_quarantine_) {
+    in_quarantine_ = false;
+    if (obs_ != nullptr) {
+      obs_->tracer().Instant("quarantine-exit", "online", kTrackOnline,
+                             {{"epoch", Tracer::ArgUint(stats_.epochs)}});
+    }
+  }
+
   window_.AdvanceEpoch();
 
   last_drift_ = DetectDrift(base_profile_, window_.WindowMessageCounts(), options_.drift);
   if (last_drift_.reprofile_recommended) {
     ++stats_.drift_flags;
+    if (obs_ != nullptr) {
+      obs_->metrics().GetCounter("online.drift_flags")->Add(1);
+    }
   }
 
   // An interrupted migration owns the loop until it completes or is
@@ -253,6 +351,19 @@ Status OnlineRepartitioner::EndEpoch() {
   // evaluation. (Quarantined epochs returned above — recovery waits for a
   // healthy wire rather than re-copying state into a fault episode.)
   if (pending_) {
+    if (migration_transport_ == nullptr) {
+      // A journal recovered from disk, but this run has no hardened wire
+      // to resume over: repair residency and give the migration up —
+      // stragglers rent whatever placement recovery left them with.
+      Result<RecoveryReport> recovered =
+          LiveMigrator::Recover(*system_, pending_->journal);
+      if (recovered.ok()) {
+        stats_.migration_rollbacks += recovered->instances_rolled_back;
+        stats_.migration_wasted_bytes += recovered->wasted_bytes;
+      }
+      AbandonPendingMigration();
+      return Status::Ok();
+    }
     return ResumePendingMigration();
   }
 
@@ -288,6 +399,17 @@ Status OnlineRepartitioner::EndEpoch() {
   last_decision_ = *decision;
   ++stats_.evaluations;
   epochs_since_evaluation_ = 0;
+  if (obs_ != nullptr) {
+    obs_->metrics().GetCounter("online.evaluations")->Add(1);
+    obs_->tracer().Instant(
+        "recut-decision", "online", kTrackOnline,
+        {{"epoch", Tracer::ArgUint(stats_.epochs)},
+         {"adopt", decision->adopt ? "true" : "false"},
+         {"migrate", decision->migrate ? "true" : "false"},
+         {"gain_s", Tracer::ArgDouble(decision->gain_seconds())},
+         {"move_instances", Tracer::ArgUint(decision->instances_to_move)},
+         {"reason", Tracer::ArgString(decision->reason)}});
+  }
   COIGN_LOG(kDebug,
             "epoch %llu: %s | current %.4fs proposed %.4fs move %.4fs (%llu instances)",
             static_cast<unsigned long long>(stats_.epochs), decision->reason.c_str(),
@@ -322,9 +444,12 @@ Status OnlineRepartitioner::EndEpoch() {
       if (!moved->complete) {
         pending_ = std::move(pending);  // Resume at the next healthy epoch.
       }
+      PersistPendingJournal();
     } else {
-      LiveMigrator migrator(options_.policy.state_bytes_per_instance,
-                            [this](InstanceId id) { return ClassificationOf(id); });
+      // Same migrator construction as the journaled path so both price
+      // state from profiled allocations; the model-priced overload simply
+      // never consults the journal knobs.
+      LiveMigrator migrator = MakeJournaledMigrator();
       Result<MigrationReport> moved =
           migrator.Migrate(*system_, decision->proposed, network_);
       if (!moved.ok()) {
@@ -341,9 +466,16 @@ Status OnlineRepartitioner::EndEpoch() {
   } else {
     ++stats_.lazy_adoptions;  // Live instances rent the old cut until death.
     runtime_->AdoptDistribution(decision->proposed);
+    if (obs_ != nullptr) {
+      obs_->metrics().GetCounter("online.lazy_adoptions")->Add(1);
+    }
   }
   ++stats_.repartitions;
   cooldown_remaining_ = options_.cooldown_epochs;
+  if (obs_ != nullptr) {
+    obs_->metrics().GetCounter("online.repartitions")->Add(1);
+  }
+  epoch_span.AddArg("outcome", "repartitioned");
   return Status::Ok();
 }
 

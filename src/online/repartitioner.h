@@ -53,6 +53,11 @@ struct OnlineOptions {
   // Epoch boundaries an interrupted/incomplete migration may resume at
   // before recovery abandons it (stragglers rent the old placement).
   uint64_t max_migration_resumes = 8;
+  // Non-empty: the pending migration journal is snapshotted to this file
+  // after every journaled step, an existing file is recovered from at
+  // construction (torn tails tolerated), and the file is removed when the
+  // migration completes or is abandoned.
+  std::string journal_path;
 };
 
 struct OnlineStats {
@@ -129,6 +134,11 @@ class OnlineRepartitioner : public ObjectSystem::Interceptor {
     crash_gate_ = std::move(gate);
   }
 
+  // Epoch spans, recut-decision/quarantine instants, migration counters,
+  // and flight-recorder dumps on quarantine entry and migration
+  // abandonment. `obs` is not owned; null disables instrumentation.
+  void SetObservability(Observability* obs) { obs_ = obs; }
+
   bool has_pending_migration() const { return pending_.has_value(); }
   // The pending migration's journal; null when none is in flight.
   const MigrationJournal* pending_journal() const {
@@ -165,6 +175,10 @@ class OnlineRepartitioner : public ObjectSystem::Interceptor {
   void AbsorbMigrationReport(const MigrationReport& report);
   // Recovery + re-attempt of the pending migration at an epoch boundary.
   Status ResumePendingMigration();
+  // Snapshots (or removes, when none is pending) the journal file.
+  void PersistPendingJournal() const;
+  // Gives up on the pending migration: stragglers rent the old placement.
+  void AbandonPendingMigration();
 
   ObjectSystem* system_;
   CoignRuntime* runtime_;
@@ -200,6 +214,8 @@ class OnlineRepartitioner : public ObjectSystem::Interceptor {
   // Screens epochs for fault episodes (visible faults and silent
   // latency/payload slowdown) against healthy-epoch baselines.
   FaultEpisodeDetector episode_detector_;
+  Observability* obs_ = nullptr;  // Not owned.
+  bool in_quarantine_ = false;    // For quarantine-exit instants.
 };
 
 }  // namespace coign

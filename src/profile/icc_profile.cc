@@ -10,10 +10,19 @@ void IccProfile::RecordClassification(const ClassificationInfo& info) {
     classifications_.emplace(info.id, info);
     return;
   }
-  // Merging metadata for a known classification: instance counts add, API
-  // usage unions (it is a property of the class, so normally identical).
+  // Merging metadata for a known classification: instance counts and
+  // allocation bytes add, API usage unions (a property of the class, so
+  // normally identical).
   it->second.api_usage |= info.api_usage;
   it->second.instance_count += info.instance_count;
+  it->second.allocation_bytes += info.allocation_bytes;
+}
+
+uint64_t ProfiledStateBytes(const ClassificationInfo* info, uint64_t fallback) {
+  if (info == nullptr || info->allocation_bytes == 0 || info->instance_count == 0) {
+    return fallback;
+  }
+  return std::max<uint64_t>(1, info->allocation_bytes / info->instance_count);
 }
 
 void IccProfile::RecordInstantiation(ClassificationId id) {
@@ -44,6 +53,13 @@ void IccProfile::InjectCallSummary(const CallKey& key, const ExponentialHistogra
   summary.non_remotable_calls += non_remotable_calls;
   total_calls_ += requests.total_count();
   total_bytes_ += requests.total_bytes() + replies.total_bytes();
+}
+
+void IccProfile::RecordAllocation(ClassificationId id, uint64_t bytes) {
+  auto it = classifications_.find(id);
+  if (it != classifications_.end()) {
+    it->second.allocation_bytes += bytes;
+  }
 }
 
 void IccProfile::RecordCompute(ClassificationId id, double seconds) {

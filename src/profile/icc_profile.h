@@ -29,7 +29,19 @@ struct ClassificationInfo {
   std::string class_name;
   uint32_t api_usage = 0;       // ApiUsage bitmask of the class.
   uint64_t instance_count = 0;  // Instances seen across profiled executions.
+  // State bytes components of this classification allocated across
+  // profiled executions (ChargeAllocation during scenarios). Divided by
+  // instance_count it yields the mean serialized-state estimate migration
+  // pricing uses in place of the flat per-instance constant.
+  uint64_t allocation_bytes = 0;
 };
+
+// Mean per-instance profiled state size of a classification, or `fallback`
+// for classifications never profiled (or never observed allocating).
+// Shared by the repartition policy (pricing a prospective migration) and
+// the live migrator (billing the actual copies) so both sides of the
+// rent-or-buy rule price the same bytes.
+uint64_t ProfiledStateBytes(const ClassificationInfo* info, uint64_t fallback);
 
 // Histogram pair for one (src, dst, iid, method) key.
 struct CallSummary {
@@ -72,6 +84,10 @@ class IccProfile {
   // Local compute observed during profiling, attributed to the callee
   // classification; feeds the execution-time prediction model.
   void RecordCompute(ClassificationId id, double seconds);
+  // Component state allocation observed during profiling, attributed to
+  // the allocating classification; feeds migration state-size estimates.
+  // No-op for unknown classifications (mirrors RecordInstantiation).
+  void RecordAllocation(ClassificationId id, uint64_t bytes);
   // Injects pre-summarized histograms for a key (profile log loading).
   void InjectCallSummary(const CallKey& key, const ExponentialHistogram& requests,
                          const ExponentialHistogram& replies, uint64_t non_remotable_calls);

@@ -49,6 +49,10 @@ std::string SerializeProfile(const IccProfile& profile) {
                      info->clsid.ToString().c_str(), info->api_usage,
                      static_cast<unsigned long long>(info->instance_count),
                      info->class_name.c_str());
+    if (info->allocation_bytes > 0) {
+      out += StrFormat("alloc %u %llu\n", id,
+                       static_cast<unsigned long long>(info->allocation_bytes));
+    }
     const double compute = profile.ComputeSecondsOf(id);
     if (compute > 0.0) {
       out += StrFormat("compute %u %.9e\n", id, compute);
@@ -94,6 +98,11 @@ Result<IccProfile> ParseProfile(const std::string& text) {
       }
       info.clsid = *clsid;
       profile.RecordClassification(info);
+    } else if (keyword == "alloc") {
+      ClassificationId id = kNoClassification;
+      unsigned long long bytes = 0;
+      in >> id >> bytes;
+      profile.RecordAllocation(id, bytes);
     } else if (keyword == "compute") {
       ClassificationId id = kNoClassification;
       double seconds = 0.0;

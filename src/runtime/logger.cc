@@ -31,6 +31,10 @@ void ProfilingLogger::OnCompute(ClassificationId classification, double seconds)
   profile_.RecordCompute(classification, seconds);
 }
 
+void ProfilingLogger::OnAllocate(ClassificationId classification, uint64_t bytes) {
+  profile_.RecordAllocation(classification, bytes);
+}
+
 void EventLogger::OnEvent(const ProfileEvent& event) {
   if (max_events_ != 0 && events_.size() >= max_events_) {
     ++dropped_;

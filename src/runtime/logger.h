@@ -34,6 +34,10 @@ class InformationLogger {
     (void)classification;
     (void)seconds;
   }
+  virtual void OnAllocate(ClassificationId classification, uint64_t bytes) {
+    (void)classification;
+    (void)bytes;
+  }
 };
 
 class ProfilingLogger : public InformationLogger {
@@ -41,6 +45,7 @@ class ProfilingLogger : public InformationLogger {
   std::string name() const override { return "profiling-logger"; }
   void OnEvent(const ProfileEvent& event) override;
   void OnCompute(ClassificationId classification, double seconds) override;
+  void OnAllocate(ClassificationId classification, uint64_t bytes) override;
 
   // Registers classification metadata (called by the RTE when a new
   // classification appears).

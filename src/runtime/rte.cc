@@ -246,4 +246,16 @@ void CoignRuntime::OnCompute(InstanceId instance, double seconds) {
   }
 }
 
+void CoignRuntime::OnAllocate(InstanceId instance, uint64_t bytes) {
+  if (profiling_logger_ == nullptr) {
+    return;
+  }
+  const Result<ClassificationId> classification = classifier_->ClassificationOf(instance);
+  profiling_logger_->OnAllocate(classification.ok() ? *classification : kNoClassification,
+                                bytes);
+  for (InformationLogger* logger : extra_loggers_) {
+    logger->OnAllocate(classification.ok() ? *classification : kNoClassification, bytes);
+  }
+}
+
 }  // namespace coign

@@ -95,6 +95,7 @@ class CoignRuntime : public ObjectSystem::Interceptor {
   void OnDestroyed(InstanceId id, const ClassId& clsid) override;
   void OnCallEnd(const ObjectSystem::CallEvent& event, const Status& status) override;
   void OnCompute(InstanceId instance, double seconds) override;
+  void OnAllocate(InstanceId instance, uint64_t bytes) override;
 
  private:
   void Attach();

@@ -55,6 +55,12 @@ std::vector<FleetClient> GenerateFleet(const FleetPopulationOptions& options,
     client.archetype = chosen->base.name;
     client.network = chosen->base.Scaled(latency_scale, bandwidth_scale);
     client.network.name = chosen->base.name;
+    if (options.lossy_fraction > 0.0 &&
+        client_rng.UniformDouble() < options.lossy_fraction) {
+      client.fault_rates.drop =
+          std::exp(client_rng.UniformDouble(std::log(options.min_drop_rate),
+                                            std::log(options.max_drop_rate)));
+    }
     fleet.push_back(std::move(client));
   }
   return fleet;

@@ -18,16 +18,19 @@
 #include <string>
 #include <vector>
 
+#include "src/fault/fault_schedule.h"
 #include "src/net/network_model.h"
 #include "src/support/rng.h"
 
 namespace coign {
 
-// One simulated client: an identity plus its measured link parameters.
+// One simulated client: an identity plus its measured link parameters and
+// measured steady-state fault rates (a clean link leaves them zero).
 struct FleetClient {
   uint32_t id = 0;
   std::string archetype;  // Preset the link was drawn from, for reports.
   NetworkModel network;
+  FaultRates fault_rates;
 };
 
 // An archetype is a link class with a population share and a spread: a
@@ -43,6 +46,14 @@ struct FleetPopulationOptions {
   int client_count = 2000;
   // Empty = DefaultFleetArchetypes().
   std::vector<FleetArchetype> archetypes;
+  // Fraction of clients whose link drops packets, with the steady drop
+  // rate drawn log-uniformly from [min_drop_rate, max_drop_rate]. Loss is
+  // drawn after the link parameters on each client's forked stream, so
+  // turning it on never changes anyone's latency or bandwidth, and the
+  // default 0 reproduces pre-loss fleets byte-for-byte.
+  double lossy_fraction = 0.0;
+  double min_drop_rate = 1e-4;
+  double max_drop_rate = 3e-2;
 };
 
 // The default mix: a consumer-heavy population across the five presets,

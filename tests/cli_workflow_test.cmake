@@ -43,6 +43,37 @@ if(chaos_first STREQUAL last_output)
   message(FATAL_ERROR "chaos ignores --seed: seeds 42 and 7 match")
 endif()
 
+# Observability artifacts are part of the determinism contract: two
+# same-seed runs must write byte-identical --trace-out / --metrics-out
+# files (the trace carries simulated-clock timestamps, never wall time).
+function(check_identical label a b)
+  execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                  ${WORK_DIR}/${a} ${WORK_DIR}/${b} RESULT_VARIABLE diff)
+  if(NOT diff EQUAL 0)
+    message(FATAL_ERROR "${label}: ${a} and ${b} differ across same-seed runs")
+  endif()
+endfunction()
+run(${COIGN_BIN} online -i smoke --scenario o_oldwp7 --scenario o_mixed9
+    --cycles 1 --reps 2 --trace-out online1.trace.json --metrics-out online1.metrics.txt)
+run(${COIGN_BIN} online -i smoke --scenario o_oldwp7 --scenario o_mixed9
+    --cycles 1 --reps 2 --trace-out online2.trace.json --metrics-out online2.metrics.txt)
+check_identical("online trace" online1.trace.json online2.trace.json)
+check_identical("online metrics" online1.metrics.txt online2.metrics.txt)
+run(${COIGN_BIN} chaos ${chaos_args} --seed 42
+    --trace-out chaos1.trace.json --metrics-out chaos1.metrics.txt)
+run(${COIGN_BIN} chaos ${chaos_args} --seed 42
+    --trace-out chaos2.trace.json --metrics-out chaos2.metrics.txt)
+check_identical("chaos trace" chaos1.trace.json chaos2.trace.json)
+check_identical("chaos metrics" chaos1.metrics.txt chaos2.metrics.txt)
+file(READ ${WORK_DIR}/chaos1.metrics.txt chaos_metrics)
+if(NOT chaos_metrics MATCHES "counter transport.calls [1-9]")
+  message(FATAL_ERROR "chaos metrics missing transport traffic:\n${chaos_metrics}")
+endif()
+file(READ ${WORK_DIR}/chaos1.trace.json chaos_trace)
+if(NOT chaos_trace MATCHES "\"traceEvents\"")
+  message(FATAL_ERROR "chaos trace is not trace_event JSON:\n${chaos_trace}")
+endif()
+
 # Fleet planning is threaded but must stay byte-deterministic: same seed,
 # same bytes — including across different worker counts, since results are
 # reduced in cohort grid order on the coordinator, never in claim order.
@@ -69,4 +100,30 @@ endif()
 run(${COIGN_BIN} fleet -i smoke --clients 200 --seed 7 --threads 4)
 if(fleet_first STREQUAL last_output)
   message(FATAL_ERROR "fleet ignores --seed: seeds 42 and 7 match")
+endif()
+
+# Fleet observability: byte-identical across same-seed runs AND worker
+# counts (spans are emitted coordinator-side in grid order).
+run(${COIGN_BIN} fleet ${fleet_args} --threads 4
+    --trace-out fleet1.trace.json --metrics-out fleet1.metrics.txt)
+run(${COIGN_BIN} fleet ${fleet_args} --threads 1
+    --trace-out fleet2.trace.json --metrics-out fleet2.metrics.txt)
+check_identical("fleet trace" fleet1.trace.json fleet2.trace.json)
+file(READ ${WORK_DIR}/fleet1.metrics.txt fleet_metrics_4)
+file(READ ${WORK_DIR}/fleet2.metrics.txt fleet_metrics_1)
+string(REPLACE "gauge fleet.pool.workers 1" "gauge fleet.pool.workers 4"
+       fleet_metrics_1 "${fleet_metrics_1}")
+if(NOT fleet_metrics_4 STREQUAL fleet_metrics_1)
+  message(FATAL_ERROR "fleet metrics depend on the worker count:\n"
+          "--- 4 threads ---\n${fleet_metrics_4}\n--- 1 thread ---\n${fleet_metrics_1}")
+endif()
+
+# Lossy clients must cohort apart from clean ones: the loss axis shows up
+# in cohort names and the default 25% lossy fraction guarantees some.
+if(NOT fleet_first MATCHES "/D-")
+  message(FATAL_ERROR "fleet output has no lossy cohorts:\n${fleet_first}")
+endif()
+run(${COIGN_BIN} fleet ${fleet_args} --threads 4 --lossy 0)
+if(last_output MATCHES "/D-")
+  message(FATAL_ERROR "fleet --lossy 0 still produced lossy cohorts:\n${last_output}")
 endif()

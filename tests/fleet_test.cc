@@ -95,6 +95,83 @@ TEST(CohortTest, BuildCohortsPartitionsTheFleetInGridOrder) {
   EXPECT_EQ(seen.size(), fleet.size());
 }
 
+TEST(CohortTest, LossyClientsBucketApartFromCleanOnes) {
+  const CohortingOptions options;
+  FleetClient clean;
+  clean.network = NetworkModel::TenBaseT();
+  FleetClient lossy = clean;
+  lossy.fault_rates.drop = 0.01;
+
+  const CohortKey clean_key = BucketOf(clean, options);
+  const CohortKey lossy_key = BucketOf(lossy, options);
+  EXPECT_EQ(clean_key.loss_bucket, 0);
+  EXPECT_LT(lossy_key.loss_bucket, 0);
+  // Same link, different keys: a lossy client never shares a plan with a
+  // clean one.
+  EXPECT_EQ(clean_key.latency_bucket, lossy_key.latency_bucket);
+  EXPECT_EQ(clean_key.bandwidth_bucket, lossy_key.bandwidth_bucket);
+  EXPECT_TRUE(clean_key < lossy_key || lossy_key < clean_key);
+  EXPECT_NE(clean_key.ToString(), lossy_key.ToString());
+  // The loss axis only shows for lossy buckets; clean names are unchanged.
+  EXPECT_EQ(clean_key.ToString().find("/D"), std::string::npos);
+  EXPECT_NE(lossy_key.ToString().find("/D"), std::string::npos);
+
+  // Below the clean threshold the loss axis stays off entirely.
+  FleetClient barely = clean;
+  barely.fault_rates.drop = options.clean_drop_threshold / 2.0;
+  EXPECT_EQ(BucketOf(barely, options).loss_bucket, 0);
+
+  // The bucket's representative drop rate lands back in the same bucket.
+  FleetClient center = clean;
+  center.fault_rates.drop = BucketDropCenter(lossy_key.loss_bucket, options);
+  EXPECT_EQ(BucketOf(center, options).loss_bucket, lossy_key.loss_bucket);
+}
+
+TEST(CohortTest, InflateForLossChargesExpectedRetransmissions) {
+  const NetworkModel base = NetworkModel::TenBaseT();
+  const NetworkModel inflated = InflateForLoss(base, 0.5);
+  // p = 0.5 doubles the expected attempts per delivery: latency doubles,
+  // effective bandwidth halves.
+  EXPECT_DOUBLE_EQ(inflated.per_message_seconds, base.per_message_seconds * 2.0);
+  EXPECT_DOUBLE_EQ(inflated.bytes_per_second, base.bytes_per_second / 2.0);
+  // Zero loss is the identity.
+  const NetworkModel untouched = InflateForLoss(base, 0.0);
+  EXPECT_DOUBLE_EQ(untouched.per_message_seconds, base.per_message_seconds);
+  EXPECT_DOUBLE_EQ(untouched.bytes_per_second, base.bytes_per_second);
+}
+
+TEST(CohortTest, GenerateFleetLossyFractionDrawsLossyClients) {
+  FleetPopulationOptions options;
+  options.client_count = 400;
+  // Default population is loss-free (back compatible).
+  for (const FleetClient& client : GenerateFleet(options, 42)) {
+    EXPECT_EQ(client.fault_rates.drop, 0.0);
+  }
+  options.lossy_fraction = 0.25;
+  const std::vector<FleetClient> fleet = GenerateFleet(options, 42);
+  size_t lossy = 0;
+  for (const FleetClient& client : fleet) {
+    if (client.fault_rates.drop > 0.0) {
+      ++lossy;
+      EXPECT_GE(client.fault_rates.drop, options.min_drop_rate);
+      EXPECT_LE(client.fault_rates.drop, options.max_drop_rate);
+    }
+  }
+  EXPECT_GT(lossy, fleet.size() / 8);
+  EXPECT_LT(lossy, fleet.size() / 2);
+  // Loss draws ride forked per-client streams: the networks of a lossy
+  // population match the loss-free one byte for byte.
+  const std::vector<FleetClient> clean = GenerateFleet(
+      [&] { FleetPopulationOptions o = options; o.lossy_fraction = 0.0; return o; }(),
+      42);
+  ASSERT_EQ(clean.size(), fleet.size());
+  for (size_t i = 0; i < fleet.size(); ++i) {
+    EXPECT_EQ(clean[i].network.per_message_seconds,
+              fleet[i].network.per_message_seconds);
+    EXPECT_EQ(clean[i].network.bytes_per_second, fleet[i].network.bytes_per_second);
+  }
+}
+
 TEST(FingerprintTest, InsensitiveToRecordingOrderSensitiveToContent) {
   const uint64_t base = ProfileFingerprint(TestProfile());
   EXPECT_EQ(base, ProfileFingerprint(TestProfile()));
@@ -228,8 +305,10 @@ TEST(PlanCacheTest, LoadIntoSmallerCacheKeepsTheMostRecentEntries) {
 TEST(PlanCacheTest, LoadRejectsMalformedSnapshots) {
   PlanCache cache(4);
   EXPECT_FALSE(cache.Load("not a cache").ok());
-  EXPECT_FALSE(cache.Load("plan-cache v2 0\n").ok());
+  EXPECT_FALSE(cache.Load("plan-cache v3 0\n").ok());
   EXPECT_FALSE(cache.Load("plan-cache v1 1\nentry oops\n").ok());
+  // v2 (the loss-bucket format) is the current version; empty is fine.
+  EXPECT_TRUE(cache.Load("plan-cache v2 0\n").ok());
 }
 
 TEST(FleetServiceTest, CacheFileRoundTripServesWarmRestart) {

@@ -1,0 +1,198 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/obs/obs.h"
+
+namespace coign {
+namespace {
+
+// --- Tracer -----------------------------------------------------------------
+
+TEST(TracerTest, LogicalClockTicksOneMicrosecondPerCall) {
+  Tracer tracer;
+  EXPECT_DOUBLE_EQ(tracer.Now(), 0.0);
+  EXPECT_DOUBLE_EQ(tracer.Now(), 1e-6);
+  EXPECT_DOUBLE_EQ(tracer.Now(), 2e-6);
+}
+
+TEST(TracerTest, AttachedClockOverridesLogicalTicks) {
+  Tracer tracer;
+  double now = 3.5;
+  tracer.SetClock([&now] { return now; });
+  EXPECT_DOUBLE_EQ(tracer.Now(), 3.5);
+  now = 7.25;
+  EXPECT_DOUBLE_EQ(tracer.Now(), 7.25);
+  tracer.SetClock(nullptr);
+  // Back on the logical clock; ticks resume from where they left off.
+  const double first = tracer.Now();
+  EXPECT_DOUBLE_EQ(tracer.Now(), first + 1e-6);
+}
+
+TEST(TracerTest, SameEventSequenceExportsIdenticalBytes) {
+  const auto record = [](Tracer& tracer) {
+    double clock = 0.0;
+    tracer.SetClock([&clock] { return clock; });
+    tracer.Instant("onset", "fault", kTrackFault,
+                   {{"kind", Tracer::ArgString("drop-burst")}});
+    clock = 0.001;
+    tracer.Counter("queue", kTrackTransport, 17.0);
+    clock = 0.0025;
+    tracer.Complete("epoch", "online", kTrackOnline, 0.001, clock,
+                    {{"epoch", Tracer::ArgUint(3)},
+                     {"gain", Tracer::ArgDouble(0.125)},
+                     {"delta", Tracer::ArgInt(-2)}});
+  };
+  Tracer a;
+  Tracer b;
+  record(a);
+  record(b);
+  const std::string exported = a.ExportChromeTrace();
+  EXPECT_EQ(exported, b.ExportChromeTrace());
+  // The export really is Chrome trace_event: phases and microsecond ts.
+  EXPECT_NE(exported.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(exported.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(exported.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(exported.find("\"ts\":1000.000"), std::string::npos);
+  EXPECT_NE(exported.find("\"dur\":1500.000"), std::string::npos);
+}
+
+TEST(TracerTest, RingEvictsOldestFirstAndCountsDrops) {
+  Tracer tracer(/*capacity=*/3);
+  for (int i = 0; i < 5; ++i) {
+    tracer.Instant("e" + std::to_string(i), "test", 1);
+  }
+  EXPECT_EQ(tracer.recorded(), 5u);
+  EXPECT_EQ(tracer.dropped(), 2u);
+  EXPECT_EQ(tracer.size(), 3u);
+  const std::vector<TraceEvent> kept = tracer.Snapshot();
+  ASSERT_EQ(kept.size(), 3u);
+  // Oldest first, and the two oldest events (e0, e1) are the ones gone.
+  EXPECT_EQ(kept[0].name, "e2");
+  EXPECT_EQ(kept[1].name, "e3");
+  EXPECT_EQ(kept[2].name, "e4");
+}
+
+TEST(TracerTest, SpanEmitsOneCompleteEventWithArgs) {
+  Tracer tracer;
+  double clock = 1.0;
+  tracer.SetClock([&clock] { return clock; });
+  {
+    TraceSpan span(&tracer, "migrate", "migration", kTrackMigration);
+    span.AddArg("instance", static_cast<uint64_t>(42));
+    clock = 1.5;
+  }  // Destructor ends the span at clock = 1.5.
+  const std::vector<TraceEvent> events = tracer.Snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].phase, TraceEvent::Phase::kComplete);
+  EXPECT_EQ(events[0].name, "migrate");
+  EXPECT_DOUBLE_EQ(events[0].start_seconds, 1.0);
+  EXPECT_DOUBLE_EQ(events[0].duration_seconds, 0.5);
+  ASSERT_EQ(events[0].args.size(), 1u);
+  EXPECT_EQ(events[0].args[0].first, "instance");
+  EXPECT_EQ(events[0].args[0].second, "42");
+}
+
+TEST(TracerTest, NullSpanIsANoOp) {
+  TraceSpan span(nullptr, "x", "y", 1);
+  span.AddArg("k", 1.0);
+  span.End();  // Must not crash; nothing to assert beyond surviving.
+}
+
+// --- Metrics ----------------------------------------------------------------
+
+TEST(MetricsTest, HistogramBucketEdgesAreInclusiveUpperBounds) {
+  MetricHistogram histogram({1.0, 2.0, 5.0});
+  ASSERT_EQ(histogram.bucket_count(), 4u);  // 3 bounds + overflow.
+  // "le" semantics: a sample exactly on a bound lands in that bound's
+  // bucket; the first sample past it lands in the next.
+  EXPECT_EQ(histogram.BucketFor(0.0), 0u);
+  EXPECT_EQ(histogram.BucketFor(1.0), 0u);
+  EXPECT_EQ(histogram.BucketFor(1.0000001), 1u);
+  EXPECT_EQ(histogram.BucketFor(2.0), 1u);
+  EXPECT_EQ(histogram.BucketFor(5.0), 2u);
+  EXPECT_EQ(histogram.BucketFor(5.0000001), 3u);
+
+  histogram.Observe(1.0);
+  histogram.Observe(2.0);
+  histogram.Observe(100.0);
+  EXPECT_EQ(histogram.count(), 3u);
+  EXPECT_DOUBLE_EQ(histogram.sum(), 103.0);
+  EXPECT_EQ(histogram.CountAt(0), 1u);
+  EXPECT_EQ(histogram.CountAt(1), 1u);
+  EXPECT_EQ(histogram.CountAt(2), 0u);
+  EXPECT_EQ(histogram.CountAt(3), 1u);
+}
+
+TEST(MetricsTest, RegistryReturnsStablePointers) {
+  MetricsRegistry registry;
+  MetricCounter* counter = registry.GetCounter("a.calls");
+  counter->Add(2);
+  EXPECT_EQ(registry.GetCounter("a.calls"), counter);
+  EXPECT_EQ(counter->value(), 2u);
+  MetricHistogram* histogram = registry.GetHistogram("a.rtt", {0.1, 1.0});
+  // Second call with different bounds still returns the original.
+  EXPECT_EQ(registry.GetHistogram("a.rtt", {99.0}), histogram);
+  EXPECT_EQ(histogram->bucket_count(), 3u);
+}
+
+TEST(MetricsTest, SnapshotIsByteStableAcrossIdenticalUpdateSequences) {
+  const auto update = [](MetricsRegistry& registry) {
+    registry.GetCounter("z.last")->Add(7);
+    registry.GetCounter("a.first")->Add(1);
+    registry.GetGauge("m.level")->Set(0.25);
+    MetricHistogram* h = registry.GetHistogram("h.lat", {0.001, 0.01});
+    h->Observe(0.0005);
+    h->Observe(0.5);
+  };
+  MetricsRegistry a;
+  MetricsRegistry b;
+  update(a);
+  update(b);
+  const std::string text = a.SnapshotText();
+  EXPECT_EQ(text, b.SnapshotText());
+  EXPECT_EQ(a.SnapshotJson(), b.SnapshotJson());
+  // Names come out sorted regardless of creation order.
+  EXPECT_LT(text.find("a.first"), text.find("z.last"));
+  EXPECT_NE(text.find("# coign-metrics v1"), std::string::npos);
+}
+
+// --- Observability facade ---------------------------------------------------
+
+TEST(ObservabilityTest, DumpWritesRingSnapshotsUpToTheLimit) {
+  Observability obs;
+  const std::string prefix = ::testing::TempDir() + "/coign_obs_dump_test";
+  obs.SetDumpPrefix(prefix);
+  obs.SetDumpLimit(2);
+  obs.tracer().Instant("before-dump", "test", 1);
+  obs.Dump("quarantine");
+  obs.Dump("quarantine");
+  obs.Dump("quarantine");  // Past the limit: counted, not written.
+  EXPECT_EQ(obs.dumps_written(), 2);
+  EXPECT_EQ(obs.metrics().GetCounter("obs.dumps")->value(), 3u);
+  for (int i = 0; i < 2; ++i) {
+    const std::string path =
+        prefix + "-" + std::to_string(i) + "-quarantine.json";
+    std::ifstream in(path);
+    EXPECT_TRUE(in.good()) << path;
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    EXPECT_NE(buffer.str().find("before-dump"), std::string::npos);
+    in.close();
+    std::remove(path.c_str());
+  }
+}
+
+TEST(ObservabilityTest, DumpWithoutPrefixOnlyCounts) {
+  Observability obs;
+  obs.Dump("migration-abandoned");
+  EXPECT_EQ(obs.dumps_written(), 0);
+  EXPECT_EQ(obs.metrics().GetCounter("obs.dumps")->value(), 1u);
+}
+
+}  // namespace
+}  // namespace coign

@@ -46,6 +46,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -59,6 +60,7 @@
 #include "src/fleet/fingerprint.h"
 #include "src/fleet/service.h"
 #include "src/net/network_profiler.h"
+#include "src/obs/obs.h"
 #include "src/sim/fleet_population.h"
 #include "src/online/measure_online.h"
 #include "src/profile/log_file.h"
@@ -78,11 +80,14 @@ int Usage() {
                "  coign measure -i <base> --scenario <id> [--network <name>]\n"
                "  coign online -i <base> --scenario <id> [--scenario <id> ...]\n"
                "              [--network <name>] [--cycles <n>] [--reps <n>]\n"
+               "              [--trace-out <file>] [--metrics-out <file>]\n"
                "  coign chaos -i <base> --scenario <id> [--scenario <id> ...]\n"
                "             [--network <name>] [--cycles <n>] [--reps <n>]\n"
                "             [--seed <n>] [--drop <p>] [--storm]\n"
+               "             [--trace-out <file>] [--metrics-out <file>]\n"
                "  coign fleet -i <base> [--clients <n>] [--threads <n>] [--seed <n>]\n"
-               "             [--cache-file <path>]\n");
+               "             [--cache-file <path>] [--lossy <fraction>]\n"
+               "             [--trace-out <file>] [--metrics-out <file>]\n");
   return 2;
 }
 
@@ -142,6 +147,13 @@ struct Flags {
   // fleet --cache-file: load the plan cache from this path when present,
   // save it back after planning (warm restarts).
   std::string cache_file;
+  // fleet --lossy: fraction of generated clients with a lossy link (they
+  // cohort separately from clean clients and get loss-inflated plans).
+  double lossy_fraction = 0.25;
+  // --trace-out / --metrics-out: write the run's Chrome trace_event JSON
+  // and metrics snapshot. Deterministic: same seed, byte-identical files.
+  std::string trace_out;
+  std::string metrics_out;
 };
 
 Result<Flags> ParseFlags(int argc, char** argv, int first) {
@@ -222,11 +234,70 @@ Result<Flags> ParseFlags(int argc, char** argv, int first) {
         return value.status();
       }
       flags.cache_file = *value;
+    } else if (arg == "--lossy") {
+      Result<std::string> value = next();
+      if (!value.ok()) {
+        return value.status();
+      }
+      const double parsed = std::atof(value->c_str());
+      if (parsed < 0.0 || parsed > 1.0) {
+        return InvalidArgumentError(arg + " wants a fraction in [0, 1], got " + *value);
+      }
+      flags.lossy_fraction = parsed;
+    } else if (arg == "--trace-out") {
+      Result<std::string> value = next();
+      if (!value.ok()) {
+        return value.status();
+      }
+      flags.trace_out = *value;
+    } else if (arg == "--metrics-out") {
+      Result<std::string> value = next();
+      if (!value.ok()) {
+        return value.status();
+      }
+      flags.metrics_out = *value;
     } else {
       return InvalidArgumentError("unknown flag: " + arg);
     }
   }
   return flags;
+}
+
+// Builds the run's Observability when either output flag was given; null
+// (and therefore zero instrumentation cost) otherwise. Flight-recorder
+// dumps land next to the trace file.
+std::unique_ptr<Observability> MakeObservability(const Flags& flags) {
+  if (flags.trace_out.empty() && flags.metrics_out.empty()) {
+    return nullptr;
+  }
+  auto obs = std::make_unique<Observability>();
+  if (!flags.trace_out.empty()) {
+    obs->SetDumpPrefix(flags.trace_out + ".dump");
+  }
+  return obs;
+}
+
+// Writes the --trace-out / --metrics-out artifacts for a finished run.
+int DumpObservability(Observability& obs, const Flags& flags) {
+  if (!flags.trace_out.empty()) {
+    const Status wrote = obs.WriteTrace(flags.trace_out);
+    if (!wrote.ok()) {
+      std::fprintf(stderr, "%s\n", wrote.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %s (%llu event(s), %llu dropped)\n", flags.trace_out.c_str(),
+                static_cast<unsigned long long>(obs.tracer().recorded()),
+                static_cast<unsigned long long>(obs.tracer().dropped()));
+  }
+  if (!flags.metrics_out.empty()) {
+    const Status wrote = obs.WriteMetrics(flags.metrics_out);
+    if (!wrote.ok()) {
+      std::fprintf(stderr, "%s\n", wrote.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", flags.metrics_out.c_str());
+  }
+  return 0;
 }
 
 int CmdList() {
@@ -498,7 +569,11 @@ int CmdOnline(const Flags& flags) {
     std::fprintf(stderr, "static run: %s\n", fixed.status().ToString().c_str());
     return 1;
   }
+  // Instrumentation rides the adaptive run only; the static baseline stays
+  // byte-identical to an untraced invocation.
+  std::unique_ptr<Observability> obs = MakeObservability(flags);
   options.adaptive = true;
+  options.obs = obs.get();
   Result<OnlineRunResult> adaptive =
       MeasureOnlineRun(**app, workload, *config, *profile, options);
   if (!adaptive.ok()) {
@@ -520,6 +595,9 @@ int CmdOnline(const Flags& flags) {
           : 0.0;
   std::printf("online adaptation saves %.1f%% vs the shipped static distribution\n",
               savings);
+  if (obs != nullptr) {
+    return DumpObservability(*obs, flags);
+  }
   return 0;
 }
 
@@ -624,12 +702,14 @@ int CmdChaos(const Flags& flags) {
 
   // Each faulted run replays the identical schedule with a fresh injector
   // so the three runs (and any rerun of this command) see the same network.
-  const auto faulted_run = [&](bool adaptive,
-                               bool quarantine) -> Result<OnlineRunResult> {
+  const auto faulted_run = [&](bool adaptive, bool quarantine,
+                               Observability* obs) -> Result<OnlineRunResult> {
     FaultInjector injector(schedule, background, flags.seed + 1);
+    injector.SetObservability(obs);
     OnlineMeasurementOptions run_options = options;
     run_options.adaptive = adaptive;
     run_options.faults = &injector;
+    run_options.obs = obs;
     run_options.online.quarantine.enabled = quarantine;
     // Storm mode forces coordinator crashes mid-migration: a deterministic
     // countdown gate (seeded, re-arming with a doubling interval, three
@@ -664,21 +744,26 @@ int CmdChaos(const Flags& flags) {
     return result;
   };
 
-  Result<OnlineRunResult> faulted_static = faulted_run(false, true);
+  // Only the fully hardened run (adaptive + quarantine) is traced: that is
+  // the configuration a deployment would fly, and the one whose quarantine
+  // entries and migration recoveries are worth a flight-recorder dump.
+  std::unique_ptr<Observability> obs = MakeObservability(flags);
+
+  Result<OnlineRunResult> faulted_static = faulted_run(false, true, nullptr);
   if (!faulted_static.ok()) {
     std::fprintf(stderr, "static under faults: %s\n",
                  faulted_static.status().ToString().c_str());
     return 1;
   }
   print_row("static under faults", *faulted_static, false);
-  Result<OnlineRunResult> naive = faulted_run(true, false);
+  Result<OnlineRunResult> naive = faulted_run(true, false, nullptr);
   if (!naive.ok()) {
     std::fprintf(stderr, "adaptive (no quarantine): %s\n",
                  naive.status().ToString().c_str());
     return 1;
   }
   print_row("adaptive (no quarantine)", *naive, true);
-  Result<OnlineRunResult> quarantined = faulted_run(true, true);
+  Result<OnlineRunResult> quarantined = faulted_run(true, true, obs.get());
   if (!quarantined.ok()) {
     std::fprintf(stderr, "adaptive (quarantine): %s\n",
                  quarantined.status().ToString().c_str());
@@ -699,6 +784,9 @@ int CmdChaos(const Flags& flags) {
       static_cast<unsigned long long>(quarantined->online.quarantined_epochs),
       static_cast<unsigned long long>(quarantined->online.interrupted_migrations),
       static_cast<unsigned long long>(quarantined->online.migration_resumes), ratio);
+  if (obs != nullptr) {
+    return DumpObservability(*obs, flags);
+  }
   return 0;
 }
 
@@ -714,16 +802,26 @@ int CmdFleet(const Flags& flags) {
 
   FleetPopulationOptions population;
   population.client_count = flags.clients;
+  population.lossy_fraction = flags.lossy_fraction;
   const std::vector<FleetClient> fleet = GenerateFleet(population, flags.seed);
+  size_t lossy_clients = 0;
+  for (const FleetClient& client : fleet) {
+    if (client.fault_rates.drop > 0.0) {
+      ++lossy_clients;
+    }
+  }
 
+  std::unique_ptr<Observability> obs = MakeObservability(flags);
   FleetServiceOptions options;
   options.worker_threads = flags.threads;
   options.compute_regret = true;
+  options.obs = obs.get();
   FleetPartitionService service(options);
 
-  std::printf("fleet: %d client(s), seed %llu, %d thread(s), profile %016llx\n",
-              flags.clients, static_cast<unsigned long long>(flags.seed),
-              flags.threads,
+  std::printf("fleet: %d client(s) (%zu lossy), seed %llu, %d thread(s), "
+              "profile %016llx\n",
+              flags.clients, lossy_clients,
+              static_cast<unsigned long long>(flags.seed), flags.threads,
               static_cast<unsigned long long>(ProfileFingerprint(*profile)));
 
   // Warm start: a restarted service reloads its persisted plan cache and
@@ -773,6 +871,9 @@ int CmdFleet(const Flags& flags) {
     }
     std::printf("plan cache: saved %zu entr%s to %s\n", service.cache_size(),
                 service.cache_size() == 1 ? "y" : "ies", flags.cache_file.c_str());
+  }
+  if (obs != nullptr) {
+    return DumpObservability(*obs, flags);
   }
   return 0;
 }

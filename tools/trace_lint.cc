@@ -1,0 +1,382 @@
+// trace_lint: validates Chrome trace_event JSON written by --trace-out and
+// the flight-recorder dumps.
+//
+//   trace_lint <file.json> [more files...]
+//
+// Checks, per file: the bytes parse as JSON (a small built-in parser — the
+// repo takes no JSON dependency), the root carries a "traceEvents" array,
+// and every event has the fields a trace viewer needs: a name, a known
+// phase ("X" complete / "i" instant / "C" counter), numeric pid/tid, a
+// non-negative "ts", a non-negative "dur" on complete events, and an "s"
+// scope on instants. Exit 0 with a per-file summary, or 1 on the first
+// malformed file — CI runs this over freshly written traces so a formatting
+// regression in the exporter fails the build, not the viewer.
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+// --- Minimal JSON parser ----------------------------------------------------
+
+struct JsonValue;
+using JsonObject = std::map<std::string, std::shared_ptr<JsonValue>>;
+using JsonArray = std::vector<std::shared_ptr<JsonValue>>;
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  JsonArray array;
+  JsonObject object;
+};
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  std::shared_ptr<JsonValue> Parse(std::string* error) {
+    std::shared_ptr<JsonValue> value = ParseValue();
+    SkipSpace();
+    if (value == nullptr) {
+      *error = error_;
+      return nullptr;
+    }
+    if (pos_ != text_.size()) {
+      *error = Where("trailing bytes after the JSON value");
+      return nullptr;
+    }
+    return value;
+  }
+
+ private:
+  std::string Where(const std::string& message) {
+    size_t line = 1;
+    for (size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') {
+        ++line;
+      }
+    }
+    return message + " (line " + std::to_string(line) + ")";
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  std::shared_ptr<JsonValue> Fail(const std::string& message) {
+    if (error_.empty()) {
+      error_ = Where(message);
+    }
+    return nullptr;
+  }
+
+  std::shared_ptr<JsonValue> ParseValue() {
+    SkipSpace();
+    if (pos_ >= text_.size()) {
+      return Fail("unexpected end of input");
+    }
+    const char c = text_[pos_];
+    if (c == '{') {
+      return ParseObject();
+    }
+    if (c == '[') {
+      return ParseArray();
+    }
+    if (c == '"') {
+      return ParseString();
+    }
+    if (c == '-' || std::isdigit(static_cast<unsigned char>(c))) {
+      return ParseNumber();
+    }
+    return ParseKeyword();
+  }
+
+  std::shared_ptr<JsonValue> ParseObject() {
+    ++pos_;  // '{'
+    auto value = std::make_shared<JsonValue>();
+    value->kind = JsonValue::Kind::kObject;
+    if (Consume('}')) {
+      return value;
+    }
+    while (true) {
+      SkipSpace();
+      std::shared_ptr<JsonValue> key = ParseString();
+      if (key == nullptr) {
+        return Fail("expected object key");
+      }
+      if (!Consume(':')) {
+        return Fail("expected ':' after object key");
+      }
+      std::shared_ptr<JsonValue> member = ParseValue();
+      if (member == nullptr) {
+        return nullptr;
+      }
+      value->object[key->string] = member;
+      if (Consume(',')) {
+        continue;
+      }
+      if (Consume('}')) {
+        return value;
+      }
+      return Fail("expected ',' or '}' in object");
+    }
+  }
+
+  std::shared_ptr<JsonValue> ParseArray() {
+    ++pos_;  // '['
+    auto value = std::make_shared<JsonValue>();
+    value->kind = JsonValue::Kind::kArray;
+    if (Consume(']')) {
+      return value;
+    }
+    while (true) {
+      std::shared_ptr<JsonValue> element = ParseValue();
+      if (element == nullptr) {
+        return nullptr;
+      }
+      value->array.push_back(element);
+      if (Consume(',')) {
+        continue;
+      }
+      if (Consume(']')) {
+        return value;
+      }
+      return Fail("expected ',' or ']' in array");
+    }
+  }
+
+  std::shared_ptr<JsonValue> ParseString() {
+    SkipSpace();
+    if (pos_ >= text_.size() || text_[pos_] != '"') {
+      return Fail("expected string");
+    }
+    ++pos_;
+    auto value = std::make_shared<JsonValue>();
+    value->kind = JsonValue::Kind::kString;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') {
+        return value;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Fail("unescaped control character in string");
+      }
+      if (c != '\\') {
+        value->string += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) {
+        break;
+      }
+      const char escape = text_[pos_++];
+      switch (escape) {
+        case '"': value->string += '"'; break;
+        case '\\': value->string += '\\'; break;
+        case '/': value->string += '/'; break;
+        case 'b': value->string += '\b'; break;
+        case 'f': value->string += '\f'; break;
+        case 'n': value->string += '\n'; break;
+        case 'r': value->string += '\r'; break;
+        case 't': value->string += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            return Fail("truncated \\u escape");
+          }
+          for (int i = 0; i < 4; ++i) {
+            if (!std::isxdigit(static_cast<unsigned char>(text_[pos_ + i]))) {
+              return Fail("bad \\u escape");
+            }
+          }
+          // The lint cares about well-formedness, not the decoded rune.
+          value->string += '?';
+          pos_ += 4;
+          break;
+        }
+        default:
+          return Fail("unknown escape in string");
+      }
+    }
+    return Fail("unterminated string");
+  }
+
+  std::shared_ptr<JsonValue> ParseNumber() {
+    const size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') {
+      ++pos_;
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '+' ||
+            text_[pos_] == '-')) {
+      ++pos_;
+    }
+    const std::string token = text_.substr(start, pos_ - start);
+    try {
+      auto value = std::make_shared<JsonValue>();
+      value->kind = JsonValue::Kind::kNumber;
+      size_t used = 0;
+      value->number = std::stod(token, &used);
+      if (used != token.size()) {
+        return Fail("malformed number: " + token);
+      }
+      return value;
+    } catch (...) {
+      return Fail("malformed number: " + token);
+    }
+  }
+
+  std::shared_ptr<JsonValue> ParseKeyword() {
+    const auto match = [&](const char* word) {
+      const size_t n = std::string(word).size();
+      if (text_.compare(pos_, n, word) == 0) {
+        pos_ += n;
+        return true;
+      }
+      return false;
+    };
+    auto value = std::make_shared<JsonValue>();
+    if (match("true")) {
+      value->kind = JsonValue::Kind::kBool;
+      value->boolean = true;
+      return value;
+    }
+    if (match("false")) {
+      value->kind = JsonValue::Kind::kBool;
+      return value;
+    }
+    if (match("null")) {
+      return value;
+    }
+    return Fail("expected a JSON value");
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+  std::string error_;
+};
+
+// --- trace_event checks -----------------------------------------------------
+
+const JsonValue* Field(const JsonObject& object, const std::string& key) {
+  auto it = object.find(key);
+  return it == object.end() ? nullptr : it->second.get();
+}
+
+bool LintEvent(const JsonValue& event, size_t index, std::string* error) {
+  const auto fail = [&](const std::string& message) {
+    *error = "event " + std::to_string(index) + ": " + message;
+    return false;
+  };
+  if (event.kind != JsonValue::Kind::kObject) {
+    return fail("not an object");
+  }
+  const JsonValue* name = Field(event.object, "name");
+  if (name == nullptr || name->kind != JsonValue::Kind::kString || name->string.empty()) {
+    return fail("missing or empty \"name\"");
+  }
+  const JsonValue* ph = Field(event.object, "ph");
+  if (ph == nullptr || ph->kind != JsonValue::Kind::kString) {
+    return fail("missing \"ph\"");
+  }
+  if (ph->string != "X" && ph->string != "i" && ph->string != "C") {
+    return fail("unknown phase \"" + ph->string + "\"");
+  }
+  for (const char* key : {"pid", "tid", "ts"}) {
+    const JsonValue* field = Field(event.object, key);
+    if (field == nullptr || field->kind != JsonValue::Kind::kNumber) {
+      return fail(std::string("missing numeric \"") + key + "\"");
+    }
+  }
+  if (Field(event.object, "ts")->number < 0.0) {
+    return fail("negative \"ts\"");
+  }
+  if (ph->string == "X") {
+    const JsonValue* dur = Field(event.object, "dur");
+    if (dur == nullptr || dur->kind != JsonValue::Kind::kNumber || dur->number < 0.0) {
+      return fail("complete event needs a non-negative \"dur\"");
+    }
+  }
+  if (ph->string == "i") {
+    const JsonValue* scope = Field(event.object, "s");
+    if (scope == nullptr || scope->kind != JsonValue::Kind::kString) {
+      return fail("instant event needs an \"s\" scope");
+    }
+  }
+  const JsonValue* args = Field(event.object, "args");
+  if (args != nullptr && args->kind != JsonValue::Kind::kObject) {
+    return fail("\"args\" must be an object");
+  }
+  return true;
+}
+
+int LintFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "trace_lint: cannot read %s\n", path.c_str());
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+
+  std::string error;
+  Parser parser(text);
+  std::shared_ptr<JsonValue> root = parser.Parse(&error);
+  if (root == nullptr) {
+    std::fprintf(stderr, "trace_lint: %s: %s\n", path.c_str(), error.c_str());
+    return 1;
+  }
+  if (root->kind != JsonValue::Kind::kObject) {
+    std::fprintf(stderr, "trace_lint: %s: root is not an object\n", path.c_str());
+    return 1;
+  }
+  const JsonValue* events = Field(root->object, "traceEvents");
+  if (events == nullptr || events->kind != JsonValue::Kind::kArray) {
+    std::fprintf(stderr, "trace_lint: %s: missing \"traceEvents\" array\n", path.c_str());
+    return 1;
+  }
+  for (size_t i = 0; i < events->array.size(); ++i) {
+    if (!LintEvent(*events->array[i], i, &error)) {
+      std::fprintf(stderr, "trace_lint: %s: %s\n", path.c_str(), error.c_str());
+      return 1;
+    }
+  }
+  std::printf("trace_lint: %s: OK (%zu events)\n", path.c_str(), events->array.size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: trace_lint <trace.json> [more...]\n");
+    return 2;
+  }
+  for (int i = 1; i < argc; ++i) {
+    const int code = LintFile(argv[i]);
+    if (code != 0) {
+      return code;
+    }
+  }
+  return 0;
+}
