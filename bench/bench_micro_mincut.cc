@@ -1,8 +1,18 @@
 // Microbenchmark: lift-to-front (relabel-to-front) push-relabel vs
-// Edmonds-Karp on random communication-graph-shaped inputs. Both are exact;
-// this quantifies the cost of the paper's algorithm choice.
+// Edmonds-Karp on random communication-graph-shaped inputs. Both are exact
+// over integer CapUnits; this quantifies the cost of the paper's algorithm
+// choice.
+//
+// Besides the google-benchmark timing mode, `--coign-cut-table` prints a
+// deterministic table of exact cut values (both algorithms, several sizes
+// and seeds) and exits nonzero on any disagreement. CI byte-diffs two
+// same-seed tables: the output carries no timing noise, so any diff is a
+// real change in what the algorithms compute.
 
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstring>
 
 #include "src/mincut/edmonds_karp.h"
 #include "src/mincut/relabel_to_front.h"
@@ -13,18 +23,20 @@ namespace {
 
 // Builds a graph shaped like a concrete ICC graph: two terminals, a big
 // star of GUI-ish nodes around the client, a storage chain at the server,
-// and random cross edges.
+// and random cross edges. Weights are drawn in seconds and quantized at
+// the same boundary the analysis engine uses.
 FlowNetwork BuildGraph(int nodes, double edge_probability, uint64_t seed) {
   Rng rng(seed);
   FlowNetwork network(nodes);
   for (int v = 2; v < nodes; ++v) {
     // Every node talks to one of the terminals at least once.
-    network.AddEdge(rng.Bernoulli(0.7) ? 0 : 1, v, rng.UniformDouble(0.001, 1.0));
+    network.AddEdge(rng.Bernoulli(0.7) ? 0 : 1,
+                    v, SecondsToCapUnits(rng.UniformDouble(0.001, 1.0)));
   }
   for (int a = 2; a < nodes; ++a) {
     for (int b = a + 1; b < nodes; ++b) {
       if (rng.Bernoulli(edge_probability)) {
-        network.AddEdge(a, b, rng.UniformDouble(0.001, 2.0));
+        network.AddEdge(a, b, SecondsToCapUnits(rng.UniformDouble(0.001, 2.0)));
       }
     }
   }
@@ -34,7 +46,7 @@ FlowNetwork BuildGraph(int nodes, double edge_probability, uint64_t seed) {
 void BM_RelabelToFront(benchmark::State& state) {
   const int nodes = static_cast<int>(state.range(0));
   FlowNetwork network = BuildGraph(nodes, 8.0 / nodes, 7);
-  double cut_value = 0.0;
+  CapUnits cut_value = 0;
   for (auto _ : state) {
     // The const& entry point copies internally; the copy is part of what a
     // caller pays per cut, so it belongs inside the timed region.
@@ -42,24 +54,65 @@ void BM_RelabelToFront(benchmark::State& state) {
     cut_value = cut.cut_value;
     benchmark::DoNotOptimize(cut_value);
   }
-  state.counters["cut_value"] = cut_value;
+  state.counters["cut_seconds"] = CapUnitsToSeconds(cut_value);
 }
 BENCHMARK(BM_RelabelToFront)->Arg(32)->Arg(128)->Arg(512)->Arg(1024);
 
 void BM_EdmondsKarp(benchmark::State& state) {
   const int nodes = static_cast<int>(state.range(0));
   FlowNetwork network = BuildGraph(nodes, 8.0 / nodes, 7);
-  double cut_value = 0.0;
+  CapUnits cut_value = 0;
   for (auto _ : state) {
     const CutResult cut = MinCutEdmondsKarp(network, 0, 1);
     cut_value = cut.cut_value;
     benchmark::DoNotOptimize(cut_value);
   }
-  state.counters["cut_value"] = cut_value;
+  state.counters["cut_seconds"] = CapUnitsToSeconds(cut_value);
 }
 BENCHMARK(BM_EdmondsKarp)->Arg(32)->Arg(128)->Arg(512)->Arg(1024);
+
+// Deterministic cut-value table: exact units, no timing, fixed format.
+int PrintCutTable() {
+  std::printf("# bench_micro_mincut cut table v1 (units = picoseconds)\n");
+  std::printf("# nodes seed rtf_units ek_units source_side\n");
+  int disagreements = 0;
+  for (const int nodes : {32, 128, 512}) {
+    for (uint64_t seed = 7; seed < 15; ++seed) {
+      const FlowNetwork network = BuildGraph(nodes, 8.0 / nodes, seed);
+      const CutResult rtf = MinCutRelabelToFront(network, 0, 1);
+      const CutResult ek = MinCutEdmondsKarp(network, 0, 1);
+      std::printf("%d %llu %lld %lld %d\n", nodes,
+                  static_cast<unsigned long long>(seed),
+                  static_cast<long long>(rtf.cut_value),
+                  static_cast<long long>(ek.cut_value),
+                  rtf.SourceSideCount());
+      if (rtf.cut_value != ek.cut_value) {
+        ++disagreements;
+      }
+    }
+  }
+  if (disagreements > 0) {
+    std::fprintf(stderr, "cut table: %d disagreements between algorithms\n",
+                 disagreements);
+    return 1;
+  }
+  return 0;
+}
 
 }  // namespace
 }  // namespace coign
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--coign-cut-table") == 0) {
+      return coign::PrintCutTable();
+    }
+  }
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

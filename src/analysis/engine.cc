@@ -27,9 +27,15 @@ Result<AnalysisResult> ProfileAnalysisEngine::Analyze(const IccProfile& profile,
   const AbstractIccGraph abstract = AbstractIccGraph::FromProfile(profile);
   const ConcreteGraph concrete = ConcreteGraph::Build(abstract, network, constraints);
 
+  // The quantization boundary: predicted seconds become integer CapUnits
+  // here, exactly once per edge (rounding rule and error bound documented
+  // at SecondsToCapUnits). Everything below the boundary — both cut
+  // algorithms, the cut value, infeasibility detection — is exact 64-bit
+  // arithmetic; everything above (prediction, reports) stays in seconds.
   FlowNetwork flow(concrete.node_count());
   for (const ConcreteEdge& edge : concrete.edges()) {
-    flow.AddEdge(edge.a, edge.b, edge.constraint ? kInfiniteCapacity : edge.seconds);
+    flow.AddEdge(edge.a, edge.b,
+                 edge.constraint ? kInfiniteCapacity : SecondsToCapUnits(edge.seconds));
   }
 
   const CutResult cut =
@@ -37,12 +43,13 @@ Result<AnalysisResult> ProfileAnalysisEngine::Analyze(const IccProfile& profile,
           ? MinCutRelabelToFront(flow, ConcreteGraph::kClientNode, ConcreteGraph::kServerNode)
           : MinCutEdmondsKarp(flow, ConcreteGraph::kClientNode, ConcreteGraph::kServerNode);
 
-  if (cut.cut_value >= kInfiniteCapacity / 2) {
+  if (cut.cut_value == kInfiniteCapacity) {
     return FailedPreconditionError(
         "constraints are unsatisfiable: a constraint edge crosses every cut");
   }
 
   AnalysisResult result;
+  result.cut_value_units = cut.cut_value;
   result.total_comm_seconds = concrete.TotalCommunicationSeconds();
 
   // Build the classification → machine map from the cut sides.

@@ -15,6 +15,7 @@
 #include "src/graph/constraints.h"
 #include "src/graph/distribution.h"
 #include "src/graph/icc_graph.h"
+#include "src/mincut/flow_network.h"
 #include "src/net/network_profiler.h"
 #include "src/profile/icc_profile.h"
 #include "src/support/status.h"
@@ -42,6 +43,10 @@ struct CutEdgeReport {
 
 struct AnalysisResult {
   Distribution distribution;
+  // The exact fixed-point cut value (picosecond units) the min-cut layer
+  // chose — both algorithms return this identical integer. Reports convert
+  // it back to seconds with CapUnitsToSeconds for display.
+  CapUnits cut_value_units = 0;
   // Predicted inter-machine communication time of the chosen distribution.
   double predicted_comm_seconds = 0.0;
   // Communication time if every pair were split — the graph's total weight.

@@ -67,7 +67,9 @@ Result<MultiwayAnalysisResult> AnalyzeMultiway(const IccProfile& profile,
     if (a == b) {
       continue;
     }
-    edges.emplace_back(a, b, EdgeSeconds(edge, network));
+    // Quantization boundary for the multiway path: seconds -> CapUnits
+    // once per edge, same rule as the two-way engine.
+    edges.emplace_back(a, b, SecondsToCapUnits(EdgeSeconds(edge, network)));
     if (edge.MustColocate()) {
       edges.emplace_back(a, b, kInfiniteCapacity);
     }
@@ -99,7 +101,7 @@ Result<MultiwayAnalysisResult> AnalyzeMultiway(const IccProfile& profile,
     terminals[static_cast<size_t>(t)] = t;
   }
   const MultiwayCutResult cut = MultiwayCutIsolation(node_count, edges, terminals);
-  if (cut.total_weight >= kInfiniteCapacity / 2) {
+  if (cut.total_weight == kInfiniteCapacity) {
     return FailedPreconditionError("multiway constraints unsatisfiable");
   }
 

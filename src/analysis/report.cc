@@ -23,6 +23,9 @@ std::string DistributionReport(const IccProfile& profile, const AnalysisResult& 
       result.non_remotable_pairs);
   out += StrFormat("  predicted communication: %.6f s (of %.6f s total potential)\n",
                    result.predicted_comm_seconds, result.total_comm_seconds);
+  out += StrFormat("  exact cut value: %.6f s (%lld units)\n",
+                   CapUnitsToSeconds(result.cut_value_units),
+                   static_cast<long long>(result.cut_value_units));
 
   // Server placements grouped by component class.
   std::map<std::string, uint64_t> server_classes;

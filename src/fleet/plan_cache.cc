@@ -101,9 +101,11 @@ void PlanCache::Clear() {
 
 std::string PlanCache::Serialize() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  // v2 appends the loss bucket to each entry line; v1 snapshots (written
-  // before loss-aware cohorting) still load, with every entry clean.
-  std::string out = StrFormat("plan-cache v2 %zu\n", lru_.size());
+  // v2 appended the loss bucket to each entry line; v3 appends the exact
+  // fixed-point cut value (CapUnits) to each plan line. Older snapshots
+  // still load: v1 entries get a clean loss bucket, and v1/v2 plans get
+  // cut_value_units = 0 (recomputed on the next cache miss).
+  std::string out = StrFormat("plan-cache v3 %zu\n", lru_.size());
   // Least-recent first: replaying inserts in file order rebuilds the
   // exact LRU sequence (the last line loaded ends up most recent).
   for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
@@ -118,14 +120,15 @@ std::string PlanCache::Serialize() const {
                      static_cast<unsigned long long>(entry.key.profile_fingerprint),
                      entry.key.bucket.latency_bucket, entry.key.bucket.bandwidth_bucket,
                      entry.key.bucket.loss_bucket);
-    out += StrFormat("plan %s %s %zu %zu %llu %llu %zu %d %zu %zu\n",
+    out += StrFormat("plan %s %s %zu %zu %llu %llu %zu %d %zu %zu %lld\n",
                      DoubleHex(plan.predicted_comm_seconds).c_str(),
                      DoubleHex(plan.total_comm_seconds).c_str(),
                      plan.client_classifications, plan.server_classifications,
                      static_cast<unsigned long long>(plan.client_instances),
                      static_cast<unsigned long long>(plan.server_instances),
                      plan.non_remotable_pairs, plan.distribution.default_machine,
-                     placement.size(), plan.cut_edges.size());
+                     placement.size(), plan.cut_edges.size(),
+                     static_cast<long long>(plan.cut_value_units));
     for (const auto& [classification, machine] : placement) {
       out += StrFormat("place %u %d\n", classification, machine);
     }
@@ -142,10 +145,11 @@ Status PlanCache::Load(const std::string& text) {
   std::string tag, version;
   size_t count = 0;
   if (!(in >> tag >> version >> count) || tag != "plan-cache" ||
-      (version != "v1" && version != "v2")) {
+      (version != "v1" && version != "v2" && version != "v3")) {
     return InvalidArgumentError("plan cache: bad header");
   }
-  const bool has_loss_bucket = version == "v2";
+  const bool has_loss_bucket = version != "v1";
+  const bool has_cut_units = version == "v3";
   std::list<Entry> loaded;
   for (size_t i = 0; i < count; ++i) {
     Entry entry;
@@ -170,6 +174,13 @@ Status PlanCache::Load(const std::string& text) {
         tag != "plan" || !ParseDoubleHex(predicted_hex, &plan.predicted_comm_seconds) ||
         !ParseDoubleHex(total_hex, &plan.total_comm_seconds)) {
       return InvalidArgumentError("plan cache: bad plan line");
+    }
+    if (has_cut_units) {
+      long long units = 0;
+      if (!(in >> units)) {
+        return InvalidArgumentError("plan cache: bad plan line");
+      }
+      plan.cut_value_units = static_cast<CapUnits>(units);
     }
     plan.client_instances = static_cast<uint64_t>(client_instances);
     plan.server_instances = static_cast<uint64_t>(server_instances);

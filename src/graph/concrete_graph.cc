@@ -2,8 +2,6 @@
 
 #include <algorithm>
 
-#include "src/mincut/flow_network.h"
-
 namespace coign {
 
 double EdgeSeconds(const AbstractIccGraph::Edge& edge, const NetworkProfile& network) {
@@ -70,7 +68,7 @@ ConcreteGraph ConcreteGraph::Build(const AbstractIccGraph& abstract,
     if (edge.MustColocate()) {
       // Non-remotable interface between the endpoints: they cannot be
       // split, whatever the traffic volume.
-      graph.AddEdge(a, b, kInfiniteCapacity, /*constraint=*/true);
+      graph.AddEdge(a, b, 0.0, /*constraint=*/true);
     }
   }
 
@@ -81,12 +79,12 @@ ConcreteGraph ConcreteGraph::Build(const AbstractIccGraph& abstract,
       continue;
     }
     const int terminal = (machine == kServerMachine) ? kServerNode : kClientNode;
-    graph.AddEdge(terminal, it->second, kInfiniteCapacity, /*constraint=*/true);
+    graph.AddEdge(terminal, it->second, 0.0, /*constraint=*/true);
   }
 
   // Pairwise colocation.
   for (const auto& [a, b] : constraints.colocated()) {
-    graph.AddEdge(node_of(a), node_of(b), kInfiniteCapacity, /*constraint=*/true);
+    graph.AddEdge(node_of(a), node_of(b), 0.0, /*constraint=*/true);
   }
 
   return graph;

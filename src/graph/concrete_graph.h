@@ -4,8 +4,9 @@
 // concrete graph of potential communication time on the network." Nodes 0
 // and 1 are the client and server terminals; classifications occupy dense
 // indices from 2. Constraint edges (API pins, programmer pins, colocation,
-// non-remotable interfaces) get effectively-infinite weight so no minimum
-// cut can violate them.
+// non-remotable interfaces) carry `constraint = true` and no time of their
+// own; the analysis engine maps them to the min-cut layer's un-cuttable
+// sentinel capacity so no minimum cut can violate them.
 
 #ifndef COIGN_SRC_GRAPH_CONCRETE_GRAPH_H_
 #define COIGN_SRC_GRAPH_CONCRETE_GRAPH_H_
@@ -25,7 +26,8 @@ struct ConcreteEdge {
   int a = 0;
   int b = 0;
   double seconds = 0.0;   // Predicted communication time if a and b split.
-  bool constraint = false;  // True for infinite-weight constraint edges.
+                          // Always 0 on constraint edges (flag is authoritative).
+  bool constraint = false;  // True for un-cuttable constraint edges.
 };
 
 class ConcreteGraph {

@@ -1,19 +1,18 @@
 #include "src/mincut/edmonds_karp.h"
 
+#include <algorithm>
 #include <cassert>
 #include <deque>
-#include <limits>
 #include <vector>
 
 namespace coign {
 
 CutResult MinCutEdmondsKarp(const FlowNetwork& original, int source, int sink) {
   assert(source != sink);
-  constexpr double kEps = 1e-12;
   // Augmentation mutates only this per-call copy; see the header's
   // re-entrancy contract.
   FlowNetwork network = original;
-  double total_flow = 0.0;
+  CapUnits total_flow = 0;
   const int n = network.node_count();
 
   while (true) {
@@ -28,7 +27,7 @@ CutResult MinCutEdmondsKarp(const FlowNetwork& original, int source, int sink) {
       auto& arcs = network.ArcsFrom(u);
       for (size_t i = 0; i < arcs.size(); ++i) {
         const FlowArc& arc = arcs[i];
-        if (arc.Residual() > kEps && parent_node[static_cast<size_t>(arc.to)] < 0) {
+        if (arc.Residual() > 0 && parent_node[static_cast<size_t>(arc.to)] < 0) {
           parent_node[static_cast<size_t>(arc.to)] = u;
           parent_arc[static_cast<size_t>(arc.to)] = i;
           queue.push_back(arc.to);
@@ -39,22 +38,28 @@ CutResult MinCutEdmondsKarp(const FlowNetwork& original, int source, int sink) {
       break;  // No augmenting path remains.
     }
 
-    // Bottleneck along the path.
-    double bottleneck = std::numeric_limits<double>::infinity();
+    // Bottleneck along the path. A path of all-sentinel arcs bottlenecks
+    // at kInfiniteCapacity itself; the augment below then saturates those
+    // arcs exactly, so the loop still terminates on infeasible inputs.
+    CapUnits bottleneck = kInfiniteCapacity;
     for (int v = sink; v != source; v = parent_node[static_cast<size_t>(v)]) {
       const int u = parent_node[static_cast<size_t>(v)];
       const FlowArc& arc = network.ArcsFrom(u)[parent_arc[static_cast<size_t>(v)]];
       bottleneck = std::min(bottleneck, arc.Residual());
     }
+    assert(bottleneck > 0);
 
-    // Augment.
+    // Augment. Per-arc updates are exact (flow + bottleneck <= capacity on
+    // the bottleneck arc, and every arc's flow stays within its capacity);
+    // only the running total can saturate, which is the desired sentinel.
     for (int v = sink; v != source; v = parent_node[static_cast<size_t>(v)]) {
       const int u = parent_node[static_cast<size_t>(v)];
       FlowArc& arc = network.ArcsFrom(u)[parent_arc[static_cast<size_t>(v)]];
-      arc.flow += bottleneck;
-      network.ArcsFrom(arc.to)[arc.reverse_index].flow -= bottleneck;
+      arc.flow = SatAdd(arc.flow, bottleneck);
+      FlowArc& reverse = network.ArcsFrom(arc.to)[arc.reverse_index];
+      reverse.flow = SatSub(reverse.flow, bottleneck);
     }
-    total_flow += bottleneck;
+    total_flow = SatAdd(total_flow, bottleneck);
   }
 
   return ExtractCut(network, source, total_flow);

@@ -8,25 +8,26 @@ FlowNetwork::FlowNetwork(int node_count) : adjacency_(static_cast<size_t>(node_c
   assert(node_count >= 0);
 }
 
-void FlowNetwork::AddArc(int from, int to, double capacity) {
+void FlowNetwork::AddArc(int from, int to, CapUnits capacity) {
   assert(from >= 0 && from < node_count());
   assert(to >= 0 && to < node_count());
-  assert(capacity >= 0.0);
+  assert(capacity >= 0);
   FlowArc forward;
   forward.to = to;
   forward.capacity = capacity;
   forward.reverse_index = adjacency_[to].size();
   FlowArc backward;
   backward.to = from;
-  backward.capacity = 0.0;
+  backward.capacity = 0;
   backward.reverse_index = adjacency_[from].size();
   adjacency_[from].push_back(forward);
   adjacency_[to].push_back(backward);
 }
 
-void FlowNetwork::AddEdge(int a, int b, double capacity) {
+void FlowNetwork::AddEdge(int a, int b, CapUnits capacity) {
   assert(a >= 0 && a < node_count());
   assert(b >= 0 && b < node_count());
+  assert(capacity >= 0);
   FlowArc forward;
   forward.to = b;
   forward.capacity = capacity;
@@ -42,7 +43,7 @@ void FlowNetwork::AddEdge(int a, int b, double capacity) {
 void FlowNetwork::ResetFlow() {
   for (auto& arcs : adjacency_) {
     for (FlowArc& arc : arcs) {
-      arc.flow = 0.0;
+      arc.flow = 0;
     }
   }
 }
@@ -55,7 +56,7 @@ std::vector<bool> FlowNetwork::ResidualReachable(int source) const {
     const int node = queue.back();
     queue.pop_back();
     for (const FlowArc& arc : adjacency_[static_cast<size_t>(node)]) {
-      if (arc.Residual() > 1e-12 && !visited[static_cast<size_t>(arc.to)]) {
+      if (arc.Residual() > 0 && !visited[static_cast<size_t>(arc.to)]) {
         visited[static_cast<size_t>(arc.to)] = true;
         queue.push_back(arc.to);
       }
@@ -72,19 +73,32 @@ int CutResult::SourceSideCount() const {
   return count;
 }
 
-CutResult ExtractCut(const FlowNetwork& network, int source, double flow_value) {
+CutResult ExtractCut(const FlowNetwork& network, int source, CapUnits flow_value) {
   CutResult result;
   result.cut_value = flow_value;
   result.in_source_side = network.ResidualReachable(source);
+  bool sentinel_crossing = false;
   for (int node = 0; node < network.node_count(); ++node) {
     if (!result.in_source_side[static_cast<size_t>(node)]) {
       continue;
     }
     for (const FlowArc& arc : network.ArcsFrom(node)) {
-      if (arc.capacity > 0.0 && !result.in_source_side[static_cast<size_t>(arc.to)]) {
+      if (arc.capacity > 0 && !result.in_source_side[static_cast<size_t>(arc.to)]) {
         result.cut_edges.emplace_back(node, arc.to);
+        if (arc.capacity == kInfiniteCapacity) {
+          sentinel_crossing = true;
+        }
       }
     }
+  }
+  // A sentinel arc crossing the partition means the constraint set is
+  // infeasible: every s-t cut severs a pin. Promote to the sentinel
+  // exactly, so both algorithms report infeasibility identically. (A
+  // sentinel arc can only be saturated — and thus end up crossing — when
+  // the max flow itself reached the sentinel, so this is a no-op except
+  // on infeasible inputs or genuinely saturated flows.)
+  if (sentinel_crossing) {
+    result.cut_value = kInfiniteCapacity;
   }
   return result;
 }

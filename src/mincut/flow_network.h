@@ -1,10 +1,19 @@
-// Flow networks for minimum-cut computation.
+// Flow networks for minimum-cut computation, in exact fixed-point units.
 //
 // The analysis engine reduces "choose a two-machine distribution of minimal
 // communication time" to s-t minimum cut on the concrete ICC graph: client
 // and server are the terminals, every classification is a node, and edge
-// capacities are predicted communication seconds. Location constraints
-// become effectively-infinite capacities.
+// capacities are predicted communication time. Location constraints become
+// sentinel (un-cuttable) capacities.
+//
+// Capacities and flows are CapUnits: 64-bit integers at picosecond scale.
+// All residual arithmetic is exact, so Edmonds-Karp and relabel-to-front
+// compute the *same* maximum-flow value on every input — no epsilons, no
+// float absorption (the 1e30-capacity era had a real non-termination where
+// 1e30 - 1e-3 == 1e30 manufactured excess forever). The only lossy step in
+// the whole pipeline is the single quantization boundary in the analysis
+// engine, where predicted seconds are rounded to units once (see
+// SecondsToCapUnits below for the rounding rule and error bound).
 //
 // Re-entrancy contract: FlowNetwork is a plain value type with no shared
 // or global state, and the min-cut entry points take it by const reference
@@ -14,23 +23,91 @@
 #ifndef COIGN_SRC_MINCUT_FLOW_NETWORK_H_
 #define COIGN_SRC_MINCUT_FLOW_NETWORK_H_
 
+#include <cmath>
 #include <cstddef>
+#include <cstdint>
+#include <limits>
 #include <utility>
 #include <vector>
 
 namespace coign {
 
-// Large finite stand-in for an un-cuttable edge; finite so residual
-// arithmetic stays well-defined. Any real cut is astronomically cheaper.
-inline constexpr double kInfiniteCapacity = 1e30;
+// Fixed-point capacity/flow unit. One unit is one picosecond of predicted
+// communication time: fine enough that quantization can never flip a real
+// placement decision (network costs are microseconds and up), coarse
+// enough that ~107 days of total communication fit in the finite range.
+using CapUnits = int64_t;
+
+// Units per second at the quantization boundary (1 unit = 1 ps).
+inline constexpr double kCapUnitsPerSecond = 1e12;
+
+// Sentinel for an un-cuttable (location-constraint) edge. This is a true
+// sentinel, not a big number folded into ordinary arithmetic: residual
+// arithmetic saturates at it (SatAdd/SatSub below), and any cut forced to
+// cross a sentinel arc reports exactly kInfiniteCapacity so callers can
+// test for unsatisfiable constraints with ==.
+inline constexpr CapUnits kInfiniteCapacity = std::numeric_limits<int64_t>::max();
+
+// Largest representable finite capacity. Quantization clamps here;
+// arithmetic that exceeds it saturates to the sentinel.
+inline constexpr CapUnits kMaxFiniteCapacity = kInfiniteCapacity - 1;
+
+// Saturating arithmetic over [-kInfiniteCapacity, kInfiniteCapacity].
+// The symmetric range (INT64_MIN is never produced) keeps negation safe.
+inline CapUnits SatAdd(CapUnits a, CapUnits b) {
+  CapUnits out = 0;
+  if (__builtin_add_overflow(a, b, &out)) {
+    return b > 0 ? kInfiniteCapacity : -kInfiniteCapacity;
+  }
+  return out < -kInfiniteCapacity ? -kInfiniteCapacity : out;
+}
+
+inline CapUnits SatSub(CapUnits a, CapUnits b) {
+  CapUnits out = 0;
+  if (__builtin_sub_overflow(a, b, &out)) {
+    return b < 0 ? kInfiniteCapacity : -kInfiniteCapacity;
+  }
+  return out < -kInfiniteCapacity ? -kInfiniteCapacity : out;
+}
+
+// The quantization boundary: predicted seconds -> units, applied exactly
+// once per edge when the analysis engine populates a FlowNetwork.
+//
+// Rounding rule: round half away from zero (llround). Error bound: for
+// per-edge times up to 2^53 ps (~2.5 hours — the analysis domain is
+// microseconds to minutes, far inside), each edge is off by at most 1 unit
+// (1 ps): <= 0.5 from rounding to integer units plus <= 0.5 from
+// representing the scaled product in double. A cut crossing E edges is
+// therefore off by at most E units from the unquantized value, so any two
+// cuts whose true values differ by more than 2E picoseconds keep their
+// order — no realistic ICC graph comes near that. Negative and NaN inputs
+// clamp to 0; values beyond the finite range clamp to kMaxFiniteCapacity.
+inline CapUnits SecondsToCapUnits(double seconds) {
+  if (!(seconds > 0.0)) {
+    return 0;  // Also catches NaN.
+  }
+  const double scaled = seconds * kCapUnitsPerSecond;
+  if (scaled >= static_cast<double>(kMaxFiniteCapacity)) {
+    return kMaxFiniteCapacity;
+  }
+  return static_cast<CapUnits>(std::llround(scaled));
+}
+
+// Units -> seconds, for the report/display layer. The sentinel has no
+// finite time; callers must test for it before converting.
+inline double CapUnitsToSeconds(CapUnits units) {
+  return static_cast<double>(units) / kCapUnitsPerSecond;
+}
 
 struct FlowArc {
   int to = 0;
-  double capacity = 0.0;
-  double flow = 0.0;
+  CapUnits capacity = 0;
+  CapUnits flow = 0;
   size_t reverse_index = 0;  // Index of the reverse arc in adjacency[to].
 
-  double Residual() const { return capacity - flow; }
+  // Overflow-checked: a sentinel-capacity arc carrying finite flow (or a
+  // reverse arc owing sentinel-scale flow) saturates instead of wrapping.
+  CapUnits Residual() const { return SatSub(capacity, flow); }
 };
 
 class FlowNetwork {
@@ -40,10 +117,10 @@ class FlowNetwork {
   int node_count() const { return static_cast<int>(adjacency_.size()); }
 
   // Adds a directed arc with a zero-capacity reverse arc.
-  void AddArc(int from, int to, double capacity);
+  void AddArc(int from, int to, CapUnits capacity);
   // Undirected edge: capacity in both directions (the usual form for
   // communication graphs — a byte costs the same whichever way it flows).
-  void AddEdge(int a, int b, double capacity);
+  void AddEdge(int a, int b, CapUnits capacity);
 
   std::vector<FlowArc>& ArcsFrom(int node) { return adjacency_[node]; }
   const std::vector<FlowArc>& ArcsFrom(int node) const { return adjacency_[node]; }
@@ -60,7 +137,9 @@ class FlowNetwork {
 
 // A two-way partition produced by a min-cut algorithm.
 struct CutResult {
-  double cut_value = 0.0;              // == max flow value.
+  // == max flow value, exactly. kInfiniteCapacity when the cut crosses a
+  // sentinel arc (constraints unsatisfiable) or the value saturated.
+  CapUnits cut_value = 0;
   std::vector<bool> in_source_side;    // Per node.
   // Saturated edges crossing the cut, as (from, to) with from on the
   // source side.
@@ -70,7 +149,10 @@ struct CutResult {
 };
 
 // Derives the partition and cut edges after a max flow has been computed.
-CutResult ExtractCut(const FlowNetwork& network, int source, double flow_value);
+// If a sentinel-capacity arc crosses the partition, cut_value is promoted
+// to exactly kInfiniteCapacity (both algorithms report unsatisfiable
+// constraint sets identically).
+CutResult ExtractCut(const FlowNetwork& network, int source, CapUnits flow_value);
 
 }  // namespace coign
 

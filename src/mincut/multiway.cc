@@ -15,7 +15,7 @@ MultiwayCutResult MultiwayCutIsolation(int node_count, const EdgeList& edges,
   // Isolating cut for each terminal: terminal as source, a super-sink wired
   // to every other terminal with infinite capacity.
   struct Isolating {
-    double value = 0.0;
+    CapUnits value = 0;
     std::vector<bool> side;  // True = with the terminal.
   };
   std::vector<Isolating> cuts(k);
@@ -63,10 +63,11 @@ MultiwayCutResult MultiwayCutIsolation(int node_count, const EdgeList& edges,
     result.assignment[static_cast<size_t>(terminals[t])] = static_cast<int>(t);
   }
 
-  // Total weight of edges whose endpoints ended up apart.
+  // Total weight of edges whose endpoints ended up apart. Saturating: a
+  // crossing sentinel edge pins the total at exactly kInfiniteCapacity.
   for (const auto& [a, b, weight] : edges) {
     if (result.assignment[static_cast<size_t>(a)] != result.assignment[static_cast<size_t>(b)]) {
-      result.total_weight += weight;
+      result.total_weight = SatAdd(result.total_weight, weight);
     }
   }
   return result;

@@ -19,14 +19,14 @@
 namespace coign {
 
 struct MultiwayCutResult {
-  double total_weight = 0.0;
+  // Exact sum (saturating at kInfiniteCapacity) of crossing edge weights.
+  CapUnits total_weight = 0;
   // assignment[node] = index into `terminals` of the side the node landed on.
   std::vector<int> assignment;
 };
 
-// Builds a fresh FlowNetwork with `extra_nodes` additional scratch nodes
-// beyond the caller's node count, populated by `populate`.
-using EdgeList = std::vector<std::tuple<int, int, double>>;
+// Undirected weighted edges (a, b, weight) in CapUnits.
+using EdgeList = std::vector<std::tuple<int, int, CapUnits>>;
 
 // Partitions `node_count` nodes among the terminals. `edges` are undirected
 // (a, b, weight). Each terminal must be a distinct valid node.

@@ -1,5 +1,6 @@
 #include "src/mincut/relabel_to_front.h"
 
+#include <algorithm>
 #include <cassert>
 #include <list>
 #include <vector>
@@ -7,6 +8,25 @@
 namespace coign {
 namespace {
 
+// CLRS lift-to-front push-relabel, in exact CapUnits arithmetic.
+//
+// The float era needed a capacity clamp here: saturating a constraint pin
+// in the initial preflow gave a node excess 1e30, and any later push of a
+// small finite amount was absorbed outright (1e30 - 1e-3 == 1e30), which
+// manufactured excess from nothing and could keep Discharge busy forever.
+// Integer arithmetic removes the failure mode at the root — every push
+// moves exactly `amount` units out of the sender — so the clamp is gone
+// and sentinel capacities flow through the algorithm unmodified.
+//
+// Stored excess uses SatAdd, which can lose excess at a node fed by two
+// sentinel arcs (kInf + kInf saturates to kInf). That is benign for the
+// result: the sink's excess — the returned flow value — only saturates
+// when the true max flow itself reaches the sentinel (an all-sentinel s-t
+// path), which is exactly the infeasibility answer we want; excess lost
+// elsewhere is surplus that could only have drained back to the source.
+// Termination is unaffected: the relabel bound (heights < 2n, O(V^2)
+// relabels) and the saturating/nonsaturating push bounds are height
+// arguments that do not depend on excess values being conserved.
 class RelabelToFront {
  public:
   RelabelToFront(FlowNetwork& network, int source, int sink)
@@ -15,10 +35,10 @@ class RelabelToFront {
         sink_(sink),
         n_(network.node_count()),
         height_(static_cast<size_t>(n_), 0),
-        excess_(static_cast<size_t>(n_), 0.0),
+        excess_(static_cast<size_t>(n_), 0),
         current_arc_(static_cast<size_t>(n_), 0) {}
 
-  double Run() {
+  CapUnits Run() {
     InitializePreflow();
     // The discharge list: all vertices except source and sink, any order.
     std::list<int> vertices;
@@ -48,29 +68,34 @@ class RelabelToFront {
   void InitializePreflow() {
     height_[static_cast<size_t>(source_)] = n_;
     for (FlowArc& arc : network_.ArcsFrom(source_)) {
-      const double amount = arc.Residual();
-      if (amount <= 0.0) {
+      const CapUnits amount = arc.Residual();
+      if (amount <= 0) {
         continue;
       }
-      arc.flow += amount;
-      network_.ArcsFrom(arc.to)[arc.reverse_index].flow -= amount;
-      excess_[static_cast<size_t>(arc.to)] += amount;
-      excess_[static_cast<size_t>(source_)] -= amount;
+      arc.flow = SatAdd(arc.flow, amount);
+      FlowArc& reverse = network_.ArcsFrom(arc.to)[arc.reverse_index];
+      reverse.flow = SatSub(reverse.flow, amount);
+      excess_[static_cast<size_t>(arc.to)] =
+          SatAdd(excess_[static_cast<size_t>(arc.to)], amount);
+      excess_[static_cast<size_t>(source_)] =
+          SatSub(excess_[static_cast<size_t>(source_)], amount);
     }
   }
 
   void Push(int u, FlowArc& arc) {
-    const double amount = std::min(excess_[static_cast<size_t>(u)], arc.Residual());
-    arc.flow += amount;
-    network_.ArcsFrom(arc.to)[arc.reverse_index].flow -= amount;
-    excess_[static_cast<size_t>(u)] -= amount;
-    excess_[static_cast<size_t>(arc.to)] += amount;
+    const CapUnits amount = std::min(excess_[static_cast<size_t>(u)], arc.Residual());
+    arc.flow = SatAdd(arc.flow, amount);
+    FlowArc& reverse = network_.ArcsFrom(arc.to)[arc.reverse_index];
+    reverse.flow = SatSub(reverse.flow, amount);
+    excess_[static_cast<size_t>(u)] -= amount;  // Exact: amount <= excess.
+    excess_[static_cast<size_t>(arc.to)] =
+        SatAdd(excess_[static_cast<size_t>(arc.to)], amount);
   }
 
   void Lift(int u) {
     int min_height = 2 * n_;
     for (const FlowArc& arc : network_.ArcsFrom(u)) {
-      if (arc.Residual() > kEps) {
+      if (arc.Residual() > 0) {
         min_height = std::min(min_height, height_[static_cast<size_t>(arc.to)]);
       }
     }
@@ -78,7 +103,7 @@ class RelabelToFront {
   }
 
   void Discharge(int u) {
-    while (excess_[static_cast<size_t>(u)] > kEps) {
+    while (excess_[static_cast<size_t>(u)] > 0) {
       auto& arcs = network_.ArcsFrom(u);
       if (current_arc_[static_cast<size_t>(u)] >= arcs.size()) {
         Lift(u);
@@ -86,7 +111,7 @@ class RelabelToFront {
         continue;
       }
       FlowArc& arc = arcs[current_arc_[static_cast<size_t>(u)]];
-      if (arc.Residual() > kEps &&
+      if (arc.Residual() > 0 &&
           height_[static_cast<size_t>(u)] == height_[static_cast<size_t>(arc.to)] + 1) {
         Push(u, arc);
       } else {
@@ -95,14 +120,12 @@ class RelabelToFront {
     }
   }
 
-  static constexpr double kEps = 1e-12;
-
   FlowNetwork& network_;
   const int source_;
   const int sink_;
   const int n_;
   std::vector<int> height_;
-  std::vector<double> excess_;
+  std::vector<CapUnits> excess_;
   std::vector<size_t> current_arc_;
 };
 
@@ -113,78 +136,13 @@ CutResult MinCutRelabelToFront(const FlowNetwork& original, int source, int sink
   assert(source >= 0 && source < original.node_count());
   assert(sink >= 0 && sink < original.node_count());
 
-  // All mutation — preflow, relabeling, and the capacity clamp below —
-  // happens on this per-call copy, which is what makes the entry point
-  // safe to call from many worker threads at once.
+  // All mutation — preflow and relabeling — happens on this per-call
+  // copy, which is what makes the entry point safe to call from many
+  // worker threads at once.
   FlowNetwork network = original;
-
-  // Push-relabel accumulates per-node excess, and the initial preflow
-  // saturates every source arc — so a constraint pin on the source gives
-  // its node an excess of kInfiniteCapacity. Any subsequent push across a
-  // small finite arc is then absorbed outright in double arithmetic
-  // (1e30 - 1e-3 == 1e30), which manufactures excess from nothing and can
-  // keep Discharge busy forever. Clamping effectively-infinite capacities
-  // to just above the total finite capacity keeps all excess at one
-  // floating-point scale and preserves every minimum cut: a cut either
-  // avoids infinite arcs (value below the clamp, unchanged) or contains
-  // one (value above any finite cut either way).
-  double finite_total = 0.0;
-  for (int node = 0; node < network.node_count(); ++node) {
-    for (const FlowArc& arc : network.ArcsFrom(node)) {
-      if (arc.capacity < kInfiniteCapacity / 2) {
-        finite_total += arc.capacity;
-      }
-    }
-  }
-  const double clamp = finite_total + 1.0;
-  struct ClampedArc {
-    int node;
-    size_t index;
-    double original;
-  };
-  std::vector<ClampedArc> clamped;
-  for (int node = 0; node < network.node_count(); ++node) {
-    auto& arcs = network.ArcsFrom(node);
-    for (size_t i = 0; i < arcs.size(); ++i) {
-      if (arcs[i].capacity >= kInfiniteCapacity / 2) {
-        clamped.push_back({node, i, arcs[i].capacity});
-        arcs[i].capacity = clamp;
-      }
-    }
-  }
-
   RelabelToFront algorithm(network, source, sink);
-  const double flow = algorithm.Run();
-  // Extract while the clamp is in place: a saturated clamped arc must
-  // block residual reachability, or an infinite cut would flood through.
-  CutResult cut = ExtractCut(network, source, flow);
-
-  bool infinite_arc_cut = false;
-  for (const ClampedArc& entry : clamped) {
-    FlowArc& arc = network.ArcsFrom(entry.node)[entry.index];
-    arc.capacity = entry.original;
-    if (cut.in_source_side[static_cast<size_t>(entry.node)] &&
-        !cut.in_source_side[static_cast<size_t>(arc.to)]) {
-      infinite_arc_cut = true;
-    }
-  }
-  if (infinite_arc_cut) {
-    // Constraints are infeasible (every cut severs a pin). Report the real
-    // crossing capacity so callers' infinite-cut sentinels still fire.
-    double real_value = 0.0;
-    for (int node = 0; node < network.node_count(); ++node) {
-      if (!cut.in_source_side[static_cast<size_t>(node)]) {
-        continue;
-      }
-      for (const FlowArc& arc : network.ArcsFrom(node)) {
-        if (!cut.in_source_side[static_cast<size_t>(arc.to)]) {
-          real_value += arc.capacity;
-        }
-      }
-    }
-    cut.cut_value = real_value;
-  }
-  return cut;
+  const CapUnits flow = algorithm.Run();
+  return ExtractCut(network, source, flow);
 }
 
 }  // namespace coign

@@ -14,10 +14,11 @@
 namespace coign {
 
 // Computes a maximum s-t flow with relabel-to-front push-relabel and
-// returns the induced minimum cut. The input network is not modified: all
-// flow (and the capacity clamping the algorithm needs) happens on a
-// per-call working copy, so concurrent cuts — even over the same
-// FlowNetwork — are safe. source != sink.
+// returns the induced minimum cut. Arithmetic is exact (CapUnits), so the
+// cut value always equals MinCutEdmondsKarp's on the same input. The input
+// network is not modified: all flow happens on a per-call working copy, so
+// concurrent cuts — even over the same FlowNetwork — are safe.
+// source != sink.
 CutResult MinCutRelabelToFront(const FlowNetwork& network, int source, int sink);
 
 }  // namespace coign

@@ -89,6 +89,20 @@ MetricHistogram* MetricsRegistry::GetHistogram(
   return slot.get();
 }
 
+std::vector<std::pair<std::string, double>> MetricsRegistry::NumericSamples()
+    const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<std::string, double>> samples;
+  samples.reserve(counters_.size() + gauges_.size());
+  for (const auto& [name, counter] : counters_) {
+    samples.emplace_back(name, static_cast<double>(counter->value()));
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    samples.emplace_back(name, gauge->value());
+  }
+  return samples;
+}
+
 std::string MetricsRegistry::SnapshotText() const {
   std::lock_guard<std::mutex> lock(mutex_);
   std::string out = "# coign-metrics v1\n";

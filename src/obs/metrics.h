@@ -24,6 +24,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/support/status.h"
@@ -88,6 +89,12 @@ class MetricsRegistry {
   MetricGauge* GetGauge(const std::string& name);
   MetricHistogram* GetHistogram(const std::string& name,
                                 std::vector<double> upper_bounds);
+
+  // Current counter and gauge values as (name, value) pairs — counters
+  // first, then gauges, each group name-sorted. Feeds the tracer's
+  // periodic counter-sample track; histograms are excluded (a histogram
+  // has no single number a counter track could plot).
+  std::vector<std::pair<std::string, double>> NumericSamples() const;
 
   // Stable text snapshot: "# coign-metrics v1" header, then one line per
   // instrument, grouped counter/gauge/histogram, each group name-sorted.

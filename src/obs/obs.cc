@@ -5,6 +5,15 @@
 
 namespace coign {
 
+void Observability::SampleCounters() {
+  // One clock reading for the whole sample so every series aligns on the
+  // same timestamp column in the viewer.
+  const double now = tracer_.Now();
+  for (const auto& [name, value] : metrics_.NumericSamples()) {
+    tracer_.CounterAt(name, kTrackCounters, now, value);
+  }
+}
+
 void Observability::Dump(const std::string& reason) {
   metrics_.GetCounter("obs.dumps")->Add();
   tracer_.Instant("flight-recorder-dump", "obs", kTrackOnline,

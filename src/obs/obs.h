@@ -28,6 +28,9 @@ inline constexpr int kTrackFault = 2;
 inline constexpr int kTrackOnline = 3;
 inline constexpr int kTrackMigration = 4;
 inline constexpr int kTrackFleet = 5;
+// Periodic counter samples ("C" events): one lane for every metric series,
+// so viewers plot them as stacked value graphs under the span tracks.
+inline constexpr int kTrackCounters = 6;
 
 class Observability {
  public:
@@ -41,6 +44,13 @@ class Observability {
   // them while Dump() still counts occurrences.
   void SetDumpPrefix(std::string prefix) { dump_prefix_ = std::move(prefix); }
   void SetDumpLimit(int limit) { dump_limit_ = limit; }
+
+  // Samples every counter and gauge onto the kTrackCounters trace lane as
+  // one "C" event per series at the current trace clock. Call at periodic
+  // boundaries (the online loop samples per epoch) to get value-over-time
+  // graphs next to the spans. Deterministic: emission order is the
+  // registry's sorted order, timestamps come from the trace clock.
+  void SampleCounters();
 
   // Snapshots the ring to "<prefix>-<n>-<reason>.json" and records the
   // occurrence as the "obs.dumps" counter plus an instant event.

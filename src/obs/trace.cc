@@ -99,11 +99,16 @@ void Tracer::Instant(std::string name, std::string category, int track,
 }
 
 void Tracer::Counter(std::string name, int track, double value) {
+  CounterAt(std::move(name), track, Now(), value);
+}
+
+void Tracer::CounterAt(std::string name, int track, double start_seconds,
+                       double value) {
   TraceEvent event;
   event.phase = TraceEvent::Phase::kCounter;
   event.name = std::move(name);
   event.track = track;
-  event.start_seconds = Now();
+  event.start_seconds = start_seconds;
   event.args.emplace_back("value", ArgDouble(value));
   Record(std::move(event));
 }

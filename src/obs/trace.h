@@ -64,6 +64,10 @@ class Tracer {
   void Instant(std::string name, std::string category, int track,
                std::vector<std::pair<std::string, std::string>> args = {});
   void Counter(std::string name, int track, double value);
+  // Counter sample at an explicit timestamp, so a batch of series sampled
+  // together shares one timestamp column instead of consuming one logical
+  // tick each.
+  void CounterAt(std::string name, int track, double start_seconds, double value);
   void Complete(std::string name, std::string category, int track,
                 double start_seconds, double end_seconds,
                 std::vector<std::pair<std::string, std::string>> args = {});

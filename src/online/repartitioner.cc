@@ -274,6 +274,10 @@ Status OnlineRepartitioner::EndEpoch() {
   epoch_span.AddArg("epoch", stats_.epochs);
   if (obs_ != nullptr) {
     obs_->metrics().GetCounter("online.epochs")->Add(1);
+    // Periodic counter-sample track: every metric series gets one "C"
+    // event per epoch boundary, so exported traces carry value-over-time
+    // graphs (calls, retries, quarantines) aligned with the epoch spans.
+    obs_->SampleCounters();
   }
 
   // Fault-episode screening: an epoch whose transport visibly fought the

@@ -51,37 +51,27 @@ void NetworkAccountant::OnCallEnd(const ObjectSystem::CallEvent& event, const St
   assert(wire.remotable);  // Call() refuses non-remotable remote calls.
   ++remote_calls_;
   remote_bytes_ += wire.total_bytes();
-  double seconds = 0.0;
-  if (transport_.has_faults()) {
-    const DeliveryReceipt receipt =
-        transport_.ReliableRoundTrip(event.caller_machine, event.target_machine,
-                                     wire.request_bytes, wire.reply_bytes, jitter_rng_);
-    seconds = receipt.seconds;
-    health_.attempts += static_cast<uint64_t>(receipt.attempts);
-    health_.retries += static_cast<uint64_t>(receipt.attempts - 1);
-    health_.wire_latency_seconds += receipt.latency_seconds;
-    health_.wire_payload_seconds += receipt.payload_seconds;
-    if (!receipt.delivered) {
-      ++health_.undelivered;
-    }
-    if (receipt.faulted) {
-      ++health_.faulted_calls;
-    }
-    health_.duplicates_suppressed += receipt.duplicates_suppressed;
-  } else {
-    seconds = jitter_rng_ != nullptr
-                  ? transport_.SampleRoundTripSeconds(wire.request_bytes,
-                                                      wire.reply_bytes, *jitter_rng_)
-                  : transport_.ExpectedRoundTripSeconds(wire.request_bytes,
-                                                        wire.reply_bytes);
-    ++health_.attempts;
-    // Expected-shape decomposition (jitter pro-rated across both terms).
-    const Transport::RoundTripSplit split = transport_.ScaledRoundTripSplit(
-        wire.request_bytes, wire.reply_bytes, 1.0, 1.0, nullptr);
-    const double factor = split.total() > 0.0 ? seconds / split.total() : 0.0;
-    health_.wire_latency_seconds += split.latency * factor;
-    health_.wire_payload_seconds += split.payload * factor;
+  // Fault-free and faulted calls take the same path: one clean attempt is
+  // just the degenerate receipt (attempts=1, jitter pro-rated across the
+  // latency/payload split — identical draws to the old direct sampling), and
+  // routing both through ReliableRoundTrip means model-priced traffic always
+  // reaches RecordReceipt, so online runs without a fault model still show
+  // live transport counters and rpc spans.
+  const DeliveryReceipt receipt =
+      transport_.ReliableRoundTrip(event.caller_machine, event.target_machine,
+                                   wire.request_bytes, wire.reply_bytes, jitter_rng_);
+  const double seconds = receipt.seconds;
+  health_.attempts += static_cast<uint64_t>(receipt.attempts);
+  health_.retries += static_cast<uint64_t>(receipt.attempts - 1);
+  health_.wire_latency_seconds += receipt.latency_seconds;
+  health_.wire_payload_seconds += receipt.payload_seconds;
+  if (!receipt.delivered) {
+    ++health_.undelivered;
   }
+  if (receipt.faulted) {
+    ++health_.faulted_calls;
+  }
+  health_.duplicates_suppressed += receipt.duplicates_suppressed;
   communication_seconds_ += seconds;
   ++health_.calls;
   health_.wire_bytes += wire.total_bytes();

@@ -305,9 +305,11 @@ TEST(PlanCacheTest, LoadIntoSmallerCacheKeepsTheMostRecentEntries) {
 TEST(PlanCacheTest, LoadRejectsMalformedSnapshots) {
   PlanCache cache(4);
   EXPECT_FALSE(cache.Load("not a cache").ok());
-  EXPECT_FALSE(cache.Load("plan-cache v3 0\n").ok());
+  EXPECT_FALSE(cache.Load("plan-cache v4 0\n").ok());
   EXPECT_FALSE(cache.Load("plan-cache v1 1\nentry oops\n").ok());
-  // v2 (the loss-bucket format) is the current version; empty is fine.
+  // v3 (the exact-cut-value format) is current; v2 (loss buckets, no cut
+  // units) and v1 still load. Empty snapshots are fine in all versions.
+  EXPECT_TRUE(cache.Load("plan-cache v3 0\n").ok());
   EXPECT_TRUE(cache.Load("plan-cache v2 0\n").ok());
 }
 

@@ -7,11 +7,11 @@
 namespace coign {
 namespace {
 
-double AssignmentWeight(const EdgeList& edges, const std::vector<int>& assignment) {
-  double weight = 0.0;
+CapUnits AssignmentWeight(const EdgeList& edges, const std::vector<int>& assignment) {
+  CapUnits weight = 0;
   for (const auto& [a, b, w] : edges) {
     if (assignment[static_cast<size_t>(a)] != assignment[static_cast<size_t>(b)]) {
-      weight += w;
+      weight = SatAdd(weight, w);
     }
   }
   return weight;
@@ -19,29 +19,30 @@ double AssignmentWeight(const EdgeList& edges, const std::vector<int>& assignmen
 
 TEST(MultiwayCutTest, TwoTerminalsMatchesExactMinCutStructure) {
   // Triangle-ish: node 2 clearly belongs with terminal 1.
-  EdgeList edges = {{0, 2, 1.0}, {2, 1, 5.0}};
+  EdgeList edges = {{0, 2, 10}, {2, 1, 50}};
   const MultiwayCutResult result = MultiwayCutIsolation(3, edges, {0, 1});
   EXPECT_EQ(result.assignment[0], 0);
   EXPECT_EQ(result.assignment[1], 1);
   EXPECT_EQ(result.assignment[2], 1);
-  EXPECT_NEAR(result.total_weight, 1.0, 1e-9);
+  EXPECT_EQ(result.total_weight, 10);
 }
 
 TEST(MultiwayCutTest, ThreeClusters) {
   // Three tight clusters, one terminal each, thin inter-cluster links.
-  // Nodes: 0-2 cluster A, 3-5 cluster B, 6-8 cluster C.
+  // Nodes: 0-2 cluster A, 3-5 cluster B, 6-8 cluster C. Weights in units
+  // (the old fixture scaled by 10 to stay integral).
   EdgeList edges;
   auto clique = [&edges](int base) {
-    edges.emplace_back(base, base + 1, 10.0);
-    edges.emplace_back(base + 1, base + 2, 10.0);
-    edges.emplace_back(base, base + 2, 10.0);
+    edges.emplace_back(base, base + 1, 100);
+    edges.emplace_back(base + 1, base + 2, 100);
+    edges.emplace_back(base, base + 2, 100);
   };
   clique(0);
   clique(3);
   clique(6);
-  edges.emplace_back(2, 3, 0.5);
-  edges.emplace_back(5, 6, 0.5);
-  edges.emplace_back(8, 0, 0.5);
+  edges.emplace_back(2, 3, 5);
+  edges.emplace_back(5, 6, 5);
+  edges.emplace_back(8, 0, 5);
 
   const MultiwayCutResult result = MultiwayCutIsolation(9, edges, {0, 3, 6});
   // Each cluster stays whole with its terminal.
@@ -54,12 +55,12 @@ TEST(MultiwayCutTest, ThreeClusters) {
   for (int v = 6; v < 9; ++v) {
     EXPECT_EQ(result.assignment[static_cast<size_t>(v)], 2) << v;
   }
-  EXPECT_NEAR(result.total_weight, 1.5, 1e-9);
-  EXPECT_NEAR(result.total_weight, AssignmentWeight(edges, result.assignment), 1e-9);
+  EXPECT_EQ(result.total_weight, 15);
+  EXPECT_EQ(result.total_weight, AssignmentWeight(edges, result.assignment));
 }
 
 TEST(MultiwayCutTest, TerminalsAlwaysKeepTheirOwnSide) {
-  EdgeList edges = {{0, 1, 100.0}, {1, 2, 100.0}, {0, 2, 100.0}};
+  EdgeList edges = {{0, 1, 100}, {1, 2, 100}, {0, 2, 100}};
   const MultiwayCutResult result = MultiwayCutIsolation(3, edges, {0, 1, 2});
   EXPECT_EQ(result.assignment[0], 0);
   EXPECT_EQ(result.assignment[1], 1);
@@ -69,14 +70,24 @@ TEST(MultiwayCutTest, TerminalsAlwaysKeepTheirOwnSide) {
 TEST(MultiwayCutTest, IsolatedNodesLandWithDiscardedTerminal) {
   // Node 3 has no edges; the heuristic leaves it with the terminal whose
   // isolating cut was discarded. Whatever the side, the weight is stable.
-  EdgeList edges = {{0, 1, 1.0}};
+  EdgeList edges = {{0, 1, 1}};
   const MultiwayCutResult result = MultiwayCutIsolation(4, edges, {0, 1, 2});
   EXPECT_EQ(result.assignment.size(), 4u);
-  EXPECT_NEAR(result.total_weight, AssignmentWeight(edges, result.assignment), 1e-12);
+  EXPECT_EQ(result.total_weight, AssignmentWeight(edges, result.assignment));
+}
+
+TEST(MultiwayCutTest, CrossingSentinelEdgeSaturatesTotalWeight) {
+  // Terminals 0 and 1 pinned together by a sentinel edge: the heuristic
+  // must still terminate and report exactly kInfiniteCapacity so the
+  // analysis layer can detect the unsatisfiable pin with ==.
+  EdgeList edges = {{0, 1, kInfiniteCapacity}, {0, 2, 3}, {2, 1, 3}};
+  const MultiwayCutResult result = MultiwayCutIsolation(3, edges, {0, 1});
+  EXPECT_EQ(result.total_weight, kInfiniteCapacity);
 }
 
 // Property: the isolation heuristic is within 2(1 - 1/k) of any partition
-// we can find by brute force on small random instances.
+// we can find by brute force on small random instances. Cut weights are
+// exact integers; only the approximation ratio itself needs doubles.
 class MultiwayPropertyTest : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(MultiwayPropertyTest, WithinApproximationBoundOfBruteForce) {
@@ -87,15 +98,15 @@ TEST_P(MultiwayPropertyTest, WithinApproximationBoundOfBruteForce) {
   for (int a = 0; a < n; ++a) {
     for (int b = a + 1; b < n; ++b) {
       if (rng.Bernoulli(0.6)) {
-        edges.emplace_back(a, b, rng.UniformDouble(0.1, 5.0));
+        edges.emplace_back(a, b, rng.UniformInt(1, 5'000'000));
       }
     }
   }
   const MultiwayCutResult result = MultiwayCutIsolation(n, edges, terminals);
-  EXPECT_NEAR(result.total_weight, AssignmentWeight(edges, result.assignment), 1e-9);
+  EXPECT_EQ(result.total_weight, AssignmentWeight(edges, result.assignment));
 
   // Brute force over the 3^(n-3) assignments of free nodes.
-  double best = 1e300;
+  CapUnits best = kInfiniteCapacity;
   std::vector<int> assignment(n);
   assignment[0] = 0;
   assignment[1] = 1;
@@ -114,8 +125,9 @@ TEST_P(MultiwayPropertyTest, WithinApproximationBoundOfBruteForce) {
     best = std::min(best, AssignmentWeight(edges, assignment));
   }
   const double bound = 2.0 * (1.0 - 1.0 / 3.0);
-  EXPECT_LE(result.total_weight, best * bound + 1e-9);
-  EXPECT_GE(result.total_weight, best - 1e-9);
+  EXPECT_LE(static_cast<double>(result.total_weight),
+            static_cast<double>(best) * bound);
+  EXPECT_GE(result.total_weight, best);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, MultiwayPropertyTest,

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <tuple>
+#include <vector>
+
 #include "src/mincut/edmonds_karp.h"
 #include "src/mincut/flow_network.h"
 #include "src/mincut/relabel_to_front.h"
@@ -19,9 +22,9 @@ class MinCutAlgorithmTest : public ::testing::TestWithParam<AlgorithmParam> {};
 
 TEST_P(MinCutAlgorithmTest, SingleEdge) {
   FlowNetwork network(2);
-  network.AddEdge(0, 1, 5.0);
+  network.AddEdge(0, 1, 5);
   const CutResult cut = GetParam().fn(network, 0, 1);
-  EXPECT_NEAR(cut.cut_value, 5.0, 1e-9);
+  EXPECT_EQ(cut.cut_value, 5);
   EXPECT_TRUE(cut.in_source_side[0]);
   EXPECT_FALSE(cut.in_source_side[1]);
   ASSERT_EQ(cut.cut_edges.size(), 1u);
@@ -29,10 +32,10 @@ TEST_P(MinCutAlgorithmTest, SingleEdge) {
 
 TEST_P(MinCutAlgorithmTest, DisconnectedTerminalsHaveZeroCut) {
   FlowNetwork network(4);
-  network.AddEdge(0, 2, 9.0);
-  network.AddEdge(1, 3, 9.0);
+  network.AddEdge(0, 2, 9);
+  network.AddEdge(1, 3, 9);
   const CutResult cut = GetParam().fn(network, 0, 1);
-  EXPECT_NEAR(cut.cut_value, 0.0, 1e-12);
+  EXPECT_EQ(cut.cut_value, 0);
   EXPECT_TRUE(cut.cut_edges.empty());
 }
 
@@ -50,17 +53,19 @@ TEST_P(MinCutAlgorithmTest, ClassicClrsExample) {
   network.AddArc(3, 5, 20);
   network.AddArc(4, 5, 4);
   const CutResult cut = GetParam().fn(network, 0, 5);
-  EXPECT_NEAR(cut.cut_value, 23.0, 1e-9);  // The textbook max flow.
+  EXPECT_EQ(cut.cut_value, 23);  // The textbook max flow.
 }
 
 TEST_P(MinCutAlgorithmTest, PathBottleneck) {
+  // Capacities in units (3/2 of the old float fixture, scaled by 2 to
+  // stay integral): the bottleneck edge decides the cut exactly.
   FlowNetwork network(5);
-  network.AddEdge(0, 1, 10);
-  network.AddEdge(1, 2, 1.5);  // Bottleneck.
-  network.AddEdge(2, 3, 10);
-  network.AddEdge(3, 4, 10);
+  network.AddEdge(0, 1, 20);
+  network.AddEdge(1, 2, 3);  // Bottleneck.
+  network.AddEdge(2, 3, 20);
+  network.AddEdge(3, 4, 20);
   const CutResult cut = GetParam().fn(network, 0, 4);
-  EXPECT_NEAR(cut.cut_value, 1.5, 1e-9);
+  EXPECT_EQ(cut.cut_value, 3);
   EXPECT_TRUE(cut.in_source_side[1]);
   EXPECT_FALSE(cut.in_source_side[2]);
 }
@@ -70,21 +75,73 @@ TEST_P(MinCutAlgorithmTest, InfiniteConstraintEdgeNeverCut) {
   // on the source side even when all its other traffic points at the sink.
   FlowNetwork network(3);
   network.AddEdge(0, 2, kInfiniteCapacity);  // Constraint: 2 stays with 0.
-  network.AddEdge(2, 1, 100.0);              // Heavy traffic toward the sink.
+  network.AddEdge(2, 1, 100);                // Heavy traffic toward the sink.
   const CutResult cut = GetParam().fn(network, 0, 1);
-  EXPECT_NEAR(cut.cut_value, 100.0, 1e-6);
+  EXPECT_EQ(cut.cut_value, 100);
   EXPECT_TRUE(cut.in_source_side[2]);
 }
 
 TEST_P(MinCutAlgorithmTest, StarGraphCutsCheaperSide) {
-  // Node 2 talks 1.0 to the client and 3.0 to the server: it belongs on
+  // Node 2 talks 1 unit to the client and 3 to the server: it belongs on
   // the server side; the cut pays only the client edge.
   FlowNetwork network(3);
-  network.AddEdge(0, 2, 1.0);
-  network.AddEdge(2, 1, 3.0);
+  network.AddEdge(0, 2, 1);
+  network.AddEdge(2, 1, 3);
   const CutResult cut = GetParam().fn(network, 0, 1);
-  EXPECT_NEAR(cut.cut_value, 1.0, 1e-9);
+  EXPECT_EQ(cut.cut_value, 1);
   EXPECT_FALSE(cut.in_source_side[2]);
+}
+
+TEST_P(MinCutAlgorithmTest, InfeasibleSentinelPathReportsInfiniteCut) {
+  // A pure-sentinel s-t path: every cut severs a constraint. Both
+  // algorithms must report exactly kInfiniteCapacity — the analysis
+  // engine's unsatisfiable-constraints signal — and terminate doing so
+  // (the float era could spin here; exact arithmetic cannot).
+  FlowNetwork network(3);
+  network.AddEdge(0, 2, kInfiniteCapacity);
+  network.AddEdge(2, 1, kInfiniteCapacity);
+  network.AddEdge(0, 1, 7);  // Finite traffic alongside the pins.
+  const CutResult cut = GetParam().fn(network, 0, 1);
+  EXPECT_EQ(cut.cut_value, kInfiniteCapacity);
+}
+
+TEST_P(MinCutAlgorithmTest, ParallelSentinelArcsIntoOneNodeStayExact) {
+  // Two sentinel arcs feeding node 3 saturate its stored excess in
+  // push-relabel (kInf + kInf clamps); the surplus must drain back to the
+  // source without disturbing the finite cut value.
+  FlowNetwork network(5);
+  network.AddArc(0, 2, kInfiniteCapacity);
+  network.AddArc(0, 3, kInfiniteCapacity);
+  network.AddArc(2, 3, kInfiniteCapacity);
+  network.AddArc(3, 4, 11);
+  network.AddArc(4, 1, 6);
+  const CutResult cut = GetParam().fn(network, 0, 1);
+  EXPECT_EQ(cut.cut_value, 6);
+}
+
+TEST_P(MinCutAlgorithmTest, SummedCapacitiesNearInt64MaxSaturateToSentinel) {
+  // Three parallel finite edges each close to the finite maximum: the true
+  // max flow exceeds int64 range, so the reported value must saturate to
+  // exactly the sentinel in both algorithms rather than wrapping.
+  FlowNetwork network(5);
+  network.AddArc(0, 2, kMaxFiniteCapacity - 2);
+  network.AddArc(0, 3, kMaxFiniteCapacity - 2);
+  network.AddArc(0, 4, kMaxFiniteCapacity - 2);
+  network.AddArc(2, 1, kMaxFiniteCapacity - 2);
+  network.AddArc(3, 1, kMaxFiniteCapacity - 2);
+  network.AddArc(4, 1, kMaxFiniteCapacity - 2);
+  const CutResult cut = GetParam().fn(network, 0, 1);
+  EXPECT_EQ(cut.cut_value, kInfiniteCapacity);
+}
+
+TEST_P(MinCutAlgorithmTest, NearMaxFiniteCapacitySingleEdgeIsExact) {
+  // One edge just below the sentinel: the flow is huge but representable,
+  // and the result must be bit-exact, not approximately large.
+  FlowNetwork network(3);
+  network.AddArc(0, 2, kMaxFiniteCapacity - 1);
+  network.AddArc(2, 1, kMaxFiniteCapacity - 7);
+  const CutResult cut = GetParam().fn(network, 0, 1);
+  EXPECT_EQ(cut.cut_value, kMaxFiniteCapacity - 7);
 }
 
 INSTANTIATE_TEST_SUITE_P(Algorithms, MinCutAlgorithmTest,
@@ -93,12 +150,47 @@ INSTANTIATE_TEST_SUITE_P(Algorithms, MinCutAlgorithmTest,
                                            AlgorithmParam{"EdmondsKarp", &MinCutEdmondsKarp}),
                          [](const auto& info) { return info.param.name; });
 
-double CutWeightOfPartition(const std::vector<std::tuple<int, int, double>>& edges,
-                            const std::vector<bool>& source_side) {
-  double weight = 0.0;
+// Saturating arithmetic unit tests: the sentinel is absorbing at both
+// rails and ordinary values stay exact.
+TEST(SaturatingArithmeticTest, AddSaturatesAtTheRails) {
+  EXPECT_EQ(SatAdd(1, 2), 3);
+  EXPECT_EQ(SatAdd(kInfiniteCapacity, 1), kInfiniteCapacity);
+  EXPECT_EQ(SatAdd(kInfiniteCapacity, kInfiniteCapacity), kInfiniteCapacity);
+  EXPECT_EQ(SatAdd(kMaxFiniteCapacity, 1), kInfiniteCapacity);
+  EXPECT_EQ(SatAdd(kMaxFiniteCapacity, 0), kMaxFiniteCapacity);
+  EXPECT_EQ(SatAdd(-kInfiniteCapacity, -1), -kInfiniteCapacity);
+  EXPECT_EQ(SatAdd(-kInfiniteCapacity, kInfiniteCapacity), 0);
+}
+
+TEST(SaturatingArithmeticTest, SubSaturatesAtTheRails) {
+  EXPECT_EQ(SatSub(5, 3), 2);
+  EXPECT_EQ(SatSub(0, kInfiniteCapacity), -kInfiniteCapacity);
+  EXPECT_EQ(SatSub(-2, kInfiniteCapacity), -kInfiniteCapacity);
+  EXPECT_EQ(SatSub(kInfiniteCapacity, -1), kInfiniteCapacity);
+  EXPECT_EQ(SatSub(kInfiniteCapacity, kInfiniteCapacity), 0);
+  // The symmetric range: INT64_MIN is never produced.
+  EXPECT_EQ(SatSub(-kInfiniteCapacity, 1), -kInfiniteCapacity);
+}
+
+TEST(SaturatingArithmeticTest, ResidualOfSentinelArcSaturates) {
+  // A sentinel-capacity arc whose reverse owes sentinel-scale flow has a
+  // residual beyond int64 range; it must clamp to the sentinel, not wrap.
+  FlowArc arc;
+  arc.capacity = kInfiniteCapacity;
+  arc.flow = -kInfiniteCapacity;
+  EXPECT_EQ(arc.Residual(), kInfiniteCapacity);
+  arc.flow = kInfiniteCapacity;
+  EXPECT_EQ(arc.Residual(), 0);
+  arc.flow = 5;
+  EXPECT_EQ(arc.Residual(), kInfiniteCapacity - 5);
+}
+
+CapUnits CutWeightOfPartition(const std::vector<std::tuple<int, int, CapUnits>>& edges,
+                              const std::vector<bool>& source_side) {
+  CapUnits weight = 0;
   for (const auto& [a, b, w] : edges) {
     if (source_side[static_cast<size_t>(a)] != source_side[static_cast<size_t>(b)]) {
-      weight += w;
+      weight = SatAdd(weight, w);
     }
   }
   return weight;
@@ -106,17 +198,18 @@ double CutWeightOfPartition(const std::vector<std::tuple<int, int, double>>& edg
 
 // Property: on random graphs both algorithms find cuts with (a) equal
 // value, (b) value equal to the partition weight they report, and (c) no
-// cheaper single-node move (local optimality of a min cut).
+// cheaper single-node move (local optimality of a min cut). All equalities
+// are exact — fixed-point capacities leave no room for epsilon.
 class RandomGraphTest : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(RandomGraphTest, AlgorithmsAgreeAndCutsAreConsistent) {
   Rng rng(GetParam());
   const int n = static_cast<int>(rng.UniformInt(4, 24));
-  std::vector<std::tuple<int, int, double>> edges;
+  std::vector<std::tuple<int, int, CapUnits>> edges;
   for (int a = 0; a < n; ++a) {
     for (int b = a + 1; b < n; ++b) {
       if (rng.Bernoulli(0.35)) {
-        edges.emplace_back(a, b, rng.UniformDouble(0.1, 10.0));
+        edges.emplace_back(a, b, rng.UniformInt(1, 10'000'000));
       }
     }
   }
@@ -130,18 +223,18 @@ TEST_P(RandomGraphTest, AlgorithmsAgreeAndCutsAreConsistent) {
   const CutResult rtf = MinCutRelabelToFront(network1, 0, n - 1);
   const CutResult ek = MinCutEdmondsKarp(network2, 0, n - 1);
 
-  EXPECT_NEAR(rtf.cut_value, ek.cut_value, 1e-6);
+  EXPECT_EQ(rtf.cut_value, ek.cut_value);
 
   // The reported flow value equals the partition's crossing weight.
-  EXPECT_NEAR(CutWeightOfPartition(edges, rtf.in_source_side), rtf.cut_value, 1e-6);
-  EXPECT_NEAR(CutWeightOfPartition(edges, ek.in_source_side), ek.cut_value, 1e-6);
+  EXPECT_EQ(CutWeightOfPartition(edges, rtf.in_source_side), rtf.cut_value);
+  EXPECT_EQ(CutWeightOfPartition(edges, ek.in_source_side), ek.cut_value);
 
   // No single node can move sides and lower the cut (necessary condition
   // for optimality; terminals stay put).
   for (int v = 1; v < n - 1; ++v) {
     std::vector<bool> flipped = rtf.in_source_side;
     flipped[static_cast<size_t>(v)] = !flipped[static_cast<size_t>(v)];
-    EXPECT_GE(CutWeightOfPartition(edges, flipped) + 1e-9, rtf.cut_value);
+    EXPECT_GE(CutWeightOfPartition(edges, flipped), rtf.cut_value);
   }
 }
 
@@ -152,29 +245,29 @@ TEST(FlowNetworkTest, CutsDoNotMutateTheInputNetwork) {
   // The const& entry points work on per-call copies: repeated cuts over
   // the same network agree, and the caller's arcs keep zero flow.
   FlowNetwork network(3);
-  network.AddEdge(0, 1, 2.0);
-  network.AddEdge(1, 2, 2.0);
+  network.AddEdge(0, 1, 2);
+  network.AddEdge(1, 2, 2);
   const CutResult first = MinCutRelabelToFront(network, 0, 2);
   const CutResult second = MinCutRelabelToFront(network, 0, 2);
-  EXPECT_NEAR(first.cut_value, second.cut_value, 1e-12);
+  EXPECT_EQ(first.cut_value, second.cut_value);
   for (int node = 0; node < network.node_count(); ++node) {
     for (const FlowArc& arc : network.ArcsFrom(node)) {
-      EXPECT_DOUBLE_EQ(arc.flow, 0.0);
+      EXPECT_EQ(arc.flow, 0);
     }
   }
   // ResetFlow stays available for callers that build flows by hand.
   network.ResetFlow();
-  EXPECT_NEAR(MinCutRelabelToFront(network, 0, 2).cut_value, first.cut_value, 1e-12);
+  EXPECT_EQ(MinCutRelabelToFront(network, 0, 2).cut_value, first.cut_value);
 }
 
 TEST(FlowNetworkTest, ExtractCutListsSaturatedCrossingEdges) {
   FlowNetwork network(4);
-  network.AddEdge(0, 1, 1.0);
-  network.AddEdge(0, 2, 1.0);
-  network.AddEdge(1, 3, 1.0);
-  network.AddEdge(2, 3, 1.0);
+  network.AddEdge(0, 1, 1);
+  network.AddEdge(0, 2, 1);
+  network.AddEdge(1, 3, 1);
+  network.AddEdge(2, 3, 1);
   const CutResult cut = MinCutRelabelToFront(network, 0, 3);
-  EXPECT_NEAR(cut.cut_value, 2.0, 1e-9);
+  EXPECT_EQ(cut.cut_value, 2);
   EXPECT_EQ(cut.cut_edges.size(), 2u);
   // Both unit-capacity source edges saturate; only the source remains on
   // the source side.

@@ -163,6 +163,59 @@ TEST(MetricsTest, SnapshotIsByteStableAcrossIdenticalUpdateSequences) {
 
 // --- Observability facade ---------------------------------------------------
 
+TEST(ObservabilityTest, SampleCountersEmitsOneCounterEventPerSeries) {
+  Observability obs;
+  double clock = 2.0;
+  obs.tracer().SetClock([&clock] { return clock; });
+  obs.metrics().GetCounter("transport.calls")->Add(7);
+  obs.metrics().GetCounter("online.epochs")->Add(3);
+  obs.metrics().GetGauge("net.slowdown")->Set(1.25);
+  // Histograms have no single plottable value; they stay off the track.
+  obs.metrics().GetHistogram("transport.rtt_seconds", {0.1})->Observe(0.05);
+
+  obs.SampleCounters();
+
+  std::vector<TraceEvent> counters;
+  for (const TraceEvent& event : obs.tracer().Snapshot()) {
+    if (event.phase == TraceEvent::Phase::kCounter) {
+      counters.push_back(event);
+    }
+  }
+  ASSERT_EQ(counters.size(), 3u);
+  // Registry order: counters name-sorted, then gauges — all on the counter
+  // track, all stamped with the same clock reading.
+  EXPECT_EQ(counters[0].name, "online.epochs");
+  EXPECT_EQ(counters[1].name, "transport.calls");
+  EXPECT_EQ(counters[2].name, "net.slowdown");
+  for (const TraceEvent& event : counters) {
+    EXPECT_EQ(event.track, kTrackCounters);
+    EXPECT_DOUBLE_EQ(event.start_seconds, 2.0);
+    ASSERT_EQ(event.args.size(), 1u);
+    EXPECT_EQ(event.args[0].first, "value");
+  }
+  EXPECT_EQ(counters[0].args[0].second, "3");
+  EXPECT_EQ(counters[1].args[0].second, "7");
+  EXPECT_EQ(counters[2].args[0].second, "1.25");
+
+  // A second sampling after an update lands the new value at the new time.
+  clock = 5.0;
+  obs.metrics().GetCounter("online.epochs")->Add(1);
+  obs.SampleCounters();
+  const std::vector<TraceEvent> events = obs.tracer().Snapshot();
+  bool found = false;
+  for (const TraceEvent& event : events) {
+    if (event.phase == TraceEvent::Phase::kCounter &&
+        event.name == "online.epochs" && event.start_seconds == 5.0) {
+      EXPECT_EQ(event.args[0].second, "4");
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+  // The export renders them as "C" phase events.
+  EXPECT_NE(obs.tracer().ExportChromeTrace().find("\"ph\":\"C\""),
+            std::string::npos);
+}
+
 TEST(ObservabilityTest, DumpWritesRingSnapshotsUpToTheLimit) {
   Observability obs;
   const std::string prefix = ::testing::TempDir() + "/coign_obs_dump_test";

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "src/apps/component_library.h"
+#include "src/obs/obs.h"
 #include "src/sim/accountant.h"
 #include "src/sim/class_placement.h"
 #include "src/sim/measurement.h"
@@ -70,6 +71,51 @@ TEST_F(SimTest, RemoteCallsChargedByMarshaledBytes) {
   EXPECT_NEAR(accountant.communication_seconds(), expected, 1e-9);
   EXPECT_DOUBLE_EQ(accountant.execution_seconds(),
                    accountant.compute_seconds() + accountant.communication_seconds());
+}
+
+TEST_F(SimTest, CleanRunFeedsTransportObservability) {
+  // Fault-free model-priced calls take the same ReliableRoundTrip path as
+  // hardened ones, so an attached Observability sees live counters and rpc
+  // spans even when no fault model exists — a clean online run must not
+  // show a dead transport dashboard.
+  Observability obs;
+  Transport transport(NetworkModel::TenBaseT());
+  transport.SetObservability(&obs);
+  NetworkAccountant accountant(&system_, transport);
+  const ObjectRef ping = MakePing(kServerMachine);
+  ASSERT_TRUE(CallPing(ping, 2000).ok());
+  ASSERT_TRUE(CallPing(ping, 2000).ok());
+
+  EXPECT_EQ(obs.metrics().GetCounter("transport.calls")->value(), 2u);
+  EXPECT_EQ(obs.metrics().GetCounter("transport.attempts")->value(), 2u);
+  EXPECT_EQ(obs.metrics().GetCounter("transport.retries")->value(), 0u);
+  EXPECT_EQ(obs.metrics().GetCounter("transport.faulted_calls")->value(), 0u);
+  EXPECT_EQ(obs.metrics()
+                .GetHistogram("transport.rtt_seconds", {})
+                ->count(),
+            2u);
+
+  // One "rpc" span per round trip, on the transport track.
+  int rpc_spans = 0;
+  for (const TraceEvent& event : obs.tracer().Snapshot()) {
+    if (event.name == "rpc" && event.track == kTrackTransport) {
+      ++rpc_spans;
+      EXPECT_EQ(event.phase, TraceEvent::Phase::kComplete);
+      EXPECT_GT(event.duration_seconds, 0.0);
+    }
+  }
+  EXPECT_EQ(rpc_spans, 2);
+
+  // The health snapshot agrees with the clean receipts: one attempt per
+  // call and a latency/payload split that adds back up to the wire time.
+  const TransportHealth health = accountant.health();
+  EXPECT_EQ(health.calls, 2u);
+  EXPECT_EQ(health.attempts, 2u);
+  EXPECT_EQ(health.retries, 0u);
+  EXPECT_EQ(health.undelivered, 0u);
+  EXPECT_NEAR(health.wire_latency_seconds + health.wire_payload_seconds,
+              health.wire_seconds, 1e-12);
+  EXPECT_DOUBLE_EQ(accountant.communication_seconds(), health.wire_seconds);
 }
 
 TEST_F(SimTest, ComputeScalesWithMachinePower) {

@@ -7,8 +7,9 @@
 // repo takes no JSON dependency), the root carries a "traceEvents" array,
 // and every event has the fields a trace viewer needs: a name, a known
 // phase ("X" complete / "i" instant / "C" counter), numeric pid/tid, a
-// non-negative "ts", a non-negative "dur" on complete events, and an "s"
-// scope on instants. Exit 0 with a per-file summary, or 1 on the first
+// non-negative "ts", a non-negative "dur" on complete events, an "s"
+// scope on instants, and a non-empty all-numeric "args" series object on
+// counters. Exit 0 with a per-file summary, or 1 on the first
 // malformed file — CI runs this over freshly written traces so a formatting
 // regression in the exporter fails the build, not the viewer.
 
@@ -325,6 +326,21 @@ bool LintEvent(const JsonValue& event, size_t index, std::string* error) {
   const JsonValue* args = Field(event.object, "args");
   if (args != nullptr && args->kind != JsonValue::Kind::kObject) {
     return fail("\"args\" must be an object");
+  }
+  if (ph->string == "C") {
+    // Counter events are value graphs: the viewer plots each args member
+    // as a series, so there must be at least one and all must be numeric.
+    if (args == nullptr) {
+      return fail("counter event needs an \"args\" object with its series");
+    }
+    if (args->object.empty()) {
+      return fail("counter event has no series in \"args\"");
+    }
+    for (const auto& [series, value] : args->object) {
+      if (value->kind != JsonValue::Kind::kNumber) {
+        return fail("counter series \"" + series + "\" is not numeric");
+      }
+    }
   }
   return true;
 }
