@@ -57,9 +57,37 @@ FaultSchedule EpisodeSchedule(double horizon) {
   return FaultSchedule::FromEpisodes(std::move(episodes));
 }
 
+// The corruption storm: one long symmetric corrupt-burst over the middle
+// of the run, heavy enough (90% flip probability while the Gilbert chain
+// is pinned bad) that an unprotected wire consumes garbage constantly and
+// a checksummed one burns most of its retry budget. Scaled to the
+// fault-free *adaptive* horizon: the breaker run spends the burst in the
+// fast all-local plan, so a storm scaled to the slower static horizon
+// would outlive the run and the breaker would never see the link heal.
+FaultSchedule CorruptionStorm(double adaptive_horizon) {
+  FaultEpisode burst;
+  burst.kind = FaultKind::kCorruptBurst;
+  burst.start_seconds = 0.1 * adaptive_horizon;
+  burst.duration_seconds = 0.3 * adaptive_horizon;
+  burst.magnitude = 0.9;
+  burst.gilbert.p_good_to_bad = 0.0;
+  burst.gilbert.p_bad_to_good = 0.0;
+  burst.gilbert.loss_good = 0.9;
+  burst.gilbert.loss_bad = 0.9;
+  return FaultSchedule::FromEpisodes({burst});
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    }
+  }
+  BenchTrajectory trajectory("bench_fault_resilience");
+
   std::unique_ptr<Application> app = MakeOctarine();
 
   // Same story as bench_online_repartition: profiled on text usage only,
@@ -188,6 +216,13 @@ int main() {
       if (row.adaptive) {
         std::printf("    %s\n", run->online.ToString().c_str());
       }
+      trajectory.Add(std::string(level.label) + " / " + row.label,
+                     {{"exec_seconds", run->run.execution_seconds},
+                      {"comm_seconds", run->run.communication_seconds},
+                      {"recuts", static_cast<double>(run->online.repartitions)},
+                      {"moves", static_cast<double>(run->online.instances_moved)},
+                      {"quarantined_epochs",
+                       static_cast<double>(run->online.quarantined_epochs)}});
       if (row.adaptive && row.quarantine && level.drop == 0.01 && !level.episodes) {
         quarantined_exec_at_1pct = run->run.execution_seconds;
       }
@@ -212,6 +247,115 @@ int main() {
       static_cast<unsigned long long>(storm_quarantined_recuts),
       static_cast<unsigned long long>(storm_naive_recuts));
 
+  // ----- Corruption storm: what protects the answer, not just the time.
+  // Three wire configurations through the same corrupt-burst schedule:
+  // a naive unframed wire consumes flipped payloads as truth (wrong
+  // answers, silently), the checksummed wire detects and retries every
+  // one (right answers, retry cost while the burst lasts), and the
+  // breaker adds safe mode on top (degrade to all-local, re-promote when
+  // the link heals — bounded slowdown, zero wrong placements).
+  struct CorruptionRow {
+    const char* label;
+    bool checksums;
+    bool breaker;
+  };
+  const std::vector<CorruptionRow> corruption_rows = {
+      {"naive (no checksums)", false, false},
+      {"checksum-only", true, false},
+      {"breaker+safe-mode", true, true},
+  };
+  std::printf("\nCorruption storm (90%% flip probability over 30%% of the run):\n");
+  PrintRule(94);
+  std::printf("%-22s %10s %7s %9s %9s %6s %5s %6s\n", "Wire", "Exec (s)", "Recuts",
+              "Rejected", "Consumed", "Trips", "Safe", "Match");
+  PrintRule(94);
+
+  uint64_t naive_consumed = 0;
+  uint64_t checksum_rejected = 0;
+  uint64_t checksum_consumed = 0;
+  uint64_t breaker_trips = 0;
+  uint64_t breaker_safe_exits = 0;
+  bool breaker_partitions_match = false;
+  double breaker_exec = 0.0;
+  for (const CorruptionRow& row : corruption_rows) {
+    FaultSchedule schedule = CorruptionStorm(clean_adaptive_exec);
+    FaultInjector injector(schedule, FaultRates{}, /*seed=*/97);
+    OnlineMeasurementOptions options = base;
+    options.adaptive = true;
+    options.faults = &injector;
+    options.checksums = row.checksums;
+    options.online.quarantine.enabled = true;
+    options.online.breaker.enabled = row.breaker;
+    // The scripted burst concentrates its damage in few epochs, so trip on
+    // the first bad one and hold long enough to span a clean epoch.
+    options.online.breaker.trip_after = 1;
+    options.online.breaker.open_epochs = 3;
+    Result<OnlineRunResult> run =
+        MeasureOnlineRun(*app, workload, config, *text_profile, options);
+    if (!run.ok()) {
+      std::fprintf(stderr, "corruption / %s: %s\n", row.label,
+                   run.status().ToString().c_str());
+      return 1;
+    }
+    const bool match =
+        run->final_distribution.placement ==
+            clean_adaptive->final_distribution.placement &&
+        run->final_distribution.default_machine ==
+            clean_adaptive->final_distribution.default_machine;
+    std::printf("%-22s %10.3f %7llu %9llu %9llu %6llu %5llu %6s\n", row.label,
+                run->run.execution_seconds,
+                static_cast<unsigned long long>(run->online.repartitions),
+                static_cast<unsigned long long>(run->transport.corrupt_rejected),
+                static_cast<unsigned long long>(run->transport.corrupt_consumed),
+                static_cast<unsigned long long>(run->online.breaker_trips),
+                static_cast<unsigned long long>(run->online.safe_mode_epochs),
+                match ? "yes" : "no");
+    trajectory.Add(std::string("corruption storm / ") + row.label,
+                   {{"exec_seconds", run->run.execution_seconds},
+                    {"recuts", static_cast<double>(run->online.repartitions)},
+                    {"corrupt_rejected",
+                     static_cast<double>(run->transport.corrupt_rejected)},
+                    {"corrupt_consumed",
+                     static_cast<double>(run->transport.corrupt_consumed)},
+                    {"breaker_trips", static_cast<double>(run->online.breaker_trips)},
+                    {"safe_mode_epochs",
+                     static_cast<double>(run->online.safe_mode_epochs)},
+                    {"partitions_match", match ? 1.0 : 0.0}});
+    if (!row.checksums) {
+      naive_consumed = run->transport.corrupt_consumed;
+    } else if (!row.breaker) {
+      checksum_rejected = run->transport.corrupt_rejected;
+      checksum_consumed += run->transport.corrupt_consumed;
+    } else {
+      breaker_trips = run->online.breaker_trips;
+      breaker_safe_exits = run->online.safe_mode_exits;
+      breaker_partitions_match = match;
+      breaker_exec = run->run.execution_seconds;
+      checksum_consumed += run->transport.corrupt_consumed;
+    }
+  }
+  PrintRule(94);
+  std::printf(
+      "\nNaive wire consumed %llu poisoned payloads; the checksummed wire\n"
+      "rejected %llu and consumed none. Breaker: %llu trip(s), %llu\n"
+      "re-promotion(s), final partition %s the fault-free run's,\n"
+      "%.2fx its execution time.\n",
+      static_cast<unsigned long long>(naive_consumed),
+      static_cast<unsigned long long>(checksum_rejected),
+      static_cast<unsigned long long>(breaker_trips),
+      static_cast<unsigned long long>(breaker_safe_exits),
+      breaker_partitions_match ? "matches" : "DIVERGES FROM",
+      clean_adaptive_exec > 0.0 ? breaker_exec / clean_adaptive_exec : 0.0);
+
+  if (!json_path.empty()) {
+    const Status written = trajectory.WriteFile(json_path);
+    if (!written.ok()) {
+      std::fprintf(stderr, "%s\n", written.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+
   // Steady 1% loss is absorbed by retries: exec within 10% of fault-free.
   if (overhead > 1.10) {
     std::printf("WARNING: quarantined adaptive exceeds 1.10x fault-free (%.2fx).\n",
@@ -224,6 +368,30 @@ int main() {
     std::printf("WARNING: naive loop did not thrash (%llu recuts vs %llu quarantined).\n",
                 static_cast<unsigned long long>(storm_naive_recuts),
                 static_cast<unsigned long long>(storm_quarantined_recuts));
+    return 1;
+  }
+  // The unframed wire must actually be wrong (poison consumed as truth)
+  // while the checksummed wire rejects every flip and consumes nothing.
+  if (naive_consumed == 0 || checksum_rejected == 0 || checksum_consumed != 0) {
+    std::printf("WARNING: corruption baselines off (consumed=%llu rejected=%llu "
+                "hardened_consumed=%llu).\n",
+                static_cast<unsigned long long>(naive_consumed),
+                static_cast<unsigned long long>(checksum_rejected),
+                static_cast<unsigned long long>(checksum_consumed));
+    return 1;
+  }
+  // Breaker + safe mode: trips during the burst, re-promotes after it,
+  // lands on the fault-free partition, and keeps the slowdown bounded.
+  if (breaker_trips == 0 || breaker_safe_exits == 0 || !breaker_partitions_match) {
+    std::printf("WARNING: breaker run wrong (trips=%llu exits=%llu match=%d).\n",
+                static_cast<unsigned long long>(breaker_trips),
+                static_cast<unsigned long long>(breaker_safe_exits),
+                breaker_partitions_match ? 1 : 0);
+    return 1;
+  }
+  if (clean_adaptive_exec > 0.0 && breaker_exec > 3.0 * clean_adaptive_exec) {
+    std::printf("WARNING: breaker slowdown unbounded (%.2fx fault-free).\n",
+                breaker_exec / clean_adaptive_exec);
     return 1;
   }
   return 0;

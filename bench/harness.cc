@@ -1,10 +1,12 @@
 #include "bench/harness.h"
 
 #include <cstdio>
+#include <fstream>
 
 #include "src/apps/octarine.h"
 #include "src/profile/log_file.h"
 #include "src/runtime/binary_rewriter.h"
+#include "src/support/str_util.h"
 
 namespace coign {
 
@@ -172,6 +174,41 @@ Result<ClassifierAccuracyRow> EvaluateOctarineClassifier(ClassifierKind kind, in
   evaluator.AccumulateEvaluationRun(runtime.profiling_logger()->comm_matrix());
   system.DestroyAll();
   return evaluator.Row();
+}
+
+void BenchTrajectory::Add(std::string record,
+                          std::vector<std::pair<std::string, double>> fields) {
+  records_.push_back(Record{std::move(record), std::move(fields)});
+}
+
+std::string BenchTrajectory::ToJson() const {
+  // Insertion order and %.17g keep the file byte-deterministic for a given
+  // bench run while round-tripping every double exactly.
+  std::string out = StrFormat("{\"bench\":\"%s\",\"records\":[", bench_.c_str());
+  for (size_t r = 0; r < records_.size(); ++r) {
+    const Record& record = records_[r];
+    out += StrFormat("%s\n  {\"name\":\"%s\"", r == 0 ? "" : ",",
+                     record.name.c_str());
+    for (const auto& [key, value] : record.fields) {
+      out += StrFormat(",\"%s\":%.17g", key.c_str(), value);
+    }
+    out += "}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+Status BenchTrajectory::WriteFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return InternalError("trajectory: cannot open for write: " + path);
+  }
+  out << ToJson();
+  out.flush();
+  if (!out) {
+    return InternalError("trajectory: write failed: " + path);
+  }
+  return Status::Ok();
 }
 
 }  // namespace coign

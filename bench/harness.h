@@ -64,6 +64,29 @@ FigureCounts CountFigureInstances(const Application& app, const IccProfile& prof
 // Prints a right-aligned separator line for table output.
 void PrintRule(int width = 72);
 
+// Minimal JSON trajectory recorder for the reproduction benches: an
+// insertion-ordered list of named records, each a flat map of numeric
+// fields. Serialization is deterministic (insertion order, fixed number
+// formatting), so two same-seed bench runs write byte-identical files and
+// a run's trajectory can be diffed across commits. Benches opt in with a
+// `--json <path>` flag.
+class BenchTrajectory {
+ public:
+  explicit BenchTrajectory(std::string bench) : bench_(std::move(bench)) {}
+
+  void Add(std::string record, std::vector<std::pair<std::string, double>> fields);
+  std::string ToJson() const;
+  Status WriteFile(const std::string& path) const;
+
+ private:
+  struct Record {
+    std::string name;
+    std::vector<std::pair<std::string, double>> fields;
+  };
+  std::string bench_;
+  std::vector<Record> records_;
+};
+
 // The Table 2/3 evaluation protocol: run the classifier through every
 // Octarine profiling scenario, then score it on the o_bigone synthesis.
 Result<ClassifierAccuracyRow> EvaluateOctarineClassifier(ClassifierKind kind, int depth);

@@ -24,6 +24,8 @@ std::string_view FaultKindName(FaultKind kind) {
       return "crash-restart";
     case FaultKind::kGilbertElliott:
       return "gilbert-elliott";
+    case FaultKind::kCorruptBurst:
+      return "corrupt-burst";
   }
   return "unknown";
 }
@@ -37,7 +39,7 @@ std::string FaultEpisode::ToString() const {
   std::string out =
       StrFormat("%s[%s] %.3fs..%.3fs x%.3f", std::string(FaultKindName(kind)).c_str(),
                 target.c_str(), start_seconds, end_seconds(), magnitude);
-  if (kind == FaultKind::kGilbertElliott) {
+  if (kind == FaultKind::kGilbertElliott || kind == FaultKind::kCorruptBurst) {
     out += StrFormat(" ge{p01=%.3f, p10=%.3f, loss=%.3f/%.3f}", gilbert.p_good_to_bad,
                      gilbert.p_bad_to_good, gilbert.loss_good, gilbert.loss_bad);
   }
@@ -107,6 +109,16 @@ FaultEpisode DrawEpisode(FaultKind kind, const RandomFaultOptions& options, Rng&
       episode.magnitude = episode.gilbert.loss_bad;
       MaybeAsymmetric(episode, options.asymmetric_probability, rng);
       break;
+    case FaultKind::kCorruptBurst:
+      // Same bursty chain as Gilbert-Elliott, but the bad state flips
+      // payload bits instead of losing messages (the good state is clean).
+      episode.gilbert.p_good_to_bad = rng.UniformDouble(0.01, options.ge_p_good_to_bad_max);
+      episode.gilbert.p_bad_to_good = rng.UniformDouble(0.05, options.ge_p_bad_to_good_max);
+      episode.gilbert.loss_good = 0.0;
+      episode.gilbert.loss_bad = rng.UniformDouble(0.1, options.corrupt_burst_max);
+      episode.magnitude = episode.gilbert.loss_bad;
+      MaybeAsymmetric(episode, options.asymmetric_probability, rng);
+      break;
   }
   return episode;
 }
@@ -148,6 +160,11 @@ FaultSchedule FaultSchedule::Random(const RandomFaultOptions& options, uint64_t 
       MaybeAsymmetric(episode, 1.0, rng);
       episodes.push_back(episode);
     }
+  }
+  // Corruption draws last — after the asymmetric drop block — so every
+  // older seed's episode prefix survives unchanged.
+  if (options.include_corrupt_bursts) {
+    draw_kind(FaultKind::kCorruptBurst);
   }
   return FromEpisodes(std::move(episodes));
 }
@@ -200,6 +217,31 @@ FaultSchedule FaultSchedule::CrashStorm(const CrashStormOptions& options, uint64
     partition.duration_seconds = horizon * 0.04;
     partition.machine = kAnyMachine;
     episodes.push_back(partition);
+  }
+  if (options.corruption_rate > 0.0) {
+    // Per-direction corruption regimes over the middle of the horizon —
+    // the server-bound leg corrupts at the full rate, the client-bound
+    // leg lighter — leaving clean head and tail stretches so the circuit
+    // breaker's open and re-promote transitions both happen inside the run.
+    FaultEpisode toward_server;
+    toward_server.kind = FaultKind::kCorruptBurst;
+    toward_server.start_seconds = horizon * 0.25;
+    toward_server.duration_seconds = horizon * 0.45;
+    toward_server.machine = kServerMachine;
+    toward_server.direction = FaultDirection::kInbound;
+    toward_server.gilbert = {0.2, 0.15, 0.0, options.corruption_rate};
+    toward_server.magnitude = toward_server.gilbert.loss_bad;
+    episodes.push_back(toward_server);
+
+    FaultEpisode toward_client;
+    toward_client.kind = FaultKind::kCorruptBurst;
+    toward_client.start_seconds = horizon * 0.3;
+    toward_client.duration_seconds = horizon * 0.35;
+    toward_client.machine = kClientMachine;
+    toward_client.direction = FaultDirection::kInbound;
+    toward_client.gilbert = {0.1, 0.3, 0.0, options.corruption_rate * 0.6};
+    toward_client.magnitude = toward_client.gilbert.loss_bad;
+    episodes.push_back(toward_client);
   }
   return FromEpisodes(std::move(episodes));
 }

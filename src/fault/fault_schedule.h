@@ -35,6 +35,11 @@ enum class FaultKind {
   kPartition,      // traffic touching `machine` (or all) is undeliverable.
   kCrashRestart,   // machine is down; magnitude = restart penalty seconds.
   kGilbertElliott, // correlated two-state loss; params in `gilbert`.
+  kCorruptBurst,   // payload bit flips, bursty via a Gilbert-Elliott chain:
+                   // `gilbert` gates the good/bad alternation, loss_good /
+                   // loss_bad are the per-attempt corrupt probabilities,
+                   // magnitude mirrors loss_bad. Direction targeting picks
+                   // which leg (request or reply) gets damaged.
 };
 
 std::string_view FaultKindName(FaultKind kind);
@@ -134,6 +139,10 @@ struct RandomFaultOptions {
   // Probability that a drawn drop/GE/latency episode targets one machine
   // in one direction instead of all traffic symmetrically.
   double asymmetric_probability = 0.35;
+  // Payload-corruption bursts (drawn after every older kind, same
+  // seed-prefix rule as Gilbert-Elliott above).
+  bool include_corrupt_bursts = true;
+  double corrupt_burst_max = 0.6;
 };
 
 // A deterministic crash-storm: alternating crash-restart episodes on both
@@ -147,6 +156,11 @@ struct CrashStormOptions {
   double restart_penalty_seconds = 0.2;
   bool include_gilbert_elliott = true;
   bool include_partition = true;
+  // > 0 adds per-direction payload-corruption regimes over the middle of
+  // the horizon (bad-state corrupt probability; links heal before the
+  // run ends, so breaker re-promotion is observable). 0 = no corruption,
+  // which keeps legacy storm runs byte-identical.
+  double corruption_rate = 0.0;
 };
 
 class FaultSchedule {

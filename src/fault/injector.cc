@@ -10,7 +10,7 @@ std::string FaultStats::ToString() const {
   return StrFormat(
       "faults{attempts=%llu, drops=%llu, ge_drops=%llu, reply_drops=%llu, dups=%llu, "
       "reorders=%llu, lat_spiked=%llu, bw_limited=%llu, partition_drops=%llu, "
-      "crash_drops=%llu, voided_inflight=%llu, restarts=%llu}",
+      "crash_drops=%llu, voided_inflight=%llu, restarts=%llu, corruptions=%llu}",
       static_cast<unsigned long long>(attempts), static_cast<unsigned long long>(drops),
       static_cast<unsigned long long>(ge_drops),
       static_cast<unsigned long long>(reply_drops),
@@ -21,7 +21,8 @@ std::string FaultStats::ToString() const {
       static_cast<unsigned long long>(partition_drops),
       static_cast<unsigned long long>(crash_drops),
       static_cast<unsigned long long>(voided_inflight),
-      static_cast<unsigned long long>(restart_penalties));
+      static_cast<unsigned long long>(restart_penalties),
+      static_cast<unsigned long long>(corruptions));
 }
 
 RetryPolicy SuggestedRetryPolicy(const NetworkModel& model) {
@@ -210,6 +211,59 @@ AttemptPlan FaultInjector::OnAttempt(MachineId src, MachineId dst, uint64_t requ
   if (reorder_p > 0.0 && rng_.Bernoulli(reorder_p)) {
     plan.reordered = true;
     ++stats_.reorders;
+  }
+
+  // Payload corruption: the strongest active covering corrupt-burst walks
+  // its own per-direction Gilbert-Elliott chain (same chain map as the
+  // loss episodes — episode indices keep the keys disjoint), then flips
+  // bits at the state's corrupt rate. Direction-targeted episodes damage
+  // the leg that travels toward/away from the target machine; symmetric
+  // episodes pick a leg by coin flip.
+  {
+    const FaultEpisode* corrupt = nullptr;
+    size_t corrupt_index = 0;
+    const std::vector<FaultEpisode>& episodes = schedule_.episodes();
+    for (size_t i = 0; i < episodes.size(); ++i) {
+      const FaultEpisode& episode = episodes[i];
+      if (episode.kind != FaultKind::kCorruptBurst ||
+          !episode.ActiveAt(now_seconds_) || !episode.Covers(src, dst)) {
+        continue;
+      }
+      if (corrupt == nullptr || episode.magnitude > corrupt->magnitude) {
+        corrupt = &episode;
+        corrupt_index = i;
+      }
+    }
+    if (corrupt != nullptr) {
+      bool& bad = ge_bad_[GeChainKey(corrupt_index, src, dst)];
+      const double flip =
+          bad ? corrupt->gilbert.p_bad_to_good : corrupt->gilbert.p_good_to_bad;
+      if (rng_.Bernoulli(flip)) {
+        bad = !bad;
+      }
+      const double rate = bad ? corrupt->gilbert.loss_bad : corrupt->gilbert.loss_good;
+      if (rate > 0.0 && rng_.Bernoulli(rate)) {
+        bool hit_reply;
+        if (corrupt->machine != kAnyMachine &&
+            corrupt->direction == FaultDirection::kInbound) {
+          // Damage lands on the leg arriving at the target: requests when
+          // the target receives them, replies when it sent the request.
+          hit_reply = corrupt->machine == src;
+        } else if (corrupt->machine != kAnyMachine &&
+                   corrupt->direction == FaultDirection::kOutbound) {
+          hit_reply = corrupt->machine == dst;
+        } else {
+          hit_reply = rng_.Bernoulli(0.5);
+        }
+        if (hit_reply) {
+          plan.corrupt_reply = true;
+          ++stats_.corrupt_replies;
+        } else {
+          plan.corrupt_request = true;
+        }
+        ++stats_.corruptions;
+      }
+    }
   }
 
   if (const FaultEpisode* spike =

@@ -39,10 +39,13 @@ struct FaultStats {
   uint64_t crash_drops = 0;      // Attempts killed by a crashed machine.
   uint64_t voided_inflight = 0;  // Deliveries voided by a crash starting mid-flight.
   uint64_t restart_penalties = 0;
+  uint64_t corruptions = 0;      // Attempts whose payload got bit-flipped.
+  uint64_t corrupt_replies = 0;  // Corruptions that hit the reply leg.
 
   uint64_t total_faulted() const {
     return drops + ge_drops + duplicates + reorders + latency_spiked +
-           bandwidth_limited + partition_drops + crash_drops + voided_inflight;
+           bandwidth_limited + partition_drops + crash_drops + voided_inflight +
+           corruptions;
   }
   std::string ToString() const;
 };

@@ -4,7 +4,9 @@
 #include <cstring>
 #include <fstream>
 #include <sstream>
+#include <vector>
 
+#include "src/support/crc32c.h"
 #include "src/support/str_util.h"
 
 namespace coign {
@@ -42,12 +44,19 @@ bool ParseDoubleHex(const std::string& hex, double* out) {
 }  // namespace
 
 std::string PlanCacheStats::ToString() const {
-  return StrFormat("plan-cache{hits=%llu, misses=%llu, hit_rate=%.1f%%, "
-                   "insertions=%llu, evictions=%llu}",
-                   static_cast<unsigned long long>(hits),
-                   static_cast<unsigned long long>(misses), 100.0 * hit_rate(),
-                   static_cast<unsigned long long>(insertions),
-                   static_cast<unsigned long long>(evictions));
+  std::string out =
+      StrFormat("plan-cache{hits=%llu, misses=%llu, hit_rate=%.1f%%, "
+                "insertions=%llu, evictions=%llu",
+                static_cast<unsigned long long>(hits),
+                static_cast<unsigned long long>(misses), 100.0 * hit_rate(),
+                static_cast<unsigned long long>(insertions),
+                static_cast<unsigned long long>(evictions));
+  if (corrupt_skipped > 0) {
+    out += StrFormat(", corrupt_skipped=%llu",
+                     static_cast<unsigned long long>(corrupt_skipped));
+  }
+  out += "}";
+  return out;
 }
 
 std::optional<AnalysisResult> PlanCache::Lookup(const PlanCacheKey& key) {
@@ -102,10 +111,12 @@ void PlanCache::Clear() {
 std::string PlanCache::Serialize() const {
   std::lock_guard<std::mutex> lock(mutex_);
   // v2 appended the loss bucket to each entry line; v3 appends the exact
-  // fixed-point cut value (CapUnits) to each plan line. Older snapshots
-  // still load: v1 entries get a clean loss bucket, and v1/v2 plans get
+  // fixed-point cut value (CapUnits) to each plan line; v4 terminates each
+  // record block with a `crc` line over the block's text, so a loader can
+  // localize disk damage to single records. Older snapshots still load:
+  // v1 entries get a clean loss bucket, and v1/v2 plans get
   // cut_value_units = 0 (recomputed on the next cache miss).
-  std::string out = StrFormat("plan-cache v3 %zu\n", lru_.size());
+  std::string out = StrFormat("plan-cache v4 %zu\n", lru_.size());
   // Least-recent first: replaying inserts in file order rebuilds the
   // exact LRU sequence (the last line loaded ends up most recent).
   for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
@@ -116,98 +127,195 @@ std::string PlanCache::Serialize() const {
     std::vector<std::pair<ClassificationId, MachineId>> placement(
         plan.distribution.placement.begin(), plan.distribution.placement.end());
     std::sort(placement.begin(), placement.end());
-    out += StrFormat("entry %llu %d %d %d\n",
-                     static_cast<unsigned long long>(entry.key.profile_fingerprint),
-                     entry.key.bucket.latency_bucket, entry.key.bucket.bandwidth_bucket,
-                     entry.key.bucket.loss_bucket);
-    out += StrFormat("plan %s %s %zu %zu %llu %llu %zu %d %zu %zu %lld\n",
-                     DoubleHex(plan.predicted_comm_seconds).c_str(),
-                     DoubleHex(plan.total_comm_seconds).c_str(),
-                     plan.client_classifications, plan.server_classifications,
-                     static_cast<unsigned long long>(plan.client_instances),
-                     static_cast<unsigned long long>(plan.server_instances),
-                     plan.non_remotable_pairs, plan.distribution.default_machine,
-                     placement.size(), plan.cut_edges.size(),
-                     static_cast<long long>(plan.cut_value_units));
+    std::string block;
+    block += StrFormat("entry %llu %d %d %d\n",
+                       static_cast<unsigned long long>(entry.key.profile_fingerprint),
+                       entry.key.bucket.latency_bucket, entry.key.bucket.bandwidth_bucket,
+                       entry.key.bucket.loss_bucket);
+    block += StrFormat("plan %s %s %zu %zu %llu %llu %zu %d %zu %zu %lld\n",
+                       DoubleHex(plan.predicted_comm_seconds).c_str(),
+                       DoubleHex(plan.total_comm_seconds).c_str(),
+                       plan.client_classifications, plan.server_classifications,
+                       static_cast<unsigned long long>(plan.client_instances),
+                       static_cast<unsigned long long>(plan.server_instances),
+                       plan.non_remotable_pairs, plan.distribution.default_machine,
+                       placement.size(), plan.cut_edges.size(),
+                       static_cast<long long>(plan.cut_value_units));
     for (const auto& [classification, machine] : placement) {
-      out += StrFormat("place %u %d\n", classification, machine);
+      block += StrFormat("place %u %d\n", classification, machine);
     }
     for (const CutEdgeReport& edge : plan.cut_edges) {
-      out += StrFormat("edge %u %u %s\n", edge.client_side, edge.server_side,
-                       DoubleHex(edge.seconds).c_str());
+      block += StrFormat("edge %u %u %s\n", edge.client_side, edge.server_side,
+                         DoubleHex(edge.seconds).c_str());
     }
+    out += block;
+    out += StrFormat("crc %08x\n", Crc32c(block));
   }
   return out;
 }
+
+Status PlanCache::ParseRecord(std::istream& in, bool has_loss_bucket,
+                              bool has_cut_units, Entry* entry) {
+  std::string tag;
+  unsigned long long fingerprint = 0;
+  if (!(in >> tag >> fingerprint >> entry->key.bucket.latency_bucket >>
+        entry->key.bucket.bandwidth_bucket) ||
+      tag != "entry") {
+    return InvalidArgumentError("plan cache: bad entry line");
+  }
+  if (has_loss_bucket && !(in >> entry->key.bucket.loss_bucket)) {
+    return InvalidArgumentError("plan cache: bad entry line");
+  }
+  entry->key.profile_fingerprint = static_cast<uint64_t>(fingerprint);
+  AnalysisResult& plan = entry->plan;
+  std::string predicted_hex, total_hex;
+  unsigned long long client_instances = 0, server_instances = 0;
+  size_t placements = 0, edges = 0;
+  if (!(in >> tag >> predicted_hex >> total_hex >> plan.client_classifications >>
+        plan.server_classifications >> client_instances >> server_instances >>
+        plan.non_remotable_pairs >> plan.distribution.default_machine >> placements >>
+        edges) ||
+      tag != "plan" || !ParseDoubleHex(predicted_hex, &plan.predicted_comm_seconds) ||
+      !ParseDoubleHex(total_hex, &plan.total_comm_seconds)) {
+    return InvalidArgumentError("plan cache: bad plan line");
+  }
+  if (has_cut_units) {
+    long long units = 0;
+    if (!(in >> units)) {
+      return InvalidArgumentError("plan cache: bad plan line");
+    }
+    plan.cut_value_units = static_cast<CapUnits>(units);
+  }
+  plan.client_instances = static_cast<uint64_t>(client_instances);
+  plan.server_instances = static_cast<uint64_t>(server_instances);
+  for (size_t p = 0; p < placements; ++p) {
+    ClassificationId classification = kNoClassification;
+    MachineId machine = kClientMachine;
+    if (!(in >> tag >> classification >> machine) || tag != "place") {
+      return InvalidArgumentError("plan cache: bad place line");
+    }
+    plan.distribution.placement[classification] = machine;
+  }
+  for (size_t e = 0; e < edges; ++e) {
+    CutEdgeReport edge;
+    std::string seconds_hex;
+    if (!(in >> tag >> edge.client_side >> edge.server_side >> seconds_hex) ||
+        tag != "edge" || !ParseDoubleHex(seconds_hex, &edge.seconds)) {
+      return InvalidArgumentError("plan cache: bad edge line");
+    }
+    plan.cut_edges.push_back(edge);
+  }
+  return Status::Ok();
+}
+
+namespace {
+
+// Parses the "crc <8hex>" lines terminating v4 record blocks.
+bool ParseCrcLine(const std::string& line, uint32_t* out) {
+  if (line.size() != 12 || line.compare(0, 4, "crc ") != 0) {
+    return false;
+  }
+  uint32_t bits = 0;
+  for (size_t i = 4; i < 12; ++i) {
+    const char c = line[i];
+    int digit;
+    if (c >= '0' && c <= '9') {
+      digit = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      digit = c - 'a' + 10;
+    } else {
+      return false;
+    }
+    bits = (bits << 4) | static_cast<uint32_t>(digit);
+  }
+  *out = bits;
+  return true;
+}
+
+}  // namespace
 
 Status PlanCache::Load(const std::string& text) {
   std::istringstream in(text);
   std::string tag, version;
   size_t count = 0;
-  if (!(in >> tag >> version >> count) || tag != "plan-cache" ||
-      (version != "v1" && version != "v2" && version != "v3")) {
+  if (!(in >> tag >> version) || tag != "plan-cache" ||
+      (version != "v1" && version != "v2" && version != "v3" && version != "v4")) {
     return InvalidArgumentError("plan cache: bad header");
   }
-  const bool has_loss_bucket = version != "v1";
-  const bool has_cut_units = version == "v3";
   std::list<Entry> loaded;
-  for (size_t i = 0; i < count; ++i) {
-    Entry entry;
-    unsigned long long fingerprint = 0;
-    if (!(in >> tag >> fingerprint >> entry.key.bucket.latency_bucket >>
-          entry.key.bucket.bandwidth_bucket) ||
-        tag != "entry") {
-      return InvalidArgumentError("plan cache: bad entry line");
+  uint64_t skipped = 0;
+  if (version != "v4") {
+    // v1-v3 predate per-record checksums: damage cannot be localized, so
+    // any malformed byte fails the whole load (original strict semantics).
+    if (!(in >> count)) {
+      return InvalidArgumentError("plan cache: bad header");
     }
-    if (has_loss_bucket && !(in >> entry.key.bucket.loss_bucket)) {
-      return InvalidArgumentError("plan cache: bad entry line");
+    const bool has_loss_bucket = version != "v1";
+    const bool has_cut_units = version == "v3";
+    for (size_t i = 0; i < count; ++i) {
+      Entry entry;
+      COIGN_RETURN_IF_ERROR(ParseRecord(in, has_loss_bucket, has_cut_units, &entry));
+      // File order is least-recent first; push_front keeps front = most recent.
+      loaded.push_front(std::move(entry));
     }
-    entry.key.profile_fingerprint = static_cast<uint64_t>(fingerprint);
-    AnalysisResult& plan = entry.plan;
-    std::string predicted_hex, total_hex;
-    unsigned long long client_instances = 0, server_instances = 0;
-    size_t placements = 0, edges = 0;
-    if (!(in >> tag >> predicted_hex >> total_hex >> plan.client_classifications >>
-          plan.server_classifications >> client_instances >> server_instances >>
-          plan.non_remotable_pairs >> plan.distribution.default_machine >> placements >>
-          edges) ||
-        tag != "plan" || !ParseDoubleHex(predicted_hex, &plan.predicted_comm_seconds) ||
-        !ParseDoubleHex(total_hex, &plan.total_comm_seconds)) {
-      return InvalidArgumentError("plan cache: bad plan line");
-    }
-    if (has_cut_units) {
-      long long units = 0;
-      if (!(in >> units)) {
-        return InvalidArgumentError("plan cache: bad plan line");
+  } else {
+    // v4: scan record blocks up to their `crc` lines and verify each
+    // block before trusting a word of it. A block that fails its checksum
+    // — or parses to garbage under a valid one, or repeats a key — is
+    // skipped and counted, never fatal. The header count is advisory
+    // only: damage changes how many records survive.
+    const size_t header_end = text.find('\n');
+    std::vector<std::string> lines;
+    if (header_end != std::string::npos) {
+      std::istringstream body(text.substr(header_end + 1));
+      std::string line;
+      while (std::getline(body, line)) {
+        lines.push_back(line);
       }
-      plan.cut_value_units = static_cast<CapUnits>(units);
     }
-    plan.client_instances = static_cast<uint64_t>(client_instances);
-    plan.server_instances = static_cast<uint64_t>(server_instances);
-    for (size_t p = 0; p < placements; ++p) {
-      ClassificationId classification = kNoClassification;
-      MachineId machine = kClientMachine;
-      if (!(in >> tag >> classification >> machine) || tag != "place") {
-        return InvalidArgumentError("plan cache: bad place line");
+    const bool unterminated = !text.empty() && text.back() != '\n';
+    std::unordered_map<PlanCacheKey, char, PlanCacheKeyHash> seen;
+    std::string block;
+    for (size_t i = 0; i < lines.size(); ++i) {
+      const bool last = i + 1 == lines.size();
+      uint32_t expected = 0;
+      if ((last && unterminated) || !ParseCrcLine(lines[i], &expected)) {
+        block += lines[i];
+        block += '\n';
+        continue;
       }
-      plan.distribution.placement[classification] = machine;
-    }
-    for (size_t e = 0; e < edges; ++e) {
-      CutEdgeReport edge;
-      std::string seconds_hex;
-      if (!(in >> tag >> edge.client_side >> edge.server_side >> seconds_hex) ||
-          tag != "edge" || !ParseDoubleHex(seconds_hex, &edge.seconds)) {
-        return InvalidArgumentError("plan cache: bad edge line");
+      if (Crc32c(block) != expected) {
+        ++skipped;
+        block.clear();
+        continue;
       }
-      plan.cut_edges.push_back(edge);
+      std::istringstream record_in(block);
+      Entry entry;
+      const Status parsed = ParseRecord(record_in, /*has_loss_bucket=*/true,
+                                        /*has_cut_units=*/true, &entry);
+      block.clear();
+      if (!parsed.ok() || seen.count(entry.key) != 0) {
+        ++skipped;
+        continue;
+      }
+      seen.emplace(entry.key, 0);
+      loaded.push_front(std::move(entry));
     }
-    // File order is least-recent first; push_front keeps front = most recent.
-    loaded.push_front(std::move(entry));
+    // Leftover block lines with no terminating crc line are a torn
+    // append: the record never became durable, dropped without counting
+    // as corruption.
   }
 
   std::lock_guard<std::mutex> lock(mutex_);
   lru_.clear();
   index_.clear();
+  stats_.corrupt_skipped += skipped;
+  if (skipped > 0 && obs_ != nullptr) {
+    obs_->metrics().GetCounter("fleet.cache.corrupt_skipped")->Add(skipped);
+    obs_->tracer().Instant("cache-corrupt-skip", "fleet", kTrackFleet,
+                           {{"skipped", Tracer::ArgUint(skipped)}});
+    obs_->Dump("cache-corrupt");
+  }
   if (capacity_ == 0) {
     return Status::Ok();
   }

@@ -17,6 +17,7 @@
 #define COIGN_SRC_FLEET_PLAN_CACHE_H_
 
 #include <cstdint>
+#include <iosfwd>
 #include <list>
 #include <mutex>
 #include <optional>
@@ -26,6 +27,7 @@
 
 #include "src/analysis/engine.h"
 #include "src/fleet/cohort.h"
+#include "src/obs/obs.h"
 #include "src/support/status.h"
 
 namespace coign {
@@ -50,6 +52,9 @@ struct PlanCacheStats {
   uint64_t misses = 0;
   uint64_t insertions = 0;
   uint64_t evictions = 0;
+  // Damaged v4 snapshot segments dropped on load (checksum mismatch,
+  // unparseable record under a valid checksum, or duplicate key).
+  uint64_t corrupt_skipped = 0;
 
   uint64_t lookups() const { return hits + misses; }
   double hit_rate() const {
@@ -78,15 +83,29 @@ class PlanCache {
   PlanCacheStats stats() const;
   void Clear();
 
+  // Not owned; null disables instrumentation. Used only by the loader to
+  // report damaged snapshot records (counter + instant + flight-recorder
+  // dump) — the lookup/insert hot path stays uninstrumented here.
+  void SetObservability(Observability* obs) { obs_ = obs; }
+
   // --- Persistence ----------------------------------------------------------
   // Byte-exact text snapshot of the entries, written least- to
   // most-recently-used so loading reproduces the LRU order exactly.
   // Doubles are serialized as bit patterns (hex), so a save/load round
   // trip is the identity down to the last ULP. Stats are not persisted —
   // a warm start is capacity, not traffic.
+  //
+  // Serialize writes the v4 form: every record block is followed by a
+  // `crc` line carrying the CRC32C of the block's text. Load still reads
+  // v1-v3 with their original strict semantics (any damage fails the
+  // load); v4 damage is localized — a record whose checksum or contents
+  // no longer verify is skipped and counted in stats().corrupt_skipped,
+  // a tail with no terminating crc line is a torn append and dropped
+  // silently, and everything intact loads normally.
   std::string Serialize() const;
   // Replaces the contents with a parsed snapshot. Entries beyond this
-  // cache's capacity are dropped oldest-first; stats are left untouched.
+  // cache's capacity are dropped oldest-first; stats are left untouched
+  // (except corrupt_skipped, which accumulates loader damage counts).
   Status Load(const std::string& text);
   Status SaveToFile(const std::string& path) const;
   Status LoadFromFile(const std::string& path);
@@ -97,11 +116,16 @@ class PlanCache {
     AnalysisResult plan;
   };
 
+  // Parses one record (entry/plan/place/edge lines) from `in`.
+  static Status ParseRecord(std::istream& in, bool has_loss_bucket,
+                            bool has_cut_units, Entry* entry);
+
   const size_t capacity_;
   mutable std::mutex mutex_;
   std::list<Entry> lru_;  // Front = most recently used.
   std::unordered_map<PlanCacheKey, std::list<Entry>::iterator, PlanCacheKeyHash> index_;
   PlanCacheStats stats_;
+  Observability* obs_ = nullptr;  // Not owned.
 };
 
 }  // namespace coign

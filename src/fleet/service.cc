@@ -34,7 +34,9 @@ FleetPartitionService::FleetPartitionService(FleetServiceOptions options)
     : options_(options),
       engine_(options.analysis),
       cache_(options.cache_capacity),
-      pool_(options.worker_threads) {}
+      pool_(options.worker_threads) {
+  cache_.SetObservability(options_.obs);
+}
 
 Result<FleetPlanResult> FleetPartitionService::Plan(
     const IccProfile& profile, const std::vector<FleetClient>& fleet) {

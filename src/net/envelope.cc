@@ -1,0 +1,76 @@
+#include "src/net/envelope.h"
+
+#include <algorithm>
+#include <cstddef>
+
+#include "src/support/crc32c.h"
+
+namespace coign {
+namespace {
+
+constexpr char kMagic[4] = {'C', 'o', 'E', 'v'};
+
+void PutUint32(std::string* out, uint32_t value) {
+  out->push_back(static_cast<char>(value & 0xFFu));
+  out->push_back(static_cast<char>((value >> 8) & 0xFFu));
+  out->push_back(static_cast<char>((value >> 16) & 0xFFu));
+  out->push_back(static_cast<char>((value >> 24) & 0xFFu));
+}
+
+uint32_t GetUint32(std::string_view bytes, size_t offset) {
+  return static_cast<uint32_t>(static_cast<unsigned char>(bytes[offset])) |
+         static_cast<uint32_t>(static_cast<unsigned char>(bytes[offset + 1])) << 8 |
+         static_cast<uint32_t>(static_cast<unsigned char>(bytes[offset + 2])) << 16 |
+         static_cast<uint32_t>(static_cast<unsigned char>(bytes[offset + 3])) << 24;
+}
+
+}  // namespace
+
+std::string FrameEnvelope(std::string_view payload) {
+  std::string framed;
+  framed.reserve(kEnvelopeHeaderBytes + payload.size());
+  framed.append(kMagic, sizeof(kMagic));
+  PutUint32(&framed, static_cast<uint32_t>(payload.size()));
+  PutUint32(&framed, Crc32c(payload));
+  framed.append(payload);
+  return framed;
+}
+
+Result<std::string> OpenEnvelope(std::string_view framed) {
+  if (framed.size() < kEnvelopeHeaderBytes) {
+    return InvalidArgumentError("envelope: short frame (" +
+                                std::to_string(framed.size()) + " bytes)");
+  }
+  if (framed.compare(0, sizeof(kMagic), kMagic, sizeof(kMagic)) != 0) {
+    return InvalidArgumentError("envelope: bad magic");
+  }
+  const uint32_t length = GetUint32(framed, 4);
+  if (framed.size() != kEnvelopeHeaderBytes + length) {
+    return InvalidArgumentError("envelope: length field says " +
+                                std::to_string(length) + ", frame carries " +
+                                std::to_string(framed.size() - kEnvelopeHeaderBytes));
+  }
+  const std::string_view payload = framed.substr(kEnvelopeHeaderBytes);
+  const uint32_t expected = GetUint32(framed, 8);
+  const uint32_t actual = Crc32c(payload);
+  if (expected != actual) {
+    return InvalidArgumentError("envelope: checksum mismatch");
+  }
+  return std::string(payload);
+}
+
+bool EnvelopeCatchesBitFlip(uint64_t payload_bytes, double unit) {
+  const size_t size = static_cast<size_t>(std::min<uint64_t>(payload_bytes, 64));
+  std::string payload(size, '\0');
+  for (size_t i = 0; i < size; ++i) {
+    payload[i] = static_cast<char>(0xA5u ^ (i & 0xFFu));
+  }
+  std::string framed = FrameEnvelope(payload);
+  const uint64_t bits = static_cast<uint64_t>(framed.size()) * 8;
+  uint64_t bit = static_cast<uint64_t>(unit * static_cast<double>(bits));
+  bit = std::min(bit, bits - 1);
+  framed[bit / 8] = static_cast<char>(framed[bit / 8] ^ (1u << (bit % 8)));
+  return !OpenEnvelope(framed).ok();
+}
+
+}  // namespace coign

@@ -1,0 +1,46 @@
+// CRC32C-framed message envelope for transport payloads.
+//
+// Wire format, little-endian:
+//   magic "CoEv" (4 bytes) | payload length (4 bytes) | crc32c(payload)
+//   (4 bytes) | payload bytes
+//
+// The simulation does not carry real payload contents — only sizes — so
+// the hardened transport models the integrity check through
+// EnvelopeCatchesBitFlip: it frames a deterministic stand-in payload,
+// flips one bit at a fault-chosen position, and reports whether
+// OpenEnvelope rejects the damage. CRC32C catches every single-bit flip,
+// so the answer is always "yes" — but the decision to reject a corrupted
+// attempt runs through the same open path real framing would, keeping the
+// model honest instead of hard-coding the verdict.
+
+#ifndef COIGN_SRC_NET_ENVELOPE_H_
+#define COIGN_SRC_NET_ENVELOPE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/support/status.h"
+
+namespace coign {
+
+// Bytes the envelope adds in front of the payload (magic + length + crc).
+inline constexpr uint64_t kEnvelopeHeaderBytes = 12;
+
+// Wraps `payload` in a framed envelope.
+std::string FrameEnvelope(std::string_view payload);
+
+// Verifies and strips the envelope. Errors on short input, bad magic, a
+// length that disagrees with the buffer, or a checksum mismatch.
+Result<std::string> OpenEnvelope(std::string_view framed);
+
+// Models one corrupted delivery of a `payload_bytes`-sized message: frames
+// a deterministic pattern payload (capped at 64 bytes — CRC behavior is
+// length-independent for single flips), flips the bit selected by `unit`
+// in [0, 1) anywhere in the framed buffer (header included), and returns
+// true when OpenEnvelope rejects the damaged frame.
+bool EnvelopeCatchesBitFlip(uint64_t payload_bytes, double unit);
+
+}  // namespace coign
+
+#endif  // COIGN_SRC_NET_ENVELOPE_H_

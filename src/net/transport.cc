@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <vector>
 
+#include "src/net/envelope.h"
+
 namespace coign {
 
 namespace {
@@ -32,6 +34,8 @@ void Transport::SetObservability(Observability* obs) {
       metrics.GetCounter("transport.duplicates_suppressed");
   instruments_.duplicate_wire_messages =
       metrics.GetCounter("transport.duplicate_wire_messages");
+  instruments_.corrupt_rejected = metrics.GetCounter("transport.corrupt_rejected");
+  instruments_.corrupt_consumed = metrics.GetCounter("transport.corrupt_consumed");
   instruments_.rtt_seconds =
       metrics.GetHistogram("transport.rtt_seconds", kRttBounds);
   instruments_.retry_wait_seconds =
@@ -59,6 +63,12 @@ void Transport::RecordReceipt(MachineId src, MachineId dst, uint64_t request_byt
   if (receipt.duplicate_messages > 0) {
     instruments_.duplicate_wire_messages->Add(receipt.duplicate_messages);
   }
+  if (receipt.corrupt_rejected > 0) {
+    instruments_.corrupt_rejected->Add(receipt.corrupt_rejected);
+  }
+  if (receipt.corrupt_consumed > 0) {
+    instruments_.corrupt_consumed->Add(receipt.corrupt_consumed);
+  }
   instruments_.rtt_seconds->Observe(receipt.seconds);
   // One complete span per round trip. The sim clock only advances once the
   // caller charges the receipt, so the span's duration is the modeled time
@@ -76,6 +86,12 @@ void Transport::RecordReceipt(MachineId src, MachineId dst, uint64_t request_byt
   }
   if (receipt.faulted) {
     args.emplace_back("faulted", "true");
+  }
+  if (receipt.corrupt_rejected > 0) {
+    args.emplace_back("corrupt_rejected", Tracer::ArgUint(receipt.corrupt_rejected));
+  }
+  if (receipt.corrupt_consumed > 0) {
+    args.emplace_back("corrupt_consumed", Tracer::ArgUint(receipt.corrupt_consumed));
   }
   tracer.Complete("rpc", "net", kTrackTransport, start, start + receipt.seconds,
                   std::move(args));
@@ -136,6 +152,43 @@ DeliveryReceipt Transport::ReliableRoundTrip(MachineId src, MachineId dst,
     if (!plan.clean()) {
       receipt.faulted = true;
     }
+    const bool corrupted = plan.delivered && (plan.corrupt_request || plan.corrupt_reply);
+    if (corrupted && checksums_) {
+      // The damaged leg's envelope fails to open: model the check against
+      // real framing by flipping the fault-chosen bit in a framed stand-in
+      // and letting OpenEnvelope render the verdict. CRC32C catches every
+      // single-bit flip, so the attempt is rejected — but if the open path
+      // ever accepted the damage, the poison would flow through below.
+      const double unit =
+          faults_ != nullptr ? faults_->JitterUnit()
+                             : (jitter_rng != nullptr ? jitter_rng->UniformDouble() : 0.5);
+      const bool caught = EnvelopeCatchesBitFlip(
+          plan.corrupt_request ? request_bytes : reply_bytes, unit);
+      if (caught) {
+        ++receipt.corrupt_rejected;
+        if (plan.corrupt_reply) {
+          // The request executed before its reply was damaged: the
+          // idempotency token is spent, so the retransmission below is a
+          // duplicate the receiver suppresses.
+          if (receiver_executed) {
+            ++receipt.duplicates_suppressed;
+          }
+          receiver_executed = true;
+        }
+        // Pay for the bytes that actually crossed. A corrupted request is
+        // rejected receiver-side and NACKed back (request payload + two
+        // message latencies); a corrupted reply costs the full round trip.
+        // Detection is active — no timeout, retransmit immediately.
+        RoundTripSplit split = ScaledRoundTripSplit(
+            request_bytes, plan.corrupt_reply ? reply_bytes : 0,
+            plan.latency_scale, plan.bandwidth_scale, jitter_rng);
+        split.latency += plan.extra_seconds;
+        receipt.latency_seconds += split.latency;
+        receipt.payload_seconds += split.payload;
+        AdvanceFaultClock(split.total());
+        continue;
+      }
+    }
     if (!plan.delivered) {
       if (plan.request_reached) {
         // Reply lost after the receiver executed: the token is now spent,
@@ -190,6 +243,11 @@ DeliveryReceipt Transport::ReliableRoundTrip(MachineId src, MachineId dst,
     receipt.latency_seconds += split.latency;
     receipt.payload_seconds += split.payload;
     AdvanceFaultClock(split.total());
+    if (corrupted) {
+      // Checksums off (or the check somehow passed): the poisoned payload
+      // is consumed as a normal delivery. The caller got garbage.
+      ++receipt.corrupt_consumed;
+    }
     receipt.delivered = true;
     break;
   }

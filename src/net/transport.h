@@ -61,10 +61,18 @@ struct AttemptPlan {
   double bandwidth_scale = 1.0;
   // One-off extra seconds (e.g. a machine's post-crash restart penalty).
   double extra_seconds = 0.0;
+  // The wire delivered the message but a fault flipped payload bits in it.
+  // With checksummed framing the damaged leg is detected and rejected
+  // (receiver side for the request, sender side for the reply) and the
+  // attempt retries under the same budget; without, the damage is silently
+  // consumed as truth. Only meaningful when delivered.
+  bool corrupt_request = false;
+  bool corrupt_reply = false;
 
   bool clean() const {
-    return delivered && !duplicated && !reordered && latency_scale == 1.0 &&
-           bandwidth_scale == 1.0 && extra_seconds == 0.0;
+    return delivered && !duplicated && !reordered && !corrupt_request &&
+           !corrupt_reply && latency_scale == 1.0 && bandwidth_scale == 1.0 &&
+           extra_seconds == 0.0;
   }
 };
 
@@ -105,6 +113,13 @@ struct DeliveryReceipt {
   // plus retransmissions of a request whose reply was lost. At-most-once
   // delivery — the call's side effects executed exactly once.
   uint64_t duplicates_suppressed = 0;
+  // Attempts whose payload arrived bit-flipped and was rejected by the
+  // envelope checksum; each one retried under the same budget.
+  uint64_t corrupt_rejected = 0;
+  // Bit-flipped payloads silently consumed because checksums were off —
+  // the caller got garbage and does not know (the naive baseline the
+  // resilience bench quantifies).
+  uint64_t corrupt_consumed = 0;
 };
 
 // Cumulative transport-level health counters, as exposed by the network
@@ -124,6 +139,8 @@ struct TransportHealth {
   double wire_latency_seconds = 0.0;
   double wire_payload_seconds = 0.0;
   uint64_t duplicates_suppressed = 0;  // Receiver-side dedup events.
+  uint64_t corrupt_rejected = 0;       // Checksum-rejected attempts.
+  uint64_t corrupt_consumed = 0;       // Poison consumed (checksums off).
 };
 
 class Transport {
@@ -170,6 +187,14 @@ class Transport {
   void SetRetryPolicy(const RetryPolicy& policy) { retry_ = policy; }
   const RetryPolicy& retry_policy() const { return retry_; }
 
+  // Integrity envelope: on by default. With checksums a corrupted attempt
+  // is rejected and retried (the rejection still pays for the bytes that
+  // crossed the wire, but never for a timeout — detection is active);
+  // without, the poisoned payload is consumed as a normal delivery. The
+  // naive mode exists so the resilience bench can price what checksums buy.
+  void SetChecksums(bool enabled) { checksums_ = enabled; }
+  bool checksums_enabled() const { return checksums_; }
+
   // Advances the attached fault model's clock (no-op without one). Used by
   // callers charging non-transport time (compute) so fault episodes keyed
   // to simulated seconds stay aligned with the run.
@@ -209,6 +234,8 @@ class Transport {
     MetricCounter* faulted_calls = nullptr;
     MetricCounter* duplicates_suppressed = nullptr;
     MetricCounter* duplicate_wire_messages = nullptr;
+    MetricCounter* corrupt_rejected = nullptr;
+    MetricCounter* corrupt_consumed = nullptr;
     MetricHistogram* rtt_seconds = nullptr;
     MetricHistogram* retry_wait_seconds = nullptr;
   };
@@ -219,6 +246,7 @@ class Transport {
 
   NetworkModel model_;
   RetryPolicy retry_;
+  bool checksums_ = true;
   TransportFaultModel* faults_ = nullptr;  // Not owned.
   Observability* obs_ = nullptr;           // Not owned.
   Instruments instruments_;

@@ -1,0 +1,109 @@
+// The per-link circuit breaker behind the repartitioner's safe mode.
+//
+// Quarantine (episode_detector.h) protects the *evidence*: a faulted epoch
+// must not teach the estimator or the window. The breaker protects the
+// *plan*: when the wire itself has become untrustworthy — retry budgets
+// exhausting, checksummed deliveries bouncing — continuing to run a
+// distributed cut means every remote call gambles on a poisoned link. The
+// breaker watches the same per-epoch transport-health deltas and runs the
+// classic three-state machine:
+//
+//   closed    normal operation; `trip_after` consecutive bad epochs open it.
+//   open      the link is presumed sick for `open_epochs` epoch boundaries;
+//             the repartitioner degrades to the all-local plan (zero remote
+//             ICC — the one cut that is always realizable) for the duration.
+//   half-open the hold expired; one probe round decides. A healthy probe
+//             closes the breaker (the distributed plan is re-promoted); a
+//             failed probe re-opens it with the hold doubled, up to
+//             `max_open_epochs` — flapping links buy geometrically longer
+//             quiet periods.
+//
+// Everything is driven by the simulated epoch clock and the caller's probe
+// verdicts; the breaker itself draws no randomness, so same seed means the
+// same trip/probe/close sequence.
+
+#ifndef COIGN_SRC_ONLINE_CIRCUIT_BREAKER_H_
+#define COIGN_SRC_ONLINE_CIRCUIT_BREAKER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace coign {
+
+struct BreakerConfig {
+  bool enabled = false;
+  // An epoch votes "bad" when undelivered/calls or corrupt_rejected/calls
+  // crosses its threshold. Undelivered calls exhausted their whole retry
+  // budget, so even a small fraction marks a very sick link; corrupt
+  // rejects are retried within the budget and need a higher rate to mean
+  // the link (and not one unlucky burst) is at fault.
+  double undelivered_threshold = 0.05;
+  double corrupt_threshold = 0.20;
+  // Epochs with fewer calls than this cast no vote either way (too little
+  // traffic to judge a link).
+  uint64_t min_calls = 4;
+  // Consecutive bad epochs before the breaker opens.
+  int trip_after = 2;
+  // Epoch boundaries the breaker holds open before probing; doubles on
+  // every failed probe, capped at max_open_epochs.
+  uint64_t open_epochs = 2;
+  uint64_t max_open_epochs = 16;
+  // Synthetic round trips per half-open probe and their payload size.
+  int probe_calls = 4;
+  uint64_t probe_bytes = 256;
+};
+
+enum class BreakerState { kClosed, kOpen, kHalfOpen };
+
+std::string_view BreakerStateName(BreakerState state);
+
+// One epoch's wire evidence, as deltas of TransportHealth counters.
+struct BreakerSample {
+  uint64_t calls = 0;
+  uint64_t undelivered = 0;
+  uint64_t corrupt_rejected = 0;
+};
+
+class CircuitBreaker {
+ public:
+  explicit CircuitBreaker(BreakerConfig config) : config_(config) {}
+
+  // Advances one epoch boundary with that epoch's evidence. In the closed
+  // state bad epochs accumulate toward a trip; in the open state the hold
+  // counts down and expiry moves to half-open. Call once per epoch, then
+  // check WantsProbe().
+  void Observe(const BreakerSample& epoch);
+
+  // True in the half-open state: the caller should run a probe round and
+  // report the verdict.
+  bool WantsProbe() const { return state_ == BreakerState::kHalfOpen; }
+
+  // Half-open probe verdict: healthy closes the breaker and resets the
+  // hold; unhealthy re-opens with the hold doubled (capped).
+  void OnProbeResult(bool healthy);
+
+  BreakerState state() const { return state_; }
+  uint64_t trips() const { return trips_; }          // closed -> open.
+  uint64_t reopens() const { return reopens_; }      // failed probes.
+  uint64_t probes() const { return probes_; }        // probe rounds judged.
+  const BreakerConfig& config() const { return config_; }
+
+  std::string ToString() const;
+
+ private:
+  void Open();
+
+  BreakerConfig config_;
+  BreakerState state_ = BreakerState::kClosed;
+  int consecutive_bad_ = 0;
+  uint64_t hold_remaining_ = 0;
+  uint64_t current_hold_ = 0;  // Doubles per re-open; reset on close.
+  uint64_t trips_ = 0;
+  uint64_t reopens_ = 0;
+  uint64_t probes_ = 0;
+};
+
+}  // namespace coign
+
+#endif  // COIGN_SRC_ONLINE_CIRCUIT_BREAKER_H_

@@ -27,6 +27,7 @@ Result<OnlineRunResult> MeasureOnlineRun(Application& app,
 
   CoignRuntime runtime(&system, config);
   NetworkAccountant accountant(&system, Transport(options.network));
+  accountant.transport().SetChecksums(options.checksums);
   if (options.faults != nullptr) {
     accountant.AttachFaults(options.faults, options.retry);
   }
@@ -94,6 +95,8 @@ Result<OnlineRunResult> MeasureOnlineRun(Application& app,
   result.run.total_calls = accountant.total_calls();
   result.run.remote_calls = accountant.remote_calls();
   result.run.remote_bytes = accountant.remote_bytes();
+  result.transport = accountant.health();
+  result.final_distribution = runtime.config().distribution;
   if (repartitioner != nullptr) {
     result.online = repartitioner->stats();
     result.final_drift = repartitioner->last_drift();

@@ -36,6 +36,11 @@ struct OnlineRunResult {
   RunMeasurement run;        // Includes migration charges when adaptive.
   OnlineStats online;        // Zero-valued for static runs.
   DriftReport final_drift;   // Last epoch's drift report (adaptive only).
+  // Cumulative wire health (retries, undelivered, corrupt rejects) and the
+  // distribution the run ended on — what a corruption storm must not be
+  // able to poison.
+  TransportHealth transport;
+  Distribution final_distribution;
 };
 
 struct OnlineMeasurementOptions {
@@ -52,6 +57,10 @@ struct OnlineMeasurementOptions {
   // through the accountant's transport (state copies feel the faults).
   TransportFaultModel* faults = nullptr;
   RetryPolicy retry;
+  // False models a legacy unframed wire: corrupted deliveries pass
+  // undetected and their payloads are consumed as truth (the bench's
+  // "wrong answers" baseline). Leave true everywhere else.
+  bool checksums = true;
   // Optional simulated coordinator crash during journaled migrations
   // (chaos/bench runs force interruptions with this; see
   // LiveMigrator::CrashGate). Only consulted when `faults` is set.

@@ -3,6 +3,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "src/support/crc32c.h"
 #include "src/support/str_util.h"
 
 namespace coign {
@@ -80,12 +81,18 @@ std::vector<MigrationRecord> MigrationJournal::InFlight() const {
 }
 
 std::string MigrationJournal::Serialize() const {
-  std::string out = "migration-journal v1\n";
+  // v2: each record line ends with the CRC32C of its own body, so the
+  // loader can localize mid-file damage to single records instead of
+  // rejecting the whole journal.
+  std::string out = "migration-journal v2\n";
   for (const MigrationRecord& record : records_) {
-    out += StrFormat("rec %s %llu %d %d %llu\n",
-                     std::string(MigrationPhaseName(record.phase)).c_str(),
-                     static_cast<unsigned long long>(record.instance), record.from,
-                     record.to, static_cast<unsigned long long>(record.state_bytes));
+    const std::string body =
+        StrFormat("rec %s %llu %d %d %llu",
+                  std::string(MigrationPhaseName(record.phase)).c_str(),
+                  static_cast<unsigned long long>(record.instance), record.from,
+                  record.to, static_cast<unsigned long long>(record.state_bytes));
+    out += body;
+    out += StrFormat(" %08x\n", Crc32c(body));
   }
   return out;
 }
@@ -119,6 +126,27 @@ Result<MigrationRecord> ParseRecordLine(const std::string& line, bool* truncated
   return record;
 }
 
+// Parses the 8-hex-digit CRC field v2 lines end with.
+bool ParseCrcHex(const std::string& hex, uint32_t* out) {
+  if (hex.size() != 8) {
+    return false;
+  }
+  uint32_t bits = 0;
+  for (char c : hex) {
+    int digit;
+    if (c >= '0' && c <= '9') {
+      digit = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      digit = c - 'a' + 10;
+    } else {
+      return false;
+    }
+    bits = (bits << 4) | static_cast<uint32_t>(digit);
+  }
+  *out = bits;
+  return true;
+}
+
 }  // namespace
 
 Result<MigrationJournal> MigrationJournal::Parse(const std::string& text) {
@@ -135,9 +163,11 @@ Result<MigrationJournal> MigrationJournal::Parse(const std::string& text) {
 
   std::istringstream in(body);
   std::string line;
-  if (!std::getline(in, line) || line != "migration-journal v1") {
+  if (!std::getline(in, line) ||
+      (line != "migration-journal v1" && line != "migration-journal v2")) {
     return InvalidArgumentError("migration journal: bad header");
   }
+  const bool checksummed = line == "migration-journal v2";
   std::vector<std::string> lines;
   while (std::getline(in, line)) {
     if (!line.empty()) {
@@ -146,14 +176,48 @@ Result<MigrationJournal> MigrationJournal::Parse(const std::string& text) {
   }
   MigrationJournal journal;
   for (size_t i = 0; i < lines.size(); ++i) {
-    bool truncated = false;
-    Result<MigrationRecord> record = ParseRecordLine(lines[i], &truncated);
-    if (!record.ok()) {
-      if (truncated && i + 1 == lines.size()) {
-        torn = true;  // The cut-short final record: drop it.
+    const bool last = i + 1 == lines.size();
+    if (!checksummed) {
+      // v1: no per-record checksum, so mid-file damage is unlocatable and
+      // stays a hard error; only the cut-short final record is tearing.
+      bool truncated = false;
+      Result<MigrationRecord> record = ParseRecordLine(lines[i], &truncated);
+      if (!record.ok()) {
+        if (truncated && last) {
+          torn = true;
+          break;
+        }
+        return record.status();
+      }
+      journal.Append(*record);
+      continue;
+    }
+    // v2: verify the trailing CRC before trusting a word of the record.
+    // A final line whose CRC field never finished is a torn append; any
+    // earlier line that fails to verify — or parses to garbage under a
+    // valid checksum — is corruption, skipped and counted so the caller
+    // can quarantine instead of losing the whole journal.
+    const size_t space = lines[i].find_last_of(' ');
+    uint32_t expected = 0;
+    if (space == std::string::npos ||
+        !ParseCrcHex(lines[i].substr(space + 1), &expected)) {
+      if (last) {
+        torn = true;
         break;
       }
-      return record.status();
+      ++journal.corrupt_skipped_;
+      continue;
+    }
+    const std::string record_body = lines[i].substr(0, space);
+    bool truncated = false;
+    if (Crc32c(record_body) != expected) {
+      ++journal.corrupt_skipped_;
+      continue;
+    }
+    Result<MigrationRecord> record = ParseRecordLine(record_body, &truncated);
+    if (!record.ok()) {
+      ++journal.corrupt_skipped_;
+      continue;
     }
     journal.Append(*record);
   }
@@ -189,6 +253,9 @@ std::string MigrationJournal::ToString() const {
   const std::vector<MigrationRecord> in_flight = InFlight();
   if (!in_flight.empty()) {
     out += StrFormat(", %zu in flight", in_flight.size());
+  }
+  if (corrupt_skipped_ > 0) {
+    out += StrFormat(", %zu corrupt skipped", corrupt_skipped_);
   }
   out += "}";
   return out;

@@ -65,11 +65,16 @@ class MigrationJournal {
   // (intent/prepared) — what crash recovery must roll back. Append order.
   std::vector<MigrationRecord> InFlight() const;
 
-  // Exact text round-trip for durability across restarts. Parse tolerates
-  // a torn tail — a crash mid-append leaves either bytes after the final
-  // newline or a truncated final record, and either is dropped (it was
-  // never durably written); damage anywhere earlier is corruption and
-  // fails. recovered_torn_tail() reports whether a tail was dropped.
+  // Exact text round-trip for durability across restarts. Serialize writes
+  // the v2 form: every record line carries a trailing CRC32C of its own
+  // text. Parse reads v1 (no CRCs) and v2. Both tolerate a torn tail — a
+  // crash mid-append leaves bytes after the final newline or a truncated
+  // final record, and either is dropped (it was never durably written);
+  // recovered_torn_tail() reports whether a tail was dropped. Mid-file
+  // damage diverges by version: v1 has no way to localize it and fails
+  // hard; v2 skips exactly the records whose CRC or fields no longer
+  // check out and counts them in corrupt_skipped() — the caller decides
+  // whether to quarantine.
   std::string Serialize() const;
   static Result<MigrationJournal> Parse(const std::string& text);
 
@@ -80,6 +85,9 @@ class MigrationJournal {
   static Result<MigrationJournal> LoadFromFile(const std::string& path);
 
   bool recovered_torn_tail() const { return recovered_torn_tail_; }
+  // Records dropped by the v2 loader because their checksum (or their
+  // contents under a valid checksum) no longer verified.
+  size_t corrupt_skipped() const { return corrupt_skipped_; }
 
   std::string ToString() const;
 
@@ -88,6 +96,7 @@ class MigrationJournal {
   // Instance -> index of its last record, for O(1) outcome queries.
   std::unordered_map<InstanceId, size_t> last_index_;
   bool recovered_torn_tail_ = false;
+  size_t corrupt_skipped_ = 0;
 };
 
 }  // namespace coign

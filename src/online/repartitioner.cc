@@ -3,6 +3,7 @@
 #include <cassert>
 #include <cstdio>
 
+#include "src/graph/distribution.h"
 #include "src/support/log.h"
 #include "src/support/str_util.h"
 
@@ -33,6 +34,16 @@ std::string OnlineStats::ToString() const {
         static_cast<unsigned long long>(migration_wasted_bytes),
         static_cast<unsigned long long>(duplicates_suppressed));
   }
+  if (breaker_trips > 0 || safe_mode_entries > 0) {
+    out += StrFormat(
+        ", breaker_trips=%llu, breaker_reopens=%llu, safe_mode_entries=%llu, "
+        "safe_mode_exits=%llu, safe_mode_epochs=%llu",
+        static_cast<unsigned long long>(breaker_trips),
+        static_cast<unsigned long long>(breaker_reopens),
+        static_cast<unsigned long long>(safe_mode_entries),
+        static_cast<unsigned long long>(safe_mode_exits),
+        static_cast<unsigned long long>(safe_mode_epochs));
+  }
   out += "}";
   return out;
 }
@@ -47,7 +58,8 @@ OnlineRepartitioner::OnlineRepartitioner(ObjectSystem* system, CoignRuntime* run
       options_(options),
       window_(options.window),
       policy_(options.policy, options.analysis),
-      episode_detector_(options.quarantine) {
+      episode_detector_(options.quarantine),
+      breaker_(options.breaker) {
   assert(system_ != nullptr && runtime_ != nullptr);
   // A journal file left by a previous process means that process died with
   // a migration in flight: pick it up as the pending migration so the first
@@ -59,6 +71,10 @@ OnlineRepartitioner::OnlineRepartitioner(ObjectSystem* system, CoignRuntime* run
       if (loaded->recovered_torn_tail()) {
         COIGN_LOG(kWarning, "journal %s had a torn tail; dropped the partial record",
                   options_.journal_path.c_str());
+      }
+      if (loaded->corrupt_skipped() > 0) {
+        COIGN_LOG(kWarning, "journal %s had %zu corrupt record(s); skipped them",
+                  options_.journal_path.c_str(), loaded->corrupt_skipped());
       }
       PendingMigration pending;
       pending.journal = std::move(*loaded);
@@ -203,6 +219,90 @@ Status OnlineRepartitioner::ResumePendingMigration() {
   return Status::Ok();
 }
 
+bool OnlineRepartitioner::RunBreakerProbe(const BreakerSample& sample) {
+  if (migration_transport_ == nullptr) {
+    // No hardened wire to probe synthetically: judge by the epoch's own
+    // traffic (live instances renting the distributed cut keep the wire
+    // evidence flowing even while safe mode holds the all-local plan).
+    return sample.calls > 0 && sample.undelivered == 0 &&
+           sample.corrupt_rejected == 0;
+  }
+  const BreakerConfig& config = options_.breaker;
+  uint64_t bad = 0;
+  for (int i = 0; i < config.probe_calls; ++i) {
+    const DeliveryReceipt receipt = migration_transport_->ReliableRoundTrip(
+        kClientMachine, kServerMachine, config.probe_bytes, config.probe_bytes,
+        migration_jitter_);
+    if (!receipt.delivered || receipt.corrupt_rejected > 0) {
+      ++bad;
+    }
+  }
+  return bad == 0;
+}
+
+void OnlineRepartitioner::EnterSafeMode() {
+  safe_mode_ = true;
+  ++stats_.safe_mode_entries;
+  // Park the distributed plan and lazily adopt the all-local cut: future
+  // placements stop crossing the sick wire immediately, and no state is
+  // copied over it to get there. Live remote instances rent their seats
+  // until the plan is re-promoted (or they die).
+  saved_distribution_ = distribution();
+  runtime_->AdoptDistribution(EverythingOn(kClientMachine));
+  if (obs_ != nullptr) {
+    obs_->metrics().GetCounter("safe_mode.entered")->Add(1);
+    obs_->tracer().Instant("safe-mode-enter", "online", kTrackOnline,
+                           {{"epoch", Tracer::ArgUint(stats_.epochs)}});
+    obs_->Dump("safe-mode");
+  }
+}
+
+void OnlineRepartitioner::ExitSafeMode() {
+  safe_mode_ = false;
+  ++stats_.safe_mode_exits;
+  runtime_->AdoptDistribution(saved_distribution_);
+  // Anti-thrash: the re-promoted plan gets the same quiet period an
+  // accepted repartition would.
+  cooldown_remaining_ = options_.cooldown_epochs;
+  if (obs_ != nullptr) {
+    obs_->metrics().GetCounter("safe_mode.exited")->Add(1);
+    obs_->tracer().Instant("safe-mode-exit", "online", kTrackOnline,
+                           {{"epoch", Tracer::ArgUint(stats_.epochs)}});
+  }
+}
+
+void OnlineRepartitioner::BreakerTick(const BreakerSample& sample) {
+  const BreakerState before = breaker_.state();
+  breaker_.Observe(sample);
+  if (breaker_.WantsProbe()) {
+    breaker_.OnProbeResult(RunBreakerProbe(sample));
+  }
+  const BreakerState after = breaker_.state();
+  stats_.breaker_trips = breaker_.trips();
+  stats_.breaker_reopens = breaker_.reopens();
+  if (obs_ != nullptr) {
+    // Gauge sampled onto the counter track each epoch: 0 closed, 1 open,
+    // 2 half-open (half-open is only visible here when a probe could not
+    // run this epoch).
+    obs_->metrics().GetGauge("breaker.state")
+        ->Set(after == BreakerState::kClosed ? 0.0
+              : after == BreakerState::kOpen ? 1.0
+                                             : 2.0);
+    if (after != before) {
+      obs_->tracer().Instant(
+          "breaker-transition", "online", kTrackOnline,
+          {{"epoch", Tracer::ArgUint(stats_.epochs)},
+           {"from", Tracer::ArgString(BreakerStateName(before))},
+           {"to", Tracer::ArgString(BreakerStateName(after))}});
+    }
+  }
+  if (after == BreakerState::kClosed && safe_mode_) {
+    ExitSafeMode();
+  } else if (after != BreakerState::kClosed && !safe_mode_) {
+    EnterSafeMode();
+  }
+}
+
 void OnlineRepartitioner::OnInstantiated(const ClassDesc& cls, InstanceId id,
                                          InstanceId creator) {
   (void)creator;
@@ -288,12 +388,27 @@ Status OnlineRepartitioner::EndEpoch() {
     const uint64_t epoch_calls = now.calls - epoch_health_.calls;
     const uint64_t epoch_faulted = now.faulted_calls - epoch_health_.faulted_calls;
     const uint64_t epoch_bytes = now.wire_bytes - epoch_health_.wire_bytes;
+    const uint64_t epoch_undelivered = now.undelivered - epoch_health_.undelivered;
+    const uint64_t epoch_corrupt =
+        now.corrupt_rejected - epoch_health_.corrupt_rejected;
     const double epoch_latency =
         now.wire_latency_seconds - epoch_health_.wire_latency_seconds;
     const double epoch_payload =
         now.wire_payload_seconds - epoch_health_.wire_payload_seconds;
     epoch_health_ = now;
     call_health_ = now;
+    // The breaker judges every epoch — quarantined ones included: an
+    // epoch too sick to be evidence for the estimator is exactly the
+    // evidence the breaker exists for. (Half-open probes may put extra
+    // round trips on the wire; the cursors above were already advanced,
+    // so the next epoch's deltas absorb them.)
+    if (options_.breaker.enabled) {
+      BreakerSample sample;
+      sample.calls = epoch_calls;
+      sample.undelivered = epoch_undelivered;
+      sample.corrupt_rejected = epoch_corrupt;
+      BreakerTick(sample);
+    }
     if (options_.quarantine.enabled) {
       EpochHealthSample sample;
       sample.calls = epoch_calls;
@@ -341,6 +456,16 @@ Status OnlineRepartitioner::EndEpoch() {
   }
 
   window_.AdvanceEpoch();
+
+  if (safe_mode_) {
+    // Safe mode owns the loop: no evaluations and no migrations over a
+    // wire the breaker declared sick — the all-local plan needs neither.
+    // The window keeps advancing so evidence stays fresh for the
+    // re-promoted plan.
+    ++stats_.safe_mode_epochs;
+    epoch_span.AddArg("outcome", "safe-mode");
+    return Status::Ok();
+  }
 
   last_drift_ = DetectDrift(base_profile_, window_.WindowMessageCounts(), options_.drift);
   if (last_drift_.reprofile_recommended) {

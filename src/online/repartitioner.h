@@ -25,6 +25,7 @@
 #include "src/com/object_system.h"
 #include "src/net/network_profiler.h"
 #include "src/net/transport.h"
+#include "src/online/circuit_breaker.h"
 #include "src/online/episode_detector.h"
 #include "src/online/migrator.h"
 #include "src/online/net_estimator.h"
@@ -47,6 +48,13 @@ struct OnlineOptions {
   uint64_t cooldown_epochs = 1;
   // Fault-episode quarantine (only effective with a transport probe set).
   QuarantineConfig quarantine;
+  // Per-link circuit breaker + degrade-to-local safe mode (only effective
+  // with a transport probe set; off by default). While the breaker is
+  // open the repartitioner lazily adopts the all-local plan — zero remote
+  // ICC, the one cut that needs no healthy wire — and skips evaluations
+  // and migration resumes; half-open probes re-promote the saved
+  // distributed plan once the link heals.
+  BreakerConfig breaker;
   // Journaled-migration knobs (effective with SetMigrationTransport).
   uint64_t migration_ack_bytes = 64;
   int migration_copy_attempts = 2;
@@ -79,6 +87,12 @@ struct OnlineStats {
   uint64_t migration_rollbacks = 0;     // In-flight instances rolled back.
   uint64_t migration_wasted_bytes = 0;  // Retransmitted/discarded state bytes.
   uint64_t duplicates_suppressed = 0;   // Copy retries deduped at the receiver.
+  // Circuit-breaker / safe-mode path (only with options.breaker.enabled).
+  uint64_t breaker_trips = 0;       // closed -> open transitions.
+  uint64_t breaker_reopens = 0;     // Half-open probes that failed.
+  uint64_t safe_mode_entries = 0;   // Degrades to the all-local plan.
+  uint64_t safe_mode_exits = 0;     // Distributed-plan re-promotions.
+  uint64_t safe_mode_epochs = 0;    // Epochs spent degraded.
   // Final live-estimate / fitted per-message ratio (1.0 without a probe).
   double live_slowdown = 1.0;
 
@@ -139,6 +153,11 @@ class OnlineRepartitioner : public ObjectSystem::Interceptor {
   // abandonment. `obs` is not owned; null disables instrumentation.
   void SetObservability(Observability* obs) { obs_ = obs; }
 
+  // Breaker state for reports and tests; safe_mode() is true while the
+  // all-local degraded plan is adopted.
+  const CircuitBreaker& breaker() const { return breaker_; }
+  bool safe_mode() const { return safe_mode_; }
+
   bool has_pending_migration() const { return pending_.has_value(); }
   // The pending migration's journal; null when none is in flight.
   const MigrationJournal* pending_journal() const {
@@ -179,6 +198,14 @@ class OnlineRepartitioner : public ObjectSystem::Interceptor {
   void PersistPendingJournal() const;
   // Gives up on the pending migration: stragglers rent the old placement.
   void AbandonPendingMigration();
+  // One breaker epoch: feeds the sample, runs a half-open probe when the
+  // breaker asks for one, and moves safe mode to match the state.
+  void BreakerTick(const BreakerSample& sample);
+  // Half-open probe: synthetic round trips through the migration
+  // transport when one is attached, else this epoch's sample verdict.
+  bool RunBreakerProbe(const BreakerSample& sample);
+  void EnterSafeMode();
+  void ExitSafeMode();
 
   ObjectSystem* system_;
   CoignRuntime* runtime_;
@@ -214,6 +241,11 @@ class OnlineRepartitioner : public ObjectSystem::Interceptor {
   // Screens epochs for fault episodes (visible faults and silent
   // latency/payload slowdown) against healthy-epoch baselines.
   FaultEpisodeDetector episode_detector_;
+  // Per-link breaker + the distributed plan parked while safe mode holds
+  // the all-local cut.
+  CircuitBreaker breaker_;
+  bool safe_mode_ = false;
+  Distribution saved_distribution_;
   Observability* obs_ = nullptr;  // Not owned.
   bool in_quarantine_ = false;    // For quarantine-exit instants.
 };

@@ -72,6 +72,8 @@ void NetworkAccountant::OnCallEnd(const ObjectSystem::CallEvent& event, const St
     ++health_.faulted_calls;
   }
   health_.duplicates_suppressed += receipt.duplicates_suppressed;
+  health_.corrupt_rejected += receipt.corrupt_rejected;
+  health_.corrupt_consumed += receipt.corrupt_consumed;
   communication_seconds_ += seconds;
   ++health_.calls;
   health_.wire_bytes += wire.total_bytes();

@@ -1,0 +1,29 @@
+// CRC32C (Castagnoli, polynomial 0x1EDC6F41) used by the wire-integrity
+// envelope and the checksummed persistence formats (plan cache v4,
+// migration journal v2). Software table implementation — no hardware
+// intrinsics, so checksums are identical on every build host, which the
+// byte-determinism CI gates depend on.
+
+#ifndef COIGN_SRC_SUPPORT_CRC32C_H_
+#define COIGN_SRC_SUPPORT_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace coign {
+
+// CRC32C of `size` bytes starting at `data`.
+uint32_t Crc32c(const void* data, size_t size);
+
+inline uint32_t Crc32c(std::string_view text) {
+  return Crc32c(text.data(), text.size());
+}
+
+// Extends a running CRC with more bytes: Crc32cExtend(Crc32c(a), b) ==
+// Crc32c(a + b). `crc` is a finalized CRC as returned by Crc32c.
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t size);
+
+}  // namespace coign
+
+#endif  // COIGN_SRC_SUPPORT_CRC32C_H_

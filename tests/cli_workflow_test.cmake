@@ -43,6 +43,39 @@ if(chaos_first STREQUAL last_output)
   message(FATAL_ERROR "chaos ignores --seed: seeds 42 and 7 match")
 endif()
 
+# Corruption runs carry the same determinism contract: a corrupt-burst
+# storm with the checksummed wire replays byte-for-byte, the breaker
+# opens (degrading to the all-local plan) and re-promotes the distributed
+# plan after the links heal, and the final partition matches the
+# fault-free adaptive run's (the poison was rejected, never consumed).
+set(corrupt_args -i smoke --scenario o_oldwp7 --scenario o_mixed9
+    --cycles 3 --reps 2 --storm --corrupt-rate 0.3 --seed 3)
+run(${COIGN_BIN} chaos ${corrupt_args})
+set(corrupt_first "${last_output}")
+run(${COIGN_BIN} chaos ${corrupt_args})
+if(NOT corrupt_first STREQUAL last_output)
+  message(FATAL_ERROR "chaos --corrupt-rate is not deterministic:\n"
+          "--- first ---\n${corrupt_first}\n--- second ---\n${last_output}")
+endif()
+if(NOT corrupt_first MATCHES "corrupt-burst")
+  message(FATAL_ERROR "corruption run scheduled no corrupt-burst episodes:\n${corrupt_first}")
+endif()
+if(NOT corrupt_first MATCHES "corrupt_rejected=[1-9]")
+  message(FATAL_ERROR "checksummed wire rejected no corrupted payloads:\n${corrupt_first}")
+endif()
+if(NOT corrupt_first MATCHES "corrupt_consumed=0")
+  message(FATAL_ERROR "checksummed wire consumed corrupted payloads:\n${corrupt_first}")
+endif()
+if(NOT corrupt_first MATCHES "breaker_trips=[1-9]")
+  message(FATAL_ERROR "corruption storm never tripped the breaker:\n${corrupt_first}")
+endif()
+if(NOT corrupt_first MATCHES "safe_mode_exits=[1-9]")
+  message(FATAL_ERROR "breaker never re-promoted the distributed plan:\n${corrupt_first}")
+endif()
+if(NOT corrupt_first MATCHES "partitions_match=yes")
+  message(FATAL_ERROR "corruption storm steered the final partition:\n${corrupt_first}")
+endif()
+
 # Observability artifacts are part of the determinism contract: two
 # same-seed runs must write byte-identical --trace-out / --metrics-out
 # files (the trace carries simulated-clock timestamps, never wall time).

@@ -42,6 +42,8 @@ inline RandomFaultOptions GenFaultOptions(Rng& rng) {
   options.restart_penalty_seconds = rng.UniformDouble(0.0, 0.5);
   options.include_partitions = rng.Bernoulli(0.7);
   options.include_crashes = rng.Bernoulli(0.7);
+  options.include_corrupt_bursts = rng.Bernoulli(0.7);
+  options.corrupt_burst_max = rng.UniformDouble(0.1, 0.8);
   return options;
 }
 

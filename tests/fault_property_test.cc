@@ -52,7 +52,9 @@ bool SameReceipt(const DeliveryReceipt& a, const DeliveryReceipt& b) {
   return a.seconds == b.seconds && a.latency_seconds == b.latency_seconds &&
          a.payload_seconds == b.payload_seconds && a.attempts == b.attempts &&
          a.delivered == b.delivered && a.faulted == b.faulted &&
-         a.duplicate_messages == b.duplicate_messages;
+         a.duplicate_messages == b.duplicate_messages &&
+         a.corrupt_rejected == b.corrupt_rejected &&
+         a.corrupt_consumed == b.corrupt_consumed;
 }
 
 // One generated case, fully reconstructible from (seed, call_count,
@@ -124,7 +126,9 @@ CaseOutcome RunCase(uint64_t seed, int call_count, int episode_count = -1) {
                   std::to_string(budget) + "]");
     } else if (!receipt.delivered &&
                (receipt.attempts != budget || !receipt.faulted ||
-                receipt.payload_seconds != 0.0)) {
+                (receipt.payload_seconds != 0.0 && receipt.corrupt_rejected == 0))) {
+      // Undelivered calls burn latency only — unless checksum rejections
+      // consumed budget, which pay for the bytes that crossed the wire.
       fail(i, "undelivered receipt with unspent budget, no fault mark, or "
               "payload time");
     } else if (receipt.latency_seconds < 0.0 || receipt.payload_seconds < 0.0) {

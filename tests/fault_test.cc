@@ -131,6 +131,91 @@ TEST(FaultInjectorTest, ScalesComeFromActiveEpisodes) {
   EXPECT_FALSE(plan.clean());
 }
 
+TEST(FaultScheduleTest, FaultKindNamesAreDistinctAndCoverEveryKind) {
+  EXPECT_EQ(FaultKindName(FaultKind::kDropBurst), "drop-burst");
+  EXPECT_EQ(FaultKindName(FaultKind::kGilbertElliott), "gilbert-elliott");
+  EXPECT_EQ(FaultKindName(FaultKind::kCorruptBurst), "corrupt-burst");
+  // An episode renders its chain parameters — corrupt bursts are bursty.
+  FaultEpisode episode = Episode(FaultKind::kCorruptBurst, 0.0, 1.0, 0.5);
+  EXPECT_NE(episode.ToString().find("corrupt-burst"), std::string::npos);
+  EXPECT_NE(episode.ToString().find("ge{"), std::string::npos);
+}
+
+TEST(FaultScheduleTest, CrashStormCorruptionIsOptIn) {
+  CrashStormOptions options;
+  const FaultSchedule legacy = FaultSchedule::CrashStorm(options, 5);
+  EXPECT_EQ(legacy.ToString().find("corrupt-burst"), std::string::npos);
+  options.corruption_rate = 0.3;
+  const FaultSchedule corrupt = FaultSchedule::CrashStorm(options, 5);
+  EXPECT_NE(corrupt.ToString().find("corrupt-burst"), std::string::npos);
+  // The corruption regimes extend the legacy schedule; they never perturb
+  // the episodes older seeds already rely on.
+  for (const FaultEpisode& episode : legacy.episodes()) {
+    EXPECT_NE(corrupt.ToString().find(episode.ToString()), std::string::npos)
+        << episode.ToString();
+  }
+}
+
+// A corrupt episode that damages every covered attempt: both chain states
+// corrupt at rate 1, so the Gilbert-Elliott walk cannot save a payload.
+FaultEpisode AlwaysCorrupt(double start, double duration) {
+  FaultEpisode episode = Episode(FaultKind::kCorruptBurst, start, duration, 1.0);
+  episode.gilbert.loss_good = 1.0;
+  episode.gilbert.loss_bad = 1.0;
+  return episode;
+}
+
+TEST(ReliableRoundTripTest, ChecksummedWireRejectsEveryCorruptAttempt) {
+  FaultSchedule schedule = FaultSchedule::FromEpisodes({AlwaysCorrupt(0.0, 100.0)});
+  FaultInjector injector(schedule, FaultRates{}, 5);
+  Transport transport(NetworkModel::TenBaseT());
+  transport.AttachFaults(&injector);
+  RetryPolicy policy;
+  policy.max_attempts = 4;
+  transport.SetRetryPolicy(policy);
+
+  const DeliveryReceipt receipt = transport.ReliableRoundTrip(0, 1, 100, 100, nullptr);
+  EXPECT_FALSE(receipt.delivered);
+  EXPECT_TRUE(receipt.faulted);
+  EXPECT_EQ(receipt.attempts, 4);
+  EXPECT_EQ(receipt.corrupt_rejected, 4u);
+  EXPECT_EQ(receipt.corrupt_consumed, 0u);
+  // Detection is active: rejected attempts pay for crossed bytes, never
+  // for a timeout.
+  EXPECT_GT(receipt.payload_seconds, 0.0);
+  EXPECT_LT(receipt.seconds, policy.timeout_seconds);
+}
+
+TEST(ReliableRoundTripTest, CorruptEpisodeEndHealsTheRetry) {
+  // The episode is shorter than one rejected attempt's wire time, so the
+  // first attempt is damaged and the retry lands after the burst.
+  FaultSchedule schedule = FaultSchedule::FromEpisodes({AlwaysCorrupt(0.0, 1e-9)});
+  FaultInjector injector(schedule, FaultRates{}, 5);
+  Transport transport(NetworkModel::TenBaseT());
+  transport.AttachFaults(&injector);
+
+  const DeliveryReceipt receipt = transport.ReliableRoundTrip(0, 1, 100, 100, nullptr);
+  EXPECT_TRUE(receipt.delivered);
+  EXPECT_EQ(receipt.attempts, 2);
+  EXPECT_EQ(receipt.corrupt_rejected, 1u);
+  EXPECT_EQ(receipt.corrupt_consumed, 0u);
+}
+
+TEST(ReliableRoundTripTest, NaiveWireConsumesThePoison) {
+  FaultSchedule schedule = FaultSchedule::FromEpisodes({AlwaysCorrupt(0.0, 100.0)});
+  FaultInjector injector(schedule, FaultRates{}, 5);
+  Transport transport(NetworkModel::TenBaseT());
+  transport.AttachFaults(&injector);
+  transport.SetChecksums(false);
+
+  const DeliveryReceipt receipt = transport.ReliableRoundTrip(0, 1, 100, 100, nullptr);
+  EXPECT_TRUE(receipt.delivered);  // "Delivered" — the caller got garbage.
+  EXPECT_TRUE(receipt.faulted);
+  EXPECT_EQ(receipt.attempts, 1);
+  EXPECT_EQ(receipt.corrupt_consumed, 1u);
+  EXPECT_EQ(receipt.corrupt_rejected, 0u);
+}
+
 TEST(ReliableRoundTripTest, CleanPathMatchesExpectedTime) {
   Transport transport(NetworkModel::TenBaseT());
   const DeliveryReceipt receipt = transport.ReliableRoundTrip(0, 1, 100, 200, nullptr);

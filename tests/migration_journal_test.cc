@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -72,16 +73,68 @@ TEST(MigrationJournalPersistTest, TruncatedFinalRecordIsDroppedAsTorn) {
   ExpectSameRecords(journal, *parsed);
 }
 
-TEST(MigrationJournalPersistTest, DamageBeforeTheTailIsCorruptionNotTearing) {
+TEST(MigrationJournalPersistTest, DamageBeforeTheTailIsSkippedAndCounted) {
   const MigrationJournal journal = TestJournal();
   std::string text = journal.Serialize();
   // Mangle the first record line: it is covered by later newlines, so this
-  // is corruption and must fail loudly, not be silently dropped.
+  // is corruption, not tearing. The v2 CRC localizes it — exactly that
+  // record is dropped and counted, the rest of the journal survives.
   const size_t first_rec = text.find("rec intent");
   ASSERT_NE(first_rec, std::string::npos);
   text.replace(first_rec, 10, "rec mangle");
   Result<MigrationJournal> parsed = MigrationJournal::Parse(text);
-  EXPECT_FALSE(parsed.ok());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->corrupt_skipped(), 1u);
+  EXPECT_EQ(parsed->size(), journal.size() - 1);
+  EXPECT_FALSE(parsed->recovered_torn_tail());
+}
+
+// Strips the v2 CRC fields off a serialized journal, producing the v1 form
+// old snapshots on disk still carry.
+std::string ToV1(const MigrationJournal& journal) {
+  std::istringstream in(journal.Serialize());
+  std::string line;
+  std::getline(in, line);  // Header.
+  std::string out = "migration-journal v1\n";
+  while (std::getline(in, line)) {
+    out += line.substr(0, line.find_last_of(' '));
+    out += '\n';
+  }
+  return out;
+}
+
+TEST(MigrationJournalPersistTest, V1SnapshotsStillLoad) {
+  const MigrationJournal journal = TestJournal();
+  Result<MigrationJournal> parsed = MigrationJournal::Parse(ToV1(journal));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ExpectSameRecords(journal, *parsed);
+  EXPECT_EQ(parsed->corrupt_skipped(), 0u);
+}
+
+TEST(MigrationJournalPersistTest, V1DamageBeforeTheTailStaysAHardError) {
+  // v1 has no per-record checksum: mid-file damage cannot be localized and
+  // must still fail loudly rather than be silently dropped.
+  std::string text = ToV1(TestJournal());
+  const size_t first_rec = text.find("rec intent");
+  ASSERT_NE(first_rec, std::string::npos);
+  text.replace(first_rec, 10, "rec mangle");
+  EXPECT_FALSE(MigrationJournal::Parse(text).ok());
+}
+
+TEST(MigrationJournalPersistTest, FlippedCrcDigitDropsOnlyThatRecord) {
+  const MigrationJournal journal = TestJournal();
+  std::string text = journal.Serialize();
+  // Flip one digit of the second record's CRC field: the record body is
+  // intact but no longer proves itself, so it is dropped and counted.
+  const size_t second_line_end = text.find('\n', text.find("rec prepared"));
+  ASSERT_NE(second_line_end, std::string::npos);
+  char& digit = text[second_line_end - 1];
+  digit = digit == '0' ? '1' : '0';
+  Result<MigrationJournal> parsed = MigrationJournal::Parse(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->corrupt_skipped(), 1u);
+  EXPECT_EQ(parsed->size(), journal.size() - 1);
+  EXPECT_EQ(parsed->LastFor(7)->phase, MigrationPhase::kCommitted);
 }
 
 TEST(MigrationJournalPersistTest, EmptyJournalRoundTrips) {

@@ -1,11 +1,69 @@
 #include <gtest/gtest.h>
 
+#include <string>
+
+#include "src/net/envelope.h"
 #include "src/net/network_model.h"
 #include "src/net/network_profiler.h"
 #include "src/net/transport.h"
+#include "src/support/crc32c.h"
 
 namespace coign {
 namespace {
+
+TEST(Crc32cTest, MatchesKnownVectors) {
+  // RFC 3720 test vectors for CRC32C (Castagnoli).
+  EXPECT_EQ(Crc32c("", 0), 0x00000000u);
+  const std::string zeros(32, '\0');
+  EXPECT_EQ(Crc32c(zeros.data(), zeros.size()), 0x8a9136aau);
+  EXPECT_EQ(Crc32c("123456789", 9), 0xe3069283u);
+}
+
+TEST(Crc32cTest, ExtendComposesWithConcatenation) {
+  const std::string a = "plan-cache";
+  const std::string b = " v4 record body";
+  EXPECT_EQ(Crc32cExtend(Crc32c(a), b.data(), b.size()), Crc32c(a + b));
+}
+
+TEST(EnvelopeTest, RoundTripsPayload) {
+  const std::string payload = "remote call payload";
+  const std::string framed = FrameEnvelope(payload);
+  EXPECT_EQ(framed.size(), payload.size() + kEnvelopeHeaderBytes);
+  Result<std::string> opened = OpenEnvelope(framed);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  EXPECT_EQ(*opened, payload);
+}
+
+TEST(EnvelopeTest, RejectsTruncationBadMagicAndShortInput) {
+  const std::string framed = FrameEnvelope("payload");
+  EXPECT_FALSE(OpenEnvelope(framed.substr(0, framed.size() - 1)).ok());
+  EXPECT_FALSE(OpenEnvelope(framed.substr(0, kEnvelopeHeaderBytes - 1)).ok());
+  std::string bad_magic = framed;
+  bad_magic[0] = 'X';
+  EXPECT_FALSE(OpenEnvelope(bad_magic).ok());
+  std::string bad_length = framed;
+  bad_length[4] = static_cast<char>(bad_length[4] + 1);
+  EXPECT_FALSE(OpenEnvelope(bad_length).ok());
+}
+
+TEST(EnvelopeTest, EverySingleBitFlipIsRejected) {
+  // CRC32C detects all single-bit errors; walk every bit of a framed
+  // message (header included) and demand a rejection for each.
+  const std::string framed = FrameEnvelope("sixteen byte msg");
+  for (size_t bit = 0; bit < framed.size() * 8; ++bit) {
+    std::string damaged = framed;
+    damaged[bit / 8] = static_cast<char>(damaged[bit / 8] ^ (1u << (bit % 8)));
+    EXPECT_FALSE(OpenEnvelope(damaged).ok()) << "bit " << bit;
+  }
+}
+
+TEST(EnvelopeTest, ModeledBitFlipIsAlwaysCaught) {
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_TRUE(EnvelopeCatchesBitFlip(1 + 97 * i, i / 64.0));
+  }
+  EXPECT_TRUE(EnvelopeCatchesBitFlip(0, 0.0));       // Header-only frame.
+  EXPECT_TRUE(EnvelopeCatchesBitFlip(1 << 20, 0.999));  // Cap path.
+}
 
 TEST(NetworkModelTest, ExpectedMessageTimeIsAffine) {
   NetworkModel model;

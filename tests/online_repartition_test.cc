@@ -7,7 +7,9 @@
 
 #include "src/apps/component_library.h"
 #include "src/apps/octarine.h"
+#include "src/fault/injector.h"
 #include "src/net/network_model.h"
+#include "src/online/circuit_breaker.h"
 #include "src/online/measure_online.h"
 #include "src/online/migrator.h"
 #include "src/online/policy.h"
@@ -347,41 +349,165 @@ TEST(DriftEdgeCaseTest, MatchingTrafficIsNotDrift) {
   EXPECT_FALSE(report.reprofile_recommended);
 }
 
+// --- Circuit breaker state machine -------------------------------------------
+
+BreakerConfig TestBreakerConfig() {
+  BreakerConfig config;
+  config.enabled = true;
+  config.min_calls = 4;
+  config.trip_after = 2;
+  config.open_epochs = 2;
+  config.max_open_epochs = 8;
+  return config;
+}
+
+constexpr BreakerSample kHealthyEpoch{/*calls=*/10, /*undelivered=*/0,
+                                      /*corrupt_rejected=*/0};
+constexpr BreakerSample kCorruptEpoch{/*calls=*/10, /*undelivered=*/0,
+                                      /*corrupt_rejected=*/5};
+constexpr BreakerSample kDeadEpoch{/*calls=*/10, /*undelivered=*/3,
+                                   /*corrupt_rejected=*/0};
+
+TEST(CircuitBreakerTest, TripsOnlyAfterConsecutiveBadEpochs) {
+  CircuitBreaker breaker(TestBreakerConfig());
+  breaker.Observe(kCorruptEpoch);
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  breaker.Observe(kHealthyEpoch);  // A good epoch resets the streak.
+  breaker.Observe(kCorruptEpoch);
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  breaker.Observe(kDeadEpoch);  // Either threshold continues the streak.
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  EXPECT_EQ(breaker.trips(), 1u);
+}
+
+TEST(CircuitBreakerTest, QuietEpochsCastNoVote) {
+  CircuitBreaker breaker(TestBreakerConfig());
+  const BreakerSample quiet{/*calls=*/3, /*undelivered=*/3, /*corrupt_rejected=*/3};
+  for (int i = 0; i < 10; ++i) {
+    breaker.Observe(quiet);  // Below min_calls: too little traffic to judge.
+  }
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  EXPECT_EQ(breaker.trips(), 0u);
+}
+
+TEST(CircuitBreakerTest, HoldExpiresIntoHalfOpenAndHealthyProbeCloses) {
+  CircuitBreaker breaker(TestBreakerConfig());
+  breaker.Observe(kCorruptEpoch);
+  breaker.Observe(kCorruptEpoch);
+  ASSERT_EQ(breaker.state(), BreakerState::kOpen);
+  EXPECT_FALSE(breaker.WantsProbe());
+  breaker.Observe(kCorruptEpoch);  // Hold 2 -> 1 (evidence ignored while open).
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  breaker.Observe(kCorruptEpoch);  // Hold 1 -> 0: probe time.
+  ASSERT_TRUE(breaker.WantsProbe());
+  breaker.OnProbeResult(true);
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  EXPECT_EQ(breaker.probes(), 1u);
+  EXPECT_EQ(breaker.reopens(), 0u);
+}
+
+TEST(CircuitBreakerTest, FailedProbesDoubleTheHoldUpToTheCap) {
+  CircuitBreaker breaker(TestBreakerConfig());
+  breaker.Observe(kCorruptEpoch);
+  breaker.Observe(kCorruptEpoch);
+  ASSERT_EQ(breaker.state(), BreakerState::kOpen);
+  // Walk open -> half-open -> failed probe cycles; the hold doubles
+  // 2, 4, 8, 8 (capped at max_open_epochs).
+  for (const int expected_hold : {2, 4, 8, 8}) {
+    for (int i = 0; i < expected_hold; ++i) {
+      EXPECT_FALSE(breaker.WantsProbe()) << "hold " << expected_hold << " epoch " << i;
+      breaker.Observe(kHealthyEpoch);
+    }
+    ASSERT_TRUE(breaker.WantsProbe()) << "hold " << expected_hold;
+    breaker.OnProbeResult(false);
+  }
+  EXPECT_EQ(breaker.trips(), 1u);
+  EXPECT_EQ(breaker.reopens(), 4u);
+  // A healthy probe resets the hold so the next trip starts over at 2.
+  for (int i = 0; i < 8; ++i) {
+    breaker.Observe(kHealthyEpoch);
+  }
+  breaker.OnProbeResult(true);
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  breaker.Observe(kCorruptEpoch);
+  breaker.Observe(kCorruptEpoch);
+  breaker.Observe(kHealthyEpoch);
+  breaker.Observe(kHealthyEpoch);
+  EXPECT_TRUE(breaker.WantsProbe());
+}
+
+TEST(CircuitBreakerTest, MissingProbeVerdictKeepsItHalfOpen) {
+  CircuitBreaker breaker(TestBreakerConfig());
+  breaker.Observe(kDeadEpoch);
+  breaker.Observe(kDeadEpoch);
+  breaker.Observe(kHealthyEpoch);
+  breaker.Observe(kHealthyEpoch);
+  ASSERT_TRUE(breaker.WantsProbe());
+  breaker.Observe(kHealthyEpoch);  // No verdict arrived; stay half-open.
+  EXPECT_TRUE(breaker.WantsProbe());
+  EXPECT_EQ(breaker.probes(), 0u);
+}
+
 // --- End to end: the closed loop on a real application ----------------------
 
-TEST(OnlineRepartitionIntegrationTest, AdaptiveRunRepartitionsUnderDrift) {
-  std::unique_ptr<Application> app = MakeOctarine();
+// Profiles octarine in process and analyzes a shipped distribution — the
+// base fixture the end-to-end tests start from. `ok` is false when any
+// setup step failed (assert on it first).
+struct OnlineFixture {
+  std::unique_ptr<Application> app;
+  IccProfile profile;
+  NetworkModel network = NetworkModel::TenBaseT();
+  NetworkProfile fitted;
+  ConfigurationRecord config;
+  bool ok = false;
+};
+
+OnlineFixture MakeOnlineFixture() {
+  OnlineFixture fixture;
+  fixture.app = MakeOctarine();
 
   // Profile text usage only, in-process (profiling-mode runtime).
   ObjectSystem profiling_system;
-  ASSERT_TRUE(app->Install(&profiling_system).ok());
+  if (!fixture.app->Install(&profiling_system).ok()) {
+    return fixture;
+  }
   ConfigurationRecord profiling_config;
   profiling_config.mode = RuntimeMode::kProfiling;
   CoignRuntime profiling_runtime(&profiling_system, profiling_config);
   Rng rng(17);
   for (const char* id : {"o_oldwp0", "o_oldwp3"}) {
-    Result<Scenario> scenario = app->FindScenario(id);
-    ASSERT_TRUE(scenario.ok());
-    profiling_runtime.BeginScenario();
-    ASSERT_TRUE(scenario->run(profiling_system, rng).ok());
+    Result<Scenario> scenario = fixture.app->FindScenario(id);
+    if (!scenario.ok() || !(profiling_runtime.BeginScenario(),
+                            scenario->run(profiling_system, rng).ok())) {
+      return fixture;
+    }
     profiling_system.DestroyAll();
   }
-  const IccProfile profile = profiling_runtime.profiling_logger()->profile();
+  fixture.profile = profiling_runtime.profiling_logger()->profile();
 
-  const NetworkModel network = NetworkModel::TenBaseT();
-  const NetworkProfile fitted = NetworkProfile::Exact(network);
+  fixture.fitted = NetworkProfile::Exact(fixture.network);
   ProfileAnalysisEngine engine;
-  Result<AnalysisResult> analysis = engine.Analyze(profile, fitted);
-  ASSERT_TRUE(analysis.ok());
+  Result<AnalysisResult> analysis = engine.Analyze(fixture.profile, fixture.fitted);
+  if (!analysis.ok()) {
+    return fixture;
+  }
+  fixture.config.mode = RuntimeMode::kDistributed;
+  fixture.config.classifier_table = profiling_runtime.classifier().ExportDescriptors();
+  fixture.config.distribution = analysis->distribution;
+  fixture.ok = true;
+  return fixture;
+}
 
-  ConfigurationRecord config;
-  config.mode = RuntimeMode::kDistributed;
-  config.classifier_table = profiling_runtime.classifier().ExportDescriptors();
-  config.distribution = analysis->distribution;
+TEST(OnlineRepartitionIntegrationTest, AdaptiveRunRepartitionsUnderDrift) {
+  OnlineFixture fixture = MakeOnlineFixture();
+  ASSERT_TRUE(fixture.ok);
+  std::unique_ptr<Application>& app = fixture.app;
+  const IccProfile& profile = fixture.profile;
+  const ConfigurationRecord& config = fixture.config;
 
   OnlineMeasurementOptions options;
-  options.network = network;
-  options.fitted = fitted;
+  options.network = fixture.network;
+  options.fitted = fixture.fitted;
   options.online.policy.min_window_messages = 50.0;
 
   // Usage drifts to table-heavy documents the profile never saw.
@@ -403,6 +529,66 @@ TEST(OnlineRepartitionIntegrationTest, AdaptiveRunRepartitionsUnderDrift) {
       MeasureOnlineRun(*app, workload, config, profile, static_options);
   ASSERT_TRUE(fixed.ok());
   EXPECT_LT(adaptive->run.communication_seconds, fixed->run.communication_seconds);
+}
+
+TEST(OnlineRepartitionIntegrationTest, BreakerDegradesToLocalAndRepromotes) {
+  OnlineFixture fixture = MakeOnlineFixture();
+  ASSERT_TRUE(fixture.ok);
+
+  OnlineMeasurementOptions options;
+  options.network = fixture.network;
+  options.fitted = fixture.fitted;
+  options.online.policy.min_window_messages = 50.0;
+  const std::vector<OnlinePhase> workload =
+      CyclicWorkload({"o_oldwp3", "o_mixed9"}, /*repetitions=*/2, /*cycles=*/3);
+
+  // The fault-free adaptive run sizes the horizon and fixes the partition
+  // a poisoned wire must not be able to steer the run away from.
+  Result<OnlineRunResult> clean =
+      MeasureOnlineRun(*fixture.app, workload, fixture.config, fixture.profile, options);
+  ASSERT_TRUE(clean.ok());
+  const double horizon = clean->run.execution_seconds;
+
+  // Heavy symmetric corruption over the middle of the run, with clean head
+  // and tail stretches so both the trip and the re-promotion land inside.
+  FaultEpisode burst;
+  burst.kind = FaultKind::kCorruptBurst;
+  burst.start_seconds = horizon * 0.1;
+  burst.duration_seconds = horizon * 0.4;
+  burst.gilbert = {0.0, 0.0, 0.9, 0.9};
+  burst.magnitude = 0.9;
+  FaultInjector injector(FaultSchedule::FromEpisodes({burst}), FaultRates{}, 5);
+
+  OnlineMeasurementOptions faulted = options;
+  faulted.faults = &injector;
+  faulted.retry = SuggestedRetryPolicy(fixture.network);
+  faulted.online.quarantine.enabled = true;
+  faulted.online.breaker.enabled = true;
+  // The scripted burst concentrates in few epochs, so trip on the first
+  // bad one and probe after a single held epoch — the test exercises the
+  // full trip -> degrade -> probe -> re-promote arc, not the default
+  // tuning's patience.
+  faulted.online.breaker.trip_after = 1;
+  faulted.online.breaker.open_epochs = 3;
+  Result<OnlineRunResult> hardened =
+      MeasureOnlineRun(*fixture.app, workload, fixture.config, fixture.profile, faulted);
+  ASSERT_TRUE(hardened.ok());
+
+  // The checksummed wire bounced the poison instead of consuming it...
+  EXPECT_GT(hardened->transport.corrupt_rejected, 0u);
+  EXPECT_EQ(hardened->transport.corrupt_consumed, 0u);
+  // ...the breaker opened, the run degraded to the all-local plan, and the
+  // healed tail re-promoted the distributed plan.
+  EXPECT_GE(hardened->online.breaker_trips, 1u);
+  EXPECT_GE(hardened->online.safe_mode_entries, 1u);
+  EXPECT_GE(hardened->online.safe_mode_exits, 1u);
+  EXPECT_GT(hardened->online.safe_mode_epochs, 0u);
+  // End-to-end integrity: the run ends on the same partition the
+  // fault-free adaptive run ends on.
+  EXPECT_EQ(hardened->final_distribution.placement,
+            clean->final_distribution.placement);
+  EXPECT_EQ(hardened->final_distribution.default_machine,
+            clean->final_distribution.default_machine);
 }
 
 }  // namespace

@@ -24,7 +24,7 @@
 //       profile; prints both runs and the adaptation statistics.
 //   coign chaos -i <base> --scenario <id> [--scenario <id> ...]
 //              [--network <name>] [--cycles <n>] [--reps <n>]
-//              [--seed <n>] [--drop <p>]
+//              [--seed <n>] [--drop <p>] [--corrupt-rate <p>]
 //       Replays the same workload under a seeded random fault schedule
 //       (loss/duplication/reorder bursts, latency and bandwidth spikes,
 //       partitions, crash-restart) with the hardened transport: static
@@ -83,7 +83,7 @@ int Usage() {
                "              [--trace-out <file>] [--metrics-out <file>]\n"
                "  coign chaos -i <base> --scenario <id> [--scenario <id> ...]\n"
                "             [--network <name>] [--cycles <n>] [--reps <n>]\n"
-               "             [--seed <n>] [--drop <p>] [--storm]\n"
+               "             [--seed <n>] [--drop <p>] [--corrupt-rate <p>] [--storm]\n"
                "             [--trace-out <file>] [--metrics-out <file>]\n"
                "  coign fleet -i <base> [--clients <n>] [--threads <n>] [--seed <n>]\n"
                "             [--cache-file <path>] [--lossy <fraction>]\n"
@@ -139,6 +139,10 @@ struct Flags {
   int reps = 3;
   uint64_t seed = 42;
   double drop = 0.01;
+  // chaos --corrupt-rate: bad-state payload-corruption probability. > 0
+  // adds corrupt-burst episodes (per-direction in storm mode) and arms the
+  // circuit breaker + degrade-to-local safe mode on the hardened run.
+  double corrupt_rate = 0.0;
   int clients = 2000;
   int threads = 8;
   // chaos --storm: crash-storm schedule with coordinator crashes forced
@@ -216,7 +220,7 @@ Result<Flags> ParseFlags(int argc, char** argv, int first) {
         return value.status();
       }
       flags.seed = std::strtoull(value->c_str(), nullptr, 10);
-    } else if (arg == "--drop") {
+    } else if (arg == "--drop" || arg == "--corrupt-rate") {
       Result<std::string> value = next();
       if (!value.ok()) {
         return value.status();
@@ -225,7 +229,7 @@ Result<Flags> ParseFlags(int argc, char** argv, int first) {
       if (parsed < 0.0 || parsed >= 1.0) {
         return InvalidArgumentError(arg + " wants a probability in [0, 1), got " + *value);
       }
-      flags.drop = parsed;
+      (arg == "--drop" ? flags.drop : flags.corrupt_rate) = parsed;
     } else if (arg == "--storm") {
       flags.storm = true;
     } else if (arg == "--cache-file") {
@@ -665,20 +669,30 @@ int CmdChaos(const Flags& flags) {
   if (flags.storm) {
     CrashStormOptions storm_options;
     storm_options.horizon_seconds = clean_static->run.execution_seconds;
+    storm_options.corruption_rate = flags.corrupt_rate;
     schedule = FaultSchedule::CrashStorm(storm_options, flags.seed);
   } else {
     RandomFaultOptions fault_options;
     fault_options.horizon_seconds = clean_static->run.execution_seconds;
     fault_options.mean_duration_seconds = fault_options.horizon_seconds / 8.0;
+    if (flags.corrupt_rate > 0.0) {
+      // The flag caps the drawn bad-state corrupt probability, so the
+      // requested rate is the storm's worst case.
+      fault_options.corrupt_burst_max = flags.corrupt_rate;
+    }
     schedule = FaultSchedule::Random(fault_options, flags.seed);
   }
   FaultRates background;
   background.drop = flags.drop;
 
-  std::printf("chaos seed %llu on %s%s: %zu episode(s), background drop %.1f%%\n",
+  std::printf("chaos seed %llu on %s%s: %zu episode(s), background drop %.1f%%",
               static_cast<unsigned long long>(flags.seed), network->name.c_str(),
               flags.storm ? " (crash storm)" : "",
               schedule.episodes().size(), 100.0 * flags.drop);
+  if (flags.corrupt_rate > 0.0) {
+    std::printf(", corrupt rate %.1f%%", 100.0 * flags.corrupt_rate);
+  }
+  std::printf("\n");
   std::printf("%s\n\n", schedule.ToString().c_str());
   std::printf("%-26s %10s %10s %7s %6s %12s\n", "run", "comm (s)", "exec (s)", "recuts",
               "moves", "quarantined");
@@ -711,6 +725,10 @@ int CmdChaos(const Flags& flags) {
     run_options.faults = &injector;
     run_options.obs = obs;
     run_options.online.quarantine.enabled = quarantine;
+    // Corruption runs arm the circuit breaker on the hardened
+    // configuration only: the comparison run shows what quarantine alone
+    // does against a poisoned wire.
+    run_options.online.breaker.enabled = quarantine && flags.corrupt_rate > 0.0;
     // Storm mode forces coordinator crashes mid-migration: a deterministic
     // countdown gate (seeded, re-arming with a doubling interval, three
     // crashes per run) interrupts the journaled protocol so recovery and
@@ -778,12 +796,31 @@ int CmdChaos(const Flags& flags) {
           : 0.0;
   std::printf(
       "chaos summary: quarantine recuts=%llu naive recuts=%llu quarantined_epochs=%llu "
-      "interrupted=%llu resumes=%llu exec vs fault-free adaptive=%.2fx\n",
+      "interrupted=%llu resumes=%llu exec vs fault-free adaptive=%.2fx",
       static_cast<unsigned long long>(quarantined->online.repartitions),
       static_cast<unsigned long long>(naive->online.repartitions),
       static_cast<unsigned long long>(quarantined->online.quarantined_epochs),
       static_cast<unsigned long long>(quarantined->online.interrupted_migrations),
       static_cast<unsigned long long>(quarantined->online.migration_resumes), ratio);
+  if (flags.corrupt_rate > 0.0) {
+    // Integrity verdict: every checksum-rejected delivery was retried
+    // instead of consumed, so the storm must not have been able to steer
+    // the final partition away from the fault-free adaptive run's.
+    const bool same_partition =
+        quarantined->final_distribution.placement ==
+            clean_adaptive->final_distribution.placement &&
+        quarantined->final_distribution.default_machine ==
+            clean_adaptive->final_distribution.default_machine;
+    std::printf(
+        " corrupt_rejected=%llu corrupt_consumed=%llu breaker_trips=%llu "
+        "safe_mode_epochs=%llu partitions_match=%s",
+        static_cast<unsigned long long>(quarantined->transport.corrupt_rejected),
+        static_cast<unsigned long long>(quarantined->transport.corrupt_consumed),
+        static_cast<unsigned long long>(quarantined->online.breaker_trips),
+        static_cast<unsigned long long>(quarantined->online.safe_mode_epochs),
+        same_partition ? "yes" : "no");
+  }
+  std::printf("\n");
   if (obs != nullptr) {
     return DumpObservability(*obs, flags);
   }

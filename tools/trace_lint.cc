@@ -1,7 +1,7 @@
 // trace_lint: validates Chrome trace_event JSON written by --trace-out and
 // the flight-recorder dumps.
 //
-//   trace_lint <file.json> [more files...]
+//   trace_lint [--require <name>]... <file.json> [more files...]
 //
 // Checks, per file: the bytes parse as JSON (a small built-in parser — the
 // repo takes no JSON dependency), the root carries a "traceEvents" array,
@@ -9,8 +9,12 @@
 // phase ("X" complete / "i" instant / "C" counter), numeric pid/tid, a
 // non-negative "ts", a non-negative "dur" on complete events, an "s"
 // scope on instants, and a non-empty all-numeric "args" series object on
-// counters. Exit 0 with a per-file summary, or 1 on the first
-// malformed file — CI runs this over freshly written traces so a formatting
+// counters. Each --require <name> (repeatable) must appear across the
+// linted files as an event name or a counter-series key — CI uses this to
+// pin the observability contract (e.g. transport.corrupt_rejected,
+// breaker.state) so instrumentation cannot silently vanish. Exit 0 with a
+// per-file summary, or 1 on the first malformed file or a missing
+// required name — CI runs this over freshly written traces so a formatting
 // regression in the exporter fails the build, not the viewer.
 
 #include <cctype>
@@ -18,6 +22,7 @@
 #include <fstream>
 #include <map>
 #include <memory>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -283,7 +288,8 @@ const JsonValue* Field(const JsonObject& object, const std::string& key) {
   return it == object.end() ? nullptr : it->second.get();
 }
 
-bool LintEvent(const JsonValue& event, size_t index, std::string* error) {
+bool LintEvent(const JsonValue& event, size_t index, std::set<std::string>* seen,
+               std::string* error) {
   const auto fail = [&](const std::string& message) {
     *error = "event " + std::to_string(index) + ": " + message;
     return false;
@@ -295,6 +301,7 @@ bool LintEvent(const JsonValue& event, size_t index, std::string* error) {
   if (name == nullptr || name->kind != JsonValue::Kind::kString || name->string.empty()) {
     return fail("missing or empty \"name\"");
   }
+  seen->insert(name->string);
   const JsonValue* ph = Field(event.object, "ph");
   if (ph == nullptr || ph->kind != JsonValue::Kind::kString) {
     return fail("missing \"ph\"");
@@ -340,12 +347,13 @@ bool LintEvent(const JsonValue& event, size_t index, std::string* error) {
       if (value->kind != JsonValue::Kind::kNumber) {
         return fail("counter series \"" + series + "\" is not numeric");
       }
+      seen->insert(series);
     }
   }
   return true;
 }
 
-int LintFile(const std::string& path) {
+int LintFile(const std::string& path, std::set<std::string>* seen) {
   std::ifstream in(path);
   if (!in) {
     std::fprintf(stderr, "trace_lint: cannot read %s\n", path.c_str());
@@ -372,7 +380,7 @@ int LintFile(const std::string& path) {
     return 1;
   }
   for (size_t i = 0; i < events->array.size(); ++i) {
-    if (!LintEvent(*events->array[i], i, &error)) {
+    if (!LintEvent(*events->array[i], i, seen, &error)) {
       std::fprintf(stderr, "trace_lint: %s: %s\n", path.c_str(), error.c_str());
       return 1;
     }
@@ -384,14 +392,39 @@ int LintFile(const std::string& path) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) {
-    std::fprintf(stderr, "usage: trace_lint <trace.json> [more...]\n");
+  std::vector<std::string> required;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--require") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "trace_lint: --require wants a name\n");
+        return 2;
+      }
+      required.push_back(argv[++i]);
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.empty()) {
+    std::fprintf(stderr,
+                 "usage: trace_lint [--require <name>]... <trace.json> [more...]\n");
     return 2;
   }
-  for (int i = 1; i < argc; ++i) {
-    const int code = LintFile(argv[i]);
+  std::set<std::string> seen;
+  for (const std::string& file : files) {
+    const int code = LintFile(file, &seen);
     if (code != 0) {
       return code;
+    }
+  }
+  for (const std::string& name : required) {
+    if (seen.count(name) == 0) {
+      std::fprintf(stderr,
+                   "trace_lint: required name \"%s\" appears in no linted file "
+                   "(as an event name or counter series)\n",
+                   name.c_str());
+      return 1;
     }
   }
   return 0;
