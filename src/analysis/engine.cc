@@ -2,13 +2,97 @@
 
 #include <algorithm>
 
+#include "src/mincut/compact_flow_network.h"
 #include "src/mincut/edmonds_karp.h"
 #include "src/mincut/relabel_to_front.h"
 
 namespace coign {
+namespace {
+
+// Per-edge capacity in exact units — the quantization boundary (see the
+// comment at the FlowNetwork construction below).
+CapUnits EdgeCapacity(const ConcreteEdge& edge) {
+  return edge.constraint ? kInfiniteCapacity : SecondsToCapUnits(edge.seconds);
+}
+
+struct GraphSignatures {
+  uint64_t topology = 0;  // Node count + edge endpoints.
+  uint64_t full = 0;      // Topology + exact capacities.
+};
+
+GraphSignatures FingerprintConcrete(const ConcreteGraph& concrete) {
+  uint64_t hash = 14695981039346656037ull;
+  const auto mix = [&hash](uint64_t value) {
+    for (int byte = 0; byte < 8; ++byte) {
+      hash ^= (value >> (byte * 8)) & 0xff;
+      hash *= 1099511628211ull;
+    }
+  };
+  GraphSignatures signatures;
+  mix(static_cast<uint64_t>(concrete.node_count()));
+  for (const ConcreteEdge& edge : concrete.edges()) {
+    mix(static_cast<uint64_t>(edge.a));
+    mix(static_cast<uint64_t>(edge.b));
+  }
+  signatures.topology = hash;
+  for (const ConcreteEdge& edge : concrete.edges()) {
+    mix(static_cast<uint64_t>(EdgeCapacity(edge)));
+  }
+  signatures.full = hash;
+  return signatures;
+}
+
+}  // namespace
+
+CutResult ProfileAnalysisEngine::SolveWithSession(const ConcreteGraph& concrete,
+                                                  MinCutSession* session) const {
+  const GraphSignatures signatures = FingerprintConcrete(concrete);
+  if (session->has_cut_ && signatures.full == session->graph_fingerprint_) {
+    // Unchanged window: the previous cut is the answer. Counts as a
+    // warm-start hit whose entire flow was reused.
+    ++session->stats_.warm_start_hits;
+    if (session->last_cut_.cut_value != kInfiniteCapacity) {
+      session->stats_.flow_reused_units =
+          SatAdd(session->stats_.flow_reused_units, session->last_cut_.cut_value);
+    }
+    return session->last_cut_;
+  }
+  if (!session->has_cut_ || signatures.topology != session->topology_signature_) {
+    // New or re-shaped graph: build the CSR network directly from the
+    // concrete edges (edge id == concrete edge index, which is what the
+    // delta path below relies on).
+    CompactFlowNetwork network(concrete.node_count());
+    for (const ConcreteEdge& edge : concrete.edges()) {
+      network.AddEdge(edge.a, edge.b, EdgeCapacity(edge));
+    }
+    network.Finalize();
+    session->incremental_.Reset(std::move(network), ConcreteGraph::kClientNode,
+                                ConcreteGraph::kServerNode);
+    session->topology_signature_ = signatures.topology;
+  } else {
+    // Same topology, drifted capacities: stage deltas against the
+    // retained flow.
+    const auto& edges = concrete.edges();
+    for (size_t i = 0; i < edges.size(); ++i) {
+      session->incremental_.SetEdgeCapacity(static_cast<int>(i), EdgeCapacity(edges[i]));
+    }
+  }
+  const CutResult cut = session->incremental_.Solve();
+  session->stats_.Accumulate(session->incremental_.last_stats());
+  session->graph_fingerprint_ = signatures.full;
+  session->last_cut_ = cut;
+  session->has_cut_ = true;
+  return cut;
+}
 
 Result<AnalysisResult> ProfileAnalysisEngine::Analyze(const IccProfile& profile,
                                                       const NetworkProfile& network) const {
+  return Analyze(profile, network, nullptr);
+}
+
+Result<AnalysisResult> ProfileAnalysisEngine::Analyze(const IccProfile& profile,
+                                                      const NetworkProfile& network,
+                                                      MinCutSession* session) const {
   if (profile.empty()) {
     return FailedPreconditionError("cannot analyze an empty profile");
   }
@@ -29,19 +113,27 @@ Result<AnalysisResult> ProfileAnalysisEngine::Analyze(const IccProfile& profile,
 
   // The quantization boundary: predicted seconds become integer CapUnits
   // here, exactly once per edge (rounding rule and error bound documented
-  // at SecondsToCapUnits). Everything below the boundary — both cut
-  // algorithms, the cut value, infeasibility detection — is exact 64-bit
-  // arithmetic; everything above (prediction, reports) stays in seconds.
-  FlowNetwork flow(concrete.node_count());
-  for (const ConcreteEdge& edge : concrete.edges()) {
-    flow.AddEdge(edge.a, edge.b,
-                 edge.constraint ? kInfiniteCapacity : SecondsToCapUnits(edge.seconds));
+  // at SecondsToCapUnits; EdgeCapacity above applies it). Everything
+  // below the boundary — all cut algorithms, the cut value, infeasibility
+  // detection — is exact 64-bit arithmetic; everything above (prediction,
+  // reports) stays in seconds.
+  CutResult cut;
+  if (options_.algorithm == CutAlgorithm::kPushRelabel) {
+    // Production path: flat CSR network, built straight from the concrete
+    // edges. A caller-provided session warm-starts across calls; without
+    // one the solve is cold but still avoids the adjacency-list network.
+    MinCutSession local_session;
+    cut = SolveWithSession(concrete, session != nullptr ? session : &local_session);
+  } else {
+    FlowNetwork flow(concrete.node_count());
+    for (const ConcreteEdge& edge : concrete.edges()) {
+      flow.AddEdge(edge.a, edge.b, EdgeCapacity(edge));
+    }
+    cut = options_.algorithm == CutAlgorithm::kRelabelToFront
+              ? MinCutRelabelToFront(flow, ConcreteGraph::kClientNode,
+                                     ConcreteGraph::kServerNode)
+              : MinCutEdmondsKarp(flow, ConcreteGraph::kClientNode, ConcreteGraph::kServerNode);
   }
-
-  const CutResult cut =
-      options_.algorithm == CutAlgorithm::kRelabelToFront
-          ? MinCutRelabelToFront(flow, ConcreteGraph::kClientNode, ConcreteGraph::kServerNode)
-          : MinCutEdmondsKarp(flow, ConcreteGraph::kClientNode, ConcreteGraph::kServerNode);
 
   if (cut.cut_value == kInfiniteCapacity) {
     return FailedPreconditionError(

@@ -2,8 +2,13 @@
 //
 // Pipeline: ICC profile + location constraints → abstract ICC graph →
 // (× network profile) → concrete graph → minimum cut → distribution.
-// The cut is the exact two-way lift-to-front algorithm; Edmonds-Karp is
-// available for cross-checking and ablation.
+// The production cut is highest-label push-relabel on a flat CSR network,
+// warm-startable across calls through a MinCutSession; the paper's
+// lift-to-front algorithm and Edmonds-Karp remain selectable for
+// cross-checking and ablation. All three return the identical exact cut:
+// for a maximum flow the residual-reachable source side is the unique
+// minimal minimum cut, so the distribution does not depend on the
+// algorithm (or on warm vs cold starts).
 
 #ifndef COIGN_SRC_ANALYSIS_ENGINE_H_
 #define COIGN_SRC_ANALYSIS_ENGINE_H_
@@ -16,6 +21,7 @@
 #include "src/graph/distribution.h"
 #include "src/graph/icc_graph.h"
 #include "src/mincut/flow_network.h"
+#include "src/mincut/incremental.h"
 #include "src/net/network_profiler.h"
 #include "src/profile/icc_profile.h"
 #include "src/support/status.h"
@@ -23,12 +29,13 @@
 namespace coign {
 
 enum class CutAlgorithm {
-  kRelabelToFront,  // The paper's lift-to-front min-cut.
+  kPushRelabel,     // Production: highest-label push-relabel, CSR, warm-startable.
+  kRelabelToFront,  // The paper's lift-to-front min-cut (differential oracle).
   kEdmondsKarp,     // Baseline for verification/ablation.
 };
 
 struct AnalysisOptions {
-  CutAlgorithm algorithm = CutAlgorithm::kRelabelToFront;
+  CutAlgorithm algorithm = CutAlgorithm::kPushRelabel;
   // Extra explicit constraints merged on top of API-derived ones.
   LocationConstraints extra_constraints;
   // When false, API-derived pins are skipped (ablation).
@@ -63,11 +70,44 @@ struct AnalysisResult {
   std::vector<CutEdgeReport> cut_edges;
 };
 
+// Warm-start cut state carried across Analyze calls. A session retains
+// the CSR flow network and the previous maximum flow; when the next
+// Analyze sees the same graph topology it applies capacity drift as
+// deltas and resumes the solve instead of starting cold, and when the
+// whole graph (topology + capacities) is byte-identical it returns the
+// previous cut outright. Results are bit-for-bit identical with and
+// without a session — the session only changes how much work the solve
+// performs. Each session belongs to exactly one caller thread at a time
+// (the fleet service keeps one per worker slot; the online repartitioner
+// keeps one per policy).
+class MinCutSession {
+ public:
+  MinCutSession() = default;
+
+  // Cumulative solver work and warm-start accounting across the
+  // session's lifetime (a fingerprint short-circuit counts as a
+  // warm-start hit whose entire flow is reused).
+  const MinCutSolveStats& stats() const { return stats_; }
+
+ private:
+  friend class ProfileAnalysisEngine;
+
+  IncrementalMinCut incremental_;
+  CutResult last_cut_;
+  MinCutSolveStats stats_;
+  uint64_t topology_signature_ = 0;
+  uint64_t graph_fingerprint_ = 0;
+  bool has_cut_ = false;
+};
+
 // Re-entrancy contract: Analyze is const and keeps all working state
 // (graphs, flow network, cut) on the stack of the call; the min-cut layer
-// underneath likewise operates on per-call copies. One engine may serve
+// underneath likewise operates on per-call state. One engine may serve
 // concurrent Analyze calls from many threads — the fleet partitioning
 // service computes per-cohort cuts in parallel through a single engine.
+// The session overload concentrates all cross-call mutation in the
+// caller-owned MinCutSession, so concurrency is preserved as long as a
+// given session is used by one thread at a time.
 class ProfileAnalysisEngine {
  public:
   explicit ProfileAnalysisEngine(AnalysisOptions options = {}) : options_(options) {}
@@ -76,7 +116,14 @@ class ProfileAnalysisEngine {
   Result<AnalysisResult> Analyze(const IccProfile& profile,
                                  const NetworkProfile& network) const;
 
+  // Same, reusing `session` to warm-start the cut when the graph repeats
+  // or drifts. Null session behaves exactly like the overload above.
+  Result<AnalysisResult> Analyze(const IccProfile& profile, const NetworkProfile& network,
+                                 MinCutSession* session) const;
+
  private:
+  CutResult SolveWithSession(const ConcreteGraph& concrete, MinCutSession* session) const;
+
   AnalysisOptions options_;
 };
 

@@ -36,6 +36,7 @@ FleetPartitionService::FleetPartitionService(FleetServiceOptions options)
       cache_(options.cache_capacity),
       pool_(options.worker_threads) {
   cache_.SetObservability(options_.obs);
+  cut_sessions_.resize(static_cast<size_t>(pool_.slot_count()));
 }
 
 Result<FleetPlanResult> FleetPartitionService::Plan(
@@ -80,7 +81,10 @@ Result<FleetPlanResult> FleetPartitionService::Plan(
     // min cut toward fewer, larger crossings than the clean bucket's plan.
     const NetworkProfile pricing = NetworkProfile::Exact(
         InflateForLoss(plan.cohort.representative, plan.cohort.representative_drop));
-    Result<AnalysisResult> analyzed = engine_.Analyze(profile, pricing);
+    // Per-slot warm start: cohort graphs share topology (same profile),
+    // so each solve after a slot's first resumes from retained flow.
+    Result<AnalysisResult> analyzed = engine_.Analyze(
+        profile, pricing, &cut_sessions_[static_cast<size_t>(WorkerPool::CurrentSlot())]);
     if (analyzed.ok()) {
       plan.analysis = *std::move(analyzed);
     } else {
@@ -151,7 +155,8 @@ Result<FleetPlanResult> FleetPartitionService::Plan(
     const int cohort_index = result.CohortIndexOf(client.id);
     const ExecutionPrediction cohort_prediction = PredictExecutionTime(
         profile, result.plans[cohort_index].analysis.distribution, exact);
-    Result<AnalysisResult> optimal = engine_.Analyze(profile, exact);
+    Result<AnalysisResult> optimal = engine_.Analyze(
+        profile, exact, &cut_sessions_[static_cast<size_t>(WorkerPool::CurrentSlot())]);
     if (!optimal.ok()) {
       regret_status[i] = optimal.status();
       return;

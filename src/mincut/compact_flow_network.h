@@ -1,0 +1,110 @@
+// Flat CSR representation of a flow network, for the hot solve path.
+//
+// FlowNetwork stores adjacency as vector<vector<FlowArc>> — one heap
+// allocation per node, pointer-chasing per arc scan, and a full deep copy
+// per cut (MinCutRelabelToFront copies the whole network every call). The
+// repartitioner and the fleet service cut long series of near-identical
+// graphs, so the representation cost dominates on small windows.
+//
+// CompactFlowNetwork packs every arc into one contiguous array in CSR
+// order: arcs out of node v occupy [first_out(v), first_out(v+1)), and
+// each arc stores the *global* index of its paired reverse arc. Building
+// is a stable counting sort over the staged edge list, so the per-node arc
+// order is exactly the order FlowNetwork::AddArc/AddEdge would have
+// produced — cut extraction (which reports cut_edges in per-node arc
+// order) is byte-identical between the two representations.
+//
+// Every staged edge keeps an id (its insertion index). The warm-start
+// session uses ids to apply capacity deltas in O(1) without re-building.
+
+#ifndef COIGN_SRC_MINCUT_COMPACT_FLOW_NETWORK_H_
+#define COIGN_SRC_MINCUT_COMPACT_FLOW_NETWORK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/mincut/flow_network.h"
+
+namespace coign {
+
+struct CompactArc {
+  int32_t to = 0;
+  int32_t reverse = 0;  // Global index of the paired reverse arc.
+  CapUnits capacity = 0;
+  CapUnits flow = 0;
+
+  CapUnits Residual() const { return SatSub(capacity, flow); }
+};
+
+class CompactFlowNetwork {
+ public:
+  CompactFlowNetwork() = default;
+  explicit CompactFlowNetwork(int node_count);
+
+  // Staging interface, valid before Finalize(). Returns the edge id.
+  // Semantics match FlowNetwork: AddArc gives the reverse direction a
+  // zero-capacity residual stub, AddEdge gives symmetric capacity.
+  int AddArc(int from, int to, CapUnits capacity);
+  int AddEdge(int a, int b, CapUnits capacity);
+  // General form: explicit reverse-direction capacity (used by
+  // FromFlowNetwork to reproduce post-build capacity edits verbatim).
+  int AddPair(int from, int to, CapUnits capacity, CapUnits reverse_capacity, bool directed);
+
+  // Builds the CSR arrays. Idempotent; staging calls are invalid after.
+  void Finalize();
+
+  // A finalized network with the same nodes, edges, arc order, and
+  // capacities as `network` (flows start at zero).
+  static CompactFlowNetwork FromFlowNetwork(const FlowNetwork& network);
+
+  bool finalized() const { return finalized_; }
+  int node_count() const { return node_count_; }
+  int arc_count() const { return static_cast<int>(arcs_.size()); }
+  int edge_count() const { return static_cast<int>(edges_.size()); }
+
+  // CSR accessors (finalized only). Arcs out of `node` are
+  // arcs()[first_out(node) .. first_out(node + 1)).
+  int first_out(int node) const { return first_out_[static_cast<size_t>(node)]; }
+  CompactArc& arc(int index) { return arcs_[static_cast<size_t>(index)]; }
+  const CompactArc& arc(int index) const { return arcs_[static_cast<size_t>(index)]; }
+
+  // Capacity update by edge id: both directions for AddEdge edges, the
+  // forward direction for AddArc edges (the residual stub stays zero).
+  // Flows are left untouched — repairing them is the session's job.
+  void SetEdgeCapacity(int edge_id, CapUnits capacity);
+  CapUnits EdgeCapacity(int edge_id) const;
+  // Global index of the forward arc for an edge id.
+  int EdgeForwardArc(int edge_id) const { return edge_forward_[static_cast<size_t>(edge_id)]; }
+
+  void ResetFlow();
+
+  // FNV-1a over node count and edge endpoints/directedness — capacities
+  // excluded, so two graphs with equal signatures differ only by
+  // capacities and a session can warm-start across them via deltas.
+  uint64_t TopologySignature() const;
+
+  // Same partition semantics as ExtractCut(FlowNetwork...): source side =
+  // residual-reachable set, cut_edges in ascending-node then arc order,
+  // sentinel promotion on a crossing sentinel arc.
+  CutResult ExtractCut(int source, CapUnits flow_value) const;
+
+ private:
+  struct StagedEdge {
+    int32_t from = 0;
+    int32_t to = 0;
+    CapUnits capacity = 0;
+    CapUnits reverse_capacity = 0;
+    bool directed = false;
+  };
+
+  int node_count_ = 0;
+  bool finalized_ = false;
+  std::vector<StagedEdge> edges_;
+  std::vector<int> first_out_;      // node_count_ + 1 entries.
+  std::vector<CompactArc> arcs_;    // 2 * edges_.size() entries.
+  std::vector<int> edge_forward_;   // edge id -> global forward arc index.
+};
+
+}  // namespace coign
+
+#endif  // COIGN_SRC_MINCUT_COMPACT_FLOW_NETWORK_H_

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cassert>
-#include <list>
 #include <vector>
 
 namespace coign {
@@ -40,26 +39,51 @@ class RelabelToFront {
 
   CapUnits Run() {
     InitializePreflow();
-    // The discharge list: all vertices except source and sink, any order.
-    std::list<int> vertices;
+    // The discharge list: all vertices except source and sink, initially
+    // in ascending order. Intrusive array-backed doubly-linked list (node
+    // id -> prev/next), so building and reordering it performs no
+    // per-node heap allocations — this runs once per cut, and the fleet
+    // service runs thousands of cuts per plan.
+    std::vector<int> next(static_cast<size_t>(n_), -1);
+    std::vector<int> prev(static_cast<size_t>(n_), -1);
+    int head = -1;
+    int tail = -1;
     for (int v = 0; v < n_; ++v) {
-      if (v != source_ && v != sink_) {
-        vertices.push_back(v);
+      if (v == source_ || v == sink_) {
+        continue;
       }
+      if (head == -1) {
+        head = v;
+      } else {
+        next[static_cast<size_t>(tail)] = v;
+        prev[static_cast<size_t>(v)] = tail;
+      }
+      tail = v;
     }
-    auto it = vertices.begin();
-    while (it != vertices.end()) {
-      const int u = *it;
+    int it = head;
+    while (it != -1) {
+      const int u = it;
       const int old_height = height_[static_cast<size_t>(u)];
       Discharge(u);
-      if (height_[static_cast<size_t>(u)] > old_height) {
+      if (height_[static_cast<size_t>(u)] > old_height && u != head) {
         // Lift-to-front: a relabeled vertex moves to the head of the list
-        // and the scan restarts from it.
-        vertices.erase(it);
-        vertices.push_front(u);
-        it = vertices.begin();
+        // and the scan restarts from it. (Identical visit order to the
+        // former std::list erase/push_front/begin sequence; a vertex
+        // already at the head stays put either way.)
+        const int p = prev[static_cast<size_t>(u)];
+        const int q = next[static_cast<size_t>(u)];
+        next[static_cast<size_t>(p)] = q;
+        if (q != -1) {
+          prev[static_cast<size_t>(q)] = p;
+        } else {
+          tail = p;
+        }
+        prev[static_cast<size_t>(u)] = -1;
+        next[static_cast<size_t>(u)] = head;
+        prev[static_cast<size_t>(head)] = u;
+        head = u;
       }
-      ++it;
+      it = next[static_cast<size_t>(u)];
     }
     return excess_[static_cast<size_t>(sink_)];
   }

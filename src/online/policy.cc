@@ -24,7 +24,7 @@ Result<RepartitionDecision> RepartitionPolicy::Evaluate(
     return decision;
   }
 
-  Result<AnalysisResult> analysis = engine_.Analyze(windowed, network);
+  Result<AnalysisResult> analysis = engine_.Analyze(windowed, network, &cut_session_);
   if (!analysis.ok()) {
     return analysis.status();
   }

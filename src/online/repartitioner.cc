@@ -86,6 +86,21 @@ OnlineRepartitioner::OnlineRepartitioner(ObjectSystem* system, CoignRuntime* run
 
 OnlineRepartitioner::~OnlineRepartitioner() { system_->RemoveInterceptor(this); }
 
+void OnlineRepartitioner::SetObservability(Observability* obs) {
+  obs_ = obs;
+  if (obs_ == nullptr) {
+    return;
+  }
+  // Register the solver-work counters up front so they appear (at zero) in
+  // metrics dumps and trace exports even before the first evaluation —
+  // trace_lint --require checks for their presence on every online run.
+  obs_->metrics().GetCounter("mincut.pushes");
+  obs_->metrics().GetCounter("mincut.relabels");
+  obs_->metrics().GetCounter("mincut.global_relabels");
+  obs_->metrics().GetCounter("mincut.warm_start_hits");
+  obs_->metrics().GetCounter("mincut.flow_reused_units");
+}
+
 void OnlineRepartitioner::SetTransportProbe(TransportProbeFn probe) {
   probe_ = std::move(probe);
   if (probe_) {
@@ -530,6 +545,25 @@ Status OnlineRepartitioner::EndEpoch() {
   epochs_since_evaluation_ = 0;
   if (obs_ != nullptr) {
     obs_->metrics().GetCounter("online.evaluations")->Add(1);
+    // Solver-work deltas since the last sync: the policy session's stats
+    // are cumulative, the counters are monotone, so each evaluation adds
+    // exactly the work this evaluation performed.
+    const MinCutSolveStats& cut = policy_.cut_stats();
+    obs_->metrics().GetCounter("mincut.pushes")->Add(cut.pushes - sampled_cut_stats_.pushes);
+    obs_->metrics()
+        .GetCounter("mincut.relabels")
+        ->Add(cut.relabels - sampled_cut_stats_.relabels);
+    obs_->metrics()
+        .GetCounter("mincut.global_relabels")
+        ->Add(cut.global_relabels - sampled_cut_stats_.global_relabels);
+    obs_->metrics()
+        .GetCounter("mincut.warm_start_hits")
+        ->Add(cut.warm_start_hits - sampled_cut_stats_.warm_start_hits);
+    obs_->metrics()
+        .GetCounter("mincut.flow_reused_units")
+        ->Add(static_cast<uint64_t>(cut.flow_reused_units) -
+              static_cast<uint64_t>(sampled_cut_stats_.flow_reused_units));
+    sampled_cut_stats_ = cut;
     obs_->tracer().Instant(
         "recut-decision", "online", kTrackOnline,
         {{"epoch", Tracer::ArgUint(stats_.epochs)},

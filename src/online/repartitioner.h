@@ -149,9 +149,10 @@ class OnlineRepartitioner : public ObjectSystem::Interceptor {
   }
 
   // Epoch spans, recut-decision/quarantine instants, migration counters,
-  // and flight-recorder dumps on quarantine entry and migration
-  // abandonment. `obs` is not owned; null disables instrumentation.
-  void SetObservability(Observability* obs) { obs_ = obs; }
+  // mincut.* solver-work counters, and flight-recorder dumps on quarantine
+  // entry and migration abandonment. `obs` is not owned; null disables
+  // instrumentation.
+  void SetObservability(Observability* obs);
 
   // Breaker state for reports and tests; safe_mode() is true while the
   // all-local degraded plan is adopted.
@@ -248,6 +249,9 @@ class OnlineRepartitioner : public ObjectSystem::Interceptor {
   Distribution saved_distribution_;
   Observability* obs_ = nullptr;  // Not owned.
   bool in_quarantine_ = false;    // For quarantine-exit instants.
+  // Snapshot of the policy session's cumulative solver stats at the last
+  // metrics sync; each evaluation adds the delta to the mincut.* counters.
+  MinCutSolveStats sampled_cut_stats_;
 };
 
 }  // namespace coign

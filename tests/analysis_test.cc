@@ -169,6 +169,37 @@ TEST(AnalysisEngineTest, BothCutAlgorithmsChooseEquallyGoodDistributions) {
   EXPECT_NEAR(rtf->predicted_comm_seconds, ek->predicted_comm_seconds, 1e-9);
 }
 
+TEST(AnalysisEngineTest, SessionWarmStartsAreInvisibleInResults) {
+  ProfileAnalysisEngine engine;
+  MinCutSession session;
+  // Three windows over the same topology with drifting weights, solved
+  // once through a shared session (warm) and once without (cold): every
+  // result must match field for field, and the session must report the
+  // repeat of window A as a warm-start hit.
+  const IccProfile windows[] = {WorkerProfile(5000, 5200), WorkerProfile(9000, 100),
+                                WorkerProfile(5000, 5200)};
+  uint64_t previous_hits = 0;
+  for (const IccProfile& window : windows) {
+    Result<AnalysisResult> warm = engine.Analyze(window, FastNetwork(), &session);
+    Result<AnalysisResult> cold = engine.Analyze(window, FastNetwork());
+    ASSERT_TRUE(warm.ok());
+    ASSERT_TRUE(cold.ok());
+    EXPECT_EQ(warm->cut_value_units, cold->cut_value_units);
+    EXPECT_EQ(warm->distribution.placement, cold->distribution.placement);
+    EXPECT_EQ(warm->client_classifications, cold->client_classifications);
+    EXPECT_EQ(warm->cut_edges.size(), cold->cut_edges.size());
+    previous_hits = session.stats().warm_start_hits;
+  }
+  // The third window is byte-identical to the first... but arrives after
+  // window B changed the capacities, so it warm-starts through the delta
+  // path rather than the full-fingerprint short-circuit. Re-analyzing it
+  // unchanged must take the short-circuit.
+  Result<AnalysisResult> repeat = engine.Analyze(windows[2], FastNetwork(), &session);
+  ASSERT_TRUE(repeat.ok());
+  EXPECT_EQ(session.stats().warm_start_hits, previous_hits + 1);
+  EXPECT_GT(session.stats().pushes, 0u);
+}
+
 TEST(PredictionTest, CommunicationOnlyCountsCrossMachinePairs) {
   const IccProfile profile = WorkerProfile(1000, 2000);
   Distribution all_client = EverythingOn(kClientMachine);

@@ -1,9 +1,10 @@
 // Differential fuzz oracle for the minimum-cut stack: on every generated
-// graph, relabel-to-front (the production algorithm, per the paper's
-// lift-to-front reference), Edmonds-Karp (the verification baseline), and
-// an exhaustive reference min-cut (independent of any flow algorithm) must
-// agree on the cut value EXACTLY — integer equality in CapUnits, no
-// epsilon, no ulp slack. Cuts themselves may differ when several minimum
+// graph, relabel-to-front (the paper's lift-to-front reference),
+// Edmonds-Karp (the verification baseline), the highest-label
+// push-relabel production solver — cold AND warm-started from a fuzzed
+// capacity perturbation — and an exhaustive reference min-cut
+// (independent of any flow algorithm) must agree on the cut value
+// EXACTLY — integer equality in CapUnits, no epsilon, no ulp slack. Cuts themselves may differ when several minimum
 // cuts exist, but both returned partitions must separate the terminals and
 // both cut values must equal the capacity actually crossing the returned
 // partition.
@@ -24,8 +25,11 @@
 #include <string>
 #include <vector>
 
+#include "src/mincut/compact_flow_network.h"
 #include "src/mincut/edmonds_karp.h"
 #include "src/mincut/flow_network.h"
+#include "src/mincut/incremental.h"
+#include "src/mincut/push_relabel.h"
 #include "src/mincut/relabel_to_front.h"
 #include "src/support/rng.h"
 
@@ -266,12 +270,47 @@ struct Disagreement {
   std::string what;
 };
 
+// Deterministic capacity perturbation for the warm-start leg: the session
+// first solves the graph at these capacities, then receives the true
+// capacities as a delta batch — so every fuzz graph exercises the
+// flow-repair path with a mix of increases, decreases, zeroings, and
+// sentinel transitions before the final warm cut is compared.
+CapUnits PerturbedCapacity(size_t index, CapUnits capacity) {
+  switch (index % 4) {
+    case 0: return capacity;                    // Unchanged edge.
+    case 1: return capacity / 2;                // The delta is an increase.
+    case 2: return SatAdd(capacity, capacity);  // The delta is a decrease.
+    default: return 0;                          // Edge appears from nothing.
+  }
+}
+
 Disagreement CheckGraph(const GraphSpec& spec) {
   Disagreement result;
   const FlowNetwork network = BuildNetwork(spec);
   const CutResult lift = MinCutRelabelToFront(network, spec.source, spec.sink);
   const CutResult baseline = MinCutEdmondsKarp(network, spec.source, spec.sink);
+  const CutResult highest = MinCutPushRelabel(network, spec.source, spec.sink);
   const CapUnits reference = ReferenceMinCut(spec);
+
+  // Warm leg: cold-solve perturbed capacities, then apply the true
+  // capacities as deltas and re-solve warm.
+  CompactFlowNetwork compact(spec.node_count);
+  std::vector<int> edge_ids;
+  edge_ids.reserve(spec.edges.size());
+  for (size_t i = 0; i < spec.edges.size(); ++i) {
+    const SpecEdge& edge = spec.edges[i];
+    const CapUnits perturbed = PerturbedCapacity(i, edge.capacity);
+    edge_ids.push_back(edge.directed ? compact.AddArc(edge.a, edge.b, perturbed)
+                                     : compact.AddEdge(edge.a, edge.b, perturbed));
+  }
+  compact.Finalize();
+  IncrementalMinCut session;
+  session.Reset(std::move(compact), spec.source, spec.sink);
+  session.Solve();
+  for (size_t i = 0; i < spec.edges.size(); ++i) {
+    session.SetEdgeCapacity(edge_ids[i], spec.edges[i].capacity);
+  }
+  const CutResult warm = session.Solve();
 
   std::ostringstream why;
   if (lift.cut_value != baseline.cut_value) {
@@ -282,6 +321,12 @@ Disagreement CheckGraph(const GraphSpec& spec) {
   }
   if (baseline.cut_value != reference) {
     why << "EK " << baseline.cut_value << " != reference " << reference << "; ";
+  }
+  if (highest.cut_value != reference) {
+    why << "PR " << highest.cut_value << " != reference " << reference << "; ";
+  }
+  if (warm.cut_value != reference) {
+    why << "PR-warm " << warm.cut_value << " != reference " << reference << "; ";
   }
   auto check_partition = [&](const char* name, const CutResult& cut) {
     if (static_cast<int>(cut.in_source_side.size()) != network.node_count() ||
@@ -300,6 +345,23 @@ Disagreement CheckGraph(const GraphSpec& spec) {
   };
   check_partition("RTF", lift);
   check_partition("EK", baseline);
+  check_partition("PR", highest);
+  check_partition("PR-warm", warm);
+  // Partition identity, not just value equality: on feasible graphs every
+  // solver extracts the residual-reachable set of a genuine maximum flow,
+  // which is the unique *minimal* minimum cut — so the byte-level
+  // partition must match even when several minimum cuts exist (the
+  // tied-cuts family). Infeasible graphs are excluded: a saturated
+  // "flow" is not a maximum flow, the uniqueness argument lapses, and the
+  // engine rejects the cut before any partition is used anyway.
+  if (reference != kInfiniteCapacity) {
+    if (highest.in_source_side != lift.in_source_side) {
+      why << "PR partition differs from RTF; ";
+    }
+    if (warm.in_source_side != lift.in_source_side) {
+      why << "PR-warm partition differs from RTF; ";
+    }
+  }
   result.what = why.str();
   result.failed = !result.what.empty();
   return result;

@@ -5,6 +5,7 @@
 
 #include "src/mincut/edmonds_karp.h"
 #include "src/mincut/flow_network.h"
+#include "src/mincut/push_relabel.h"
 #include "src/mincut/relabel_to_front.h"
 #include "src/support/rng.h"
 
@@ -147,7 +148,8 @@ TEST_P(MinCutAlgorithmTest, NearMaxFiniteCapacitySingleEdgeIsExact) {
 INSTANTIATE_TEST_SUITE_P(Algorithms, MinCutAlgorithmTest,
                          ::testing::Values(AlgorithmParam{"RelabelToFront",
                                                           &MinCutRelabelToFront},
-                                           AlgorithmParam{"EdmondsKarp", &MinCutEdmondsKarp}),
+                                           AlgorithmParam{"EdmondsKarp", &MinCutEdmondsKarp},
+                                           AlgorithmParam{"PushRelabel", &MinCutPushRelabel}),
                          [](const auto& info) { return info.param.name; });
 
 // Saturating arithmetic unit tests: the sentinel is absorbing at both

@@ -80,11 +80,11 @@ int Usage() {
                "  coign measure -i <base> --scenario <id> [--network <name>]\n"
                "  coign online -i <base> --scenario <id> [--scenario <id> ...]\n"
                "              [--network <name>] [--cycles <n>] [--reps <n>]\n"
-               "              [--trace-out <file>] [--metrics-out <file>]\n"
+               "              [--cold-cuts] [--trace-out <file>] [--metrics-out <file>]\n"
                "  coign chaos -i <base> --scenario <id> [--scenario <id> ...]\n"
                "             [--network <name>] [--cycles <n>] [--reps <n>]\n"
                "             [--seed <n>] [--drop <p>] [--corrupt-rate <p>] [--storm]\n"
-               "             [--trace-out <file>] [--metrics-out <file>]\n"
+               "             [--cold-cuts] [--trace-out <file>] [--metrics-out <file>]\n"
                "  coign fleet -i <base> [--clients <n>] [--threads <n>] [--seed <n>]\n"
                "             [--cache-file <path>] [--lossy <fraction>]\n"
                "             [--trace-out <file>] [--metrics-out <file>]\n");
@@ -158,6 +158,11 @@ struct Flags {
   // and metrics snapshot. Deterministic: same seed, byte-identical files.
   std::string trace_out;
   std::string metrics_out;
+  // online/chaos --cold-cuts: re-cut with the paper's relabel-to-front
+  // algorithm instead of the warm-started push-relabel engine. Exactness
+  // says both produce identical partitions; CI diffs the two runs'
+  // reports to prove it end to end.
+  bool cold_cuts = false;
 };
 
 Result<Flags> ParseFlags(int argc, char** argv, int first) {
@@ -232,6 +237,8 @@ Result<Flags> ParseFlags(int argc, char** argv, int first) {
       (arg == "--drop" ? flags.drop : flags.corrupt_rate) = parsed;
     } else if (arg == "--storm") {
       flags.storm = true;
+    } else if (arg == "--cold-cuts") {
+      flags.cold_cuts = true;
     } else if (arg == "--cache-file") {
       Result<std::string> value = next();
       if (!value.ok()) {
@@ -559,6 +566,9 @@ int CmdOnline(const Flags& flags) {
   OnlineMeasurementOptions options;
   options.network = *network;
   options.fitted = profiler.Profile(Transport(*network), rng);
+  if (flags.cold_cuts) {
+    options.online.analysis.algorithm = CutAlgorithm::kRelabelToFront;
+  }
 
   const std::vector<OnlinePhase> workload =
       CyclicWorkload(flags.scenarios, flags.reps, flags.cycles);
@@ -643,6 +653,9 @@ int CmdChaos(const Flags& flags) {
   options.network = *network;
   options.fitted = profiler.Profile(Transport(*network), rng);
   options.retry = SuggestedRetryPolicy(*network);
+  if (flags.cold_cuts) {
+    options.online.analysis.algorithm = CutAlgorithm::kRelabelToFront;
+  }
 
   const std::vector<OnlinePhase> workload =
       CyclicWorkload(flags.scenarios, flags.reps, flags.cycles);
